@@ -1,0 +1,93 @@
+"""E14: the prob-tree engine vs the explicit possible-worlds baseline.
+
+Paper claim (the expressiveness/conciseness story of Section 2): both engines
+compute the same answers, but the explicit baseline's state — and therefore
+its per-operation cost — grows with the number of possible worlds, which the
+factorized prob-tree representation avoids.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines.pw_engine import PossibleWorldsEngine
+from repro.core.engine import ProbXMLWarehouse
+from repro.queries.evaluation import answers_isomorphic
+from repro.workloads.scenarios import HiddenWebScenario
+
+from conftest import mark_series, record_series
+
+
+def _replay(engine_factory, scenario):
+    engine = engine_factory(scenario.initial_document())
+    start = time.perf_counter()
+    for event in scenario.events():
+        engine.apply(event.update)
+    elapsed = time.perf_counter() - start
+    return engine, elapsed
+
+
+def test_scenario_replay_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for events in (4, 6, 8, 10, 12):
+        scenario = HiddenWebScenario(
+            source_count=3, event_count=events, deletion_ratio=0.1, seed=events
+        )
+        warehouse, warehouse_time = _replay(ProbXMLWarehouse, scenario)
+        baseline, baseline_time = _replay(PossibleWorldsEngine, scenario)
+
+        # Same answers on the analyst queries.
+        for _description, query in scenario.queries():
+            assert answers_isomorphic(warehouse.query(query), baseline.query(query))
+
+        rows.append(
+            (
+                events,
+                warehouse.size(),
+                baseline.world_count(),
+                baseline.size(),
+                round(warehouse_time * 1000, 3),
+                round(baseline_time * 1000, 3),
+            )
+        )
+    record_series(
+        "E14 — hidden-web scenario: prob-tree engine vs explicit possible worlds",
+        [
+            "updates",
+            "probtree size",
+            "baseline worlds",
+            "baseline size",
+            "probtree ms",
+            "baseline ms",
+        ],
+        rows,
+    )
+    # Shape: the baseline's state grows much faster than the prob-tree's.
+    first, last = rows[0], rows[-1]
+    probtree_growth = last[1] / first[1]
+    baseline_growth = last[3] / first[3]
+    assert baseline_growth > probtree_growth
+
+
+@pytest.mark.parametrize("events", [8, 12])
+def test_probtree_engine_replay_cost(benchmark, events):
+    scenario = HiddenWebScenario(source_count=3, event_count=events, seed=events)
+    benchmark.group = "E14 scenario replay"
+    benchmark(lambda: _replay(ProbXMLWarehouse, scenario)[0])
+
+
+@pytest.mark.parametrize("events", [8, 12])
+def test_pw_baseline_replay_cost(benchmark, events):
+    scenario = HiddenWebScenario(source_count=3, event_count=events, seed=events)
+    benchmark.group = "E14 scenario replay"
+    benchmark(lambda: _replay(PossibleWorldsEngine, scenario)[0])
+
+
+@pytest.mark.parametrize("events", [10])
+def test_query_after_replay_cost(benchmark, events):
+    scenario = HiddenWebScenario(source_count=3, event_count=events, seed=events)
+    warehouse, _ = _replay(ProbXMLWarehouse, scenario)
+    _description, query = scenario.queries()[0]
+    benchmark.group = "E14 query after replay"
+    benchmark(lambda: warehouse.query(query))

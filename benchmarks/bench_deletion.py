@@ -1,0 +1,85 @@
+"""E5 (Proposition 2, Theorem 3): deletions can blow up exponentially.
+
+Paper claim: on the Theorem 3 family (root with one B child and n C children
+each guarded by two private events), the deletion d0 — "if the root has a C
+child, delete all B children" — forces every equivalent prob-tree to have
+Ω(2^n) size; benign single-match deletions stay linear.
+"""
+
+import time
+
+import pytest
+
+from repro.queries.treepattern import root_has_child
+from repro.updates.operations import Deletion, ProbabilisticUpdate
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.workloads.constructions import theorem3_deletion, theorem3_probtree
+from repro.workloads.random_probtrees import random_probtree
+
+from conftest import mark_series, record_series
+
+
+def test_theorem3_blowup_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for n in (1, 2, 3, 4, 5, 6, 7, 8):
+        probtree = theorem3_probtree(n)
+        start = time.perf_counter()
+        updated = apply_update_to_probtree(probtree, theorem3_deletion())
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                n,
+                probtree.size(),
+                updated.size(),
+                updated.literal_count(),
+                2 ** n,
+                round(elapsed * 1000, 3),
+            )
+        )
+    record_series(
+        "E5 Theorem 3 — deletion output size on the worst-case family",
+        ["n", "|T| before", "|T| after", "literals after", "2^n", "time ms"],
+        rows,
+    )
+    # Shape: output literals at least double when n increases by one.
+    literals = [row[3] for row in rows]
+    for previous, current in zip(literals, literals[1:]):
+        assert current >= 1.9 * previous
+
+
+def test_benign_deletion_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for size in (100, 200, 400, 800):
+        probtree = random_probtree(node_count=size, event_count=10, seed=size)
+        update = ProbabilisticUpdate(
+            Deletion(root_has_child(probtree.tree.root_label, "B"), 1), confidence=0.9
+        )
+        start = time.perf_counter()
+        updated = apply_update_to_probtree(probtree, update)
+        elapsed = time.perf_counter() - start
+        rows.append((size, probtree.size(), updated.size(), round(elapsed * 1000, 3)))
+    record_series(
+        "E5 (control) — single-level deletions stay close to the input size",
+        ["|T| nodes", "size before", "size after", "time ms"],
+        rows,
+    )
+    assert all(row[2] <= 2 * row[1] + 10 for row in rows)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_theorem3_deletion_cost(benchmark, n):
+    probtree = theorem3_probtree(n)
+    benchmark.group = "E5 deletion blow-up (Theorem 3 family)"
+    benchmark(lambda: apply_update_to_probtree(probtree, theorem3_deletion()))
+
+
+@pytest.mark.parametrize("size", [200, 800])
+def test_benign_deletion_cost(benchmark, size):
+    probtree = random_probtree(node_count=size, event_count=10, seed=size)
+    update = ProbabilisticUpdate(
+        Deletion(root_has_child(probtree.tree.root_label, "B"), 1), confidence=0.9
+    )
+    benchmark.group = "E5 benign deletion"
+    benchmark(lambda: apply_update_to_probtree(probtree, update))

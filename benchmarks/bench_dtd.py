@@ -1,0 +1,122 @@
+"""E9/E10 (Theorem 5): DTD satisfiability, validity and restriction.
+
+Paper claim: both decision problems are linear in the number of tree nodes
+but NP-complete / co-NP-complete in the number of event variables — the SAT
+reduction instances make the exponential dependence on events concrete —
+and DTD restriction may produce exponentially large prob-trees.
+"""
+
+import time
+
+import pytest
+
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.probtree_dtd import (
+    dtd_restriction_probtree,
+    dtd_satisfiable,
+    dtd_valid,
+)
+from repro.dtd.reductions import (
+    restriction_blowup_instance,
+    sat_to_dtd_satisfiability,
+    sat_to_dtd_validity,
+)
+from repro.formulas.cnf import random_3cnf
+from repro.workloads.random_probtrees import random_probtree
+
+from conftest import mark_series, record_series
+
+
+def test_dtd_decision_scaling_in_events_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for variables in (4, 6, 8, 10, 12, 14):
+        theta = random_3cnf(variables, 3 * variables, seed=variables)
+        sat_instance, sat_dtd = sat_to_dtd_satisfiability(theta)
+        val_instance, val_dtd = sat_to_dtd_validity(theta)
+        start = time.perf_counter()
+        dtd_satisfiable(sat_instance, sat_dtd)
+        sat_time = time.perf_counter() - start
+        start = time.perf_counter()
+        dtd_valid(val_instance, val_dtd)
+        val_time = time.perf_counter() - start
+        rows.append(
+            (
+                variables,
+                sat_instance.tree.node_count(),
+                2 ** variables,
+                round(sat_time * 1000, 3),
+                round(val_time * 1000, 3),
+            )
+        )
+    record_series(
+        "E9 Theorem 5.1/5.2 — DTD decisions scale exponentially in #events",
+        ["variables", "tree nodes", "worlds", "satisfiability ms", "validity ms"],
+        rows,
+    )
+    # Shape: time grows markedly with the number of variables (worst case).
+    assert rows[-1][3] + rows[-1][4] > rows[0][3] + rows[0][4]
+
+
+def test_dtd_decision_scaling_in_nodes_series(benchmark):
+    mark_series(benchmark)
+    """With a fixed event pool the checks stay (near-)linear in |T|."""
+    dtd = DTD({"A": [ChildConstraint.any_number(label) for label in "ABCDE"]})
+    rows = []
+    for size in (100, 200, 400, 800):
+        probtree = random_probtree(
+            node_count=size, event_count=6, seed=size, root_label="A"
+        )
+        start = time.perf_counter()
+        dtd_satisfiable(probtree, dtd)
+        sat_time = time.perf_counter() - start
+        rows.append((size, round(sat_time * 1000, 3)))
+    record_series(
+        "E9 (control) — DTD satisfiability is cheap in |T| for a fixed event pool",
+        ["|T| nodes", "satisfiability ms"],
+        rows,
+    )
+    assert rows[-1][1] < 200 * max(rows[0][1], 0.05)
+
+
+def test_dtd_restriction_blowup_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for n in (1, 2, 3, 4):
+        probtree, dtd = restriction_blowup_instance(n)
+        start = time.perf_counter()
+        restricted = dtd_restriction_probtree(probtree, dtd)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (n, probtree.size(), restricted.size(), round(elapsed * 1000, 3))
+        )
+    record_series(
+        "E10 Theorem 5.3 — DTD restriction output size",
+        ["n", "|T| input", "|T'| restricted", "time ms"],
+        rows,
+    )
+    sizes = [row[2] for row in rows]
+    assert sizes[-1] > 2.5 * sizes[-2]
+
+
+@pytest.mark.parametrize("variables", [8, 12])
+def test_dtd_satisfiability_cost(benchmark, variables):
+    theta = random_3cnf(variables, 3 * variables, seed=variables)
+    instance, dtd = sat_to_dtd_satisfiability(theta)
+    benchmark.group = "E9 DTD satisfiability (SAT reduction)"
+    benchmark(lambda: dtd_satisfiable(instance, dtd))
+
+
+@pytest.mark.parametrize("variables", [8, 12])
+def test_dtd_validity_cost(benchmark, variables):
+    theta = random_3cnf(variables, 3 * variables, seed=variables)
+    instance, dtd = sat_to_dtd_validity(theta)
+    benchmark.group = "E9 DTD validity (SAT reduction)"
+    benchmark(lambda: dtd_valid(instance, dtd))
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_dtd_restriction_cost(benchmark, n):
+    probtree, dtd = restriction_blowup_instance(n)
+    benchmark.group = "E10 DTD restriction"
+    benchmark(lambda: dtd_restriction_probtree(probtree, dtd))

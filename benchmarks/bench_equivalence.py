@@ -1,0 +1,125 @@
+"""E6/E7 (Proposition 3, Theorem 2, Lemma 1): deciding structural equivalence.
+
+Paper claim: the exhaustive procedure is exponential in the number of event
+variables, while the Figure 3 randomized algorithm runs in polynomial time
+with one-sided error; count-equivalence of DNF formulas is decided through
+characteristic polynomials (exact expansion vs randomized identity testing).
+"""
+
+import time
+
+import pytest
+
+from repro.equivalence.randomized import structurally_equivalent_randomized
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.formulas.count_equivalence import (
+    count_equivalent_polynomial,
+    count_equivalent_randomized,
+)
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal
+from repro.workloads.random_probtrees import random_probtree
+
+from conftest import mark_series, record_series
+
+
+def _equivalent_pair(node_count, event_count, seed):
+    """A prob-tree and a semantically identical copy (relabelled events order)."""
+    probtree = random_probtree(
+        node_count=node_count, event_count=event_count, seed=seed,
+        condition_probability=0.7,
+    )
+    return probtree, probtree.copy()
+
+
+def test_equivalence_runtime_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for events in (2, 4, 6, 8, 10, 12, 14):
+        left, right = _equivalent_pair(30, events, seed=events)
+        start = time.perf_counter()
+        exhaustive = structurally_equivalent_exhaustive(left, right)
+        exhaustive_time = time.perf_counter() - start
+        start = time.perf_counter()
+        randomized = structurally_equivalent_randomized(left, right, seed=events)
+        randomized_time = time.perf_counter() - start
+        assert exhaustive and randomized
+        rows.append(
+            (
+                events,
+                2 ** len(left.used_events() | right.used_events()),
+                round(exhaustive_time * 1000, 3),
+                round(randomized_time * 1000, 3),
+                round(exhaustive_time / max(randomized_time, 1e-9), 1),
+            )
+        )
+    record_series(
+        "E6 Theorem 2 — exhaustive vs randomized structural equivalence",
+        ["declared events", "worlds enumerated", "exhaustive ms", "randomized ms", "speedup x"],
+        rows,
+    )
+    # Shape: the exhaustive cost explodes with the event count, the
+    # randomized one does not — so the speedup at the top of the sweep must
+    # dominate the one at the bottom.
+    assert rows[-1][4] > rows[0][4]
+
+
+@pytest.mark.parametrize("events", [6, 12])
+def test_exhaustive_equivalence_cost(benchmark, events):
+    left, right = _equivalent_pair(30, events, seed=events)
+    benchmark.group = "E6 exhaustive equivalence"
+    benchmark(lambda: structurally_equivalent_exhaustive(left, right))
+
+
+@pytest.mark.parametrize("events", [6, 12, 24])
+def test_randomized_equivalence_cost(benchmark, events):
+    left, right = _equivalent_pair(30, events, seed=events)
+    benchmark.group = "E6 randomized equivalence (Figure 3)"
+    benchmark(lambda: structurally_equivalent_randomized(left, right, seed=1))
+
+
+def _refining_dnf_pair(variables):
+    """ψ = x1 and its count-preserving refinement over the other variables."""
+    base = DNF([Condition.of("x1")])
+    refined_disjuncts = [Condition([Literal("x1")])]
+    for index in range(2, variables + 1):
+        refined_disjuncts = [
+            disjunct.with_literal(Literal(f"x{index}", negated=negated))
+            for disjunct in refined_disjuncts
+            for negated in (False, True)
+        ]
+    return base, DNF(refined_disjuncts)
+
+
+def test_count_equivalence_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for variables in (2, 4, 6, 8, 10):
+        base, refined = _refining_dnf_pair(variables)
+        start = time.perf_counter()
+        exact = count_equivalent_polynomial(base, refined)
+        exact_time = time.perf_counter() - start
+        start = time.perf_counter()
+        randomized = count_equivalent_randomized(base, refined, seed=variables)
+        randomized_time = time.perf_counter() - start
+        assert exact and randomized
+        rows.append(
+            (
+                variables,
+                len(refined),
+                round(exact_time * 1000, 3),
+                round(randomized_time * 1000, 3),
+            )
+        )
+    record_series(
+        "E7 Lemma 1 — count-equivalence: polynomial expansion vs Schwartz-Zippel",
+        ["variables", "disjuncts", "expansion ms", "randomized ms"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("variables", [8, 12])
+def test_schwartz_zippel_cost(benchmark, variables):
+    base, refined = _refining_dnf_pair(variables)
+    benchmark.group = "E7 randomized count-equivalence"
+    benchmark(lambda: count_equivalent_randomized(base, refined, seed=0))

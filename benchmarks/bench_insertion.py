@@ -1,0 +1,71 @@
+"""E4/E15 (Proposition 2): probabilistic insertions stay polynomial.
+
+Paper claim: an insertion costs the query evaluation plus O(|Q(t)|·|T|) and
+grows the prob-tree by at most O(|Q(t)|·|T|) — in particular the growth is
+proportional to the number of matches, never exponential.
+"""
+
+import time
+
+import pytest
+
+from repro.queries.treepattern import root_has_child
+from repro.trees.builders import tree
+from repro.updates.operations import Insertion, ProbabilisticUpdate
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.workloads.constructions import wide_independent_probtree
+from repro.workloads.random_probtrees import random_probtree
+from repro.workloads.random_queries import random_insertion
+
+from conftest import mark_series, record_series
+
+
+def _star_update(match_count):
+    """A prob-tree whose root has ``match_count`` matching children."""
+    probtree = wide_independent_probtree(match_count, distinct_labels=False)
+    update = ProbabilisticUpdate(
+        Insertion(root_has_child("A", "C"), 1, tree("X", "Y")), confidence=0.8
+    )
+    return probtree, update
+
+
+def test_insertion_growth_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for matches in (1, 2, 4, 8, 16, 32):
+        probtree, update = _star_update(matches)
+        start = time.perf_counter()
+        updated = apply_update_to_probtree(probtree, update)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                matches,
+                probtree.size(),
+                updated.size(),
+                updated.size() - probtree.size(),
+                round(elapsed * 1000, 3),
+            )
+        )
+    record_series(
+        "E4 Proposition 2 — insertion growth is linear in the number of matches",
+        ["matches", "|T| before", "|T| after", "growth", "time ms"],
+        rows,
+    )
+    growth = [row[3] for row in rows]
+    # Growth proportional to match count (2 new nodes + ~2 literals each).
+    assert growth[-1] <= 8 * rows[-1][0]
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_random_insertion_cost(benchmark, size):
+    probtree = random_probtree(node_count=size, event_count=10, seed=size)
+    update = random_insertion(probtree.tree, seed=size, subtree_size=3)
+    benchmark.group = "E4 insertion on prob-tree"
+    benchmark(lambda: apply_update_to_probtree(probtree, update))
+
+
+@pytest.mark.parametrize("matches", [4, 32])
+def test_multi_match_insertion_cost(benchmark, matches):
+    probtree, update = _star_update(matches)
+    benchmark.group = "E4 insertion vs match count"
+    benchmark(lambda: apply_update_to_probtree(probtree, update))

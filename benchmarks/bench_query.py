@@ -1,0 +1,92 @@
+"""E2/E3 (Theorem 1, Proposition 2): query evaluation cost on prob-trees.
+
+Paper claim: for locally monotone queries, evaluation on a prob-tree costs
+the data-tree evaluation plus O(|Q(t)|·|T|) — i.e. it stays polynomial and
+close to querying the plain document — whereas evaluating through the
+explicit possible-world set multiplies the work by the (potentially
+exponential) number of worlds.
+"""
+
+import time
+
+import pytest
+
+from repro.core.semantics import possible_worlds
+from repro.queries.evaluation import (
+    evaluate_on_datatree,
+    evaluate_on_probtree,
+    evaluate_on_pwset,
+)
+from repro.queries.path import parse_path
+from repro.workloads.random_probtrees import random_probtree
+
+from conftest import mark_series, record_series
+
+QUERY = parse_path("//B/C")
+SIZES = [100, 200, 400, 800, 1600]
+
+
+def _workload(node_count, event_count=12):
+    return random_probtree(
+        node_count=node_count,
+        event_count=event_count,
+        seed=node_count,
+        labels=("A", "B", "C", "D"),
+        condition_probability=0.5,
+    )
+
+
+def test_query_scaling_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for size in SIZES:
+        probtree = _workload(size)
+        start = time.perf_counter()
+        data_answers = evaluate_on_datatree(QUERY, probtree.tree)
+        data_time = time.perf_counter() - start
+        start = time.perf_counter()
+        prob_answers = evaluate_on_probtree(QUERY, probtree)
+        prob_time = time.perf_counter() - start
+        rows.append(
+            (
+                size,
+                len(data_answers),
+                round(data_time * 1000, 3),
+                len(prob_answers),
+                round(prob_time * 1000, 3),
+                round(prob_time / max(data_time, 1e-9), 2),
+            )
+        )
+    record_series(
+        "E3 Proposition 2 — query cost on prob-trees vs plain data trees",
+        ["|T| nodes", "answers(t)", "t_data ms", "answers(T)", "t_probtree ms", "overhead x"],
+        rows,
+    )
+    # Shape: overhead stays a small constant factor, far from exponential.
+    assert all(row[5] < 50 for row in rows)
+
+
+@pytest.mark.parametrize("size", [200, 800])
+def test_query_on_probtree(benchmark, size):
+    probtree = _workload(size)
+    benchmark.group = "E3 query prob-tree"
+    benchmark(lambda: evaluate_on_probtree(QUERY, probtree))
+
+
+@pytest.mark.parametrize("size", [200, 800])
+def test_query_on_datatree(benchmark, size):
+    probtree = _workload(size)
+    benchmark.group = "E3 query data tree"
+    benchmark(lambda: evaluate_on_datatree(QUERY, probtree.tree))
+
+
+@pytest.mark.parametrize("events", [4, 8, 12])
+def test_query_through_possible_worlds(benchmark, events):
+    """The baseline: evaluate in every explicit world (exponential in events)."""
+    probtree = random_probtree(
+        node_count=60, event_count=events, seed=7, condition_probability=0.8
+    )
+    worlds = possible_worlds(probtree, normalize=True)
+    benchmark.group = "E2 query via explicit PW set"
+    benchmark.extra_info["world_count"] = len(worlds)
+    benchmark(lambda: evaluate_on_pwset(QUERY, worlds))

@@ -1,0 +1,64 @@
+"""E1 (Proposition 1): representation sizes of prob-trees vs explicit PW sets.
+
+Paper claim: the prob-tree encoding of an uncertain document with n
+independent optional subtrees stays linear in n, while its explicit
+possible-world description (and any re-encoding built from it) grows like
+2^n; conversely, no model as expressive as PW sets can always stay small
+(the a_n tree-counting lower bound).
+"""
+
+import pytest
+
+from repro.analysis.counting import proposition1_lower_bound_bits
+from repro.analysis.sizes import compare_representations
+from repro.core.semantics import possible_worlds
+from repro.pw.convert import pwset_to_probtree
+from repro.workloads.constructions import wide_independent_probtree
+
+from conftest import mark_series, record_series
+
+SWEEP = [2, 4, 6, 8, 10, 12]
+
+
+def test_representation_size_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for n in SWEEP:
+        probtree = wide_independent_probtree(n)
+        comparison = compare_representations(probtree)
+        rows.append(
+            (
+                n,
+                comparison.probtree_size,
+                comparison.world_count,
+                comparison.pwset_size,
+                comparison.reencoded_probtree_size,
+                round(comparison.compression_ratio, 2),
+                int(proposition1_lower_bound_bits(n)),
+            )
+        )
+    record_series(
+        "E1 Proposition 1 — representation sizes (n independent optional children)",
+        ["n", "probtree", "worlds", "pwset_nodes", "reencoded_probtree", "pwset/probtree", "prop1_bits_lower_bound"],
+        rows,
+    )
+    # Shape assertions: prob-tree linear, PW set exponential.
+    sizes = {n: compare_representations(wide_independent_probtree(n)) for n in (4, 8)}
+    assert sizes[8].probtree_size <= 2 * sizes[4].probtree_size + 4
+    assert sizes[8].world_count == 16 * sizes[4].world_count
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_materialize_possible_worlds(benchmark, n):
+    """Cost of expanding the factorized representation (exponential in n)."""
+    probtree = wide_independent_probtree(n)
+    benchmark.group = "E1 expand possible worlds"
+    benchmark(lambda: possible_worlds(probtree, normalize=True))
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_reencode_pwset_as_probtree(benchmark, n):
+    """Cost of the generic one-event-per-world construction."""
+    worlds = possible_worlds(wide_independent_probtree(n), normalize=True)
+    benchmark.group = "E1 re-encode PW set"
+    benchmark(lambda: pwset_to_probtree(worlds))

@@ -1,0 +1,64 @@
+"""E8 (Theorem 4): threshold restriction can blow up exponentially.
+
+Paper claim: on the family with 2n independently-optional children and a
+threshold keeping the low-cardinality worlds, any prob-tree representing
+``⟦T⟧≥p`` must have Ω(2^n) size; the measured re-encoded size and retained
+world count grow accordingly while the input stays linear.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.threshold.constructions import theorem4_instance, theorem4_probtree
+from repro.threshold.threshold import threshold_probtree, threshold_worlds
+
+from conftest import mark_series, record_series
+
+
+def test_threshold_blowup_series(benchmark):
+    mark_series(benchmark)
+    rows = []
+    for n in (1, 2, 3, 4, 5):
+        probtree, threshold = theorem4_instance(n)
+        kept = threshold_worlds(probtree, threshold)
+        start = time.perf_counter()
+        restricted = threshold_probtree(probtree, threshold)
+        elapsed = time.perf_counter() - start
+        binomial_bound = math.comb(2 * n, n)
+        rows.append(
+            (
+                n,
+                probtree.size(),
+                len(kept),
+                binomial_bound,
+                restricted.size(),
+                round(elapsed * 1000, 3),
+            )
+        )
+    record_series(
+        "E8 Theorem 4 — threshold restriction on the worst-case family",
+        ["n", "|T| input", "worlds kept", "C(2n,n)", "|T'| restricted", "time ms"],
+        rows,
+    )
+    sizes = [row[4] for row in rows]
+    inputs = [row[1] for row in rows]
+    # Input grows linearly, output super-linearly (at least x1.8 per step at the end).
+    assert inputs[-1] - inputs[-2] == inputs[1] - inputs[0]
+    assert sizes[-1] >= 1.8 * sizes[-2]
+
+
+@pytest.mark.parametrize("n", [3, 5])
+def test_threshold_restriction_cost(benchmark, n):
+    probtree, threshold = theorem4_instance(n)
+    benchmark.group = "E8 threshold restriction (Theorem 4 family)"
+    benchmark(lambda: threshold_probtree(probtree, threshold))
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_threshold_enumeration_cost(benchmark, n):
+    """Filtering the worlds only (without re-encoding them as a prob-tree)."""
+    probtree = theorem4_probtree(n, probability=0.5)
+    benchmark.group = "E8 threshold world filtering"
+    benchmark(lambda: threshold_worlds(probtree, 1.0 / 2 ** (2 * n)))

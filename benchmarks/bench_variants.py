@@ -1,0 +1,132 @@
+"""E12/E13 (Section 5): the model variants flip the cost balance.
+
+Paper claim: allowing arbitrary propositional formulas as conditions makes
+updates (even the Theorem 3 deletion) polynomial but makes query evaluation
+expensive; under set semantics the deletion blow-up persists and equivalence
+becomes plain propositional equivalence.
+"""
+
+import time
+
+import pytest
+
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.queries.evaluation import evaluate_on_probtree
+from repro.queries.treepattern import root_has_child
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.variants.formula_probtree import FormulaProbTree
+from repro.variants.set_semantics import set_structurally_equivalent
+from repro.workloads.constructions import theorem3_deletion, theorem3_probtree
+from repro.workloads.random_probtrees import random_probtree
+
+from conftest import mark_series, record_series
+
+
+def test_formula_variant_deletion_series(benchmark):
+    mark_series(benchmark)
+    """E12: deletion size/time — conjunctive model vs formula model."""
+    rows = []
+    for n in (2, 4, 6, 8):
+        probtree = theorem3_probtree(n)
+        formula_tree = FormulaProbTree.from_probtree(probtree)
+
+        start = time.perf_counter()
+        conjunctive = apply_update_to_probtree(probtree, theorem3_deletion())
+        conjunctive_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with_formulas = formula_tree.apply_update(theorem3_deletion())
+        formula_time = time.perf_counter() - start
+
+        rows.append(
+            (
+                n,
+                conjunctive.size(),
+                round(conjunctive_time * 1000, 3),
+                with_formulas.size(),
+                round(formula_time * 1000, 3),
+            )
+        )
+    record_series(
+        "E12 Section 5 — Theorem 3 deletion: conjunctive vs arbitrary-formula conditions",
+        ["n", "conjunctive size", "conjunctive ms", "formula size", "formula ms"],
+        rows,
+    )
+    # The conjunctive output explodes; the formula output stays linear.
+    assert rows[-1][1] > 8 * rows[-1][3]
+
+
+def test_formula_variant_query_series(benchmark):
+    mark_series(benchmark)
+    """E12: query-answer probability — cheap on conjunctions, costly on formulas."""
+    query = root_has_child("A", "B")
+    rows = []
+    for n in (2, 4, 6, 8, 10):
+        probtree = theorem3_probtree(n)
+        formula_tree = FormulaProbTree.from_probtree(probtree).apply_update(
+            theorem3_deletion()
+        )
+        conjunctive_tree = apply_update_to_probtree(probtree, theorem3_deletion())
+
+        start = time.perf_counter()
+        evaluate_on_probtree(query, conjunctive_tree)
+        conjunctive_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        formula_tree.evaluate(query)
+        formula_time = time.perf_counter() - start
+
+        rows.append(
+            (
+                n,
+                round(conjunctive_time * 1000, 3),
+                round(formula_time * 1000, 3),
+            )
+        )
+    record_series(
+        "E12 Section 5 — query cost after the deletion: conjunctive vs formula model",
+        ["n", "conjunctive query ms", "formula query ms"],
+        rows,
+    )
+    # The formula model pays at query time (exponential in touched events).
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_set_semantics_equivalence_series(benchmark):
+    mark_series(benchmark)
+    """E13: multiset vs set structural equivalence (both exhaustive)."""
+    rows = []
+    for events in (2, 4, 6, 8, 10):
+        probtree = random_probtree(
+            node_count=25, event_count=events, seed=events, condition_probability=0.7
+        )
+        other = probtree.copy()
+        start = time.perf_counter()
+        multiset = structurally_equivalent_exhaustive(probtree, other)
+        multiset_time = time.perf_counter() - start
+        start = time.perf_counter()
+        set_based = set_structurally_equivalent(probtree, other)
+        set_time = time.perf_counter() - start
+        assert multiset and set_based
+        rows.append(
+            (events, round(multiset_time * 1000, 3), round(set_time * 1000, 3))
+        )
+    record_series(
+        "E13 Section 5 — exhaustive equivalence under multiset vs set semantics",
+        ["events", "multiset ms", "set semantics ms"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_formula_deletion_cost(benchmark, n):
+    formula_tree = FormulaProbTree.from_probtree(theorem3_probtree(n))
+    benchmark.group = "E12 deletion with formula conditions"
+    benchmark(lambda: formula_tree.apply_update(theorem3_deletion()))
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_conjunctive_deletion_cost(benchmark, n):
+    probtree = theorem3_probtree(n)
+    benchmark.group = "E12 deletion with conjunctive conditions"
+    benchmark(lambda: apply_update_to_probtree(probtree, theorem3_deletion()))

@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module plays two roles:
+
+* it times the relevant operations with ``pytest-benchmark`` (the timing
+  table in the run output), and
+* it regenerates the *series* whose shape the paper's propositions and
+  theorems predict (sizes, world counts, who-wins comparisons).  Those series
+  are appended to ``benchmarks/measured_series.txt`` through
+  :func:`record_series` so they survive output capturing and can be diffed
+  against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+SERIES_FILE = Path(__file__).resolve().parent / "measured_series.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_series_file():
+    """Start every benchmark session with a fresh series file."""
+    SERIES_FILE.write_text("")
+    yield
+
+
+def record_series(experiment: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Append a measured series (one table) to the series file and stdout."""
+    lines = [f"== {experiment} =="]
+    lines.append(" | ".join(str(h) for h in headers))
+    for row in rows:
+        lines.append(" | ".join(_format(value) for value in row))
+    text = "\n".join(lines) + "\n\n"
+    with SERIES_FILE.open("a") as handle:
+        handle.write(text)
+    print("\n" + text, end="")
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def mark_series(benchmark) -> None:
+    """Let a series-generation test run under ``--benchmark-only``.
+
+    The series tests do their own fine-grained timing (one measurement per
+    sweep point, recorded through :func:`record_series`); the benchmark
+    fixture is only touched so that ``--benchmark-only`` does not skip them.
+    """
+    benchmark.group = "series generation (tables in measured_series.txt)"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

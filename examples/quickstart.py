@@ -1,0 +1,72 @@
+"""Quickstart: an uncertain movie catalog as a probabilistic XML warehouse.
+
+Run with ``python examples/quickstart.py`` (after ``pip install -e .`` or with
+``PYTHONPATH=src``).  The example walks through the core workflow of the
+prob-tree model:
+
+1. start from a certain document,
+2. apply probabilistic updates (each carrying the extractor's confidence),
+3. query the uncertain document and read answer probabilities,
+4. inspect the possible worlds and prune the improbable ones,
+5. serialize the warehouse to XML and back.
+"""
+
+from repro import ProbXMLWarehouse, probtree_to_xml, tree
+
+
+def main() -> None:
+    # 1. An empty catalog (a certain, single-node document).
+    warehouse = ProbXMLWarehouse("catalog")
+
+    # 2. Imprecise knowledge arrives as probabilistic insertions.  Each update
+    #    introduces an independent event variable holding its confidence.
+    warehouse.insert(
+        "/catalog",
+        tree("movie", tree("title", "Solaris"), tree("year", "1972")),
+        confidence=0.9,
+    )
+    warehouse.insert(
+        "/catalog",
+        tree("movie", tree("title", "Stalker"), tree("year", "1979")),
+        confidence=0.7,
+    )
+    # A second extractor disagrees about Solaris' year.
+    warehouse.insert("/catalog/movie/title/Solaris", tree("note", "festival-cut"), confidence=0.4)
+
+    print("Prob-tree after three probabilistic insertions:")
+    print(warehouse.probtree.pretty())
+    print()
+
+    # 3. Queries return sub-documents together with their probability.
+    print("Movie titles and their probabilities:")
+    for answer in warehouse.query("/catalog/movie/title/*"):
+        title = [
+            answer.tree.label(node)
+            for node in answer.tree.nodes()
+            if not answer.tree.children(node)
+        ][0]
+        print(f"  {title:10s}  p = {answer.probability:.2f}")
+    print(f"P(catalog has at least one movie) = {warehouse.probability('/catalog/movie'):.3f}")
+    print()
+
+    # 4. The possible-world semantics is always available explicitly.
+    print("Three most probable worlds:")
+    for world, probability in warehouse.most_probable_worlds(3):
+        print(f"  p = {probability:.3f}  {world.to_nested()}")
+    print()
+
+    # Keep only worlds with probability at least 0.2 (the lost mass moves to
+    # a bare-root world, per the paper's Definition 3).
+    warehouse.prune_below(0.2)
+    print("After pruning worlds below probability 0.2:")
+    for world, probability in warehouse.most_probable_worlds(3):
+        print(f"  p = {probability:.3f}  {world.to_nested()}")
+    print()
+
+    # 5. The warehouse serializes to plain XML.
+    print("XML serialization (truncated):")
+    print("\n".join(probtree_to_xml(warehouse.probtree).splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

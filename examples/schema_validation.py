@@ -1,0 +1,73 @@
+"""Schema reasoning over uncertain documents (Theorem 5 in practice).
+
+An uncertain product catalog is checked against a DTD three ways:
+
+* *satisfiability* — could the document be valid in at least one world?
+* *validity* — is it valid in every world?
+* *restriction* — build a new prob-tree representing only the valid worlds.
+
+The example also runs the paper's SAT reduction, showing how a propositional
+formula turns into a DTD-satisfiability question on a prob-tree (which is why
+the problem is NP-complete in the number of event variables).
+
+Run with ``python examples/schema_validation.py``.
+"""
+
+from repro import CNF, DTD, ChildConstraint, ProbXMLWarehouse, tree
+from repro.dtd.probtree_dtd import dtd_restriction_probtree, dtd_satisfiable
+from repro.dtd.reductions import sat_to_dtd_satisfiability
+from repro.formulas.sat import is_satisfiable
+
+
+def build_catalog() -> ProbXMLWarehouse:
+    warehouse = ProbXMLWarehouse("catalog")
+    warehouse.insert("/catalog", tree("product", tree("name", "laptop"), tree("price", "999")), confidence=0.95)
+    warehouse.insert("/catalog", tree("product", tree("name", "mouse")), confidence=0.8)
+    # A dubious extraction: a second price for the same product.
+    warehouse.insert("/catalog/product/name/laptop", tree("discount", "10%"), confidence=0.3)
+    return warehouse
+
+
+def main() -> None:
+    warehouse = build_catalog()
+    print("Uncertain catalog:")
+    print(warehouse.probtree.pretty())
+    print()
+
+    schema = DTD(
+        {
+            "catalog": [ChildConstraint.at_least_one("product")],
+            "product": [
+                ChildConstraint.exactly("name", 1),
+                ChildConstraint.optional("price"),
+            ],
+            "name": [
+                ChildConstraint.optional("laptop"),
+                ChildConstraint.optional("mouse"),
+            ],
+        }
+    )
+
+    print("Schema checks:")
+    print(f"  satisfiable (some world valid) : {warehouse.dtd_satisfiable(schema)}")
+    print(f"  valid       (every world valid): {warehouse.dtd_valid(schema)}")
+    print(f"  P(document is valid)           : {warehouse.dtd_probability(schema):.3f}")
+    print()
+
+    restricted = dtd_restriction_probtree(warehouse.probtree, schema)
+    print("Prob-tree restricted to the valid worlds (lost mass on the bare root):")
+    print(restricted.pretty())
+    print()
+
+    # --- The Theorem 5 reduction ------------------------------------------------
+    theta = CNF.of(["x1", "x2"], ["not x1", "x3"], ["not x2", "not x3"])
+    instance, dtd = sat_to_dtd_satisfiability(theta)
+    print("Theorem 5 reduction:")
+    print(f"  CNF formula            : {theta}")
+    print(f"  SAT (propositional)    : {is_satisfiable(theta)}")
+    print(f"  DTD-satisfiable instance: {dtd_satisfiable(instance, dtd)}")
+    print("  (the two answers always coincide — DTD satisfiability is NP-complete)")
+
+
+if __name__ == "__main__":
+    main()

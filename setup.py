@@ -1,0 +1,19 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on offline machines whose setuptools
+predates wheel-based editable installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Probabilistic XML (prob-tree) engine reproducing Senellart & Abiteboul, PODS 2007"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,29 @@
+"""Size analysis utilities for Proposition 1 and the representation benchmark.
+
+* :mod:`repro.analysis.counting` — counting unordered rooted trees (Otter's
+  asymptotics, used by the Proposition 1 lower bound);
+* :mod:`repro.analysis.sizes` — size measures for prob-trees and PW sets and
+  the representation-compactness comparison of E1.
+"""
+
+from repro.analysis.counting import (
+    rooted_tree_counts,
+    rooted_trees_up_to,
+    proposition1_lower_bound_bits,
+)
+from repro.analysis.sizes import (
+    probtree_size,
+    pwset_size,
+    RepresentationComparison,
+    compare_representations,
+)
+
+__all__ = [
+    "rooted_tree_counts",
+    "rooted_trees_up_to",
+    "proposition1_lower_bound_bits",
+    "probtree_size",
+    "pwset_size",
+    "RepresentationComparison",
+    "compare_representations",
+]

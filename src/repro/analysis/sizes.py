@@ -1,0 +1,69 @@
+"""Size measures for prob-trees and possible-world sets (E1).
+
+The paper's compactness story has two sides:
+
+* prob-trees can be exponentially more concise than the extensive
+  possible-world description (the factorization benefit motivating the
+  model);
+* by Proposition 1, *no* model as expressive as PW sets can always stay
+  polynomially small.
+
+:func:`compare_representations` measures both sides on a given prob-tree:
+its own size, the size of its explicit (normalized) PW set, and the size of
+the prob-tree reconstructed from that PW set with the generic one-event-per-
+world construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.pw.convert import pwset_to_probtree
+from repro.pw.pwset import PWSet
+
+
+def probtree_size(probtree: ProbTree) -> int:
+    """``|T|``: number of nodes plus number of literals."""
+    return probtree.size()
+
+
+def pwset_size(pwset: PWSet) -> int:
+    """Size of the extensive description: total node count over all worlds."""
+    return pwset.description_size()
+
+
+@dataclass(frozen=True)
+class RepresentationComparison:
+    """Sizes of the three representations of the same uncertain document."""
+
+    probtree_size: int
+    world_count: int
+    pwset_size: int
+    reencoded_probtree_size: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """How much larger the explicit PW set is than the prob-tree."""
+        return self.pwset_size / max(1, self.probtree_size)
+
+
+def compare_representations(probtree: ProbTree) -> RepresentationComparison:
+    """Measure prob-tree vs explicit-PW-set vs re-encoded prob-tree sizes."""
+    worlds = possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    reencoded = pwset_to_probtree(worlds)
+    return RepresentationComparison(
+        probtree_size=probtree_size(probtree),
+        world_count=len(worlds),
+        pwset_size=pwset_size(worlds),
+        reencoded_probtree_size=probtree_size(reencoded),
+    )
+
+
+__all__ = [
+    "probtree_size",
+    "pwset_size",
+    "RepresentationComparison",
+    "compare_representations",
+]

@@ -1,0 +1,11 @@
+"""Baselines the prob-tree engine is compared against.
+
+The only baseline the paper itself discusses is the *extensive description of
+all possible worlds*; :mod:`repro.baselines.pw_engine` implements it as a
+drop-in engine with the same operations (query, probabilistic update,
+threshold, DTD checks) executed directly on the explicit possible-world set.
+"""
+
+from repro.baselines.pw_engine import PossibleWorldsEngine
+
+__all__ = ["PossibleWorldsEngine"]

@@ -1,0 +1,95 @@
+"""The explicit possible-worlds baseline engine.
+
+Stores the uncertain document as a normalized possible-world set and executes
+every operation directly on it:
+
+* queries run in every world (Definition 7);
+* probabilistic updates follow Definition 16;
+* threshold pruning and DTD checks filter the explicit worlds.
+
+This engine is semantically exact — it *is* the reference semantics — but its
+state can be exponentially larger than the equivalent prob-tree
+(Proposition 1 / the E1 and E14 benchmarks measure exactly that), which is
+the paper's argument for the factorized prob-tree representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dtd.dtd import DTD
+from repro.dtd.validation import validates
+from repro.pw.pwset import PWSet
+from repro.queries.base import Query
+from repro.queries.evaluation import QueryAnswer, evaluate_on_pwset
+from repro.trees.datatree import DataTree
+from repro.updates.operations import ProbabilisticUpdate
+from repro.updates.pw_updates import apply_update_to_pwset
+
+
+class PossibleWorldsEngine:
+    """An uncertain-document engine working on the explicit PW set."""
+
+    def __init__(self, initial_document: DataTree) -> None:
+        self._worlds = PWSet([(initial_document.copy(), 1.0)])
+
+    @staticmethod
+    def from_pwset(pwset: PWSet) -> "PossibleWorldsEngine":
+        engine = PossibleWorldsEngine.__new__(PossibleWorldsEngine)
+        engine._worlds = pwset.normalize()
+        return engine
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def worlds(self) -> PWSet:
+        """The current (normalized) possible-world set."""
+        return self._worlds
+
+    def world_count(self) -> int:
+        return len(self._worlds)
+
+    def size(self) -> int:
+        """Total node count over all stored worlds (the state's footprint)."""
+        return self._worlds.description_size()
+
+    # -- operations ------------------------------------------------------------
+
+    def query(self, query: Query) -> List[QueryAnswer]:
+        """Evaluate a query in every world (Definition 7)."""
+        return evaluate_on_pwset(query, self._worlds)
+
+    def boolean_probability(self, query: Query) -> float:
+        """Probability that the query has at least one answer."""
+        return sum(
+            probability
+            for tree, probability in self._worlds
+            if query.selects(tree)
+        )
+
+    def apply(self, update: ProbabilisticUpdate) -> None:
+        """Apply a probabilistic update (Definition 16), renormalizing."""
+        self._worlds = apply_update_to_pwset(self._worlds, update, normalize=True)
+
+    def prune_below(self, threshold: float) -> None:
+        """Drop worlds with probability below *threshold* (kept mass < 1)."""
+        self._worlds = self._worlds.normalize().at_least(threshold)
+
+    def most_probable(self, count: int = 1) -> List[Tuple[DataTree, float]]:
+        return self._worlds.most_probable(count)
+
+    def dtd_satisfiable(self, dtd: DTD) -> bool:
+        return any(validates(dtd, tree) for tree in self._worlds.trees())
+
+    def dtd_valid(self, dtd: DTD) -> bool:
+        return all(validates(dtd, tree) for tree in self._worlds.trees())
+
+    def dtd_restrict(self, dtd: DTD) -> None:
+        """Keep only the worlds satisfying the DTD."""
+        self._worlds = self._worlds.filter(lambda tree, _p: validates(dtd, tree))
+
+    def __repr__(self) -> str:
+        return f"PossibleWorldsEngine(worlds={len(self._worlds)}, size={self.size()})"
+
+
+__all__ = ["PossibleWorldsEngine"]

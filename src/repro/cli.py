@@ -1,0 +1,175 @@
+"""Command-line interface for the probabilistic XML warehouse.
+
+The CLI covers the read-only operations a user typically wants against a
+serialized prob-tree document (see :mod:`repro.xmlio` for the format):
+
+.. code-block:: console
+
+    $ python -m repro.cli worlds warehouse.xml --top 3
+    $ python -m repro.cli query warehouse.xml "/catalog/movie/title"
+    $ python -m repro.cli probability warehouse.xml "//movie"
+    $ python -m repro.cli stats warehouse.xml
+    $ python -m repro.cli validate warehouse.xml --dtd "catalog: movie*, source?"
+
+DTDs are given in a compact textual syntax, one rule per ``;``-separated
+segment: ``parent: child*, child2?, child3+, child4`` (the bare form means
+"exactly one").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.engine import ProbXMLWarehouse
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.utils.errors import DTDError, ProbXMLError
+from repro.xmlio.parse import probtree_from_xml
+
+
+def parse_dtd_spec(spec: str) -> DTD:
+    """Parse the compact DTD syntax used by the CLI.
+
+    ``"catalog: movie*, source?; movie: title"`` means: a ``catalog`` node may
+    have any number of ``movie`` children and at most one ``source`` child; a
+    ``movie`` node has exactly one ``title`` child.
+    """
+    dtd = DTD()
+    for rule in spec.split(";"):
+        rule = rule.strip()
+        if not rule:
+            continue
+        if ":" not in rule:
+            raise DTDError(f"malformed DTD rule (missing ':'): {rule!r}")
+        parent, children = rule.split(":", 1)
+        parent = parent.strip()
+        if not parent:
+            raise DTDError(f"malformed DTD rule (empty parent): {rule!r}")
+        for item in children.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if item.endswith("*"):
+                constraint = ChildConstraint.any_number(item[:-1].strip())
+            elif item.endswith("?"):
+                constraint = ChildConstraint.optional(item[:-1].strip())
+            elif item.endswith("+"):
+                constraint = ChildConstraint.at_least_one(item[:-1].strip())
+            else:
+                constraint = ChildConstraint.exactly(item, 1)
+            dtd.add_constraint(parent, constraint)
+    if not dtd.domain():
+        raise DTDError(f"the DTD specification {spec!r} defines no rule")
+    return dtd
+
+
+def _load(path: str) -> ProbXMLWarehouse:
+    text = Path(path).read_text()
+    return ProbXMLWarehouse(probtree_from_xml(text))
+
+
+def _command_stats(arguments: argparse.Namespace, output) -> int:
+    warehouse = _load(arguments.document)
+    probtree = warehouse.probtree
+    print(f"nodes          : {probtree.node_count()}", file=output)
+    print(f"literals       : {probtree.literal_count()}", file=output)
+    print(f"size |T|       : {probtree.size()}", file=output)
+    print(f"events declared: {len(probtree.distribution)}", file=output)
+    print(f"events used    : {len(probtree.used_events())}", file=output)
+    return 0
+
+
+def _command_worlds(arguments: argparse.Namespace, output) -> int:
+    warehouse = _load(arguments.document)
+    for world, probability in warehouse.most_probable_worlds(arguments.top):
+        print(f"p = {probability:.6f}  {world.to_nested()}", file=output)
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace, output) -> int:
+    warehouse = _load(arguments.document)
+    answers = warehouse.query(arguments.path)
+    if arguments.top is not None:
+        answers = warehouse.top_answers(arguments.path, count=arguments.top)
+    if not answers:
+        print("no answers", file=output)
+        return 1
+    for answer in answers:
+        print(f"p = {answer.probability:.6f}  {answer.tree.to_nested()}", file=output)
+    return 0
+
+
+def _command_probability(arguments: argparse.Namespace, output) -> int:
+    warehouse = _load(arguments.document)
+    probability = warehouse.probability(arguments.path)
+    print(f"{probability:.6f}", file=output)
+    return 0
+
+
+def _command_validate(arguments: argparse.Namespace, output) -> int:
+    warehouse = _load(arguments.document)
+    dtd = parse_dtd_spec(arguments.dtd)
+    satisfiable = warehouse.dtd_satisfiable(dtd)
+    valid = warehouse.dtd_valid(dtd)
+    probability = warehouse.dtd_probability(dtd)
+    print(f"satisfiable: {satisfiable}", file=output)
+    print(f"valid      : {valid}", file=output)
+    print(f"P(valid)   : {probability:.6f}", file=output)
+    if valid:
+        return 0
+    return 0 if satisfiable else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Query and inspect probabilistic XML (prob-tree) documents.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="size statistics of a prob-tree document")
+    stats.add_argument("document", help="path to a <probtree> XML file")
+    stats.set_defaults(handler=_command_stats)
+
+    worlds = subparsers.add_parser("worlds", help="most probable possible worlds")
+    worlds.add_argument("document")
+    worlds.add_argument("--top", type=int, default=3, help="how many worlds to show")
+    worlds.set_defaults(handler=_command_worlds)
+
+    query = subparsers.add_parser("query", help="evaluate a path query")
+    query.add_argument("document")
+    query.add_argument("path", help="path query, e.g. /catalog/movie//title")
+    query.add_argument("--top", type=int, default=None, help="rank and keep the top K answers")
+    query.set_defaults(handler=_command_query)
+
+    probability = subparsers.add_parser(
+        "probability", help="probability that a path query has an answer"
+    )
+    probability.add_argument("document")
+    probability.add_argument("path")
+    probability.set_defaults(handler=_command_probability)
+
+    validate = subparsers.add_parser("validate", help="check the document against a DTD")
+    validate.add_argument("document")
+    validate.add_argument("--dtd", required=True, help='e.g. "catalog: movie*, source?"')
+    validate.set_defaults(handler=_command_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, output=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    output = output if output is not None else sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments, output)
+    except (ProbXMLError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

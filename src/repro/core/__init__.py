@@ -1,0 +1,27 @@
+"""The probabilistic tree (prob-tree) model — the paper's core contribution.
+
+* :mod:`repro.core.events` — event variables and their probability
+  distribution ``π``;
+* :mod:`repro.core.probtree` — the :class:`ProbTree` structure
+  (Definition 2) and its value in a world (Definition 4);
+* :mod:`repro.core.semantics` — the possible-world semantics ``⟦T⟧``;
+* :mod:`repro.core.cleaning` — the linear-time cleaning pass of Section 3;
+* :mod:`repro.core.engine` — a convenience warehouse facade tying queries,
+  updates, thresholding and DTD validation together (the "XML warehouse" of
+  the paper's motivation).
+"""
+
+from repro.core.events import ProbabilityDistribution, EventFactory
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.core.cleaning import clean
+from repro.core.engine import ProbXMLWarehouse
+
+__all__ = [
+    "ProbabilityDistribution",
+    "EventFactory",
+    "ProbTree",
+    "possible_worlds",
+    "clean",
+    "ProbXMLWarehouse",
+]

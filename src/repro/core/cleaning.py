@@ -1,0 +1,69 @@
+"""Cleaning of prob-trees (Section 3 of the paper).
+
+A prob-tree can be *cleaned* in linear time by
+
+* removing superfluous atomic conditions — literals already implied by the
+  condition of some ancestor (a node only exists when all its ancestors do,
+  so repeating an ancestor's literal is redundant);
+* pruning nodes with inconsistent conditions — conditions that are
+  intrinsically inconsistent (contain ``w`` and ``¬w``) or that contradict a
+  condition imposed by an ancestor (such nodes are absent from every world).
+
+Cleaning never changes the possible-world semantics; the Figure 3 equivalence
+algorithm requires its inputs to be clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition
+from repro.trees.datatree import NodeId
+
+
+def clean(probtree: ProbTree) -> ProbTree:
+    """Return a clean prob-tree with the same possible-world semantics."""
+    tree = probtree.tree
+    keep: Set[NodeId] = set()
+    new_conditions: Dict[NodeId, Condition] = {}
+
+    # Walk top-down carrying the accumulated (already-simplified) ancestor
+    # condition; prune on inconsistency, drop inherited literals otherwise.
+    stack = [(tree.root, Condition.true())]
+    while stack:
+        node, inherited = stack.pop()
+        own = probtree.condition(node)
+        if not own.is_consistent() or own.contradicts(inherited):
+            # The node (and its whole subtree) is absent from every world.
+            continue
+        simplified = own.minus(inherited)
+        keep.add(node)
+        if node != tree.root and not simplified.is_true():
+            new_conditions[node] = simplified
+        accumulated = inherited.conjoin(simplified)
+        for child in tree.children(node):
+            stack.append((child, accumulated))
+
+    cleaned_tree = tree.restrict(keep)
+    return ProbTree(cleaned_tree, probtree.distribution, new_conditions)
+
+
+def is_clean(probtree: ProbTree) -> bool:
+    """Whether *probtree* is already clean (idempotence check helper)."""
+    tree = probtree.tree
+    stack = [(tree.root, Condition.true())]
+    while stack:
+        node, inherited = stack.pop()
+        own = probtree.condition(node)
+        if not own.is_consistent() or own.contradicts(inherited):
+            return False
+        if own.literals & inherited.literals:
+            return False
+        accumulated = inherited.conjoin(own)
+        for child in tree.children(node):
+            stack.append((child, accumulated))
+    return True
+
+
+__all__ = ["clean", "is_clean"]

@@ -1,0 +1,192 @@
+"""A convenience warehouse facade over the prob-tree machinery.
+
+The paper's motivating system is an XML warehouse that analysis tools feed
+through imprecise updates and query through a standard processor.
+:class:`ProbXMLWarehouse` packages that workflow: it owns a prob-tree,
+accepts path or tree-pattern queries, applies probabilistic insertions and
+deletions, and exposes the maintenance operations studied in the paper
+(cleaning, threshold pruning, DTD checks, possible-world inspection).
+
+All heavy lifting is delegated to the dedicated modules; the facade only
+keeps the current prob-tree and offers a compact, discoverable API for the
+examples and the quickstart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.cleaning import clean
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.dtd.dtd import DTD
+from repro.dtd.probtree_dtd import (
+    dtd_satisfaction_probability,
+    dtd_satisfiable,
+    dtd_valid,
+)
+from repro.pw.pwset import PWSet
+from repro.queries.base import Query, QueryNodeId
+from repro.queries.evaluation import (
+    QueryAnswer,
+    boolean_probability,
+    evaluate_on_probtree,
+    top_answers,
+)
+from repro.queries.path import parse_path
+from repro.threshold.threshold import most_probable_worlds, threshold_probtree
+from repro.trees.datatree import DataTree
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.updates.probtree_updates import apply_update_to_probtree
+
+QuerySpec = Union[str, Query]
+
+
+class ProbXMLWarehouse:
+    """An XML warehouse holding one uncertain document as a prob-tree."""
+
+    def __init__(self, document: Union[str, DataTree, ProbTree]) -> None:
+        if isinstance(document, ProbTree):
+            self._probtree = document
+        elif isinstance(document, DataTree):
+            self._probtree = ProbTree.certain(document)
+        else:
+            self._probtree = ProbTree.certain(DataTree(str(document)))
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def probtree(self) -> ProbTree:
+        """The current prob-tree."""
+        return self._probtree
+
+    @property
+    def document(self) -> DataTree:
+        """The underlying data tree (all nodes, regardless of conditions)."""
+        return self._probtree.tree
+
+    def size(self) -> int:
+        return self._probtree.size()
+
+    def event_count(self) -> int:
+        return len(self._probtree.distribution)
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, query: QuerySpec) -> List[QueryAnswer]:
+        """Evaluate a locally monotone query; answers carry probabilities."""
+        return evaluate_on_probtree(self._resolve(query), self._probtree)
+
+    def top_answers(self, query: QuerySpec, count: int = 3) -> List[QueryAnswer]:
+        """The most probable answers of a query (conclusion's ranking usage)."""
+        return top_answers(self.query(query), count)
+
+    def probability(self, query: QuerySpec) -> float:
+        """Probability that the query has at least one answer."""
+        return boolean_probability(self._resolve(query), self._probtree)
+
+    # -- updates -------------------------------------------------------------------
+
+    def insert(
+        self,
+        query: QuerySpec,
+        subtree: DataTree,
+        at: Optional[QueryNodeId] = None,
+        confidence: float = 1.0,
+        event: Optional[str] = None,
+    ) -> ProbabilisticUpdate:
+        """Insert *subtree* under every match of *query*, with a confidence.
+
+        ``at`` selects the pattern node under which to insert; by default the
+        last node added to the pattern (for path queries, the final step).
+        Returns the applied :class:`ProbabilisticUpdate` for logging.
+        """
+        resolved = self._resolve(query)
+        target = at if at is not None else self._default_focus(resolved)
+        update = ProbabilisticUpdate(
+            Insertion(resolved, target, subtree), confidence=confidence, event=event
+        )
+        self._probtree = apply_update_to_probtree(self._probtree, update)
+        return update
+
+    def delete(
+        self,
+        query: QuerySpec,
+        at: Optional[QueryNodeId] = None,
+        confidence: float = 1.0,
+        event: Optional[str] = None,
+    ) -> ProbabilisticUpdate:
+        """Delete every node matched by *query* (at pattern node ``at``)."""
+        resolved = self._resolve(query)
+        target = at if at is not None else self._default_focus(resolved)
+        update = ProbabilisticUpdate(
+            Deletion(resolved, target), confidence=confidence, event=event
+        )
+        self._probtree = apply_update_to_probtree(self._probtree, update)
+        return update
+
+    def apply(self, update: ProbabilisticUpdate) -> None:
+        """Apply an already-built probabilistic update."""
+        self._probtree = apply_update_to_probtree(self._probtree, update)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def clean(self) -> None:
+        """Run the linear-time cleaning pass (Section 3)."""
+        self._probtree = clean(self._probtree)
+
+    def prune_below(self, threshold: float) -> None:
+        """Keep only possible worlds with probability at least *threshold*.
+
+        The lost mass is represented by a root-only world (Definition 3); the
+        operation may blow up the representation (Theorem 4).
+        """
+        self._probtree = threshold_probtree(self._probtree, threshold)
+
+    # -- inspection ------------------------------------------------------------------------
+
+    def possible_worlds(self, normalize: bool = True) -> PWSet:
+        """The possible-world semantics of the current document."""
+        return possible_worlds(self._probtree, restrict_to_used=True, normalize=normalize)
+
+    def most_probable_worlds(self, count: int = 3) -> List[Tuple[DataTree, float]]:
+        return most_probable_worlds(self._probtree, count)
+
+    def dtd_satisfiable(self, dtd: DTD) -> bool:
+        """Whether some possible world satisfies the DTD (Theorem 5.1)."""
+        return dtd_satisfiable(self._probtree, dtd)
+
+    def dtd_valid(self, dtd: DTD) -> bool:
+        """Whether every possible world satisfies the DTD (Theorem 5.2)."""
+        return dtd_valid(self._probtree, dtd)
+
+    def dtd_probability(self, dtd: DTD) -> float:
+        """Probability that the uncertain document satisfies the DTD."""
+        return dtd_satisfaction_probability(self._probtree, dtd)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve(query: QuerySpec) -> Query:
+        if isinstance(query, str):
+            return parse_path(query)
+        return query
+
+    @staticmethod
+    def _default_focus(query: Query) -> QueryNodeId:
+        """Best-effort default target node for updates: the deepest pattern node."""
+        focus: QueryNodeId = 0
+        node_count = getattr(query, "node_count", None)
+        if callable(node_count):
+            focus = node_count() - 1
+        return focus
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbXMLWarehouse(nodes={self._probtree.node_count()}, "
+            f"events={self.event_count()})"
+        )
+
+
+__all__ = ["ProbXMLWarehouse"]

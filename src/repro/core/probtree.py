@@ -1,0 +1,242 @@
+"""The probabilistic tree (prob-tree) structure — Definition 2 of the paper.
+
+A prob-tree is a 4-tuple ``(t, W, π, γ)``: a data tree ``t``, a finite set of
+event variables ``W`` with a probability distribution ``π``, and a function
+``γ`` assigning a *condition* (a conjunction of possibly-negated event
+literals) to every non-root node.  The root carries no condition: it is
+present in every possible world.
+
+The central operation is :meth:`ProbTree.value_in_world`: given a world
+``V ⊆ W``, the value ``V(T)`` is the subtree of ``t`` obtained by removing
+every node whose condition is violated by ``V`` — together with its
+descendants (Definition 4).  The possible-world semantics ``⟦T⟧`` built on
+top of this lives in :mod:`repro.core.semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.core.events import EventFactory, ProbabilityDistribution
+from repro.formulas.literals import Condition, Valuation
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.errors import InvalidConditionError
+
+
+class ProbTree:
+    """A probabilistic tree ``(t, W, π, γ)``.
+
+    The underlying :class:`DataTree` is owned by the prob-tree (mutating it
+    from outside invalidates the conditions mapping); use :meth:`copy` before
+    destructive experiments.
+    """
+
+    __slots__ = ("_tree", "_distribution", "_conditions")
+
+    def __init__(
+        self,
+        tree: DataTree,
+        distribution: ProbabilityDistribution | Mapping[str, float] | None = None,
+        conditions: Mapping[NodeId, Condition] | None = None,
+    ) -> None:
+        if not isinstance(distribution, ProbabilityDistribution):
+            distribution = ProbabilityDistribution(distribution or {})
+        self._tree = tree
+        self._distribution = distribution
+        self._conditions: Dict[NodeId, Condition] = {}
+        if conditions:
+            for node, condition in conditions.items():
+                self.set_condition(node, condition)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def certain(tree: DataTree) -> "ProbTree":
+        """A prob-tree with no events: its only possible world is *tree*."""
+        return ProbTree(tree, ProbabilityDistribution.empty(), {})
+
+    # -- components --------------------------------------------------------
+
+    @property
+    def tree(self) -> DataTree:
+        """The underlying data tree ``t``."""
+        return self._tree
+
+    @property
+    def distribution(self) -> ProbabilityDistribution:
+        """The pair ``(W, π)``."""
+        return self._distribution
+
+    def events(self) -> Set[str]:
+        """The declared event set ``W``."""
+        return self._distribution.events()
+
+    def used_events(self) -> Set[str]:
+        """Events actually mentioned by at least one condition.
+
+        Events in ``W`` that no condition mentions do not influence any
+        ``V(T)``; restricting world enumeration to used events yields an
+        isomorphic possible-world set, which most algorithms exploit.
+        """
+        result: Set[str] = set()
+        for condition in self._conditions.values():
+            result |= condition.events()
+        return result
+
+    # -- conditions ---------------------------------------------------------
+
+    def condition(self, node: NodeId) -> Condition:
+        """The condition ``γ(node)`` (the empty condition for the root)."""
+        if not self._tree.has_node(node):
+            raise KeyError(f"node {node!r} does not belong to the prob-tree")
+        return self._conditions.get(node, Condition.true())
+
+    def set_condition(self, node: NodeId, condition: Condition) -> None:
+        """Assign a condition to a non-root node.
+
+        Raises :class:`InvalidConditionError` if the node is the root or the
+        condition mentions events absent from ``W``.
+        """
+        if not self._tree.has_node(node):
+            raise KeyError(f"node {node!r} does not belong to the prob-tree")
+        if node == self._tree.root:
+            if condition.is_true():
+                self._conditions.pop(node, None)
+                return
+            raise InvalidConditionError("the root of a prob-tree cannot carry a condition")
+        unknown = condition.events() - self._distribution.events()
+        if unknown:
+            raise InvalidConditionError(
+                f"condition mentions events not in W: {sorted(unknown)}"
+            )
+        if condition.is_true():
+            self._conditions.pop(node, None)
+        else:
+            self._conditions[node] = condition
+
+    def conditions(self) -> Dict[NodeId, Condition]:
+        """A copy of the (non-trivial) condition assignment ``γ``."""
+        return dict(self._conditions)
+
+    def accumulated_condition(self, node: NodeId) -> Condition:
+        """Conjunction of the conditions of *node* and all its ancestors.
+
+        A node is present in world ``V`` exactly when its accumulated
+        condition holds in ``V``.
+        """
+        result = self.condition(node)
+        for ancestor in self._tree.ancestors(node):
+            result = result.conjoin(self.condition(ancestor))
+        return result
+
+    # -- construction helpers ----------------------------------------------
+
+    def add_child(
+        self,
+        parent: NodeId,
+        label: str,
+        condition: Condition | None = None,
+    ) -> NodeId:
+        """Add a child node with an optional condition; return its id."""
+        node = self._tree.add_child(parent, label)
+        if condition is not None and not condition.is_true():
+            self.set_condition(node, condition)
+        return node
+
+    def remove_subtree(self, node: NodeId) -> None:
+        """Remove *node* and its descendants, dropping their conditions.
+
+        Counterpart of :meth:`DataTree.delete_subtree` that keeps the
+        condition assignment ``γ`` consistent with the remaining nodes.
+        """
+        removed = self._tree.delete_subtree(node)
+        for removed_node in removed:
+            self._conditions.pop(removed_node, None)
+
+    def add_event(self, event: str, probability: float) -> None:
+        """Register a new event variable with probability *probability*."""
+        self._distribution = self._distribution.with_event(event, probability)
+
+    def event_factory(self, prefix: str = "w") -> EventFactory:
+        """An :class:`EventFactory` that avoids every event already in ``W``."""
+        return EventFactory(prefix=prefix, reserved=self._distribution.events())
+
+    # -- semantics ----------------------------------------------------------
+
+    def value_in_world(self, world: AbstractSet[str] | Valuation) -> DataTree:
+        """The value ``V(T)`` of the prob-tree in world *world* (Definition 4).
+
+        Nodes whose condition contains a literal violated by *world* are
+        removed together with their descendants.  The result shares node
+        identifiers with the underlying data tree.
+        """
+        if isinstance(world, Valuation):
+            world = world.true_events
+        world_set = set(world)
+
+        def should_remove(node: NodeId) -> bool:
+            return not self.condition(node).holds_in(world_set)
+
+        return self._tree.prune_where(should_remove)
+
+    def world_probability(self, world: AbstractSet[str], over_used_only: bool = False) -> float:
+        """Probability ``∏_{w∈V} π(w) ∏_{w∈W−V} (1−π(w))`` of a world."""
+        domain = self.used_events() if over_used_only else self._distribution.events()
+        return self._distribution.world_probability(set(world) & domain, over=domain)
+
+    # -- size ---------------------------------------------------------------
+
+    def node_count(self) -> int:
+        return self._tree.node_count()
+
+    def literal_count(self) -> int:
+        """Total number of literals across all conditions."""
+        return sum(len(condition) for condition in self._conditions.values())
+
+    def size(self) -> int:
+        """The size ``|T|`` used by the paper: nodes plus literals."""
+        return self.node_count() + self.literal_count()
+
+    # -- copies --------------------------------------------------------------
+
+    def copy(self) -> "ProbTree":
+        """Deep copy (the distribution is shared: it is immutable)."""
+        return ProbTree(self._tree.copy(), self._distribution, dict(self._conditions))
+
+    def with_distribution(self, distribution: ProbabilityDistribution) -> "ProbTree":
+        """Same tree and conditions, different probability assignment.
+
+        Used by Proposition 4: structural equivalence quantifies over all
+        probability assignments to the same event set.
+        """
+        unknown = self.used_events() - distribution.events()
+        if unknown:
+            raise InvalidConditionError(
+                f"new distribution is missing used events: {sorted(unknown)}"
+            )
+        return ProbTree(self._tree.copy(), distribution, dict(self._conditions))
+
+    # -- misc ----------------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Human-readable multi-line rendering (label [condition] per node)."""
+        lines = []
+
+        def visit(node: NodeId, indent: int) -> None:
+            condition = self.condition(node)
+            suffix = "" if condition.is_true() else f"  [{condition}]"
+            lines.append("  " * indent + self._tree.label(node) + suffix)
+            for child in self._tree.children(node):
+                visit(child, indent + 1)
+
+        visit(self._tree.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbTree(nodes={self.node_count()}, literals={self.literal_count()}, "
+            f"events={len(self._distribution)})"
+        )
+
+
+__all__ = ["ProbTree"]

@@ -1,0 +1,55 @@
+"""Possible-world semantics of prob-trees (Definition 4).
+
+``⟦T⟧`` is the possible-world set containing, for every world ``V ⊆ W``, the
+data tree ``V(T)`` with probability ``∏_{w∈V} π(w) · ∏_{w∈W−V} (1 − π(w))``.
+Enumerating all ``2^{|W|}`` worlds is exponential; since events that no
+condition mentions never change ``V(T)``, the default here enumerates only
+the *used* events, which produces a possible-world set isomorphic to the full
+one (probability mass of unused events sums out to 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import all_worlds
+from repro.pw.pwset import PWSet
+
+
+def possible_worlds(
+    probtree: ProbTree,
+    restrict_to_used: bool = True,
+    normalize: bool = False,
+) -> PWSet:
+    """Compute ``⟦T⟧`` by enumerating worlds.
+
+    Args:
+        probtree: the prob-tree ``T``.
+        restrict_to_used: enumerate only events mentioned by some condition
+            (the result is isomorphic to the full semantics and exponentially
+            smaller when many events are unused).  Set to ``False`` to follow
+            Definition 4 literally.
+        normalize: if ``True``, merge isomorphic worlds before returning.
+
+    Returns:
+        The possible-world set ``⟦T⟧`` (probabilities sum to 1).
+    """
+    events = probtree.used_events() if restrict_to_used else probtree.events()
+    domain = sorted(events)
+    pairs = []
+    for world in all_worlds(domain):
+        tree = probtree.value_in_world(world)
+        probability = probtree.distribution.world_probability(world, over=domain)
+        pairs.append((tree, probability))
+    result = PWSet(pairs)
+    return result.normalize() if normalize else result
+
+
+def world_count(probtree: ProbTree, restrict_to_used: bool = True) -> int:
+    """Number of worlds the (possibly restricted) enumeration would produce."""
+    events = probtree.used_events() if restrict_to_used else probtree.events()
+    return 1 << len(events)
+
+
+__all__ = ["possible_worlds", "world_count"]

@@ -1,0 +1,43 @@
+"""DTDs over unordered trees and their interaction with prob-trees (Theorem 5).
+
+* :mod:`repro.dtd.dtd` — the DTD model of Definition 12 (per-parent-label
+  lower/upper bounds on the number of children with each label);
+* :mod:`repro.dtd.validation` — validation of plain data trees
+  (Definition 13);
+* :mod:`repro.dtd.probtree_dtd` — DTD satisfiability, validity and
+  restriction over prob-trees (the three questions of Section 4);
+* :mod:`repro.dtd.reductions` — the SAT reductions proving NP-hardness /
+  co-NP-hardness (Theorem 5), used to generate hard benchmark instances.
+"""
+
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.validation import validates, violations
+from repro.dtd.probtree_dtd import (
+    dtd_satisfiable,
+    dtd_valid,
+    dtd_restriction_pwset,
+    dtd_restriction_probtree,
+    satisfying_world,
+    violating_world,
+)
+from repro.dtd.reductions import (
+    sat_to_dtd_satisfiability,
+    sat_to_dtd_validity,
+    restriction_blowup_instance,
+)
+
+__all__ = [
+    "DTD",
+    "ChildConstraint",
+    "validates",
+    "violations",
+    "dtd_satisfiable",
+    "dtd_valid",
+    "dtd_restriction_pwset",
+    "dtd_restriction_probtree",
+    "satisfying_world",
+    "violating_world",
+    "sat_to_dtd_satisfiability",
+    "sat_to_dtd_validity",
+    "restriction_blowup_instance",
+]

@@ -1,0 +1,133 @@
+"""The DTD model of Definition 12.
+
+Since the data model is unordered, the paper strips DTDs down to cardinality
+constraints: for every label ``n`` in the DTD's domain, ``D(n)`` lists
+triples ``(n', p, q)`` bounding between ``p`` and ``q`` the number of
+children labeled ``n'`` a node labeled ``n`` may have.  Labels not listed for
+``n`` are implicitly bounded by ``(0, 0)`` — i.e. forbidden — while nodes
+whose own label is outside the DTD's domain are unconstrained.
+
+``q = None`` stands for ``+∞`` (the paper's ``J1; +∞K`` upper bounds).
+Convenience constructors mirror the usual DTD repetition operators: ``?``
+(0–1), ``*`` (0–∞), ``+`` (1–∞) and exact counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.utils.errors import DTDError
+
+
+@dataclass(frozen=True)
+class ChildConstraint:
+    """Bounds on the number of children with a given label.
+
+    ``maximum is None`` means unbounded (``+∞``).
+    """
+
+    label: str
+    minimum: int = 0
+    maximum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise DTDError(f"minimum occurrence must be non-negative, got {self.minimum}")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise DTDError(
+                f"maximum occurrence {self.maximum} is below minimum {self.minimum}"
+            )
+
+    def allows(self, count: int) -> bool:
+        if count < self.minimum:
+            return False
+        if self.maximum is not None and count > self.maximum:
+            return False
+        return True
+
+    @staticmethod
+    def optional(label: str) -> "ChildConstraint":
+        """The ``?`` operator: zero or one."""
+        return ChildConstraint(label, 0, 1)
+
+    @staticmethod
+    def any_number(label: str) -> "ChildConstraint":
+        """The ``*`` operator: zero or more."""
+        return ChildConstraint(label, 0, None)
+
+    @staticmethod
+    def at_least_one(label: str) -> "ChildConstraint":
+        """The ``+`` operator: one or more."""
+        return ChildConstraint(label, 1, None)
+
+    @staticmethod
+    def exactly(label: str, count: int) -> "ChildConstraint":
+        return ChildConstraint(label, count, count)
+
+    @staticmethod
+    def forbidden(label: str) -> "ChildConstraint":
+        return ChildConstraint(label, 0, 0)
+
+
+class DTD:
+    """A Document Type Definition over unordered trees (Definition 12)."""
+
+    __slots__ = ("_rules",)
+
+    def __init__(
+        self, rules: Mapping[str, Iterable[ChildConstraint]] | None = None
+    ) -> None:
+        self._rules: Dict[str, Dict[str, ChildConstraint]] = {}
+        if rules:
+            for parent_label, constraints in rules.items():
+                for constraint in constraints:
+                    self.add_constraint(parent_label, constraint)
+
+    def add_constraint(self, parent_label: str, constraint: ChildConstraint) -> None:
+        """Register the constraint for children of nodes labeled *parent_label*.
+
+        Definition 12 requires at most one triple per (parent, child) label
+        pair; re-adding an identical constraint is a no-op, a conflicting one
+        raises :class:`DTDError`.
+        """
+        bucket = self._rules.setdefault(str(parent_label), {})
+        existing = bucket.get(constraint.label)
+        if existing is not None and existing != constraint:
+            raise DTDError(
+                f"conflicting constraints for children {constraint.label!r} of "
+                f"{parent_label!r}: {existing} vs {constraint}"
+            )
+        bucket[constraint.label] = constraint
+
+    # -- inspection --------------------------------------------------------
+
+    def domain(self) -> frozenset:
+        """The set ``N'`` of parent labels the DTD constrains."""
+        return frozenset(self._rules)
+
+    def constrains(self, parent_label: str) -> bool:
+        return parent_label in self._rules
+
+    def constraints_for(self, parent_label: str) -> Tuple[ChildConstraint, ...]:
+        return tuple(self._rules.get(parent_label, {}).values())
+
+    def bounds(self, parent_label: str, child_label: str) -> Tuple[int, Optional[int]]:
+        """``(D⁻(n)(n'), D⁺(n)(n'))`` — ``(0, 0)`` for unlisted child labels.
+
+        Only meaningful when *parent_label* is in the DTD's domain.
+        """
+        constraint = self._rules.get(parent_label, {}).get(child_label)
+        if constraint is None:
+            return (0, 0)
+        return (constraint.minimum, constraint.maximum)
+
+    def size(self) -> int:
+        """Number of constraints (the DTDs of Theorem 5 are constant-size)."""
+        return sum(len(bucket) for bucket in self._rules.values())
+
+    def __repr__(self) -> str:
+        return f"DTD(domain={sorted(self._rules)}, constraints={self.size()})"
+
+
+__all__ = ["DTD", "ChildConstraint"]

@@ -1,0 +1,101 @@
+"""DTD satisfiability, validity and restriction over prob-trees (Section 4).
+
+Given a prob-tree ``T`` and a DTD ``D`` the paper asks three questions:
+
+1. **Satisfiability** — does some possible world satisfy ``D``?
+   NP-complete in the number of event variables (Theorem 5.1); the decision
+   procedure here guesses-by-enumeration over the worlds spanned by the used
+   events (linear work per world).
+2. **Validity** — do *all* possible worlds satisfy ``D``?
+   co-NP-complete (Theorem 5.2); decided by searching for a violating world.
+3. **Restriction** — build a prob-tree whose semantics is (``∼sub``) the set
+   of valid worlds.  The output may be exponentially large (Theorem 5.3);
+   the construction here materializes the valid worlds and re-encodes them
+   with :func:`repro.pw.convert.pwset_to_probtree`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.dtd.dtd import DTD
+from repro.dtd.validation import validates
+from repro.formulas.literals import all_worlds
+from repro.pw.convert import pwset_to_probtree
+from repro.pw.pwset import PWSet
+
+
+def satisfying_world(probtree: ProbTree, dtd: DTD) -> Optional[FrozenSet[str]]:
+    """A world (set of true events) whose value satisfies the DTD, if any.
+
+    This is the NP certificate of Theorem 5.1: checking a guessed world is
+    linear, finding one by enumeration is exponential in the number of used
+    events.
+    """
+    for world in all_worlds(sorted(probtree.used_events())):
+        if validates(dtd, probtree.value_in_world(world)):
+            return frozenset(world)
+    return None
+
+
+def violating_world(probtree: ProbTree, dtd: DTD) -> Optional[FrozenSet[str]]:
+    """A world whose value violates the DTD, if any (co-NP certificate)."""
+    for world in all_worlds(sorted(probtree.used_events())):
+        if not validates(dtd, probtree.value_in_world(world)):
+            return frozenset(world)
+    return None
+
+
+def dtd_satisfiable(probtree: ProbTree, dtd: DTD) -> bool:
+    """DTD Satisfiability: ``{(t, p) ∈ ⟦T⟧ | t ⊨ D} ≠ ∅``."""
+    return satisfying_world(probtree, dtd) is not None
+
+
+def dtd_valid(probtree: ProbTree, dtd: DTD) -> bool:
+    """DTD Validity: every possible world satisfies ``D``."""
+    return violating_world(probtree, dtd) is None
+
+
+def dtd_restriction_pwset(probtree: ProbTree, dtd: DTD) -> PWSet:
+    """The sub-PW-set of valid worlds ``{(t, p) ∈ ⟦T⟧ | t ⊨ D}``."""
+    worlds = possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    return worlds.filter(lambda tree, _probability: validates(dtd, tree))
+
+
+def dtd_restriction_probtree(
+    probtree: ProbTree, dtd: DTD, event_prefix: str = "dtd"
+) -> ProbTree:
+    """DTD Restriction: a prob-tree ``T'`` with the valid worlds as semantics.
+
+    Following Definition 3, the missing probability mass (that of invalid
+    worlds) is carried by a root-only world, so that
+    ``{(t, p) ∈ ⟦T⟧ | t ⊨ D} ∼sub ⟦T'⟧``.  The construction goes through the
+    explicit possible-world set, which Theorem 5.3 shows cannot be avoided in
+    the worst case.
+    """
+    restricted = dtd_restriction_pwset(probtree, dtd)
+    completed = restricted.completed(probtree.tree.root_label)
+    return pwset_to_probtree(completed, event_prefix=event_prefix)
+
+
+def dtd_satisfaction_probability(probtree: ProbTree, dtd: DTD) -> float:
+    """Total probability of the worlds satisfying the DTD.
+
+    Not one of the paper's three questions, but a natural companion quantity
+    the warehouse facade exposes (probability that the current imprecise
+    document is valid).
+    """
+    return dtd_restriction_pwset(probtree, dtd).total_probability()
+
+
+__all__ = [
+    "satisfying_world",
+    "violating_world",
+    "dtd_satisfiable",
+    "dtd_valid",
+    "dtd_restriction_pwset",
+    "dtd_restriction_probtree",
+    "dtd_satisfaction_probability",
+]

@@ -1,0 +1,95 @@
+"""The SAT reductions of Theorem 5 and the restriction blow-up instance.
+
+Given a CNF formula ``θ``, the DNF of ``¬θ`` has one conjunction ``ψᵢ`` per
+clause of ``θ`` (negate every literal of the clause).  The reduction builds
+the prob-tree
+
+.. code-block:: text
+
+        A
+      / ... \\
+    B[ψ₁] ... B[ψ_n]
+
+over the variables of ``θ`` (with an arbitrary probability, 1/2 here).  Then
+
+* with the DTD ``D(A) = {(B, 0, 0)}`` (no ``B``-children allowed), some world
+  satisfies the DTD iff some valuation falsifies every ``ψᵢ``, i.e. iff ``θ``
+  is satisfiable — establishing NP-hardness of DTD satisfiability;
+* with the DTD ``D(A) = {(B, 1, +∞)}`` (at least one ``B``-child), every
+  world satisfies the DTD iff ``ψ₁ ∨ … ∨ ψ_n`` is a tautology, i.e. iff
+  ``θ`` is unsatisfiable — establishing co-NP-hardness of DTD validity.
+
+Both constructions are linear in ``|θ|`` and use constant-size DTDs, exactly
+as in the paper.  :func:`restriction_blowup_instance` builds the Theorem 5.3
+family showing that DTD restriction may require exponentially large outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.formulas.cnf import CNF
+from repro.formulas.literals import Condition, Literal
+from repro.trees.datatree import DataTree
+
+
+def _reduction_probtree(theta: CNF, root_label: str = "A", child_label: str = "B") -> ProbTree:
+    """The prob-tree shared by both reductions: one ``B[ψᵢ]`` child per clause."""
+    negation = theta.negation_dnf()
+    tree = DataTree(root_label)
+    conditions = {}
+    for disjunct in negation.disjuncts:
+        node = tree.add_child(tree.root, child_label)
+        if not disjunct.is_true():
+            conditions[node] = disjunct
+    distribution = ProbabilityDistribution.uniform(theta.variables(), 0.5)
+    return ProbTree(tree, distribution, conditions)
+
+
+def sat_to_dtd_satisfiability(theta: CNF) -> Tuple[ProbTree, DTD]:
+    """Theorem 5.1 reduction: ``θ`` satisfiable ⇔ the instance is DTD-satisfiable."""
+    probtree = _reduction_probtree(theta)
+    dtd = DTD({"A": [ChildConstraint.forbidden("B")]})
+    return probtree, dtd
+
+
+def sat_to_dtd_validity(theta: CNF) -> Tuple[ProbTree, DTD]:
+    """Theorem 5.2 reduction: ``θ`` unsatisfiable ⇔ the instance is DTD-valid."""
+    probtree = _reduction_probtree(theta)
+    dtd = DTD({"A": [ChildConstraint.at_least_one("B")]})
+    return probtree, dtd
+
+
+def restriction_blowup_instance(n: int) -> Tuple[ProbTree, DTD]:
+    """The Theorem 5.3 family: restriction output is exponential in ``n``.
+
+    The prob-tree has ``2n`` independent optional ``C`` children (each made
+    distinguishable through a ``Dᵢ`` grandchild, as in the paper's proof) and
+    the DTD allows at most ``n`` ``C``-children under ``A``.  The set of
+    valid worlds then contains all subsets of size ≤ n of the 2n children,
+    which no polynomial-size prob-tree can represent.
+    """
+    if n < 1:
+        raise ValueError("restriction_blowup_instance needs n >= 1")
+    tree = DataTree("A")
+    conditions = {}
+    probabilities = {}
+    for index in range(1, 2 * n + 1):
+        event = f"w{index}"
+        probabilities[event] = 0.5
+        child = tree.add_child(tree.root, "C")
+        tree.add_child(child, f"D{index}")
+        conditions[child] = Condition([Literal(event)])
+    probtree = ProbTree(tree, ProbabilityDistribution(probabilities), conditions)
+    dtd = DTD({"A": [ChildConstraint("C", 0, n)]})
+    return probtree, dtd
+
+
+__all__ = [
+    "sat_to_dtd_satisfiability",
+    "sat_to_dtd_validity",
+    "restriction_blowup_instance",
+]

@@ -1,0 +1,89 @@
+"""Validation of data trees against DTDs (Definition 13).
+
+A data tree satisfies a DTD when, for every node whose label is in the DTD's
+domain, the number of children with each label lies within the declared
+bounds — with unlisted child labels implicitly bounded by ``(0, 0)``.  Nodes
+whose own label is outside the domain are unconstrained.  Validation is
+linear in the size of the tree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dtd.dtd import DTD
+from repro.trees.datatree import DataTree, NodeId
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated cardinality constraint, for error reporting."""
+
+    node: NodeId
+    parent_label: str
+    child_label: str
+    count: int
+    minimum: int
+    maximum: Optional[int]
+
+    def __str__(self) -> str:
+        upper = "inf" if self.maximum is None else str(self.maximum)
+        return (
+            f"node {self.node} ({self.parent_label!r}) has {self.count} "
+            f"{self.child_label!r}-children, allowed [{self.minimum}; {upper}]"
+        )
+
+
+def violations(dtd: DTD, tree: DataTree) -> List[Violation]:
+    """All constraint violations of *tree* against *dtd* (empty when valid)."""
+    found: List[Violation] = []
+    for node in tree.nodes():
+        label = tree.label(node)
+        if not dtd.constrains(label):
+            continue
+        counts = Counter(tree.label(child) for child in tree.children(node))
+        # Check declared constraints (including unsatisfied minimums for
+        # labels with zero occurrences).
+        checked = set()
+        for constraint in dtd.constraints_for(label):
+            checked.add(constraint.label)
+            count = counts.get(constraint.label, 0)
+            if not constraint.allows(count):
+                found.append(
+                    Violation(
+                        node,
+                        label,
+                        constraint.label,
+                        count,
+                        constraint.minimum,
+                        constraint.maximum,
+                    )
+                )
+        # Unlisted child labels are forbidden (bounds (0, 0)).
+        for child_label, count in counts.items():
+            if child_label not in checked and count > 0:
+                found.append(Violation(node, label, child_label, count, 0, 0))
+    return found
+
+
+def validates(dtd: DTD, tree: DataTree) -> bool:
+    """Whether ``t ⊨ D`` (Definition 13)."""
+    for node in tree.nodes():
+        label = tree.label(node)
+        if not dtd.constrains(label):
+            continue
+        counts = Counter(tree.label(child) for child in tree.children(node))
+        checked = set()
+        for constraint in dtd.constraints_for(label):
+            checked.add(constraint.label)
+            if not constraint.allows(counts.get(constraint.label, 0)):
+                return False
+        for child_label, count in counts.items():
+            if child_label not in checked and count > 0:
+                return False
+    return True
+
+
+__all__ = ["Violation", "violations", "validates"]

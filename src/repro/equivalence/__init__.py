@@ -1,0 +1,34 @@
+"""Equivalence of prob-trees (Section 3 and Section 5 of the paper).
+
+* :mod:`repro.equivalence.structural` — structural equivalence
+  (Definition 9) decided exhaustively, the co-NP-style upper bound of
+  Proposition 3;
+* :mod:`repro.equivalence.randomized` — the randomized PTIME algorithm of
+  Figure 3 (Theorem 2: the problem is in co-RP);
+* :mod:`repro.equivalence.semantic` — semantic equivalence via possible-world
+  sets (Section 5, Proposition 4);
+* :mod:`repro.equivalence.independence` — independence of a prob-tree from an
+  event variable and its interreduction with equivalence.
+"""
+
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.equivalence.randomized import (
+    RandomizedEquivalenceParameters,
+    structurally_equivalent_randomized,
+)
+from repro.equivalence.semantic import semantically_equivalent
+from repro.equivalence.independence import (
+    condition_on,
+    is_independent_of,
+    equivalence_via_independence,
+)
+
+__all__ = [
+    "structurally_equivalent_exhaustive",
+    "RandomizedEquivalenceParameters",
+    "structurally_equivalent_randomized",
+    "semantically_equivalent",
+    "condition_on",
+    "is_independent_of",
+    "equivalence_via_independence",
+]

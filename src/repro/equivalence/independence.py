@@ -1,0 +1,119 @@
+"""Independence of a prob-tree from an event variable.
+
+Section 3 of the paper observes that deciding whether a prob-tree is
+independent of some event variable is computationally as hard as deciding
+structural equivalence: ``T ≡struct T'`` iff the tree obtained by putting
+``T`` under condition ``w`` and ``T'`` under condition ``¬w`` (for a fresh
+``w``) below a common root is independent of ``w``.  This module provides
+
+* :func:`condition_on` — fixing the value of an event (partial evaluation of
+  the conditions);
+* :func:`is_independent_of` — the independence test itself, by comparing the
+  two conditionings for structural equivalence;
+* :func:`equivalence_via_independence` — the reduction in the other
+  direction, used by tests to confirm the interreduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.probtree import ProbTree
+from repro.equivalence.randomized import structurally_equivalent_randomized
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.formulas.literals import Condition, Literal
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.errors import InvalidConditionError
+from repro.utils.seeding import RngLike
+
+
+def condition_on(probtree: ProbTree, event: str, value: bool) -> ProbTree:
+    """Partially evaluate a prob-tree by fixing *event* to *value*.
+
+    Nodes whose condition contains the falsified literal are pruned (with
+    their subtrees); satisfied literals are dropped from the remaining
+    conditions.  The event is removed from the distribution of the result.
+    """
+    if event not in probtree.events():
+        raise InvalidConditionError(f"event {event!r} is not part of the prob-tree")
+    tree = probtree.tree
+
+    def removed(node: NodeId) -> bool:
+        condition = probtree.condition(node)
+        for literal in condition.literals:
+            if literal.event == event and literal.negated == value:
+                return True
+        return False
+
+    pruned = tree.prune_where(removed)
+    conditions = {}
+    for node in pruned.nodes():
+        if node == pruned.root:
+            continue
+        condition = probtree.condition(node).without_events({event})
+        if not condition.is_true():
+            conditions[node] = condition
+    return ProbTree(pruned, probtree.distribution.without_event(event), conditions)
+
+
+def is_independent_of(
+    probtree: ProbTree,
+    event: str,
+    method: str = "randomized",
+    seed: RngLike = None,
+) -> bool:
+    """Whether the prob-tree's semantics does not depend on *event*.
+
+    ``T`` is independent of ``w`` when for every world over the other events,
+    adding or removing ``w`` yields isomorphic values — equivalently, when
+    the two conditionings ``T[w:=true]`` and ``T[w:=false]`` are structurally
+    equivalent.  ``method`` selects ``"randomized"`` (Figure 3, one-sided
+    error) or ``"exhaustive"``.
+    """
+    fixed_true = condition_on(probtree, event, True)
+    fixed_false = condition_on(probtree, event, False)
+    if method == "exhaustive":
+        return structurally_equivalent_exhaustive(fixed_true, fixed_false)
+    if method == "randomized":
+        return structurally_equivalent_randomized(fixed_true, fixed_false, seed=seed)
+    raise ValueError(f"unknown method {method!r}; use 'randomized' or 'exhaustive'")
+
+
+def equivalence_via_independence(
+    left: ProbTree,
+    right: ProbTree,
+    method: str = "exhaustive",
+    fresh_event: str = "__equiv_switch__",
+    seed: RngLike = None,
+) -> bool:
+    """Decide structural equivalence through the independence reduction.
+
+    Builds the tree of Section 3 — a fresh root with ``left`` attached under
+    condition ``w`` and ``right`` attached under ``¬w`` — and tests
+    independence from ``w``.  Root labels must coincide for equivalence to be
+    possible at all.
+    """
+    if left.tree.root_label != right.tree.root_label:
+        return False
+    combined_tree = DataTree("__equivalence_root__")
+    distribution = left.distribution
+    for event, probability in right.distribution.items():
+        if event not in distribution:
+            distribution = distribution.with_event(event, probability)
+    if fresh_event in distribution:
+        raise InvalidConditionError(f"event {fresh_event!r} already used")
+    distribution = distribution.with_event(fresh_event, 0.5)
+
+    conditions = {}
+    for source, literal in ((left, Literal(fresh_event)), (right, Literal(fresh_event, negated=True))):
+        mapping = combined_tree.add_subtree(combined_tree.root, source.tree)
+        attached_root = mapping[source.tree.root]
+        conditions[attached_root] = Condition([literal])
+        for node, condition in source.conditions().items():
+            conditions[mapping[node]] = condition
+
+    combined = ProbTree(combined_tree, distribution, conditions)
+    return is_independent_of(combined, fresh_event, method=method, seed=seed)
+
+
+__all__ = ["condition_on", "is_independent_of", "equivalence_via_independence"]

@@ -1,0 +1,176 @@
+"""The randomized polynomial-time structural-equivalence test (Figure 3).
+
+Theorem 2 of the paper: structural equivalence of prob-trees is in co-RP.
+The algorithm combines
+
+* the classical bottom-up canonical-labeling technique for unordered labeled
+  tree isomorphism (Aho–Hopcroft–Ullman), and
+* randomized identity testing of the characteristic polynomials of the DNF
+  formulas formed by the conditions of children falling in the same
+  equivalence class (Lemma 1 + Lemma 2 + Schwartz–Zippel).
+
+Concretely, both (cleaned) prob-trees are processed children-before-parents;
+every node receives an integer class identifier such that two nodes get the
+same identifier iff the subtrees below them — ignoring the condition carried
+by the subtree's root — are structurally equivalent (with the stated one-sided
+error).  Two prob-trees are then equivalent iff their roots receive the same
+identifier.
+
+The answer is always ``True`` when the trees are equivalent; when they are
+not, ``False`` is returned with probability at least ``1 − error`` where the
+error bound follows the theorem: with ``m`` evaluation points per polynomial
+comparison and a sample set of size ``|S|``, a single comparison errs with
+probability at most ``(N_l / |S|)^m`` and at most ``N_n³`` comparisons are
+performed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cleaning import clean
+from repro.core.probtree import ProbTree
+from repro.formulas.dnf import DNF
+from repro.formulas.polynomial import evaluate_characteristic
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.seeding import RngLike, make_rng
+
+
+@dataclass(frozen=True)
+class RandomizedEquivalenceParameters:
+    """Parameters of the Figure 3 algorithm.
+
+    Attributes:
+        trials: number ``m`` of random evaluation points per polynomial
+            comparison.
+        sample_size: size ``|S|`` of the integer set coordinates are drawn
+            from.
+    """
+
+    trials: int
+    sample_size: int
+
+    @staticmethod
+    def for_trees(
+        left: ProbTree,
+        right: ProbTree,
+        target_error: float = 0.5,
+        trials: int = 2,
+    ) -> "RandomizedEquivalenceParameters":
+        """Choose ``|S|`` so the overall error is at most *target_error*.
+
+        Following the proof of Theorem 2, the success probability when the
+        trees are inequivalent is at least ``(1 − (N_l/|S|)^m)^{N_n³}``; we
+        solve for ``|S|`` and round up.
+        """
+        literal_count = max(1, left.literal_count() + right.literal_count())
+        node_count = max(2, left.node_count() + right.node_count())
+        comparisons = float(node_count) ** 3
+        # Need (1 - (Nl/S)^m)^comparisons >= 1 - target_error, i.e.
+        # (Nl/S)^m <= 1 - (1 - target_error)^(1/comparisons).
+        per_comparison = -math.expm1(math.log1p(-target_error) / comparisons)
+        if per_comparison <= 0.0:
+            per_comparison = 1e-18
+        sample_size = int(math.ceil(literal_count / per_comparison ** (1.0 / trials)))
+        return RandomizedEquivalenceParameters(
+            trials=trials, sample_size=max(sample_size, 2 * literal_count, 16)
+        )
+
+
+def structurally_equivalent_randomized(
+    left: ProbTree,
+    right: ProbTree,
+    parameters: Optional[RandomizedEquivalenceParameters] = None,
+    seed: RngLike = None,
+    pre_clean: bool = True,
+) -> bool:
+    """Run the Figure 3 algorithm on two prob-trees.
+
+    One-sided error: always ``True`` for equivalent inputs, ``False`` with
+    probability at least 1/2 (for the default parameters; boost by running
+    repeatedly or enlarging the parameters) for inequivalent ones.
+    """
+    rng = make_rng(seed)
+    if parameters is None:
+        parameters = RandomizedEquivalenceParameters.for_trees(left, right)
+    if pre_clean:
+        left = clean(left)
+        right = clean(right)
+
+    labeler = _ClassLabeler(parameters, rng)
+    left_classes = labeler.label_tree(left)
+    right_classes = labeler.label_tree(right)
+    return left_classes[left.tree.root] == right_classes[right.tree.root]
+
+
+class _ClassLabeler:
+    """Assigns equivalence-class identifiers to prob-tree nodes bottom-up."""
+
+    def __init__(self, parameters: RandomizedEquivalenceParameters, rng) -> None:
+        self._parameters = parameters
+        self._rng = rng
+        # One representative per class: (label, {child class -> DNF of the
+        # conditions of the children in that class}).
+        self._representatives: List[Tuple[str, Dict[int, DNF]]] = []
+
+    def label_tree(self, probtree: ProbTree) -> Dict[NodeId, int]:
+        tree = probtree.tree
+        classes: Dict[NodeId, int] = {}
+        # Children before parents: process by decreasing depth.
+        nodes = sorted(tree.nodes(), key=lambda node: -tree.depth(node))
+        for node in nodes:
+            classes[node] = self._classify(probtree, node, classes)
+        return classes
+
+    def _classify(
+        self, probtree: ProbTree, node: NodeId, classes: Dict[NodeId, int]
+    ) -> int:
+        tree = probtree.tree
+        label = tree.label(node)
+        children_by_class: Dict[int, List] = {}
+        for child in tree.children(node):
+            children_by_class.setdefault(classes[child], []).append(
+                probtree.condition(child)
+            )
+        grouped = {
+            class_id: DNF(conditions)
+            for class_id, conditions in children_by_class.items()
+        }
+        for class_id, (rep_label, rep_grouped) in enumerate(self._representatives):
+            if rep_label != label:
+                continue
+            if set(rep_grouped) != set(grouped):
+                continue
+            if all(
+                self._count_equivalent(grouped[key], rep_grouped[key])
+                for key in grouped
+            ):
+                return class_id
+        self._representatives.append((label, grouped))
+        return len(self._representatives) - 1
+
+    def _count_equivalent(self, left: DNF, right: DNF) -> bool:
+        """Randomized count-equivalence test (Lemma 1 + Schwartz–Zippel)."""
+        variables = sorted(left.events() | right.events())
+        if not variables:
+            return len(left) == len(right) or evaluate_characteristic(
+                left, {}
+            ) == evaluate_characteristic(right, {})
+        for _ in range(self._parameters.trials):
+            point = {
+                variable: self._rng.randrange(self._parameters.sample_size)
+                for variable in variables
+            }
+            if evaluate_characteristic(left, point) != evaluate_characteristic(
+                right, point
+            ):
+                return False
+        return True
+
+
+__all__ = [
+    "RandomizedEquivalenceParameters",
+    "structurally_equivalent_randomized",
+]

@@ -1,0 +1,48 @@
+"""Semantic equivalence of prob-trees (Section 5, Proposition 4).
+
+Two prob-trees — possibly over different event sets — are *semantically
+equivalent* when their possible-world semantics are isomorphic:
+``⟦T⟧ ∼ ⟦T'⟧``.  The paper notes an EXPTIME upper bound (compute, normalize
+and compare the PW sets) and leaves tighter bounds open; that exhaustive
+procedure is what is implemented here.
+
+Proposition 4 relates the two notions: structural equivalence implies
+semantic equivalence, and structural equivalence is exactly semantic
+equivalence under *every* probability assignment to the shared event set.
+The helper :func:`semantically_equivalent_under` lets tests exercise the
+second half by swapping distributions.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+
+
+def semantically_equivalent(left: ProbTree, right: ProbTree) -> bool:
+    """Decide ``⟦T⟧ ∼ ⟦T'⟧`` by computing and comparing both PW sets.
+
+    Exponential in the number of used events of each tree.
+    """
+    left_worlds = possible_worlds(left, restrict_to_used=True, normalize=True)
+    right_worlds = possible_worlds(right, restrict_to_used=True, normalize=True)
+    return left_worlds.isomorphic(right_worlds)
+
+
+def semantically_equivalent_under(
+    left: ProbTree,
+    right: ProbTree,
+    distribution: ProbabilityDistribution,
+) -> bool:
+    """Semantic equivalence after re-assigning both trees' probabilities.
+
+    Both trees must only use events present in *distribution*.  This is the
+    quantified form appearing in Proposition 4(ii).
+    """
+    return semantically_equivalent(
+        left.with_distribution(distribution), right.with_distribution(distribution)
+    )
+
+
+__all__ = ["semantically_equivalent", "semantically_equivalent_under"]

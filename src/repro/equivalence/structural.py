@@ -1,0 +1,72 @@
+"""Structural equivalence of prob-trees, decided exhaustively (Proposition 3).
+
+Two prob-trees over the same event variables are *structurally equivalent*
+(Definition 9) when they define isomorphic data trees in every world
+``V ⊆ W``.  The obvious decision procedure enumerates every world — linear
+work per world but exponentially many worlds, which is exactly the co-NP
+upper bound of Proposition 3.  The randomized polynomial-time procedure of
+Figure 3 lives in :mod:`repro.equivalence.randomized`; this exhaustive
+version serves as the correctness oracle in tests and as the baseline in the
+E6 benchmark.
+
+Note that the probability values ``π`` play no role in structural
+equivalence — only the event *set* does — so the functions here accept
+prob-trees whose distributions differ in probabilities (but see
+:func:`repro.equivalence.semantic.semantically_equivalent` and Proposition 4
+for how probabilities re-enter the picture).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import all_worlds
+from repro.trees.isomorphism import isomorphic
+
+
+def structurally_equivalent_exhaustive(
+    left: ProbTree,
+    right: ProbTree,
+    restrict_to_used: bool = True,
+) -> bool:
+    """Decide ``T ≡struct T'`` by enumerating every world.
+
+    Args:
+        left, right: the two prob-trees (expected over the same event set;
+            the union of their event sets is used as ``W``).
+        restrict_to_used: only enumerate events mentioned by at least one
+            condition of either tree; events no condition mentions cannot
+            change any ``V(T)``, so the answer is unaffected and the
+            enumeration is exponentially smaller.
+
+    Returns:
+        ``True`` iff ``V(left) ∼ V(right)`` for every world ``V``.
+    """
+    if restrict_to_used:
+        events: Set[str] = left.used_events() | right.used_events()
+    else:
+        events = left.events() | right.events()
+    for world in all_worlds(sorted(events)):
+        if not isomorphic(left.value_in_world(world), right.value_in_world(world)):
+            return False
+    return True
+
+
+def counterexample_world(
+    left: ProbTree, right: ProbTree
+) -> Optional[frozenset]:
+    """A world on which the two prob-trees differ, or ``None`` if equivalent.
+
+    Useful for debugging and for exercising the NP certificate of the
+    complement problem (the "guess a subset V" step in Proposition 3's
+    proof).
+    """
+    events = left.used_events() | right.used_events()
+    for world in all_worlds(sorted(events)):
+        if not isomorphic(left.value_in_world(world), right.value_in_world(world)):
+            return frozenset(world)
+    return None
+
+
+__all__ = ["structurally_equivalent_exhaustive", "counterexample_world"]

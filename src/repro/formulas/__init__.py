@@ -1,0 +1,50 @@
+"""Propositional machinery underlying prob-tree conditions.
+
+This subpackage contains everything the paper needs about propositional
+formulas:
+
+* :mod:`repro.formulas.literals` — event literals, conjunctive conditions
+  (Section 2 of the paper) and valuations;
+* :mod:`repro.formulas.dnf` / :mod:`repro.formulas.cnf` — disjunctive and
+  conjunctive normal forms with conversions;
+* :mod:`repro.formulas.sat` — satisfiability / tautology checks (used by the
+  Theorem 5 reductions and the set-semantics variant);
+* :mod:`repro.formulas.polynomial` — sparse multivariate polynomials with
+  integer coefficients, the characteristic polynomial of a DNF
+  (Definition 11) and the Schwartz–Zippel identity test;
+* :mod:`repro.formulas.count_equivalence` — count-equivalence of DNF formulas
+  (Definition 10) and its polynomial characterization (Lemma 1).
+"""
+
+from repro.formulas.literals import Literal, Condition, Valuation
+from repro.formulas.dnf import DNF
+from repro.formulas.cnf import CNF
+from repro.formulas.polynomial import Polynomial, characteristic_polynomial
+from repro.formulas.count_equivalence import (
+    count_equivalent_exhaustive,
+    count_equivalent_polynomial,
+    count_equivalent_randomized,
+)
+from repro.formulas.sat import (
+    is_satisfiable,
+    is_tautology,
+    satisfying_valuations,
+    equivalent,
+)
+
+__all__ = [
+    "Literal",
+    "Condition",
+    "Valuation",
+    "DNF",
+    "CNF",
+    "Polynomial",
+    "characteristic_polynomial",
+    "count_equivalent_exhaustive",
+    "count_equivalent_polynomial",
+    "count_equivalent_randomized",
+    "is_satisfiable",
+    "is_tautology",
+    "satisfying_valuations",
+    "equivalent",
+]

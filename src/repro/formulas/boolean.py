@@ -1,0 +1,240 @@
+"""Arbitrary propositional formulas (the Section 5 "arbitrary formula" variant).
+
+Plain prob-trees restrict node conditions to conjunctions of literals.
+Section 5 of the paper considers allowing *any* propositional formula as a
+condition and observes the trade-off flips: updates (including deletions)
+become polynomial — the update just annotates nodes with a formula such as
+``¬(c₁ ∨ c₂)`` without expanding it — while evaluating boolean queries
+becomes NP-hard.
+
+This module provides the small formula AST that variant needs: variables,
+negation, conjunction, disjunction and the two constants, with world
+evaluation, exact (exponential-time) probability computation and a size
+measure used by the E12 benchmark.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping, Set, Tuple
+
+from repro.formulas.literals import Condition, all_worlds
+
+
+class BoolExpr(ABC):
+    """A propositional formula over event variables."""
+
+    @abstractmethod
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        """Evaluate the formula in the world *world* (set of true events)."""
+
+    @abstractmethod
+    def events(self) -> Set[str]:
+        """Event variables mentioned by the formula."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Number of AST nodes (the formula's representation size)."""
+
+    def probability(self, distribution: Mapping[str, float]) -> float:
+        """Exact probability under independent events (exponential time).
+
+        The paper's point is precisely that no polynomial-time procedure is
+        expected here (evaluation of boolean queries becomes NP-hard in this
+        variant); the exhaustive enumeration is the reference semantics.
+        """
+        mentioned = sorted(self.events())
+        total = 0.0
+        for world in all_worlds(mentioned):
+            if self.holds_in(world):
+                probability = 1.0
+                for event in mentioned:
+                    p = distribution[event]
+                    probability *= p if event in world else (1.0 - p)
+                total += probability
+        return total
+
+    # -- operators -----------------------------------------------------------
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And((self, other))
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or((self, other))
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueExpr(BoolExpr):
+    """The constant ``true``."""
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return True
+
+    def events(self) -> Set[str]:
+        return set()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseExpr(BoolExpr):
+    """The constant ``false``."""
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return False
+
+    def events(self) -> Set[str]:
+        return set()
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """An event variable used as an atomic formula."""
+
+    event: str
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return self.event in world
+
+    def events(self) -> Set[str]:
+        return {self.event}
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.event
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Negation."""
+
+    operand: BoolExpr
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return not self.operand.holds_in(world)
+
+    def events(self) -> Set[str]:
+        return self.operand.events()
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    """Conjunction of zero or more formulas (empty = true)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return all(operand.holds_in(world) for operand in self.operands)
+
+    def events(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.events()
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(operand.size() for operand in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return " and ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    """Disjunction of zero or more formulas (empty = false)."""
+
+    operands: Tuple[BoolExpr, ...]
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        return any(operand.holds_in(world) for operand in self.operands)
+
+    def events(self) -> Set[str]:
+        result: Set[str] = set()
+        for operand in self.operands:
+            result |= operand.events()
+        return result
+
+    def size(self) -> int:
+        return 1 + sum(operand.size() for operand in self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return " or ".join(f"({operand})" for operand in self.operands)
+
+
+def from_condition(condition: Condition) -> BoolExpr:
+    """Translate a conjunctive :class:`Condition` into a :class:`BoolExpr`."""
+    operands = []
+    for literal in sorted(condition.literals):
+        atom: BoolExpr = Var(literal.event)
+        if literal.negated:
+            atom = Not(atom)
+        operands.append(atom)
+    if not operands:
+        return TrueExpr()
+    if len(operands) == 1:
+        return operands[0]
+    return And(tuple(operands))
+
+
+def conjunction(*operands: BoolExpr) -> BoolExpr:
+    """N-ary conjunction with trivial simplifications."""
+    flat = [op for op in operands if not isinstance(op, TrueExpr)]
+    if any(isinstance(op, FalseExpr) for op in flat):
+        return FalseExpr()
+    if not flat:
+        return TrueExpr()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(*operands: BoolExpr) -> BoolExpr:
+    """N-ary disjunction with trivial simplifications."""
+    flat = [op for op in operands if not isinstance(op, FalseExpr)]
+    if any(isinstance(op, TrueExpr) for op in flat):
+        return TrueExpr()
+    if not flat:
+        return FalseExpr()
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+__all__ = [
+    "BoolExpr",
+    "TrueExpr",
+    "FalseExpr",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "from_condition",
+    "conjunction",
+    "disjunction",
+]

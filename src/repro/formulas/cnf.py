@@ -1,0 +1,129 @@
+"""Conjunctive normal form formulas.
+
+CNF formulas appear in the paper only as inputs to the SAT reductions of
+Theorem 5: a CNF formula ``θ`` is negated into the DNF of ``¬θ`` (which is
+linear: each clause becomes a conjunction of negated literals) and the
+disjuncts of that DNF annotate the children of the constructed prob-tree.
+This module provides the CNF representation, the linear ``¬θ`` conversion and
+a small random 3-CNF generator used by the E9 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal
+from repro.utils.seeding import RngLike, make_rng
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form.
+
+    A clause is a frozenset of literals (a disjunction); the formula is the
+    conjunction of its clauses.  The empty CNF is *true*; a CNF containing an
+    empty clause is *false*.
+    """
+
+    __slots__ = ("_clauses",)
+
+    def __init__(self, clauses: Iterable[Iterable[Literal]] = ()) -> None:
+        self._clauses: Tuple[FrozenSet[Literal], ...] = tuple(
+            frozenset(clause) for clause in clauses
+        )
+
+    @staticmethod
+    def of(*clauses: Sequence[str]) -> "CNF":
+        """Build a CNF from string atoms, e.g. ``CNF.of(["x1", "not x2"], ["x2"])``."""
+        return CNF([Literal.parse(atom) for atom in clause] for clause in clauses)
+
+    @property
+    def clauses(self) -> Tuple[FrozenSet[Literal], ...]:
+        return self._clauses
+
+    def variables(self) -> Set[str]:
+        """Every propositional variable mentioned by some clause."""
+        result: Set[str] = set()
+        for clause in self._clauses:
+            result |= {literal.event for literal in clause}
+        return result
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        """Whether every clause has a satisfied literal in *world*."""
+        return all(
+            any(literal.holds_in(world) for literal in clause)
+            for clause in self._clauses
+        )
+
+    def negation_dnf(self) -> DNF:
+        """The DNF of ``¬θ``, computed in linear time.
+
+        Each clause ``l1 ∨ … ∨ lk`` contributes the disjunct
+        ``¬l1 ∧ … ∧ ¬lk``.  This is exactly the ``ψ1 … ψn`` construction of
+        the Theorem 5 proof.
+        """
+        return DNF(
+            Condition(literal.negate() for literal in clause)
+            for clause in self._clauses
+        )
+
+    def __iter__(self) -> Iterator[FrozenSet[Literal]]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNF):
+            return NotImplemented
+        return sorted(map(_clause_key, self._clauses)) == sorted(
+            map(_clause_key, other.clauses)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("CNF", tuple(sorted(map(_clause_key, self._clauses)))))
+
+    def __str__(self) -> str:
+        if not self._clauses:
+            return "true"
+        parts = []
+        for clause in self._clauses:
+            if clause:
+                parts.append("(" + " or ".join(str(l) for l in sorted(clause)) + ")")
+            else:
+                parts.append("(false)")
+        return " and ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"CNF({[sorted(clause) for clause in self._clauses]!r})"
+
+
+def _clause_key(clause: FrozenSet[Literal]) -> Tuple[Tuple[str, bool], ...]:
+    return tuple(sorted((literal.event, literal.negated) for literal in clause))
+
+
+def random_3cnf(
+    num_variables: int,
+    num_clauses: int,
+    seed: RngLike = None,
+    variable_prefix: str = "x",
+) -> CNF:
+    """Generate a random 3-CNF formula.
+
+    Used to drive the Theorem 5 reduction benchmarks (E9).  Each clause picks
+    three distinct variables uniformly and negates each with probability 1/2.
+    """
+    if num_variables < 3:
+        raise ValueError("random_3cnf needs at least 3 variables")
+    rng = make_rng(seed)
+    variables = [f"{variable_prefix}{i}" for i in range(1, num_variables + 1)]
+    clauses: List[List[Literal]] = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(variables, 3)
+        clauses.append(
+            [Literal(var, negated=bool(rng.getrandbits(1))) for var in chosen]
+        )
+    return CNF(clauses)
+
+
+__all__ = ["CNF", "random_3cnf"]

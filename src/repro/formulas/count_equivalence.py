@@ -1,0 +1,66 @@
+"""Count-equivalence of DNF formulas (Definition 10, Lemma 1).
+
+Two DNF formulas are *count-equivalent* when every valuation satisfies the
+same number of disjuncts in both.  This is the notion structural equivalence
+of prob-trees reduces to (Lemma 2): because the data model has multiset
+semantics, two children bundles are interchangeable only if every world keeps
+the same *number* of copies, not merely the same truth value.
+
+Three decision procedures are provided, mirroring the paper:
+
+* :func:`count_equivalent_exhaustive` — enumerate every valuation
+  (exponential, the obvious co-NP-style check of Proposition 3);
+* :func:`count_equivalent_polynomial` — expand both characteristic
+  polynomials and compare (exact, Lemma 1; possibly exponential expansion);
+* :func:`count_equivalent_randomized` — Schwartz–Zippel identity testing,
+  polynomial time with one-sided error (the Theorem 2 ingredient).
+"""
+
+from __future__ import annotations
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import all_worlds
+from repro.formulas.polynomial import characteristic_polynomial, schwartz_zippel_equal
+from repro.utils.seeding import RngLike
+
+
+def count_equivalent_exhaustive(left: DNF, right: DNF) -> bool:
+    """Decide count-equivalence by enumerating all valuations."""
+    events = sorted(left.events() | right.events())
+    return all(
+        left.count_satisfied(world) == right.count_satisfied(world)
+        for world in all_worlds(events)
+    )
+
+
+def count_equivalent_polynomial(left: DNF, right: DNF) -> bool:
+    """Decide count-equivalence by comparing expanded characteristic polynomials.
+
+    Exact by Lemma 1: ``ψ ≡⁺ ψ'`` iff ``Pψ = Pψ'``.
+    """
+    return characteristic_polynomial(left) == characteristic_polynomial(right)
+
+
+def count_equivalent_randomized(
+    left: DNF,
+    right: DNF,
+    trials: int = 8,
+    sample_size: int = 1 << 20,
+    seed: RngLike = None,
+) -> bool:
+    """Decide count-equivalence with a one-sided-error randomized test.
+
+    Never wrong when the formulas are count-equivalent; when they are not,
+    answers ``True`` with probability at most ``(d / sample_size) ** trials``
+    where ``d`` is the maximum number of literals in either formula.
+    """
+    return schwartz_zippel_equal(
+        left, right, trials=trials, sample_size=sample_size, seed=seed
+    )
+
+
+__all__ = [
+    "count_equivalent_exhaustive",
+    "count_equivalent_polynomial",
+    "count_equivalent_randomized",
+]

@@ -1,0 +1,239 @@
+"""Disjunctive normal form formulas.
+
+A DNF formula is a disjunction of conjunctions of literals; in this library a
+disjunct is a :class:`~repro.formulas.literals.Condition`.  DNF formulas show
+up in three places in the paper:
+
+* the inductive characterization of structural equivalence (Lemma 2) compares
+  the *disjunction* of the conditions attached to equivalent children;
+* count-equivalence (Definition 10) and characteristic polynomials
+  (Definition 11) are defined on DNF formulas;
+* the Theorem 5 reductions turn a CNF SAT instance ``θ`` into the DNF of
+  ``¬θ`` whose disjuncts annotate the children of the constructed prob-tree.
+
+The class keeps disjuncts as a tuple (duplicates are *meaningful* for
+count-equivalence, e.g. ``A ∨ A`` is not count-equivalent to ``A``), with an
+optional normalization used by Definition 11.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+from repro.formulas.literals import Condition, Literal, all_worlds
+
+
+class DNF:
+    """A propositional formula in disjunctive normal form.
+
+    The empty DNF (no disjuncts) is *false*; a DNF containing the empty
+    condition has a disjunct that is always true.
+    """
+
+    __slots__ = ("_disjuncts",)
+
+    def __init__(self, disjuncts: Iterable[Condition] = ()) -> None:
+        items: List[Condition] = []
+        for disjunct in disjuncts:
+            if not isinstance(disjunct, Condition):
+                raise TypeError(f"expected Condition, got {disjunct!r}")
+            items.append(disjunct)
+        self._disjuncts = tuple(items)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def false() -> "DNF":
+        """The empty disjunction (unsatisfiable)."""
+        return DNF()
+
+    @staticmethod
+    def true() -> "DNF":
+        """A single always-true disjunct."""
+        return DNF([Condition.true()])
+
+    @staticmethod
+    def of(*disjuncts: Sequence[str]) -> "DNF":
+        """Build a DNF from string atoms, e.g. ``DNF.of(["w1"], ["not w1", "w2"])``."""
+        return DNF(Condition.of(*atoms) for atoms in disjuncts)
+
+    @staticmethod
+    def single(condition: Condition) -> "DNF":
+        """A DNF with exactly one disjunct."""
+        return DNF([condition])
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def disjuncts(self) -> Tuple[Condition, ...]:
+        return self._disjuncts
+
+    def events(self) -> Set[str]:
+        """Every event variable mentioned by some disjunct."""
+        result: Set[str] = set()
+        for disjunct in self._disjuncts:
+            result |= disjunct.events()
+        return result
+
+    def is_false(self) -> bool:
+        return not self._disjuncts
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        """Whether at least one disjunct is satisfied in *world*."""
+        return any(disjunct.holds_in(world) for disjunct in self._disjuncts)
+
+    def count_satisfied(self, world: AbstractSet[str]) -> int:
+        """Number of disjuncts satisfied in *world* (Definition 10)."""
+        return sum(1 for disjunct in self._disjuncts if disjunct.holds_in(world))
+
+    def probability(self, distribution: Mapping[str, float]) -> float:
+        """Exact probability that the DNF holds under independent events.
+
+        Computed by enumerating the worlds over the mentioned events, so it is
+        exponential in the number of distinct events — acceptable because the
+        paper itself shows (Section 5) that evaluating arbitrary formulas is
+        NP-hard, and this helper is only used on small formulas and in the
+        formula-condition variant.
+        """
+        mentioned = sorted(self.events())
+        total = 0.0
+        for world in all_worlds(mentioned):
+            if self.holds_in(world):
+                p = 1.0
+                for event in mentioned:
+                    q = distribution[event]
+                    p *= q if event in world else (1.0 - q)
+                total += p
+        return total
+
+    # -- algebra -----------------------------------------------------------
+
+    def disjoin(self, other: "DNF") -> "DNF":
+        """Disjunction (concatenation of disjuncts)."""
+        return DNF(self._disjuncts + other.disjuncts)
+
+    def __or__(self, other: "DNF") -> "DNF":
+        return self.disjoin(other)
+
+    def conjoin(self, other: "DNF") -> "DNF":
+        """Conjunction via distribution (cartesian product of disjuncts)."""
+        return DNF(
+            left.conjoin(right)
+            for left in self._disjuncts
+            for right in other.disjuncts
+        )
+
+    def __and__(self, other: "DNF") -> "DNF":
+        return self.conjoin(other)
+
+    def conjoin_condition(self, condition: Condition) -> "DNF":
+        """Conjoin every disjunct with *condition*."""
+        return DNF(disjunct.conjoin(condition) for disjunct in self._disjuncts)
+
+    def negate(self) -> "DNF":
+        """Negation, re-expressed in DNF.
+
+        This is the exponential step the paper blames for the deletion blowup
+        (Proposition 2, Theorem 3): the negation of a disjunction of
+        conjunctions must be distributed back into a disjunction of
+        conjunctions.
+        """
+        result = DNF.true()
+        for disjunct in self._disjuncts:
+            negated_literals = DNF(
+                [Condition([literal.negate()]) for literal in disjunct.literals]
+            )
+            if not disjunct.literals:
+                # Negating an always-true disjunct yields false.
+                return DNF.false()
+            result = result.conjoin(negated_literals)
+        return result.normalized()
+
+    def normalized(self) -> "DNF":
+        """Normalization used by Definition 11.
+
+        Removes disjuncts containing incompatible atomic conditions and
+        removes duplicate literals inside each disjunct (the latter is
+        automatic since conditions are sets).  Duplicate *disjuncts* are kept:
+        they matter for count-equivalence.
+        """
+        return DNF(d for d in self._disjuncts if d.is_consistent())
+
+    def deduplicated(self) -> "DNF":
+        """Remove duplicate disjuncts (changes count-equivalence class)."""
+        seen: Set[Condition] = set()
+        result: List[Condition] = []
+        for disjunct in self._disjuncts:
+            if disjunct not in seen:
+                seen.add(disjunct)
+                result.append(disjunct)
+        return DNF(result)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Condition]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNF):
+            return NotImplemented
+        # Syntactic equality as multisets of disjuncts (order irrelevant).
+        return sorted(map(str, self._disjuncts)) == sorted(map(str, other.disjuncts))
+
+    def __hash__(self) -> int:
+        return hash(("DNF", tuple(sorted(map(str, self._disjuncts)))))
+
+    def __str__(self) -> str:
+        if not self._disjuncts:
+            return "false"
+        return " or ".join(f"({disjunct})" for disjunct in self._disjuncts)
+
+    def __repr__(self) -> str:
+        return f"DNF({list(self._disjuncts)!r})"
+
+
+def disjoint_dnf(formula: DNF) -> DNF:
+    """Rewrite *formula* as an equivalent DNF with pairwise-exclusive disjuncts.
+
+    The construction generalizes the sequential trick of Appendix A (where the
+    conjunction ``a1 ∧ … ∧ ap`` is negated into the disjoint disjunction
+    ``¬a1 ∨ (a1 ∧ ¬a2) ∨ …``): disjunct ``i`` is conjoined with the negation
+    of every earlier disjunct, expanded by distribution.  The result is
+    equivalent to the input and no world satisfies two output disjuncts,
+    which is exactly what the multiset semantics of prob-trees needs when a
+    node is replaced by several conditional copies.
+
+    Worst-case output size is exponential in the input size; the paper shows
+    (Theorem 3) that this is unavoidable.
+    """
+    result: List[Condition] = []
+    previously_negated = DNF.true()  # disjoint decomposition of ¬(earlier disjuncts)
+    for disjunct in formula.disjuncts:
+        if not disjunct.is_consistent():
+            continue
+        for guard in previously_negated.disjuncts:
+            combined = disjunct.conjoin(guard)
+            if combined.is_consistent():
+                result.append(combined)
+        if not disjunct.literals:
+            # An always-true disjunct absorbs everything after it.
+            previously_negated = DNF.false()
+        else:
+            # Sequential (chain) decomposition of ¬disjunct — the pieces are
+            # pairwise exclusive, so conjoining keeps the guard disjoint.
+            ordered = sorted(disjunct.literals)
+            pieces: List[Condition] = []
+            prefix: List[Literal] = []
+            for literal in ordered:
+                pieces.append(Condition(prefix + [literal.negate()]))
+                prefix.append(literal)
+            previously_negated = previously_negated.conjoin(DNF(pieces)).normalized()
+        if previously_negated.is_false():
+            break
+    return DNF(result)
+
+
+__all__ = ["DNF", "disjoint_dnf"]

@@ -1,0 +1,299 @@
+"""Event literals, conjunctive conditions and valuations.
+
+The prob-tree model (Definition 2 of the paper) annotates tree nodes with
+*conditions*: conjunctions of atomic conditions of the form ``w`` or ``¬w``
+where ``w`` is an event variable.  This module provides:
+
+* :class:`Literal` — one atomic condition;
+* :class:`Condition` — an immutable conjunction of literals, the annotation
+  attached to prob-tree nodes;
+* :class:`Valuation` — a truth assignment for event variables, i.e. one
+  "world" ``V ⊆ W`` seen as its characteristic function.
+
+Conditions follow the paper's conventions: the empty condition is the
+always-true condition, and a condition containing both ``w`` and ``¬w`` is
+inconsistent (its probability is zero, see Definition 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """An atomic condition ``w`` or ``¬w`` over an event variable.
+
+    Attributes:
+        event: name of the event variable.
+        negated: ``True`` for ``¬w``, ``False`` for ``w``.
+    """
+
+    event: str
+    negated: bool = False
+
+    def negate(self) -> "Literal":
+        """Return the complementary literal (``w`` ↔ ``¬w``)."""
+        return Literal(self.event, not self.negated)
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        """Evaluate the literal in the world *world* (set of true events)."""
+        present = self.event in world
+        return not present if self.negated else present
+
+    def __str__(self) -> str:
+        return f"not {self.event}" if self.negated else self.event
+
+    @staticmethod
+    def parse(text: str) -> "Literal":
+        """Parse ``"w"``, ``"not w"``, ``"!w"`` or ``"¬w"`` into a literal."""
+        stripped = text.strip()
+        for prefix in ("not ", "!", "¬", "~"):
+            if stripped.startswith(prefix):
+                return Literal(stripped[len(prefix):].strip(), negated=True)
+        return Literal(stripped, negated=False)
+
+
+class Condition:
+    """An immutable conjunction of :class:`Literal` objects.
+
+    The empty condition is *true*.  Conditions are hashable and comparable,
+    and support conjunction via ``&``.  They deliberately do **not** collapse
+    inconsistent conjunctions (containing ``w`` and ``¬w``): the paper keeps
+    such conditions around and defines their probability to be zero
+    (Definition 8); the cleaning pass of Section 3 is what removes them.
+    """
+
+    __slots__ = ("_literals",)
+
+    def __init__(self, literals: Iterable[Literal] = ()) -> None:
+        frozen = frozenset(literals)
+        for literal in frozen:
+            if not isinstance(literal, Literal):
+                raise TypeError(f"expected Literal, got {literal!r}")
+        object.__setattr__(self, "_literals", frozen)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def true() -> "Condition":
+        """The empty (always satisfied) condition."""
+        return _TRUE
+
+    @staticmethod
+    def of(*atoms: str) -> "Condition":
+        """Build a condition from string atoms, e.g. ``Condition.of("w1", "not w2")``."""
+        return Condition(Literal.parse(atom) for atom in atoms)
+
+    @staticmethod
+    def positive(*events: str) -> "Condition":
+        """Condition asserting that every event in *events* is true."""
+        return Condition(Literal(event) for event in events)
+
+    @staticmethod
+    def negative(*events: str) -> "Condition":
+        """Condition asserting that every event in *events* is false."""
+        return Condition(Literal(event, negated=True) for event in events)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def literals(self) -> FrozenSet[Literal]:
+        """The set of literals of the conjunction."""
+        return self._literals
+
+    def events(self) -> Set[str]:
+        """The event variables mentioned by the condition."""
+        return {literal.event for literal in self._literals}
+
+    def is_true(self) -> bool:
+        """Whether this is the empty (always true) condition."""
+        return not self._literals
+
+    def is_consistent(self) -> bool:
+        """Whether no event appears both positively and negatively."""
+        positive = {lit.event for lit in self._literals if not lit.negated}
+        negative = {lit.event for lit in self._literals if lit.negated}
+        return not (positive & negative)
+
+    def holds_in(self, world: AbstractSet[str]) -> bool:
+        """Evaluate the conjunction in the world *world* (set of true events)."""
+        return all(literal.holds_in(world) for literal in self._literals)
+
+    def probability(self, distribution: Mapping[str, float]) -> float:
+        """Probability of the conjunction under independent events.
+
+        Implements ``eval`` of Definition 8: zero when inconsistent, and the
+        product of ``π(w)`` for positive literals and ``1 − π(w)`` for
+        negative literals otherwise.
+        """
+        if not self.is_consistent():
+            return 0.0
+        result = 1.0
+        for literal in self._literals:
+            p = distribution[literal.event]
+            result *= (1.0 - p) if literal.negated else p
+        return result
+
+    # -- algebra -----------------------------------------------------------
+
+    def conjoin(self, other: "Condition") -> "Condition":
+        """Conjunction of two conditions (set union of their literals)."""
+        return Condition(self._literals | other.literals)
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return self.conjoin(other)
+
+    def with_literal(self, literal: Literal) -> "Condition":
+        """Return a new condition with *literal* added."""
+        return Condition(self._literals | {literal})
+
+    def without_events(self, events: AbstractSet[str]) -> "Condition":
+        """Drop every literal whose event is in *events*."""
+        return Condition(lit for lit in self._literals if lit.event not in events)
+
+    def minus(self, other: "Condition") -> "Condition":
+        """Set difference of literals (used by the Appendix A update rules)."""
+        return Condition(self._literals - other.literals)
+
+    def restricted_to(self, events: AbstractSet[str]) -> "Condition":
+        """Keep only literals whose event is in *events*."""
+        return Condition(lit for lit in self._literals if lit.event in events)
+
+    def implies(self, other: "Condition") -> bool:
+        """Syntactic implication: every literal of *other* appears here."""
+        return other.literals <= self._literals
+
+    def contradicts(self, other: "Condition") -> bool:
+        """Whether the conjunction of both conditions is inconsistent."""
+        return not self.conjoin(other).is_consistent()
+
+    # -- dunder ------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(sorted(self._literals))
+
+    def __len__(self) -> int:
+        return len(self._literals)
+
+    def __contains__(self, literal: Literal) -> bool:
+        return literal in self._literals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return self._literals == other.literals
+
+    def __hash__(self) -> int:
+        return hash(("Condition", self._literals))
+
+    def __bool__(self) -> bool:
+        # A condition is "falsy" only when empty (always true); explicit
+        # methods should be preferred, but this mirrors set semantics.
+        return bool(self._literals)
+
+    def __str__(self) -> str:
+        if not self._literals:
+            return "true"
+        return " and ".join(str(lit) for lit in sorted(self._literals))
+
+    def __repr__(self) -> str:
+        return f"Condition({sorted(self._literals)!r})"
+
+
+_TRUE = Condition()
+
+
+class Valuation:
+    """A truth assignment for event variables.
+
+    A valuation is the characteristic function of a world ``V ⊆ W``: events in
+    ``V`` are true, all the others are false.  The set of known events is kept
+    so iteration and complementation are well defined.
+    """
+
+    __slots__ = ("_true", "_events")
+
+    def __init__(self, true_events: Iterable[str], events: Optional[Iterable[str]] = None) -> None:
+        true_set = frozenset(true_events)
+        all_events = frozenset(events) if events is not None else true_set
+        if not true_set <= all_events:
+            raise ValueError(
+                f"true events {sorted(true_set - all_events)} missing from event domain"
+            )
+        self._true = true_set
+        self._events = all_events
+
+    @staticmethod
+    def from_mapping(assignment: Mapping[str, bool]) -> "Valuation":
+        """Build a valuation from a ``{event: bool}`` mapping."""
+        return Valuation(
+            (event for event, value in assignment.items() if value),
+            assignment.keys(),
+        )
+
+    @property
+    def true_events(self) -> FrozenSet[str]:
+        return self._true
+
+    @property
+    def events(self) -> FrozenSet[str]:
+        return self._events
+
+    def __getitem__(self, event: str) -> bool:
+        if event not in self._events:
+            raise KeyError(event)
+        return event in self._true
+
+    def satisfies(self, condition: Condition) -> bool:
+        """Whether the condition holds under this valuation."""
+        return condition.holds_in(self._true)
+
+    def as_mapping(self) -> Dict[str, bool]:
+        return {event: event in self._true for event in sorted(self._events)}
+
+    def probability(self, distribution: Mapping[str, float]) -> float:
+        """Probability of this world under independent events (Definition 4)."""
+        result = 1.0
+        for event in self._events:
+            p = distribution[event]
+            result *= p if event in self._true else (1.0 - p)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Valuation):
+            return NotImplemented
+        return self._true == other._true and self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash((self._true, self._events))
+
+    def __repr__(self) -> str:
+        return f"Valuation(true={sorted(self._true)}, events={sorted(self._events)})"
+
+
+def all_valuations(events: Iterable[str]) -> Iterator[Valuation]:
+    """Enumerate every valuation over *events* (2^n of them).
+
+    Enumeration order is deterministic: events are sorted and subsets are
+    produced in increasing binary-counter order.
+    """
+    ordered = sorted(set(events))
+    n = len(ordered)
+    for mask in range(1 << n):
+        yield Valuation(
+            (ordered[i] for i in range(n) if mask >> i & 1),
+            ordered,
+        )
+
+
+def all_worlds(events: Iterable[str]) -> Iterator[FrozenSet[str]]:
+    """Enumerate every subset ``V ⊆ W`` of the given events."""
+    ordered = sorted(set(events))
+    n = len(ordered)
+    for mask in range(1 << n):
+        yield frozenset(ordered[i] for i in range(n) if mask >> i & 1)
+
+
+__all__ = ["Literal", "Condition", "Valuation", "all_valuations", "all_worlds"]

@@ -1,0 +1,246 @@
+"""Sparse multivariate polynomials and characteristic polynomials of DNFs.
+
+Definition 11 of the paper associates with every DNF formula ``ψ`` a
+*characteristic polynomial* ``Pψ`` with integer coefficients: positive
+literals ``Xi`` stay, negative literals become ``(1 − Xi)``, disjunction
+becomes addition, conjunction becomes multiplication.  Lemma 1 then states
+that two DNFs are count-equivalent iff their characteristic polynomials are
+equal, and Theorem 2 turns that into a randomized identity test via the
+Schwartz–Zippel lemma.
+
+Two representations are provided:
+
+* :class:`Polynomial` — an expanded sparse polynomial (mapping from monomials
+  to integer coefficients).  Exact, used for the Lemma 1 oracle in tests and
+  for small formulas; expansion may be exponential in the number of
+  variables, which is fine for its intended use.
+* direct evaluation of a DNF's characteristic polynomial at integer points
+  (:func:`evaluate_characteristic`), which never expands anything and is what
+  the PTIME randomized equivalence algorithm of Figure 3 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition
+from repro.utils.seeding import RngLike, make_rng
+
+# A monomial is a frozenset of variable names (each with exponent 1: after the
+# Definition 11 normalization every variable has degree at most one).
+Monomial = FrozenSet[str]
+
+
+class Polynomial:
+    """A multilinear multivariate polynomial with integer coefficients.
+
+    Monomials are sets of variables (each variable appears with exponent at
+    most 1, which is all Definition 11 ever produces).  The zero polynomial
+    has no monomials.
+    """
+
+    __slots__ = ("_coefficients",)
+
+    def __init__(self, coefficients: Mapping[Monomial, int] | None = None) -> None:
+        cleaned: Dict[Monomial, int] = {}
+        if coefficients:
+            for monomial, coefficient in coefficients.items():
+                if coefficient:
+                    cleaned[frozenset(monomial)] = int(coefficient)
+        self._coefficients = cleaned
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial()
+
+    @staticmethod
+    def constant(value: int) -> "Polynomial":
+        return Polynomial({frozenset(): value})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        return Polynomial({frozenset([name]): 1})
+
+    @staticmethod
+    def one_minus(name: str) -> "Polynomial":
+        """The polynomial ``1 − X`` used for negative literals."""
+        return Polynomial({frozenset(): 1, frozenset([name]): -1})
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def coefficients(self) -> Dict[Monomial, int]:
+        return dict(self._coefficients)
+
+    def variables(self) -> FrozenSet[str]:
+        result: set = set()
+        for monomial in self._coefficients:
+            result |= monomial
+        return frozenset(result)
+
+    def is_zero(self) -> bool:
+        return not self._coefficients
+
+    def degree(self) -> int:
+        """Total degree (0 for the zero polynomial, by convention)."""
+        if not self._coefficients:
+            return 0
+        return max(len(monomial) for monomial in self._coefficients)
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Evaluate at an integer point (missing variables default to 0)."""
+        total = 0
+        for monomial, coefficient in self._coefficients.items():
+            term = coefficient
+            for variable in monomial:
+                term *= point.get(variable, 0)
+            total += term
+        return total
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        result = dict(self._coefficients)
+        for monomial, coefficient in other._coefficients.items():
+            result[monomial] = result.get(monomial, 0) + coefficient
+        return Polynomial(result)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        result = dict(self._coefficients)
+        for monomial, coefficient in other._coefficients.items():
+            result[monomial] = result.get(monomial, 0) - coefficient
+        return Polynomial(result)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._coefficients.items()})
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        result: Dict[Monomial, int] = {}
+        for mono_a, coeff_a in self._coefficients.items():
+            for mono_b, coeff_b in other._coefficients.items():
+                monomial = mono_a | mono_b
+                result[monomial] = result.get(monomial, 0) + coeff_a * coeff_b
+        return Polynomial(result)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._coefficients == other._coefficients
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._coefficients.items()))
+
+    def __str__(self) -> str:
+        if not self._coefficients:
+            return "0"
+        parts = []
+        for monomial in sorted(self._coefficients, key=lambda m: (len(m), sorted(m))):
+            coefficient = self._coefficients[monomial]
+            if monomial:
+                term = "*".join(sorted(monomial))
+                if coefficient == 1:
+                    parts.append(term)
+                elif coefficient == -1:
+                    parts.append(f"-{term}")
+                else:
+                    parts.append(f"{coefficient}*{term}")
+            else:
+                parts.append(str(coefficient))
+        return " + ".join(parts).replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self._coefficients!r})"
+
+
+# ---------------------------------------------------------------------------
+# Characteristic polynomials (Definition 11).
+# ---------------------------------------------------------------------------
+
+
+def condition_polynomial(condition: Condition) -> Polynomial:
+    """Expanded characteristic polynomial of a single conjunction.
+
+    Inconsistent conjunctions map to the zero polynomial (they correspond to
+    ``False`` after the Definition 11 normalization).
+    """
+    if not condition.is_consistent():
+        return Polynomial.zero()
+    result = Polynomial.constant(1)
+    for literal in sorted(condition.literals):
+        factor = (
+            Polynomial.one_minus(literal.event)
+            if literal.negated
+            else Polynomial.variable(literal.event)
+        )
+        result = result * factor
+    return result
+
+
+def characteristic_polynomial(formula: DNF) -> Polynomial:
+    """Expanded characteristic polynomial ``Pψ`` of a DNF (Definition 11)."""
+    result = Polynomial.zero()
+    for disjunct in formula.normalized().disjuncts:
+        result = result + condition_polynomial(disjunct)
+    return result
+
+
+def evaluate_characteristic(formula: DNF, point: Mapping[str, int]) -> int:
+    """Evaluate ``Pψ`` at an integer point **without expanding** it.
+
+    This is the operation the Figure 3 algorithm performs: each consistent
+    disjunct contributes the product of ``point[X]`` for positive literals and
+    ``1 − point[X]`` for negative literals.  Runs in time linear in the size
+    of the formula.
+    """
+    total = 0
+    for disjunct in formula.disjuncts:
+        if not disjunct.is_consistent():
+            continue
+        term = 1
+        for literal in disjunct.literals:
+            value = point.get(literal.event, 0)
+            term *= (1 - value) if literal.negated else value
+        total += term
+    return total
+
+
+def schwartz_zippel_equal(
+    left: DNF,
+    right: DNF,
+    trials: int = 8,
+    sample_size: int = 1 << 20,
+    seed: RngLike = None,
+) -> bool:
+    """Randomized test for ``P_left == P_right`` via the Schwartz–Zippel lemma.
+
+    Evaluates the difference polynomial at *trials* random integer points with
+    coordinates drawn from ``{0, …, sample_size − 1}``.  If the polynomials
+    are equal the answer is always ``True``; if they differ, each trial
+    reports a spurious zero with probability at most ``d / sample_size`` where
+    ``d`` is the degree (bounded by the number of literals), so the error
+    probability drops exponentially with *trials*.
+    """
+    rng = make_rng(seed)
+    variables = sorted(left.events() | right.events())
+    if not variables:
+        return evaluate_characteristic(left, {}) == evaluate_characteristic(right, {})
+    for _ in range(max(1, trials)):
+        point = {variable: rng.randrange(sample_size) for variable in variables}
+        if evaluate_characteristic(left, point) != evaluate_characteristic(right, point):
+            return False
+    return True
+
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "condition_polynomial",
+    "characteristic_polynomial",
+    "evaluate_characteristic",
+    "schwartz_zippel_equal",
+]

@@ -1,0 +1,152 @@
+"""Satisfiability and tautology checks for small formulas.
+
+The library needs classical propositional reasoning in a few places:
+
+* the Theorem 5 reductions are validated by comparing DTD
+  satisfiability/validity of the constructed prob-tree against SAT of the
+  source CNF;
+* the *set-semantics* variant (Section 5) turns structural equivalence into
+  plain propositional equivalence of the children's DNF conditions;
+* tests use tautology checks as oracles.
+
+Formulas here are tiny (tens of variables at most), so a DPLL-style search
+with unit propagation plus a brute-force fallback is more than enough — and
+keeping it exact avoids importing a solver that is unavailable offline.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Union
+
+from repro.formulas.cnf import CNF
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal, Valuation, all_worlds
+
+Formula = Union[CNF, DNF]
+
+
+def _formula_events(formula: Formula) -> Set[str]:
+    if isinstance(formula, CNF):
+        return formula.variables()
+    return formula.events()
+
+
+def satisfying_valuations(formula: Formula) -> Iterator[Valuation]:
+    """Enumerate every satisfying valuation of *formula* over its variables."""
+    events = sorted(_formula_events(formula))
+    for world in all_worlds(events):
+        if formula.holds_in(world):
+            yield Valuation(world, events)
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """Whether the formula has at least one satisfying valuation."""
+    if isinstance(formula, DNF):
+        # A DNF is satisfiable iff some disjunct is consistent.
+        return any(disjunct.is_consistent() for disjunct in formula.disjuncts)
+    return _dpll(list(formula.clauses), {})
+
+
+def is_tautology(formula: Formula) -> bool:
+    """Whether the formula holds in every valuation of its variables."""
+    if isinstance(formula, CNF):
+        # A CNF is a tautology iff every clause is (x ∨ ¬x ∨ ...)-style valid.
+        return all(_clause_is_valid(clause) for clause in formula.clauses)
+    # DNF tautology: the negation (a CNF with the literals flipped) must be
+    # unsatisfiable.
+    negated = CNF(
+        [literal.negate() for literal in disjunct.literals]
+        for disjunct in formula.disjuncts
+    )
+    return not is_satisfiable(negated)
+
+
+def _clause_is_valid(clause: FrozenSet[Literal]) -> bool:
+    positive = {lit.event for lit in clause if not lit.negated}
+    negative = {lit.event for lit in clause if lit.negated}
+    return bool(positive & negative)
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """Classical propositional equivalence (same truth value in every world).
+
+    This is the notion the *set-semantics* variant of Section 5 reduces
+    structural equivalence to.  Note it is weaker than count-equivalence:
+    ``A ∨ (A ∧ B)`` is equivalent but not count-equivalent to ``A``.
+    """
+    events = sorted(_formula_events(left) | _formula_events(right))
+    return all(
+        left.holds_in(world) == right.holds_in(world) for world in all_worlds(events)
+    )
+
+
+def models_count(formula: Formula) -> int:
+    """Number of satisfying valuations over the formula's own variables."""
+    events = sorted(_formula_events(formula))
+    return sum(1 for world in all_worlds(events) if formula.holds_in(world))
+
+
+# ---------------------------------------------------------------------------
+# A small DPLL solver for CNF satisfiability.
+# ---------------------------------------------------------------------------
+
+
+def _dpll(clauses: List[FrozenSet[Literal]], assignment: Dict[str, bool]) -> bool:
+    simplified = _simplify(clauses, assignment)
+    if simplified is None:
+        return False
+    if not simplified:
+        return True
+    # Unit propagation.
+    for clause in simplified:
+        if len(clause) == 1:
+            literal = next(iter(clause))
+            new_assignment = dict(assignment)
+            new_assignment[literal.event] = not literal.negated
+            return _dpll(clauses, new_assignment)
+    # Branch on the first unassigned variable of the first clause.
+    literal = next(iter(simplified[0]))
+    for value in (True, False):
+        new_assignment = dict(assignment)
+        new_assignment[literal.event] = value
+        if _dpll(clauses, new_assignment):
+            return True
+    return False
+
+
+def _simplify(
+    clauses: List[FrozenSet[Literal]], assignment: Dict[str, bool]
+) -> Optional[List[FrozenSet[Literal]]]:
+    """Apply *assignment* to *clauses*.
+
+    Returns ``None`` if some clause became empty (conflict), otherwise the
+    list of not-yet-satisfied clauses restricted to unassigned literals.
+    """
+    result: List[FrozenSet[Literal]] = []
+    for clause in clauses:
+        satisfied = False
+        remaining: Set[Literal] = set()
+        for literal in clause:
+            if literal.event in assignment:
+                value = assignment[literal.event]
+                if value != literal.negated:
+                    satisfied = True
+                    break
+            else:
+                remaining.add(literal)
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        result.append(frozenset(remaining))
+    return result
+
+
+__all__ = [
+    "Formula",
+    "satisfying_valuations",
+    "is_satisfiable",
+    "is_tautology",
+    "equivalent",
+    "models_count",
+]

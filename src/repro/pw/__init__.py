@@ -1,0 +1,13 @@
+"""Possible-world (PW) sets and conversions to/from prob-trees.
+
+* :mod:`repro.pw.pwset` — the :class:`PWSet` structure, normalization and
+  the isomorphism notions of Definitions 3 and 4;
+* :mod:`repro.pw.convert` — the expressiveness results: every prob-tree has a
+  PW semantics, and every PW set is (up to isomorphism) the semantics of a
+  prob-tree built with one event per possible world.
+"""
+
+from repro.pw.pwset import PWSet, WeightedResultSet
+from repro.pw.convert import pwset_to_probtree, probtree_to_pwset
+
+__all__ = ["PWSet", "WeightedResultSet", "pwset_to_probtree", "probtree_to_pwset"]

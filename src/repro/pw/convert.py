@@ -1,0 +1,93 @@
+"""Conversions between prob-trees and possible-world sets.
+
+The paper (recalling [3]) states that the prob-tree model has the same
+expressive power as the possible-world model: for each PW set ``S`` there is
+a prob-tree ``T`` with ``S ∼ ⟦T⟧``, whose construction uses (about) as many
+event variables as there are possible worlds.  :func:`pwset_to_probtree`
+implements that construction with a chain of "selector" events: the k-th
+world is selected by the condition ``¬e₁ ∧ … ∧ ¬e_{k−1} ∧ e_k`` and the last
+world by ``¬e₁ ∧ … ∧ ¬e_{n−1}``, with the event probabilities chosen so that
+each world keeps its original probability.  Proposition 1 shows that no
+construction can do fundamentally better in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.core.events import ProbabilityDistribution
+from repro.formulas.literals import Condition, Literal
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import DataTree
+from repro.utils.errors import InvalidProbabilityError
+
+
+def probtree_to_pwset(probtree: ProbTree, normalize: bool = True) -> PWSet:
+    """The possible-world semantics ``⟦T⟧`` (thin wrapper over the core)."""
+    # Imported here rather than at module level: ``repro.core.semantics``
+    # itself depends on ``repro.pw.pwset``, and importing it eagerly from the
+    # ``repro.pw`` package initializer would close an import cycle.
+    from repro.core.semantics import possible_worlds
+
+    return possible_worlds(probtree, restrict_to_used=True, normalize=normalize)
+
+
+def pwset_to_probtree(
+    pwset: PWSet,
+    event_prefix: str = "choice",
+) -> ProbTree:
+    """Build a prob-tree whose semantics is isomorphic to *pwset*.
+
+    The input must be a complete PW set (probabilities summing to 1); use
+    :meth:`PWSet.completed` first to encode a sub-PW-set (Definition 3).  The
+    construction normalizes the input (merging isomorphic worlds) and then
+    allocates ``n − 1`` chained selector events for ``n`` distinct worlds.
+    """
+    if not pwset.is_complete():
+        raise InvalidProbabilityError(
+            "pwset_to_probtree needs a complete PW set; call .completed() first"
+        )
+    normalized = pwset.normalize()
+    worlds: List[Tuple[DataTree, float]] = list(normalized.worlds)
+    if not worlds:
+        raise InvalidProbabilityError("cannot encode an empty possible-world set")
+
+    root_label = worlds[0][0].root_label
+    result_tree = DataTree(root_label)
+    conditions = {}
+    probabilities = {}
+
+    # Chain of selector events: world k (0-based) is selected when events
+    # e_0 … e_{k-1} are false and e_k is true; the last world needs no event
+    # of its own.  remaining_mass tracks 1 − Σ_{j<k} p_j.
+    selector_chain: List[Literal] = []
+    remaining_mass = 1.0
+    for index, (world_tree, probability) in enumerate(worlds):
+        is_last = index == len(worlds) - 1
+        if is_last:
+            world_condition = Condition(selector_chain)
+        else:
+            event = f"{event_prefix}{index + 1}"
+            event_probability = min(1.0, max(probability / remaining_mass, 1e-12))
+            probabilities[event] = event_probability
+            world_condition = Condition(selector_chain + [Literal(event)])
+            selector_chain = selector_chain + [Literal(event, negated=True)]
+            remaining_mass -= probability
+
+        # Attach the world's children under the shared root; the top node of
+        # every attached subtree carries the world-selection condition.
+        for child in world_tree.children(world_tree.root):
+            child_copy = world_tree.subtree_copy(child)
+            mapping = result_tree.add_subtree(result_tree.root, child_copy)
+            conditions[mapping[child_copy.root]] = world_condition
+
+    distribution = ProbabilityDistribution(probabilities)
+    result = ProbTree(result_tree, distribution, {})
+    for node, condition in conditions.items():
+        if not condition.is_true():
+            result.set_condition(node, condition)
+    return result
+
+
+__all__ = ["probtree_to_pwset", "pwset_to_probtree"]

@@ -1,0 +1,209 @@
+"""Possible-world sets (Section 2 of the paper).
+
+A possible-world set is a finite set of pairs ``(tᵢ, pᵢ)`` where the ``tᵢ``
+are data trees with a common root label and the ``pᵢ`` are positive reals
+summing to 1.  Two PW sets are isomorphic when, for every data tree, the
+total probability of the worlds isomorphic to it is the same in both
+(Definition of ``∼``).  A *strict subset* of a PW set (probabilities summing
+to less than 1) is identified with the PW set completed by a root-only world
+carrying the missing mass (Definition 3, ``∼sub``); this is how threshold
+pruning and DTD restriction are given a semantics.
+
+The same class also represents *weighted result sets* — query answers on PW
+sets (Definition 7) whose probabilities do not sum to 1; the
+``require_total_one`` flag controls validation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import canonical_encoding
+from repro.utils.errors import InvalidProbabilityError, InvalidTreeError
+
+_TOLERANCE = 1e-9
+
+
+class PWSet:
+    """A (possibly sub-) possible-world set: weighted data trees."""
+
+    __slots__ = ("_worlds",)
+
+    def __init__(
+        self,
+        worlds: Iterable[Tuple[DataTree, float]] = (),
+        require_total_one: bool = False,
+        require_common_root: bool = True,
+    ) -> None:
+        collected: List[Tuple[DataTree, float]] = []
+        for tree, probability in worlds:
+            if probability <= 0:
+                raise InvalidProbabilityError(
+                    f"possible-world probabilities must be positive, got {probability!r}"
+                )
+            collected.append((tree, float(probability)))
+        if require_common_root and collected:
+            root_labels = {tree.root_label for tree, _ in collected}
+            if len(root_labels) > 1:
+                raise InvalidTreeError(
+                    f"possible worlds must share a root label, got {sorted(root_labels)}"
+                )
+        if require_total_one and collected:
+            total = sum(p for _, p in collected)
+            if not math.isclose(total, 1.0, abs_tol=1e-6):
+                raise InvalidProbabilityError(
+                    f"probabilities of a possible-world set must sum to 1, got {total}"
+                )
+        self._worlds = tuple(collected)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def worlds(self) -> Tuple[Tuple[DataTree, float], ...]:
+        return self._worlds
+
+    def trees(self) -> Iterator[DataTree]:
+        for tree, _ in self._worlds:
+            yield tree
+
+    def probabilities(self) -> Iterator[float]:
+        for _, probability in self._worlds:
+            yield probability
+
+    def total_probability(self) -> float:
+        return sum(probability for _, probability in self._worlds)
+
+    def is_complete(self) -> bool:
+        """Whether the probabilities sum to 1 (within tolerance)."""
+        return math.isclose(self.total_probability(), 1.0, abs_tol=1e-6)
+
+    def root_label(self) -> Optional[str]:
+        for tree, _ in self._worlds:
+            return tree.root_label
+        return None
+
+    def support_size(self) -> int:
+        """Number of pairwise non-isomorphic worlds."""
+        return len(self._by_canonical_form())
+
+    def max_world_size(self) -> int:
+        """Largest node count among the possible worlds."""
+        return max((tree.node_count() for tree, _ in self._worlds), default=0)
+
+    def description_size(self) -> int:
+        """Total size of the extensive description (sum of node counts)."""
+        return sum(tree.node_count() for tree, _ in self._worlds)
+
+    def probability_of(self, tree: DataTree, set_semantics: bool = False) -> float:
+        """Total probability of worlds isomorphic to *tree*."""
+        key = canonical_encoding(tree, set_semantics=set_semantics)
+        return self._by_canonical_form(set_semantics).get(key, (None, 0.0))[1]
+
+    # -- normalization and isomorphism --------------------------------------
+
+    def _by_canonical_form(
+        self, set_semantics: bool = False
+    ) -> Dict[str, Tuple[DataTree, float]]:
+        grouped: Dict[str, Tuple[DataTree, float]] = {}
+        for tree, probability in self._worlds:
+            key = canonical_encoding(tree, set_semantics=set_semantics)
+            if key in grouped:
+                representative, accumulated = grouped[key]
+                grouped[key] = (representative, accumulated + probability)
+            else:
+                grouped[key] = (tree, probability)
+        return grouped
+
+    def normalize(self, set_semantics: bool = False) -> "PWSet":
+        """Merge isomorphic worlds by summing their probabilities."""
+        grouped = self._by_canonical_form(set_semantics)
+        return PWSet(grouped[key] for key in sorted(grouped))
+
+    def is_normalized(self) -> bool:
+        return len(self._worlds) == self.support_size()
+
+    def isomorphic(self, other: "PWSet", set_semantics: bool = False) -> bool:
+        """The ``∼`` relation: same total probability per isomorphism class."""
+        mine = self._by_canonical_form(set_semantics)
+        theirs = other._by_canonical_form(set_semantics)
+        keys = set(mine) | set(theirs)
+        for key in keys:
+            p_mine = mine.get(key, (None, 0.0))[1]
+            p_theirs = theirs.get(key, (None, 0.0))[1]
+            if not math.isclose(p_mine, p_theirs, abs_tol=_TOLERANCE):
+                return False
+        return True
+
+    def completed(self, root_label: Optional[str] = None) -> "PWSet":
+        """Complete a sub-PW-set with a root-only world carrying the missing mass.
+
+        This realizes Definition 3's ``∼sub`` identification.  If the set is
+        already complete it is returned unchanged (up to a copy).
+        """
+        total = self.total_probability()
+        if total > 1.0 + 1e-6:
+            raise InvalidProbabilityError(
+                f"cannot complete a set whose probabilities already sum to {total}"
+            )
+        label = root_label if root_label is not None else self.root_label()
+        if label is None:
+            raise InvalidTreeError("cannot complete an empty PW set without a root label")
+        missing = 1.0 - total
+        if missing <= _TOLERANCE:
+            return PWSet(self._worlds)
+        return PWSet(list(self._worlds) + [(DataTree(label), missing)])
+
+    def sub_isomorphic(self, other: "PWSet", root_label: Optional[str] = None) -> bool:
+        """The ``∼sub`` relation of Definition 3 (compare after completion)."""
+        label = root_label or self.root_label() or other.root_label()
+        return self.completed(label).isomorphic(other.completed(label))
+
+    # -- restriction and transformation --------------------------------------
+
+    def filter(self, predicate: Callable[[DataTree, float], bool]) -> "PWSet":
+        """Keep only the worlds satisfying *predicate* (a sub-PW-set)."""
+        return PWSet(
+            (tree, probability)
+            for tree, probability in self._worlds
+            if predicate(tree, probability)
+        )
+
+    def at_least(self, threshold: float) -> "PWSet":
+        """The restriction ``⟦T⟧≥p``: worlds with probability ≥ *threshold*.
+
+        Meaningful on a normalized set (otherwise the per-world probabilities
+        are representation-dependent).
+        """
+        return self.filter(lambda _tree, probability: probability >= threshold - _TOLERANCE)
+
+    def map_trees(self, transform: Callable[[DataTree], DataTree]) -> "PWSet":
+        """Apply a tree transformation to every world, keeping probabilities."""
+        return PWSet((transform(tree), probability) for tree, probability in self._worlds)
+
+    def most_probable(self, count: int = 1) -> List[Tuple[DataTree, float]]:
+        """The *count* most probable worlds of the normalized set."""
+        normalized = self.normalize()
+        ranked = sorted(normalized.worlds, key=lambda pair: -pair[1])
+        return ranked[:count]
+
+    # -- dunder --------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[DataTree, float]]:
+        return iter(self._worlds)
+
+    def __len__(self) -> int:
+        return len(self._worlds)
+
+    def __repr__(self) -> str:
+        return f"PWSet(worlds={len(self._worlds)}, total={self.total_probability():.4f})"
+
+
+# A query answer on a PW set or prob-tree: structurally the same thing as a
+# sub-PW-set except that the "common root label" requirement does not apply
+# (answers keep the path to the root, so in practice they do share it).
+WeightedResultSet = PWSet
+
+
+__all__ = ["PWSet", "WeightedResultSet"]

@@ -1,0 +1,39 @@
+"""Queries over data trees, possible-world sets and prob-trees.
+
+* :mod:`repro.queries.base` — the query abstraction (Definition 6), matches
+  (the ``µ_Q`` mappings of Appendix A) and the locally-monotone marker;
+* :mod:`repro.queries.treepattern` — tree-pattern queries with joins, the
+  concrete locally monotone language of [3] / Theorem 1;
+* :mod:`repro.queries.path` — a tiny XPath-like path syntax compiled to tree
+  patterns (convenience layer for examples and workloads);
+* :mod:`repro.queries.evaluation` — evaluation on data trees, on PW sets
+  (Definition 7) and on prob-trees (Definition 8 / Theorem 1).
+"""
+
+from repro.queries.base import Match, Query, LocallyMonotoneQuery, is_locally_monotone_on
+from repro.queries.treepattern import PatternNode, TreePattern
+from repro.queries.path import parse_path
+from repro.queries.evaluation import (
+    QueryAnswer,
+    evaluate_on_datatree,
+    evaluate_on_pwset,
+    evaluate_on_probtree,
+    boolean_probability,
+    answers_isomorphic,
+)
+
+__all__ = [
+    "Match",
+    "Query",
+    "LocallyMonotoneQuery",
+    "is_locally_monotone_on",
+    "PatternNode",
+    "TreePattern",
+    "parse_path",
+    "QueryAnswer",
+    "evaluate_on_datatree",
+    "evaluate_on_pwset",
+    "evaluate_on_probtree",
+    "boolean_probability",
+    "answers_isomorphic",
+]

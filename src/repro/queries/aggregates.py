@@ -1,0 +1,100 @@
+"""Aggregate queries over prob-trees.
+
+The paper's conclusion singles out aggregate functions as future work and
+remarks that the multiset semantics should make them easier.  The canonical
+aggregate over a tree-pattern query is the *number of matches*; this module
+provides:
+
+* :func:`expected_match_count` — the expectation of the answer count, exact
+  and polynomial-time: by linearity of expectation it is simply the sum of
+  the per-answer probabilities (this is where the multiset semantics pays
+  off — no inclusion–exclusion is needed);
+* :func:`match_count_distribution` — the exact distribution of the count,
+  obtained by enumerating the worlds spanned by the events the answers
+  actually touch (exponential in that number, unavoidable in general);
+* :func:`probability_count_at_least` — tail probabilities derived from the
+  distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, all_worlds
+from repro.queries.base import Query
+from repro.utils.errors import QueryError
+
+
+def _answer_conditions(query: Query, probtree: ProbTree) -> List[Condition]:
+    if not query.locally_monotone:
+        raise QueryError("aggregates are only defined for locally monotone queries")
+    conditions = []
+    for nodes in query.result_node_sets(probtree.tree):
+        condition = Condition.true()
+        for node in nodes:
+            condition = condition.conjoin(probtree.condition(node))
+        if condition.is_consistent():
+            conditions.append(condition)
+    return conditions
+
+
+def expected_match_count(query: Query, probtree: ProbTree) -> float:
+    """Expected number of answers of *query* over the possible worlds.
+
+    Runs in time ``O(|Q(t)| · |T|)`` — each answer contributes the probability
+    of its condition bundle, and expectations add up regardless of
+    correlations between answers.
+    """
+    distribution = probtree.distribution.as_dict()
+    return sum(
+        condition.probability(distribution)
+        for condition in _answer_conditions(query, probtree)
+    )
+
+
+def match_count_distribution(query: Query, probtree: ProbTree) -> Dict[int, float]:
+    """Exact distribution of the number of answers.
+
+    The enumeration is restricted to the events mentioned by at least one
+    answer's condition, so the cost is ``2^{#touched events}`` rather than
+    ``2^{|W|}``; it is still exponential in the worst case (computing even the
+    probability that the count is zero subsumes the boolean-query problem the
+    paper shows hard for the formula variant).
+    """
+    conditions = _answer_conditions(query, probtree)
+    touched = sorted(set().union(*(c.events() for c in conditions)) if conditions else set())
+    distribution = probtree.distribution
+    result: Dict[int, float] = {}
+    for world in all_worlds(touched):
+        probability = distribution.world_probability(world, over=touched)
+        count = sum(1 for condition in conditions if condition.holds_in(world))
+        result[count] = result.get(count, 0.0) + probability
+    if not conditions:
+        result = {0: 1.0}
+    return dict(sorted(result.items()))
+
+
+def probability_count_at_least(query: Query, probtree: ProbTree, k: int) -> float:
+    """Probability that the query has at least *k* answers."""
+    if k <= 0:
+        return 1.0
+    distribution = match_count_distribution(query, probtree)
+    return sum(probability for count, probability in distribution.items() if count >= k)
+
+
+def variance_of_match_count(query: Query, probtree: ProbTree) -> float:
+    """Variance of the number of answers (via the exact distribution)."""
+    distribution = match_count_distribution(query, probtree)
+    mean = sum(count * probability for count, probability in distribution.items())
+    return sum(
+        probability * (count - mean) ** 2 for count, probability in distribution.items()
+    )
+
+
+__all__ = [
+    "expected_match_count",
+    "match_count_distribution",
+    "probability_count_at_least",
+    "variance_of_match_count",
+]

@@ -1,0 +1,135 @@
+"""Query abstraction (Definition 6) and query matches.
+
+A query maps every data tree ``t`` to a set of sub-datatrees of ``t``.  A
+query is *locally monotone* when membership of a sub-datatree in the answer
+only depends on the part of the tree below it: for ``u ≤ t' ≤ t``,
+``u ∈ Q(t) ⇔ u ∈ Q(t')``.  The paper shows (Theorem 1) that for locally
+monotone queries, evaluation over a prob-tree reduces to evaluation over its
+underlying data tree; tree-pattern queries with joins are the canonical
+example, negative queries the canonical counter-example.
+
+Queries here expose two granularities:
+
+* :meth:`Query.matches` — the individual embeddings (each giving the mapping
+  ``µ_Q`` from query nodes to tree nodes that updates need, Appendix A);
+* :meth:`Query.results` — the *set* of answer sub-datatrees of Definition 6
+  (several matches may induce the same sub-datatree).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.trees.datatree import DataTree, NodeId
+from repro.trees.subdatatree import enumerate_sub_datatrees, is_sub_datatree
+
+QueryNodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Match:
+    """One embedding of a query into a data tree.
+
+    Attributes:
+        mapping: the ``µ_Q`` function from query node identifiers to tree
+            node identifiers.
+    """
+
+    mapping: Tuple[Tuple[QueryNodeId, NodeId], ...]
+
+    @staticmethod
+    def from_dict(mapping: Dict[QueryNodeId, NodeId]) -> "Match":
+        return Match(tuple(sorted(mapping.items(), key=lambda item: repr(item[0]))))
+
+    def as_dict(self) -> Dict[QueryNodeId, NodeId]:
+        return dict(self.mapping)
+
+    def target(self, query_node: QueryNodeId) -> NodeId:
+        """The tree node a given query node is mapped to."""
+        for key, value in self.mapping:
+            if key == query_node:
+                return value
+        raise KeyError(query_node)
+
+    def matched_nodes(self) -> FrozenSet[NodeId]:
+        """The set of tree nodes in the image of the embedding."""
+        return frozenset(value for _, value in self.mapping)
+
+    def answer_nodes(self, tree: DataTree) -> FrozenSet[NodeId]:
+        """Nodes of the answer sub-datatree: image plus the path to the root."""
+        return tree.ancestor_closure(self.matched_nodes())
+
+
+class Query(ABC):
+    """A query over data trees (Definition 6)."""
+
+    #: Whether the query is (claimed to be) locally monotone.  Evaluation on
+    #: prob-trees (Definition 8) is only sound for locally monotone queries;
+    #: :func:`is_locally_monotone_on` provides an empirical check.
+    locally_monotone: bool = True
+
+    @abstractmethod
+    def matches(self, tree: DataTree) -> List[Match]:
+        """All embeddings of the query into *tree*."""
+
+    def results(self, tree: DataTree) -> List[DataTree]:
+        """The answer set ``Q(t)``: distinct sub-datatrees induced by matches."""
+        seen: set = set()
+        answers: List[DataTree] = []
+        for match in self.matches(tree):
+            nodes = match.answer_nodes(tree)
+            if nodes not in seen:
+                seen.add(nodes)
+                answers.append(tree.restrict(nodes))
+        return answers
+
+    def result_node_sets(self, tree: DataTree) -> List[FrozenSet[NodeId]]:
+        """Node sets of the distinct answer sub-datatrees (cheaper than trees)."""
+        seen: set = set()
+        ordered: List[FrozenSet[NodeId]] = []
+        for match in self.matches(tree):
+            nodes = match.answer_nodes(tree)
+            if nodes not in seen:
+                seen.add(nodes)
+                ordered.append(nodes)
+        return ordered
+
+    def selects(self, tree: DataTree) -> bool:
+        """Whether the query has at least one match on *tree*."""
+        return bool(self.matches(tree))
+
+    def __call__(self, tree: DataTree) -> List[DataTree]:
+        return self.results(tree)
+
+
+class LocallyMonotoneQuery(Query):
+    """Marker base class for queries known to be locally monotone."""
+
+    locally_monotone = True
+
+
+def is_locally_monotone_on(query: Query, tree: DataTree) -> bool:
+    """Empirically check local monotonicity of *query* on *tree*.
+
+    Verifies condition (ii) of Definition 6 — ``Q(t') = Q(t) ∩ Sub(t')`` for
+    every sub-datatree ``t'`` of *tree*.  Exponential in the size of *tree*
+    (it enumerates ``Sub(t)``), so only suitable for small trees; used by the
+    test suite as an oracle on the query languages shipped here.
+    """
+    full_answers = {frozenset(answer.nodes()) for answer in query.results(tree)}
+    for restricted in enumerate_sub_datatrees(tree):
+        restricted_nodes = set(restricted.nodes())
+        restricted_answers = {
+            frozenset(answer.nodes()) for answer in query.results(restricted)
+        }
+        expected = {
+            nodes for nodes in full_answers if set(nodes) <= restricted_nodes
+        }
+        if restricted_answers != expected:
+            return False
+    return True
+
+
+__all__ = ["QueryNodeId", "Match", "Query", "LocallyMonotoneQuery", "is_locally_monotone_on"]

@@ -1,0 +1,160 @@
+"""Query evaluation on data trees, possible-world sets and prob-trees.
+
+Three evaluation modes, mirroring the paper:
+
+* on a **data tree** — just run the query (Definition 6);
+* on a **PW set** — run the query in every world and keep the world's
+  probability (Definition 7); answers do not sum to 1;
+* on a **prob-tree** — run the query once on the underlying data tree and
+  attach to every answer the probability of the conjunction of the conditions
+  of its nodes (Definition 8).  Theorem 1 states the last two agree up to
+  isomorphism for locally monotone queries; :func:`answers_isomorphic` is the
+  comparison used by the test suite to check exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition
+from repro.pw.pwset import PWSet
+from repro.queries.base import Match, Query
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import canonical_encoding
+from repro.utils.errors import QueryError
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One answer sub-datatree together with its probability.
+
+    For evaluation over plain data trees the probability is 1.
+    """
+
+    tree: DataTree
+    probability: float = 1.0
+
+
+def evaluate_on_datatree(query: Query, tree: DataTree) -> List[QueryAnswer]:
+    """Evaluate a query on a single data tree (all answers have probability 1)."""
+    return [QueryAnswer(answer, 1.0) for answer in query.results(tree)]
+
+
+def evaluate_on_pwset(query: Query, pwset: PWSet) -> List[QueryAnswer]:
+    """Evaluate a query on every possible world (Definition 7)."""
+    answers: List[QueryAnswer] = []
+    for world_tree, probability in pwset:
+        for answer in query.results(world_tree):
+            answers.append(QueryAnswer(answer, probability))
+    return answers
+
+
+def evaluate_on_probtree(
+    query: Query,
+    probtree: ProbTree,
+    keep_zero_probability: bool = False,
+) -> List[QueryAnswer]:
+    """Evaluate a locally monotone query on a prob-tree (Definition 8).
+
+    The query runs once on the underlying data tree; each answer ``u`` gets
+    probability ``eval(⋃_{n ∈ u} γ(n))`` — zero (and dropped by default) when
+    the union of conditions is inconsistent.
+
+    Raises :class:`QueryError` if the query declares itself non locally
+    monotone: Definition 8 is not sound for such queries.
+    """
+    if not query.locally_monotone:
+        raise QueryError(
+            "evaluation on prob-trees is only defined for locally monotone queries"
+        )
+    tree = probtree.tree
+    distribution = probtree.distribution
+    answers: List[QueryAnswer] = []
+    for nodes in query.result_node_sets(tree):
+        condition = Condition.true()
+        for node in nodes:
+            condition = condition.conjoin(probtree.condition(node))
+        probability = condition.probability(distribution.as_dict())
+        if probability <= 0.0 and not keep_zero_probability:
+            continue
+        answers.append(QueryAnswer(tree.restrict(nodes), probability))
+    return answers
+
+
+def boolean_probability(query: Query, probtree: ProbTree) -> float:
+    """Probability that the query has at least one answer on the prob-tree.
+
+    The query selects a world iff the condition bundle of at least one answer
+    holds, so this is the probability of a DNF over the answers' conditions
+    (computed exactly by enumerating the mentioned events — exponential in
+    the number of events touched by the answers, which the paper's Section 5
+    shows is unavoidable in general).
+    """
+    tree = probtree.tree
+    disjuncts = []
+    for nodes in query.result_node_sets(tree):
+        condition = Condition.true()
+        for node in nodes:
+            condition = condition.conjoin(probtree.condition(node))
+        if condition.is_consistent():
+            disjuncts.append(condition)
+    if not disjuncts:
+        return 0.0
+    return DNF(disjuncts).probability(probtree.distribution.as_dict())
+
+
+def aggregate_by_isomorphism(answers: List[QueryAnswer]) -> Dict[str, float]:
+    """Total probability per isomorphism class of answer trees."""
+    totals: Dict[str, float] = {}
+    for answer in answers:
+        key = canonical_encoding(answer.tree)
+        totals[key] = totals.get(key, 0.0) + answer.probability
+    return totals
+
+
+def answers_isomorphic(
+    left: List[QueryAnswer], right: List[QueryAnswer], tolerance: float = 1e-6
+) -> bool:
+    """Whether two answer multisets agree up to isomorphism (Theorem 1's ``∼``)."""
+    mine = aggregate_by_isomorphism(left)
+    theirs = aggregate_by_isomorphism(right)
+    for key in set(mine) | set(theirs):
+        if not math.isclose(mine.get(key, 0.0), theirs.get(key, 0.0), abs_tol=tolerance):
+            return False
+    return True
+
+
+def top_answers(
+    answers: List[QueryAnswer], count: int = 1
+) -> List[QueryAnswer]:
+    """The *count* most probable answers, aggregating isomorphic duplicates.
+
+    Implements the "rank results by probability" usage sketched in the
+    paper's conclusion.
+    """
+    grouped: Dict[str, QueryAnswer] = {}
+    totals: Dict[str, float] = {}
+    for answer in answers:
+        key = canonical_encoding(answer.tree)
+        totals[key] = totals.get(key, 0.0) + answer.probability
+        grouped.setdefault(key, answer)
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    return [QueryAnswer(grouped[key].tree, total) for key, total in ranked[:count]]
+
+
+__all__ = [
+    "QueryAnswer",
+    "evaluate_on_datatree",
+    "evaluate_on_pwset",
+    "evaluate_on_probtree",
+    "boolean_probability",
+    "aggregate_by_isomorphism",
+    "answers_isomorphic",
+    "top_answers",
+]

@@ -1,0 +1,88 @@
+"""A tiny XPath-like path syntax compiled to tree patterns.
+
+The paper's motivation is an XML warehouse queried by standard processors;
+this module gives examples and workloads a familiar surface syntax without
+pulling in a full XPath engine.  Supported grammar::
+
+    path      := "/"? step ("/" step | "//" step)*
+    step      := label | "*"
+    label     := any run of characters except "/"
+
+``/A/B`` means "root labeled A with a B child"; ``//`` introduces a
+descendant edge, so ``/A//C`` matches a C anywhere below an A root and
+``//C`` matches a C anywhere in the document (wildcard root).  The answer of
+the compiled query is, per Definition 6, the matched chain plus the path to
+the root.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.queries.treepattern import (
+    EDGE_CHILD,
+    EDGE_DESCENDANT,
+    WILDCARD,
+    TreePattern,
+)
+from repro.utils.errors import QueryError
+
+
+def parse_path(expression: str) -> TreePattern:
+    """Compile a path expression into a :class:`TreePattern`.
+
+    Raises :class:`QueryError` on empty expressions or empty steps.
+    """
+    steps = _tokenize(expression)
+    if not steps:
+        raise QueryError(f"empty path expression: {expression!r}")
+
+    first_edge, first_label = steps[0]
+    if first_edge == EDGE_CHILD:
+        # "/A/..." anchors the first step at the root.
+        pattern = TreePattern(first_label)
+        current = pattern.root
+        remaining = steps[1:]
+    else:
+        # "//A/..." searches for the first step anywhere below a wildcard root.
+        pattern = TreePattern(WILDCARD)
+        current = pattern.add_child(pattern.root, first_label, edge=EDGE_DESCENDANT)
+        remaining = steps[1:]
+
+    for edge, label in remaining:
+        current = pattern.add_child(current, label, edge=edge)
+    return pattern
+
+
+def _tokenize(expression: str) -> List[Tuple[str, str]]:
+    """Split a path expression into ``(edge, label)`` steps."""
+    text = expression.strip()
+    if not text:
+        return []
+    if not text.startswith("/"):
+        text = "/" + text
+
+    steps: List[Tuple[str, str]] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        if text.startswith("//", index):
+            edge = EDGE_DESCENDANT
+            index += 2
+        elif text.startswith("/", index):
+            edge = EDGE_CHILD
+            index += 1
+        else:  # pragma: no cover - unreachable given the scan below
+            raise QueryError(f"malformed path expression: {expression!r}")
+        end = text.find("/", index)
+        if end == -1:
+            end = length
+        label = text[index:end]
+        if not label:
+            raise QueryError(f"empty step in path expression: {expression!r}")
+        steps.append((edge, label))
+        index = end
+    return steps
+
+
+__all__ = ["parse_path"]

@@ -1,0 +1,206 @@
+"""Tree-pattern queries with joins.
+
+This is the concrete locally monotone query language the paper (and [3])
+works with.  A pattern is itself a small unordered tree:
+
+* every pattern node has a *label constraint* — either an exact label or the
+  wildcard ``"*"``;
+* every non-root pattern node is connected to its parent by either a
+  **child** edge (the matched tree node must be a child of the parent's
+  match) or a **descendant** edge (a strict descendant);
+* *joins* are equality constraints between the labels of the tree nodes
+  matched by two pattern nodes (this models value joins in a data model that
+  does not distinguish text from element labels).
+
+The pattern root is matched against the tree root (use a wildcard root with
+a descendant edge to express "anywhere in the document").  An embedding is a
+mapping from pattern nodes to tree nodes respecting labels, edges and joins;
+it need not be injective.  The answer for an embedding is the sub-datatree
+induced by the image plus the path to the root, which makes the query
+locally monotone: whether an embedding exists only depends on the presence
+of the matched nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.base import LocallyMonotoneQuery, Match
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.errors import QueryError
+
+WILDCARD = "*"
+
+EDGE_CHILD = "child"
+EDGE_DESCENDANT = "descendant"
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """A node of a tree pattern."""
+
+    node_id: int
+    label: str
+    edge: str = EDGE_CHILD  # edge to the parent (ignored for the root)
+
+    def label_matches(self, candidate: str) -> bool:
+        return self.label == WILDCARD or self.label == candidate
+
+
+class TreePattern(LocallyMonotoneQuery):
+    """A tree-pattern query with (label-equality) joins.
+
+    Patterns are built imperatively, mirroring :class:`DataTree`::
+
+        q = TreePattern("A")
+        b = q.add_child(q.root, "B")
+        c = q.add_child(q.root, "*", edge="descendant")
+        q.add_join(b, c)           # matched labels must coincide
+    """
+
+    def __init__(self, root_label: str = WILDCARD) -> None:
+        self._nodes: Dict[int, PatternNode] = {0: PatternNode(0, str(root_label))}
+        self._children: Dict[int, List[int]] = {0: []}
+        self._parent: Dict[int, Optional[int]] = {0: None}
+        self._joins: List[Tuple[int, int]] = []
+        self._next_id = 1
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def add_child(self, parent: int, label: str, edge: str = EDGE_CHILD) -> int:
+        """Add a pattern node under *parent*; returns its identifier."""
+        if parent not in self._nodes:
+            raise QueryError(f"unknown pattern node {parent!r}")
+        if edge not in (EDGE_CHILD, EDGE_DESCENDANT):
+            raise QueryError(f"edge must be 'child' or 'descendant', got {edge!r}")
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = PatternNode(node_id, str(label), edge)
+        self._children[node_id] = []
+        self._parent[node_id] = parent
+        self._children[parent].append(node_id)
+        return node_id
+
+    def add_join(self, first: int, second: int) -> None:
+        """Require the labels matched by two pattern nodes to be equal."""
+        for node in (first, second):
+            if node not in self._nodes:
+                raise QueryError(f"unknown pattern node {node!r}")
+        if first == second:
+            raise QueryError("a join must relate two distinct pattern nodes")
+        self._joins.append((first, second))
+
+    # -- inspection --------------------------------------------------------
+
+    def pattern_nodes(self) -> List[PatternNode]:
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    def pattern_children(self, node: int) -> Tuple[int, ...]:
+        return tuple(self._children[node])
+
+    def joins(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._joins)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def matches(self, tree: DataTree) -> List[Match]:
+        """All embeddings of the pattern into *tree*."""
+        root_pattern = self._nodes[0]
+        if not root_pattern.label_matches(tree.root_label):
+            return []
+        embeddings = self._match_subpattern(tree, 0, tree.root)
+        result = []
+        for embedding in embeddings:
+            if self._joins_satisfied(tree, embedding):
+                result.append(Match.from_dict(embedding))
+        return result
+
+    def _match_subpattern(
+        self, tree: DataTree, pattern_node: int, tree_node: NodeId
+    ) -> List[Dict[int, NodeId]]:
+        """Embeddings of the pattern subtree at *pattern_node*, with that node pinned."""
+        partials: List[Dict[int, NodeId]] = [{pattern_node: tree_node}]
+        for pattern_child in self._children[pattern_node]:
+            child_spec = self._nodes[pattern_child]
+            if child_spec.edge == EDGE_CHILD:
+                candidates: Iterable[NodeId] = tree.children(tree_node)
+            else:
+                candidates = tree.descendants(tree_node)
+            child_embeddings: List[Dict[int, NodeId]] = []
+            for candidate in candidates:
+                if not child_spec.label_matches(tree.label(candidate)):
+                    continue
+                child_embeddings.extend(
+                    self._match_subpattern(tree, pattern_child, candidate)
+                )
+            if not child_embeddings:
+                return []
+            partials = [
+                {**left, **right}
+                for left in partials
+                for right in child_embeddings
+            ]
+        return partials
+
+    def _joins_satisfied(self, tree: DataTree, embedding: Dict[int, NodeId]) -> bool:
+        for first, second in self._joins:
+            if tree.label(embedding[first]) != tree.label(embedding[second]):
+                return False
+        return True
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"TreePattern(nodes={len(self._nodes)}, joins={len(self._joins)}, "
+            f"root={self._nodes[0].label!r})"
+        )
+
+
+def child_chain(labels: Sequence[str]) -> TreePattern:
+    """A pattern matching a root-to-node chain of child edges with *labels*.
+
+    ``child_chain(["A", "B", "C"])`` matches documents whose root is ``A``
+    with a ``B`` child that has a ``C`` child.
+    """
+    if not labels:
+        raise QueryError("child_chain needs at least a root label")
+    pattern = TreePattern(labels[0])
+    current = pattern.root
+    for label in labels[1:]:
+        current = pattern.add_child(current, label)
+    return pattern
+
+
+def root_has_child(root_label: str, child_label: str) -> TreePattern:
+    """Pattern: the root (labeled *root_label* or ``*``) has a *child_label* child."""
+    pattern = TreePattern(root_label)
+    pattern.add_child(pattern.root, child_label)
+    return pattern
+
+
+def descendant_anywhere(label: str) -> TreePattern:
+    """Pattern: some node labeled *label* appears anywhere below the root."""
+    pattern = TreePattern(WILDCARD)
+    pattern.add_child(pattern.root, label, edge=EDGE_DESCENDANT)
+    return pattern
+
+
+__all__ = [
+    "WILDCARD",
+    "EDGE_CHILD",
+    "EDGE_DESCENDANT",
+    "PatternNode",
+    "TreePattern",
+    "child_chain",
+    "root_has_child",
+    "descendant_anywhere",
+]

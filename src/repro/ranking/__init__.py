@@ -1,0 +1,20 @@
+"""Ranked retrieval over prob-trees.
+
+The paper's conclusion lists "algorithms obtaining the most probable results
+first" as future work; this package provides them:
+
+* :mod:`repro.ranking.topk_worlds` — lazy best-first enumeration of the most
+  probable worlds, without materializing the full possible-world set;
+* :mod:`repro.ranking.topk_answers` — ranked query answers, including an
+  early-terminating variant that stops as soon as the top-k set is stable.
+"""
+
+from repro.ranking.topk_worlds import iter_worlds_by_probability, top_k_worlds
+from repro.ranking.topk_answers import top_k_answers, rank_answers
+
+__all__ = [
+    "iter_worlds_by_probability",
+    "top_k_worlds",
+    "top_k_answers",
+    "rank_answers",
+]

@@ -1,0 +1,122 @@
+"""Lazy enumeration of the most probable worlds of a prob-tree.
+
+Computing ``⟦T⟧`` costs ``2^{|W|}`` world evaluations, but retrieving only the
+few most probable worlds does not have to: because events are independent,
+the probability of a partial valuation can be bounded by assigning every
+undecided event its more probable value.  A best-first search over partial
+valuations therefore emits complete worlds in non-increasing probability
+order, touching only the prefixes whose optimistic bound stays above the
+answers already produced (a classical branch-and-bound / A*-style argument).
+
+The worst case is still exponential — it has to be, by Proposition 1 — but
+for top-k requests with skewed probabilities only a small fringe is explored,
+which is the behaviour the E16 ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import canonical_encoding
+
+
+def iter_worlds_by_probability(
+    probtree: ProbTree,
+    restrict_to_used: bool = True,
+) -> Iterator[Tuple[frozenset, DataTree, float]]:
+    """Yield ``(world, V(T), probability)`` in non-increasing probability order.
+
+    Ties are broken deterministically (by the sorted set of true events) so
+    the enumeration is reproducible.
+    """
+    events = sorted(
+        probtree.used_events() if restrict_to_used else probtree.events()
+    )
+    distribution = probtree.distribution
+    if not events:
+        yield frozenset(), probtree.value_in_world(frozenset()), 1.0
+        return
+
+    # Each heap entry fixes the first ``depth`` events; the bound assumes the
+    # remaining events take their most probable value.  Suffix bounds are
+    # precomputed so pushing a child costs O(1).
+    counter = itertools.count()
+    suffix_bound = [1.0] * (len(events) + 1)
+    for index in range(len(events) - 1, -1, -1):
+        p = distribution[events[index]]
+        suffix_bound[index] = suffix_bound[index + 1] * max(p, 1.0 - p)
+
+    # Entries: (-bound, depth, tie-breaker, chosen events, exact prefix probability)
+    heap: List[Tuple[float, int, int, frozenset, float]] = [
+        (-suffix_bound[0], 0, next(counter), frozenset(), 1.0)
+    ]
+    while heap:
+        negative_bound, depth, _tie, chosen, prefix_probability = heapq.heappop(heap)
+        if depth == len(events):
+            yield chosen, probtree.value_in_world(chosen), prefix_probability
+            continue
+        event = events[depth]
+        p = distribution[event]
+        for value, factor in ((True, p), (False, 1.0 - p)):
+            if factor <= 0.0:
+                continue
+            new_chosen = chosen | {event} if value else chosen
+            new_prefix = prefix_probability * factor
+            bound = new_prefix * suffix_bound[depth + 1]
+            heapq.heappush(
+                heap,
+                (-bound, depth + 1, next(counter), frozenset(new_chosen), new_prefix),
+            )
+
+
+def top_k_worlds(
+    probtree: ProbTree,
+    k: int = 1,
+    merge_isomorphic: bool = True,
+) -> List[Tuple[DataTree, float]]:
+    """The *k* most probable worlds.
+
+    With ``merge_isomorphic=False`` the result is the first *k* valuations of
+    the lazy best-first stream — this is where the laziness pays off (only a
+    small fringe of the ``2^{|W|}`` valuations is explored when probabilities
+    are skewed).  With the default ``merge_isomorphic=True`` the result
+    matches the *normalized* semantics: isomorphic worlds are merged, which
+    requires draining the stream (any not-yet-seen valuation could still add
+    mass to a class), so the gain over
+    :func:`repro.core.semantics.possible_worlds` is only that the stream stops
+    early when the remaining probability mass reaches zero.
+    """
+    if k < 1:
+        raise ValueError("top_k_worlds needs k >= 1")
+    if not merge_isomorphic:
+        results: List[Tuple[DataTree, float]] = []
+        for _world, tree, probability in iter_worlds_by_probability(probtree):
+            results.append((tree, probability))
+            if len(results) == k:
+                break
+        return results
+
+    accumulated: Dict[str, Tuple[DataTree, float]] = {}
+    emitted_mass = 0.0
+    for _world, tree, probability in iter_worlds_by_probability(probtree):
+        key = canonical_encoding(tree)
+        representative, total = accumulated.get(key, (tree, 0.0))
+        accumulated[key] = (representative, total + probability)
+        emitted_mass += probability
+        if emitted_mass >= 1.0 - 1e-12:
+            break
+    ranked = sorted(accumulated.values(), key=lambda pair: -pair[1])
+    return ranked[:k]
+
+
+def top_k_as_pwset(probtree: ProbTree, k: int) -> PWSet:
+    """The top-k worlds packaged as a sub-PW-set (for ∼sub comparisons)."""
+    return PWSet(top_k_worlds(probtree, k))
+
+
+__all__ = ["iter_worlds_by_probability", "top_k_worlds", "top_k_as_pwset"]

@@ -1,0 +1,32 @@
+"""Approximate prob-tree simplification.
+
+The paper's conclusion sketches "prob-tree simplification" as future work:
+approximating a prob-tree by a more compact one, possibly ignoring less
+probable worlds and some of the probabilistic events (provenance).  This
+package provides lossy simplification operators together with the machinery
+to quantify exactly how much semantics they give up:
+
+* :mod:`repro.simplification.approximate` — forgetting an event variable
+  (conditioning on its most probable value) and pruning unlikely nodes;
+* :mod:`repro.simplification.distance` — the total-variation distance between
+  the possible-world semantics of two prob-trees, used to report the
+  approximation error.
+"""
+
+from repro.simplification.approximate import (
+    forget_event,
+    forget_low_impact_events,
+    prune_unlikely_nodes,
+    simplify,
+    SimplificationReport,
+)
+from repro.simplification.distance import total_variation_distance
+
+__all__ = [
+    "forget_event",
+    "forget_low_impact_events",
+    "prune_unlikely_nodes",
+    "simplify",
+    "SimplificationReport",
+    "total_variation_distance",
+]

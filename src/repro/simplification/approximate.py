@@ -1,0 +1,177 @@
+"""Lossy prob-tree simplification operators.
+
+Two complementary knobs, both suggested by the paper's conclusion:
+
+* **forgetting events** (dropping provenance): an event ``w`` is *forgotten*
+  by conditioning the tree on its most probable value — nodes requiring the
+  unlikely value disappear, literals over ``w`` vanish from the remaining
+  conditions, and the event leaves ``W``.  The introduced error is at most
+  ``min(π(w), 1 − π(w))`` in total variation (the probability of the worlds
+  whose branch was discarded), and errors accumulate additively over several
+  forgotten events;
+* **pruning unlikely nodes**: every node whose accumulated condition has
+  probability below a threshold is removed (with its subtree); the error is
+  bounded by the sum of the pruned nodes' presence probabilities.
+
+:func:`simplify` combines both under a single error budget and returns a
+:class:`SimplificationReport` with the a-priori error bound, so callers can
+decide whether to pay for the exact total-variation distance
+(:func:`repro.simplification.distance.total_variation_distance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.cleaning import clean
+from repro.core.probtree import ProbTree
+from repro.equivalence.independence import condition_on
+from repro.trees.datatree import NodeId
+from repro.utils.errors import InvalidConditionError
+
+
+@dataclass(frozen=True)
+class SimplificationReport:
+    """What a simplification did and how much semantics it may have lost."""
+
+    original_size: int
+    simplified_size: int
+    forgotten_events: Tuple[str, ...]
+    pruned_nodes: int
+    error_bound: float
+
+    @property
+    def size_reduction(self) -> float:
+        """Fraction of the original size removed (0 = nothing, 1 = everything)."""
+        if self.original_size == 0:
+            return 0.0
+        return 1.0 - self.simplified_size / self.original_size
+
+
+def forget_event(probtree: ProbTree, event: str) -> Tuple[ProbTree, float]:
+    """Forget *event* by fixing it to its most probable value.
+
+    Returns the simplified prob-tree and the total-variation error bound
+    ``min(π(w), 1 − π(w))``.
+    """
+    if event not in probtree.events():
+        raise InvalidConditionError(f"event {event!r} is not part of the prob-tree")
+    probability = probtree.distribution[event]
+    keep_true = probability >= 0.5
+    simplified = condition_on(probtree, event, keep_true)
+    return simplified, min(probability, 1.0 - probability)
+
+
+def forget_low_impact_events(
+    probtree: ProbTree, error_budget: float
+) -> Tuple[ProbTree, List[str], float]:
+    """Greedily forget the most skewed events while staying within a budget.
+
+    Events are considered in increasing order of ``min(π, 1 − π)`` (cheapest
+    first); each forgotten event consumes its error bound from the budget.
+    Returns the simplified tree, the forgotten events and the total bound.
+    """
+    if error_budget < 0.0:
+        raise ValueError("error budget must be non-negative")
+    current = probtree
+    forgotten: List[str] = []
+    spent = 0.0
+    candidates = sorted(
+        current.used_events(),
+        key=lambda event: min(
+            current.distribution[event], 1.0 - current.distribution[event]
+        ),
+    )
+    for event in candidates:
+        cost = min(current.distribution[event], 1.0 - current.distribution[event])
+        if spent + cost > error_budget:
+            continue
+        if event not in current.used_events():
+            continue
+        current, _bound = forget_event(current, event)
+        forgotten.append(event)
+        spent += cost
+    return current, forgotten, spent
+
+
+def prune_unlikely_nodes(
+    probtree: ProbTree, threshold: float
+) -> Tuple[ProbTree, int, float]:
+    """Remove nodes whose presence probability falls below *threshold*.
+
+    Returns the pruned prob-tree, the number of removed nodes and the sum of
+    the removed nodes' presence probabilities (an upper bound on the
+    total-variation error introduced).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must lie in [0; 1]")
+    tree = probtree.tree
+    distribution = probtree.distribution.as_dict()
+    to_remove: Set[NodeId] = set()
+    error = 0.0
+    for node in tree.nodes():
+        if node == tree.root:
+            continue
+        parent = tree.parent(node)
+        if parent in to_remove or node in to_remove:
+            continue
+        presence = probtree.accumulated_condition(node).probability(distribution)
+        if presence < threshold:
+            error += presence
+            to_remove.add(node)
+            to_remove.update(tree.descendants(node))
+
+    result = probtree.copy()
+    removed_count = 0
+    for node in sorted(to_remove, key=lambda n: -tree.depth(n)):
+        if result.tree.has_node(node):
+            removed_count += len(result.tree.children(node)) + 1
+            result.remove_subtree(node)
+    # Re-count precisely (nested removals above were approximate).
+    removed_count = probtree.tree.node_count() - result.tree.node_count()
+    return clean(result), removed_count, error
+
+
+def simplify(
+    probtree: ProbTree,
+    error_budget: float = 0.05,
+    node_threshold: Optional[float] = None,
+) -> Tuple[ProbTree, SimplificationReport]:
+    """Combined simplification under a single error budget.
+
+    Half of the budget (or the explicit *node_threshold*) is used as the
+    per-node pruning threshold, and whatever budget the pruning did not spend
+    goes to forgetting skewed events.  Because pruning is threshold-based,
+    its aggregate error can exceed the nominal budget on documents with many
+    individually-unlikely nodes; the returned report's ``error_bound`` — the
+    sum of both contributions — is the authoritative upper bound on the
+    total-variation distance to the original semantics.
+    """
+    if error_budget < 0.0:
+        raise ValueError("error budget must be non-negative")
+    prune_threshold = (
+        node_threshold if node_threshold is not None else error_budget / 2.0
+    )
+    pruned, pruned_nodes, prune_error = prune_unlikely_nodes(probtree, prune_threshold)
+    remaining_budget = max(0.0, error_budget - prune_error)
+    simplified, forgotten, forget_error = forget_low_impact_events(
+        pruned, remaining_budget
+    )
+    report = SimplificationReport(
+        original_size=probtree.size(),
+        simplified_size=simplified.size(),
+        forgotten_events=tuple(forgotten),
+        pruned_nodes=pruned_nodes,
+        error_bound=prune_error + forget_error,
+    )
+    return simplified, report
+
+
+__all__ = [
+    "SimplificationReport",
+    "forget_event",
+    "forget_low_impact_events",
+    "prune_unlikely_nodes",
+    "simplify",
+]

@@ -1,0 +1,55 @@
+"""Semantic distance between prob-trees.
+
+The natural measure of how much an approximation changed an uncertain
+document is the total-variation distance between the two possible-world
+distributions: half the sum, over isomorphism classes of data trees, of the
+absolute difference of their probabilities.  Structural equivalence
+corresponds to distance 0 under every probability assignment; the lossy
+simplification operators report this distance so callers can trade size for
+fidelity deliberately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.pw.pwset import PWSet
+from repro.trees.isomorphism import canonical_encoding
+
+
+def _class_probabilities(worlds: PWSet) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for tree, probability in worlds:
+        key = canonical_encoding(tree)
+        totals[key] = totals.get(key, 0.0) + probability
+    return totals
+
+
+def total_variation_distance(left: ProbTree, right: ProbTree) -> float:
+    """Total-variation distance between ``⟦left⟧`` and ``⟦right⟧``.
+
+    Exponential in the number of used events of each input (it materializes
+    both possible-world sets); intended for evaluating simplifications on
+    moderate inputs, not as an online primitive.
+    """
+    left_classes = _class_probabilities(possible_worlds(left, normalize=False))
+    right_classes = _class_probabilities(possible_worlds(right, normalize=False))
+    keys = set(left_classes) | set(right_classes)
+    return 0.5 * sum(
+        abs(left_classes.get(key, 0.0) - right_classes.get(key, 0.0)) for key in keys
+    )
+
+
+def pwset_total_variation(left: PWSet, right: PWSet) -> float:
+    """Total-variation distance between two (complete) possible-world sets."""
+    left_classes = _class_probabilities(left)
+    right_classes = _class_probabilities(right)
+    keys = set(left_classes) | set(right_classes)
+    return 0.5 * sum(
+        abs(left_classes.get(key, 0.0) - right_classes.get(key, 0.0)) for key in keys
+    )
+
+
+__all__ = ["total_variation_distance", "pwset_total_variation"]

@@ -1,0 +1,21 @@
+"""Threshold restriction of prob-trees (Theorem 4).
+
+* :mod:`repro.threshold.threshold` — computing ``⟦T⟧≥p`` and re-encoding it
+  as a prob-tree (via the ``∼sub`` completion of Definition 3);
+* :mod:`repro.threshold.constructions` — the Theorem 4 worst-case family
+  showing the re-encoding may be exponentially large.
+"""
+
+from repro.threshold.threshold import (
+    threshold_worlds,
+    threshold_probtree,
+    most_probable_worlds,
+)
+from repro.threshold.constructions import theorem4_probtree
+
+__all__ = [
+    "threshold_worlds",
+    "threshold_probtree",
+    "most_probable_worlds",
+    "theorem4_probtree",
+]

@@ -1,0 +1,76 @@
+"""The Theorem 4 worst-case family for threshold restriction.
+
+The prob-tree has ``2n + 1`` nodes: a root ``A`` with ``2n`` children
+``C₁ … C₂ₙ``, each conditioned by its own event ``wᵢ`` of probability
+``1/(2n)``.  With threshold ``p = 1/2``... the paper picks the parameters so
+that the set of worlds above the threshold is a binomial-sized family (the
+proof uses ``C(2n, n) = Ω(2ⁿ)``), forcing any prob-tree representation of the
+restriction to be exponential.
+
+For the benchmark the construction is kept parametric:
+:func:`theorem4_probtree` builds the tree with a configurable per-event
+probability, and :func:`theorem4_instance` returns the exact (prob-tree,
+threshold) pair of the proof, whose retained-world count grows as
+``C(2n, ≤n)`` — the exponential lower bound measured in E8.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, Literal
+from repro.trees.datatree import DataTree
+
+
+def theorem4_probtree(
+    n: int,
+    probability: float = 0.5,
+    label_children_distinctly: bool = True,
+) -> ProbTree:
+    """The Theorem 4 prob-tree: root ``A`` with ``2n`` independent optional children.
+
+    Args:
+        n: half the number of children (the paper's parameter).
+        probability: probability of each child's event (the paper uses
+            ``1/(2n)``; ``0.5`` keeps every world equally likely, which makes
+            the exponential world count easiest to expose — both are
+            accepted by the benchmark harness).
+        label_children_distinctly: give children distinct labels ``C1 … C2n``
+            (as the paper does via ``Dᵢ`` grandchildren) so that distinct
+            worlds stay non-isomorphic after normalization.
+    """
+    if n < 1:
+        raise ValueError("theorem4_probtree needs n >= 1")
+    tree = DataTree("A")
+    conditions = {}
+    probabilities = {}
+    for index in range(1, 2 * n + 1):
+        event = f"w{index}"
+        probabilities[event] = probability
+        label = f"C{index}" if label_children_distinctly else "C"
+        node = tree.add_child(tree.root, label)
+        conditions[node] = Condition([Literal(event)])
+    return ProbTree(tree, ProbabilityDistribution(probabilities), conditions)
+
+
+def theorem4_instance(n: int) -> Tuple[ProbTree, float]:
+    """The (prob-tree, threshold) pair exactly as in the Theorem 4 proof.
+
+    Events get probability ``1/(2n)`` and the threshold is chosen so that the
+    retained worlds are the ``C(2n, k)``-many small subsets — the family whose
+    cardinality the proof bounds from below by ``Ω(2ⁿ)`` via ``C(2n, n)``.
+    """
+    if n < 1:
+        raise ValueError("theorem4_instance needs n >= 1")
+    probability = 1.0 / (2 * n)
+    probtree = theorem4_probtree(n, probability=probability)
+    # A world with k children present has probability p^k (1-p)^(2n-k), which
+    # decreases with k; the threshold keeping exactly the worlds with at most
+    # n children present is the probability of an n-child world.
+    threshold = probability ** n * (1.0 - probability) ** n
+    return probtree, threshold
+
+
+__all__ = ["theorem4_probtree", "theorem4_instance"]

@@ -1,0 +1,66 @@
+"""Removing improbable possible worlds (Section 4, "Threshold Probability").
+
+Given a prob-tree ``T`` and a threshold ``p``, ``⟦T⟧≥p`` keeps the worlds of
+the *normalized* semantics whose probability is at least ``p``.  The result
+is generally a strict subset of a PW set; Definition 3's completion (adding a
+root-only world carrying the lost mass) turns it back into a proper PW set
+that can be re-encoded as a prob-tree.  Theorem 4 shows this re-encoding can
+be exponentially larger than ``T`` — the functions here go through the
+explicit possible-world set, which is therefore as good as it gets in the
+worst case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.pw.convert import pwset_to_probtree
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import DataTree
+from repro.utils.errors import InvalidProbabilityError
+
+
+def threshold_worlds(probtree: ProbTree, threshold: float) -> PWSet:
+    """The sub-PW-set ``⟦T⟧≥p`` (worlds of the normalized semantics with ``pᵢ ≥ p``)."""
+    if not 0.0 < threshold <= 1.0:
+        raise InvalidProbabilityError(
+            f"threshold must lie in ]0; 1], got {threshold!r}"
+        )
+    worlds = possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    return worlds.at_least(threshold)
+
+
+def threshold_probtree(
+    probtree: ProbTree, threshold: float, event_prefix: str = "keep"
+) -> ProbTree:
+    """A prob-tree ``T'`` with ``⟦T⟧≥p ∼sub ⟦T'⟧``.
+
+    The lost probability mass is carried by a root-only world (Definition 3).
+    Raises :class:`InvalidProbabilityError` when no world reaches the
+    threshold (there is then nothing representable: even the root-only
+    completion would carry probability 1 of an empty selection).
+    """
+    kept = threshold_worlds(probtree, threshold)
+    if len(kept) == 0:
+        raise InvalidProbabilityError(
+            f"no possible world has probability >= {threshold}"
+        )
+    completed = kept.completed(probtree.tree.root_label)
+    return pwset_to_probtree(completed, event_prefix=event_prefix)
+
+
+def most_probable_worlds(
+    probtree: ProbTree, count: int = 1
+) -> List[Tuple[DataTree, float]]:
+    """The *count* most probable worlds of the normalized semantics.
+
+    Implements the "rank possible worlds by probability" usage from the
+    paper's conclusion (prob-tree simplification / top-k answers).
+    """
+    worlds = possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    return worlds.most_probable(count)
+
+
+__all__ = ["threshold_worlds", "threshold_probtree", "most_probable_worlds"]

@@ -1,0 +1,31 @@
+"""Unordered labeled data trees (Definition 1) and their basic algorithms.
+
+* :mod:`repro.trees.datatree` — the :class:`DataTree` structure itself;
+* :mod:`repro.trees.isomorphism` — linear-time unordered labeled tree
+  isomorphism via canonical encodings (the Aho–Hopcroft–Ullman technique the
+  paper cites for Proposition 3 / Theorem 2);
+* :mod:`repro.trees.subdatatree` — the sub-datatree partial order of
+  Definition 5;
+* :mod:`repro.trees.builders` — convenient literal-style construction of
+  trees from nested tuples.
+"""
+
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import canonical_encoding, isomorphic
+from repro.trees.subdatatree import (
+    is_sub_datatree,
+    enumerate_sub_datatrees,
+    sub_datatree_count,
+)
+from repro.trees.builders import tree, leaf
+
+__all__ = [
+    "DataTree",
+    "canonical_encoding",
+    "isomorphic",
+    "is_sub_datatree",
+    "enumerate_sub_datatrees",
+    "sub_datatree_count",
+    "tree",
+    "leaf",
+]

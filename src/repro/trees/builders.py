@@ -1,0 +1,38 @@
+"""Literal-style construction helpers for data trees.
+
+Writing test fixtures and examples with ``DataTree.add_child`` calls is
+verbose; these helpers let callers build trees from nested calls::
+
+    doc = tree("A", tree("B"), tree("C", "D"))
+
+which mirrors the figures of the paper (e.g. Figure 1's underlying data
+tree).  A child can be an already-built :class:`DataTree` (grafted as a deep
+copy) or a bare label string (which becomes a leaf).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.trees.datatree import DataTree
+
+ChildSpec = Union[DataTree, str]
+
+
+def tree(label: str, *children: ChildSpec) -> DataTree:
+    """Build a :class:`DataTree` with the given root label and children."""
+    result = DataTree(str(label))
+    for child in children:
+        if isinstance(child, DataTree):
+            result.add_subtree(result.root, child)
+        else:
+            result.add_child(result.root, str(child))
+    return result
+
+
+def leaf(label: str) -> DataTree:
+    """Build a single-node tree (convenience alias of ``tree(label)``)."""
+    return tree(label)
+
+
+__all__ = ["tree", "leaf", "ChildSpec"]

@@ -1,0 +1,340 @@
+"""The data tree model (Definition 1 of the paper).
+
+A data tree is an unordered, rooted tree whose nodes carry labels drawn from
+an arbitrary countable set (we use Python strings).  The model deliberately
+ignores XML ordering, attributes and the text/element distinction, and it has
+**multiset semantics**: a root with two identically-labeled children is a
+different tree from a root with a single such child.
+
+Nodes are identified by integers allocated by the tree.  Node identity
+matters beyond structure because queries return *sub-datatrees* that share
+nodes with the queried tree (Definition 5), and updates address nodes through
+query matches; all algorithms in this library therefore pass node ids around
+rather than paths or labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.utils.errors import InvalidTreeError, NodeNotFoundError
+
+NodeId = int
+
+
+class DataTree:
+    """An unordered labeled tree with integer node identifiers.
+
+    The root always exists and cannot be deleted.  Child lists are kept in
+    insertion order for determinism, but no algorithm in the library gives
+    that order any meaning.
+    """
+
+    __slots__ = ("_labels", "_children", "_parent", "_root", "_next_id")
+
+    def __init__(self, root_label: str) -> None:
+        self._labels: Dict[NodeId, str] = {0: str(root_label)}
+        self._children: Dict[NodeId, List[NodeId]] = {0: []}
+        self._parent: Dict[NodeId, Optional[NodeId]] = {0: None}
+        self._root: NodeId = 0
+        self._next_id: NodeId = 1
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def root(self) -> NodeId:
+        """Identifier of the root node."""
+        return self._root
+
+    @property
+    def root_label(self) -> str:
+        return self._labels[self._root]
+
+    def label(self, node: NodeId) -> str:
+        """Label of *node*."""
+        self._require(node)
+        return self._labels[node]
+
+    def set_label(self, node: NodeId, label: str) -> None:
+        """Relabel *node*."""
+        self._require(node)
+        self._labels[node] = str(label)
+
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Identifiers of the children of *node* (order is not meaningful)."""
+        self._require(node)
+        return tuple(self._children[node])
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Identifier of the parent of *node*, or ``None`` for the root."""
+        self._require(node)
+        return self._parent[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers in preorder (root first)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children[node]))
+
+    def node_count(self) -> int:
+        """Number of nodes, the size ``|t|`` used throughout the paper."""
+        return len(self._labels)
+
+    def __len__(self) -> int:
+        return self.node_count()
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._labels
+
+    # -- navigation --------------------------------------------------------
+
+    def descendants(self, node: NodeId, include_self: bool = False) -> Iterator[NodeId]:
+        """Iterate over (strict by default) descendants of *node* in preorder."""
+        self._require(node)
+        stack = list(self._children[node]) if not include_self else [node]
+        if include_self:
+            while stack:
+                current = stack.pop()
+                yield current
+                stack.extend(reversed(self._children[current]))
+            return
+        stack = list(reversed(self._children[node]))
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self._children[current]))
+
+    def ancestors(self, node: NodeId, include_self: bool = False) -> Iterator[NodeId]:
+        """Iterate over ancestors of *node*, closest first (root last)."""
+        self._require(node)
+        current = node if include_self else self._parent[node]
+        while current is not None:
+            yield current
+            current = self._parent[current]
+
+    def depth(self, node: NodeId) -> int:
+        """Number of edges between *node* and the root."""
+        return sum(1 for _ in self.ancestors(node))
+
+    def height(self) -> int:
+        """Longest root-to-leaf path length (in edges)."""
+        best = 0
+        for node in self.nodes():
+            if not self._children[node]:
+                best = max(best, self.depth(node))
+        return best
+
+    def leaves(self) -> Iterator[NodeId]:
+        """Iterate over leaf node identifiers."""
+        for node in self.nodes():
+            if not self._children[node]:
+                yield node
+
+    def nodes_with_label(self, label: str) -> Iterator[NodeId]:
+        """Iterate over the nodes carrying *label*."""
+        for node in self.nodes():
+            if self._labels[node] == label:
+                yield node
+
+    def children_with_label(self, node: NodeId, label: str) -> Tuple[NodeId, ...]:
+        """Children of *node* carrying *label* (used by DTD validation)."""
+        return tuple(c for c in self.children(node) if self._labels[c] == label)
+
+    # -- construction ------------------------------------------------------
+
+    def add_child(self, parent: NodeId, label: str) -> NodeId:
+        """Create a new node labeled *label* under *parent*; return its id."""
+        self._require(parent)
+        node = self._next_id
+        self._next_id += 1
+        self._labels[node] = str(label)
+        self._children[node] = []
+        self._parent[node] = parent
+        self._children[parent].append(node)
+        return node
+
+    def add_subtree(self, parent: NodeId, subtree: "DataTree") -> Dict[NodeId, NodeId]:
+        """Graft a deep copy of *subtree* under *parent*.
+
+        Returns the mapping from node ids of *subtree* to the freshly
+        allocated ids in this tree (the subtree's root included).
+        """
+        self._require(parent)
+        mapping: Dict[NodeId, NodeId] = {}
+        order = list(subtree.nodes())
+        for source in order:
+            source_parent = subtree.parent(source)
+            target_parent = parent if source_parent is None else mapping[source_parent]
+            mapping[source] = self.add_child(target_parent, subtree.label(source))
+        return mapping
+
+    def delete_subtree(self, node: NodeId) -> Set[NodeId]:
+        """Remove *node* and all its descendants; return the removed ids.
+
+        The root cannot be deleted (a data tree always has a root).
+        """
+        self._require(node)
+        if node == self._root:
+            raise InvalidTreeError("the root of a data tree cannot be deleted")
+        removed = {node} | set(self.descendants(node))
+        parent = self._parent[node]
+        assert parent is not None
+        self._children[parent].remove(node)
+        for removed_node in removed:
+            del self._labels[removed_node]
+            del self._children[removed_node]
+            del self._parent[removed_node]
+        return removed
+
+    # -- copies and restrictions -------------------------------------------
+
+    def copy(self) -> "DataTree":
+        """Deep copy preserving node identifiers."""
+        clone = DataTree.__new__(DataTree)
+        clone._labels = dict(self._labels)
+        clone._children = {node: list(children) for node, children in self._children.items()}
+        clone._parent = dict(self._parent)
+        clone._root = self._root
+        clone._next_id = self._next_id
+        return clone
+
+    def subtree_copy(self, node: NodeId) -> "DataTree":
+        """A new tree whose root is a copy of *node* and its descendants.
+
+        Node identifiers are re-allocated starting from 0 in the new tree.
+        """
+        self._require(node)
+        result = DataTree(self._labels[node])
+        mapping = {node: result.root}
+        for current in self.descendants(node):
+            parent = self._parent[current]
+            assert parent is not None
+            mapping[current] = result.add_child(mapping[parent], self._labels[current])
+        return result
+
+    def is_ancestor_closed(self, nodes: Iterable[NodeId]) -> bool:
+        """Whether *nodes* is closed under taking parents (and contains the root if non-empty)."""
+        node_set = set(nodes)
+        for node in node_set:
+            self._require(node)
+            parent = self._parent[node]
+            if parent is not None and parent not in node_set:
+                return False
+        return True
+
+    def ancestor_closure(self, nodes: Iterable[NodeId]) -> FrozenSet[NodeId]:
+        """Smallest ancestor-closed superset of *nodes* (always contains the root)."""
+        closure: Set[NodeId] = {self._root}
+        for node in nodes:
+            self._require(node)
+            closure.add(node)
+            closure.update(self.ancestors(node))
+        return frozenset(closure)
+
+    def restrict(self, nodes: Iterable[NodeId]) -> "DataTree":
+        """The sub-datatree induced by an ancestor-closed node set.
+
+        This realizes Definition 5: the result shares node identifiers with
+        this tree, keeps only edges between retained nodes, has the same root
+        and the restriction of the labeling.  Raises if the set is not
+        ancestor-closed or does not contain the root.
+        """
+        node_set = set(nodes)
+        if self._root not in node_set:
+            raise InvalidTreeError("a sub-datatree must contain the root")
+        if not self.is_ancestor_closed(node_set):
+            raise InvalidTreeError("node set is not closed under parents")
+        clone = DataTree.__new__(DataTree)
+        clone._labels = {n: self._labels[n] for n in node_set}
+        clone._children = {
+            n: [c for c in self._children[n] if c in node_set] for n in node_set
+        }
+        clone._parent = {n: self._parent[n] for n in node_set}
+        clone._root = self._root
+        clone._next_id = self._next_id
+        return clone
+
+    def prune_where(self, should_remove) -> "DataTree":
+        """Copy of the tree with every node satisfying *should_remove* pruned.
+
+        Pruning a node removes its whole subtree (as in Definition 4 where
+        nodes with false conditions disappear together with their
+        descendants).  The root is never pruned.  ``should_remove`` is a
+        callable taking a node id.
+        """
+        kept: Set[NodeId] = {self._root}
+        stack = [c for c in self._children[self._root] if not should_remove(c)]
+        while stack:
+            node = stack.pop()
+            kept.add(node)
+            stack.extend(c for c in self._children[node] if not should_remove(c))
+        return self.restrict(kept)
+
+    # -- conversions -------------------------------------------------------
+
+    def to_nested(self, node: Optional[NodeId] = None) -> tuple:
+        """Nested-tuple view ``(label, [child, ...])`` rooted at *node*.
+
+        Children are sorted by their own nested representation so the output
+        is canonical enough for debugging (but use
+        :func:`repro.trees.isomorphism.canonical_encoding` for real
+        comparisons).
+        """
+        if node is None:
+            node = self._root
+        self._require(node)
+        children = sorted(self.to_nested(child) for child in self._children[node])
+        return (self._labels[node], children)
+
+    @staticmethod
+    def from_nested(nested: Sequence) -> "DataTree":
+        """Inverse of :meth:`to_nested` (also accepts a bare label string)."""
+        if isinstance(nested, str):
+            return DataTree(nested)
+        label, children = nested
+        result = DataTree(label)
+        DataTree._attach_nested(result, result.root, children)
+        return result
+
+    @staticmethod
+    def _attach_nested(result: "DataTree", parent: NodeId, children: Sequence) -> None:
+        for child in children:
+            if isinstance(child, str):
+                result.add_child(parent, child)
+                continue
+            label, grandchildren = child
+            node = result.add_child(parent, label)
+            DataTree._attach_nested(result, node, grandchildren)
+
+    # -- equality (identity of ids + labels + structure) ---------------------
+
+    def same_tree(self, other: "DataTree") -> bool:
+        """Exact equality: same node ids, labels and parent relation.
+
+        This is *not* isomorphism; see :mod:`repro.trees.isomorphism` for the
+        structural notion of Definition 1.
+        """
+        return (
+            self._root == other._root
+            and self._labels == other._labels
+            and self._parent == other._parent
+            and {n: set(c) for n, c in self._children.items()}
+            == {n: set(c) for n, c in other._children.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"DataTree({self.to_nested()!r})"
+
+    # -- internal ----------------------------------------------------------
+
+    def _require(self, node: NodeId) -> None:
+        if node not in self._labels:
+            raise NodeNotFoundError(f"node {node!r} does not belong to this tree")
+
+
+__all__ = ["DataTree", "NodeId"]

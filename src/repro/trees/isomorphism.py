@@ -1,0 +1,86 @@
+"""Isomorphism of unordered labeled trees (Definition 1).
+
+Two data trees are isomorphic when there is a root-preserving,
+label-preserving bijection between their nodes that preserves the edge
+relation.  For unordered trees this can be decided in linear time with the
+classical Aho–Hopcroft–Ullman canonical-encoding technique, which the paper
+relies on (proof of Proposition 3 and the algorithm of Figure 3).
+
+Because the data model has multiset semantics, the canonical encoding of a
+node keeps *all* children encodings, duplicates included; the set-semantics
+variant of Section 5 is obtained by deduplicating them
+(``set_semantics=True``), and is used by
+:mod:`repro.variants.set_semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.trees.datatree import DataTree, NodeId
+
+
+def canonical_encoding(
+    tree: DataTree,
+    node: Optional[NodeId] = None,
+    set_semantics: bool = False,
+) -> str:
+    """Canonical string encoding of the subtree of *tree* rooted at *node*.
+
+    Two subtrees have equal encodings iff they are isomorphic (multiset
+    semantics by default).  The encoding of a node is
+    ``label ( sorted child encodings )`` computed bottom-up iteratively to
+    avoid recursion limits on deep trees.
+    """
+    if node is None:
+        node = tree.root
+    encodings: Dict[NodeId, str] = {}
+    # Post-order traversal without recursion.
+    stack: list = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            children = [encodings[c] for c in tree.children(current)]
+            if set_semantics:
+                children = sorted(set(children))
+            else:
+                children.sort()
+            label = tree.label(current).replace("\\", "\\\\").replace("(", "\\(").replace(")", "\\)")
+            encodings[current] = label + "(" + ",".join(children) + ")"
+        else:
+            stack.append((current, True))
+            for child in tree.children(current):
+                stack.append((child, False))
+    return encodings[node]
+
+
+def isomorphic(left: DataTree, right: DataTree, set_semantics: bool = False) -> bool:
+    """Decide isomorphism of two data trees (Definition 1).
+
+    With ``set_semantics=True`` the Section 5 set-semantics notion is used
+    instead (duplicate sibling subtrees collapse).
+    """
+    if not set_semantics and left.node_count() != right.node_count():
+        return False
+    if left.root_label != right.root_label:
+        return False
+    return canonical_encoding(left, set_semantics=set_semantics) == canonical_encoding(
+        right, set_semantics=set_semantics
+    )
+
+
+def canonical_children_encodings(
+    tree: DataTree, node: NodeId, set_semantics: bool = False
+) -> Tuple[str, ...]:
+    """Sorted canonical encodings of the children subtrees of *node*.
+
+    Helper for DTD validation and the equivalence algorithms which need to
+    group children by isomorphism class.
+    """
+    encodings = [canonical_encoding(tree, child, set_semantics) for child in tree.children(node)]
+    if set_semantics:
+        return tuple(sorted(set(encodings)))
+    return tuple(sorted(encodings))
+
+
+__all__ = ["canonical_encoding", "isomorphic", "canonical_children_encodings"]

@@ -1,0 +1,102 @@
+"""The sub-datatree partial order (Definition 5).
+
+A sub-datatree of ``t`` is obtained by pruning some branches of ``t`` while
+keeping its root: formally a subset of nodes that is closed under taking
+parents, with the induced edges and labels.  Queries (Definition 6) return
+sets of sub-datatrees, and *locally monotone* queries are characterized
+through this order, so these helpers are used throughout the query and
+equivalence machinery.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Set
+
+from repro.trees.datatree import DataTree, NodeId
+
+
+def is_sub_datatree(candidate: DataTree, tree: DataTree) -> bool:
+    """Whether *candidate* ≤ *tree* in the sense of Definition 5.
+
+    The two trees must share node identifiers (sub-datatrees are literally
+    induced substructures, conditions (i)–(v) of the definition).
+    """
+    if candidate.root != tree.root:
+        return False
+    for node in candidate.nodes():
+        if not tree.has_node(node):
+            return False
+        if candidate.label(node) != tree.label(node):
+            return False
+        candidate_parent = candidate.parent(node)
+        tree_parent = tree.parent(node)
+        if candidate_parent != tree_parent:
+            return False
+        # Edges of the candidate must be edges of the tree restricted to the
+        # candidate's nodes: guaranteed by the parent check plus the next one.
+        if not set(candidate.children(node)) <= set(tree.children(node)):
+            return False
+    # Condition (iii) also requires every tree edge between retained nodes to
+    # be present in the candidate.
+    retained = set(candidate.nodes())
+    for node in retained:
+        expected = {c for c in tree.children(node) if c in retained}
+        if expected != set(candidate.children(node)):
+            return False
+    return True
+
+
+def enumerate_sub_datatrees(tree: DataTree) -> Iterator[DataTree]:
+    """Enumerate every sub-datatree of *tree* (the set ``Sub(t)``).
+
+    The number of sub-datatrees is exponential in general (it is the number
+    of antichain-closed prunings), so this is meant for tests and small
+    oracles only.  Enumeration is deterministic.
+    """
+    for nodes in _enumerate_closed_sets(tree, tree.root):
+        yield tree.restrict(nodes)
+
+
+def sub_datatree_count(tree: DataTree) -> int:
+    """Number of sub-datatrees of *tree*, computed bottom-up in linear time.
+
+    For a node with children ``c1 … ck`` whose subtree counts are ``n1 … nk``,
+    the number of prunings keeping that node is ``∏ (ni + 1)`` (each child
+    subtree is either fully pruned or replaced by one of its own prunings).
+    """
+    counts = {}
+    # Process nodes in reverse preorder so children are done before parents.
+    order = list(tree.nodes())
+    for node in reversed(order):
+        product = 1
+        for child in tree.children(node):
+            product *= counts[child] + 1
+        counts[node] = product
+    return counts[tree.root]
+
+
+def _enumerate_closed_sets(tree: DataTree, node: NodeId) -> Iterator[FrozenSet[NodeId]]:
+    """Enumerate ancestor-closed node sets of the subtree at *node* that contain *node*."""
+    child_options: List[List[FrozenSet[NodeId]]] = []
+    for child in tree.children(node):
+        options = [frozenset()]  # prune the child entirely
+        options.extend(_enumerate_closed_sets(tree, child))
+        child_options.append(options)
+    for combination in _product(child_options):
+        result: Set[NodeId] = {node}
+        for part in combination:
+            result |= part
+        yield frozenset(result)
+
+
+def _product(option_lists: List[List[FrozenSet[NodeId]]]) -> Iterator[tuple]:
+    if not option_lists:
+        yield ()
+        return
+    head, *tail = option_lists
+    for choice in head:
+        for rest in _product(tail):
+            yield (choice,) + rest
+
+
+__all__ = ["is_sub_datatree", "enumerate_sub_datatrees", "sub_datatree_count"]

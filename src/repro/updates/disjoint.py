@@ -1,0 +1,75 @@
+"""Disjoint negation of DNF formulas — the deletion helper of Appendix A.
+
+Deleting a node from a prob-tree replaces it by several conditional copies
+whose conditions must (a) together cover exactly the worlds where the node
+survives and (b) be pairwise exclusive, so that the multiset semantics never
+materializes two copies at once.  Appendix A gives the construction for the
+negation of a single conjunction ``a₁ ∧ … ∧ a_p``::
+
+    ¬a₁  ∨  (a₁ ∧ ¬a₂)  ∨  …  ∨  (a₁ ∧ … ∧ a_{p−1} ∧ ¬a_p)
+
+:func:`chain_negation` implements exactly that; :func:`disjoint_negation`
+generalizes it to the negation of a whole DNF (needed when a deletion's query
+has several matches targeting the same node): the negation of a disjunction
+is the conjunction of the negations, and a product of pairwise-disjoint
+covers is itself pairwise disjoint.  The output size is exponential in the
+worst case — Theorem 3 of the paper shows this is inherent, not an artifact
+of the construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition
+
+
+def chain_negation(condition: Condition) -> DNF:
+    """Disjoint DNF equivalent to ``¬condition`` (Appendix A construction).
+
+    The always-true condition negates to the empty (false) DNF.  Literal
+    order is fixed by sorting so the construction is deterministic.
+    """
+    literals = sorted(condition.literals)
+    disjuncts: List[Condition] = []
+    prefix: List = []
+    for literal in literals:
+        disjuncts.append(Condition(prefix + [literal.negate()]))
+        prefix.append(literal)
+    return DNF(disjuncts)
+
+
+def disjoint_negation(formula: DNF) -> DNF:
+    """Disjoint DNF equivalent to ``¬formula``.
+
+    ``¬(C₁ ∨ … ∨ C_m) = ¬C₁ ∧ … ∧ ¬C_m``; each ``¬Cᵢ`` is decomposed with
+    :func:`chain_negation` (a disjoint cover) and the factors are multiplied
+    out.  Two distinct product terms pick different pieces of at least one
+    factor, and pieces of one factor are mutually exclusive, so the result is
+    pairwise disjoint.  Inconsistent terms are dropped.
+
+    The negation of the empty (false) DNF is the always-true DNF.
+    """
+    result = DNF.true()
+    for disjunct in formula.disjuncts:
+        if not disjunct.is_consistent():
+            # An inconsistent disjunct contributes nothing to the disjunction,
+            # hence nothing to negate.
+            continue
+        if disjunct.is_true():
+            # Negating a disjunction containing "true" yields "false".
+            return DNF.false()
+        factor = chain_negation(disjunct)
+        result = DNF(
+            left.conjoin(right)
+            for left in result.disjuncts
+            for right in factor.disjuncts
+            if left.conjoin(right).is_consistent()
+        )
+        if result.is_false():
+            break
+    return result
+
+
+__all__ = ["chain_negation", "disjoint_negation"]

@@ -1,0 +1,116 @@
+"""Elementary update operations (Definitions 14–15) and probabilistic updates.
+
+An elementary update operation is a pair ``(Q, v)`` where ``Q`` is a locally
+monotone query and ``v`` is either an insertion ``i(n, t')`` (insert the tree
+``t'`` as a child of the node matched by query node ``n``) or a deletion
+``d(n)`` (delete the node matched by ``n``, with its subtree).  The operation
+applies at *every* match of ``Q``.
+
+A probabilistic update is a pair ``(τ, c)`` of an update operation and a
+confidence ``c ∈ ]0; 1]``; its semantics on possible worlds is given in
+Definition 16 (see :mod:`repro.updates.pw_updates`) and its direct
+implementation on prob-trees in :mod:`repro.updates.probtree_updates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Union
+
+from repro.queries.base import Query, QueryNodeId
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.errors import InvalidProbabilityError, UpdateError
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """``i(n, t')``: insert *subtree* as a child of the node matched by *at*."""
+
+    query: Query
+    at: QueryNodeId
+    subtree: DataTree
+
+    def describe(self) -> str:
+        return f"insert {self.subtree.root_label!r}-subtree at query node {self.at!r}"
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """``d(n)``: delete the node matched by *at* (and its whole subtree)."""
+
+    query: Query
+    at: QueryNodeId
+
+    def describe(self) -> str:
+        return f"delete node matched by query node {self.at!r}"
+
+
+UpdateOperation = Union[Insertion, Deletion]
+
+
+@dataclass(frozen=True)
+class ProbabilisticUpdate:
+    """A probabilistic update ``(τ, c)``.
+
+    Attributes:
+        operation: the elementary update operation ``τ``.
+        confidence: the confidence ``c ∈ ]0; 1]``; with ``c = 1`` the update
+            is certain and introduces no new event variable.
+        event: optional name for the fresh event variable capturing the
+            update's uncertainty (auto-generated when omitted and needed).
+    """
+
+    operation: UpdateOperation
+    confidence: float = 1.0
+    event: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence <= 1.0:
+            raise InvalidProbabilityError(
+                f"update confidence must lie in ]0; 1], got {self.confidence!r}"
+            )
+
+    @property
+    def is_certain(self) -> bool:
+        return self.confidence >= 1.0
+
+
+def apply_to_datatree(operation: UpdateOperation, tree: DataTree) -> DataTree:
+    """Apply an elementary update operation to a plain data tree (Definition 15).
+
+    Returns a new tree; the input is not modified.  Insertions insert one
+    copy of the subtree per match (possibly several times at the same node);
+    deletions delete every matched target (deleting the root is not allowed,
+    as a data tree always keeps its root).
+    """
+    result = tree.copy()
+    matches = operation.query.matches(tree)
+    if not matches:
+        return result
+
+    if isinstance(operation, Insertion):
+        for match in matches:
+            target = match.target(operation.at)
+            result.add_subtree(target, operation.subtree)
+        return result
+
+    if isinstance(operation, Deletion):
+        targets: Set[NodeId] = {match.target(operation.at) for match in matches}
+        if tree.root in targets:
+            raise UpdateError("a deletion may not target the root of the tree")
+        # Deeper targets first so ancestors removing them en masse is harmless.
+        for target in sorted(targets, key=lambda node: -tree.depth(node)):
+            if result.has_node(target):
+                result.delete_subtree(target)
+        return result
+
+    raise UpdateError(f"unknown update operation {operation!r}")
+
+
+__all__ = [
+    "Insertion",
+    "Deletion",
+    "UpdateOperation",
+    "ProbabilisticUpdate",
+    "apply_to_datatree",
+]

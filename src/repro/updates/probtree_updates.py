@@ -1,0 +1,215 @@
+"""Probabilistic updates applied directly to prob-trees (Appendix A).
+
+The algorithm never materializes the possible-world set:
+
+**Insertion** ``(Q, i(n, t'))`` with confidence ``c``:  a fresh event ``w``
+with ``π(w) = c`` is created (none when ``c = 1``); for every match of ``Q``
+on the underlying data tree, a copy of ``t'`` is inserted as a child of the
+matched node, its root annotated with ``{w} ∪ (cond − (γ(target) ∪
+cond_ancestors))`` where ``cond`` is the union of the conditions of the
+answer's nodes — i.e. exactly the extra constraints, beyond the target's own
+presence, under which this particular match exists.
+
+**Deletion** ``(Q, d(n))`` with confidence ``c``:  for every tree node ``x``
+targeted by at least one match, the node must disappear in precisely the
+worlds satisfying ``δ_x = w ∧ ⋁_k cond_k`` (one disjunct per match targeting
+``x``).  The node and its subtree are replaced by one conditional copy per
+disjunct of a *disjoint* DNF of ``¬δ_x`` (the Appendix A chain construction,
+generalized in :mod:`repro.updates.disjoint`), each copy keeping the original
+descendant conditions.  Targeted nodes are processed bottom-up so nested
+targets compose correctly.  The number of copies — hence the output size —
+may be exponential; Theorem 3 shows no equivalent prob-tree can avoid this.
+
+The consistency property ``⟦(τ,c)(T)⟧ ∼ (τ,c)(⟦T⟧)`` is exercised by the
+test suite against :mod:`repro.updates.pw_updates` on enumerable instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal
+from repro.queries.base import Match
+from repro.trees.datatree import DataTree, NodeId
+from repro.updates.disjoint import disjoint_negation
+from repro.updates.operations import (
+    Deletion,
+    Insertion,
+    ProbabilisticUpdate,
+    UpdateOperation,
+)
+from repro.utils.errors import UpdateError
+
+
+def apply_update_to_probtree(
+    probtree: ProbTree, update: ProbabilisticUpdate
+) -> ProbTree:
+    """Apply a probabilistic update to a prob-tree, returning a new prob-tree."""
+    operation = update.operation
+    matches = operation.query.matches(probtree.tree)
+    result = probtree.copy()
+    if not matches:
+        # No world can be selected by Q (local monotonicity), so nothing
+        # changes and no event needs to be introduced.
+        return result
+
+    extra_condition = Condition.true()
+    if not update.is_certain:
+        event = update.event or probtree.event_factory().fresh()
+        if event in result.events():
+            raise UpdateError(f"event {event!r} already exists in the prob-tree")
+        result.add_event(event, update.confidence)
+        extra_condition = Condition.positive(event)
+
+    if isinstance(operation, Insertion):
+        _apply_insertion(probtree, result, operation, matches, extra_condition)
+        return result
+    if isinstance(operation, Deletion):
+        _apply_deletion(probtree, result, operation, matches, extra_condition)
+        return result
+    raise UpdateError(f"unknown update operation {operation!r}")
+
+
+def apply_updates_to_probtree(
+    probtree: ProbTree, updates: List[ProbabilisticUpdate]
+) -> ProbTree:
+    """Apply a sequence of probabilistic updates in order."""
+    current = probtree
+    for update in updates:
+        current = apply_update_to_probtree(current, update)
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Insertion
+# ---------------------------------------------------------------------------
+
+
+def _apply_insertion(
+    original: ProbTree,
+    result: ProbTree,
+    operation: Insertion,
+    matches: List[Match],
+    extra_condition: Condition,
+) -> None:
+    tree = original.tree
+    for match in matches:
+        target = match.target(operation.at)
+        answer_condition = _answer_condition(original, match)
+        presence = original.accumulated_condition(target)
+        root_condition = extra_condition.conjoin(answer_condition.minus(presence))
+        mapping = result.tree.add_subtree(target, operation.subtree)
+        inserted_root = mapping[operation.subtree.root]
+        if not root_condition.is_true():
+            result.set_condition(inserted_root, root_condition)
+
+
+# ---------------------------------------------------------------------------
+# Deletion
+# ---------------------------------------------------------------------------
+
+
+def _apply_deletion(
+    original: ProbTree,
+    result: ProbTree,
+    operation: Deletion,
+    matches: List[Match],
+    extra_condition: Condition,
+) -> None:
+    tree = original.tree
+    by_target: Dict[NodeId, List[Match]] = {}
+    for match in matches:
+        target = match.target(operation.at)
+        by_target.setdefault(target, []).append(match)
+
+    if tree.root in by_target:
+        raise UpdateError("a deletion may not target the root of the tree")
+
+    # Bottom-up (deepest first) so that replacing an ancestor copies the
+    # already-rewritten descendants.
+    ordered_targets = sorted(by_target, key=lambda node: -tree.depth(node))
+    for target in ordered_targets:
+        target_condition = original.condition(target)
+        presence = original.accumulated_condition(target)
+        disjuncts: List[Condition] = []
+        for match in by_target[target]:
+            answer_condition = _answer_condition(original, match)
+            reduced = extra_condition.conjoin(answer_condition.minus(presence))
+            if reduced.is_consistent():
+                disjuncts.append(reduced)
+        if not disjuncts:
+            # The deletion can never fire for this node.
+            continue
+        survival = disjoint_negation(DNF(disjuncts))
+        _replace_with_conditional_copies(result, target, target_condition, survival)
+
+
+def _replace_with_conditional_copies(
+    result: ProbTree,
+    target: NodeId,
+    target_condition: Condition,
+    survival: DNF,
+) -> None:
+    """Replace *target*'s subtree by one conditional copy per survival disjunct."""
+    parent = result.tree.parent(target)
+    if parent is None:  # pragma: no cover - guarded by the caller
+        raise UpdateError("cannot replace the root with conditional copies")
+    subtree, subtree_conditions = _extract_conditional_subtree(result, target)
+    result.remove_subtree(target)
+    for disjunct in survival.disjuncts:
+        copy_condition = target_condition.conjoin(disjunct)
+        if not copy_condition.is_consistent():
+            continue
+        mapping = result.tree.add_subtree(parent, subtree)
+        for original_node, condition in subtree_conditions.items():
+            node = mapping[original_node]
+            if original_node == subtree.root:
+                continue
+            if not condition.is_true():
+                result.set_condition(node, condition)
+        if not copy_condition.is_true():
+            result.set_condition(mapping[subtree.root], copy_condition)
+
+
+def _extract_conditional_subtree(
+    probtree: ProbTree, node: NodeId
+) -> Tuple[DataTree, Dict[NodeId, Condition]]:
+    """Copy the subtree at *node* together with its condition annotations.
+
+    Returns the copied :class:`DataTree` (re-rooted, fresh ids) and the
+    conditions keyed by the *copy's* node ids.  The copied root's own
+    condition is intentionally excluded — callers decide what the copies'
+    root conditions become.
+    """
+    tree = probtree.tree
+    subtree = DataTree(tree.label(node))
+    conditions: Dict[NodeId, Condition] = {}
+    mapping: Dict[NodeId, NodeId] = {node: subtree.root}
+    for current in tree.descendants(node):
+        parent = tree.parent(current)
+        assert parent is not None
+        copied = subtree.add_child(mapping[parent], tree.label(current))
+        mapping[current] = copied
+        condition = probtree.condition(current)
+        if not condition.is_true():
+            conditions[copied] = condition
+    return subtree, conditions
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _answer_condition(probtree: ProbTree, match: Match) -> Condition:
+    """Union of the conditions of the nodes of the answer sub-datatree."""
+    tree = probtree.tree
+    condition = Condition.true()
+    for node in match.answer_nodes(tree):
+        condition = condition.conjoin(probtree.condition(node))
+    return condition
+
+
+__all__ = ["apply_update_to_probtree", "apply_updates_to_probtree"]

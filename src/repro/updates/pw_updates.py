@@ -1,0 +1,59 @@
+"""Probabilistic updates on possible-world sets (Definition 16).
+
+This is the *semantic reference*: the result of a probabilistic update
+``(τ, c)`` on a PW set keeps unselected worlds untouched and splits each
+selected world ``(t, p)`` into ``(τ(t), p·c)`` and ``(t, p·(1 − c))``.
+Applying updates this way is exponential in practice (the PW set itself may
+be exponential in the prob-tree size); the whole point of the prob-tree
+algorithm of Appendix A (:mod:`repro.updates.probtree_updates`) is to avoid
+materializing it, and the test suite checks both agree
+(``⟦(τ,c)(T)⟧ ∼ (τ,c)(⟦T⟧)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import DataTree
+from repro.updates.operations import ProbabilisticUpdate, apply_to_datatree
+
+
+def apply_update_to_pwset(
+    pwset: PWSet,
+    update: ProbabilisticUpdate,
+    normalize: bool = False,
+) -> PWSet:
+    """Apply ``(τ, c)`` to every possible world (Definition 16)."""
+    operation = update.operation
+    confidence = update.confidence
+    worlds: List[Tuple[DataTree, float]] = []
+    for tree, probability in pwset:
+        if operation.query.selects(tree):
+            worlds.append((apply_to_datatree(operation, tree), probability * confidence))
+            if confidence < 1.0:
+                worlds.append((tree, probability * (1.0 - confidence)))
+        else:
+            worlds.append((tree, probability))
+    result = PWSet(worlds)
+    return result.normalize() if normalize else result
+
+
+def apply_updates_to_pwset(
+    pwset: PWSet,
+    updates: List[ProbabilisticUpdate],
+    normalize_each: bool = True,
+) -> PWSet:
+    """Apply a sequence of probabilistic updates, normalizing along the way.
+
+    Normalizing between updates keeps the intermediate world count as small
+    as possible; it does not change the semantics (normalization preserves
+    the ``∼`` class).
+    """
+    current = pwset
+    for update in updates:
+        current = apply_update_to_pwset(current, update, normalize=normalize_each)
+    return current
+
+
+__all__ = ["apply_update_to_pwset", "apply_updates_to_pwset"]

@@ -1,0 +1,23 @@
+"""Shared utilities: error types and deterministic seeding helpers."""
+
+from repro.utils.errors import (
+    ProbXMLError,
+    InvalidConditionError,
+    InvalidProbabilityError,
+    InvalidTreeError,
+    NodeNotFoundError,
+    QueryError,
+    UpdateError,
+    DTDError,
+)
+
+__all__ = [
+    "ProbXMLError",
+    "InvalidConditionError",
+    "InvalidProbabilityError",
+    "InvalidTreeError",
+    "NodeNotFoundError",
+    "QueryError",
+    "UpdateError",
+    "DTDError",
+]

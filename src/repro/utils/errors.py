@@ -1,0 +1,46 @@
+"""Exception hierarchy for the probabilistic XML library.
+
+All library-specific errors derive from :class:`ProbXMLError`, so callers can
+catch a single base class when they do not care about the precise failure
+mode.  More specific subclasses are raised close to the point of failure with
+messages that mention the offending value.
+"""
+
+from __future__ import annotations
+
+
+class ProbXMLError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidTreeError(ProbXMLError):
+    """A data tree is structurally invalid (cycles, missing root, ...)."""
+
+
+class NodeNotFoundError(ProbXMLError, KeyError):
+    """A node identifier does not belong to the tree it was used with."""
+
+
+class InvalidConditionError(ProbXMLError):
+    """A condition refers to unknown events or is syntactically malformed."""
+
+
+class InvalidProbabilityError(ProbXMLError, ValueError):
+    """A probability value lies outside its allowed range.
+
+    The paper's convention (Section 2) is that event probabilities lie in the
+    half-open interval ``]0; 1]``: zero probabilities are disallowed so that
+    updates with zero confidence are simply not performed.
+    """
+
+
+class QueryError(ProbXMLError):
+    """A query is malformed or was evaluated against an incompatible tree."""
+
+
+class UpdateError(ProbXMLError):
+    """An update operation is malformed or cannot be applied."""
+
+
+class DTDError(ProbXMLError):
+    """A DTD definition is malformed."""

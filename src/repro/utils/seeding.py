@@ -1,0 +1,44 @@
+"""Deterministic random number helpers.
+
+Workload generators, the randomized equivalence algorithm and the benchmark
+harness all need randomness; to keep experiments reproducible every entry
+point accepts either an integer seed or an existing :class:`random.Random`
+instance and funnels it through :func:`make_rng`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RngLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` built from *seed*.
+
+    ``None`` yields a fresh unseeded generator, an ``int`` seeds a new
+    generator, and an existing ``random.Random`` is returned unchanged (so
+    callers can share one stream across helpers).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from *rng*.
+
+    Used when a generator needs to hand out sub-streams (e.g. one per
+    benchmark repetition) without the sub-streams interfering with the parent
+    sequence.
+    """
+    return random.Random(rng.getrandbits(64))
+
+
+def choose_subset(rng: random.Random, items, probability: float = 0.5):
+    """Return a random subset of *items*, each kept with *probability*."""
+    return {item for item in items if rng.random() < probability}
+
+
+__all__ = ["RngLike", "make_rng", "spawn_rng", "choose_subset"]

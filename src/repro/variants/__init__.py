@@ -1,0 +1,27 @@
+"""Variants of the prob-tree model discussed in Section 5 of the paper.
+
+* :mod:`repro.variants.set_semantics` — the data model with set (rather than
+  multiset) semantics: isomorphism collapses duplicate siblings and
+  structural equivalence reduces to plain propositional equivalence;
+* :mod:`repro.variants.formula_probtree` — prob-trees whose conditions are
+  arbitrary propositional formulas: updates (including deletions) become
+  polynomial while query evaluation becomes exponential.
+
+The ordered-tree variant is only discussed, not formalized, by the paper
+("the situation is more intricate and would require totally different
+techniques") and is therefore not implemented.
+"""
+
+from repro.variants.set_semantics import (
+    set_isomorphic,
+    set_normalize,
+    set_structurally_equivalent,
+)
+from repro.variants.formula_probtree import FormulaProbTree
+
+__all__ = [
+    "set_isomorphic",
+    "set_normalize",
+    "set_structurally_equivalent",
+    "FormulaProbTree",
+]

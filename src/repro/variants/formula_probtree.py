@@ -1,0 +1,211 @@
+"""Prob-trees with arbitrary propositional-formula conditions (Section 5).
+
+In this variant every node may carry an arbitrary propositional formula over
+the event variables (not just a conjunction of literals).  The paper observes
+that the complexity trade-off flips:
+
+* **updates become polynomial** — an insertion annotates the new node with a
+  conjunction of the match condition and the confidence event, and a deletion
+  simply conjoins the surviving node's formula with the *negation* of the
+  delete condition, without ever expanding it into a disjunction of
+  conjunctions (so Theorem 3's blow-up disappears);
+* **query evaluation becomes expensive** — computing the probability of an
+  answer now requires evaluating the probability of an arbitrary formula,
+  which is NP-hard (the implementation enumerates the worlds touched by the
+  answer's events).
+
+This class deliberately mirrors a subset of :class:`repro.core.probtree.ProbTree`
+so the E12 benchmark can run the same workload against both models.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.events import EventFactory, ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.boolean import (
+    BoolExpr,
+    Not,
+    TrueExpr,
+    Var,
+    conjunction,
+    disjunction,
+    from_condition,
+)
+from repro.formulas.literals import all_worlds
+from repro.pw.pwset import PWSet
+from repro.queries.base import Query
+from repro.trees.datatree import DataTree, NodeId
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.utils.errors import QueryError, UpdateError
+
+
+class FormulaProbTree:
+    """A prob-tree whose conditions are arbitrary propositional formulas."""
+
+    __slots__ = ("_tree", "_distribution", "_formulas")
+
+    def __init__(
+        self,
+        tree: DataTree,
+        distribution: ProbabilityDistribution | Mapping[str, float] | None = None,
+        formulas: Mapping[NodeId, BoolExpr] | None = None,
+    ) -> None:
+        if not isinstance(distribution, ProbabilityDistribution):
+            distribution = ProbabilityDistribution(distribution or {})
+        self._tree = tree
+        self._distribution = distribution
+        self._formulas: Dict[NodeId, BoolExpr] = dict(formulas or {})
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_probtree(probtree: ProbTree) -> "FormulaProbTree":
+        """Lift a conjunctive prob-tree into the formula variant."""
+        formulas = {
+            node: from_condition(condition)
+            for node, condition in probtree.conditions().items()
+        }
+        return FormulaProbTree(probtree.tree.copy(), probtree.distribution, formulas)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def tree(self) -> DataTree:
+        return self._tree
+
+    @property
+    def distribution(self) -> ProbabilityDistribution:
+        return self._distribution
+
+    def formula(self, node: NodeId) -> BoolExpr:
+        return self._formulas.get(node, TrueExpr())
+
+    def set_formula(self, node: NodeId, formula: BoolExpr) -> None:
+        if node == self._tree.root:
+            raise UpdateError("the root of a formula prob-tree cannot carry a condition")
+        if isinstance(formula, TrueExpr):
+            self._formulas.pop(node, None)
+        else:
+            self._formulas[node] = formula
+
+    def used_events(self) -> Set[str]:
+        result: Set[str] = set()
+        for formula in self._formulas.values():
+            result |= formula.events()
+        return result
+
+    def size(self) -> int:
+        """Nodes plus total formula size (the analogue of ``|T|``)."""
+        return self._tree.node_count() + sum(f.size() for f in self._formulas.values())
+
+    def copy(self) -> "FormulaProbTree":
+        return FormulaProbTree(self._tree.copy(), self._distribution, dict(self._formulas))
+
+    # -- semantics --------------------------------------------------------------
+
+    def value_in_world(self, world: AbstractSet[str]) -> DataTree:
+        world_set = set(world)
+
+        def removed(node: NodeId) -> bool:
+            return not self.formula(node).holds_in(world_set)
+
+        return self._tree.prune_where(removed)
+
+    def possible_worlds(self, normalize: bool = True) -> PWSet:
+        events = sorted(self.used_events())
+        pairs = []
+        for world in all_worlds(events):
+            probability = self._distribution.world_probability(world, over=events)
+            pairs.append((self.value_in_world(world), probability))
+        result = PWSet(pairs)
+        return result.normalize() if normalize else result
+
+    # -- queries -----------------------------------------------------------------
+
+    def evaluate(self, query: Query) -> List[Tuple[DataTree, float]]:
+        """Answers with exact probabilities (exponential-time per answer)."""
+        if not query.locally_monotone:
+            raise QueryError("only locally monotone queries are supported")
+        answers: List[Tuple[DataTree, float]] = []
+        distribution = self._distribution.as_dict()
+        for nodes in query.result_node_sets(self._tree):
+            formula = conjunction(*(self.formula(node) for node in nodes))
+            probability = formula.probability(distribution)
+            if probability > 0.0:
+                answers.append((self._tree.restrict(nodes), probability))
+        return answers
+
+    def boolean_probability(self, query: Query) -> float:
+        """Probability that the query has at least one answer."""
+        disjuncts = []
+        for nodes in query.result_node_sets(self._tree):
+            disjuncts.append(conjunction(*(self.formula(node) for node in nodes)))
+        if not disjuncts:
+            return 0.0
+        return disjunction(*disjuncts).probability(self._distribution.as_dict())
+
+    # -- updates ------------------------------------------------------------------
+
+    def apply_update(self, update: ProbabilisticUpdate) -> "FormulaProbTree":
+        """Apply a probabilistic update in polynomial time.
+
+        This is the Section 5 observation: with arbitrary formulas allowed,
+        both insertion and deletion only *annotate* nodes (no copies, no DNF
+        expansion), so the output grows by at most the size of the conditions
+        involved.
+        """
+        operation = update.operation
+        matches = operation.query.matches(self._tree)
+        result = self.copy()
+        if not matches:
+            return result
+
+        extra: BoolExpr = TrueExpr()
+        if not update.is_certain:
+            factory = EventFactory(reserved=self._distribution.events())
+            event = update.event or factory.fresh()
+            if event in result._distribution:
+                raise UpdateError(f"event {event!r} already exists")
+            result._distribution = result._distribution.with_event(
+                event, update.confidence
+            )
+            extra = Var(event)
+
+        if isinstance(operation, Insertion):
+            for match in matches:
+                target = match.target(operation.at)
+                match_formula = conjunction(
+                    *(self.formula(node) for node in match.answer_nodes(self._tree))
+                )
+                mapping = result._tree.add_subtree(target, operation.subtree)
+                inserted = mapping[operation.subtree.root]
+                result.set_formula(inserted, conjunction(extra, match_formula))
+            return result
+
+        if isinstance(operation, Deletion):
+            by_target: Dict[NodeId, List[BoolExpr]] = {}
+            for match in matches:
+                target = match.target(operation.at)
+                match_formula = conjunction(
+                    *(self.formula(node) for node in match.answer_nodes(self._tree))
+                )
+                by_target.setdefault(target, []).append(conjunction(extra, match_formula))
+            if self._tree.root in by_target:
+                raise UpdateError("a deletion may not target the root of the tree")
+            for target, delete_formulas in by_target.items():
+                survive = Not(disjunction(*delete_formulas))
+                result.set_formula(target, conjunction(self.formula(target), survive))
+            return result
+
+        raise UpdateError(f"unknown update operation {operation!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"FormulaProbTree(nodes={self._tree.node_count()}, "
+            f"size={self.size()}, events={len(self._distribution)})"
+        )
+
+
+__all__ = ["FormulaProbTree"]

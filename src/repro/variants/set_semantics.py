@@ -1,0 +1,121 @@
+"""The set-semantics variant of the data model (Section 5).
+
+Under set semantics, two trees are isomorphic when the roots have the same
+label and every subtree of one root is isomorphic to some subtree of the
+other (and symmetrically) — duplicate sibling subtrees collapse.  The paper
+notes that most results carry over (including the Theorem 3 deletion blow-up)
+but that structural equivalence changes nature: the relevant comparison of
+children conditions becomes plain *propositional* equivalence (does some copy
+survive?) rather than count-equivalence (how many copies survive?), giving a
+direct co-NP-completeness argument.
+
+This module provides:
+
+* :func:`set_isomorphic` — set-semantics isomorphism of data trees;
+* :func:`set_normalize` — PW-set normalization under set semantics;
+* :func:`set_structurally_equivalent` — structural equivalence of prob-trees
+  under set semantics, decided exactly by world enumeration (the reference
+  notion);
+* :func:`set_structurally_equivalent_syntactic` — a sound (never wrongly
+  answers ``True``) but incomplete inductive procedure that compares, per
+  identically-annotated child subtree, the propositional equivalence of the
+  condition bundles; it illustrates the "plain equivalence instead of
+  count-equivalence" observation of the paper and is exercised against the
+  exhaustive check in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.cleaning import clean
+from repro.core.probtree import ProbTree
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import all_worlds
+from repro.formulas.sat import equivalent
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import DataTree, NodeId
+from repro.trees.isomorphism import isomorphic
+
+
+def set_isomorphic(left: DataTree, right: DataTree) -> bool:
+    """Set-semantics isomorphism of data trees (duplicate siblings collapse)."""
+    return isomorphic(left, right, set_semantics=True)
+
+
+def set_normalize(pwset: PWSet) -> PWSet:
+    """Normalize a PW set merging worlds isomorphic under set semantics."""
+    return pwset.normalize(set_semantics=True)
+
+
+def set_structurally_equivalent(left: ProbTree, right: ProbTree) -> bool:
+    """Structural equivalence under set semantics, by world enumeration.
+
+    Exponential in the number of used events, mirroring the co-NP upper
+    bound: a counterexample world is a polynomial certificate of
+    inequivalence.
+    """
+    events = left.used_events() | right.used_events()
+    for world in all_worlds(sorted(events)):
+        if not set_isomorphic(left.value_in_world(world), right.value_in_world(world)):
+            return False
+    return True
+
+
+def set_structurally_equivalent_syntactic(left: ProbTree, right: ProbTree) -> bool:
+    """Sound-but-incomplete inductive check using propositional equivalence.
+
+    Children are grouped by the canonical encoding of their *annotated*
+    subtree (conditions of strict descendants included, own condition
+    excluded); two prob-trees are accepted when both sides exhibit the same
+    groups and, within each group, the disjunctions of the children's top
+    conditions are propositionally equivalent.  A ``True`` answer implies
+    genuine set-semantics structural equivalence; a ``False`` answer may be a
+    false alarm when equivalent subtrees are annotated differently.
+    """
+    left = clean(left)
+    right = clean(right)
+    return _equivalent_below(left, left.tree.root, right, right.tree.root)
+
+
+def _equivalent_below(
+    left: ProbTree, left_node: NodeId, right: ProbTree, right_node: NodeId
+) -> bool:
+    if left.tree.label(left_node) != right.tree.label(right_node):
+        return False
+    left_groups = _children_by_annotated_shape(left, left_node)
+    right_groups = _children_by_annotated_shape(right, right_node)
+    if set(left_groups) != set(right_groups):
+        return False
+    return all(
+        equivalent(DNF(left_groups[key]), DNF(right_groups[key]))
+        for key in left_groups
+    )
+
+
+def _children_by_annotated_shape(probtree: ProbTree, node: NodeId) -> Dict[str, List]:
+    groups: Dict[str, List] = {}
+    for child in probtree.tree.children(node):
+        key = _conditional_encoding(probtree, child)
+        groups.setdefault(key, []).append(probtree.condition(child))
+    return groups
+
+
+def _conditional_encoding(probtree: ProbTree, node: NodeId) -> str:
+    """Canonical encoding of the annotated subtree at *node* (own condition excluded)."""
+    children = sorted(
+        set(
+            f"[{probtree.condition(child)}]" + _conditional_encoding(probtree, child)
+            for child in probtree.tree.children(node)
+        )
+    )
+    label = probtree.tree.label(node).replace("(", "\\(").replace(")", "\\)")
+    return label + "(" + ",".join(children) + ")"
+
+
+__all__ = [
+    "set_isomorphic",
+    "set_normalize",
+    "set_structurally_equivalent",
+    "set_structurally_equivalent_syntactic",
+]

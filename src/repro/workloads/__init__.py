@@ -1,0 +1,45 @@
+"""Workload generators for tests, examples and benchmarks.
+
+* :mod:`repro.workloads.random_trees` — random data trees of configurable
+  shape;
+* :mod:`repro.workloads.random_probtrees` — random prob-trees (random tree +
+  random conditions over a configurable event pool);
+* :mod:`repro.workloads.random_queries` — tree-pattern queries sampled from a
+  tree so they are guaranteed to match, plus random updates;
+* :mod:`repro.workloads.constructions` — the worst-case families used in the
+  paper's proofs (Figure 1, Theorem 3, Theorem 4, Theorem 5);
+* :mod:`repro.workloads.scenarios` — a synthetic "hidden web" information
+  extraction scenario reproducing the paper's motivating use case.
+"""
+
+from repro.workloads.random_trees import random_datatree
+from repro.workloads.random_probtrees import random_probtree, random_condition
+from repro.workloads.random_queries import (
+    random_matching_pattern,
+    random_insertion,
+    random_deletion,
+    random_update,
+)
+from repro.workloads.constructions import (
+    figure1_probtree,
+    theorem3_probtree,
+    theorem3_deletion,
+    wide_independent_probtree,
+)
+from repro.workloads.scenarios import HiddenWebScenario, ExtractionEvent
+
+__all__ = [
+    "random_datatree",
+    "random_probtree",
+    "random_condition",
+    "random_matching_pattern",
+    "random_insertion",
+    "random_deletion",
+    "random_update",
+    "figure1_probtree",
+    "theorem3_probtree",
+    "theorem3_deletion",
+    "wide_independent_probtree",
+    "HiddenWebScenario",
+    "ExtractionEvent",
+]

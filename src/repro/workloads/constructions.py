@@ -1,0 +1,108 @@
+"""The concrete constructions appearing in the paper.
+
+* :func:`figure1_probtree` — the running example of Figures 1 and 2;
+* :func:`theorem3_probtree` / :func:`theorem3_deletion` — the family showing
+  deletions may force exponential prob-trees, together with the deletion
+  ``d₀`` ("if the root has a C-child, delete all B-children of the root");
+* :func:`wide_independent_probtree` — a root with ``n`` independent optional
+  children, the factorizable family driving the E1 representation benchmark
+  (its explicit PW set has ``2ⁿ`` worlds while the prob-tree stays linear).
+
+The Theorem 4 and Theorem 5 constructions live next to their algorithms
+(:mod:`repro.threshold.constructions`, :mod:`repro.dtd.reductions`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, Literal
+from repro.queries.treepattern import TreePattern
+from repro.trees.datatree import DataTree
+from repro.updates.operations import Deletion, ProbabilisticUpdate
+
+
+def figure1_probtree() -> ProbTree:
+    """The prob-tree of Figure 1: A with B[w1, ¬w2] and C[w2]/D children.
+
+    Its possible-world semantics is the PW set of Figure 2.
+    """
+    tree = DataTree("A")
+    node_b = tree.add_child(tree.root, "B")
+    node_c = tree.add_child(tree.root, "C")
+    tree.add_child(node_c, "D")
+    distribution = ProbabilityDistribution({"w1": 0.8, "w2": 0.7})
+    probtree = ProbTree(tree, distribution, {})
+    probtree.set_condition(node_b, Condition.of("w1", "not w2"))
+    probtree.set_condition(node_c, Condition.of("w2"))
+    return probtree
+
+
+def theorem3_probtree(n: int, probability: float = 0.5) -> ProbTree:
+    """The Theorem 3 prob-tree: root A, one B child, and n C children.
+
+    Each ``C`` child is conditioned by the conjunction ``w⁽⁰⁾ₖ ∧ w⁽¹⁾ₖ`` of
+    two private events, so the tree has ``n + 2`` nodes and ``2n`` event
+    variables, each appearing exactly once.
+    """
+    if n < 1:
+        raise ValueError("theorem3_probtree needs n >= 1")
+    tree = DataTree("A")
+    tree.add_child(tree.root, "B")
+    conditions = {}
+    probabilities = {}
+    for k in range(1, n + 1):
+        low, high = f"w{k}_0", f"w{k}_1"
+        probabilities[low] = probability
+        probabilities[high] = probability
+        node = tree.add_child(tree.root, "C")
+        conditions[node] = Condition([Literal(low), Literal(high)])
+    return ProbTree(tree, ProbabilityDistribution(probabilities), conditions)
+
+
+def theorem3_deletion(confidence: float = 1.0) -> ProbabilisticUpdate:
+    """The deletion ``d₀``: if the root has a C-child, delete all B-children.
+
+    Expressed as a tree-pattern update: the pattern requires both a ``C``
+    child and a ``B`` child of the root, and the deletion targets the ``B``
+    pattern node — so it fires exactly on trees with at least one ``C`` child
+    and removes every ``B`` child (one match per (C, B) pair).
+    """
+    pattern = TreePattern("A")
+    pattern.add_child(pattern.root, "C")
+    target = pattern.add_child(pattern.root, "B")
+    return ProbabilisticUpdate(Deletion(pattern, target), confidence=confidence)
+
+
+def wide_independent_probtree(
+    n: int, probability: float = 0.5, distinct_labels: bool = True
+) -> ProbTree:
+    """A root with ``n`` independently-optional children (E1 workload).
+
+    With *distinct_labels* the children are labeled ``C1 … Cn`` so all ``2ⁿ``
+    worlds are pairwise non-isomorphic — the factorizable family on which the
+    prob-tree encoding is exponentially more concise than the explicit
+    possible-world set.
+    """
+    if n < 0:
+        raise ValueError("wide_independent_probtree needs n >= 0")
+    tree = DataTree("A")
+    conditions = {}
+    probabilities = {}
+    for index in range(1, n + 1):
+        event = f"w{index}"
+        probabilities[event] = probability
+        label = f"C{index}" if distinct_labels else "C"
+        node = tree.add_child(tree.root, label)
+        conditions[node] = Condition([Literal(event)])
+    return ProbTree(tree, ProbabilityDistribution(probabilities), conditions)
+
+
+__all__ = [
+    "figure1_probtree",
+    "theorem3_probtree",
+    "theorem3_deletion",
+    "wide_independent_probtree",
+]

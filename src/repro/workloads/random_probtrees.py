@@ -1,0 +1,84 @@
+"""Random prob-tree generation.
+
+A random prob-tree is a random data tree whose non-root nodes are annotated,
+with a configurable probability, by small random conditions over a pool of
+event variables.  Keeping the pool small relative to the node count produces
+the correlation patterns (shared events across nodes) that make equivalence
+and update benchmarks interesting; a larger pool approaches the
+fully-independent case of the paper's worst-case constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, Literal
+from repro.trees.datatree import DataTree
+from repro.utils.seeding import RngLike, make_rng
+from repro.workloads.random_trees import DEFAULT_LABELS, random_datatree
+
+
+def random_condition(
+    events: Sequence[str],
+    seed: RngLike = None,
+    max_literals: int = 2,
+    negation_probability: float = 0.3,
+) -> Condition:
+    """A random conjunction of at most *max_literals* literals over *events*."""
+    rng = make_rng(seed)
+    if not events or max_literals <= 0:
+        return Condition.true()
+    count = rng.randint(1, min(max_literals, len(events)))
+    chosen = rng.sample(list(events), count)
+    return Condition(
+        Literal(event, negated=rng.random() < negation_probability)
+        for event in chosen
+    )
+
+
+def random_probtree(
+    node_count: int,
+    event_count: int,
+    seed: RngLike = None,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    condition_probability: float = 0.6,
+    max_literals: int = 2,
+    root_label: Optional[str] = None,
+    tree: Optional[DataTree] = None,
+) -> ProbTree:
+    """Generate a random prob-tree.
+
+    Args:
+        node_count: nodes of the underlying data tree (ignored when *tree*
+            is supplied).
+        event_count: size of the event pool; probabilities are drawn
+            uniformly from ``[0.1, 0.9]``.
+        condition_probability: chance that a non-root node carries a
+            non-trivial condition.
+        max_literals: maximum number of literals per condition.
+        tree: optionally reuse an existing data tree instead of generating
+            one.
+    """
+    rng = make_rng(seed)
+    if tree is None:
+        tree = random_datatree(
+            node_count, labels=labels, seed=rng, root_label=root_label
+        )
+    events = [f"w{i}" for i in range(1, event_count + 1)]
+    distribution = ProbabilityDistribution(
+        {event: round(rng.uniform(0.1, 0.9), 3) for event in events}
+    )
+    probtree = ProbTree(tree, distribution, {})
+    for node in tree.nodes():
+        if node == tree.root:
+            continue
+        if events and rng.random() < condition_probability:
+            condition = random_condition(events, seed=rng, max_literals=max_literals)
+            if not condition.is_true():
+                probtree.set_condition(node, condition)
+    return probtree
+
+
+__all__ = ["random_condition", "random_probtree"]

@@ -1,0 +1,143 @@
+"""Random tree-pattern queries and random probabilistic updates.
+
+Queries are sampled *from* a target tree so that they are guaranteed to have
+at least one match: a random node is chosen, the root-to-node path becomes a
+chain of pattern steps (each step kept as an exact label or generalized to a
+wildcard / descendant edge with some probability), and optionally a sibling
+branch is added.  Updates wrap such queries into insertions or deletions
+with a random confidence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.queries.treepattern import (
+    EDGE_CHILD,
+    EDGE_DESCENDANT,
+    WILDCARD,
+    TreePattern,
+)
+from repro.trees.datatree import DataTree, NodeId
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.utils.seeding import RngLike, make_rng
+from repro.workloads.random_trees import DEFAULT_LABELS, random_datatree
+
+
+def random_matching_pattern(
+    tree: DataTree,
+    seed: RngLike = None,
+    wildcard_probability: float = 0.2,
+    descendant_probability: float = 0.2,
+    branch_probability: float = 0.3,
+) -> Tuple[TreePattern, int]:
+    """A random tree pattern guaranteed to match *tree*.
+
+    Returns the pattern together with the identifier of its "focus" pattern
+    node (the last node of the sampled path), which updates use as their
+    target ``n``.
+    """
+    rng = make_rng(seed)
+    nodes = list(tree.nodes())
+    target = rng.choice(nodes)
+    path: List[NodeId] = list(tree.ancestors(target, include_self=True))
+    path.reverse()  # root first
+
+    pattern = TreePattern(tree.root_label)
+    current = pattern.root
+    for node in path[1:]:
+        label = tree.label(node)
+        if rng.random() < wildcard_probability:
+            label = WILDCARD
+        edge = (
+            EDGE_DESCENDANT
+            if rng.random() < descendant_probability
+            else EDGE_CHILD
+        )
+        current = pattern.add_child(current, label, edge=edge)
+    focus = current
+
+    # Optionally require an existing sibling branch so multi-node patterns
+    # (and hence multi-condition answers) appear in the workload.
+    if rng.random() < branch_probability:
+        parent_of_target = tree.parent(target)
+        if parent_of_target is not None:
+            siblings = [
+                child
+                for child in tree.children(parent_of_target)
+                if child != target
+            ]
+            if siblings:
+                sibling = rng.choice(siblings)
+                parent_pattern_node = pattern.root if len(path) == 1 else _parent_of(pattern, focus)
+                pattern.add_child(parent_pattern_node, tree.label(sibling))
+    return pattern, focus
+
+
+def _parent_of(pattern: TreePattern, node: int) -> int:
+    for candidate in range(pattern.node_count()):
+        if node in pattern.pattern_children(candidate):
+            return candidate
+    return pattern.root
+
+
+def random_insertion(
+    tree: DataTree,
+    seed: RngLike = None,
+    subtree_size: int = 3,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    confidence: Optional[float] = None,
+) -> ProbabilisticUpdate:
+    """A random probabilistic insertion matching *tree*."""
+    rng = make_rng(seed)
+    pattern, focus = random_matching_pattern(tree, seed=rng)
+    subtree = random_datatree(subtree_size, labels=labels, seed=rng)
+    chosen_confidence = (
+        confidence if confidence is not None else round(rng.uniform(0.3, 1.0), 2)
+    )
+    return ProbabilisticUpdate(
+        Insertion(pattern, focus, subtree), confidence=chosen_confidence
+    )
+
+
+def random_deletion(
+    tree: DataTree,
+    seed: RngLike = None,
+    confidence: Optional[float] = None,
+) -> ProbabilisticUpdate:
+    """A random probabilistic deletion matching *tree* (never targets the root)."""
+    rng = make_rng(seed)
+    for _ in range(64):
+        pattern, focus = random_matching_pattern(tree, seed=rng)
+        matches = pattern.matches(tree)
+        targets = {match.target(focus) for match in matches}
+        if tree.root not in targets:
+            chosen_confidence = (
+                confidence
+                if confidence is not None
+                else round(rng.uniform(0.3, 1.0), 2)
+            )
+            return ProbabilisticUpdate(
+                Deletion(pattern, focus), confidence=chosen_confidence
+            )
+    raise ValueError("could not sample a deletion avoiding the root")
+
+
+def random_update(
+    tree: DataTree,
+    seed: RngLike = None,
+    deletion_probability: float = 0.4,
+) -> ProbabilisticUpdate:
+    """A random probabilistic update (insertion or deletion)."""
+    rng = make_rng(seed)
+    if tree.node_count() > 1 and rng.random() < deletion_probability:
+        return random_deletion(tree, seed=rng)
+    return random_insertion(tree, seed=rng)
+
+
+__all__ = [
+    "random_matching_pattern",
+    "random_insertion",
+    "random_deletion",
+    "random_update",
+]

@@ -1,0 +1,78 @@
+"""Random data tree generation.
+
+Every generator takes a seed (or an existing ``random.Random``) so workloads
+are reproducible.  The default shape is a uniform random attachment tree:
+each new node picks its parent uniformly among the existing nodes, which
+yields realistic mixed fan-out; ``max_children`` and ``max_depth`` constrain
+the shape for DTD-oriented workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.trees.datatree import DataTree
+from repro.utils.seeding import RngLike, make_rng
+
+DEFAULT_LABELS: Sequence[str] = ("A", "B", "C", "D", "E")
+
+
+def random_datatree(
+    node_count: int,
+    labels: Sequence[str] = DEFAULT_LABELS,
+    seed: RngLike = None,
+    root_label: Optional[str] = None,
+    max_children: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> DataTree:
+    """Generate a random data tree with exactly *node_count* nodes.
+
+    Args:
+        node_count: total number of nodes (must be ≥ 1).
+        labels: label alphabet sampled uniformly.
+        seed: RNG seed or instance.
+        root_label: fixed root label (random when omitted).
+        max_children: optional cap on the fan-out of every node.
+        max_depth: optional cap on the depth of every node.
+    """
+    if node_count < 1:
+        raise ValueError("a data tree needs at least one node")
+    rng = make_rng(seed)
+    tree = DataTree(root_label if root_label is not None else rng.choice(list(labels)))
+    candidates: List[int] = [tree.root]
+    depths = {tree.root: 0}
+    while tree.node_count() < node_count:
+        if not candidates:
+            raise ValueError(
+                "constraints too tight: no node can accept further children"
+            )
+        parent = rng.choice(candidates)
+        node = tree.add_child(parent, rng.choice(list(labels)))
+        depths[node] = depths[parent] + 1
+        if max_depth is None or depths[node] < max_depth:
+            candidates.append(node)
+        if max_children is not None and len(tree.children(parent)) >= max_children:
+            candidates.remove(parent)
+    return tree
+
+
+def chain_datatree(labels: Sequence[str]) -> DataTree:
+    """A root-to-leaf chain with the given labels (depth benchmark helper)."""
+    if not labels:
+        raise ValueError("chain_datatree needs at least one label")
+    tree = DataTree(labels[0])
+    current = tree.root
+    for label in labels[1:]:
+        current = tree.add_child(current, label)
+    return tree
+
+
+def star_datatree(root_label: str, child_label: str, fanout: int) -> DataTree:
+    """A root with *fanout* identical children (width benchmark helper)."""
+    tree = DataTree(root_label)
+    for _ in range(fanout):
+        tree.add_child(tree.root, child_label)
+    return tree
+
+
+__all__ = ["DEFAULT_LABELS", "random_datatree", "chain_datatree", "star_datatree"]

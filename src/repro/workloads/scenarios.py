@@ -1,0 +1,137 @@
+"""A synthetic "hidden web" information-extraction scenario.
+
+The paper's motivation: a system discovers Web data sources, runs imprecise
+analysis (classification, extraction, semantic tagging) over them and stores
+the resulting knowledge in an XML warehouse; every imprecise finding becomes
+a probabilistic update with the extractor's confidence.  No real traces from
+that system are available, so this module generates a synthetic but faithful
+workload:
+
+* the warehouse starts as a bare ``warehouse`` root with ``source`` children;
+* extraction events arrive as probabilistic insertions ("this source appears
+  to describe a *movie* titled X, confidence 0.8") and occasional
+  probabilistic deletions ("the earlier classification of this source looks
+  wrong, retract it, confidence 0.6");
+* analyst queries ask for titles, entity types or sources with given
+  properties.
+
+The generator is deterministic given a seed, and produces both the
+update/query stream and the ground data needed to replay it against the
+prob-tree engine and the explicit possible-world baseline (E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.queries.treepattern import TreePattern, WILDCARD
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.utils.seeding import RngLike, make_rng
+
+_ENTITY_TYPES = ("movie", "person", "conference", "product")
+_TITLE_WORDS = (
+    "nights",
+    "shadows",
+    "journey",
+    "garden",
+    "engine",
+    "archive",
+    "harbor",
+    "signal",
+)
+
+
+@dataclass(frozen=True)
+class ExtractionEvent:
+    """One step of the scenario: a probabilistic update plus a description."""
+
+    description: str
+    update: ProbabilisticUpdate
+
+
+@dataclass
+class HiddenWebScenario:
+    """A reproducible extraction workload over an XML warehouse.
+
+    Attributes:
+        source_count: number of data sources discovered up front.
+        event_count: number of extraction events (probabilistic updates).
+        deletion_ratio: fraction of events that are retractions (deletions).
+        seed: RNG seed for reproducibility.
+    """
+
+    source_count: int = 5
+    event_count: int = 20
+    deletion_ratio: float = 0.15
+    seed: RngLike = 0
+
+    def initial_document(self) -> DataTree:
+        """The warehouse before any extraction: a root with bare sources."""
+        document = DataTree("warehouse")
+        for index in range(1, self.source_count + 1):
+            document.add_child(document.root, f"source{index}")
+        return document
+
+    def events(self) -> List[ExtractionEvent]:
+        """The extraction event stream (deterministic given the seed)."""
+        rng = make_rng(self.seed)
+        stream: List[ExtractionEvent] = []
+        for step in range(self.event_count):
+            source = rng.randint(1, self.source_count)
+            if step > 2 and rng.random() < self.deletion_ratio:
+                stream.append(self._retraction(rng, source))
+            else:
+                stream.append(self._extraction(rng, source, step))
+        return stream
+
+    def queries(self) -> List[Tuple[str, TreePattern]]:
+        """A handful of analyst queries over the warehouse."""
+        by_entity = []
+        for entity in _ENTITY_TYPES:
+            pattern = TreePattern("warehouse")
+            source = pattern.add_child(pattern.root, WILDCARD)
+            pattern.add_child(source, entity)
+            by_entity.append((f"sources describing a {entity}", pattern))
+        titled = TreePattern("warehouse")
+        source = titled.add_child(titled.root, WILDCARD)
+        entity = titled.add_child(source, WILDCARD)
+        titled.add_child(entity, "title", edge="child")
+        by_entity.append(("entities with an extracted title", titled))
+        return by_entity
+
+    # -- internal ------------------------------------------------------------
+
+    def _extraction(self, rng, source: int, step: int) -> ExtractionEvent:
+        entity_type = rng.choice(_ENTITY_TYPES)
+        title = f"{rng.choice(_TITLE_WORDS)}-{step}"
+        confidence = round(rng.uniform(0.5, 0.95), 2)
+        extracted = tree(entity_type, tree("title", title), tree("url", f"http://s{source}.example"))
+        pattern = TreePattern("warehouse")
+        focus = pattern.add_child(pattern.root, f"source{source}")
+        update = ProbabilisticUpdate(
+            Insertion(pattern, focus, extracted), confidence=confidence
+        )
+        description = (
+            f"extractor found a {entity_type} titled {title!r} on source{source} "
+            f"(confidence {confidence})"
+        )
+        return ExtractionEvent(description, update)
+
+    def _retraction(self, rng, source: int) -> ExtractionEvent:
+        entity_type = rng.choice(_ENTITY_TYPES)
+        confidence = round(rng.uniform(0.4, 0.8), 2)
+        pattern = TreePattern("warehouse")
+        source_node = pattern.add_child(pattern.root, f"source{source}")
+        focus = pattern.add_child(source_node, entity_type)
+        update = ProbabilisticUpdate(Deletion(pattern, focus), confidence=confidence)
+        description = (
+            f"curator retracted {entity_type} annotations on source{source} "
+            f"(confidence {confidence})"
+        )
+        return ExtractionEvent(description, update)
+
+
+__all__ = ["ExtractionEvent", "HiddenWebScenario"]

@@ -1,0 +1,20 @@
+"""XML serialization of data trees and prob-trees.
+
+The paper's motivating system stores its imprecise knowledge in an XML
+warehouse; this package provides a faithful, dependency-free (stdlib
+``xml.etree.ElementTree``) textual format:
+
+* data trees serialize to nested ``<node label="...">`` elements;
+* prob-trees add a ``condition`` attribute per node and an ``<events>``
+  header listing the event variables and their probabilities.
+"""
+
+from repro.xmlio.serialize import datatree_to_xml, probtree_to_xml
+from repro.xmlio.parse import datatree_from_xml, probtree_from_xml
+
+__all__ = [
+    "datatree_to_xml",
+    "probtree_to_xml",
+    "datatree_from_xml",
+    "probtree_from_xml",
+]

@@ -1,0 +1,76 @@
+"""Serializing data trees and prob-trees to XML text.
+
+Format for a prob-tree::
+
+    <probtree>
+      <events>
+        <event name="w1" probability="0.8"/>
+        <event name="w2" probability="0.7"/>
+      </events>
+      <node label="A">
+        <node label="B" condition="w1 and not w2"/>
+        <node label="C" condition="w2">
+          <node label="D"/>
+        </node>
+      </node>
+    </probtree>
+
+Conditions use the same textual syntax as ``Condition.of`` / ``str(Condition)``
+(" and "-separated literals, ``not`` for negation), so serialized documents
+remain human-readable and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.core.probtree import ProbTree
+from repro.trees.datatree import DataTree, NodeId
+
+
+def _datatree_element(tree: DataTree, node: NodeId) -> ET.Element:
+    element = ET.Element("node", {"label": tree.label(node)})
+    for child in tree.children(node):
+        element.append(_datatree_element(tree, child))
+    return element
+
+
+def datatree_to_xml(tree: DataTree, pretty: bool = True) -> str:
+    """Serialize a data tree to an XML string."""
+    root = _datatree_element(tree, tree.root)
+    return _render(root, pretty)
+
+
+def _probtree_element(probtree: ProbTree, node: NodeId) -> ET.Element:
+    attributes = {"label": probtree.tree.label(node)}
+    condition = probtree.condition(node)
+    if not condition.is_true():
+        attributes["condition"] = str(condition)
+    element = ET.Element("node", attributes)
+    for child in probtree.tree.children(node):
+        element.append(_probtree_element(probtree, child))
+    return element
+
+
+def probtree_to_xml(probtree: ProbTree, pretty: bool = True) -> str:
+    """Serialize a prob-tree (events table plus annotated tree) to XML."""
+    root = ET.Element("probtree")
+    events = ET.SubElement(root, "events")
+    for event, probability in probtree.distribution.items():
+        ET.SubElement(
+            events, "event", {"name": event, "probability": repr(probability)}
+        )
+    root.append(_probtree_element(probtree, probtree.tree.root))
+    return _render(root, pretty)
+
+
+def _render(element: ET.Element, pretty: bool) -> str:
+    raw = ET.tostring(element, encoding="unicode")
+    if not pretty:
+        return raw
+    reparsed = minidom.parseString(raw)
+    return reparsed.toprettyxml(indent="  ").strip()
+
+
+__all__ = ["datatree_to_xml", "probtree_to_xml"]

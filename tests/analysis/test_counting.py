@@ -1,0 +1,53 @@
+"""Tests for the tree-counting machinery behind Proposition 1."""
+
+import pytest
+
+from repro.analysis.counting import (
+    otter_growth_estimate,
+    proposition1_lower_bound_bits,
+    rooted_tree_counts,
+    rooted_trees_up_to,
+)
+
+
+class TestRootedTreeCounts:
+    def test_known_prefix_of_a000081(self):
+        # a_1 … a_10 of OEIS A000081.
+        assert rooted_tree_counts(10) == (1, 1, 2, 4, 9, 20, 48, 115, 286, 719)
+
+    def test_empty_and_single(self):
+        assert rooted_tree_counts(0) == ()
+        assert rooted_tree_counts(1) == (1,)
+
+    def test_cumulative_count(self):
+        assert rooted_trees_up_to(5) == 1 + 1 + 2 + 4 + 9
+
+    def test_growth_rate_exceeds_two(self):
+        # Otter's constant α ≈ 2.9558; Proposition 1 only needs α > 2.  The
+        # finite-n ratio converges slowly from below, so allow slack.
+        assert otter_growth_estimate(25) > 2.0
+        assert otter_growth_estimate(60) == pytest.approx(2.9558, abs=0.1)
+
+    def test_growth_estimate_needs_two_terms(self):
+        with pytest.raises(ValueError):
+            otter_growth_estimate(1)
+
+
+class TestProposition1Bound:
+    def test_lower_bound_is_monotone_and_exponential(self):
+        bounds = [proposition1_lower_bound_bits(n) for n in range(2, 12)]
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+        # doubly-exponential count of PW sets ⇒ at least exponential bits:
+        # check the bound at n at least doubles every two steps eventually.
+        assert bounds[-1] > 4 * bounds[-3]
+
+    def test_bound_dwarfs_probtree_sizes(self):
+        # A prob-tree with n independent optional children has size O(n),
+        # while Proposition 1 says *some* PW set over n-node worlds needs
+        # exponentially many bits.
+        from repro.workloads.constructions import wide_independent_probtree
+
+        n = 12
+        probtree = wide_independent_probtree(n)
+        assert probtree.size() < 4 * n
+        assert proposition1_lower_bound_bits(n) > 10 * probtree.size()

@@ -1,0 +1,39 @@
+"""Tests for the representation-size comparison (E1)."""
+
+import pytest
+
+from repro.analysis.sizes import (
+    compare_representations,
+    probtree_size,
+    pwset_size,
+)
+from repro.core.semantics import possible_worlds
+from repro.workloads.constructions import figure1_probtree, wide_independent_probtree
+
+
+class TestSizeMeasures:
+    def test_probtree_size_matches_definition(self):
+        probtree = figure1_probtree()
+        assert probtree_size(probtree) == 4 + 3
+
+    def test_pwset_size_sums_node_counts(self):
+        worlds = possible_worlds(figure1_probtree(), normalize=True)
+        assert pwset_size(worlds) == 1 + 2 + 3
+
+
+class TestComparison:
+    def test_figure1_comparison(self):
+        comparison = compare_representations(figure1_probtree())
+        assert comparison.probtree_size == 7
+        assert comparison.world_count == 3
+        assert comparison.pwset_size == 6
+        assert comparison.reencoded_probtree_size >= comparison.pwset_size - 1
+
+    def test_factorizable_family_compression_grows_exponentially(self):
+        ratios = []
+        for n in (4, 6, 8):
+            comparison = compare_representations(wide_independent_probtree(n))
+            assert comparison.world_count == 2 ** n
+            ratios.append(comparison.compression_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[-1] > 2 ** 8 / (3 * 8 + 1) / 2  # roughly 2^n / O(n)

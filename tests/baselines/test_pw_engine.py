@@ -1,0 +1,74 @@
+"""Tests for the explicit possible-worlds baseline engine."""
+
+import pytest
+
+from repro.baselines.pw_engine import PossibleWorldsEngine
+from repro.core.engine import ProbXMLWarehouse
+from repro.core.semantics import possible_worlds
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.queries.evaluation import answers_isomorphic
+from repro.queries.path import parse_path
+from repro.trees.builders import tree
+from repro.workloads.scenarios import HiddenWebScenario
+
+
+class TestBasics:
+    def test_starts_with_one_certain_world(self):
+        engine = PossibleWorldsEngine(tree("A", "B"))
+        assert engine.world_count() == 1
+        assert engine.size() == 2
+        assert engine.worlds.total_probability() == pytest.approx(1.0)
+
+    def test_from_pwset(self, figure1):
+        engine = PossibleWorldsEngine.from_pwset(possible_worlds(figure1))
+        assert engine.world_count() == 3
+
+    def test_query_and_boolean_probability(self, figure1):
+        engine = PossibleWorldsEngine.from_pwset(possible_worlds(figure1))
+        answers = engine.query(parse_path("/A/C/D"))
+        assert len(answers) == 1
+        assert answers[0].probability == pytest.approx(0.7)
+        assert engine.boolean_probability(parse_path("/A/B")) == pytest.approx(0.24)
+
+    def test_prune_and_most_probable(self, figure1):
+        engine = PossibleWorldsEngine.from_pwset(possible_worlds(figure1))
+        assert engine.most_probable(1)[0][1] == pytest.approx(0.7)
+        engine.prune_below(0.5)
+        assert engine.world_count() == 1
+
+    def test_dtd_operations(self, figure1):
+        engine = PossibleWorldsEngine.from_pwset(possible_worlds(figure1))
+        no_b = DTD({"A": [ChildConstraint.forbidden("B"), ChildConstraint.any_number("C")]})
+        assert engine.dtd_satisfiable(no_b)
+        assert not engine.dtd_valid(no_b)
+        engine.dtd_restrict(no_b)
+        assert engine.worlds.total_probability() == pytest.approx(0.76)
+
+
+class TestAgreementWithProbTreeEngine:
+    """E14: the factorized engine and the explicit baseline agree."""
+
+    def test_scenario_replay_matches(self):
+        scenario = HiddenWebScenario(source_count=2, event_count=8, seed=4)
+        warehouse = ProbXMLWarehouse(scenario.initial_document())
+        baseline = PossibleWorldsEngine(scenario.initial_document())
+
+        for event in scenario.events():
+            warehouse.apply(event.update)
+            baseline.apply(event.update)
+
+        assert warehouse.possible_worlds().isomorphic(baseline.worlds)
+        for _description, query in scenario.queries():
+            assert answers_isomorphic(warehouse.query(query), baseline.query(query))
+            assert warehouse.probability(query) == pytest.approx(
+                baseline.boolean_probability(query)
+            )
+
+    def test_baseline_state_is_larger_on_factorizable_workloads(self):
+        scenario = HiddenWebScenario(source_count=3, event_count=10, deletion_ratio=0.0, seed=6)
+        warehouse = ProbXMLWarehouse(scenario.initial_document())
+        baseline = PossibleWorldsEngine(scenario.initial_document())
+        for event in scenario.events():
+            warehouse.apply(event.update)
+            baseline.apply(event.update)
+        assert baseline.size() > warehouse.size()

@@ -1,0 +1,94 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, Literal
+from repro.trees.datatree import DataTree
+from repro.workloads.constructions import figure1_probtree
+from repro.workloads.random_probtrees import random_probtree
+from repro.workloads.random_trees import random_datatree
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def figure1():
+    """The running example of the paper (Figure 1)."""
+    return figure1_probtree()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20070611)  # PODS 2007 started June 11
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+LABELS = ("A", "B", "C", "D")
+EVENTS = ("w1", "w2", "w3", "w4")
+
+
+@st.composite
+def small_datatrees(draw, max_nodes: int = 7, labels=LABELS) -> DataTree:
+    """Random small data trees (parent chosen among already-created nodes)."""
+    node_count = draw(st.integers(min_value=1, max_value=max_nodes))
+    root_label = draw(st.sampled_from(labels))
+    tree = DataTree(root_label)
+    nodes = [tree.root]
+    for _ in range(node_count - 1):
+        parent = draw(st.sampled_from(nodes))
+        label = draw(st.sampled_from(labels))
+        nodes.append(tree.add_child(parent, label))
+    return tree
+
+
+@st.composite
+def conditions(draw, events=EVENTS, max_literals: int = 3) -> Condition:
+    literal_count = draw(st.integers(min_value=0, max_value=max_literals))
+    literals = [
+        Literal(draw(st.sampled_from(events)), draw(st.booleans()))
+        for _ in range(literal_count)
+    ]
+    return Condition(literals)
+
+
+@st.composite
+def small_probtrees(
+    draw,
+    max_nodes: int = 6,
+    events=EVENTS,
+    max_literals: int = 2,
+) -> ProbTree:
+    """Random small prob-trees over a fixed event pool."""
+    tree = draw(small_datatrees(max_nodes=max_nodes))
+    probabilities = {
+        event: draw(
+            st.floats(min_value=0.1, max_value=0.9, allow_nan=False).map(
+                lambda x: round(x, 2)
+            )
+        )
+        for event in events
+    }
+    probtree = ProbTree(tree, ProbabilityDistribution(probabilities), {})
+    for node in tree.nodes():
+        if node == tree.root:
+            continue
+        condition = draw(conditions(events=events, max_literals=max_literals))
+        if not condition.is_true():
+            probtree.set_condition(node, condition)
+    return probtree
+
+
+__all__ = ["small_datatrees", "conditions", "small_probtrees", "LABELS", "EVENTS"]

@@ -1,0 +1,94 @@
+"""Tests for the cleaning pass (Section 3)."""
+
+from hypothesis import given, settings
+
+from repro.core.cleaning import clean, is_clean
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.formulas.literals import Condition
+from repro.trees.datatree import DataTree
+
+from tests.conftest import small_probtrees
+
+
+def _chain_probtree(conditions_by_level):
+    """A chain A/B/C/... with the provided conditions from the top child down."""
+    tree = DataTree("N0")
+    distribution = {}
+    probtree_conditions = {}
+    parent = tree.root
+    for index, condition in enumerate(conditions_by_level, start=1):
+        node = tree.add_child(parent, f"N{index}")
+        if condition is not None:
+            probtree_conditions[node] = condition
+            for event in condition.events():
+                distribution.setdefault(event, 0.5)
+        parent = node
+    return ProbTree(tree, ProbabilityDistribution(distribution), probtree_conditions)
+
+
+class TestSuperfluousConditions:
+    def test_inherited_literal_is_dropped(self):
+        probtree = _chain_probtree([Condition.of("w1"), Condition.of("w1", "w2")])
+        cleaned = clean(probtree)
+        deep_node = [n for n in cleaned.tree.nodes() if cleaned.tree.label(n) == "N2"][0]
+        assert cleaned.condition(deep_node) == Condition.of("w2")
+
+    def test_duplicate_deep_inheritance(self):
+        probtree = _chain_probtree(
+            [Condition.of("w1"), Condition.of("w2"), Condition.of("w1", "w2", "w3")]
+        )
+        cleaned = clean(probtree)
+        deepest = [n for n in cleaned.tree.nodes() if cleaned.tree.label(n) == "N3"][0]
+        assert cleaned.condition(deepest) == Condition.of("w3")
+
+
+class TestInconsistentConditions:
+    def test_intrinsically_inconsistent_node_is_pruned(self):
+        probtree = _chain_probtree([Condition.of("w1", "not w1")])
+        cleaned = clean(probtree)
+        assert cleaned.tree.node_count() == 1
+
+    def test_contradiction_with_ancestor_prunes_subtree(self):
+        probtree = _chain_probtree(
+            [Condition.of("w1"), Condition.of("not w1"), Condition.of("w2")]
+        )
+        cleaned = clean(probtree)
+        labels = {cleaned.tree.label(n) for n in cleaned.tree.nodes()}
+        assert labels == {"N0", "N1"}
+
+
+class TestIdempotenceAndSemantics:
+    def test_clean_tree_is_detected(self, figure1):
+        assert is_clean(figure1)
+        assert is_clean(clean(figure1))
+
+    def test_dirty_tree_is_detected(self):
+        probtree = _chain_probtree([Condition.of("w1"), Condition.of("w1")])
+        assert not is_clean(probtree)
+        assert is_clean(clean(probtree))
+
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_cleaning_preserves_possible_worlds(self, probtree):
+        cleaned = clean(probtree)
+        assert possible_worlds(probtree, normalize=True).isomorphic(
+            possible_worlds(cleaned, normalize=True)
+        )
+
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_cleaning_is_idempotent(self, probtree):
+        cleaned = clean(probtree)
+        assert is_clean(cleaned)
+        twice = clean(cleaned)
+        assert possible_worlds(cleaned, normalize=True).isomorphic(
+            possible_worlds(twice, normalize=True)
+        )
+        assert twice.size() == cleaned.size()
+
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_cleaning_never_grows_the_tree(self, probtree):
+        assert clean(probtree).size() <= probtree.size()

@@ -1,0 +1,96 @@
+"""Tests for probability distributions and the event factory."""
+
+import pytest
+
+from repro.core.events import EventFactory, ProbabilityDistribution
+from repro.utils.errors import InvalidProbabilityError
+
+
+class TestProbabilityDistribution:
+    def test_empty_distribution(self):
+        distribution = ProbabilityDistribution.empty()
+        assert len(distribution) == 0
+        assert distribution.events() == set()
+
+    def test_lookup_and_contains(self):
+        distribution = ProbabilityDistribution({"w1": 0.8, "w2": 0.7})
+        assert distribution["w1"] == pytest.approx(0.8)
+        assert "w2" in distribution
+        assert "w3" not in distribution
+        assert distribution.get("w3") is None
+
+    def test_zero_probability_rejected(self):
+        # The paper's convention: probabilities lie in ]0; 1].
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilityDistribution({"w": 0.0})
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilityDistribution({"w": 1.5})
+
+    def test_probability_one_allowed(self):
+        assert ProbabilityDistribution({"w": 1.0})["w"] == 1.0
+
+    def test_uniform(self):
+        distribution = ProbabilityDistribution.uniform(["a", "b"], 0.25)
+        assert distribution["a"] == distribution["b"] == 0.25
+
+    def test_with_event_is_persistent(self):
+        base = ProbabilityDistribution({"w1": 0.5})
+        extended = base.with_event("w2", 0.6)
+        assert "w2" not in base
+        assert extended["w2"] == 0.6
+        assert extended["w1"] == 0.5
+
+    def test_without_event_and_restriction(self):
+        distribution = ProbabilityDistribution({"a": 0.1, "b": 0.2, "c": 0.3})
+        assert distribution.without_event("b").events() == {"a", "c"}
+        assert distribution.restricted_to(["a", "z"]).events() == {"a"}
+
+    def test_world_probability(self):
+        distribution = ProbabilityDistribution({"w1": 0.8, "w2": 0.7})
+        assert distribution.world_probability({"w1"}) == pytest.approx(0.8 * 0.3)
+        assert distribution.world_probability(set()) == pytest.approx(0.2 * 0.3)
+        assert distribution.world_probability({"w1", "w2"}) == pytest.approx(0.56)
+
+    def test_world_probability_over_subset(self):
+        distribution = ProbabilityDistribution({"w1": 0.8, "w2": 0.7})
+        assert distribution.world_probability({"w1"}, over={"w1"}) == pytest.approx(0.8)
+
+    def test_world_probability_unknown_event(self):
+        distribution = ProbabilityDistribution({"w1": 0.8})
+        with pytest.raises(KeyError):
+            distribution.world_probability({"zzz"})
+
+    def test_world_probabilities_sum_to_one(self):
+        distribution = ProbabilityDistribution({"a": 0.3, "b": 0.6, "c": 0.9})
+        from repro.formulas.literals import all_worlds
+
+        total = sum(distribution.world_probability(world) for world in all_worlds(["a", "b", "c"]))
+        assert total == pytest.approx(1.0)
+
+    def test_equality_and_hash(self):
+        left = ProbabilityDistribution({"a": 0.5})
+        right = ProbabilityDistribution({"a": 0.5})
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestEventFactory:
+    def test_fresh_names_are_unique(self):
+        factory = EventFactory()
+        names = {factory.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_reserved_names_are_avoided(self):
+        factory = EventFactory(prefix="w", reserved={"w1", "w2"})
+        assert factory.fresh() == "w3"
+
+    def test_reserve_after_construction(self):
+        factory = EventFactory(prefix="u")
+        factory.reserve(["u1"])
+        assert factory.fresh() == "u2"
+
+    def test_custom_prefix(self):
+        factory = EventFactory(prefix="update_")
+        assert factory.fresh().startswith("update_")

@@ -1,0 +1,148 @@
+"""Tests for the ProbTree structure (Definitions 2 and 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.literals import Condition, all_worlds
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import isomorphic
+from repro.utils.errors import InvalidConditionError
+
+from tests.conftest import small_probtrees
+
+
+class TestConstruction:
+    def test_certain_probtree_has_no_events(self):
+        probtree = ProbTree.certain(tree("A", "B"))
+        assert probtree.events() == set()
+        assert probtree.used_events() == set()
+        assert probtree.size() == 2
+
+    def test_conditions_default_to_true(self, figure1):
+        assert figure1.condition(figure1.tree.root).is_true()
+        node_d = next(iter(figure1.tree.nodes_with_label("D")))
+        assert figure1.condition(node_d).is_true()
+
+    def test_set_condition_on_root_rejected(self, figure1):
+        with pytest.raises(InvalidConditionError):
+            figure1.set_condition(figure1.tree.root, Condition.of("w1"))
+
+    def test_set_condition_with_unknown_event_rejected(self, figure1):
+        node_b = next(iter(figure1.tree.nodes_with_label("B")))
+        with pytest.raises(InvalidConditionError):
+            figure1.set_condition(node_b, Condition.of("nope"))
+
+    def test_set_true_condition_clears_annotation(self, figure1):
+        node_b = next(iter(figure1.tree.nodes_with_label("B")))
+        figure1.set_condition(node_b, Condition.true())
+        assert figure1.condition(node_b).is_true()
+        assert node_b not in figure1.conditions()
+
+    def test_unknown_node_raises(self, figure1):
+        with pytest.raises(KeyError):
+            figure1.condition(10_000)
+
+    def test_add_child_with_condition(self, figure1):
+        node_b = next(iter(figure1.tree.nodes_with_label("B")))
+        new = figure1.add_child(node_b, "E", Condition.of("w2"))
+        assert figure1.condition(new) == Condition.of("w2")
+
+    def test_add_event(self, figure1):
+        figure1.add_event("w9", 0.25)
+        assert "w9" in figure1.events()
+        assert figure1.distribution["w9"] == 0.25
+
+    def test_event_factory_avoids_existing(self, figure1):
+        factory = figure1.event_factory()
+        fresh = factory.fresh()
+        assert fresh not in {"w1", "w2"}
+
+
+class TestSizes:
+    def test_size_counts_nodes_and_literals(self, figure1):
+        # 4 nodes, conditions: B has 2 literals, C has 1.
+        assert figure1.node_count() == 4
+        assert figure1.literal_count() == 3
+        assert figure1.size() == 7
+
+    def test_used_events(self, figure1):
+        assert figure1.used_events() == {"w1", "w2"}
+        figure1.add_event("w3", 0.4)
+        assert figure1.used_events() == {"w1", "w2"}
+        assert figure1.events() == {"w1", "w2", "w3"}
+
+
+class TestValueInWorld:
+    def test_figure1_worlds(self, figure1):
+        # {w1} -> A with B only; {w2} -> A with C/D; {} -> A alone.
+        value = figure1.value_in_world({"w1"})
+        assert isomorphic(value, tree("A", "B"))
+        value = figure1.value_in_world({"w2"})
+        assert isomorphic(value, tree("A", tree("C", "D")))
+        value = figure1.value_in_world(set())
+        assert isomorphic(value, tree("A"))
+        value = figure1.value_in_world({"w1", "w2"})
+        assert isomorphic(value, tree("A", tree("C", "D")))
+
+    def test_descendants_disappear_with_their_ancestor(self):
+        t = DataTree("A")
+        b = t.add_child(t.root, "B")
+        t.add_child(b, "C")  # unconditioned, but below B
+        probtree = ProbTree(t, ProbabilityDistribution({"w": 0.5}), {b: Condition.of("w")})
+        assert probtree.value_in_world(set()).node_count() == 1
+
+    def test_accumulated_condition(self, figure1):
+        node_d = next(iter(figure1.tree.nodes_with_label("D")))
+        assert figure1.accumulated_condition(node_d) == Condition.of("w2")
+        node_b = next(iter(figure1.tree.nodes_with_label("B")))
+        assert figure1.accumulated_condition(node_b) == Condition.of("w1", "not w2")
+
+    def test_world_probability(self, figure1):
+        assert figure1.world_probability({"w1"}) == pytest.approx(0.8 * 0.3)
+        assert figure1.world_probability({"w1", "w2"}) == pytest.approx(0.8 * 0.7)
+
+
+class TestCopyAndDistribution:
+    def test_copy_is_deep(self, figure1):
+        clone = figure1.copy()
+        node_b = next(iter(clone.tree.nodes_with_label("B")))
+        clone.set_condition(node_b, Condition.of("w2"))
+        original_b = next(iter(figure1.tree.nodes_with_label("B")))
+        assert figure1.condition(original_b) == Condition.of("w1", "not w2")
+
+    def test_with_distribution_requires_used_events(self, figure1):
+        with pytest.raises(InvalidConditionError):
+            figure1.with_distribution(ProbabilityDistribution({"w1": 0.5}))
+        swapped = figure1.with_distribution(
+            ProbabilityDistribution({"w1": 0.1, "w2": 0.2})
+        )
+        assert swapped.distribution["w1"] == pytest.approx(0.1)
+
+    def test_pretty_rendering_mentions_conditions(self, figure1):
+        rendering = figure1.pretty()
+        assert "w1" in rendering and "not w2" in rendering
+        assert rendering.splitlines()[0] == "A"
+
+
+class TestProperties:
+    @given(small_probtrees())
+    @settings(max_examples=40)
+    def test_value_is_always_a_subtree_with_root(self, probtree):
+        for world in all_worlds(probtree.used_events()):
+            value = probtree.value_in_world(world)
+            assert value.root == probtree.tree.root
+            assert value.node_count() <= probtree.tree.node_count()
+            assert value.root_label == probtree.tree.root_label
+
+    @given(small_probtrees())
+    @settings(max_examples=40)
+    def test_node_present_iff_accumulated_condition_holds(self, probtree):
+        for world in all_worlds(probtree.used_events()):
+            value = probtree.value_in_world(world)
+            present = set(value.nodes())
+            for node in probtree.tree.nodes():
+                expected = probtree.accumulated_condition(node).holds_in(world)
+                assert (node in present) == expected

@@ -1,0 +1,79 @@
+"""Tests for the possible-world semantics ⟦T⟧ (Definition 4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds, world_count
+from repro.trees.builders import tree
+from repro.trees.isomorphism import canonical_encoding, isomorphic
+
+from tests.conftest import small_probtrees
+
+
+class TestFigure1:
+    def test_matches_figure2(self, figure1):
+        worlds = possible_worlds(figure1, normalize=True)
+        by_shape = {
+            canonical_encoding(world): probability for world, probability in worlds
+        }
+        assert by_shape[canonical_encoding(tree("A"))] == pytest.approx(0.06)
+        assert by_shape[canonical_encoding(tree("A", "B"))] == pytest.approx(0.24)
+        assert by_shape[canonical_encoding(tree("A", tree("C", "D")))] == pytest.approx(0.70)
+        assert len(worlds) == 3
+
+    def test_unnormalized_enumeration_has_one_entry_per_world(self, figure1):
+        worlds = possible_worlds(figure1, normalize=False)
+        assert len(worlds) == 4  # 2 used events
+        assert worlds.total_probability() == pytest.approx(1.0)
+
+    def test_world_count(self, figure1):
+        assert world_count(figure1) == 4
+        figure1.add_event("unused", 0.5)
+        assert world_count(figure1) == 4
+        assert world_count(figure1, restrict_to_used=False) == 8
+
+
+class TestRestrictionToUsedEvents:
+    def test_unused_events_do_not_change_semantics(self, figure1):
+        full = possible_worlds(figure1, restrict_to_used=False, normalize=True)
+        restricted = possible_worlds(figure1, restrict_to_used=True, normalize=True)
+        assert full.isomorphic(restricted)
+        figure1.add_event("noise", 0.123)
+        with_noise = possible_worlds(figure1, restrict_to_used=False, normalize=True)
+        assert with_noise.isomorphic(restricted)
+
+
+class TestCertainTrees:
+    def test_certain_tree_has_single_world(self):
+        probtree = ProbTree.certain(tree("A", "B", tree("C", "D")))
+        worlds = possible_worlds(probtree)
+        assert len(worlds) == 1
+        world, probability = next(iter(worlds))
+        assert probability == pytest.approx(1.0)
+        assert isomorphic(world, probtree.tree)
+
+
+class TestProperties:
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_probabilities_sum_to_one(self, probtree):
+        worlds = possible_worlds(probtree, normalize=False)
+        assert worlds.total_probability() == pytest.approx(1.0)
+        assert possible_worlds(probtree, normalize=True).total_probability() == pytest.approx(1.0)
+
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_normalization_preserves_isomorphism_class(self, probtree):
+        raw = possible_worlds(probtree, normalize=False)
+        normalized = possible_worlds(probtree, normalize=True)
+        assert raw.isomorphic(normalized)
+        assert normalized.is_normalized()
+
+    @given(small_probtrees())
+    @settings(max_examples=30)
+    def test_every_world_value_appears(self, probtree):
+        worlds = possible_worlds(probtree, normalize=True)
+        # The all-events-true world's value must have positive probability.
+        value = probtree.value_in_world(probtree.used_events())
+        assert worlds.probability_of(value) > 0.0

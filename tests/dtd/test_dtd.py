@@ -1,0 +1,67 @@
+"""Tests for the DTD model (Definition 12)."""
+
+import pytest
+
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.utils.errors import DTDError
+
+
+class TestChildConstraint:
+    def test_bounds_validation(self):
+        with pytest.raises(DTDError):
+            ChildConstraint("B", -1, 2)
+        with pytest.raises(DTDError):
+            ChildConstraint("B", 3, 2)
+
+    def test_allows(self):
+        constraint = ChildConstraint("B", 1, 3)
+        assert not constraint.allows(0)
+        assert constraint.allows(1)
+        assert constraint.allows(3)
+        assert not constraint.allows(4)
+
+    def test_unbounded_maximum(self):
+        constraint = ChildConstraint.at_least_one("B")
+        assert constraint.allows(1_000_000)
+        assert not constraint.allows(0)
+
+    def test_operator_constructors(self):
+        assert ChildConstraint.optional("B").allows(0)
+        assert ChildConstraint.optional("B").allows(1)
+        assert not ChildConstraint.optional("B").allows(2)
+        assert ChildConstraint.any_number("B").allows(0)
+        assert ChildConstraint.exactly("B", 2).allows(2)
+        assert not ChildConstraint.exactly("B", 2).allows(1)
+        assert ChildConstraint.forbidden("B").allows(0)
+        assert not ChildConstraint.forbidden("B").allows(1)
+
+
+class TestDTD:
+    def test_domain_and_bounds(self):
+        dtd = DTD(
+            {
+                "A": [ChildConstraint("B", 1, 2), ChildConstraint.any_number("C")],
+                "B": [ChildConstraint.optional("D")],
+            }
+        )
+        assert dtd.domain() == {"A", "B"}
+        assert dtd.constrains("A")
+        assert not dtd.constrains("Z")
+        assert dtd.bounds("A", "B") == (1, 2)
+        assert dtd.bounds("A", "C") == (0, None)
+        # Unlisted child labels default to the forbidden (0, 0) bounds.
+        assert dtd.bounds("A", "Z") == (0, 0)
+        assert dtd.size() == 3
+
+    def test_duplicate_identical_constraint_is_noop(self):
+        dtd = DTD()
+        dtd.add_constraint("A", ChildConstraint("B", 0, 1))
+        dtd.add_constraint("A", ChildConstraint("B", 0, 1))
+        assert dtd.size() == 1
+
+    def test_conflicting_constraint_rejected(self):
+        # Definition 12: at most one triple per (parent, child) label pair.
+        dtd = DTD()
+        dtd.add_constraint("A", ChildConstraint("B", 0, 1))
+        with pytest.raises(DTDError):
+            dtd.add_constraint("A", ChildConstraint("B", 1, 2))

@@ -1,0 +1,96 @@
+"""Tests for DTD satisfiability / validity / restriction over prob-trees."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.semantics import possible_worlds
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.probtree_dtd import (
+    dtd_restriction_probtree,
+    dtd_restriction_pwset,
+    dtd_satisfaction_probability,
+    dtd_satisfiable,
+    dtd_valid,
+    satisfying_world,
+    violating_world,
+)
+from repro.dtd.validation import validates
+
+from tests.conftest import small_probtrees
+
+
+@pytest.fixture
+def no_b_children():
+    return DTD({"A": [ChildConstraint.forbidden("B"), ChildConstraint.any_number("C")]})
+
+
+@pytest.fixture
+def at_least_one_b():
+    return DTD(
+        {"A": [ChildConstraint.at_least_one("B"), ChildConstraint.any_number("C")]}
+    )
+
+
+class TestFigure1:
+    def test_satisfiability(self, figure1, no_b_children, at_least_one_b):
+        assert dtd_satisfiable(figure1, no_b_children)
+        assert dtd_satisfiable(figure1, at_least_one_b)
+        impossible = DTD({"A": [ChildConstraint.exactly("B", 2)]})
+        assert not dtd_satisfiable(figure1, impossible)
+
+    def test_validity(self, figure1, no_b_children, at_least_one_b):
+        assert not dtd_valid(figure1, no_b_children)
+        assert not dtd_valid(figure1, at_least_one_b)
+        anything = DTD(
+            {
+                "A": [
+                    ChildConstraint.any_number("B"),
+                    ChildConstraint.any_number("C"),
+                ]
+            }
+        )
+        assert dtd_valid(figure1, anything)
+
+    def test_witness_worlds(self, figure1, no_b_children):
+        witness = satisfying_world(figure1, no_b_children)
+        assert witness is not None
+        assert validates(no_b_children, figure1.value_in_world(witness))
+        counterexample = violating_world(figure1, no_b_children)
+        assert counterexample is not None
+        assert not validates(no_b_children, figure1.value_in_world(counterexample))
+
+    def test_satisfaction_probability(self, figure1, no_b_children, at_least_one_b):
+        # no B child ⇔ not (w1 ∧ ¬w2) ⇔ probability 1 − 0.24
+        assert dtd_satisfaction_probability(figure1, no_b_children) == pytest.approx(0.76)
+        assert dtd_satisfaction_probability(figure1, at_least_one_b) == pytest.approx(0.24)
+
+    def test_restriction_pwset(self, figure1, no_b_children):
+        restricted = dtd_restriction_pwset(figure1, no_b_children)
+        assert restricted.total_probability() == pytest.approx(0.76)
+        assert all(validates(no_b_children, world) for world in restricted.trees())
+
+    def test_restriction_probtree(self, figure1, no_b_children):
+        restricted = dtd_restriction_probtree(figure1, no_b_children)
+        worlds = possible_worlds(restricted, normalize=True)
+        # ∼sub: valid worlds keep their probability, the root-only world
+        # absorbs the remaining 0.24 (on top of its own 0.06).
+        assert worlds.total_probability() == pytest.approx(1.0)
+        target = dtd_restriction_pwset(figure1, no_b_children).completed("A")
+        assert worlds.isomorphic(target)
+
+
+class TestRelationsBetweenProblems:
+    @given(small_probtrees(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_valid_implies_satisfiable(self, probtree):
+        dtd = DTD({probtree.tree.root_label: [ChildConstraint.any_number(label) for label in "ABCDE"]})
+        if dtd_valid(probtree, dtd):
+            assert dtd_satisfiable(probtree, dtd)
+
+    @given(small_probtrees(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_bounds_match_decisions(self, probtree):
+        dtd = DTD({probtree.tree.root_label: [ChildConstraint.at_least_one("B")]})
+        probability = dtd_satisfaction_probability(probtree, dtd)
+        assert (probability > 0.0) == dtd_satisfiable(probtree, dtd)
+        assert (abs(probability - 1.0) < 1e-9) == dtd_valid(probtree, dtd)

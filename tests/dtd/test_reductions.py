@@ -1,0 +1,81 @@
+"""Tests for the Theorem 5 SAT reductions and the restriction blow-up family."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.probtree_dtd import (
+    dtd_restriction_probtree,
+    dtd_satisfiable,
+    dtd_valid,
+)
+from repro.dtd.reductions import (
+    restriction_blowup_instance,
+    sat_to_dtd_satisfiability,
+    sat_to_dtd_validity,
+)
+from repro.formulas.cnf import CNF, random_3cnf
+from repro.formulas.sat import is_satisfiable
+
+
+class TestSatisfiabilityReduction:
+    def test_satisfiable_formula(self):
+        theta = CNF.of(["x1", "x2"], ["not x1"])
+        probtree, dtd = sat_to_dtd_satisfiability(theta)
+        assert is_satisfiable(theta)
+        assert dtd_satisfiable(probtree, dtd)
+
+    def test_unsatisfiable_formula(self):
+        theta = CNF.of(["x1"], ["not x1"])
+        probtree, dtd = sat_to_dtd_satisfiability(theta)
+        assert not is_satisfiable(theta)
+        assert not dtd_satisfiable(probtree, dtd)
+
+    def test_instance_size_is_linear(self):
+        theta = random_3cnf(8, 20, seed=0)
+        probtree, dtd = sat_to_dtd_satisfiability(theta)
+        assert probtree.tree.node_count() == len(theta) + 1
+        assert probtree.literal_count() == sum(len(clause) for clause in theta)
+        assert dtd.size() == 1  # constant-size DTD, as in the paper
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_is_correct_on_random_3cnf(self, seed):
+        theta = random_3cnf(4, 6, seed=seed)
+        probtree, dtd = sat_to_dtd_satisfiability(theta)
+        assert dtd_satisfiable(probtree, dtd) == is_satisfiable(theta)
+
+
+class TestValidityReduction:
+    def test_unsatisfiable_formula_gives_valid_instance(self):
+        theta = CNF.of(["x1"], ["not x1"])
+        probtree, dtd = sat_to_dtd_validity(theta)
+        assert dtd_valid(probtree, dtd)
+
+    def test_satisfiable_formula_gives_invalid_instance(self):
+        theta = CNF.of(["x1", "x2"])
+        probtree, dtd = sat_to_dtd_validity(theta)
+        assert not dtd_valid(probtree, dtd)
+
+    @given(st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_is_correct_on_random_3cnf(self, seed):
+        theta = random_3cnf(4, 6, seed=seed)
+        probtree, dtd = sat_to_dtd_validity(theta)
+        assert dtd_valid(probtree, dtd) == (not is_satisfiable(theta))
+
+
+class TestRestrictionBlowup:
+    def test_instance_shape(self):
+        probtree, dtd = restriction_blowup_instance(3)
+        assert probtree.tree.node_count() == 1 + 2 * 3 * 2  # root + 2n C/D pairs
+        assert len(probtree.events()) == 6
+        assert dtd.bounds("A", "C") == (0, 3)
+
+    def test_restriction_grows_quickly(self):
+        small_tree, small_dtd = restriction_blowup_instance(1)
+        large_tree, large_dtd = restriction_blowup_instance(3)
+        small_restricted = dtd_restriction_probtree(small_tree, small_dtd)
+        large_restricted = dtd_restriction_probtree(large_tree, large_dtd)
+        small_ratio = small_restricted.size() / small_tree.size()
+        large_ratio = large_restricted.size() / large_tree.size()
+        assert large_ratio > small_ratio > 1.0

@@ -1,0 +1,73 @@
+"""Tests for validating data trees against DTDs (Definition 13)."""
+
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.validation import validates, violations
+from repro.trees.builders import tree
+
+
+def _library_dtd():
+    return DTD(
+        {
+            "library": [ChildConstraint.at_least_one("book")],
+            "book": [
+                ChildConstraint.exactly("title", 1),
+                ChildConstraint.any_number("author"),
+            ],
+        }
+    )
+
+
+class TestValidates:
+    def test_valid_document(self):
+        document = tree(
+            "library",
+            tree("book", "title", "author", "author"),
+            tree("book", "title"),
+        )
+        assert validates(_library_dtd(), document)
+        assert violations(_library_dtd(), document) == []
+
+    def test_missing_required_child(self):
+        document = tree("library", tree("book", "author"))
+        assert not validates(_library_dtd(), document)
+        found = violations(_library_dtd(), document)
+        assert any(v.child_label == "title" and v.count == 0 for v in found)
+
+    def test_too_many_children(self):
+        document = tree("library", tree("book", "title", "title"))
+        assert not validates(_library_dtd(), document)
+
+    def test_unlisted_children_are_forbidden(self):
+        document = tree("library", tree("book", "title", "index"))
+        assert not validates(_library_dtd(), document)
+        found = violations(_library_dtd(), document)
+        assert any(v.child_label == "index" and v.maximum == 0 for v in found)
+
+    def test_labels_outside_domain_are_unconstrained(self):
+        document = tree(
+            "library",
+            tree("book", "title", tree("author", "bio", "bio", "homepage")),
+        )
+        assert validates(_library_dtd(), document)
+
+    def test_empty_root_violates_at_least_one(self):
+        assert not validates(_library_dtd(), tree("library"))
+
+    def test_root_outside_domain(self):
+        assert validates(_library_dtd(), tree("archive", "anything"))
+
+    def test_violation_rendering(self):
+        document = tree("library", tree("book", "author"))
+        found = violations(_library_dtd(), document)
+        assert "title" in str(found[0])
+
+    def test_validates_agrees_with_violations(self):
+        documents = [
+            tree("library"),
+            tree("library", tree("book", "title")),
+            tree("library", tree("book")),
+            tree("library", "junk"),
+        ]
+        dtd = _library_dtd()
+        for document in documents:
+            assert validates(dtd, document) == (violations(dtd, document) == [])

@@ -1,0 +1,95 @@
+"""Tests for event independence and its interreduction with equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.equivalence.independence import (
+    condition_on,
+    equivalence_via_independence,
+    is_independent_of,
+)
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.formulas.literals import Condition
+from repro.utils.errors import InvalidConditionError
+
+from tests.conftest import small_probtrees
+from tests.equivalence.test_structural import _probtree
+
+
+class TestConditioning:
+    def test_fixing_true_drops_positive_literal(self, figure1):
+        fixed = condition_on(figure1, "w2", True)
+        assert "w2" not in fixed.events()
+        labels = {fixed.tree.label(n) for n in fixed.tree.nodes()}
+        # B requires ¬w2, so it disappears; C stays unconditionally.
+        assert labels == {"A", "C", "D"}
+
+    def test_fixing_false_prunes_positive_literal(self, figure1):
+        fixed = condition_on(figure1, "w2", False)
+        labels = {fixed.tree.label(n) for n in fixed.tree.nodes()}
+        assert labels == {"A", "B"}
+        node_b = next(iter(fixed.tree.nodes_with_label("B")))
+        assert fixed.condition(node_b) == Condition.of("w1")
+
+    def test_unknown_event_rejected(self, figure1):
+        with pytest.raises(InvalidConditionError):
+            condition_on(figure1, "zzz", True)
+
+    def test_conditioning_matches_world_filtering(self, figure1):
+        for value in (True, False):
+            fixed = condition_on(figure1, "w1", value)
+            for world in ({"w2"}, set()):
+                full_world = set(world) | ({"w1"} if value else set())
+                assert (
+                    fixed.value_in_world(world).to_nested()
+                    == figure1.value_in_world(full_world).to_nested()
+                )
+
+
+class TestIndependence:
+    def test_dependent_event_detected(self, figure1):
+        assert not is_independent_of(figure1, "w1", method="exhaustive")
+        assert not is_independent_of(figure1, "w2", method="exhaustive")
+
+    def test_unused_event_is_independent(self, figure1):
+        figure1.add_event("noise", 0.5)
+        assert is_independent_of(figure1, "noise", method="exhaustive")
+        assert is_independent_of(figure1, "noise", method="randomized", seed=0)
+
+    def test_cancelled_event_is_independent(self):
+        # Two complementary copies make the tree independent of w2.
+        probtree = _probtree(
+            [("B", Condition.of("w1", "w2")), ("B", Condition.of("w1", "not w2"))]
+        )
+        assert is_independent_of(probtree, "w2", method="exhaustive")
+        assert is_independent_of(probtree, "w2", method="randomized", seed=3)
+        assert not is_independent_of(probtree, "w1", method="exhaustive")
+
+    def test_unknown_method_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            is_independent_of(figure1, "w1", method="guess")
+
+
+class TestReduction:
+    def test_equivalence_via_independence_on_known_pairs(self):
+        left = _probtree([("B", Condition.of("w1"))])
+        right_equiv = _probtree(
+            [("B", Condition.of("w1", "w2")), ("B", Condition.of("w1", "not w2"))]
+        )
+        right_different = _probtree([("B", Condition.of("w2"))])
+        assert equivalence_via_independence(left, right_equiv)
+        assert not equivalence_via_independence(left, right_different)
+
+    def test_root_label_mismatch(self):
+        left = _probtree([("B", Condition.of("w1"))], root="A")
+        right = _probtree([("B", Condition.of("w1"))], root="Z")
+        assert not equivalence_via_independence(left, right)
+
+    @given(small_probtrees(max_nodes=4), small_probtrees(max_nodes=4))
+    @settings(max_examples=15, deadline=None)
+    def test_reduction_agrees_with_direct_equivalence(self, left, right):
+        assert equivalence_via_independence(left, right) == (
+            structurally_equivalent_exhaustive(left, right)
+        )

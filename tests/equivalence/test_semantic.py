@@ -1,0 +1,85 @@
+"""Tests for semantic equivalence and Proposition 4."""
+
+from hypothesis import given, settings
+
+from repro.core.events import ProbabilityDistribution
+from repro.equivalence.semantic import (
+    semantically_equivalent,
+    semantically_equivalent_under,
+)
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.formulas.literals import Condition
+from repro.trees.datatree import DataTree
+from repro.core.probtree import ProbTree
+
+from tests.conftest import small_probtrees
+from tests.equivalence.test_structural import _probtree
+
+
+def _section5_pair():
+    """The paper's example: B[w1∧w2] vs B[w3] with π(w3) = π(w1)·π(w2)."""
+    left_tree = DataTree("A")
+    left_b = left_tree.add_child(left_tree.root, "B")
+    left = ProbTree(
+        left_tree,
+        ProbabilityDistribution({"w1": 0.6, "w2": 0.5, "w3": 0.3}),
+        {left_b: Condition.of("w1", "w2")},
+    )
+    right_tree = DataTree("A")
+    right_b = right_tree.add_child(right_tree.root, "B")
+    right = ProbTree(
+        right_tree,
+        ProbabilityDistribution({"w1": 0.6, "w2": 0.5, "w3": 0.3}),
+        {right_b: Condition.of("w3")},
+    )
+    return left, right
+
+
+class TestSection5Example:
+    def test_semantically_but_not_structurally_equivalent(self):
+        left, right = _section5_pair()
+        assert semantically_equivalent(left, right)
+        assert not structurally_equivalent_exhaustive(left, right)
+
+    def test_semantic_equivalence_breaks_under_other_distributions(self):
+        left, right = _section5_pair()
+        skewed = ProbabilityDistribution({"w1": 0.9, "w2": 0.9, "w3": 0.3})
+        assert not semantically_equivalent_under(left, right, skewed)
+
+
+class TestProposition4:
+    @given(small_probtrees(), small_probtrees())
+    @settings(max_examples=25, deadline=None)
+    def test_structural_implies_semantic(self, left, right):
+        # Proposition 4 compares prob-trees over the same events *and the
+        # same probability assignment*, so align the distributions first.
+        right = right.with_distribution(left.distribution)
+        if structurally_equivalent_exhaustive(left, right):
+            assert semantically_equivalent(left, right)
+
+    @given(small_probtrees())
+    @settings(max_examples=20, deadline=None)
+    def test_structural_equivalence_survives_distribution_swap(self, probtree):
+        # Structurally equivalent trees stay semantically equivalent under
+        # *any* probability assignment (Proposition 4(ii), one direction).
+        other = probtree.copy()
+        swapped = ProbabilityDistribution(
+            {event: 0.123 for event in probtree.distribution.events()}
+        )
+        assert semantically_equivalent_under(probtree, other, swapped)
+
+
+class TestDifferentEventSets:
+    def test_trees_over_disjoint_events_can_be_equivalent(self):
+        left = _probtree([("B", Condition.of("w1"))], probabilities={"w1": 0.4})
+        right_tree = DataTree("A")
+        right_b = right_tree.add_child(right_tree.root, "B")
+        right = ProbTree(
+            right_tree, ProbabilityDistribution({"u": 0.4}), {right_b: Condition.of("u")}
+        )
+        assert semantically_equivalent(left, right)
+
+    def test_probability_mismatch_is_detected(self):
+        left = _probtree([("B", Condition.of("w1"))], probabilities={"w1": 0.4})
+        right = _probtree([("B", Condition.of("w1"))], probabilities={"w1": 0.5})
+        assert not semantically_equivalent(left, right)

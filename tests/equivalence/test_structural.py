@@ -1,0 +1,95 @@
+"""Tests for exhaustive structural equivalence (Definition 9, Proposition 3)."""
+
+from hypothesis import given, settings
+
+from repro.core.cleaning import clean
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.equivalence.structural import (
+    counterexample_world,
+    structurally_equivalent_exhaustive,
+)
+from repro.formulas.literals import Condition
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import isomorphic
+
+from tests.conftest import small_probtrees
+
+
+def _probtree(conditions_by_child, probabilities=None, root="A"):
+    """Root with one child per (label, condition) pair."""
+    data = DataTree(root)
+    mapping = {}
+    events = {}
+    for label, condition in conditions_by_child:
+        node = data.add_child(data.root, label)
+        if condition is not None:
+            mapping[node] = condition
+            for event in condition.events():
+                events.setdefault(event, 0.5)
+    if probabilities:
+        events.update(probabilities)
+    return ProbTree(data, ProbabilityDistribution(events), mapping)
+
+
+class TestBasicCases:
+    def test_identical_trees_are_equivalent(self, figure1):
+        assert structurally_equivalent_exhaustive(figure1, figure1.copy())
+
+    def test_renaming_changes_equivalence(self, figure1):
+        other = figure1.copy()
+        node_b = next(iter(other.tree.nodes_with_label("B")))
+        other.tree.set_label(node_b, "Z")
+        assert not structurally_equivalent_exhaustive(figure1, other)
+
+    def test_swapping_sibling_annotations_is_detected(self):
+        left = _probtree([("B", Condition.of("w1")), ("C", Condition.of("w2"))])
+        right = _probtree([("B", Condition.of("w2")), ("C", Condition.of("w1"))])
+        assert not structurally_equivalent_exhaustive(left, right)
+
+    def test_same_label_siblings_with_swapped_conditions_are_equivalent(self):
+        left = _probtree([("B", Condition.of("w1")), ("B", Condition.of("w2"))])
+        right = _probtree([("B", Condition.of("w2")), ("B", Condition.of("w1"))])
+        assert structurally_equivalent_exhaustive(left, right)
+
+    def test_splitting_a_condition_preserves_equivalence(self):
+        # B[w1]  ≡struct  B[w1∧w2] + B[w1∧¬w2]  (count-preserving refinement)
+        left = _probtree([("B", Condition.of("w1"))])
+        right = _probtree(
+            [("B", Condition.of("w1", "w2")), ("B", Condition.of("w1", "not w2"))]
+        )
+        assert structurally_equivalent_exhaustive(left, right)
+
+    def test_duplicate_vs_single_child_not_equivalent(self):
+        left = _probtree([("B", Condition.of("w1"))])
+        right = _probtree([("B", Condition.of("w1")), ("B", Condition.of("w1"))])
+        assert not structurally_equivalent_exhaustive(left, right)
+
+    def test_inconsistent_condition_equals_missing_node(self):
+        left = _probtree([("B", Condition.of("w1", "not w1"))])
+        right = _probtree([], probabilities={"w1": 0.5})
+        assert structurally_equivalent_exhaustive(left, right)
+
+    def test_counterexample_world_is_a_real_counterexample(self):
+        left = _probtree([("B", Condition.of("w1"))])
+        right = _probtree([("B", Condition.of("w2"))])
+        world = counterexample_world(left, right)
+        assert world is not None
+        assert not isomorphic(left.value_in_world(world), right.value_in_world(world))
+        assert counterexample_world(left, left.copy()) is None
+
+
+class TestProperties:
+    @given(small_probtrees())
+    @settings(max_examples=25, deadline=None)
+    def test_reflexive_and_cleaning_invariant(self, probtree):
+        assert structurally_equivalent_exhaustive(probtree, probtree.copy())
+        assert structurally_equivalent_exhaustive(probtree, clean(probtree))
+
+    @given(small_probtrees(), small_probtrees())
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric(self, left, right):
+        assert structurally_equivalent_exhaustive(
+            left, right
+        ) == structurally_equivalent_exhaustive(right, left)

@@ -1,0 +1,85 @@
+"""Tests for the arbitrary-formula AST used by the Section 5 variant."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formulas.boolean import (
+    And,
+    FalseExpr,
+    Not,
+    Or,
+    TrueExpr,
+    Var,
+    conjunction,
+    disjunction,
+    from_condition,
+)
+from repro.formulas.literals import Condition, all_worlds
+
+from tests.conftest import conditions
+
+
+class TestEvaluation:
+    def test_constants(self):
+        assert TrueExpr().holds_in(set())
+        assert not FalseExpr().holds_in({"w"})
+
+    def test_variable_and_negation(self):
+        assert Var("w").holds_in({"w"})
+        assert Not(Var("w")).holds_in(set())
+
+    def test_and_or(self):
+        formula = And((Var("a"), Or((Var("b"), Not(Var("c"))))))
+        assert formula.holds_in({"a", "b"})
+        assert formula.holds_in({"a"})
+        assert not formula.holds_in({"a", "c"})
+        assert not formula.holds_in({"b"})
+
+    def test_events_and_size(self):
+        formula = And((Var("a"), Not(Var("b")), TrueExpr()))
+        assert formula.events() == {"a", "b"}
+        assert formula.size() == 1 + 1 + 2 + 1
+
+    def test_operator_overloads(self):
+        formula = (Var("a") & Var("b")) | ~Var("c")
+        assert formula.holds_in({"a", "b", "c"})
+        assert formula.holds_in(set())
+        assert not formula.holds_in({"c"})
+
+
+class TestProbability:
+    def test_single_variable(self):
+        assert Var("w").probability({"w": 0.3}) == pytest.approx(0.3)
+        assert Not(Var("w")).probability({"w": 0.3}) == pytest.approx(0.7)
+
+    def test_disjunction_probability(self):
+        formula = Or((Var("a"), Var("b")))
+        assert formula.probability({"a": 0.5, "b": 0.5}) == pytest.approx(0.75)
+
+    def test_constant_probability(self):
+        assert TrueExpr().probability({}) == pytest.approx(1.0)
+        assert FalseExpr().probability({}) == pytest.approx(0.0)
+
+
+class TestConversionAndSimplification:
+    @given(conditions())
+    @settings(max_examples=60)
+    def test_from_condition_preserves_semantics(self, condition):
+        formula = from_condition(condition)
+        for world in all_worlds(condition.events()):
+            assert formula.holds_in(world) == condition.holds_in(world)
+
+    def test_from_true_condition(self):
+        assert isinstance(from_condition(Condition.true()), TrueExpr)
+
+    def test_conjunction_simplifications(self):
+        assert isinstance(conjunction(), TrueExpr)
+        assert isinstance(conjunction(TrueExpr(), TrueExpr()), TrueExpr)
+        assert isinstance(conjunction(Var("a"), FalseExpr()), FalseExpr)
+        assert conjunction(Var("a")) == Var("a")
+
+    def test_disjunction_simplifications(self):
+        assert isinstance(disjunction(), FalseExpr)
+        assert isinstance(disjunction(FalseExpr(), FalseExpr()), FalseExpr)
+        assert isinstance(disjunction(Var("a"), TrueExpr()), TrueExpr)
+        assert disjunction(Var("a")) == Var("a")

@@ -1,0 +1,69 @@
+"""Tests for CNF formulas and the ¬θ DNF conversion used by Theorem 5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas.cnf import CNF, random_3cnf
+from repro.formulas.literals import Literal, all_worlds
+
+
+class TestBasics:
+    def test_empty_cnf_is_true(self):
+        assert CNF().holds_in(set())
+        assert CNF().holds_in({"x"})
+
+    def test_empty_clause_is_false(self):
+        formula = CNF([[]])
+        assert not formula.holds_in(set())
+
+    def test_of_builder_and_variables(self):
+        formula = CNF.of(["x1", "not x2"], ["x2", "x3"])
+        assert formula.variables() == {"x1", "x2", "x3"}
+        assert len(formula) == 2
+
+    def test_evaluation(self):
+        formula = CNF.of(["x1", "x2"], ["not x1"])
+        assert formula.holds_in({"x2"})
+        assert not formula.holds_in({"x1"})
+        assert not formula.holds_in(set())
+
+    def test_equality_ignores_order(self):
+        assert CNF.of(["x1", "x2"], ["x3"]) == CNF.of(["x3"], ["x2", "x1"])
+
+
+class TestNegationDNF:
+    def test_clause_becomes_negated_conjunction(self):
+        formula = CNF.of(["x1", "not x2"])
+        negated = formula.negation_dnf()
+        assert len(negated) == 1
+        (disjunct,) = negated.disjuncts
+        assert Literal("x1", negated=True) in disjunct
+        assert Literal("x2") in disjunct
+
+    def test_negation_dnf_is_linear_in_clauses(self):
+        formula = random_3cnf(6, 10, seed=3)
+        assert len(formula.negation_dnf()) == len(formula)
+
+    @given(st.integers(min_value=0, max_value=42))
+    @settings(max_examples=30)
+    def test_negation_semantics_on_random_3cnf(self, seed):
+        formula = random_3cnf(4, 5, seed=seed)
+        negated = formula.negation_dnf()
+        for world in all_worlds(formula.variables()):
+            assert negated.holds_in(world) == (not formula.holds_in(world))
+
+
+class TestRandom3CNF:
+    def test_shape(self):
+        formula = random_3cnf(5, 8, seed=1)
+        assert len(formula) == 8
+        assert all(len(clause) == 3 for clause in formula)
+        assert formula.variables() <= {f"x{i}" for i in range(1, 6)}
+
+    def test_deterministic_given_seed(self):
+        assert random_3cnf(5, 8, seed=7) == random_3cnf(5, 8, seed=7)
+
+    def test_requires_three_variables(self):
+        with pytest.raises(ValueError):
+            random_3cnf(2, 4, seed=0)

@@ -1,0 +1,88 @@
+"""Tests for count-equivalence (Definition 10) and Lemma 1."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas.count_equivalence import (
+    count_equivalent_exhaustive,
+    count_equivalent_polynomial,
+    count_equivalent_randomized,
+)
+from repro.formulas.dnf import DNF
+from repro.formulas.sat import equivalent
+
+from tests.formulas.test_dnf import dnfs
+
+
+class TestDefinition:
+    def test_papers_example_equivalent_but_not_count_equivalent(self):
+        # The paper: A ∨ (A ∧ B) and A are equivalent but not count-equivalent.
+        left = DNF.of(["A"], ["A", "B"])
+        right = DNF.of(["A"])
+        assert equivalent(left, right)
+        assert not count_equivalent_exhaustive(left, right)
+        assert not count_equivalent_polynomial(left, right)
+
+    def test_reordering_disjuncts_preserves_count_equivalence(self):
+        left = DNF.of(["A"], ["not A", "B"])
+        right = DNF.of(["not A", "B"], ["A"])
+        assert count_equivalent_exhaustive(left, right)
+        assert count_equivalent_polynomial(left, right)
+
+    def test_duplicate_disjuncts_matter(self):
+        left = DNF.of(["A"], ["A"])
+        right = DNF.of(["A"])
+        assert not count_equivalent_exhaustive(left, right)
+        assert not count_equivalent_polynomial(left, right)
+
+    def test_inconsistent_disjuncts_are_invisible(self):
+        left = DNF.of(["A"], ["B", "not B"])
+        right = DNF.of(["A"])
+        assert count_equivalent_exhaustive(left, right)
+        assert count_equivalent_polynomial(left, right)
+
+    def test_splitting_on_a_variable_preserves_counts(self):
+        # A  ≡⁺  (A ∧ B) ∨ (A ∧ ¬B): every world satisfying A satisfies
+        # exactly one of the two refined disjuncts.
+        left = DNF.of(["A"])
+        right = DNF.of(["A", "B"], ["A", "not B"])
+        assert count_equivalent_exhaustive(left, right)
+        assert count_equivalent_polynomial(left, right)
+        assert count_equivalent_randomized(left, right, seed=0)
+
+
+class TestLemma1:
+    """Lemma 1: count-equivalence ⇔ equality of characteristic polynomials."""
+
+    @given(dnfs(), dnfs())
+    @settings(max_examples=80)
+    def test_polynomial_criterion_matches_exhaustive(self, left, right):
+        assert count_equivalent_polynomial(left, right) == count_equivalent_exhaustive(
+            left, right
+        )
+
+    @given(dnfs())
+    @settings(max_examples=40)
+    def test_reflexivity(self, formula):
+        assert count_equivalent_polynomial(formula, formula)
+        assert count_equivalent_exhaustive(formula, formula)
+        assert count_equivalent_randomized(formula, formula, seed=1)
+
+
+class TestRandomized:
+    @given(dnfs(), dnfs(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60)
+    def test_one_sided_error(self, left, right, seed):
+        exact = count_equivalent_exhaustive(left, right)
+        randomized = count_equivalent_randomized(left, right, trials=3, seed=seed)
+        if exact:
+            # Never wrong on equivalent inputs.
+            assert randomized
+        # (When inequivalent, the randomized answer is allowed to err, but
+        # with 2^20-sized sample spaces it practically never does; no
+        # assertion either way to keep the test deterministic.)
+
+    def test_detects_inequivalence_in_practice(self):
+        left = DNF.of(["A"], ["B"])
+        right = DNF.of(["A", "B"])
+        assert not count_equivalent_randomized(left, right, seed=5)

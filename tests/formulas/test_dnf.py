@@ -1,0 +1,105 @@
+"""Tests for DNF formulas and the disjoint rewriting used by deletions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas.dnf import DNF, disjoint_dnf
+from repro.formulas.literals import Condition, all_worlds
+
+from tests.conftest import conditions
+
+
+@st.composite
+def dnfs(draw, max_disjuncts: int = 3):
+    count = draw(st.integers(min_value=0, max_value=max_disjuncts))
+    return DNF([draw(conditions()) for _ in range(count)])
+
+
+class TestBasics:
+    def test_false_and_true(self):
+        assert DNF.false().is_false()
+        assert not DNF.true().is_false()
+        assert DNF.true().holds_in(set())
+        assert not DNF.false().holds_in({"w1"})
+
+    def test_of_builder(self):
+        formula = DNF.of(["w1"], ["not w1", "w2"])
+        assert len(formula) == 2
+        assert formula.events() == {"w1", "w2"}
+
+    def test_holds_and_count(self):
+        formula = DNF.of(["w1"], ["w1", "w2"], ["not w2"])
+        assert formula.holds_in({"w1"})
+        assert formula.count_satisfied({"w1"}) == 2
+        assert formula.count_satisfied({"w1", "w2"}) == 2
+        assert formula.count_satisfied(set()) == 1
+
+    def test_probability_matches_manual_computation(self):
+        formula = DNF.of(["w1"], ["w2"])
+        # P(w1 or w2) with independent events
+        probability = formula.probability({"w1": 0.8, "w2": 0.7})
+        assert probability == pytest.approx(1 - 0.2 * 0.3)
+
+    def test_disjoin_and_conjoin(self):
+        left = DNF.of(["w1"])
+        right = DNF.of(["w2"], ["w3"])
+        assert len(left | right) == 3
+        product = left & right
+        assert len(product) == 2
+        assert all(Condition.of("w1").implies(Condition.of("w1")) for _ in product)
+
+    def test_conjoin_condition(self):
+        formula = DNF.of(["w1"], ["w2"]).conjoin_condition(Condition.of("w3"))
+        assert all("w3" in disjunct.events() for disjunct in formula)
+
+    def test_normalized_drops_inconsistent_disjuncts(self):
+        formula = DNF([Condition.of("w1", "not w1"), Condition.of("w2")])
+        assert len(formula.normalized()) == 1
+
+    def test_deduplicated(self):
+        formula = DNF.of(["w1"], ["w1"])
+        assert len(formula.deduplicated()) == 1
+        # deduplication changes the count-equivalence class on purpose
+        assert formula.count_satisfied({"w1"}) == 2
+        assert formula.deduplicated().count_satisfied({"w1"}) == 1
+
+    def test_equality_ignores_disjunct_order(self):
+        assert DNF.of(["w1"], ["w2"]) == DNF.of(["w2"], ["w1"])
+
+
+class TestNegation:
+    def test_negate_single_conjunction(self):
+        formula = DNF.of(["w1", "w2"])
+        negated = formula.negate()
+        for world in all_worlds({"w1", "w2"}):
+            assert negated.holds_in(world) == (not formula.holds_in(world))
+
+    def test_negate_false_is_true(self):
+        assert DNF.false().negate().holds_in(set())
+
+    def test_negate_true_is_false(self):
+        assert DNF.true().negate().is_false()
+
+    @given(dnfs())
+    @settings(max_examples=50)
+    def test_negation_semantics(self, formula):
+        negated = formula.negate()
+        for world in all_worlds(formula.events()):
+            assert negated.holds_in(world) == (not formula.holds_in(world))
+
+
+class TestDisjointDNF:
+    @given(dnfs())
+    @settings(max_examples=50)
+    def test_disjoint_rewriting_preserves_semantics(self, formula):
+        rewritten = disjoint_dnf(formula)
+        for world in all_worlds(formula.events()):
+            assert rewritten.holds_in(world) == formula.holds_in(world)
+
+    @given(dnfs())
+    @settings(max_examples=50)
+    def test_disjoint_rewriting_is_pairwise_exclusive(self, formula):
+        rewritten = disjoint_dnf(formula)
+        for world in all_worlds(formula.events()):
+            assert rewritten.count_satisfied(world) <= 1

@@ -1,0 +1,155 @@
+"""Tests for literals, conditions and valuations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formulas.literals import (
+    Condition,
+    Literal,
+    Valuation,
+    all_valuations,
+    all_worlds,
+)
+
+from tests.conftest import conditions
+
+
+class TestLiteral:
+    def test_parse_positive_and_negative(self):
+        assert Literal.parse("w1") == Literal("w1")
+        assert Literal.parse("not w1") == Literal("w1", negated=True)
+        assert Literal.parse("!w2") == Literal("w2", negated=True)
+        assert Literal.parse("¬w3") == Literal("w3", negated=True)
+
+    def test_negate_is_involutive(self):
+        literal = Literal("w", negated=True)
+        assert literal.negate().negate() == literal
+
+    def test_holds_in(self):
+        assert Literal("w").holds_in({"w"})
+        assert not Literal("w").holds_in(set())
+        assert Literal("w", negated=True).holds_in(set())
+        assert not Literal("w", negated=True).holds_in({"w"})
+
+    def test_string_rendering(self):
+        assert str(Literal("w")) == "w"
+        assert str(Literal("w", negated=True)) == "not w"
+
+
+class TestCondition:
+    def test_true_condition(self):
+        assert Condition.true().is_true()
+        assert Condition.true().holds_in(set())
+        assert Condition.true().probability({}) == 1.0
+
+    def test_of_parses_atoms(self):
+        condition = Condition.of("w1", "not w2")
+        assert Literal("w1") in condition
+        assert Literal("w2", negated=True) in condition
+        assert condition.events() == {"w1", "w2"}
+
+    def test_inconsistency_detection(self):
+        condition = Condition.of("w1", "not w1")
+        assert not condition.is_consistent()
+        assert condition.probability({"w1": 0.5}) == 0.0
+
+    def test_holds_in(self):
+        condition = Condition.of("w1", "not w2")
+        assert condition.holds_in({"w1"})
+        assert not condition.holds_in({"w1", "w2"})
+        assert not condition.holds_in(set())
+
+    def test_probability_under_independence(self):
+        condition = Condition.of("w1", "not w2")
+        assert condition.probability({"w1": 0.8, "w2": 0.7}) == pytest.approx(0.8 * 0.3)
+
+    def test_conjoin_is_set_union(self):
+        left = Condition.of("w1")
+        right = Condition.of("w1", "w2")
+        assert (left & right) == Condition.of("w1", "w2")
+
+    def test_minus_and_without_events(self):
+        condition = Condition.of("w1", "not w2", "w3")
+        assert condition.minus(Condition.of("w1")) == Condition.of("not w2", "w3")
+        assert condition.without_events({"w2", "w3"}) == Condition.of("w1")
+        assert condition.restricted_to({"w2"}) == Condition.of("not w2")
+
+    def test_implies_and_contradicts(self):
+        big = Condition.of("w1", "w2")
+        small = Condition.of("w1")
+        assert big.implies(small)
+        assert not small.implies(big)
+        assert small.contradicts(Condition.of("not w1"))
+        assert not small.contradicts(Condition.of("w2"))
+
+    def test_hash_and_equality_ignore_literal_order(self):
+        assert Condition.of("w1", "w2") == Condition.of("w2", "w1")
+        assert hash(Condition.of("w1", "w2")) == hash(Condition.of("w2", "w1"))
+
+    def test_rejects_non_literals(self):
+        with pytest.raises(TypeError):
+            Condition(["w1"])  # type: ignore[list-item]
+
+
+class TestValuation:
+    def test_from_mapping(self):
+        valuation = Valuation.from_mapping({"w1": True, "w2": False})
+        assert valuation["w1"] is True
+        assert valuation["w2"] is False
+        assert valuation.true_events == frozenset({"w1"})
+
+    def test_unknown_event_raises(self):
+        valuation = Valuation({"w1"}, {"w1", "w2"})
+        with pytest.raises(KeyError):
+            valuation["w3"]
+
+    def test_true_events_must_be_in_domain(self):
+        with pytest.raises(ValueError):
+            Valuation({"w3"}, {"w1"})
+
+    def test_satisfies(self):
+        valuation = Valuation({"w1"}, {"w1", "w2"})
+        assert valuation.satisfies(Condition.of("w1", "not w2"))
+        assert not valuation.satisfies(Condition.of("w2"))
+
+    def test_probability(self):
+        valuation = Valuation({"w1"}, {"w1", "w2"})
+        assert valuation.probability({"w1": 0.8, "w2": 0.7}) == pytest.approx(0.8 * 0.3)
+
+    def test_all_valuations_count(self):
+        assert len(list(all_valuations(["a", "b", "c"]))) == 8
+        assert len(list(all_worlds(["a", "b"]))) == 4
+        assert frozenset() in set(all_worlds(["a", "b"]))
+        assert frozenset({"a", "b"}) in set(all_worlds(["a", "b"]))
+
+
+class TestProperties:
+    @given(conditions())
+    @settings(max_examples=60)
+    def test_probability_in_unit_interval(self, condition):
+        distribution = {event: 0.5 for event in condition.events()}
+        probability = condition.probability(distribution)
+        assert 0.0 <= probability <= 1.0
+        if not condition.is_consistent():
+            assert probability == 0.0
+
+    @given(conditions(), conditions())
+    @settings(max_examples=60)
+    def test_conjunction_monotone_for_satisfaction(self, left, right):
+        both = left & right
+        for world in all_worlds(left.events() | right.events()):
+            if both.holds_in(world):
+                assert left.holds_in(world) and right.holds_in(world)
+
+    @given(conditions())
+    @settings(max_examples=60)
+    def test_holds_iff_probability_positive_under_point_distribution(self, condition):
+        # With probabilities forced near 0/1, satisfaction in the induced
+        # world matches a positive probability.
+        for world in all_worlds(condition.events()):
+            distribution = {
+                event: 0.999 if event in world else 0.001
+                for event in condition.events()
+            }
+            probability = condition.probability(distribution)
+            assert (probability > 0.5) == condition.holds_in(world) or not condition.is_consistent()

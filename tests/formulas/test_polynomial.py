@@ -1,0 +1,119 @@
+"""Tests for multivariate polynomials and characteristic polynomials."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, all_worlds
+from repro.formulas.polynomial import (
+    Polynomial,
+    characteristic_polynomial,
+    condition_polynomial,
+    evaluate_characteristic,
+    schwartz_zippel_equal,
+)
+
+from tests.formulas.test_dnf import dnfs
+
+
+class TestPolynomialArithmetic:
+    def test_zero_and_constant(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.constant(3).evaluate({}) == 3
+        assert Polynomial.constant(0).is_zero()
+
+    def test_variable_and_one_minus(self):
+        x = Polynomial.variable("x")
+        assert x.evaluate({"x": 5}) == 5
+        assert Polynomial.one_minus("x").evaluate({"x": 5}) == -4
+
+    def test_addition_and_subtraction(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        combined = x + y - x
+        assert combined == y
+
+    def test_multiplication_is_multilinear(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        product = x * y
+        assert product.degree() == 2
+        assert product.evaluate({"x": 2, "y": 3}) == 6
+        # Multiplying a variable by itself keeps degree 1 per variable
+        # (frozenset union), consistent with Definition 11's normalization.
+        assert (x * x).degree() == 1
+
+    def test_variables_and_degree(self):
+        p = Polynomial.variable("x") * Polynomial.one_minus("y") + Polynomial.constant(2)
+        assert p.variables() == frozenset({"x", "y"})
+        assert p.degree() == 2
+
+    def test_equality_and_hash(self):
+        left = Polynomial.variable("x") + Polynomial.constant(1)
+        right = Polynomial.constant(1) + Polynomial.variable("x")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_negation(self):
+        p = Polynomial.variable("x") - Polynomial.constant(2)
+        assert (-p).evaluate({"x": 3}) == -1
+
+
+class TestCharacteristicPolynomial:
+    def test_positive_literal(self):
+        assert condition_polynomial(Condition.of("x")) == Polynomial.variable("x")
+
+    def test_negative_literal(self):
+        assert condition_polynomial(Condition.of("not x")) == Polynomial.one_minus("x")
+
+    def test_inconsistent_condition_maps_to_zero(self):
+        assert condition_polynomial(Condition.of("x", "not x")).is_zero()
+
+    def test_empty_condition_maps_to_one(self):
+        assert condition_polynomial(Condition.true()) == Polynomial.constant(1)
+
+    def test_disjunction_is_addition(self):
+        formula = DNF.of(["x"], ["y"])
+        expected = Polynomial.variable("x") + Polynomial.variable("y")
+        assert characteristic_polynomial(formula) == expected
+
+    def test_value_counts_satisfied_disjuncts(self):
+        formula = DNF.of(["x"], ["x", "not y"], ["y"])
+        polynomial = characteristic_polynomial(formula)
+        for world in all_worlds({"x", "y"}):
+            point = {v: 1 if v in world else 0 for v in ("x", "y")}
+            assert polynomial.evaluate(point) == formula.count_satisfied(world)
+
+    @given(dnfs())
+    @settings(max_examples=50)
+    def test_direct_evaluation_matches_expanded_polynomial(self, formula):
+        polynomial = characteristic_polynomial(formula)
+        point = {variable: 3 for variable in formula.events()}
+        assert polynomial.evaluate(point) == evaluate_characteristic(formula, point)
+
+    @given(dnfs())
+    @settings(max_examples=50)
+    def test_zero_one_evaluation_counts_disjuncts(self, formula):
+        for world in all_worlds(formula.events()):
+            point = {v: 1 if v in world else 0 for v in formula.events()}
+            assert evaluate_characteristic(formula, point) == formula.normalized().count_satisfied(world)
+
+
+class TestSchwartzZippel:
+    def test_equal_formulas_always_accepted(self):
+        left = DNF.of(["x", "y"], ["not x"])
+        right = DNF.of(["not x"], ["y", "x"])
+        for seed in range(10):
+            assert schwartz_zippel_equal(left, right, seed=seed)
+
+    def test_different_formulas_rejected_with_high_probability(self):
+        left = DNF.of(["x"])
+        right = DNF.of(["x"], ["x", "y"])
+        rejections = sum(
+            0 if schwartz_zippel_equal(left, right, trials=2, seed=seed) else 1
+            for seed in range(20)
+        )
+        assert rejections == 20  # sample space is huge, misses are essentially impossible
+
+    def test_variable_free_formulas(self):
+        assert schwartz_zippel_equal(DNF.true(), DNF.true(), seed=0)
+        assert not schwartz_zippel_equal(DNF.true(), DNF.false(), seed=0)

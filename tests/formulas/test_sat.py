@@ -1,0 +1,96 @@
+"""Tests for the satisfiability / tautology / equivalence helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formulas.cnf import CNF, random_3cnf
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import all_worlds
+from repro.formulas.sat import (
+    equivalent,
+    is_satisfiable,
+    is_tautology,
+    models_count,
+    satisfying_valuations,
+)
+
+
+class TestSatisfiability:
+    def test_trivial_cases(self):
+        assert is_satisfiable(CNF())
+        assert not is_satisfiable(CNF([[]]))
+        assert is_satisfiable(DNF.true())
+        assert not is_satisfiable(DNF.false())
+
+    def test_simple_cnf(self):
+        assert is_satisfiable(CNF.of(["x1", "x2"], ["not x1"]))
+        assert not is_satisfiable(CNF.of(["x1"], ["not x1"]))
+
+    def test_inconsistent_dnf_disjunct(self):
+        assert not is_satisfiable(DNF.of(["x1", "not x1"]))
+        assert is_satisfiable(DNF.of(["x1", "not x1"], ["x2"]))
+
+    def test_pigeonhole_style_unsat(self):
+        # Two pigeons, one hole: p1h1, p2h1 can't both be excluded & required.
+        formula = CNF.of(["p1"], ["p2"], ["not p1", "not p2"])
+        assert not is_satisfiable(formula)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40)
+    def test_dpll_matches_brute_force(self, seed):
+        formula = random_3cnf(5, 10, seed=seed)
+        brute = any(
+            formula.holds_in(world) for world in all_worlds(formula.variables())
+        )
+        assert is_satisfiable(formula) == brute
+
+
+class TestTautology:
+    def test_cnf_tautologies(self):
+        assert is_tautology(CNF())
+        assert is_tautology(CNF.of(["x1", "not x1"]))
+        assert not is_tautology(CNF.of(["x1"]))
+
+    def test_dnf_tautologies(self):
+        assert is_tautology(DNF.true())
+        assert is_tautology(DNF.of(["x1"], ["not x1"]))
+        assert not is_tautology(DNF.of(["x1"]))
+        assert not is_tautology(DNF.false())
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30)
+    def test_dnf_tautology_matches_brute_force(self, seed):
+        cnf = random_3cnf(4, 4, seed=seed)
+        dnf = cnf.negation_dnf()
+        brute = all(dnf.holds_in(world) for world in all_worlds(dnf.events()))
+        assert is_tautology(dnf) == brute
+
+
+class TestEquivalence:
+    def test_classic_example_from_the_paper(self):
+        # A ∨ (A ∧ B) is equivalent to A (but not count-equivalent).
+        left = DNF.of(["A"], ["A", "B"])
+        right = DNF.of(["A"])
+        assert equivalent(left, right)
+
+    def test_inequivalent_formulas(self):
+        assert not equivalent(DNF.of(["A"]), DNF.of(["B"]))
+
+    def test_cnf_vs_dnf_equivalence(self):
+        cnf = CNF.of(["x1", "x2"])
+        dnf = DNF.of(["x1"], ["not x1", "x2"])
+        assert equivalent(cnf, dnf)
+
+
+class TestModelEnumeration:
+    def test_models_count(self):
+        assert models_count(DNF.of(["x1"])) == 1
+        assert models_count(CNF.of(["x1", "x2"])) == 3
+
+    def test_satisfying_valuations_satisfy(self):
+        formula = CNF.of(["x1", "x2"], ["not x3"])
+        found = list(satisfying_valuations(formula))
+        assert found
+        for valuation in found:
+            assert formula.holds_in(valuation.true_events)
+        assert len(found) == models_count(formula)

@@ -1,0 +1,99 @@
+"""End-to-end checks of the worked examples and claims of the paper."""
+
+import pytest
+
+from repro.core.semantics import possible_worlds
+from repro.equivalence.randomized import structurally_equivalent_randomized
+from repro.equivalence.semantic import semantically_equivalent
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.queries.evaluation import (
+    answers_isomorphic,
+    evaluate_on_probtree,
+    evaluate_on_pwset,
+)
+from repro.queries.treepattern import root_has_child
+from repro.trees.builders import tree
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.updates.pw_updates import apply_update_to_pwset
+from repro.workloads.constructions import (
+    figure1_probtree,
+    theorem3_deletion,
+    theorem3_probtree,
+)
+
+
+class TestSection2:
+    def test_figure1_semantics_is_figure2(self):
+        worlds = possible_worlds(figure1_probtree(), normalize=True)
+        expected = {
+            ("A", ()): 0.06,
+            ("A", (("B", ()),)): 0.24,
+            ("A", (("C", (("D", ()),)),)): 0.70,
+        }
+        assert len(worlds) == len(expected)
+        for world, probability in worlds:
+            nested = world.to_nested()
+            key = _freeze(nested)
+            assert key in expected
+            assert probability == pytest.approx(expected[key])
+
+    def test_theorem1_on_the_running_example(self):
+        probtree = figure1_probtree()
+        query = root_has_child("A", "C")
+        assert answers_isomorphic(
+            evaluate_on_probtree(query, probtree),
+            evaluate_on_pwset(query, possible_worlds(probtree)),
+        )
+
+
+class TestSection4:
+    def test_theorem3_lower_bound_shape(self):
+        """The d0 deletion forces ≥ 2^n literals on the Theorem 3 family."""
+        sizes = []
+        for n in (2, 3, 4, 5):
+            probtree = theorem3_probtree(n)
+            updated = apply_update_to_probtree(probtree, theorem3_deletion())
+            sizes.append(updated.literal_count())
+            assert updated.literal_count() >= 2 ** n
+            # Semantics stays correct despite the blow-up.
+            if n <= 3:
+                lhs = possible_worlds(updated, normalize=True)
+                rhs = apply_update_to_pwset(
+                    possible_worlds(probtree), theorem3_deletion(), normalize=True
+                )
+                assert lhs.isomorphic(rhs)
+        assert sizes == sorted(sizes)
+        # Growth is at least geometric with ratio ~2.
+        assert sizes[-1] >= 1.8 * sizes[-2]
+
+
+class TestSection5:
+    def test_structural_vs_semantic_equivalence_gap(self):
+        # Figure-less example of Section 5: different prob-trees, same worlds.
+        from repro.core.events import ProbabilityDistribution
+        from repro.core.probtree import ProbTree
+        from repro.formulas.literals import Condition
+        from repro.trees.datatree import DataTree
+
+        left_tree = DataTree("A")
+        b_left = left_tree.add_child(left_tree.root, "B")
+        left = ProbTree(
+            left_tree,
+            ProbabilityDistribution({"w1": 0.5, "w2": 0.4, "w3": 0.2}),
+            {b_left: Condition.of("w1", "w2")},
+        )
+        right_tree = DataTree("A")
+        b_right = right_tree.add_child(right_tree.root, "B")
+        right = ProbTree(
+            right_tree,
+            ProbabilityDistribution({"w1": 0.5, "w2": 0.4, "w3": 0.2}),
+            {b_right: Condition.of("w3")},
+        )
+        assert semantically_equivalent(left, right)
+        assert not structurally_equivalent_exhaustive(left, right)
+        assert not structurally_equivalent_randomized(left, right, seed=0)
+
+
+def _freeze(nested):
+    label, children = nested
+    return (label, tuple(sorted(_freeze(child) for child in children)))

@@ -1,0 +1,86 @@
+"""End-to-end warehouse lifecycle: extract, query, prune, validate, persist."""
+
+import pytest
+
+from repro.baselines.pw_engine import PossibleWorldsEngine
+from repro.core.engine import ProbXMLWarehouse
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.queries.evaluation import answers_isomorphic
+from repro.trees.builders import tree
+from repro.workloads.scenarios import HiddenWebScenario
+from repro.xmlio.parse import probtree_from_xml
+from repro.xmlio.serialize import probtree_to_xml
+
+
+class TestWarehouseLifecycle:
+    def test_full_pipeline(self):
+        scenario = HiddenWebScenario(source_count=2, event_count=6, seed=13)
+        warehouse = ProbXMLWarehouse(scenario.initial_document())
+
+        # 1. Ingest the extraction stream.
+        for event in scenario.events():
+            warehouse.apply(event.update)
+        assert warehouse.event_count() > 0
+
+        # 2. Ask analyst queries; probabilities must be proper.
+        for _description, query in scenario.queries():
+            for answer in warehouse.query(query):
+                assert 0.0 < answer.probability <= 1.0 + 1e-9
+
+        # 3. Serialize and reload: the persisted warehouse answers identically.
+        text = probtree_to_xml(warehouse.probtree)
+        reloaded = ProbXMLWarehouse(probtree_from_xml(text))
+        for _description, query in scenario.queries():
+            assert answers_isomorphic(warehouse.query(query), reloaded.query(query))
+
+        # 4. Validation against a schema for the warehouse.
+        dtd = DTD(
+            {
+                "warehouse": [
+                    ChildConstraint.any_number(f"source{i}") for i in (1, 2)
+                ]
+            }
+        )
+        assert warehouse.dtd_satisfiable(dtd)
+        assert 0.0 <= warehouse.dtd_probability(dtd) <= 1.0 + 1e-9
+
+        # 5. Prune improbable worlds and re-check consistency of the mass.
+        worlds_before = warehouse.possible_worlds()
+        threshold = max(p for _t, p in worlds_before) / 2
+        warehouse.prune_below(threshold)
+        worlds_after = warehouse.possible_worlds()
+        assert worlds_after.total_probability() == pytest.approx(1.0)
+
+    def test_engine_matches_baseline_through_the_lifecycle(self):
+        scenario = HiddenWebScenario(source_count=2, event_count=5, seed=21)
+        warehouse = ProbXMLWarehouse(scenario.initial_document())
+        baseline = PossibleWorldsEngine(scenario.initial_document())
+
+        for step, event in enumerate(scenario.events()):
+            warehouse.apply(event.update)
+            baseline.apply(event.update)
+            if step % 2 == 0:
+                assert warehouse.possible_worlds().isomorphic(baseline.worlds)
+
+        best_engine = warehouse.most_probable_worlds(1)[0]
+        best_baseline = baseline.most_probable(1)[0]
+        assert best_engine[1] == pytest.approx(best_baseline[1])
+
+    def test_manual_curation_workflow(self):
+        warehouse = ProbXMLWarehouse("warehouse")
+        warehouse.insert("/warehouse", tree("source", tree("movie", "title")), confidence=1.0)
+        warehouse.insert("/warehouse/source/movie", tree("year", "1972"), confidence=0.7)
+        warehouse.insert("/warehouse/source/movie", tree("year", "1973"), confidence=0.4)
+
+        # The two year annotations are independent claims; the document may
+        # contain both, one, or none.
+        assert warehouse.probability("/warehouse/source/movie/year") == pytest.approx(
+            1 - 0.3 * 0.6
+        )
+
+        # A curator decides years are untrustworthy and retracts them with
+        # high confidence.
+        warehouse.delete("//year", confidence=0.9)
+        assert warehouse.probability("/warehouse/source/movie/year") == pytest.approx(
+            (1 - 0.3 * 0.6) * 0.1, abs=1e-6
+        )

@@ -1,0 +1,73 @@
+"""Tests for the PW-set ↔ prob-tree conversions (expressiveness result)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.semantics import possible_worlds
+from repro.pw.convert import probtree_to_pwset, pwset_to_probtree
+from repro.pw.pwset import PWSet
+from repro.trees.builders import tree
+from repro.utils.errors import InvalidProbabilityError
+from repro.workloads.constructions import wide_independent_probtree
+
+from tests.conftest import small_probtrees
+
+
+class TestPWSetToProbTree:
+    def test_single_world(self):
+        worlds = PWSet([(tree("A", "B", tree("C", "D")), 1.0)])
+        probtree = pwset_to_probtree(worlds)
+        assert len(probtree.distribution) == 0
+        assert possible_worlds(probtree, normalize=True).isomorphic(worlds)
+
+    def test_figure2_round_trip(self, figure1):
+        worlds = possible_worlds(figure1, normalize=True)
+        rebuilt = pwset_to_probtree(worlds)
+        assert possible_worlds(rebuilt, normalize=True).isomorphic(worlds)
+        # The generic construction uses one selector event per world but one.
+        assert len(rebuilt.distribution) == len(worlds) - 1
+
+    def test_incomplete_set_rejected(self):
+        partial = PWSet([(tree("A"), 0.5)])
+        with pytest.raises(InvalidProbabilityError):
+            pwset_to_probtree(partial)
+        # ... but completing it first works.
+        completed = partial.completed()
+        rebuilt = pwset_to_probtree(completed)
+        assert possible_worlds(rebuilt, normalize=True).isomorphic(completed)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            pwset_to_probtree(PWSet([], require_common_root=False))
+
+    def test_duplicate_worlds_are_merged_first(self):
+        worlds = PWSet([(tree("A", "B"), 0.3), (tree("A", "B"), 0.3), (tree("A"), 0.4)])
+        rebuilt = pwset_to_probtree(worlds)
+        assert possible_worlds(rebuilt, normalize=True).isomorphic(worlds.normalize())
+
+
+class TestProbTreeToPWSet:
+    def test_wrapper_matches_core_semantics(self, figure1):
+        assert probtree_to_pwset(figure1).isomorphic(
+            possible_worlds(figure1, normalize=True)
+        )
+
+
+class TestExpressiveness:
+    """The paper's expressiveness statement: every PW set has a prob-tree."""
+
+    @given(small_probtrees())
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_preserves_semantics(self, probtree):
+        worlds = possible_worlds(probtree, normalize=True)
+        rebuilt = pwset_to_probtree(worlds)
+        assert possible_worlds(rebuilt, normalize=True).isomorphic(worlds)
+
+    def test_factorized_tree_blows_up_through_the_explicit_encoding(self):
+        # Proposition 1's flip side: going through the explicit PW set loses
+        # the factorization — the rebuilt prob-tree is exponentially larger.
+        probtree = wide_independent_probtree(6)
+        worlds = possible_worlds(probtree, normalize=True)
+        rebuilt = pwset_to_probtree(worlds)
+        assert len(worlds) == 2 ** 6
+        assert rebuilt.size() > probtree.size() * 4

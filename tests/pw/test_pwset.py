@@ -1,0 +1,124 @@
+"""Tests for possible-world sets (normalization, isomorphism, ∼sub)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.semantics import possible_worlds
+from repro.pw.pwset import PWSet
+from repro.trees.builders import tree
+from repro.utils.errors import InvalidProbabilityError, InvalidTreeError
+
+from tests.conftest import small_probtrees
+
+
+@pytest.fixture
+def figure2():
+    """The PW set of Figure 2."""
+    return PWSet(
+        [
+            (tree("A", tree("C", "D")), 0.70),
+            (tree("A"), 0.06),
+            (tree("A", "B"), 0.24),
+        ]
+    )
+
+
+class TestValidation:
+    def test_non_positive_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            PWSet([(tree("A"), 0.0)])
+
+    def test_mismatched_root_labels_rejected(self):
+        with pytest.raises(InvalidTreeError):
+            PWSet([(tree("A"), 0.5), (tree("B"), 0.5)])
+
+    def test_total_probability_check(self):
+        with pytest.raises(InvalidProbabilityError):
+            PWSet([(tree("A"), 0.5)], require_total_one=True)
+        assert PWSet([(tree("A"), 1.0)], require_total_one=True).is_complete()
+
+
+class TestInspection:
+    def test_sizes(self, figure2):
+        assert figure2.max_world_size() == 3
+        assert figure2.description_size() == 3 + 1 + 2
+        assert figure2.support_size() == 3
+        assert figure2.root_label() == "A"
+
+    def test_probability_of(self, figure2):
+        assert figure2.probability_of(tree("A", "B")) == pytest.approx(0.24)
+        assert figure2.probability_of(tree("A", "Z")) == 0.0
+
+    def test_most_probable(self, figure2):
+        (best, probability), (second, _) = figure2.most_probable(2)
+        assert probability == pytest.approx(0.70)
+        assert best.node_count() == 3
+
+
+class TestNormalization:
+    def test_merges_isomorphic_worlds(self):
+        worlds = PWSet([(tree("A", "B"), 0.3), (tree("A", "B"), 0.2), (tree("A"), 0.5)])
+        normalized = worlds.normalize()
+        assert len(normalized) == 2
+        assert normalized.probability_of(tree("A", "B")) == pytest.approx(0.5)
+        assert normalized.is_normalized()
+
+    def test_isomorphism_of_pwsets(self, figure2):
+        reordered = PWSet(
+            [
+                (tree("A", "B"), 0.14),
+                (tree("A"), 0.06),
+                (tree("A", tree("C", "D")), 0.70),
+                (tree("A", "B"), 0.10),
+            ]
+        )
+        assert figure2.isomorphic(reordered)
+        different = PWSet([(tree("A"), 1.0)])
+        assert not figure2.isomorphic(different)
+
+
+class TestSubPWSets:
+    def test_completion_adds_root_world(self, figure2):
+        partial = figure2.filter(lambda t, p: p >= 0.2)
+        assert partial.total_probability() == pytest.approx(0.94)
+        completed = partial.completed()
+        assert completed.total_probability() == pytest.approx(1.0)
+        assert completed.probability_of(tree("A")) == pytest.approx(0.06)
+
+    def test_completion_of_complete_set_is_identity(self, figure2):
+        assert figure2.completed().isomorphic(figure2)
+
+    def test_completion_rejects_overfull_sets(self):
+        worlds = PWSet([(tree("A"), 0.9), (tree("A", "B"), 0.9)])
+        with pytest.raises(InvalidProbabilityError):
+            worlds.completed()
+
+    def test_sub_isomorphism(self, figure2):
+        partial = figure2.filter(lambda t, p: p >= 0.2)
+        assert partial.sub_isomorphic(figure2.filter(lambda t, p: p >= 0.2))
+        # The ∼sub completion treats the dropped mass as a root-only world, so
+        # the partial set is sub-isomorphic to its own completion.
+        assert partial.sub_isomorphic(partial.completed())
+
+    def test_at_least_threshold(self, figure2):
+        assert len(figure2.at_least(0.2)) == 2
+        assert len(figure2.at_least(0.9)) == 0
+
+
+class TestTransformation:
+    def test_map_trees(self, figure2):
+        relabeled = figure2.map_trees(
+            lambda t: tree("R", *[t.subtree_copy(c) for c in t.children(t.root)])
+        )
+        assert relabeled.root_label() == "R"
+        assert relabeled.total_probability() == pytest.approx(1.0)
+
+
+class TestProperties:
+    @given(small_probtrees())
+    @settings(max_examples=25)
+    def test_isomorphism_is_reflexive_and_normalization_invariant(self, probtree):
+        worlds = possible_worlds(probtree, normalize=False)
+        assert worlds.isomorphic(worlds)
+        assert worlds.isomorphic(worlds.normalize())
+        assert worlds.normalize().support_size() == worlds.support_size()

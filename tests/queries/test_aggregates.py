@@ -1,0 +1,96 @@
+"""Tests for aggregate queries (expected counts and count distributions)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.queries.aggregates import (
+    expected_match_count,
+    match_count_distribution,
+    probability_count_at_least,
+    variance_of_match_count,
+)
+from repro.queries.treepattern import TreePattern, root_has_child
+from repro.utils.errors import QueryError
+from repro.workloads.constructions import wide_independent_probtree
+from repro.workloads.random_queries import random_matching_pattern
+
+from tests.conftest import small_probtrees
+
+
+@pytest.fixture
+def star_query():
+    pattern = TreePattern("A")
+    pattern.add_child(pattern.root, "*")
+    return pattern
+
+
+class TestExpectedCount:
+    def test_figure1(self, figure1, star_query):
+        # E[#children of the root] = P(B) + P(C) = 0.24 + 0.7
+        assert expected_match_count(star_query, figure1) == pytest.approx(0.94)
+
+    def test_independent_children(self, star_query):
+        probtree = wide_independent_probtree(6, probability=0.3)
+        assert expected_match_count(star_query, probtree) == pytest.approx(6 * 0.3)
+
+    def test_no_match_means_zero(self, figure1):
+        assert expected_match_count(root_has_child("A", "Z"), figure1) == 0.0
+
+    def test_non_locally_monotone_rejected(self, figure1, star_query):
+        class Negative(TreePattern):
+            locally_monotone = False
+
+        with pytest.raises(QueryError):
+            expected_match_count(Negative("A"), figure1)
+
+    @given(small_probtrees(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_world_enumeration(self, probtree, seed):
+        query, _ = random_matching_pattern(probtree.tree, seed=seed)
+        by_worlds = sum(
+            probability * len(query.results(world))
+            for world, probability in possible_worlds(probtree)
+        )
+        assert expected_match_count(query, probtree) == pytest.approx(by_worlds, abs=1e-6)
+
+
+class TestCountDistribution:
+    def test_figure1_distribution(self, figure1, star_query):
+        distribution = match_count_distribution(star_query, figure1)
+        assert distribution[0] == pytest.approx(0.06)
+        assert distribution[1] == pytest.approx(0.94)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_binomial_family(self, star_query):
+        probtree = wide_independent_probtree(4, probability=0.5)
+        distribution = match_count_distribution(star_query, probtree)
+        assert distribution[2] == pytest.approx(6 / 16)
+        assert distribution[0] == pytest.approx(1 / 16)
+
+    def test_no_answers(self, figure1):
+        distribution = match_count_distribution(root_has_child("A", "Z"), figure1)
+        assert distribution == {0: 1.0}
+
+    @given(small_probtrees(max_nodes=5), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_matches_world_enumeration(self, probtree, seed):
+        query, _ = random_matching_pattern(probtree.tree, seed=seed)
+        distribution = match_count_distribution(query, probtree)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        expected_mean = expected_match_count(query, probtree)
+        mean = sum(count * probability for count, probability in distribution.items())
+        assert mean == pytest.approx(expected_mean, abs=1e-6)
+
+
+class TestDerivedStatistics:
+    def test_tail_probabilities(self, figure1, star_query):
+        assert probability_count_at_least(star_query, figure1, 0) == 1.0
+        assert probability_count_at_least(star_query, figure1, 1) == pytest.approx(0.94)
+        assert probability_count_at_least(star_query, figure1, 2) == pytest.approx(0.0)
+
+    def test_variance(self, star_query):
+        probtree = wide_independent_probtree(5, probability=0.5)
+        # Binomial(5, 0.5) variance = 5 * 0.25
+        assert variance_of_match_count(star_query, probtree) == pytest.approx(1.25)

@@ -1,0 +1,55 @@
+"""Tests for the query/match abstractions shared by all query languages."""
+
+import pytest
+
+from repro.queries.base import Match, Query
+from repro.queries.treepattern import TreePattern, root_has_child
+from repro.trees.builders import tree
+
+
+class TestMatch:
+    def test_from_dict_round_trip(self):
+        match = Match.from_dict({0: 10, 1: 20})
+        assert match.as_dict() == {0: 10, 1: 20}
+        assert match.target(1) == 20
+        with pytest.raises(KeyError):
+            match.target(99)
+
+    def test_matched_and_answer_nodes(self):
+        document = tree("A", tree("B", "C"))
+        node_c = next(iter(document.nodes_with_label("C")))
+        match = Match.from_dict({0: node_c})
+        assert match.matched_nodes() == frozenset({node_c})
+        answer = match.answer_nodes(document)
+        assert answer == frozenset(document.nodes())
+
+    def test_matches_are_hashable_and_comparable(self):
+        left = Match.from_dict({0: 1})
+        right = Match.from_dict({0: 1})
+        assert left == right
+        assert len({left, right}) == 1
+
+
+class TestQueryDefaults:
+    def test_selects_and_call(self):
+        document = tree("A", "B")
+        query = root_has_child("A", "B")
+        assert query.selects(document)
+        assert not root_has_child("A", "Z").selects(document)
+        assert len(query(document)) == 1
+
+    def test_result_node_sets_are_deduplicated_and_ordered(self):
+        document = tree("A", "B", "B", "C")
+        query = TreePattern("A")  # matches only the root, however many times
+        assert query.result_node_sets(document) == [frozenset({document.root})]
+
+    def test_results_share_node_ids_with_the_document(self):
+        document = tree("A", tree("B", "C"))
+        (answer,) = root_has_child("A", "B").results(document)
+        for node in answer.nodes():
+            assert document.has_node(node)
+            assert document.label(node) == answer.label(node)
+
+    def test_abstract_query_requires_matches(self):
+        with pytest.raises(TypeError):
+            Query()  # type: ignore[abstract]

@@ -1,0 +1,69 @@
+"""Theorem 1: query answers on prob-trees match the possible-world semantics.
+
+For every locally monotone query Q and prob-tree T,  Q(T) ∼ Q(⟦T⟧).
+These are the E2 correctness experiments: exhaustive on the paper's example
+and property-based on random prob-trees × random matching tree patterns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.queries.evaluation import (
+    answers_isomorphic,
+    evaluate_on_probtree,
+    evaluate_on_pwset,
+)
+from repro.queries.treepattern import TreePattern, child_chain, root_has_child
+from repro.workloads.random_queries import random_matching_pattern
+
+from tests.conftest import small_probtrees
+
+
+class TestFigure1:
+    def test_simple_patterns(self, figure1):
+        worlds = possible_worlds(figure1)
+        for query in (
+            TreePattern("A"),
+            root_has_child("A", "B"),
+            root_has_child("A", "C"),
+            child_chain(["A", "C", "D"]),
+            root_has_child("A", "Z"),
+        ):
+            assert answers_isomorphic(
+                evaluate_on_probtree(query, figure1),
+                evaluate_on_pwset(query, worlds),
+            )
+
+    def test_wildcard_and_descendant_patterns(self, figure1):
+        worlds = possible_worlds(figure1)
+        wildcard = TreePattern("A")
+        wildcard.add_child(wildcard.root, "*")
+        descendant = TreePattern("A")
+        descendant.add_child(descendant.root, "D", edge="descendant")
+        for query in (wildcard, descendant):
+            assert answers_isomorphic(
+                evaluate_on_probtree(query, figure1),
+                evaluate_on_pwset(query, worlds),
+            )
+
+
+class TestTheorem1Property:
+    @given(small_probtrees(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_query_consistency(self, probtree, seed):
+        query, _focus = random_matching_pattern(probtree.tree, seed=seed)
+        lhs = evaluate_on_probtree(query, probtree)
+        rhs = evaluate_on_pwset(query, possible_worlds(probtree))
+        assert answers_isomorphic(lhs, rhs)
+
+    @given(small_probtrees(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_probability_consistency(self, probtree, seed):
+        from repro.queries.evaluation import boolean_probability
+
+        query, _focus = random_matching_pattern(probtree.tree, seed=seed)
+        direct = boolean_probability(query, probtree)
+        worlds = possible_worlds(probtree)
+        by_worlds = sum(p for t, p in worlds if query.selects(t))
+        assert abs(direct - by_worlds) < 1e-6

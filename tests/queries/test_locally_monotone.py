@@ -1,0 +1,58 @@
+"""Tests of the locally monotone property (Definition 6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.base import LocallyMonotoneQuery, Match, is_locally_monotone_on
+from repro.queries.treepattern import TreePattern, child_chain, descendant_anywhere
+from repro.trees.builders import tree
+from repro.workloads.random_queries import random_matching_pattern
+from repro.workloads.random_trees import random_datatree
+
+from tests.conftest import small_datatrees
+
+
+class TestTreePatternsAreLocallyMonotone:
+    def test_on_a_fixed_document(self):
+        document = tree("A", tree("B", "C"), tree("B", "D"), "E")
+        for query in (
+            TreePattern("A"),
+            child_chain(["A", "B", "C"]),
+            descendant_anywhere("D"),
+        ):
+            assert is_locally_monotone_on(query, document)
+
+    @given(small_datatrees(max_nodes=5), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_on_random_documents_and_patterns(self, document, seed):
+        query, _ = random_matching_pattern(document, seed=seed)
+        assert is_locally_monotone_on(query, document)
+
+
+class _RootHasNoBChild(LocallyMonotoneQuery):
+    """A *negative* query: selects the root iff it has no B child.
+
+    This is exactly the kind of query Definition 6 excludes: removing a
+    branch can create answers, so it is not locally monotone (despite the
+    class name, which is deliberately misleading for the test).
+    """
+
+    def matches(self, data_tree):
+        if any(
+            data_tree.label(child) == "B"
+            for child in data_tree.children(data_tree.root)
+        ):
+            return []
+        return [Match.from_dict({0: data_tree.root})]
+
+
+class TestNegativeQueriesAreNotLocallyMonotone:
+    def test_counter_example(self):
+        document = tree("A", "B", "C")
+        assert not is_locally_monotone_on(_RootHasNoBChild(), document)
+
+    def test_monotone_on_documents_without_b(self):
+        # On documents where no pruning can create a B-free root the property
+        # happens to hold — locality is a per-query, all-documents notion.
+        document = tree("A", "C", "D")
+        assert is_locally_monotone_on(_RootHasNoBChild(), document)

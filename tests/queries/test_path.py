@@ -1,0 +1,64 @@
+"""Tests for the XPath-like path mini-language."""
+
+import pytest
+
+from repro.queries.path import parse_path
+from repro.trees.builders import tree
+from repro.utils.errors import QueryError
+
+
+@pytest.fixture
+def document():
+    return tree(
+        "library",
+        tree("shelf", tree("book", tree("title", "Dune")), tree("book", "magazine")),
+        tree("archive", tree("box", tree("book", tree("title", "Solaris")))),
+    )
+
+
+class TestParsing:
+    def test_empty_expression_rejected(self):
+        with pytest.raises(QueryError):
+            parse_path("")
+        with pytest.raises(QueryError):
+            parse_path("   ")
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(QueryError):
+            parse_path("/library//")
+
+    def test_leading_slash_optional(self, document):
+        assert len(parse_path("library/shelf").matches(document)) == len(
+            parse_path("/library/shelf").matches(document)
+        )
+
+
+class TestEvaluation:
+    def test_root_only(self, document):
+        assert len(parse_path("/library").matches(document)) == 1
+        assert len(parse_path("/archive").matches(document)) == 0
+
+    def test_child_steps(self, document):
+        assert len(parse_path("/library/shelf/book").matches(document)) == 2
+        assert len(parse_path("/library/shelf/book/title").matches(document)) == 1
+
+    def test_descendant_steps(self, document):
+        assert len(parse_path("/library//book").matches(document)) == 3
+        assert len(parse_path("/library//title").matches(document)) == 2
+        assert len(parse_path("//title").matches(document)) == 2
+
+    def test_mixed_steps(self, document):
+        assert len(parse_path("//box/book/title").matches(document)) == 1
+        assert len(parse_path("/library//book/title").matches(document)) == 2
+
+    def test_wildcard_step(self, document):
+        assert len(parse_path("/library/*/book").matches(document)) == 2
+        assert len(parse_path("/library/*").matches(document)) == 2
+
+    def test_no_match_for_wrong_root(self, document):
+        assert parse_path("/warehouse//book").matches(document) == []
+
+    def test_results_keep_path_to_root(self, document):
+        (result,) = parse_path("//box/book/title").results(document)
+        labels = sorted(result.label(node) for node in result.nodes())
+        assert labels == ["archive", "book", "box", "library", "title"]

@@ -1,0 +1,137 @@
+"""Tests for tree-pattern queries with joins."""
+
+import pytest
+
+from repro.queries.treepattern import (
+    EDGE_DESCENDANT,
+    TreePattern,
+    child_chain,
+    descendant_anywhere,
+    root_has_child,
+)
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.utils.errors import QueryError
+
+
+@pytest.fixture
+def document():
+    return tree(
+        "A",
+        tree("B", tree("C", "X"), "D"),
+        tree("B", "C"),
+        tree("E", tree("B", "C")),
+    )
+
+
+class TestConstruction:
+    def test_unknown_parent_rejected(self):
+        pattern = TreePattern("A")
+        with pytest.raises(QueryError):
+            pattern.add_child(99, "B")
+
+    def test_bad_edge_rejected(self):
+        pattern = TreePattern("A")
+        with pytest.raises(QueryError):
+            pattern.add_child(pattern.root, "B", edge="sibling")
+
+    def test_join_validation(self):
+        pattern = TreePattern("A")
+        b = pattern.add_child(pattern.root, "B")
+        with pytest.raises(QueryError):
+            pattern.add_join(b, b)
+        with pytest.raises(QueryError):
+            pattern.add_join(b, 1234)
+
+
+class TestMatching:
+    def test_root_label_must_match(self, document):
+        assert not TreePattern("Z").matches(document)
+        assert len(TreePattern("A").matches(document)) == 1
+        assert len(TreePattern("*").matches(document)) == 1
+
+    def test_child_edges(self, document):
+        assert len(root_has_child("A", "B").matches(document)) == 2
+        assert len(root_has_child("A", "E").matches(document)) == 1
+        assert len(root_has_child("A", "C").matches(document)) == 0
+
+    def test_child_chain(self, document):
+        assert len(child_chain(["A", "B", "C"]).matches(document)) == 2
+        assert len(child_chain(["A", "B", "C", "X"]).matches(document)) == 1
+        assert len(child_chain(["A", "E", "B", "C"]).matches(document)) == 1
+
+    def test_descendant_edges(self, document):
+        assert len(descendant_anywhere("C").matches(document)) == 3
+        assert len(descendant_anywhere("X").matches(document)) == 1
+        assert len(descendant_anywhere("Z").matches(document)) == 0
+
+    def test_wildcard_steps(self, document):
+        pattern = TreePattern("A")
+        anything = pattern.add_child(pattern.root, "*")
+        pattern.add_child(anything, "C")
+        # B/C, B/C and E/.. no (E's child is B), so 2 matches... E/B has C? E's
+        # child B has child C, but that is a grandchild of E, not a child.
+        assert len(pattern.matches(document)) == 2
+
+    def test_multi_branch_pattern(self, document):
+        pattern = TreePattern("A")
+        b = pattern.add_child(pattern.root, "B")
+        pattern.add_child(b, "C")
+        pattern.add_child(b, "D")
+        matches = pattern.matches(document)
+        assert len(matches) == 1
+
+    def test_non_injective_embeddings_allowed(self):
+        doc = tree("A", "B")
+        pattern = TreePattern("A")
+        pattern.add_child(pattern.root, "B")
+        pattern.add_child(pattern.root, "B")
+        # Both pattern children may map to the single B node.
+        assert len(pattern.matches(doc)) == 1
+
+    def test_matches_expose_mapping(self, document):
+        pattern = child_chain(["A", "B", "C"])
+        for match in pattern.matches(document):
+            mapping = match.as_dict()
+            assert len(mapping) == 3
+            # the deepest pattern node maps to a C-labeled node
+            assert document.label(match.target(2)) == "C"
+
+    def test_results_are_ancestor_closed_sub_datatrees(self, document):
+        pattern = descendant_anywhere("X")
+        results = pattern.results(document)
+        assert len(results) == 1
+        labels = [results[0].label(node) for node in results[0].nodes()]
+        assert sorted(labels) == ["A", "B", "C", "X"]
+
+    def test_duplicate_result_node_sets_are_deduplicated(self):
+        doc = tree("A", "B", "B")
+        pattern = TreePattern("A")
+        pattern.add_child(pattern.root, "B")
+        # two matches, two distinct node sets
+        assert len(pattern.results(doc)) == 2
+        # a pattern matching only the root yields one result however many matches
+        assert len(TreePattern("A").results(doc)) == 1
+
+
+class TestJoins:
+    def test_join_on_equal_labels(self):
+        doc = tree("R", tree("L", "v1"), tree("M", "v1"), tree("M", "v2"))
+        pattern = TreePattern("R")
+        left = pattern.add_child(pattern.root, "L")
+        left_value = pattern.add_child(left, "*")
+        middle = pattern.add_child(pattern.root, "M")
+        middle_value = pattern.add_child(middle, "*")
+        assert len(pattern.matches(doc)) == 2
+        pattern.add_join(left_value, middle_value)
+        joined = pattern.matches(doc)
+        assert len(joined) == 1
+        (match,) = joined
+        assert doc.label(match.target(middle_value)) == "v1"
+
+    def test_join_count_is_reported(self):
+        pattern = TreePattern("A")
+        b = pattern.add_child(pattern.root, "B")
+        c = pattern.add_child(pattern.root, "C")
+        pattern.add_join(b, c)
+        assert len(pattern.joins()) == 1

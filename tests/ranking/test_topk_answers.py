@@ -1,0 +1,72 @@
+"""Tests for ranked query answers."""
+
+import pytest
+
+from repro.core.semantics import possible_worlds
+from repro.queries.evaluation import QueryAnswer, evaluate_on_probtree
+from repro.queries.treepattern import TreePattern
+from repro.ranking.topk_answers import rank_answers, top_k_answers
+from repro.trees.builders import tree
+
+
+@pytest.fixture
+def star_query():
+    pattern = TreePattern("A")
+    pattern.add_child(pattern.root, "*")
+    return pattern
+
+
+class TestRankAnswers:
+    def test_orders_by_probability(self):
+        answers = [
+            QueryAnswer(tree("A", "B"), 0.2),
+            QueryAnswer(tree("A", "C"), 0.9),
+            QueryAnswer(tree("A", "D"), 0.5),
+        ]
+        ranked = rank_answers(answers)
+        assert [a.probability for a in ranked] == [0.9, 0.5, 0.2]
+
+    def test_aggregation_merges_isomorphic_answers(self):
+        answers = [
+            QueryAnswer(tree("A", "B"), 0.2),
+            QueryAnswer(tree("A", "B"), 0.3),
+            QueryAnswer(tree("A", "C"), 0.4),
+        ]
+        ranked = rank_answers(answers)
+        assert ranked[0].probability == pytest.approx(0.5)
+        unaggregated = rank_answers(answers, aggregate_isomorphic=False)
+        assert unaggregated[0].probability == pytest.approx(0.4)
+
+    def test_k_truncation(self):
+        answers = [QueryAnswer(tree("A", str(i)), 0.1 * i) for i in range(1, 6)]
+        assert len(rank_answers(answers, k=2)) == 2
+
+
+class TestTopKAnswers:
+    def test_on_probtree(self, figure1, star_query):
+        ranked = top_k_answers(star_query, figure1, k=1)
+        assert len(ranked) == 1
+        assert ranked[0].probability == pytest.approx(0.7)
+
+    def test_on_pwset_matches_probtree(self, figure1, star_query):
+        from_probtree = top_k_answers(star_query, figure1, k=2)
+        from_pwset = top_k_answers(star_query, possible_worlds(figure1), k=2)
+        assert [round(a.probability, 6) for a in from_probtree] == [
+            round(a.probability, 6) for a in from_pwset
+        ]
+
+    def test_minimum_probability_filter(self, figure1, star_query):
+        kept = top_k_answers(star_query, figure1, k=5, minimum_probability=0.5)
+        assert len(kept) == 1
+        assert kept[0].probability == pytest.approx(0.7)
+
+    def test_invalid_k(self, figure1, star_query):
+        with pytest.raises(ValueError):
+            top_k_answers(star_query, figure1, k=0)
+
+    def test_consistent_with_plain_evaluation(self, figure1, star_query):
+        everything = top_k_answers(star_query, figure1, k=10)
+        plain = evaluate_on_probtree(star_query, figure1)
+        assert sum(a.probability for a in everything) == pytest.approx(
+            sum(a.probability for a in plain)
+        )

@@ -1,0 +1,143 @@
+"""Tests for approximate prob-tree simplification and the semantic distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probtree import ProbTree
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+from repro.simplification.approximate import (
+    forget_event,
+    forget_low_impact_events,
+    prune_unlikely_nodes,
+    simplify,
+)
+from repro.simplification.distance import pwset_total_variation, total_variation_distance
+from repro.core.semantics import possible_worlds
+from repro.trees.builders import tree
+from repro.utils.errors import InvalidConditionError
+from repro.workloads.constructions import figure1_probtree, wide_independent_probtree
+
+from tests.conftest import small_probtrees
+
+
+class TestTotalVariationDistance:
+    def test_identical_trees_have_distance_zero(self, figure1):
+        assert total_variation_distance(figure1, figure1.copy()) == pytest.approx(0.0)
+
+    def test_structural_equivalence_implies_distance_zero(self, figure1):
+        from repro.core.cleaning import clean
+
+        assert total_variation_distance(figure1, clean(figure1)) == pytest.approx(0.0)
+
+    def test_disjoint_semantics_have_distance_one(self):
+        certain_b = ProbTree.certain(tree("A", "B"))
+        certain_c = ProbTree.certain(tree("A", "C"))
+        assert total_variation_distance(certain_b, certain_c) == pytest.approx(1.0)
+
+    def test_symmetry_and_bounds(self, figure1):
+        other = wide_independent_probtree(2)
+        left_right = total_variation_distance(figure1, other)
+        right_left = total_variation_distance(other, figure1)
+        assert left_right == pytest.approx(right_left)
+        assert 0.0 <= left_right <= 1.0
+
+    def test_pwset_variant_agrees(self, figure1):
+        other = wide_independent_probtree(2)
+        assert pwset_total_variation(
+            possible_worlds(figure1), possible_worlds(other)
+        ) == pytest.approx(total_variation_distance(figure1, other))
+
+
+class TestForgetEvent:
+    def test_unknown_event_rejected(self, figure1):
+        with pytest.raises(InvalidConditionError):
+            forget_event(figure1, "nope")
+
+    def test_most_probable_value_is_kept(self, figure1):
+        simplified, error = forget_event(figure1, "w2")  # π(w2) = 0.7 → keep true
+        assert error == pytest.approx(0.3)
+        labels = {simplified.tree.label(n) for n in simplified.tree.nodes()}
+        assert labels == {"A", "C", "D"}
+        assert "w2" not in simplified.events()
+
+    def test_error_bound_is_honored(self, figure1):
+        simplified, error = forget_event(figure1, "w1")
+        assert total_variation_distance(figure1, simplified) <= error + 1e-9
+
+    @given(small_probtrees())
+    @settings(max_examples=25, deadline=None)
+    def test_error_bound_property(self, probtree):
+        for event in sorted(probtree.used_events()):
+            simplified, bound = forget_event(probtree, event)
+            assert total_variation_distance(probtree, simplified) <= bound + 1e-9
+            break  # one event per example keeps the test fast
+
+
+class TestForgetLowImpactEvents:
+    def test_budget_zero_changes_nothing(self, figure1):
+        simplified, forgotten, spent = forget_low_impact_events(figure1, 0.0)
+        assert forgotten == []
+        assert spent == 0.0
+        assert structurally_equivalent_exhaustive(figure1, simplified)
+
+    def test_budget_spent_within_limit(self):
+        probtree = wide_independent_probtree(5, probability=0.9)
+        simplified, forgotten, spent = forget_low_impact_events(probtree, 0.25)
+        assert spent <= 0.25 + 1e-9
+        assert len(forgotten) == 2  # each event costs 0.1
+        assert total_variation_distance(probtree, simplified) <= spent + 1e-9
+
+    def test_negative_budget_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            forget_low_impact_events(figure1, -0.1)
+
+
+class TestPruneUnlikelyNodes:
+    def test_threshold_validation(self, figure1):
+        with pytest.raises(ValueError):
+            prune_unlikely_nodes(figure1, 1.5)
+
+    def test_low_probability_branch_is_pruned(self, figure1):
+        pruned, removed, error = prune_unlikely_nodes(figure1, 0.5)
+        # B's presence probability is 0.24 < 0.5 → pruned; C (0.7) stays.
+        labels = {pruned.tree.label(n) for n in pruned.tree.nodes()}
+        assert labels == {"A", "C", "D"}
+        assert removed == 1
+        assert error == pytest.approx(0.24)
+        assert total_variation_distance(figure1, pruned) <= error + 1e-9
+
+    def test_zero_threshold_keeps_everything(self, figure1):
+        pruned, removed, error = prune_unlikely_nodes(figure1, 0.0)
+        assert removed == 0
+        assert error == 0.0
+
+    @given(small_probtrees(), st.sampled_from([0.1, 0.3, 0.5]))
+    @settings(max_examples=20, deadline=None)
+    def test_error_bound_property(self, probtree, threshold):
+        pruned, _removed, error = prune_unlikely_nodes(probtree, threshold)
+        assert total_variation_distance(probtree, pruned) <= error + 1e-6
+
+
+class TestCombinedSimplification:
+    def test_report_fields(self, figure1):
+        simplified, report = simplify(figure1, error_budget=0.4)
+        assert report.original_size == figure1.size()
+        assert report.simplified_size == simplified.size()
+        assert report.simplified_size <= report.original_size
+        assert 0.0 <= report.size_reduction <= 1.0
+        assert total_variation_distance(figure1, simplified) <= report.error_bound + 1e-9
+
+    def test_zero_budget_preserves_semantics(self, figure1):
+        simplified, report = simplify(figure1, error_budget=0.0)
+        assert report.error_bound == 0.0
+        assert total_variation_distance(figure1, simplified) == pytest.approx(0.0)
+
+    @given(small_probtrees(), st.sampled_from([0.05, 0.2, 0.5]))
+    @settings(max_examples=20, deadline=None)
+    def test_reported_error_bound_is_sound(self, probtree, budget):
+        # The reported bound is authoritative (pruning is threshold-based, so
+        # it may exceed the nominal budget on trees with many unlikely nodes);
+        # what must always hold is that the true distance stays below it.
+        simplified, report = simplify(probtree, error_budget=budget)
+        assert total_variation_distance(probtree, simplified) <= report.error_bound + 1e-6

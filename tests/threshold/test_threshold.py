@@ -1,0 +1,102 @@
+"""Tests for threshold restriction (Theorem 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.threshold.constructions import theorem4_instance, theorem4_probtree
+from repro.threshold.threshold import (
+    most_probable_worlds,
+    threshold_probtree,
+    threshold_worlds,
+)
+from repro.trees.builders import tree
+from repro.trees.isomorphism import isomorphic
+from repro.utils.errors import InvalidProbabilityError
+
+from tests.conftest import small_probtrees
+
+
+class TestThresholdWorlds:
+    def test_figure1_thresholds(self, figure1):
+        assert len(threshold_worlds(figure1, 0.5)) == 1
+        assert len(threshold_worlds(figure1, 0.2)) == 2
+        assert len(threshold_worlds(figure1, 0.01)) == 3
+
+    def test_threshold_bounds_validated(self, figure1):
+        with pytest.raises(InvalidProbabilityError):
+            threshold_worlds(figure1, 0.0)
+        with pytest.raises(InvalidProbabilityError):
+            threshold_worlds(figure1, 1.5)
+
+    def test_threshold_of_one_keeps_certain_world_only(self):
+        from repro.core.probtree import ProbTree
+
+        certain = ProbTree.certain(tree("A", "B"))
+        kept = threshold_worlds(certain, 1.0)
+        assert len(kept) == 1
+
+
+class TestThresholdProbTree:
+    def test_lost_mass_goes_to_root_world(self, figure1):
+        restricted = threshold_probtree(figure1, 0.5)
+        worlds = possible_worlds(restricted, normalize=True)
+        assert worlds.total_probability() == pytest.approx(1.0)
+        assert worlds.probability_of(tree("A", tree("C", "D"))) == pytest.approx(0.7)
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.3)
+        assert worlds.probability_of(tree("A", "B")) == 0.0
+
+    def test_sub_isomorphism_contract(self, figure1):
+        # ⟦T⟧≥p ∼sub ⟦T'⟧ per Definition 3.
+        kept = threshold_worlds(figure1, 0.2)
+        restricted = threshold_probtree(figure1, 0.2)
+        assert kept.sub_isomorphic(possible_worlds(restricted, normalize=True))
+
+    def test_no_world_above_threshold_rejected(self, figure1):
+        with pytest.raises(InvalidProbabilityError):
+            threshold_probtree(figure1, 0.99)
+
+    @given(small_probtrees(), st.sampled_from([0.1, 0.25, 0.5]))
+    @settings(max_examples=25, deadline=None)
+    def test_restriction_preserves_kept_worlds(self, probtree, threshold):
+        kept = threshold_worlds(probtree, threshold)
+        if len(kept) == 0:
+            return
+        restricted = threshold_probtree(probtree, threshold)
+        result = possible_worlds(restricted, normalize=True)
+        for world, probability in kept:
+            if world.node_count() == 1:
+                continue  # root-only worlds merge with the lost-mass world
+            assert result.probability_of(world) == pytest.approx(probability, abs=1e-6)
+
+
+class TestMostProbableWorlds:
+    def test_figure1_ranking(self, figure1):
+        ranked = most_probable_worlds(figure1, 2)
+        assert len(ranked) == 2
+        assert ranked[0][1] == pytest.approx(0.7)
+        assert isomorphic(ranked[0][0], tree("A", tree("C", "D")))
+        assert ranked[1][1] == pytest.approx(0.24)
+
+
+class TestTheorem4Construction:
+    def test_probtree_shape(self):
+        probtree = theorem4_probtree(3)
+        assert probtree.tree.node_count() == 7
+        assert len(probtree.events()) == 6
+        assert probtree.literal_count() == 6
+
+    def test_world_count_explodes_above_threshold(self):
+        probtree, threshold = theorem4_instance(3)
+        kept = threshold_worlds(probtree, threshold)
+        # all worlds with at most n = 3 children present are kept
+        expected = sum(math.comb(6, k) for k in range(0, 4))
+        assert len(kept) == expected
+
+    def test_restricted_probtree_is_much_larger(self):
+        probtree, threshold = theorem4_instance(2)
+        restricted = threshold_probtree(probtree, threshold)
+        assert restricted.size() > probtree.size() * 2

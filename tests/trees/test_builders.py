@@ -1,0 +1,49 @@
+"""Tests for the literal-style tree builders."""
+
+from repro.trees.builders import leaf, tree
+from repro.trees.isomorphism import isomorphic
+
+
+def test_leaf_builds_single_node():
+    t = leaf("A")
+    assert t.node_count() == 1
+    assert t.root_label == "A"
+
+
+def test_string_children_become_leaves():
+    t = tree("A", "B", "C")
+    assert t.node_count() == 3
+    assert {t.label(c) for c in t.children(t.root)} == {"B", "C"}
+
+
+def test_nested_trees_are_grafted():
+    t = tree("A", tree("B", "C"), "D")
+    assert t.node_count() == 4
+    b = next(iter(t.nodes_with_label("B")))
+    assert {t.label(c) for c in t.children(b)} == {"C"}
+
+
+def test_nested_child_is_copied_not_shared():
+    shared = tree("B", "C")
+    t1 = tree("A", shared)
+    t2 = tree("A", shared)
+    # Mutating one host must not affect the other (deep copies on graft).
+    b1 = next(iter(t1.nodes_with_label("B")))
+    t1.add_child(b1, "EXTRA")
+    assert not isomorphic(t1, t2)
+    assert shared.node_count() == 2
+
+
+def test_builder_matches_manual_construction():
+    manual = tree("A")
+    manual.add_child(manual.root, "B")
+    c = manual.add_child(manual.root, "C")
+    manual.add_child(c, "D")
+    built = tree("A", "B", tree("C", "D"))
+    assert isomorphic(manual, built)
+
+
+def test_labels_are_coerced_to_strings():
+    t = tree(1, 2, tree(3, 4))
+    assert t.root_label == "1"
+    assert {t.label(c) for c in t.children(t.root)} == {"2", "3"}

@@ -1,0 +1,151 @@
+"""Tests for unordered labeled tree isomorphism (Definition 1)."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.trees.isomorphism import (
+    canonical_children_encodings,
+    canonical_encoding,
+    isomorphic,
+)
+
+from tests.conftest import small_datatrees
+
+
+class TestBasicIsomorphism:
+    def test_single_nodes(self):
+        assert isomorphic(DataTree("A"), DataTree("A"))
+        assert not isomorphic(DataTree("A"), DataTree("B"))
+
+    def test_child_order_does_not_matter(self):
+        left = tree("A", "B", "C")
+        right = tree("A", "C", "B")
+        assert isomorphic(left, right)
+
+    def test_multiset_semantics_counts_duplicates(self):
+        one_child = tree("A", "B")
+        two_children = tree("A", "B", "B")
+        assert not isomorphic(one_child, two_children)
+        # ... but the set-semantics variant collapses them.
+        assert isomorphic(one_child, two_children, set_semantics=True)
+
+    def test_deep_difference_detected(self):
+        left = tree("A", tree("B", "C"))
+        right = tree("A", tree("B", "D"))
+        assert not isomorphic(left, right)
+
+    def test_different_shapes_same_labels(self):
+        left = tree("A", tree("B", "C"))
+        right = tree("A", "B", "C")
+        assert not isomorphic(left, right)
+
+    def test_labels_with_parentheses_do_not_collide(self):
+        left = tree("A", tree("B(", "C"))
+        right = tree("A", tree("B", "(C"))
+        assert not isomorphic(left, right)
+
+    def test_node_ids_are_irrelevant(self):
+        left = DataTree("A")
+        left.add_child(left.root, "B")
+        right = DataTree("A")
+        right.add_child(right.root, "C")
+        right_b = right.add_child(right.root, "B")
+        right.delete_subtree(next(iter(right.nodes_with_label("C"))))
+        assert isomorphic(left, right)
+
+
+class TestCanonicalEncoding:
+    def test_encoding_equal_iff_isomorphic_on_small_permutations(self):
+        base = tree("A", tree("B", "D", "E"), "C")
+        variant = tree("A", "C", tree("B", "E", "D"))
+        other = tree("A", tree("B", "D", "D"), "C")
+        assert canonical_encoding(base) == canonical_encoding(variant)
+        assert canonical_encoding(base) != canonical_encoding(other)
+
+    def test_subtree_encoding(self):
+        t = DataTree("A")
+        b = t.add_child(t.root, "B")
+        t.add_child(b, "C")
+        assert canonical_encoding(t, b) == canonical_encoding(tree("B", "C"))
+
+    def test_children_encodings_sorted(self):
+        t = tree("A", "C", "B")
+        encodings = canonical_children_encodings(t, t.root)
+        assert list(encodings) == sorted(encodings)
+
+    def test_deep_tree_does_not_hit_recursion_limit(self):
+        t = DataTree("A")
+        current = t.root
+        for _ in range(5000):
+            current = t.add_child(current, "A")
+        assert len(canonical_encoding(t)) > 5000
+
+
+class TestExhaustiveOracle:
+    def test_matches_brute_force_on_tiny_trees(self):
+        """Compare with a brute-force bijection search on all 4-node trees."""
+        labels = ("A", "B")
+        trees = list(_all_trees(4, labels))
+        for left, right in itertools.product(trees, repeat=2):
+            assert isomorphic(left, right) == _brute_force_isomorphic(left, right)
+
+
+def _all_trees(max_nodes, labels):
+    """Enumerate all labeled trees with up to max_nodes nodes (tiny)."""
+
+    def grow(t, budget):
+        yield t.copy()
+        if budget == 0:
+            return
+        for parent in list(t.nodes()):
+            for label in labels:
+                extended = t.copy()
+                extended.add_child(parent, label)
+                yield from grow(extended, budget - 1)
+
+    for root_label in labels:
+        yield from grow(DataTree(root_label), max_nodes - 1)
+
+
+def _brute_force_isomorphic(left, right):
+    if left.node_count() != right.node_count():
+        return False
+    left_nodes = list(left.nodes())
+    right_nodes = list(right.nodes())
+    for permutation in itertools.permutations(right_nodes):
+        mapping = dict(zip(left_nodes, permutation))
+        if mapping[left.root] != right.root:
+            continue
+        ok = True
+        for node in left_nodes:
+            if left.label(node) != right.label(mapping[node]):
+                ok = False
+                break
+            mapped_children = {mapping[c] for c in left.children(node)}
+            if mapped_children != set(right.children(mapping[node])):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestProperties:
+    @given(small_datatrees())
+    @settings(max_examples=40)
+    def test_isomorphism_is_reflexive(self, t):
+        assert isomorphic(t, t.copy())
+
+    @given(small_datatrees(), small_datatrees())
+    @settings(max_examples=40)
+    def test_isomorphism_is_symmetric(self, left, right):
+        assert isomorphic(left, right) == isomorphic(right, left)
+
+    @given(small_datatrees())
+    @settings(max_examples=40)
+    def test_encoding_invariant_under_rebuild(self, t):
+        rebuilt = DataTree.from_nested(t.to_nested())
+        assert canonical_encoding(t) == canonical_encoding(rebuilt)

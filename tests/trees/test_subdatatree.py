@@ -1,0 +1,106 @@
+"""Tests for the sub-datatree partial order (Definition 5)."""
+
+from hypothesis import given, settings
+
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.trees.subdatatree import (
+    enumerate_sub_datatrees,
+    is_sub_datatree,
+    sub_datatree_count,
+)
+
+from tests.conftest import small_datatrees
+
+
+class TestIsSubDatatree:
+    def test_tree_is_its_own_sub_datatree(self):
+        t = tree("A", "B", "C")
+        assert is_sub_datatree(t, t)
+
+    def test_root_only_is_always_a_sub_datatree(self):
+        t = tree("A", tree("B", "C"))
+        root_only = t.restrict({t.root})
+        assert is_sub_datatree(root_only, t)
+
+    def test_pruned_branch_is_a_sub_datatree(self):
+        t = DataTree("A")
+        b = t.add_child(t.root, "B")
+        c = t.add_child(b, "C")
+        d = t.add_child(t.root, "D")
+        sub = t.restrict({t.root, b, c})
+        assert is_sub_datatree(sub, t)
+
+    def test_missing_intermediate_edge_is_rejected(self):
+        # A candidate that keeps a node but drops an edge of the original tree
+        # between retained nodes is not an induced substructure.
+        t = DataTree("A")
+        b = t.add_child(t.root, "B")
+        candidate = DataTree("A")
+        assert candidate.root == t.root  # both are 0
+        # candidate lacks b entirely: that's fine (pruning), so it IS a sub-datatree
+        assert is_sub_datatree(candidate, t)
+        # but a candidate with a different label for the root is not
+        other = DataTree("X")
+        assert not is_sub_datatree(other, t)
+
+    def test_unrelated_tree_is_not_a_sub_datatree(self):
+        t = tree("A", "B")
+        other = tree("A", "C")
+        # ``other`` shares node ids with t (both built the same way) but the
+        # labels differ, violating condition (v).
+        assert not is_sub_datatree(other, t)
+
+
+class TestEnumeration:
+    def test_enumerates_all_prunings_of_a_chain(self):
+        t = DataTree("A")
+        b = t.add_child(t.root, "B")
+        t.add_child(b, "C")
+        subs = list(enumerate_sub_datatrees(t))
+        # A chain of 3 nodes has prunings: {A}, {A,B}, {A,B,C}.
+        assert len(subs) == 3
+        assert sub_datatree_count(t) == 3
+
+    def test_enumerates_all_prunings_of_a_star(self):
+        t = tree("A", "B", "C")
+        subs = list(enumerate_sub_datatrees(t))
+        # Each of the two children can independently be kept or pruned.
+        assert len(subs) == 4
+        assert sub_datatree_count(t) == 4
+
+    def test_count_matches_enumeration_on_figure1_shape(self):
+        t = tree("A", "B", tree("C", "D"))
+        subs = list(enumerate_sub_datatrees(t))
+        assert len(subs) == sub_datatree_count(t) == 6
+
+    def test_every_enumerated_tree_is_a_sub_datatree(self):
+        t = tree("A", tree("B", "C"), "D")
+        for sub in enumerate_sub_datatrees(t):
+            assert is_sub_datatree(sub, t)
+
+
+class TestProperties:
+    @given(small_datatrees(max_nodes=6))
+    @settings(max_examples=30)
+    def test_count_matches_enumeration(self, t):
+        assert len(list(enumerate_sub_datatrees(t))) == sub_datatree_count(t)
+
+    @given(small_datatrees(max_nodes=6))
+    @settings(max_examples=30)
+    def test_partial_order_reflexive_and_bounded(self, t):
+        subs = list(enumerate_sub_datatrees(t))
+        for sub in subs:
+            assert is_sub_datatree(sub, t)
+            assert sub.node_count() <= t.node_count()
+        # The whole tree and the bare root are always present.
+        sizes = {sub.node_count() for sub in subs}
+        assert 1 in sizes
+        assert t.node_count() in sizes
+
+    @given(small_datatrees(max_nodes=5))
+    @settings(max_examples=20)
+    def test_transitivity_through_restriction(self, t):
+        for sub in enumerate_sub_datatrees(t):
+            for subsub in enumerate_sub_datatrees(sub):
+                assert is_sub_datatree(subsub, t)

@@ -1,0 +1,80 @@
+"""E15: property-based consistency of prob-tree updates with PW semantics.
+
+For random prob-trees and random probabilistic updates (insertions and
+deletions sampled so they match the underlying data tree), the Appendix A
+algorithm must satisfy ⟦(τ,c)(T)⟧ ∼ (τ,c)(⟦T⟧).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.updates.pw_updates import apply_update_to_pwset
+from repro.workloads.random_queries import (
+    random_deletion,
+    random_insertion,
+    random_update,
+)
+
+from tests.conftest import small_probtrees
+
+
+def _assert_consistent(probtree, update):
+    lhs = possible_worlds(apply_update_to_probtree(probtree, update), normalize=True)
+    rhs = apply_update_to_pwset(possible_worlds(probtree), update, normalize=True)
+    assert lhs.isomorphic(rhs), (
+        f"update inconsistency\nprobtree:\n{probtree.pretty()}\n"
+        f"update: {update.operation.describe()} (c={update.confidence})"
+    )
+
+
+class TestInsertionConsistency:
+    @given(small_probtrees(), st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_insertions(self, probtree, seed):
+        update = random_insertion(probtree.tree, seed=seed, subtree_size=2)
+        _assert_consistent(probtree, update)
+
+    @given(small_probtrees(), st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_certain_insertions(self, probtree, seed):
+        update = random_insertion(probtree.tree, seed=seed, confidence=1.0)
+        _assert_consistent(probtree, update)
+
+
+class TestDeletionConsistency:
+    @given(small_probtrees(), st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=50, deadline=None)
+    def test_random_deletions(self, probtree, seed):
+        if probtree.tree.node_count() == 1:
+            return  # nothing deletable without targeting the root
+        update = random_deletion(probtree.tree, seed=seed)
+        _assert_consistent(probtree, update)
+
+    @given(small_probtrees(), st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_certain_deletions(self, probtree, seed):
+        if probtree.tree.node_count() == 1:
+            return
+        update = random_deletion(probtree.tree, seed=seed, confidence=1.0)
+        _assert_consistent(probtree, update)
+
+
+class TestMixedSequences:
+    @given(small_probtrees(max_nodes=4), st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_two_step_sequences(self, probtree, seed):
+        first = random_update(probtree.tree, seed=seed)
+        after_first = apply_update_to_probtree(probtree, first)
+        second = random_update(after_first.tree, seed=seed + 1)
+
+        lhs = possible_worlds(
+            apply_update_to_probtree(after_first, second), normalize=True
+        )
+        rhs = apply_update_to_pwset(
+            apply_update_to_pwset(possible_worlds(probtree), first, normalize=True),
+            second,
+            normalize=True,
+        )
+        assert lhs.isomorphic(rhs)

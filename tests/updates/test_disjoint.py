@@ -1,0 +1,73 @@
+"""Tests for the chain negation / disjoint negation used by deletions."""
+
+from hypothesis import given, settings
+
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal, all_worlds
+from repro.updates.disjoint import chain_negation, disjoint_negation
+
+from tests.formulas.test_dnf import dnfs
+
+
+class TestChainNegation:
+    def test_matches_appendix_a_shape(self):
+        condition = Condition.of("a1", "a2", "a3")
+        result = chain_negation(condition)
+        assert len(result) == 3
+        # First piece: {¬a1}; last piece: {a1, a2, ¬a3} (sorted literal order).
+        sizes = sorted(len(d) for d in result.disjuncts)
+        assert sizes == [1, 2, 3]
+
+    def test_true_condition_negates_to_false(self):
+        assert chain_negation(Condition.true()).is_false()
+
+    def test_single_literal(self):
+        result = chain_negation(Condition.of("w"))
+        assert len(result) == 1
+        assert Literal("w", negated=True) in result.disjuncts[0]
+
+    def test_semantics_and_disjointness(self):
+        condition = Condition.of("a", "not b", "c")
+        result = chain_negation(condition)
+        for world in all_worlds(condition.events()):
+            assert result.holds_in(world) == (not condition.holds_in(world))
+            assert result.count_satisfied(world) <= 1
+
+
+class TestDisjointNegation:
+    def test_negation_of_false_is_true(self):
+        result = disjoint_negation(DNF.false())
+        assert result.holds_in(set())
+        assert len(result) == 1
+
+    def test_negation_of_true_is_false(self):
+        assert disjoint_negation(DNF.true()).is_false()
+
+    def test_inconsistent_disjuncts_are_ignored(self):
+        formula = DNF([Condition.of("a", "not a"), Condition.of("b")])
+        result = disjoint_negation(formula)
+        for world in all_worlds({"a", "b"}):
+            assert result.holds_in(world) == (world != {"b"} and "b" not in world)
+
+    @given(dnfs())
+    @settings(max_examples=60)
+    def test_semantics(self, formula):
+        negated = disjoint_negation(formula)
+        for world in all_worlds(formula.events()):
+            assert negated.holds_in(world) == (not formula.holds_in(world))
+
+    @given(dnfs())
+    @settings(max_examples=60)
+    def test_pairwise_disjoint(self, formula):
+        negated = disjoint_negation(formula)
+        for world in all_worlds(formula.events()):
+            assert negated.count_satisfied(world) <= 1
+
+    def test_output_can_be_exponential(self):
+        # n disjuncts over disjoint pairs of variables: the negation is a
+        # product of n chains of length 2 → 2^n disjuncts (Theorem 3's root).
+        n = 6
+        formula = DNF(
+            [Condition.of(f"x{i}", f"y{i}") for i in range(n)]
+        )
+        assert len(disjoint_negation(formula)) == 2 ** n

@@ -1,0 +1,109 @@
+"""Tests for elementary update operations on plain data trees (Definition 15)."""
+
+import pytest
+
+from repro.queries.treepattern import TreePattern, child_chain, root_has_child
+from repro.trees.builders import tree
+from repro.trees.isomorphism import isomorphic
+from repro.updates.operations import (
+    Deletion,
+    Insertion,
+    ProbabilisticUpdate,
+    apply_to_datatree,
+)
+from repro.utils.errors import InvalidProbabilityError, UpdateError
+
+
+class TestProbabilisticUpdateValidation:
+    def test_confidence_range(self):
+        operation = Insertion(TreePattern("A"), 0, tree("B"))
+        assert ProbabilisticUpdate(operation, 1.0).is_certain
+        assert not ProbabilisticUpdate(operation, 0.5).is_certain
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticUpdate(operation, 0.0)
+        with pytest.raises(InvalidProbabilityError):
+            ProbabilisticUpdate(operation, 1.5)
+
+    def test_describe(self):
+        insertion = Insertion(TreePattern("A"), 0, tree("B"))
+        deletion = Deletion(TreePattern("A"), 0)
+        assert "insert" in insertion.describe()
+        assert "delete" in deletion.describe()
+
+
+class TestInsertionOnDataTrees:
+    def test_single_match(self):
+        document = tree("A", "B")
+        operation = Insertion(root_has_child("A", "B"), 1, tree("X", "Y"))
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, tree("A", tree("B", tree("X", "Y"))))
+        # input untouched
+        assert document.node_count() == 2
+
+    def test_multiple_matches_insert_everywhere(self):
+        document = tree("A", "B", "B")
+        operation = Insertion(root_has_child("A", "B"), 1, tree("X"))
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, tree("A", tree("B", "X"), tree("B", "X")))
+
+    def test_multiple_matches_at_same_node_insert_multiple_copies(self):
+        # Pattern "root with B and C children" targeting the root: two (B, C)
+        # combinations → two copies inserted at the root.
+        document = tree("A", "B", "B", "C")
+        pattern = TreePattern("A")
+        pattern.add_child(pattern.root, "B")
+        pattern.add_child(pattern.root, "C")
+        operation = Insertion(pattern, pattern.root, tree("X"))
+        updated = apply_to_datatree(operation, document)
+        assert len(list(updated.nodes_with_label("X"))) == 2
+
+    def test_no_match_is_identity(self):
+        document = tree("A", "B")
+        operation = Insertion(root_has_child("A", "Z"), 1, tree("X"))
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, document)
+
+
+class TestDeletionOnDataTrees:
+    def test_single_target(self):
+        document = tree("A", tree("B", "C"), "D")
+        operation = Deletion(root_has_child("A", "B"), 1)
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, tree("A", "D"))
+
+    def test_all_matching_targets_deleted(self):
+        document = tree("A", "B", "B", "C")
+        operation = Deletion(root_has_child("A", "B"), 1)
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, tree("A", "C"))
+
+    def test_d0_semantics(self):
+        # "If the root has a C child, delete all B children."
+        from repro.workloads.constructions import theorem3_deletion
+
+        d0 = theorem3_deletion().operation
+        with_c = tree("A", "B", "B", "C")
+        without_c = tree("A", "B", "B")
+        assert isomorphic(apply_to_datatree(d0, with_c), tree("A", "C"))
+        assert isomorphic(apply_to_datatree(d0, without_c), without_c)
+
+    def test_nested_targets(self):
+        document = tree("A", tree("B", tree("B", "C")))
+        operation = Deletion(TreePattern("A").__class__("A"), 0)
+        # build: match any B anywhere, delete it
+        pattern = TreePattern("A")
+        target = pattern.add_child(pattern.root, "B", edge="descendant")
+        operation = Deletion(pattern, target)
+        updated = apply_to_datatree(operation, document)
+        assert isomorphic(updated, tree("A"))
+
+    def test_deleting_the_root_is_rejected(self):
+        document = tree("A", "B")
+        operation = Deletion(TreePattern("A"), 0)
+        with pytest.raises(UpdateError):
+            apply_to_datatree(operation, document)
+
+    def test_no_match_is_identity(self):
+        document = tree("A", "B")
+        operation = Deletion(root_has_child("A", "Z"), 1)
+        assert isomorphic(apply_to_datatree(operation, document), document)

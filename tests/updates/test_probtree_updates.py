@@ -1,0 +1,216 @@
+"""Tests for updates applied directly to prob-trees (Appendix A)."""
+
+import pytest
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.semantics import possible_worlds
+from repro.formulas.literals import Condition
+from repro.queries.treepattern import TreePattern, child_chain, root_has_child
+from repro.trees.builders import tree
+from repro.trees.datatree import DataTree
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.updates.probtree_updates import (
+    apply_update_to_probtree,
+    apply_updates_to_probtree,
+)
+from repro.updates.pw_updates import apply_update_to_pwset
+from repro.utils.errors import UpdateError
+from repro.workloads.constructions import theorem3_deletion, theorem3_probtree
+
+
+def _consistent(probtree, update):
+    """⟦(τ,c)(T)⟧ ∼ (τ,c)(⟦T⟧) — the Appendix A consistency property."""
+    lhs = possible_worlds(apply_update_to_probtree(probtree, update), normalize=True)
+    rhs = apply_update_to_pwset(possible_worlds(probtree), update, normalize=True)
+    return lhs.isomorphic(rhs)
+
+
+class TestInsertion:
+    def test_certain_insertion_adds_no_event(self, figure1):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "C"), 1, tree("E")), confidence=1.0
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        assert updated.events() == {"w1", "w2"}
+        assert _consistent(figure1, update)
+
+    def test_uncertain_insertion_adds_one_event(self, figure1):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "C"), 1, tree("E")), confidence=0.5
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        assert len(updated.events()) == 3
+        assert _consistent(figure1, update)
+
+    def test_named_event_is_used(self, figure1):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "B"), 1, tree("E")),
+            confidence=0.4,
+            event="belief",
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        assert "belief" in updated.events()
+        assert updated.distribution["belief"] == pytest.approx(0.4)
+
+    def test_reusing_an_existing_event_name_is_rejected(self, figure1):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "B"), 1, tree("E")),
+            confidence=0.4,
+            event="w1",
+        )
+        with pytest.raises(UpdateError):
+            apply_update_to_probtree(figure1, update)
+
+    def test_no_match_is_identity(self, figure1):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "Z"), 1, tree("E")), confidence=0.5
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        assert updated.size() == figure1.size()
+        assert updated.events() == figure1.events()
+
+    def test_inserted_node_inherits_match_condition(self, figure1):
+        # Insert under D (which requires w2); the extra match condition beyond
+        # the target's own presence is empty, so only the fresh event shows up.
+        update = ProbabilisticUpdate(
+            Insertion(child_chain(["A", "C", "D"]), 2, tree("E")),
+            confidence=0.5,
+            event="u",
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        node_e = next(iter(updated.tree.nodes_with_label("E")))
+        assert updated.condition(node_e) == Condition.of("u")
+        assert _consistent(figure1, update)
+
+    def test_sibling_condition_propagates_to_insertion(self, figure1):
+        # Insert under B but only where the pattern also requires the C child:
+        # the inserted node's condition must mention C's w2.
+        pattern = TreePattern("A")
+        target = pattern.add_child(pattern.root, "B")
+        pattern.add_child(pattern.root, "C")
+        update = ProbabilisticUpdate(
+            Insertion(pattern, target, tree("E")), confidence=1.0
+        )
+        updated = apply_update_to_probtree(figure1, update)
+        node_e = next(iter(updated.tree.nodes_with_label("E")))
+        assert updated.condition(node_e) == Condition.of("w2")
+        assert _consistent(figure1, update)
+
+    def test_multiple_matches_insert_multiple_conditional_copies(self):
+        document = DataTree("A")
+        b1 = document.add_child(document.root, "B")
+        b2 = document.add_child(document.root, "B")
+        probtree = ProbTree(
+            document,
+            ProbabilityDistribution({"w1": 0.5, "w2": 0.5}),
+            {b1: Condition.of("w1"), b2: Condition.of("w2")},
+        )
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "B"), 1, tree("X")), confidence=0.5
+        )
+        updated = apply_update_to_probtree(probtree, update)
+        assert len(list(updated.tree.nodes_with_label("X"))) == 2
+        assert _consistent(probtree, update)
+
+
+class TestDeletion:
+    def test_paper_example_produces_figure1(self):
+        # Section 2 / Appendix A example: deleting B when a C child exists
+        # from the tree A(B[w1], C[w2]) yields exactly Figure 1's prob-tree.
+        document = DataTree("A")
+        node_b = document.add_child(document.root, "B")
+        node_c = document.add_child(document.root, "C")
+        probtree = ProbTree(
+            document,
+            ProbabilityDistribution({"w1": 0.8, "w2": 0.7}),
+            {node_b: Condition.of("w1"), node_c: Condition.of("w2")},
+        )
+        updated = apply_update_to_probtree(probtree, theorem3_deletion())
+        surviving_b = next(iter(updated.tree.nodes_with_label("B")))
+        assert updated.condition(surviving_b) == Condition.of("w1", "not w2")
+        assert _consistent(probtree, theorem3_deletion())
+
+    def test_certain_full_deletion_removes_node(self):
+        probtree = ProbTree.certain(tree("A", "B", "C"))
+        update = ProbabilisticUpdate(Deletion(root_has_child("A", "B"), 1), 1.0)
+        updated = apply_update_to_probtree(probtree, update)
+        assert list(updated.tree.nodes_with_label("B")) == []
+        assert _consistent(probtree, update)
+
+    def test_uncertain_deletion_keeps_conditional_copy(self):
+        probtree = ProbTree.certain(tree("A", "B"))
+        update = ProbabilisticUpdate(
+            Deletion(root_has_child("A", "B"), 1), confidence=0.3, event="d"
+        )
+        updated = apply_update_to_probtree(probtree, update)
+        node_b = next(iter(updated.tree.nodes_with_label("B")))
+        assert updated.condition(node_b) == Condition.of("not d")
+        assert _consistent(probtree, update)
+
+    def test_deletion_duplicates_subtrees(self):
+        # Deleting a node whose delete-condition has two atoms produces two
+        # conditional copies, each carrying the node's whole subtree.
+        document = DataTree("A")
+        node_b = document.add_child(document.root, "B")
+        document.add_child(node_b, "K")
+        node_c = document.add_child(document.root, "C")
+        probtree = ProbTree(
+            document,
+            ProbabilityDistribution({"w1": 0.5, "w2": 0.5}),
+            {node_c: Condition.of("w1", "w2")},
+        )
+        update = ProbabilisticUpdate(theorem3_deletion().operation, confidence=1.0)
+        updated = apply_update_to_probtree(probtree, update)
+        assert len(list(updated.tree.nodes_with_label("B"))) == 2
+        assert len(list(updated.tree.nodes_with_label("K"))) == 2
+        assert _consistent(probtree, update)
+
+    def test_deleting_root_is_rejected(self, figure1):
+        update = ProbabilisticUpdate(Deletion(TreePattern("A"), 0), 1.0)
+        with pytest.raises(UpdateError):
+            apply_update_to_probtree(figure1, update)
+
+    def test_no_match_is_identity(self, figure1):
+        update = ProbabilisticUpdate(Deletion(root_has_child("A", "Z"), 1), 0.5)
+        updated = apply_update_to_probtree(figure1, update)
+        assert updated.size() == figure1.size()
+
+    def test_theorem3_blowup_is_observable(self):
+        probtree = theorem3_probtree(4)
+        updated = apply_update_to_probtree(probtree, theorem3_deletion())
+        # 2^4 conditional copies of the B node (one per combination of the
+        # per-C-child "which literal is false" choice).
+        assert len(list(updated.tree.nodes_with_label("B"))) == 2 ** 4
+        assert updated.size() > probtree.size() * 4
+
+    def test_nested_targets(self):
+        # Delete every B anywhere: one B is nested below another.
+        document = DataTree("A")
+        outer = document.add_child(document.root, "B")
+        inner = document.add_child(outer, "B")
+        document.add_child(inner, "L")
+        probtree = ProbTree(
+            document,
+            ProbabilityDistribution({"w": 0.5}),
+            {inner: Condition.of("w")},
+        )
+        pattern = TreePattern("A")
+        target = pattern.add_child(pattern.root, "B", edge="descendant")
+        update = ProbabilisticUpdate(Deletion(pattern, target), confidence=0.5)
+        assert _consistent(probtree, update)
+
+
+class TestSequences:
+    def test_update_sequence_stays_consistent(self, figure1):
+        updates = [
+            ProbabilisticUpdate(
+                Insertion(root_has_child("A", "C"), 1, tree("E")), confidence=0.6
+            ),
+            ProbabilisticUpdate(Deletion(root_has_child("A", "B"), 1), confidence=0.5),
+        ]
+        final = apply_updates_to_probtree(figure1, updates)
+        reference = possible_worlds(figure1)
+        for update in updates:
+            reference = apply_update_to_pwset(reference, update, normalize=True)
+        assert possible_worlds(final, normalize=True).isomorphic(reference)

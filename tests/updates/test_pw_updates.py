@@ -1,0 +1,72 @@
+"""Tests for probabilistic updates on possible-world sets (Definition 16)."""
+
+import pytest
+
+from repro.core.semantics import possible_worlds
+from repro.pw.pwset import PWSet
+from repro.queries.treepattern import root_has_child
+from repro.trees.builders import tree
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.updates.pw_updates import apply_update_to_pwset, apply_updates_to_pwset
+
+
+@pytest.fixture
+def two_worlds():
+    return PWSet([(tree("A", "B"), 0.6), (tree("A"), 0.4)])
+
+
+class TestInsertion:
+    def test_selected_worlds_split(self, two_worlds):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "B"), 1, tree("X")), confidence=0.5
+        )
+        result = apply_update_to_pwset(two_worlds, update, normalize=True)
+        assert result.total_probability() == pytest.approx(1.0)
+        assert result.probability_of(tree("A", tree("B", "X"))) == pytest.approx(0.3)
+        assert result.probability_of(tree("A", "B")) == pytest.approx(0.3)
+        assert result.probability_of(tree("A")) == pytest.approx(0.4)
+
+    def test_certain_update_does_not_split(self, two_worlds):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "B"), 1, tree("X")), confidence=1.0
+        )
+        result = apply_update_to_pwset(two_worlds, update, normalize=True)
+        assert len(result) == 2
+        assert result.probability_of(tree("A", "B")) == 0.0
+
+    def test_unselected_worlds_untouched(self, two_worlds):
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "Z"), 1, tree("X")), confidence=0.5
+        )
+        result = apply_update_to_pwset(two_worlds, update)
+        assert result.isomorphic(two_worlds)
+
+
+class TestDeletion:
+    def test_selected_worlds_split(self, two_worlds):
+        update = ProbabilisticUpdate(
+            Deletion(root_has_child("A", "B"), 1), confidence=0.75
+        )
+        result = apply_update_to_pwset(two_worlds, update, normalize=True)
+        assert result.probability_of(tree("A")) == pytest.approx(0.4 + 0.6 * 0.75)
+        assert result.probability_of(tree("A", "B")) == pytest.approx(0.6 * 0.25)
+
+
+class TestSequences:
+    def test_sequence_application(self, two_worlds, figure1):
+        updates = [
+            ProbabilisticUpdate(
+                Insertion(root_has_child("A", "B"), 1, tree("X")), confidence=0.5
+            ),
+            ProbabilisticUpdate(Deletion(root_has_child("A", "B"), 1), confidence=0.5),
+        ]
+        result = apply_updates_to_pwset(two_worlds, updates)
+        assert result.total_probability() == pytest.approx(1.0)
+
+    def test_probabilities_always_sum_to_one(self, figure1):
+        worlds = possible_worlds(figure1)
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "C"), 1, tree("E")), confidence=0.9
+        )
+        result = apply_update_to_pwset(worlds, update, normalize=True)
+        assert result.total_probability() == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Tests for the shared utilities (errors, seeding)."""
+
+import random
+
+import pytest
+
+from repro.utils.errors import (
+    DTDError,
+    InvalidConditionError,
+    InvalidProbabilityError,
+    InvalidTreeError,
+    NodeNotFoundError,
+    ProbXMLError,
+    QueryError,
+    UpdateError,
+)
+from repro.utils.seeding import choose_subset, make_rng, spawn_rng
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_probxmlerror(self):
+        for error_type in (
+            InvalidConditionError,
+            InvalidProbabilityError,
+            InvalidTreeError,
+            NodeNotFoundError,
+            QueryError,
+            UpdateError,
+            DTDError,
+        ):
+            assert issubclass(error_type, ProbXMLError)
+
+    def test_value_error_compatibility(self):
+        # InvalidProbabilityError doubles as a ValueError so generic callers
+        # catching ValueError keep working.
+        assert issubclass(InvalidProbabilityError, ValueError)
+        assert issubclass(NodeNotFoundError, KeyError)
+
+    def test_errors_are_catchable_from_library_calls(self):
+        from repro.core.events import ProbabilityDistribution
+
+        with pytest.raises(ProbXMLError):
+            ProbabilityDistribution({"w": -1.0})
+
+
+class TestSeeding:
+    def test_make_rng_from_int_is_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_spawn_rng_is_independent(self):
+        parent = make_rng(3)
+        child = spawn_rng(parent)
+        # The child is a distinct generator whose stream does not simply copy
+        # the parent's next values.
+        assert child is not parent
+        assert child.random() != parent.random()
+
+    def test_choose_subset_bounds(self):
+        rng = make_rng(5)
+        items = list(range(100))
+        everything = choose_subset(rng, items, probability=1.0)
+        nothing = choose_subset(rng, items, probability=0.0)
+        assert everything == set(items)
+        assert nothing == set()
+        some = choose_subset(make_rng(5), items, probability=0.5)
+        assert 20 < len(some) < 80

@@ -1,0 +1,101 @@
+"""Tests for the arbitrary-formula variant (Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import possible_worlds
+from repro.queries.treepattern import TreePattern, root_has_child
+from repro.trees.builders import tree
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.updates.pw_updates import apply_update_to_pwset
+from repro.utils.errors import UpdateError
+from repro.variants.formula_probtree import FormulaProbTree
+from repro.workloads.constructions import theorem3_deletion, theorem3_probtree
+from repro.workloads.random_queries import random_deletion, random_insertion
+
+from tests.conftest import small_probtrees
+
+
+class TestLifting:
+    def test_from_probtree_preserves_semantics(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        assert lifted.possible_worlds().isomorphic(possible_worlds(figure1, normalize=True))
+        assert lifted.used_events() == {"w1", "w2"}
+
+    def test_size_accounts_for_formulas(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        assert lifted.size() >= figure1.size()
+
+
+class TestQueries:
+    def test_query_probabilities_match_conjunctive_model(self, figure1):
+        from repro.queries.evaluation import evaluate_on_probtree
+
+        lifted = FormulaProbTree.from_probtree(figure1)
+        query = root_has_child("A", "B")
+        formula_answers = lifted.evaluate(query)
+        plain_answers = evaluate_on_probtree(query, figure1)
+        assert len(formula_answers) == len(plain_answers) == 1
+        assert formula_answers[0][1] == pytest.approx(plain_answers[0].probability)
+
+    def test_boolean_probability(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        pattern = TreePattern("A")
+        pattern.add_child(pattern.root, "*")
+        assert lifted.boolean_probability(pattern) == pytest.approx(0.94)
+
+
+class TestUpdates:
+    def test_insertion_consistency(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        update = ProbabilisticUpdate(
+            Insertion(root_has_child("A", "C"), 1, tree("E")), confidence=0.5
+        )
+        updated = lifted.apply_update(update)
+        reference = apply_update_to_pwset(
+            possible_worlds(figure1), update, normalize=True
+        )
+        assert updated.possible_worlds().isomorphic(reference)
+
+    def test_deletion_consistency(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        update = ProbabilisticUpdate(
+            Deletion(root_has_child("A", "B"), 1), confidence=0.5
+        )
+        updated = lifted.apply_update(update)
+        reference = apply_update_to_pwset(
+            possible_worlds(figure1), update, normalize=True
+        )
+        assert updated.possible_worlds().isomorphic(reference)
+
+    def test_deletion_does_not_duplicate_nodes(self):
+        # The whole point of the variant: Theorem 3's blow-up disappears.
+        probtree = theorem3_probtree(5)
+        lifted = FormulaProbTree.from_probtree(probtree)
+        updated = lifted.apply_update(theorem3_deletion())
+        assert updated.tree.node_count() == probtree.tree.node_count()
+        # Meanwhile the conjunctive model explodes.
+        exploded = apply_update_to_probtree(probtree, theorem3_deletion())
+        assert exploded.tree.node_count() > updated.tree.node_count()
+
+    def test_root_deletion_rejected(self, figure1):
+        lifted = FormulaProbTree.from_probtree(figure1)
+        update = ProbabilisticUpdate(Deletion(TreePattern("A"), 0), 1.0)
+        with pytest.raises(UpdateError):
+            lifted.apply_update(update)
+
+    @given(small_probtrees(max_nodes=5), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_updates_agree_with_pw_semantics(self, probtree, seed):
+        lifted = FormulaProbTree.from_probtree(probtree)
+        if probtree.tree.node_count() > 1 and seed % 2:
+            update = random_deletion(probtree.tree, seed=seed)
+        else:
+            update = random_insertion(probtree.tree, seed=seed, subtree_size=2)
+        updated = lifted.apply_update(update)
+        reference = apply_update_to_pwset(
+            possible_worlds(probtree), update, normalize=True
+        )
+        assert updated.possible_worlds().isomorphic(reference)

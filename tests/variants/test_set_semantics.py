@@ -1,0 +1,96 @@
+"""Tests for the set-semantics variant (Section 5)."""
+
+from hypothesis import given, settings
+
+from repro.core.semantics import possible_worlds
+from repro.formulas.literals import Condition
+from repro.pw.pwset import PWSet
+from repro.trees.builders import tree
+from repro.variants.set_semantics import (
+    set_isomorphic,
+    set_normalize,
+    set_structurally_equivalent,
+    set_structurally_equivalent_syntactic,
+)
+from repro.equivalence.structural import structurally_equivalent_exhaustive
+
+from tests.conftest import small_probtrees
+from tests.equivalence.test_structural import _probtree
+
+
+class TestSetIsomorphism:
+    def test_duplicate_siblings_collapse(self):
+        assert set_isomorphic(tree("A", "B"), tree("A", "B", "B"))
+        assert not set_isomorphic(tree("A", "B"), tree("A", "C"))
+
+    def test_recursive_collapse(self):
+        left = tree("A", tree("B", "C", "C"), tree("B", "C"))
+        right = tree("A", tree("B", "C"))
+        assert set_isomorphic(left, right)
+
+    def test_normalization_merges_more_worlds(self):
+        worlds = PWSet([(tree("A", "B"), 0.4), (tree("A", "B", "B"), 0.6)])
+        assert len(worlds.normalize()) == 2
+        assert len(set_normalize(worlds)) == 1
+
+
+class TestSetStructuralEquivalence:
+    def test_duplicate_conditioned_children_are_redundant(self):
+        # Under set semantics a second copy with the same condition changes
+        # nothing; under multiset semantics it does.
+        left = _probtree([("B", Condition.of("w1"))])
+        right = _probtree([("B", Condition.of("w1")), ("B", Condition.of("w1"))])
+        assert set_structurally_equivalent(left, right)
+        assert not structurally_equivalent_exhaustive(left, right)
+
+    def test_union_of_conditions_vs_equivalent_disjunction(self):
+        # B present iff w1 ∨ w2 on both sides, written differently.
+        left = _probtree([("B", Condition.of("w1")), ("B", Condition.of("w2"))])
+        right = _probtree(
+            [
+                ("B", Condition.of("w1")),
+                ("B", Condition.of("not w1", "w2")),
+            ]
+        )
+        assert set_structurally_equivalent(left, right)
+        # The multiset notion distinguishes them (two copies vs one when both hold).
+        assert not structurally_equivalent_exhaustive(left, right)
+
+    def test_plain_difference_still_detected(self):
+        left = _probtree([("B", Condition.of("w1"))])
+        right = _probtree([("B", Condition.of("w2"))])
+        assert not set_structurally_equivalent(left, right)
+
+    def test_syntactic_procedure_is_sound(self):
+        left = _probtree([("B", Condition.of("w1")), ("B", Condition.of("w2"))])
+        right = _probtree(
+            [("B", Condition.of("w1")), ("B", Condition.of("not w1", "w2"))]
+        )
+        assert set_structurally_equivalent_syntactic(left, right)
+        different = _probtree([("B", Condition.of("w3"))])
+        assert not set_structurally_equivalent_syntactic(left, different)
+
+    @given(small_probtrees(max_nodes=5), small_probtrees(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_multiset_equivalence_implies_set_equivalence(self, left, right):
+        if structurally_equivalent_exhaustive(left, right):
+            assert set_structurally_equivalent(left, right)
+
+    @given(small_probtrees(max_nodes=5), small_probtrees(max_nodes=5))
+    @settings(max_examples=20, deadline=None)
+    def test_syntactic_true_implies_exhaustive_true(self, left, right):
+        if set_structurally_equivalent_syntactic(left, right):
+            assert set_structurally_equivalent(left, right)
+
+
+class TestTheorem3UnderSetSemantics:
+    def test_deletion_blowup_persists(self):
+        # The Theorem 3 family uses distinct private events per C child, so
+        # set semantics does not rescue the deletion blow-up (the proof is
+        # unchanged, as the paper notes).
+        from repro.updates.probtree_updates import apply_update_to_probtree
+        from repro.workloads.constructions import theorem3_deletion, theorem3_probtree
+
+        probtree = theorem3_probtree(4)
+        updated = apply_update_to_probtree(probtree, theorem3_deletion())
+        assert len(list(updated.tree.nodes_with_label("B"))) == 2 ** 4

@@ -1,0 +1,63 @@
+"""Tests for the paper's concrete constructions."""
+
+import pytest
+
+from repro.core.semantics import possible_worlds
+from repro.trees.builders import tree
+from repro.workloads.constructions import (
+    figure1_probtree,
+    theorem3_deletion,
+    theorem3_probtree,
+    wide_independent_probtree,
+)
+
+
+class TestFigure1:
+    def test_structure(self):
+        probtree = figure1_probtree()
+        assert probtree.tree.node_count() == 4
+        assert probtree.distribution.as_dict() == {"w1": 0.8, "w2": 0.7}
+
+    def test_semantics_is_figure2(self):
+        worlds = possible_worlds(figure1_probtree(), normalize=True)
+        assert worlds.probability_of(tree("A", "B")) == pytest.approx(0.24)
+        assert worlds.probability_of(tree("A", tree("C", "D"))) == pytest.approx(0.70)
+        assert worlds.probability_of(tree("A")) == pytest.approx(0.06)
+
+
+class TestTheorem3:
+    def test_size_matches_paper(self):
+        for n in (1, 3, 6):
+            probtree = theorem3_probtree(n)
+            assert probtree.tree.node_count() == n + 2
+            assert len(probtree.events()) == 2 * n
+            # each event appears exactly once
+            assert probtree.literal_count() == 2 * n
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            theorem3_probtree(0)
+
+    def test_deletion_is_d0(self):
+        from repro.updates.operations import apply_to_datatree
+
+        d0 = theorem3_deletion().operation
+        assert apply_to_datatree(d0, tree("A", "B", "C")).node_count() == 2
+        assert apply_to_datatree(d0, tree("A", "B")).node_count() == 2
+
+
+class TestWideIndependent:
+    def test_all_worlds_distinct(self):
+        probtree = wide_independent_probtree(5)
+        worlds = possible_worlds(probtree, normalize=True)
+        assert len(worlds) == 2 ** 5
+
+    def test_identical_labels_collapse_worlds(self):
+        probtree = wide_independent_probtree(5, distinct_labels=False)
+        worlds = possible_worlds(probtree, normalize=True)
+        # Only the number of present children matters now.
+        assert len(worlds) == 6
+
+    def test_zero_children(self):
+        probtree = wide_independent_probtree(0)
+        assert probtree.tree.node_count() == 1

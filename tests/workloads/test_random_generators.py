@@ -1,0 +1,120 @@
+"""Tests for the random tree / prob-tree / query / update generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.isomorphism import isomorphic
+from repro.workloads.random_probtrees import random_condition, random_probtree
+from repro.workloads.random_queries import (
+    random_deletion,
+    random_insertion,
+    random_matching_pattern,
+    random_update,
+)
+from repro.workloads.random_trees import (
+    chain_datatree,
+    random_datatree,
+    star_datatree,
+)
+
+
+class TestRandomDataTrees:
+    def test_node_count_respected(self):
+        for count in (1, 5, 30):
+            assert random_datatree(count, seed=1).node_count() == count
+
+    def test_deterministic_given_seed(self):
+        left = random_datatree(20, seed=42)
+        right = random_datatree(20, seed=42)
+        assert isomorphic(left, right)
+
+    def test_different_seeds_generally_differ(self):
+        left = random_datatree(20, seed=1)
+        right = random_datatree(20, seed=2)
+        assert not isomorphic(left, right)
+
+    def test_root_label_and_alphabet(self):
+        document = random_datatree(10, labels=("X", "Y"), seed=0, root_label="R")
+        assert document.root_label == "R"
+        labels = {document.label(n) for n in document.nodes()} - {"R"}
+        assert labels <= {"X", "Y"}
+
+    def test_max_children_constraint(self):
+        document = random_datatree(40, seed=3, max_children=2)
+        assert all(len(document.children(n)) <= 2 for n in document.nodes())
+
+    def test_max_depth_constraint(self):
+        document = random_datatree(40, seed=3, max_depth=3)
+        assert document.height() <= 3
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_datatree(0)
+
+    def test_chain_and_star_helpers(self):
+        chain = chain_datatree(["A", "B", "C"])
+        assert chain.height() == 2
+        star = star_datatree("A", "B", 5)
+        assert len(star.children(star.root)) == 5
+
+
+class TestRandomProbTrees:
+    def test_shape_and_events(self):
+        probtree = random_probtree(node_count=20, event_count=5, seed=7)
+        assert probtree.tree.node_count() == 20
+        assert len(probtree.events()) == 5
+        assert probtree.used_events() <= probtree.events()
+
+    def test_deterministic_given_seed(self):
+        left = random_probtree(10, 3, seed=11)
+        right = random_probtree(10, 3, seed=11)
+        assert left.size() == right.size()
+        assert left.distribution == right.distribution
+
+    def test_condition_probability_zero_gives_certain_tree(self):
+        probtree = random_probtree(10, 3, seed=5, condition_probability=0.0)
+        assert probtree.literal_count() == 0
+
+    def test_no_events_means_no_conditions(self):
+        probtree = random_probtree(10, 0, seed=5)
+        assert probtree.literal_count() == 0
+
+    def test_random_condition_bounds(self):
+        condition = random_condition(["a", "b", "c"], seed=1, max_literals=2)
+        assert 1 <= len(condition) <= 2
+        assert random_condition([], seed=1).is_true()
+
+
+class TestRandomQueriesAndUpdates:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_patterns_always_match_their_source_tree(self, seed):
+        document = random_datatree(8, seed=seed)
+        pattern, focus = random_matching_pattern(document, seed=seed)
+        matches = pattern.matches(document)
+        assert matches
+        assert any(focus in match.as_dict() for match in matches)
+
+    def test_random_insertion_applies(self):
+        document = random_datatree(8, seed=3)
+        update = random_insertion(document, seed=3)
+        assert 0.0 < update.confidence <= 1.0
+        assert update.operation.query.selects(document)
+
+    def test_random_deletion_never_targets_root(self):
+        document = random_datatree(8, seed=9)
+        update = random_deletion(document, seed=9)
+        targets = {
+            match.target(update.operation.at)
+            for match in update.operation.query.matches(document)
+        }
+        assert document.root not in targets
+
+    def test_random_update_mix(self):
+        document = random_datatree(8, seed=1)
+        kinds = set()
+        for seed in range(12):
+            update = random_update(document, seed=seed)
+            kinds.add(type(update.operation).__name__)
+        assert kinds == {"Insertion", "Deletion"}

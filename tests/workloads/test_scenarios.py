@@ -1,0 +1,60 @@
+"""Tests for the hidden-web extraction scenario generator."""
+
+from repro.updates.operations import Deletion, Insertion
+from repro.workloads.scenarios import HiddenWebScenario
+
+
+class TestScenarioGeneration:
+    def test_initial_document_shape(self):
+        scenario = HiddenWebScenario(source_count=4, event_count=10, seed=1)
+        document = scenario.initial_document()
+        assert document.root_label == "warehouse"
+        assert len(document.children(document.root)) == 4
+
+    def test_event_stream_is_deterministic(self):
+        first = HiddenWebScenario(seed=5).events()
+        second = HiddenWebScenario(seed=5).events()
+        assert [e.description for e in first] == [e.description for e in second]
+
+    def test_event_stream_length_and_kinds(self):
+        scenario = HiddenWebScenario(event_count=30, deletion_ratio=0.3, seed=2)
+        events = scenario.events()
+        assert len(events) == 30
+        kinds = {type(event.update.operation) for event in events}
+        assert Insertion in kinds
+        assert Deletion in kinds
+
+    def test_zero_deletion_ratio_gives_only_insertions(self):
+        scenario = HiddenWebScenario(event_count=15, deletion_ratio=0.0, seed=3)
+        assert all(
+            isinstance(event.update.operation, Insertion) for event in scenario.events()
+        )
+
+    def test_confidences_are_valid(self):
+        for event in HiddenWebScenario(event_count=25, seed=7).events():
+            assert 0.0 < event.update.confidence <= 1.0
+
+    def test_queries_target_the_warehouse(self):
+        scenario = HiddenWebScenario(seed=0)
+        queries = scenario.queries()
+        assert len(queries) >= 4
+        document = scenario.initial_document()
+        for _description, query in queries:
+            # Queries are well-formed (they may or may not match the empty
+            # warehouse, but they must evaluate without error).
+            query.matches(document)
+
+
+class TestScenarioReplay:
+    def test_replay_on_warehouse_engine(self):
+        from repro.core.engine import ProbXMLWarehouse
+
+        scenario = HiddenWebScenario(source_count=2, event_count=6, seed=11)
+        warehouse = ProbXMLWarehouse(scenario.initial_document())
+        for event in scenario.events():
+            warehouse.apply(event.update)
+        assert warehouse.event_count() > 0
+        assert warehouse.document.node_count() > scenario.initial_document().node_count()
+        for _description, query in scenario.queries():
+            for answer in warehouse.query(query):
+                assert 0.0 < answer.probability <= 1.0 + 1e-9

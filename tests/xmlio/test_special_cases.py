@@ -1,0 +1,56 @@
+"""Edge cases for XML serialization: awkward labels and large documents."""
+
+import pytest
+
+from repro.core.engine import ProbXMLWarehouse
+from repro.core.semantics import possible_worlds
+from repro.trees.builders import tree
+from repro.trees.isomorphism import isomorphic
+from repro.workloads.random_probtrees import random_probtree
+from repro.xmlio.parse import datatree_from_xml, probtree_from_xml
+from repro.xmlio.serialize import datatree_to_xml, probtree_to_xml
+
+
+class TestAwkwardLabels:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "with space",
+            "quote\"inside",
+            "apostrophe'inside",
+            "ampersand&co",
+            "less<than",
+            "ünïcodé-标签",
+            "",
+        ],
+    )
+    def test_labels_survive_round_trip(self, label):
+        document = tree("root", tree(label, "leaf"))
+        rebuilt = datatree_from_xml(datatree_to_xml(document))
+        assert isomorphic(document, rebuilt)
+
+    def test_condition_rendering_round_trips_negation(self, figure1):
+        rebuilt = probtree_from_xml(probtree_to_xml(figure1))
+        node_b = next(iter(rebuilt.tree.nodes_with_label("B")))
+        assert str(rebuilt.condition(node_b)) == "not w2 and w1" or str(
+            rebuilt.condition(node_b)
+        ) == "w1 and not w2"
+
+
+class TestLargerDocuments:
+    def test_thousand_node_round_trip(self):
+        probtree = random_probtree(node_count=1000, event_count=20, seed=99)
+        text = probtree_to_xml(probtree, pretty=False)
+        rebuilt = probtree_from_xml(text)
+        assert rebuilt.tree.node_count() == 1000
+        assert rebuilt.literal_count() == probtree.literal_count()
+        assert rebuilt.distribution == probtree.distribution
+
+    def test_warehouse_round_trip_preserves_query_results(self):
+        warehouse = ProbXMLWarehouse("w")
+        warehouse.insert("/w", tree("item", tree("name", "a & b <c>")), confidence=0.5)
+        text = probtree_to_xml(warehouse.probtree)
+        reloaded = ProbXMLWarehouse(probtree_from_xml(text))
+        assert possible_worlds(reloaded.probtree).isomorphic(
+            possible_worlds(warehouse.probtree)
+        )
