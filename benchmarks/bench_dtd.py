@@ -35,10 +35,10 @@ def test_dtd_decision_scaling_in_events_series(benchmark):
         sat_instance, sat_dtd = sat_to_dtd_satisfiability(theta)
         val_instance, val_dtd = sat_to_dtd_validity(theta)
         start = time.perf_counter()
-        dtd_satisfiable(sat_instance, sat_dtd)
+        dtd_satisfiable(sat_instance, sat_dtd, engine="enumerate")
         sat_time = time.perf_counter() - start
         start = time.perf_counter()
-        dtd_valid(val_instance, val_dtd)
+        dtd_valid(val_instance, val_dtd, engine="enumerate")
         val_time = time.perf_counter() - start
         rows.append(
             (
@@ -68,7 +68,7 @@ def test_dtd_decision_scaling_in_nodes_series(benchmark):
             node_count=size, event_count=6, seed=size, root_label="A"
         )
         start = time.perf_counter()
-        dtd_satisfiable(probtree, dtd)
+        dtd_satisfiable(probtree, dtd, engine="enumerate")
         sat_time = time.perf_counter() - start
         rows.append((size, round(sat_time * 1000, 3)))
     record_series(
@@ -104,7 +104,7 @@ def test_dtd_satisfiability_cost(benchmark, variables):
     theta = random_3cnf(variables, 3 * variables, seed=variables)
     instance, dtd = sat_to_dtd_satisfiability(theta)
     benchmark.group = "E9 DTD satisfiability (SAT reduction)"
-    benchmark(lambda: dtd_satisfiable(instance, dtd))
+    benchmark(lambda: dtd_satisfiable(instance, dtd, engine="enumerate"))
 
 
 @pytest.mark.parametrize("variables", [8, 12])
@@ -112,7 +112,7 @@ def test_dtd_validity_cost(benchmark, variables):
     theta = random_3cnf(variables, 3 * variables, seed=variables)
     instance, dtd = sat_to_dtd_validity(theta)
     benchmark.group = "E9 DTD validity (SAT reduction)"
-    benchmark(lambda: dtd_valid(instance, dtd))
+    benchmark(lambda: dtd_valid(instance, dtd, engine="enumerate"))
 
 
 @pytest.mark.parametrize("n", [3, 4])

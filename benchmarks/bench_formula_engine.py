@@ -1,0 +1,184 @@
+"""Formula engine vs possible-world enumeration on growing event counts.
+
+The acceptance scenario of the formula-engine work: a prob-tree with ``n``
+independent events (one conditional child per event — the shape every
+independent probabilistic insertion produces) is asked two questions,
+
+* ``boolean_probability`` of a path query touching every conditional node;
+* ``dtd_satisfaction_probability`` for a counting DTD over the children;
+
+once through ``engine="enumerate"`` (the 2^n reference) and once through
+``engine="formula"`` (Shannon expansion; here linear resp. quadratic in n).
+At ``n = 18`` the formula engine must win by at least 50x; in practice the
+gap is several orders of magnitude and grows with every event added.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_formula_engine.py``)
+or through pytest-benchmark like the other benchmark modules.
+"""
+
+import time
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.probtree_dtd import dtd_satisfaction_probability
+from repro.formulas.literals import Condition
+from repro.queries.evaluation import boolean_probability
+from repro.queries.path import parse_path
+from repro.trees.datatree import DataTree
+
+# Enumeration sweeps stop here; the formula engine is also run far beyond.
+ENUMERATION_EVENTS = (6, 10, 14, 18)
+FORMULA_ONLY_EVENTS = (24, 32, 48, 64)
+ACCEPTANCE_EVENTS = 18
+REQUIRED_SPEEDUP = 50.0
+
+
+def independent_events_probtree(event_count: int) -> ProbTree:
+    """Root with one conditional ``A``-child (and a ``B`` grandchild) per event."""
+    tree = DataTree("R")
+    probabilities = {}
+    for i in range(event_count):
+        child = tree.add_child(tree.root, "A")
+        tree.add_child(child, "B")
+        probabilities[f"w{i}"] = 0.3 + 0.4 * (i / max(event_count - 1, 1))
+    probtree = ProbTree(tree, ProbabilityDistribution(probabilities))
+    for i, child in enumerate(tree.children(tree.root)):
+        probtree.set_condition(child, Condition.of(f"w{i}"))
+    return probtree
+
+
+def counting_dtd(event_count: int) -> DTD:
+    """Between ~n/4 and ~3n/4 surviving ``A`` children — a genuine cardinality DP."""
+    return DTD(
+        {
+            "R": [ChildConstraint("A", event_count // 4, 3 * event_count // 4)],
+            "A": [ChildConstraint.any_number("B")],
+        }
+    )
+
+
+def _timed(function) -> tuple:
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def measure(event_count: int, run_enumeration: bool):
+    """One sweep point; enumeration columns are None when not run."""
+    query = parse_path("/R/A/B")
+    dtd = counting_dtd(event_count)
+
+    probtree = independent_events_probtree(event_count)
+    bool_formula, bool_formula_s = _timed(
+        lambda: boolean_probability(query, probtree, engine="formula")
+    )
+    dtd_formula, dtd_formula_s = _timed(
+        lambda: dtd_satisfaction_probability(probtree, dtd, engine="formula")
+    )
+
+    bool_enum = dtd_enum = bool_enum_s = dtd_enum_s = None
+    if run_enumeration:
+        # Fresh prob-tree so the shared formula-engine cache cannot help.
+        probtree = independent_events_probtree(event_count)
+        bool_enum, bool_enum_s = _timed(
+            lambda: boolean_probability(query, probtree, engine="enumerate")
+        )
+        dtd_enum, dtd_enum_s = _timed(
+            lambda: dtd_satisfaction_probability(probtree, dtd, engine="enumerate")
+        )
+        assert abs(bool_formula - bool_enum) < 1e-9
+        assert abs(dtd_formula - dtd_enum) < 1e-9
+    return {
+        "events": event_count,
+        "bool_formula_s": bool_formula_s,
+        "bool_enum_s": bool_enum_s,
+        "dtd_formula_s": dtd_formula_s,
+        "dtd_enum_s": dtd_enum_s,
+    }
+
+
+def run_series():
+    rows = []
+    for event_count in ENUMERATION_EVENTS:
+        rows.append(measure(event_count, run_enumeration=True))
+    for event_count in FORMULA_ONLY_EVENTS:
+        rows.append(measure(event_count, run_enumeration=False))
+    return rows
+
+
+def _speedups(row):
+    bool_speedup = (
+        row["bool_enum_s"] / row["bool_formula_s"] if row["bool_enum_s"] else None
+    )
+    dtd_speedup = (
+        row["dtd_enum_s"] / row["dtd_formula_s"] if row["dtd_enum_s"] else None
+    )
+    return bool_speedup, dtd_speedup
+
+
+def _format_rows(rows):
+    formatted = []
+    for row in rows:
+        bool_speedup, dtd_speedup = _speedups(row)
+        formatted.append(
+            (
+                row["events"],
+                round(row["bool_formula_s"] * 1000, 3),
+                "-" if row["bool_enum_s"] is None else round(row["bool_enum_s"] * 1000, 3),
+                "-" if bool_speedup is None else round(bool_speedup, 1),
+                round(row["dtd_formula_s"] * 1000, 3),
+                "-" if row["dtd_enum_s"] is None else round(row["dtd_enum_s"] * 1000, 3),
+                "-" if dtd_speedup is None else round(dtd_speedup, 1),
+            )
+        )
+    return formatted
+
+
+HEADERS = [
+    "events",
+    "bool formula ms",
+    "bool enum ms",
+    "bool speedup",
+    "dtd formula ms",
+    "dtd enum ms",
+    "dtd speedup",
+]
+
+
+def check_acceptance(rows):
+    """The >= 50x criterion at 18 independent events, for both questions."""
+    (row,) = [r for r in rows if r["events"] == ACCEPTANCE_EVENTS]
+    bool_speedup, dtd_speedup = _speedups(row)
+    assert bool_speedup is not None and bool_speedup >= REQUIRED_SPEEDUP, (
+        f"boolean_probability speedup {bool_speedup} below {REQUIRED_SPEEDUP}x"
+    )
+    assert dtd_speedup is not None and dtd_speedup >= REQUIRED_SPEEDUP, (
+        f"dtd_satisfaction_probability speedup {dtd_speedup} below {REQUIRED_SPEEDUP}x"
+    )
+    return bool_speedup, dtd_speedup
+
+
+def test_formula_engine_series(benchmark):
+    from conftest import mark_series, record_series
+
+    mark_series(benchmark)
+    rows = run_series()
+    record_series(
+        "Formula engine vs enumeration (independent events; '-' = not enumerated)",
+        HEADERS,
+        _format_rows(rows),
+    )
+    check_acceptance(rows)
+
+
+if __name__ == "__main__":
+    series = run_series()
+    print(" | ".join(HEADERS))
+    for row in _format_rows(series):
+        print(" | ".join(str(value) for value in row))
+    bool_speedup, dtd_speedup = check_acceptance(series)
+    print(
+        f"\nacceptance @ {ACCEPTANCE_EVENTS} events: "
+        f"boolean {bool_speedup:.0f}x, DTD {dtd_speedup:.0f}x (>= {REQUIRED_SPEEDUP}x required)"
+    )

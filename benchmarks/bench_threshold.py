@@ -22,9 +22,9 @@ def test_threshold_blowup_series(benchmark):
     rows = []
     for n in (1, 2, 3, 4, 5):
         probtree, threshold = theorem4_instance(n)
-        kept = threshold_worlds(probtree, threshold)
+        kept = threshold_worlds(probtree, threshold, engine="enumerate")
         start = time.perf_counter()
-        restricted = threshold_probtree(probtree, threshold)
+        restricted = threshold_probtree(probtree, threshold, engine="enumerate")
         elapsed = time.perf_counter() - start
         binomial_bound = math.comb(2 * n, n)
         rows.append(
@@ -53,7 +53,7 @@ def test_threshold_blowup_series(benchmark):
 def test_threshold_restriction_cost(benchmark, n):
     probtree, threshold = theorem4_instance(n)
     benchmark.group = "E8 threshold restriction (Theorem 4 family)"
-    benchmark(lambda: threshold_probtree(probtree, threshold))
+    benchmark(lambda: threshold_probtree(probtree, threshold, engine="enumerate"))
 
 
 @pytest.mark.parametrize("n", [6, 10])
@@ -61,4 +61,4 @@ def test_threshold_enumeration_cost(benchmark, n):
     """Filtering the worlds only (without re-encoding them as a prob-tree)."""
     probtree = theorem4_probtree(n, probability=0.5)
     benchmark.group = "E8 threshold world filtering"
-    benchmark(lambda: threshold_worlds(probtree, 1.0 / 2 ** (2 * n)))
+    benchmark(lambda: threshold_worlds(probtree, 1.0 / 2 ** (2 * n), engine="enumerate"))

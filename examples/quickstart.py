@@ -9,14 +9,27 @@ prob-tree model:
 3. query the uncertain document and read answer probabilities,
 4. inspect the possible worlds and prune the improbable ones,
 5. serialize the warehouse to XML and back.
+
+Engine selection: every probabilistic question (query probability, DTD
+satisfaction, thresholding, world ranking) goes through a pluggable
+probability engine.  ``ProbXMLWarehouse(doc, engine="formula")`` — the
+default — compiles questions into event formulas evaluated by Shannon
+expansion with a shared per-document cache and never materializes possible
+worlds; ``engine="enumerate"`` is the paper's literal exponential semantics,
+kept as a cross-checking oracle.  The same choice is available on the CLI
+(``python -m repro.cli probability doc.xml //movie --engine formula``) and on
+the underlying functions (``boolean_probability(query, probtree,
+engine="enumerate")``).
 """
 
 from repro import ProbXMLWarehouse, probtree_to_xml, tree
 
 
 def main() -> None:
-    # 1. An empty catalog (a certain, single-node document).
-    warehouse = ProbXMLWarehouse("catalog")
+    # 1. An empty catalog (a certain, single-node document).  The default
+    #    engine="formula" answers every probability question below without
+    #    enumerating possible worlds.
+    warehouse = ProbXMLWarehouse("catalog", engine="formula")
 
     # 2. Imprecise knowledge arrives as probabilistic insertions.  Each update
     #    introduces an independent event variable holding its confidence.

@@ -22,9 +22,10 @@ the reproduced complexity results.
 
 from repro.core.engine import ProbXMLWarehouse
 from repro.core.events import EventFactory, ProbabilityDistribution
+from repro.core.probability import ProbabilityEngine, engine_for, formula_pwset
 from repro.core.probtree import ProbTree
 from repro.core.cleaning import clean
-from repro.core.semantics import possible_worlds
+from repro.core.semantics import normalized_worlds, possible_worlds
 from repro.dtd.dtd import DTD, ChildConstraint
 from repro.dtd.validation import validates
 from repro.dtd.probtree_dtd import dtd_satisfiable, dtd_valid, dtd_restriction_probtree
@@ -40,6 +41,8 @@ from repro.queries.base import Match, Query
 from repro.queries.evaluation import (
     QueryAnswer,
     boolean_probability,
+    boolean_probability_many,
+    evaluate_many,
     evaluate_on_datatree,
     evaluate_on_probtree,
     evaluate_on_pwset,
@@ -77,8 +80,12 @@ __all__ = [
     "ProbabilityDistribution",
     "EventFactory",
     "ProbXMLWarehouse",
+    "ProbabilityEngine",
+    "engine_for",
+    "formula_pwset",
     "clean",
     "possible_worlds",
+    "normalized_worlds",
     # trees
     "DataTree",
     "tree",
@@ -104,7 +111,9 @@ __all__ = [
     "evaluate_on_datatree",
     "evaluate_on_pwset",
     "evaluate_on_probtree",
+    "evaluate_many",
     "boolean_probability",
+    "boolean_probability_many",
     # updates
     "Insertion",
     "Deletion",

@@ -65,13 +65,13 @@ def parse_dtd_spec(spec: str) -> DTD:
     return dtd
 
 
-def _load(path: str) -> ProbXMLWarehouse:
+def _load(path: str, engine: str = "formula") -> ProbXMLWarehouse:
     text = Path(path).read_text()
-    return ProbXMLWarehouse(probtree_from_xml(text))
+    return ProbXMLWarehouse(probtree_from_xml(text), engine=engine)
 
 
 def _command_stats(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document)
+    warehouse = _load(arguments.document, arguments.engine)
     probtree = warehouse.probtree
     print(f"nodes          : {probtree.node_count()}", file=output)
     print(f"literals       : {probtree.literal_count()}", file=output)
@@ -82,17 +82,18 @@ def _command_stats(arguments: argparse.Namespace, output) -> int:
 
 
 def _command_worlds(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document)
+    warehouse = _load(arguments.document, arguments.engine)
     for world, probability in warehouse.most_probable_worlds(arguments.top):
         print(f"p = {probability:.6f}  {world.to_nested()}", file=output)
     return 0
 
 
 def _command_query(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document)
-    answers = warehouse.query(arguments.path)
+    warehouse = _load(arguments.document, arguments.engine)
     if arguments.top is not None:
         answers = warehouse.top_answers(arguments.path, count=arguments.top)
+    else:
+        answers = warehouse.query(arguments.path)
     if not answers:
         print("no answers", file=output)
         return 1
@@ -102,14 +103,14 @@ def _command_query(arguments: argparse.Namespace, output) -> int:
 
 
 def _command_probability(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document)
+    warehouse = _load(arguments.document, arguments.engine)
     probability = warehouse.probability(arguments.path)
     print(f"{probability:.6f}", file=output)
     return 0
 
 
 def _command_validate(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document)
+    warehouse = _load(arguments.document, arguments.engine)
     dtd = parse_dtd_spec(arguments.dtd)
     satisfiable = warehouse.dtd_satisfiable(dtd)
     valid = warehouse.dtd_valid(dtd)
@@ -127,31 +128,47 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.cli",
         description="Query and inspect probabilistic XML (prob-tree) documents.",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--engine",
+        choices=("formula", "enumerate"),
+        default="formula",
+        help="probability engine: 'formula' (Shannon expansion over event "
+        "formulas, the default) or 'enumerate' (materialize possible worlds)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    stats = subparsers.add_parser("stats", help="size statistics of a prob-tree document")
+    stats = subparsers.add_parser(
+        "stats", help="size statistics of a prob-tree document", parents=[common]
+    )
     stats.add_argument("document", help="path to a <probtree> XML file")
     stats.set_defaults(handler=_command_stats)
 
-    worlds = subparsers.add_parser("worlds", help="most probable possible worlds")
+    worlds = subparsers.add_parser(
+        "worlds", help="most probable possible worlds", parents=[common]
+    )
     worlds.add_argument("document")
     worlds.add_argument("--top", type=int, default=3, help="how many worlds to show")
     worlds.set_defaults(handler=_command_worlds)
 
-    query = subparsers.add_parser("query", help="evaluate a path query")
+    query = subparsers.add_parser("query", help="evaluate a path query", parents=[common])
     query.add_argument("document")
     query.add_argument("path", help="path query, e.g. /catalog/movie//title")
     query.add_argument("--top", type=int, default=None, help="rank and keep the top K answers")
     query.set_defaults(handler=_command_query)
 
     probability = subparsers.add_parser(
-        "probability", help="probability that a path query has an answer"
+        "probability",
+        help="probability that a path query has an answer",
+        parents=[common],
     )
     probability.add_argument("document")
     probability.add_argument("path")
     probability.set_defaults(handler=_command_probability)
 
-    validate = subparsers.add_parser("validate", help="check the document against a DTD")
+    validate = subparsers.add_parser(
+        "validate", help="check the document against a DTD", parents=[common]
+    )
     validate.add_argument("document")
     validate.add_argument("--dtd", required=True, help='e.g. "catalog: movie*, source?"')
     validate.set_defaults(handler=_command_validate)

@@ -6,6 +6,8 @@
   (Definition 2) and its value in a world (Definition 4);
 * :mod:`repro.core.semantics` — the possible-world semantics ``⟦T⟧``;
 * :mod:`repro.core.cleaning` — the linear-time cleaning pass of Section 3;
+* :mod:`repro.core.probability` — the exact event-formula probability engine
+  (Shannon expansion with shared per-probtree memoization);
 * :mod:`repro.core.engine` — a convenience warehouse facade tying queries,
   updates, thresholding and DTD validation together (the "XML warehouse" of
   the paper's motivation).
@@ -13,8 +15,9 @@
 
 from repro.core.events import ProbabilityDistribution, EventFactory
 from repro.core.probtree import ProbTree
-from repro.core.semantics import possible_worlds
+from repro.core.semantics import possible_worlds, normalized_worlds
 from repro.core.cleaning import clean
+from repro.core.probability import ProbabilityEngine, engine_for, formula_pwset
 from repro.core.engine import ProbXMLWarehouse
 
 __all__ = [
@@ -22,6 +25,10 @@ __all__ = [
     "EventFactory",
     "ProbTree",
     "possible_worlds",
+    "normalized_worlds",
     "clean",
+    "ProbabilityEngine",
+    "engine_for",
+    "formula_pwset",
     "ProbXMLWarehouse",
 ]

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.core.cleaning import clean
 from repro.core.events import ProbabilityDistribution
+from repro.core.probability import require_engine_mode
 from repro.core.probtree import ProbTree
 from repro.core.semantics import possible_worlds
 from repro.dtd.dtd import DTD
@@ -31,6 +32,7 @@ from repro.queries.base import Query, QueryNodeId
 from repro.queries.evaluation import (
     QueryAnswer,
     boolean_probability,
+    evaluate_many,
     evaluate_on_probtree,
     top_answers,
 )
@@ -39,20 +41,31 @@ from repro.threshold.threshold import most_probable_worlds, threshold_probtree
 from repro.trees.datatree import DataTree
 from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
 from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.utils.errors import QueryError
 
 QuerySpec = Union[str, Query]
 
 
 class ProbXMLWarehouse:
-    """An XML warehouse holding one uncertain document as a prob-tree."""
+    """An XML warehouse holding one uncertain document as a prob-tree.
 
-    def __init__(self, document: Union[str, DataTree, ProbTree]) -> None:
+    ``engine`` selects how probabilities are computed throughout:
+    ``"formula"`` (default) compiles each question into an event formula
+    evaluated by Shannon expansion with a shared per-document cache;
+    ``"enumerate"`` materializes possible worlds (the paper's reference
+    semantics, exponential in the number of used events).
+    """
+
+    def __init__(
+        self, document: Union[str, DataTree, ProbTree], engine: str = "formula"
+    ) -> None:
         if isinstance(document, ProbTree):
             self._probtree = document
         elif isinstance(document, DataTree):
             self._probtree = ProbTree.certain(document)
         else:
             self._probtree = ProbTree.certain(DataTree(str(document)))
+        self._engine = require_engine_mode(engine)
 
     # -- state -----------------------------------------------------------------
 
@@ -60,6 +73,15 @@ class ProbXMLWarehouse:
     def probtree(self) -> ProbTree:
         """The current prob-tree."""
         return self._probtree
+
+    @property
+    def engine(self) -> str:
+        """The probability engine mode (``"formula"`` or ``"enumerate"``)."""
+        return self._engine
+
+    @engine.setter
+    def engine(self, mode: str) -> None:
+        self._engine = require_engine_mode(mode)
 
     @property
     def document(self) -> DataTree:
@@ -76,7 +98,17 @@ class ProbXMLWarehouse:
 
     def query(self, query: QuerySpec) -> List[QueryAnswer]:
         """Evaluate a locally monotone query; answers carry probabilities."""
-        return evaluate_on_probtree(self._resolve(query), self._probtree)
+        return evaluate_on_probtree(
+            self._resolve(query), self._probtree, engine=self._engine
+        )
+
+    def query_many(self, queries: List[QuerySpec]) -> List[List[QueryAnswer]]:
+        """Evaluate several queries (the per-document cache is shared either way)."""
+        return evaluate_many(
+            [self._resolve(query) for query in queries],
+            self._probtree,
+            engine=self._engine,
+        )
 
     def top_answers(self, query: QuerySpec, count: int = 3) -> List[QueryAnswer]:
         """The most probable answers of a query (conclusion's ranking usage)."""
@@ -84,7 +116,9 @@ class ProbXMLWarehouse:
 
     def probability(self, query: QuerySpec) -> float:
         """Probability that the query has at least one answer."""
-        return boolean_probability(self._resolve(query), self._probtree)
+        return boolean_probability(
+            self._resolve(query), self._probtree, engine=self._engine
+        )
 
     # -- updates -------------------------------------------------------------------
 
@@ -142,7 +176,9 @@ class ProbXMLWarehouse:
         The lost mass is represented by a root-only world (Definition 3); the
         operation may blow up the representation (Theorem 4).
         """
-        self._probtree = threshold_probtree(self._probtree, threshold)
+        self._probtree = threshold_probtree(
+            self._probtree, threshold, engine=self._engine
+        )
 
     # -- inspection ------------------------------------------------------------------------
 
@@ -151,19 +187,19 @@ class ProbXMLWarehouse:
         return possible_worlds(self._probtree, restrict_to_used=True, normalize=normalize)
 
     def most_probable_worlds(self, count: int = 3) -> List[Tuple[DataTree, float]]:
-        return most_probable_worlds(self._probtree, count)
+        return most_probable_worlds(self._probtree, count, engine=self._engine)
 
     def dtd_satisfiable(self, dtd: DTD) -> bool:
         """Whether some possible world satisfies the DTD (Theorem 5.1)."""
-        return dtd_satisfiable(self._probtree, dtd)
+        return dtd_satisfiable(self._probtree, dtd, engine=self._engine)
 
     def dtd_valid(self, dtd: DTD) -> bool:
         """Whether every possible world satisfies the DTD (Theorem 5.2)."""
-        return dtd_valid(self._probtree, dtd)
+        return dtd_valid(self._probtree, dtd, engine=self._engine)
 
     def dtd_probability(self, dtd: DTD) -> float:
         """Probability that the uncertain document satisfies the DTD."""
-        return dtd_satisfaction_probability(self._probtree, dtd)
+        return dtd_satisfaction_probability(self._probtree, dtd, engine=self._engine)
 
     # -- helpers -----------------------------------------------------------------------------
 
@@ -175,17 +211,25 @@ class ProbXMLWarehouse:
 
     @staticmethod
     def _default_focus(query: Query) -> QueryNodeId:
-        """Best-effort default target node for updates: the deepest pattern node."""
-        focus: QueryNodeId = 0
+        """Default target node for updates: the deepest pattern node.
+
+        Queries that do not expose ``node_count`` give no way to pick a
+        sensible default; guessing node 0 silently rewrote the wrong part of
+        the pattern, so an explicit ``at=`` is required instead.
+        """
         node_count = getattr(query, "node_count", None)
-        if callable(node_count):
-            focus = node_count() - 1
-        return focus
+        if not callable(node_count):
+            raise QueryError(
+                f"cannot infer an update target for {type(query).__name__}: the "
+                "query exposes no node_count(); pass the pattern node explicitly "
+                "with at="
+            )
+        return node_count() - 1
 
     def __repr__(self) -> str:
         return (
             f"ProbXMLWarehouse(nodes={self._probtree.node_count()}, "
-            f"events={self.event_count()})"
+            f"events={self.event_count()}, engine={self._engine!r})"
         )
 
 

@@ -1,0 +1,319 @@
+"""The exact probability engine over event formulas.
+
+The paper's central message is that a prob-tree answers probabilistic
+questions *without* materializing its exponentially many possible worlds.
+This module is where that promise is kept operationally:
+:class:`ProbabilityEngine` evaluates event formulas compiled from a question
+(query answers, DTD validity, world identity) by Shannon expansion over only
+the events the formula mentions (see :mod:`repro.formulas.compute`), with a
+memoization table shared across every question asked of the same prob-tree.
+
+Two engine modes are exposed throughout the library:
+
+* ``"formula"`` (default) — Shannon expansion / variable elimination with
+  independent-component decomposition and memoization;
+* ``"enumerate"`` — the reference semantics: enumerate every world over the
+  mentioned events.  Kept as a differential-testing oracle and for the
+  benchmarks that reproduce the paper's exponential baselines.
+
+:func:`engine_for` hands out the per-probtree shared engine (a weak registry,
+so prob-trees do not leak); :func:`formula_pwset` reconstructs the normalized
+possible-world semantics by enumerating *achievable node subsets* — typically
+far fewer than ``2^|W|`` worlds — with each subset's probability computed by
+the engine.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.formulas.boolean import BoolExpr, conjunction, from_condition
+from repro.formulas.compute import (
+    DEFAULT_ENUMERATION_CUTOFF,
+    dnf_to_expr,
+    enumeration_probability,
+    negation,
+    shannon_probability,
+)
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, Literal
+from repro.pw.pwset import PWSet
+from repro.trees.datatree import NodeId
+from repro.utils.errors import QueryError
+
+#: The engine modes understood throughout the library.
+ENGINE_MODES = ("formula", "enumerate")
+
+
+def require_engine_mode(mode: str) -> str:
+    """Validate an ``engine=`` argument, returning it unchanged."""
+    if mode not in ENGINE_MODES:
+        raise QueryError(
+            f"unknown probability engine {mode!r}; expected one of {ENGINE_MODES}"
+        )
+    return mode
+
+
+class ProbabilityEngine:
+    """Exact probabilities of event formulas under one distribution.
+
+    The engine owns the memoization tables; creating it through
+    :func:`engine_for` shares one instance (and therefore one cache) across
+    every question asked of the same prob-tree.
+    """
+
+    __slots__ = (
+        "_distribution",
+        "_distribution_map",
+        "_mode",
+        "_cutoff",
+        "_formula_cache",
+        "_condition_cache",
+    )
+
+    def __init__(
+        self,
+        distribution: ProbabilityDistribution,
+        mode: str = "formula",
+        enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
+    ) -> None:
+        self._distribution = distribution
+        self._distribution_map = distribution.as_dict()
+        self._mode = require_engine_mode(mode)
+        self._cutoff = enumeration_cutoff
+        self._formula_cache: Dict[BoolExpr, float] = {}
+        self._condition_cache: Dict[Condition, float] = {}
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def distribution(self) -> ProbabilityDistribution:
+        return self._distribution
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def cache_size(self) -> int:
+        """Number of memoized (sub)formulas — exposed for tests and benchmarks."""
+        return len(self._formula_cache) + len(self._condition_cache)
+
+    # -- probabilities -----------------------------------------------------
+
+    def probability(self, expr: BoolExpr) -> float:
+        """Exact ``P(expr)`` under the engine's distribution."""
+        if self._mode == "enumerate":
+            return enumeration_probability(expr, self._distribution)
+        return shannon_probability(
+            expr,
+            self._distribution,
+            cache=self._formula_cache,
+            enumeration_cutoff=self._cutoff,
+        )
+
+    def condition_probability(self, condition: Condition) -> float:
+        """``eval(γ)`` of Definition 8: a product over the literals (0 if inconsistent)."""
+        cached = self._condition_cache.get(condition)
+        if cached is None:
+            cached = condition.probability(self._distribution_map)
+            self._condition_cache[condition] = cached
+        return cached
+
+    def dnf_probability(self, formula: DNF) -> float:
+        """Probability of a DNF (e.g. the answer disjunction of a boolean query)."""
+        return self.probability(dnf_to_expr(formula))
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilityEngine(mode={self._mode!r}, events={len(self._distribution)}, "
+            f"cached={self.cache_size()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared per-probtree engines
+# ---------------------------------------------------------------------------
+
+_ENGINES: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def engine_for(probtree: ProbTree, mode: str = "formula") -> ProbabilityEngine:
+    """The shared :class:`ProbabilityEngine` of *probtree* for *mode*.
+
+    Successive calls on the same prob-tree return the same engine — and thus
+    share its memoization caches — as long as the distribution has not
+    changed (adding or re-weighting events invalidates cached values, so a
+    fresh engine is handed out then).
+    """
+    require_engine_mode(mode)
+    per_tree = _ENGINES.setdefault(probtree, {})
+    engine = per_tree.get(mode)
+    if engine is None or engine.distribution != probtree.distribution:
+        engine = ProbabilityEngine(probtree.distribution, mode=mode)
+        per_tree[mode] = engine
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Prob-tree formulas
+# ---------------------------------------------------------------------------
+
+
+def presence_expr(probtree: ProbTree, node: NodeId) -> BoolExpr:
+    """The event formula under which *node* is present in the world's value.
+
+    This is the accumulated condition of Definition 4 as a :class:`BoolExpr`.
+    """
+    return from_condition(probtree.accumulated_condition(node))
+
+
+def node_presence_probability(
+    probtree: ProbTree, node: NodeId, engine: str = "formula"
+) -> float:
+    """Probability that *node* survives in a random world."""
+    return engine_for(probtree, mode=engine).probability(presence_expr(probtree, node))
+
+
+# ---------------------------------------------------------------------------
+# Normalized possible-world semantics without world enumeration
+# ---------------------------------------------------------------------------
+
+
+def formula_pwset(probtree: ProbTree) -> PWSet:
+    """The normalized semantics ``⟦T⟧`` via achievable-node-subset enumeration.
+
+    Rather than walking the ``2^|used events|`` worlds, this walks the tree
+    and branches only on nodes with a non-trivial condition, enumerating the
+    *achievable* surviving node sets ``S``.  The probability of each ``S`` is
+    the probability of the event formula
+
+    ``⋀_{n ∈ S} γ(n)  ∧  ⋀_{n ∉ S, parent(n) ∈ S} ¬γ(n)``
+
+    computed by the shared formula engine.  The formulas for distinct ``S``
+    are mutually exclusive and exhaustive, so the result is a proper PW set;
+    isomorphic values are merged exactly as
+    ``possible_worlds(..., restrict_to_used=True, normalize=True)`` does.
+
+    Worlds of probability zero (possible only when some event has
+    probability exactly 1) are silently dropped — the enumeration path
+    cannot represent them at all (:class:`PWSet` requires positive
+    probabilities and ``possible_worlds`` raises), so this path is strictly
+    more permissive there.
+    """
+    engine = engine_for(probtree, mode="formula")
+    tree = probtree.tree
+    conditions = {node: probtree.condition(node) for node in tree.nodes()}
+    pairs: List[Tuple[object, float]] = []
+
+    def assignment_extension(
+        assignment: Dict[str, bool], condition: Condition
+    ) -> Optional[Dict[str, bool]]:
+        """Assignment with *condition*'s literals added, or None on conflict."""
+        extended = assignment
+        for literal in condition.literals:
+            wanted = not literal.negated
+            current = extended.get(literal.event)
+            if current is None:
+                if extended is assignment:
+                    extended = dict(assignment)
+                extended[literal.event] = wanted
+            elif current != wanted:
+                return None
+        return extended
+
+    def entailed(condition: Condition, assignment: Dict[str, bool]) -> bool:
+        return all(
+            assignment.get(literal.event) == (not literal.negated)
+            for literal in condition.literals
+        )
+
+    def emit(
+        included: Set[NodeId],
+        assignment: Dict[str, bool],
+        excluded: List[Condition],
+    ) -> None:
+        positive = Condition(
+            Literal(event, negated=not value) for event, value in assignment.items()
+        )
+        if excluded:
+            expr = conjunction(
+                from_condition(positive),
+                *(negation(from_condition(condition)) for condition in excluded),
+            )
+            probability = engine.probability(expr)
+        else:
+            # The common case: single-literal exclusions were folded into the
+            # assignment during the walk, so the world is one plain literal
+            # conjunction — a product, no Shannon expansion needed.
+            probability = engine.condition_probability(positive)
+        if probability > 0.0:
+            pairs.append((tree.restrict(included), probability))
+
+    # Iterative DFS with copy-on-branch: unconditional nodes are absorbed in
+    # place (O(1) each, no recursion — documents are routinely thousands of
+    # nodes deep/wide), and state is only copied at genuine decision points
+    # (nodes whose condition the current assignment neither entails nor
+    # refutes).
+    stack: List[Tuple[List[NodeId], int, Set[NodeId], Dict[str, bool], List[Condition]]] = [
+        (list(tree.children(tree.root)), 0, {tree.root}, {}, [])
+    ]
+    while stack:
+        pending, index, included, assignment, excluded = stack.pop()
+        while True:
+            if index == len(pending):
+                emit(included, assignment, excluded)
+                break
+            node = pending[index]
+            index += 1
+            condition = conditions[node]
+            extended = assignment_extension(assignment, condition)
+            can_exclude = not entailed(condition, assignment)
+            if extended is not None and can_exclude:
+                # Branch: snapshot the exclude side (γ(node) is undetermined
+                # here — it neither conflicts with nor is entailed by the
+                # assignment, so ¬γ(node) must be recorded) and continue on
+                # the include side.  A single-literal ¬γ is itself a literal:
+                # folding it into the assignment lets later siblings sharing
+                # the event prune immediately instead of spawning
+                # zero-probability branches.
+                exclude_assignment = dict(assignment)
+                exclude_constraints = list(excluded)
+                if len(condition) == 1:
+                    (literal,) = condition.literals
+                    exclude_assignment[literal.event] = literal.negated
+                else:
+                    exclude_constraints.append(condition)
+                stack.append(
+                    (
+                        list(pending),
+                        index,
+                        set(included),
+                        exclude_assignment,
+                        exclude_constraints,
+                    )
+                )
+            if extended is not None:
+                included.add(node)
+                assignment = extended
+                pending.extend(tree.children(node))
+            else:
+                # γ(node) contradicts the assignment: the node (and its whole
+                # subtree) is forced out, with no residual constraint.
+                pass
+    return PWSet(pairs).normalize()
+
+
+__all__ = [
+    "ENGINE_MODES",
+    "require_engine_mode",
+    "ProbabilityEngine",
+    "engine_for",
+    "presence_expr",
+    "node_presence_probability",
+    "formula_pwset",
+]

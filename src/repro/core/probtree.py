@@ -31,7 +31,9 @@ class ProbTree:
     destructive experiments.
     """
 
-    __slots__ = ("_tree", "_distribution", "_conditions")
+    # __weakref__ lets repro.core.probability attach a per-probtree engine
+    # cache without keeping dead prob-trees alive.
+    __slots__ = ("_tree", "_distribution", "_conditions", "__weakref__")
 
     def __init__(
         self,

@@ -52,4 +52,25 @@ def world_count(probtree: ProbTree, restrict_to_used: bool = True) -> int:
     return 1 << len(events)
 
 
-__all__ = ["possible_worlds", "world_count"]
+def normalized_worlds(probtree: ProbTree, engine: str = "formula") -> PWSet:
+    """The normalized semantics ``⟦T⟧``, computed by the selected engine.
+
+    ``engine="formula"`` walks the achievable surviving-node subsets and
+    prices each with the shared formula engine (no ``2^|W|`` enumeration, see
+    :func:`repro.core.probability.formula_pwset`); ``engine="enumerate"`` is
+    the literal Definition 4 enumeration restricted to used events.  Both
+    return the same PW set up to isomorphism whenever the enumeration is
+    defined; the one divergence is events of probability exactly 1, whose
+    zero-probability worlds make the enumeration raise while the formula
+    path simply omits them.
+    """
+    # Imported lazily to keep this module importable before
+    # repro.core.probability during package initialization.
+    from repro.core.probability import formula_pwset, require_engine_mode
+
+    if require_engine_mode(engine) == "formula":
+        return formula_pwset(probtree)
+    return possible_worlds(probtree, restrict_to_used=True, normalize=True)
+
+
+__all__ = ["possible_worlds", "world_count", "normalized_worlds"]

@@ -17,6 +17,8 @@ from repro.dtd.probtree_dtd import (
     dtd_valid,
     dtd_restriction_pwset,
     dtd_restriction_probtree,
+    dtd_satisfaction_probability,
+    dtd_validity_formula,
     satisfying_world,
     violating_world,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "dtd_valid",
     "dtd_restriction_pwset",
     "dtd_restriction_probtree",
+    "dtd_satisfaction_probability",
+    "dtd_validity_formula",
     "satisfying_world",
     "violating_world",
     "sat_to_dtd_satisfiability",

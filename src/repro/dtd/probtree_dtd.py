@@ -16,15 +16,26 @@ Given a prob-tree ``T`` and a DTD ``D`` the paper asks three questions:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
+from repro.core.probability import engine_for, require_engine_mode
 from repro.core.probtree import ProbTree
 from repro.core.semantics import possible_worlds
 from repro.dtd.dtd import DTD
 from repro.dtd.validation import validates
+from repro.formulas.boolean import (
+    BoolExpr,
+    FalseExpr,
+    TrueExpr,
+    conjunction,
+    disjunction,
+    from_condition,
+)
+from repro.formulas.compute import negation, shannon_satisfiable, shannon_tautology
 from repro.formulas.literals import all_worlds
 from repro.pw.convert import pwset_to_probtree
 from repro.pw.pwset import PWSet
+from repro.trees.datatree import NodeId
 
 
 def satisfying_world(probtree: ProbTree, dtd: DTD) -> Optional[FrozenSet[str]]:
@@ -48,14 +59,28 @@ def violating_world(probtree: ProbTree, dtd: DTD) -> Optional[FrozenSet[str]]:
     return None
 
 
-def dtd_satisfiable(probtree: ProbTree, dtd: DTD) -> bool:
-    """DTD Satisfiability: ``{(t, p) ∈ ⟦T⟧ | t ⊨ D} ≠ ∅``."""
-    return satisfying_world(probtree, dtd) is not None
+def dtd_satisfiable(probtree: ProbTree, dtd: DTD, engine: str = "formula") -> bool:
+    """DTD Satisfiability: ``{(t, p) ∈ ⟦T⟧ | t ⊨ D} ≠ ∅``.
+
+    ``engine="formula"`` (default) decides by an exact SAT check on the
+    compiled validity formula — no floating point, no world enumeration;
+    ``engine="enumerate"`` searches for a satisfying world explicitly (use
+    :func:`satisfying_world` directly when the certificate itself is wanted).
+    """
+    if require_engine_mode(engine) == "enumerate":
+        return satisfying_world(probtree, dtd) is not None
+    return shannon_satisfiable(dtd_validity_formula(probtree, dtd))
 
 
-def dtd_valid(probtree: ProbTree, dtd: DTD) -> bool:
-    """DTD Validity: every possible world satisfies ``D``."""
-    return violating_world(probtree, dtd) is None
+def dtd_valid(probtree: ProbTree, dtd: DTD, engine: str = "formula") -> bool:
+    """DTD Validity: every possible world satisfies ``D``.
+
+    ``engine="formula"`` (default) checks that the compiled validity formula
+    is a tautology; ``engine="enumerate"`` searches for a violating world.
+    """
+    if require_engine_mode(engine) == "enumerate":
+        return violating_world(probtree, dtd) is None
+    return shannon_tautology(dtd_validity_formula(probtree, dtd))
 
 
 def dtd_restriction_pwset(probtree: ProbTree, dtd: DTD) -> PWSet:
@@ -80,14 +105,119 @@ def dtd_restriction_probtree(
     return pwset_to_probtree(completed, event_prefix=event_prefix)
 
 
-def dtd_satisfaction_probability(probtree: ProbTree, dtd: DTD) -> float:
+def _count_formula(
+    guards: Sequence[BoolExpr], minimum: int, maximum: Optional[int]
+) -> BoolExpr:
+    """Formula true iff the number of satisfied *guards* lies in ``[minimum, maximum]``.
+
+    ``maximum is None`` means unbounded.  Common cardinalities get linear (or
+    quadratic) encodings; the general case is a memoized interval split whose
+    in-memory representation is a DAG of size ``O(k · minimum)``.
+    """
+    k = len(guards)
+    if minimum > k:
+        return FalseExpr()
+    if minimum <= 0 and (maximum is None or maximum >= k):
+        return TrueExpr()
+    if maximum is None:
+        if minimum == 1:
+            return disjunction(*guards)
+        if minimum == k:
+            return conjunction(*guards)
+    elif minimum == 0:
+        if maximum == 0:
+            return conjunction(*(negation(guard) for guard in guards))
+        if maximum == k - 1:
+            return disjunction(*(negation(guard) for guard in guards))
+    # Bottom-up interval DP (iterative: k can be in the thousands, far past
+    # the recursion limit).  A state is (index, low); the upper bound tracks
+    # the lower one (high = low + span) so it needs no dimension of its own.
+    span = None if maximum is None else maximum - minimum
+
+    def terminal(index: int, low: int) -> Optional[BoolExpr]:
+        remaining = k - index
+        if low > remaining or (span is not None and low + span < 0):
+            return FalseExpr()
+        if low <= 0 and (span is None or low + span >= remaining):
+            return TrueExpr()
+        return None
+
+    next_row: Dict[int, BoolExpr] = {}
+    for index in range(k, -1, -1):
+        row: Dict[int, BoolExpr] = {}
+        for low in range(minimum - index, minimum + 1):
+            result = terminal(index, low)
+            if result is None:
+                guard = guards[index]
+                result = disjunction(
+                    conjunction(guard, next_row[low - 1]),
+                    conjunction(negation(guard), next_row[low]),
+                )
+            row[low] = result
+        next_row = row
+    return next_row[minimum]
+
+
+def dtd_validity_formula(probtree: ProbTree, dtd: DTD) -> BoolExpr:
+    """The event formula holding in world ``V`` exactly when ``V(T) ⊨ D``.
+
+    For every node ``n`` whose label the DTD constrains, the formula requires
+    *if n is present* (its accumulated condition holds) *then* the surviving
+    children of ``n`` — child ``c`` survives, given ``n`` does, iff ``γ(c)``
+    holds — satisfy the cardinality bounds of Definition 12, with unlisted
+    child labels forbidden.  The construction is polynomial in ``|T|`` for
+    the usual ``? * + !`` cardinalities; evaluating the formula is the
+    engine's job.
+    """
+    tree = probtree.tree
+    clauses: List[BoolExpr] = []
+    for node in tree.nodes():
+        label = tree.label(node)
+        if not dtd.constrains(label):
+            continue
+        by_label: Dict[str, List[NodeId]] = {}
+        for child in tree.children(node):
+            by_label.setdefault(tree.label(child), []).append(child)
+        requirements: List[BoolExpr] = []
+        checked = set()
+        for constraint in dtd.constraints_for(label):
+            checked.add(constraint.label)
+            guards = [
+                from_condition(probtree.condition(child))
+                for child in by_label.get(constraint.label, ())
+            ]
+            requirements.append(
+                _count_formula(guards, constraint.minimum, constraint.maximum)
+            )
+        for child_label, children in by_label.items():
+            if child_label not in checked:
+                requirements.extend(
+                    negation(from_condition(probtree.condition(child)))
+                    for child in children
+                )
+        requirement = conjunction(*requirements)
+        if isinstance(requirement, TrueExpr):
+            continue
+        presence = from_condition(probtree.accumulated_condition(node))
+        clauses.append(disjunction(negation(presence), requirement))
+    return conjunction(*clauses)
+
+
+def dtd_satisfaction_probability(
+    probtree: ProbTree, dtd: DTD, engine: str = "formula"
+) -> float:
     """Total probability of the worlds satisfying the DTD.
 
     Not one of the paper's three questions, but a natural companion quantity
     the warehouse facade exposes (probability that the current imprecise
-    document is valid).
+    document is valid).  With ``engine="formula"`` (the default) the per-node
+    validity formulas are compiled once and evaluated by Shannon expansion —
+    no possible world is materialized; ``engine="enumerate"`` keeps the
+    original exhaustive computation as a reference oracle.
     """
-    return dtd_restriction_pwset(probtree, dtd).total_probability()
+    if require_engine_mode(engine) == "enumerate":
+        return dtd_restriction_pwset(probtree, dtd).total_probability()
+    return engine_for(probtree).probability(dtd_validity_formula(probtree, dtd))
 
 
 __all__ = [
@@ -97,5 +227,6 @@ __all__ = [
     "dtd_valid",
     "dtd_restriction_pwset",
     "dtd_restriction_probtree",
+    "dtd_validity_formula",
     "dtd_satisfaction_probability",
 ]

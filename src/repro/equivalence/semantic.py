@@ -17,16 +17,22 @@ from __future__ import annotations
 
 from repro.core.events import ProbabilityDistribution
 from repro.core.probtree import ProbTree
-from repro.core.semantics import possible_worlds
+from repro.core.semantics import normalized_worlds
 
 
-def semantically_equivalent(left: ProbTree, right: ProbTree) -> bool:
-    """Decide ``⟦T⟧ ∼ ⟦T'⟧`` by computing and comparing both PW sets.
+def semantically_equivalent(
+    left: ProbTree, right: ProbTree, engine: str = "formula"
+) -> bool:
+    """Decide ``⟦T⟧ ∼ ⟦T'⟧`` by computing and comparing both normalized PW sets.
 
-    Exponential in the number of used events of each tree.
+    With the default ``engine="formula"`` each side's normalized semantics is
+    reconstructed from achievable surviving-node subsets priced by the shared
+    formula engine — exponential only in the number of *conditional nodes*
+    rather than in the number of used events; ``engine="enumerate"`` keeps
+    the literal EXPTIME procedure of the paper.
     """
-    left_worlds = possible_worlds(left, restrict_to_used=True, normalize=True)
-    right_worlds = possible_worlds(right, restrict_to_used=True, normalize=True)
+    left_worlds = normalized_worlds(left, engine=engine)
+    right_worlds = normalized_worlds(right, engine=engine)
     return left_worlds.isomorphic(right_worlds)
 
 
@@ -34,6 +40,7 @@ def semantically_equivalent_under(
     left: ProbTree,
     right: ProbTree,
     distribution: ProbabilityDistribution,
+    engine: str = "formula",
 ) -> bool:
     """Semantic equivalence after re-assigning both trees' probabilities.
 
@@ -41,7 +48,9 @@ def semantically_equivalent_under(
     quantified form appearing in Proposition 4(ii).
     """
     return semantically_equivalent(
-        left.with_distribution(distribution), right.with_distribution(distribution)
+        left.with_distribution(distribution),
+        right.with_distribution(distribution),
+        engine=engine,
     )
 
 

@@ -13,10 +13,18 @@ formulas:
   integer coefficients, the characteristic polynomial of a DNF
   (Definition 11) and the Schwartz–Zippel identity test;
 * :mod:`repro.formulas.count_equivalence` — count-equivalence of DNF formulas
-  (Definition 10) and its polynomial characterization (Lemma 1).
+  (Definition 10) and its polynomial characterization (Lemma 1);
+* :mod:`repro.formulas.compute` — exact formula probabilities by Shannon
+  expansion (the computational core of the formula engine).
 """
 
 from repro.formulas.literals import Literal, Condition, Valuation
+from repro.formulas.compute import (
+    cofactor,
+    dnf_to_expr,
+    enumeration_probability,
+    shannon_probability,
+)
 from repro.formulas.dnf import DNF
 from repro.formulas.cnf import CNF
 from repro.formulas.polynomial import Polynomial, characteristic_polynomial
@@ -47,4 +55,8 @@ __all__ = [
     "is_tautology",
     "satisfying_valuations",
     "equivalent",
+    "cofactor",
+    "dnf_to_expr",
+    "enumeration_probability",
+    "shannon_probability",
 ]

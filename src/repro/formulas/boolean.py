@@ -30,8 +30,8 @@ class BoolExpr(ABC):
         """Evaluate the formula in the world *world* (set of true events)."""
 
     @abstractmethod
-    def events(self) -> Set[str]:
-        """Event variables mentioned by the formula."""
+    def events(self) -> AbstractSet[str]:
+        """Event variables mentioned by the formula (do not mutate)."""
 
     @abstractmethod
     def size(self) -> int:
@@ -74,8 +74,8 @@ class TrueExpr(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return True
 
-    def events(self) -> Set[str]:
-        return set()
+    def events(self) -> AbstractSet[str]:
+        return frozenset()
 
     def size(self) -> int:
         return 1
@@ -91,8 +91,8 @@ class FalseExpr(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return False
 
-    def events(self) -> Set[str]:
-        return set()
+    def events(self) -> AbstractSet[str]:
+        return frozenset()
 
     def size(self) -> int:
         return 1
@@ -110,8 +110,8 @@ class Var(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return self.event in world
 
-    def events(self) -> Set[str]:
-        return {self.event}
+    def events(self) -> AbstractSet[str]:
+        return frozenset((self.event,))
 
     def size(self) -> int:
         return 1
@@ -129,11 +129,14 @@ class Not(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return not self.operand.holds_in(world)
 
-    def events(self) -> Set[str]:
-        return self.operand.events()
+    def events(self) -> AbstractSet[str]:
+        return _cached_events(self, lambda: self.operand.events())
 
     def size(self) -> int:
         return 1 + self.operand.size()
+
+    def __hash__(self) -> int:
+        return _cached_hash(self, lambda: hash(("Not", self.operand)))
 
     def __str__(self) -> str:
         return f"not ({self.operand})"
@@ -148,14 +151,14 @@ class And(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return all(operand.holds_in(world) for operand in self.operands)
 
-    def events(self) -> Set[str]:
-        result: Set[str] = set()
-        for operand in self.operands:
-            result |= operand.events()
-        return result
+    def events(self) -> AbstractSet[str]:
+        return _cached_events(self, lambda: _union_events(self.operands))
 
     def size(self) -> int:
         return 1 + sum(operand.size() for operand in self.operands)
+
+    def __hash__(self) -> int:
+        return _cached_hash(self, lambda: hash(("And", self.operands)))
 
     def __str__(self) -> str:
         if not self.operands:
@@ -172,19 +175,48 @@ class Or(BoolExpr):
     def holds_in(self, world: AbstractSet[str]) -> bool:
         return any(operand.holds_in(world) for operand in self.operands)
 
-    def events(self) -> Set[str]:
-        result: Set[str] = set()
-        for operand in self.operands:
-            result |= operand.events()
-        return result
+    def events(self) -> AbstractSet[str]:
+        return _cached_events(self, lambda: _union_events(self.operands))
 
     def size(self) -> int:
         return 1 + sum(operand.size() for operand in self.operands)
+
+    def __hash__(self) -> int:
+        return _cached_hash(self, lambda: hash(("Or", self.operands)))
 
     def __str__(self) -> str:
         if not self.operands:
             return "false"
         return " or ".join(f"({operand})" for operand in self.operands)
+
+
+def _union_events(operands: Tuple[BoolExpr, ...]) -> Set[str]:
+    result: Set[str] = set()
+    for operand in operands:
+        result |= operand.events()
+    return result
+
+
+def _cached_events(expr: BoolExpr, compute) -> frozenset:
+    # Formula ASTs are routinely DAGs with massive sharing (e.g. the
+    # cardinality constructions of the DTD compiler); caching per node keeps
+    # events() linear in the DAG instead of its exponential tree unfolding.
+    cached = expr.__dict__.get("_events_cache")
+    if cached is None:
+        cached = frozenset(compute())
+        object.__setattr__(expr, "_events_cache", cached)
+    return cached
+
+
+def _cached_hash(expr: BoolExpr, compute) -> int:
+    # Same sharing argument as _cached_events: a node's hash must not
+    # recursively re-hash an exponentially unfolded subtree on every dict
+    # lookup in the engine's memo tables.
+    cached = expr.__dict__.get("_hash_cache")
+    if cached is None:
+        cached = compute()
+        object.__setattr__(expr, "_hash_cache", cached)
+    return cached
 
 
 def from_condition(condition: Condition) -> BoolExpr:

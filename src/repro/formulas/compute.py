@@ -1,0 +1,440 @@
+"""Exact event-formula probability computation by Shannon expansion.
+
+This module is the computational heart of the formula-based probability
+engine (:mod:`repro.core.probability`).  Instead of materializing the
+``2^|W|`` possible worlds of a prob-tree, questions about a prob-tree are
+*compiled* into a propositional formula over the event variables (a
+:class:`~repro.formulas.boolean.BoolExpr`) and the probability of that
+formula is computed directly.
+
+Algorithm
+=========
+
+``shannon_probability`` evaluates ``P(φ)`` under independent events by a
+classic top-down decomposition:
+
+1. **Constant folding** — ``true``, ``false`` and bare (possibly negated)
+   variables are immediate: ``P(w) = π(w)``, ``P(¬φ) = 1 − P(φ)``.
+
+2. **Independent-component decomposition** — the operands of a conjunction
+   (resp. disjunction) are grouped into connected components of the "shares
+   an event variable" relation.  Components are statistically independent, so
+
+   * ``P(φ₁ ∧ … ∧ φₖ) = ∏ᵢ P(φᵢ)`` and
+   * ``P(φ₁ ∨ … ∨ φₖ) = 1 − ∏ᵢ (1 − P(φᵢ))``
+
+   when the ``φᵢ`` are the components.  This single rule makes the engine
+   *linear* in the number of events for the ubiquitous case of conditions
+   introduced by independent probabilistic updates (one fresh event each).
+
+3. **Shannon expansion** — otherwise pick the first event ``w`` in DFS order
+   (a constant-time choice aligned with the formula's own structure: the top
+   guard of a cardinality DP, the first link of a chain) and split on it:
+
+   ``P(φ) = π(w)·P(φ[w:=true]) + (1 − π(w))·P(φ[w:=false])``
+
+   where ``φ[w:=v]`` is the *cofactor* — the formula with ``w`` substituted
+   and constants propagated.  Cofactoring stays local to the subgraph
+   mentioning ``w`` and shrinks the formula, which re-opens the door for
+   rule 2 on each branch.
+
+4. **Memoization** — results are cached on the (hashable) cofactored
+   formula, in a cache that the caller may share across many queries against
+   the same distribution.  Splitting on a shared variable produces identical
+   residual subformulas along different branches, which the cache collapses;
+   this is equivalent to memoizing on ``(formula, partial assignment)``
+   because the cofactor *is* the pair's canonical representative.
+
+5. **Enumeration fallback** — once a (sub)formula mentions at most
+   ``enumeration_cutoff`` events, plain world enumeration is cheaper than
+   further decomposition and is used as the base case.
+
+Complexity
+==========
+
+Worst case remains exponential — Section 5 of the paper shows computing
+query probabilities over arbitrary formulas is NP-hard, so no engine can do
+better in general.  The point is that the cost is now driven by the
+*entanglement* of the relevant events rather than their count: read-once
+formulas (every event appears once) cost ``O(size)``; formulas whose
+event-sharing graph has components of at most ``k`` events cost
+``O(size · 2^k)``; full enumeration of ``2^n`` worlds is only reached when
+every event interacts with every other.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.formulas.boolean import (
+    And,
+    BoolExpr,
+    FalseExpr,
+    Not,
+    Or,
+    TrueExpr,
+    Var,
+    conjunction,
+    disjunction,
+    from_condition,
+)
+from repro.formulas.dnf import DNF
+
+#: Below this many mentioned events a (sub)formula is evaluated by direct
+#: world enumeration instead of further Shannon expansion.
+DEFAULT_ENUMERATION_CUTOFF = 3
+
+
+# ---------------------------------------------------------------------------
+# Stack management
+# ---------------------------------------------------------------------------
+
+
+def _depth_and_event_count(expr: BoolExpr) -> Tuple[int, int]:
+    """``(DAG depth, distinct event count)`` computed without recursion."""
+    depths: Dict[int, int] = {}
+    events: Set[str] = set()
+    stack: List[Tuple[BoolExpr, bool]] = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if isinstance(node, Not):
+            children: Tuple[BoolExpr, ...] = (node.operand,)
+        elif isinstance(node, (And, Or)):
+            children = node.operands
+        else:
+            children = ()
+        if ready:
+            depths[id(node)] = 1 + max(
+                (depths[id(child)] for child in children), default=0
+            )
+        elif id(node) not in depths:
+            if isinstance(node, Var):
+                events.add(node.event)
+            stack.append((node, True))
+            stack.extend(
+                (child, False) for child in children if id(child) not in depths
+            )
+    return depths[id(expr)], len(events)
+
+
+def formula_depth(expr: BoolExpr) -> int:
+    """Depth of the formula DAG, computed without recursion."""
+    return _depth_and_event_count(expr)[0]
+
+
+@contextmanager
+def _generous_stack(depth_hint: int) -> Iterator[None]:
+    """Temporarily raise the recursion limit for deep (chain- or DP-shaped) formulas.
+
+    The recursive walkers below use a bounded number of frames per formula
+    level; deep DAGs (thousands of cardinality guards, long literal chains)
+    legitimately exceed CPython's default 1000-frame limit.
+    """
+    target = 1000 + 10 * depth_hint
+    previous = sys.getrecursionlimit()
+    if target > previous:
+        sys.setrecursionlimit(target)
+    try:
+        yield
+    finally:
+        if target > previous:
+            sys.setrecursionlimit(previous)
+
+
+# ---------------------------------------------------------------------------
+# Formula manipulation
+# ---------------------------------------------------------------------------
+
+
+def negation(expr: BoolExpr) -> BoolExpr:
+    """``¬expr`` with constant folding and double-negation elimination."""
+    if isinstance(expr, TrueExpr):
+        return FalseExpr()
+    if isinstance(expr, FalseExpr):
+        return TrueExpr()
+    if isinstance(expr, Not):
+        return expr.operand
+    return Not(expr)
+
+
+def simplify(expr: BoolExpr) -> BoolExpr:
+    """Bottom-up constant propagation (no variable is touched).
+
+    Formula ASTs may be DAGs with heavy sharing; the per-call memo visits
+    every distinct node once.
+    """
+    memo: Dict[int, BoolExpr] = {}
+
+    def walk(node: BoolExpr) -> BoolExpr:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Not):
+            result = negation(walk(node.operand))
+        elif isinstance(node, And):
+            result = conjunction(*(walk(operand) for operand in node.operands))
+        elif isinstance(node, Or):
+            result = disjunction(*(walk(operand) for operand in node.operands))
+        else:
+            result = node
+        memo[id(node)] = result
+        return result
+
+    return walk(expr)
+
+
+def cofactor(expr: BoolExpr, event: str, value: bool) -> BoolExpr:
+    """The Shannon cofactor ``expr[event := value]`` with constants propagated.
+
+    Subtrees that do not mention *event* are returned as-is (preserving
+    sharing), and every distinct DAG node is rewritten at most once.
+    """
+    memo: Dict[int, BoolExpr] = {}
+
+    def walk(node: BoolExpr) -> BoolExpr:
+        if event not in node.events():
+            return node
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Var):
+            result: BoolExpr = TrueExpr() if value else FalseExpr()
+        elif isinstance(node, Not):
+            result = negation(walk(node.operand))
+        elif isinstance(node, And):
+            result = conjunction(*(walk(operand) for operand in node.operands))
+        elif isinstance(node, Or):
+            result = disjunction(*(walk(operand) for operand in node.operands))
+        else:
+            result = node
+        memo[id(node)] = result
+        return result
+
+    return walk(expr)
+
+
+def dnf_to_expr(formula: DNF) -> BoolExpr:
+    """Translate a :class:`DNF` into the equivalent :class:`BoolExpr`."""
+    return disjunction(*(from_condition(disjunct) for disjunct in formula.disjuncts))
+
+
+def independent_components(operands: Sequence[BoolExpr]) -> List[List[BoolExpr]]:
+    """Group *operands* into connected components of shared event variables.
+
+    Two operands belong to the same component when they (transitively) share
+    an event; distinct components are statistically independent under the
+    independent-event semantics.  An event→group index makes the grouping
+    near-linear — the all-disjoint case (one fresh event per probabilistic
+    update) costs one dictionary probe per event.
+    """
+    group_of: Dict[str, int] = {}
+    groups: List[Optional[Tuple[List[BoolExpr], List[str]]]] = []
+    for operand in operands:
+        events = operand.events()
+        hits = {group_of[event] for event in events if event in group_of}
+        if not hits:
+            group_of.update((event, len(groups)) for event in events)
+            groups.append(([operand], list(events)))
+            continue
+        target = min(hits)
+        ops, known_events = groups[target]  # type: ignore[misc]
+        ops.append(operand)
+        known_events.extend(events)
+        for event in events:
+            group_of[event] = target
+        for other in hits - {target}:
+            other_ops, other_events = groups[other]  # type: ignore[misc]
+            ops.extend(other_ops)
+            known_events.extend(other_events)
+            for event in other_events:
+                group_of[event] = target
+            groups[other] = None
+    return [group[0] for group in groups if group is not None]
+
+
+# ---------------------------------------------------------------------------
+# Probability computation
+# ---------------------------------------------------------------------------
+
+
+def enumeration_probability(expr: BoolExpr, distribution: Mapping[str, float]) -> float:
+    """Reference semantics: enumerate the ``2^n`` worlds over mentioned events.
+
+    Delegates to :meth:`BoolExpr.probability` — the single definition of the
+    exhaustive semantics — and exists as the named entry point the engine's
+    ``"enumerate"`` mode and the cutoff fallback share.  The recursion guard
+    covers ``holds_in``/``events`` on deep formulas.
+    """
+    depth, event_count = _depth_and_event_count(expr)
+    with _generous_stack(depth + event_count):
+        return expr.probability(distribution)
+
+
+def shannon_probability(
+    expr: BoolExpr,
+    distribution: Mapping[str, float],
+    cache: Optional[Dict[BoolExpr, float]] = None,
+    enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
+) -> float:
+    """Exact ``P(expr)`` under independent events, by Shannon expansion.
+
+    Args:
+        expr: the formula; every mentioned event must appear in
+            *distribution*.
+        distribution: mapping from event name to probability.
+        cache: optional memoization table, shared across calls with the same
+            distribution (e.g. all questions against one prob-tree).
+        enumeration_cutoff: subformulas mentioning at most this many events
+            fall back to direct enumeration.
+    """
+    memo: Dict[BoolExpr, float] = cache if cache is not None else {}
+
+    def probability_of(formula: BoolExpr) -> float:
+        if isinstance(formula, TrueExpr):
+            return 1.0
+        if isinstance(formula, FalseExpr):
+            return 0.0
+        if isinstance(formula, Var):
+            return distribution[formula.event]
+        if isinstance(formula, Not):
+            return 1.0 - probability_of(formula.operand)
+        cached = memo.get(formula)
+        if cached is not None:
+            return cached
+        events = formula.events()
+        if len(events) <= enumeration_cutoff:
+            result = enumeration_probability(formula, distribution)
+        else:
+            result = _decomposed(formula)
+        memo[formula] = result
+        return result
+
+    def _decomposed(formula: BoolExpr) -> float:
+        if isinstance(formula, (And, Or)):
+            components = independent_components(formula.operands)
+            if len(components) > 1:
+                if isinstance(formula, And):
+                    result = 1.0
+                    for component in components:
+                        result *= probability_of(conjunction(*component))
+                    return result
+                result = 1.0
+                for component in components:
+                    result *= 1.0 - probability_of(disjunction(*component))
+                return 1.0 - result
+        # The first event in DFS order is a constant-time pivot that tracks
+        # the formula's own structure (top guard of a cardinality DP, first
+        # link of a chain), so cofactoring stays local and residuals collapse
+        # into the formula's natural state space; a full occurrence count per
+        # split (choose_pivot) costs more than it saves.
+        pivot = _first_event(formula)
+        p = distribution[pivot]
+        high = probability_of(cofactor(formula, pivot, True))
+        low = probability_of(cofactor(formula, pivot, False))
+        return p * high + (1.0 - p) * low
+
+    depth, event_count = _depth_and_event_count(expr)
+    with _generous_stack(depth + event_count):
+        return probability_of(simplify(expr))
+
+
+def shannon_satisfiable(expr: BoolExpr, cache: Optional[Dict[BoolExpr, bool]] = None) -> bool:
+    """Exact satisfiability of *expr* by the same split-and-memoize scheme.
+
+    Unlike :func:`shannon_probability` this is a pure boolean question — no
+    floating point is involved, so it is safe for decision procedures (DTD
+    satisfiability / validity) where a probability of ``1e-300`` must still
+    count as "some world exists".  Two exact shortcuts keep common shapes
+    linear: a disjunction is satisfiable iff *any* disjunct is (regardless of
+    shared events), and a conjunction of event-disjoint components is
+    satisfiable iff every component is; pivot splitting only remains for
+    genuinely entangled conjunctions.
+    """
+    memo: Dict[BoolExpr, bool] = cache if cache is not None else {}
+
+    def satisfiable(formula: BoolExpr) -> bool:
+        if isinstance(formula, TrueExpr):
+            return True
+        if isinstance(formula, FalseExpr):
+            return False
+        if isinstance(formula, Var):
+            return True
+        if isinstance(formula, Not) and isinstance(formula.operand, Var):
+            return True
+        cached = memo.get(formula)
+        if cached is not None:
+            return cached
+        if isinstance(formula, Or):
+            result = any(satisfiable(operand) for operand in formula.operands)
+        elif isinstance(formula, Not) and isinstance(formula.operand, And):
+            # De Morgan: SAT(¬(a ∧ b)) = SAT(¬a ∨ ¬b).
+            result = any(
+                satisfiable(negation(operand)) for operand in formula.operand.operands
+            )
+        elif isinstance(formula, Not) and isinstance(formula.operand, Or):
+            # De Morgan: SAT(¬(a ∨ b)) = SAT(¬a ∧ ¬b).
+            result = satisfiable(
+                conjunction(*(negation(operand) for operand in formula.operand.operands))
+            )
+        elif isinstance(formula, And) and len(
+            components := independent_components(formula.operands)
+        ) > 1:
+            result = all(
+                satisfiable(conjunction(*component)) for component in components
+            )
+        else:
+            # Cheap pivot: any event will do for termination, and the first
+            # one sits near the top of the DAG, so cofactoring (which skips
+            # subtrees not mentioning the event) stays local.
+            pivot = _first_event(formula)
+            result = satisfiable(cofactor(formula, pivot, True)) or satisfiable(
+                cofactor(formula, pivot, False)
+            )
+        memo[formula] = result
+        return result
+
+    depth, event_count = _depth_and_event_count(expr)
+    with _generous_stack(depth + event_count):
+        return satisfiable(simplify(expr))
+
+
+def _first_event(expr: BoolExpr) -> str:
+    """The first event encountered in a DFS of the DAG (no recursion)."""
+    stack = [expr]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, Var):
+            return node.event
+        if isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or)):
+            stack.extend(reversed(node.operands))
+    raise ValueError(f"formula {expr} mentions no event to split on")
+
+
+def shannon_tautology(expr: BoolExpr) -> bool:
+    """Whether *expr* holds in every world (no counterexample assignment)."""
+    # negation() only touches the top node; the simplification happens inside
+    # shannon_satisfiable, under its recursion-limit guard.
+    return not shannon_satisfiable(negation(expr))
+
+
+__all__ = [
+    "DEFAULT_ENUMERATION_CUTOFF",
+    "negation",
+    "simplify",
+    "cofactor",
+    "dnf_to_expr",
+    "formula_depth",
+    "independent_components",
+    "enumeration_probability",
+    "shannon_probability",
+    "shannon_satisfiable",
+    "shannon_tautology",
+]

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.probability import ProbabilityEngine, engine_for, require_engine_mode
 from repro.core.probtree import ProbTree
 from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition
@@ -55,47 +56,72 @@ def evaluate_on_pwset(query: Query, pwset: PWSet) -> List[QueryAnswer]:
     return answers
 
 
-def evaluate_on_probtree(
+def _answers_with_engine(
     query: Query,
     probtree: ProbTree,
-    keep_zero_probability: bool = False,
+    engine: ProbabilityEngine,
+    keep_zero_probability: bool,
 ) -> List[QueryAnswer]:
-    """Evaluate a locally monotone query on a prob-tree (Definition 8).
-
-    The query runs once on the underlying data tree; each answer ``u`` gets
-    probability ``eval(⋃_{n ∈ u} γ(n))`` — zero (and dropped by default) when
-    the union of conditions is inconsistent.
-
-    Raises :class:`QueryError` if the query declares itself non locally
-    monotone: Definition 8 is not sound for such queries.
-    """
     if not query.locally_monotone:
         raise QueryError(
             "evaluation on prob-trees is only defined for locally monotone queries"
         )
     tree = probtree.tree
-    distribution = probtree.distribution
     answers: List[QueryAnswer] = []
     for nodes in query.result_node_sets(tree):
         condition = Condition.true()
         for node in nodes:
             condition = condition.conjoin(probtree.condition(node))
-        probability = condition.probability(distribution.as_dict())
+        probability = engine.condition_probability(condition)
         if probability <= 0.0 and not keep_zero_probability:
             continue
         answers.append(QueryAnswer(tree.restrict(nodes), probability))
     return answers
 
 
-def boolean_probability(query: Query, probtree: ProbTree) -> float:
-    """Probability that the query has at least one answer on the prob-tree.
+def evaluate_on_probtree(
+    query: Query,
+    probtree: ProbTree,
+    keep_zero_probability: bool = False,
+    engine: str = "formula",
+) -> List[QueryAnswer]:
+    """Evaluate a locally monotone query on a prob-tree (Definition 8).
 
-    The query selects a world iff the condition bundle of at least one answer
-    holds, so this is the probability of a DNF over the answers' conditions
-    (computed exactly by enumerating the mentioned events — exponential in
-    the number of events touched by the answers, which the paper's Section 5
-    shows is unavoidable in general).
+    The query runs once on the underlying data tree; each answer ``u`` gets
+    probability ``eval(⋃_{n ∈ u} γ(n))`` — zero (and dropped by default) when
+    the union of conditions is inconsistent.  Answer probabilities go through
+    the prob-tree's shared :class:`ProbabilityEngine`, so conditions repeated
+    across answers (or across queries) are priced once.
+
+    Raises :class:`QueryError` if the query declares itself non locally
+    monotone: Definition 8 is not sound for such queries.
     """
+    shared = engine_for(probtree, mode=require_engine_mode(engine))
+    return _answers_with_engine(query, probtree, shared, keep_zero_probability)
+
+
+def evaluate_many(
+    queries: Sequence[Query],
+    probtree: ProbTree,
+    keep_zero_probability: bool = False,
+    engine: str = "formula",
+) -> List[List[QueryAnswer]]:
+    """Batched Definition 8 evaluation: one answer list per query.
+
+    Equivalent to calling :func:`evaluate_on_probtree` per query — the
+    per-probtree engine cache is shared either way through
+    :func:`~repro.core.probability.engine_for` — but the engine is resolved
+    once and batch callers get a single stable entry point.
+    """
+    shared = engine_for(probtree, mode=require_engine_mode(engine))
+    return [
+        _answers_with_engine(query, probtree, shared, keep_zero_probability)
+        for query in queries
+    ]
+
+
+def _boolean_dnf(query: Query, probtree: ProbTree) -> DNF:
+    """The DNF over answer-condition bundles whose probability is the query's."""
     tree = probtree.tree
     disjuncts = []
     for nodes in query.result_node_sets(tree):
@@ -104,9 +130,36 @@ def boolean_probability(query: Query, probtree: ProbTree) -> float:
             condition = condition.conjoin(probtree.condition(node))
         if condition.is_consistent():
             disjuncts.append(condition)
-    if not disjuncts:
+    return DNF(disjuncts)
+
+
+def boolean_probability(
+    query: Query, probtree: ProbTree, engine: str = "formula"
+) -> float:
+    """Probability that the query has at least one answer on the prob-tree.
+
+    The query selects a world iff the condition bundle of at least one answer
+    holds, so this is the probability of a DNF over the answers' conditions.
+    With ``engine="formula"`` (default) the DNF is evaluated by Shannon
+    expansion over only the events it mentions (memoized, shared per
+    prob-tree); ``engine="enumerate"`` enumerates the mentioned events'
+    worlds — the exponential reference the paper's Section 5 shows is
+    unavoidable in the worst case, kept as a differential oracle.
+    """
+    disjuncts = _boolean_dnf(query, probtree)
+    if len(disjuncts) == 0:
         return 0.0
-    return DNF(disjuncts).probability(probtree.distribution.as_dict())
+    if require_engine_mode(engine) == "enumerate":
+        return disjuncts.probability(probtree.distribution.as_dict())
+    return engine_for(probtree).dnf_probability(disjuncts)
+
+
+def boolean_probability_many(
+    queries: Sequence[Query], probtree: ProbTree, engine: str = "formula"
+) -> List[float]:
+    """Batched :func:`boolean_probability` (equivalent to a loop; the
+    per-probtree formula cache is shared either way)."""
+    return [boolean_probability(query, probtree, engine=engine) for query in queries]
 
 
 def aggregate_by_isomorphism(answers: List[QueryAnswer]) -> Dict[str, float]:
@@ -153,7 +206,9 @@ __all__ = [
     "evaluate_on_datatree",
     "evaluate_on_pwset",
     "evaluate_on_probtree",
+    "evaluate_many",
     "boolean_probability",
+    "boolean_probability_many",
     "aggregate_by_isomorphism",
     "answers_isomorphic",
     "top_answers",

@@ -1,4 +1,4 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures, random-case generators and hypothesis strategies."""
 
 from __future__ import annotations
 
@@ -9,11 +9,88 @@ from hypothesis import strategies as st
 
 from repro.core.events import ProbabilityDistribution
 from repro.core.probtree import ProbTree
+from repro.dtd.dtd import DTD, ChildConstraint
 from repro.formulas.literals import Condition, Literal
+from repro.queries.treepattern import TreePattern
 from repro.trees.datatree import DataTree
 from repro.workloads.constructions import figure1_probtree
 from repro.workloads.random_probtrees import random_probtree
+from repro.workloads.random_queries import random_matching_pattern
 from repro.workloads.random_trees import random_datatree
+
+
+# ---------------------------------------------------------------------------
+# Pytest options and markers
+# ---------------------------------------------------------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+# ---------------------------------------------------------------------------
+# Seeded random-case generators (shared by the differential harness)
+# ---------------------------------------------------------------------------
+
+DIFFERENTIAL_LABELS = ("A", "B", "C", "D")
+
+
+def draw_probtree(
+    rng: random.Random,
+    max_nodes: int = 9,
+    event_count: int = 5,
+    condition_probability: float = 0.7,
+    max_literals: int = 2,
+) -> ProbTree:
+    """A small random prob-tree for differential testing (deterministic per rng)."""
+    return random_probtree(
+        node_count=rng.randint(1, max_nodes),
+        event_count=event_count,
+        seed=rng,
+        labels=DIFFERENTIAL_LABELS,
+        condition_probability=condition_probability,
+        max_literals=max_literals,
+    )
+
+
+def draw_query(rng: random.Random, tree: DataTree) -> TreePattern:
+    """A random tree-pattern query guaranteed to match *tree*."""
+    pattern, _focus = random_matching_pattern(tree, seed=rng)
+    return pattern
+
+
+def draw_dtd(rng: random.Random, labels=DIFFERENTIAL_LABELS) -> DTD:
+    """A random cardinality DTD over *labels* mixing all constraint kinds."""
+    dtd = DTD()
+    for parent in rng.sample(labels, rng.randint(1, len(labels) - 1)):
+        for child in rng.sample(labels, rng.randint(1, 3)):
+            kind = rng.randrange(5)
+            if kind == 0:
+                constraint = ChildConstraint.optional(child)
+            elif kind == 1:
+                constraint = ChildConstraint.any_number(child)
+            elif kind == 2:
+                constraint = ChildConstraint.at_least_one(child)
+            elif kind == 3:
+                constraint = ChildConstraint.exactly(child, rng.randint(1, 2))
+            else:
+                constraint = ChildConstraint.forbidden(child)
+            dtd.add_constraint(parent, constraint)
+    return dtd
 
 
 # ---------------------------------------------------------------------------
@@ -91,4 +168,14 @@ def small_probtrees(
     return probtree
 
 
-__all__ = ["small_datatrees", "conditions", "small_probtrees", "LABELS", "EVENTS"]
+__all__ = [
+    "small_datatrees",
+    "conditions",
+    "small_probtrees",
+    "LABELS",
+    "EVENTS",
+    "DIFFERENTIAL_LABELS",
+    "draw_probtree",
+    "draw_query",
+    "draw_dtd",
+]

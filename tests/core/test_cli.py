@@ -99,3 +99,43 @@ class TestCommands:
     def test_missing_file_reports_error(self, tmp_path):
         code, _output = _run(["stats", str(tmp_path / "missing.xml")])
         assert code == 2
+
+
+class TestEngineFlag:
+    def test_engine_choices_rejected_early(self, warehouse_file):
+        with pytest.raises(SystemExit):
+            _run(["probability", warehouse_file, "/catalog/movie", "--engine", "guess"])
+
+    def test_probability_same_under_both_engines(self, warehouse_file):
+        code_formula, out_formula = _run(
+            ["probability", warehouse_file, "/catalog/movie", "--engine", "formula"]
+        )
+        code_enumerate, out_enumerate = _run(
+            ["probability", warehouse_file, "/catalog/movie", "--engine", "enumerate"]
+        )
+        assert code_formula == code_enumerate == 0
+        assert out_formula == out_enumerate
+
+    def test_validate_accepts_engine_flag(self, warehouse_file):
+        code, output = _run(
+            [
+                "validate",
+                warehouse_file,
+                "--dtd",
+                "catalog: movie*; movie: title?",
+                "--engine",
+                "formula",
+            ]
+        )
+        assert code == 0
+        assert "P(valid)" in output
+
+    def test_worlds_accepts_engine_flag(self, warehouse_file):
+        code_formula, out_formula = _run(
+            ["worlds", warehouse_file, "--top", "2", "--engine", "formula"]
+        )
+        code_enumerate, out_enumerate = _run(
+            ["worlds", warehouse_file, "--top", "2", "--engine", "enumerate"]
+        )
+        assert code_formula == code_enumerate == 0
+        assert out_formula == out_enumerate

@@ -128,3 +128,69 @@ class TestMaintenance:
         assert catalog.dtd_satisfiable(at_least_one)
         assert not catalog.dtd_valid(at_least_one)
         assert 0.0 < catalog.dtd_probability(at_least_one) < 1.0
+
+
+class TestEngineSelection:
+    def test_default_engine_is_formula(self, catalog):
+        assert catalog.engine == "formula"
+        assert "formula" in repr(catalog)
+
+    def test_invalid_engine_rejected(self):
+        from repro.utils.errors import QueryError
+
+        with pytest.raises(QueryError):
+            ProbXMLWarehouse("catalog", engine="guess")
+        warehouse = ProbXMLWarehouse("catalog")
+        with pytest.raises(QueryError):
+            warehouse.engine = "guess"
+
+    def test_engines_agree_on_facade_operations(self, catalog):
+        enumerating = ProbXMLWarehouse(catalog.probtree.copy(), engine="enumerate")
+        assert catalog.probability("/catalog/movie") == pytest.approx(
+            enumerating.probability("/catalog/movie"), abs=1e-12
+        )
+        dtd = DTD({"catalog": [ChildConstraint.at_least_one("movie")]})
+        assert catalog.dtd_probability(dtd) == pytest.approx(
+            enumerating.dtd_probability(dtd), abs=1e-12
+        )
+        for (_, p_formula), (_, p_enumerate) in zip(
+            catalog.most_probable_worlds(3), enumerating.most_probable_worlds(3)
+        ):
+            assert p_formula == pytest.approx(p_enumerate, abs=1e-12)
+
+    def test_query_many_shares_one_cache(self, catalog):
+        batched = catalog.query_many(["/catalog/movie", "/catalog/movie/title"])
+        assert [len(answers) for answers in batched] == [2, 2]
+        singles = [catalog.query("/catalog/movie"), catalog.query("/catalog/movie/title")]
+        for batch, single in zip(batched, singles):
+            assert [a.probability for a in batch] == pytest.approx(
+                [a.probability for a in single]
+            )
+
+
+class TestDefaultFocus:
+    def test_query_without_node_count_raises(self, catalog):
+        from repro.queries.base import Match, Query
+        from repro.utils.errors import QueryError
+
+        class OpaqueQuery(Query):
+            """A query exposing matches but no node_count()."""
+
+            def matches(self, tree):
+                return [Match.from_dict({0: tree.root})]
+
+        with pytest.raises(QueryError, match="node_count"):
+            catalog.insert(OpaqueQuery(), tree("extra"), confidence=0.5)
+        with pytest.raises(QueryError, match="at="):
+            catalog.delete(OpaqueQuery(), confidence=0.5)
+
+    def test_explicit_at_still_works_without_node_count(self, catalog):
+        from repro.queries.base import Match, Query
+
+        class OpaqueQuery(Query):
+            def matches(self, tree):
+                return [Match.from_dict({0: tree.root})]
+
+        before = catalog.document.node_count()
+        catalog.insert(OpaqueQuery(), tree("extra"), at=0, confidence=0.5)
+        assert catalog.document.node_count() == before + 1

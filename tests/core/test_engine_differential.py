@@ -1,0 +1,142 @@
+"""Randomized differential harness: formula engine vs possible-world enumeration.
+
+Every test generates seeded random prob-trees (through the shared generators
+in ``tests/conftest.py``) and checks that the formula engine — Shannon
+expansion over event formulas, never materializing worlds — agrees with the
+exhaustive ``engine="enumerate"`` oracle to 1e-9.  Together the tests cover
+well over 200 seeded cases across boolean query probability, Definition 8
+answer probabilities, DTD satisfaction, thresholding and the normalized
+possible-world semantics itself.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.probability import formula_pwset
+from repro.core.semantics import possible_worlds
+from repro.dtd.probtree_dtd import (
+    dtd_satisfaction_probability,
+    dtd_satisfiable,
+    dtd_valid,
+)
+from repro.equivalence.semantic import semantically_equivalent
+from repro.queries.evaluation import (
+    boolean_probability,
+    evaluate_many,
+    evaluate_on_probtree,
+)
+from repro.threshold.threshold import most_probable_worlds, threshold_worlds
+
+from tests.conftest import draw_dtd, draw_probtree, draw_query
+
+TOLERANCE = 1e-9
+
+BOOLEAN_CASES = 80
+DTD_CASES = 60
+THRESHOLD_CASES = 40
+WORLDS_CASES = 40
+
+
+def test_case_budget_is_at_least_200():
+    """The harness below must keep exercising >= 200 seeded random cases."""
+    assert BOOLEAN_CASES + DTD_CASES + THRESHOLD_CASES + WORLDS_CASES >= 200
+
+
+@pytest.mark.parametrize("seed", range(BOOLEAN_CASES))
+def test_boolean_probability_matches_enumeration(seed):
+    rng = random.Random(1000 + seed)
+    probtree = draw_probtree(rng)
+    query = draw_query(rng, probtree.tree)
+    fast = boolean_probability(query, probtree, engine="formula")
+    slow = boolean_probability(query, probtree, engine="enumerate")
+    assert math.isclose(fast, slow, abs_tol=TOLERANCE)
+    # Cross-check against a third, fully independent implementation: run the
+    # query in every explicitly materialized world.
+    brute = sum(
+        probability
+        for world, probability in possible_worlds(
+            probtree, restrict_to_used=True, normalize=False
+        )
+        if query.selects(world)
+    )
+    assert math.isclose(fast, brute, abs_tol=TOLERANCE)
+    # Definition 8 answers must not depend on the engine either.
+    for left, right in zip(
+        evaluate_on_probtree(query, probtree, engine="formula"),
+        evaluate_many([query], probtree, engine="enumerate")[0],
+    ):
+        assert math.isclose(left.probability, right.probability, abs_tol=TOLERANCE)
+        assert left.tree.same_tree(right.tree)
+
+
+@pytest.mark.parametrize("seed", range(DTD_CASES))
+def test_dtd_satisfaction_matches_enumeration(seed):
+    rng = random.Random(2000 + seed)
+    probtree = draw_probtree(rng)
+    dtd = draw_dtd(rng)
+    fast = dtd_satisfaction_probability(probtree, dtd, engine="formula")
+    slow = dtd_satisfaction_probability(probtree, dtd, engine="enumerate")
+    assert math.isclose(fast, slow, abs_tol=TOLERANCE)
+    assert -TOLERANCE <= fast <= 1.0 + TOLERANCE
+    # The decision procedures must agree exactly (SAT check vs world search).
+    assert dtd_satisfiable(probtree, dtd, engine="formula") == dtd_satisfiable(
+        probtree, dtd, engine="enumerate"
+    )
+    assert dtd_valid(probtree, dtd, engine="formula") == dtd_valid(
+        probtree, dtd, engine="enumerate"
+    )
+
+
+@pytest.mark.parametrize("seed", range(THRESHOLD_CASES))
+def test_threshold_matches_enumeration(seed):
+    rng = random.Random(3000 + seed)
+    probtree = draw_probtree(rng)
+    threshold = rng.choice((0.05, 0.1, 0.25, 0.5))
+    fast = threshold_worlds(probtree, threshold, engine="formula")
+    slow = threshold_worlds(probtree, threshold, engine="enumerate")
+    assert fast.isomorphic(slow)
+    top_fast = most_probable_worlds(probtree, count=3, engine="formula")
+    top_slow = most_probable_worlds(probtree, count=3, engine="enumerate")
+    assert len(top_fast) == len(top_slow)
+    for (_, p_fast), (_, p_slow) in zip(top_fast, top_slow):
+        assert math.isclose(p_fast, p_slow, abs_tol=TOLERANCE)
+
+
+@pytest.mark.parametrize("seed", range(WORLDS_CASES))
+def test_normalized_semantics_matches_enumeration(seed):
+    rng = random.Random(4000 + seed)
+    probtree = draw_probtree(rng)
+    fast = formula_pwset(probtree)
+    slow = possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    assert fast.isomorphic(slow)
+    assert math.isclose(fast.total_probability(), 1.0, abs_tol=1e-6)
+    # Semantic equivalence must agree with itself across engines: a prob-tree
+    # is always equivalent to its own copy.
+    assert semantically_equivalent(probtree, probtree.copy(), engine="formula")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(40))
+def test_differential_larger_instances(seed):
+    """Bigger trees and event pools; slow, run with --runslow."""
+    rng = random.Random(5000 + seed)
+    probtree = draw_probtree(rng, max_nodes=14, event_count=8, max_literals=3)
+    query = draw_query(rng, probtree.tree)
+    assert math.isclose(
+        boolean_probability(query, probtree, engine="formula"),
+        boolean_probability(query, probtree, engine="enumerate"),
+        abs_tol=TOLERANCE,
+    )
+    dtd = draw_dtd(rng)
+    assert math.isclose(
+        dtd_satisfaction_probability(probtree, dtd, engine="formula"),
+        dtd_satisfaction_probability(probtree, dtd, engine="enumerate"),
+        abs_tol=TOLERANCE,
+    )
+    assert formula_pwset(probtree).isomorphic(
+        possible_worlds(probtree, restrict_to_used=True, normalize=True)
+    )
