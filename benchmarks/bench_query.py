@@ -5,6 +5,10 @@ the data-tree evaluation plus O(|Q(t)|·|T|) — i.e. it stays polynomial and
 close to querying the plain document — whereas evaluating through the
 explicit possible-world set multiplies the work by the (potentially
 exponential) number of worlds.
+
+The matcher is pinned to ``"naive"`` throughout so this series stays
+comparable with earlier recorded trajectories; the indexed-vs-naive matcher
+comparison lives in ``bench_query_plan.py``.
 """
 
 import time
@@ -42,10 +46,10 @@ def test_query_scaling_series(benchmark):
     for size in SIZES:
         probtree = _workload(size)
         start = time.perf_counter()
-        data_answers = evaluate_on_datatree(QUERY, probtree.tree)
+        data_answers = evaluate_on_datatree(QUERY, probtree.tree, matcher="naive")
         data_time = time.perf_counter() - start
         start = time.perf_counter()
-        prob_answers = evaluate_on_probtree(QUERY, probtree)
+        prob_answers = evaluate_on_probtree(QUERY, probtree, matcher="naive")
         prob_time = time.perf_counter() - start
         rows.append(
             (
@@ -70,14 +74,14 @@ def test_query_scaling_series(benchmark):
 def test_query_on_probtree(benchmark, size):
     probtree = _workload(size)
     benchmark.group = "E3 query prob-tree"
-    benchmark(lambda: evaluate_on_probtree(QUERY, probtree))
+    benchmark(lambda: evaluate_on_probtree(QUERY, probtree, matcher="naive"))
 
 
 @pytest.mark.parametrize("size", [200, 800])
 def test_query_on_datatree(benchmark, size):
     probtree = _workload(size)
     benchmark.group = "E3 query data tree"
-    benchmark(lambda: evaluate_on_datatree(QUERY, probtree.tree))
+    benchmark(lambda: evaluate_on_datatree(QUERY, probtree.tree, matcher="naive"))
 
 
 @pytest.mark.parametrize("events", [4, 8, 12])
@@ -89,4 +93,8 @@ def test_query_through_possible_worlds(benchmark, events):
     worlds = possible_worlds(probtree, normalize=True)
     benchmark.group = "E2 query via explicit PW set"
     benchmark.extra_info["world_count"] = len(worlds)
-    benchmark(lambda: evaluate_on_pwset(QUERY, worlds))
+    # dedup_worlds=False: the set is already normalized, and the pinned
+    # baseline should keep measuring exactly the pre-indexed-matcher path.
+    benchmark(
+        lambda: evaluate_on_pwset(QUERY, worlds, matcher="naive", dedup_worlds=False)
+    )

@@ -65,13 +65,15 @@ def parse_dtd_spec(spec: str) -> DTD:
     return dtd
 
 
-def _load(path: str, engine: str = "formula") -> ProbXMLWarehouse:
+def _load(
+    path: str, engine: str = "formula", matcher: str = "indexed"
+) -> ProbXMLWarehouse:
     text = Path(path).read_text()
-    return ProbXMLWarehouse(probtree_from_xml(text), engine=engine)
+    return ProbXMLWarehouse(probtree_from_xml(text), engine=engine, matcher=matcher)
 
 
 def _command_stats(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine)
+    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
     probtree = warehouse.probtree
     print(f"nodes          : {probtree.node_count()}", file=output)
     print(f"literals       : {probtree.literal_count()}", file=output)
@@ -82,14 +84,14 @@ def _command_stats(arguments: argparse.Namespace, output) -> int:
 
 
 def _command_worlds(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine)
+    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
     for world, probability in warehouse.most_probable_worlds(arguments.top):
         print(f"p = {probability:.6f}  {world.to_nested()}", file=output)
     return 0
 
 
 def _command_query(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine)
+    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
     if arguments.top is not None:
         answers = warehouse.top_answers(arguments.path, count=arguments.top)
     else:
@@ -103,14 +105,14 @@ def _command_query(arguments: argparse.Namespace, output) -> int:
 
 
 def _command_probability(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine)
+    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
     probability = warehouse.probability(arguments.path)
     print(f"{probability:.6f}", file=output)
     return 0
 
 
 def _command_validate(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine)
+    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
     dtd = parse_dtd_spec(arguments.dtd)
     satisfiable = warehouse.dtd_satisfiable(dtd)
     valid = warehouse.dtd_valid(dtd)
@@ -135,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="formula",
         help="probability engine: 'formula' (Shannon expansion over event "
         "formulas, the default) or 'enumerate' (materialize possible worlds)",
+    )
+    common.add_argument(
+        "--matcher",
+        choices=("indexed", "naive"),
+        default="indexed",
+        help="tree-pattern matcher: 'indexed' (compiled plans over a "
+        "structural index, the default) or 'naive' (direct backtracking)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple, Union
 from repro.core.cleaning import clean
 from repro.core.events import ProbabilityDistribution
 from repro.core.probability import require_engine_mode
+from repro.queries.plan import require_matcher_mode
 from repro.core.probtree import ProbTree
 from repro.core.semantics import possible_worlds
 from repro.dtd.dtd import DTD
@@ -54,10 +55,18 @@ class ProbXMLWarehouse:
     evaluated by Shannon expansion with a shared per-document cache;
     ``"enumerate"`` materializes possible worlds (the paper's reference
     semantics, exponential in the number of used events).
+
+    ``matcher`` selects how tree-pattern embeddings are found:
+    ``"indexed"`` (default) compiles patterns into bottom-up plans over the
+    document's shared structural index; ``"naive"`` is the direct
+    backtracking matcher kept as a differential oracle.
     """
 
     def __init__(
-        self, document: Union[str, DataTree, ProbTree], engine: str = "formula"
+        self,
+        document: Union[str, DataTree, ProbTree],
+        engine: str = "formula",
+        matcher: str = "indexed",
     ) -> None:
         if isinstance(document, ProbTree):
             self._probtree = document
@@ -66,6 +75,7 @@ class ProbXMLWarehouse:
         else:
             self._probtree = ProbTree.certain(DataTree(str(document)))
         self._engine = require_engine_mode(engine)
+        self._matcher = require_matcher_mode(matcher)
 
     # -- state -----------------------------------------------------------------
 
@@ -84,6 +94,15 @@ class ProbXMLWarehouse:
         self._engine = require_engine_mode(mode)
 
     @property
+    def matcher(self) -> str:
+        """The embedding matcher mode (``"indexed"`` or ``"naive"``)."""
+        return self._matcher
+
+    @matcher.setter
+    def matcher(self, mode: str) -> None:
+        self._matcher = require_matcher_mode(mode)
+
+    @property
     def document(self) -> DataTree:
         """The underlying data tree (all nodes, regardless of conditions)."""
         return self._probtree.tree
@@ -99,15 +118,23 @@ class ProbXMLWarehouse:
     def query(self, query: QuerySpec) -> List[QueryAnswer]:
         """Evaluate a locally monotone query; answers carry probabilities."""
         return evaluate_on_probtree(
-            self._resolve(query), self._probtree, engine=self._engine
+            self._resolve(query),
+            self._probtree,
+            engine=self._engine,
+            matcher=self._matcher,
         )
 
     def query_many(self, queries: List[QuerySpec]) -> List[List[QueryAnswer]]:
-        """Evaluate several queries (the per-document cache is shared either way)."""
+        """Evaluate several queries in one batch.
+
+        The structural index of the document and the probability engine's
+        formula cache are built once and shared across the whole batch.
+        """
         return evaluate_many(
             [self._resolve(query) for query in queries],
             self._probtree,
             engine=self._engine,
+            matcher=self._matcher,
         )
 
     def top_answers(self, query: QuerySpec, count: int = 3) -> List[QueryAnswer]:
@@ -117,7 +144,10 @@ class ProbXMLWarehouse:
     def probability(self, query: QuerySpec) -> float:
         """Probability that the query has at least one answer."""
         return boolean_probability(
-            self._resolve(query), self._probtree, engine=self._engine
+            self._resolve(query),
+            self._probtree,
+            engine=self._engine,
+            matcher=self._matcher,
         )
 
     # -- updates -------------------------------------------------------------------
@@ -229,7 +259,8 @@ class ProbXMLWarehouse:
     def __repr__(self) -> str:
         return (
             f"ProbXMLWarehouse(nodes={self._probtree.node_count()}, "
-            f"events={self.event_count()}, engine={self._engine!r})"
+            f"events={self.event_count()}, engine={self._engine!r}, "
+            f"matcher={self._matcher!r})"
         )
 
 

@@ -35,6 +35,7 @@ from repro.core.probtree import ProbTree
 from repro.formulas.dnf import DNF
 from repro.formulas.polynomial import evaluate_characteristic
 from repro.trees.datatree import DataTree, NodeId
+from repro.trees.index import tree_index
 from repro.utils.seeding import RngLike, make_rng
 
 
@@ -118,9 +119,10 @@ class _ClassLabeler:
     def label_tree(self, probtree: ProbTree) -> Dict[NodeId, int]:
         tree = probtree.tree
         classes: Dict[NodeId, int] = {}
-        # Children before parents: process by decreasing depth.
-        nodes = sorted(tree.nodes(), key=lambda node: -tree.depth(node))
-        for node in nodes:
+        # Children before parents: reversed preorder visits every node after
+        # all of its descendants (and the structural index makes it O(n),
+        # where sorting by recomputed depths walked an ancestor chain per node).
+        for node in reversed(tree_index(tree).nodes_in_preorder()):
             classes[node] = self._classify(probtree, node, classes)
         return classes
 

@@ -142,6 +142,23 @@ class Condition:
         """Conjunction of two conditions (set union of their literals)."""
         return Condition(self._literals | other.literals)
 
+    @staticmethod
+    def conjoin_all(conditions: Iterable["Condition"]) -> "Condition":
+        """Conjunction of arbitrarily many conditions in a single pass.
+
+        Equivalent to folding :meth:`conjoin` over *conditions* but linear in
+        the total literal count — repeated pairwise conjunction rebuilds the
+        accumulated frozenset at every step, which is quadratic in the number
+        of conditions (it dominated answer-bundle construction in query
+        evaluation before this existed).
+        """
+        literals: Set[Literal] = set()
+        for condition in conditions:
+            literals |= condition._literals
+        if not literals:
+            return _TRUE
+        return Condition(literals)
+
     def __and__(self, other: "Condition") -> "Condition":
         return self.conjoin(other)
 

@@ -6,19 +6,30 @@
   concrete locally monotone language of [3] / Theorem 1;
 * :mod:`repro.queries.path` — a tiny XPath-like path syntax compiled to tree
   patterns (convenience layer for examples and workloads);
+* :mod:`repro.queries.plan` — compiled tree-pattern plans over structural
+  indexes (the ``"indexed"`` matcher; ``"naive"`` backtracking is the oracle);
 * :mod:`repro.queries.evaluation` — evaluation on data trees, on PW sets
-  (Definition 7) and on prob-trees (Definition 8 / Theorem 1).
+  (Definition 7) and on prob-trees (Definition 8 / Theorem 1), with batch
+  entry points sharing the index and formula caches across queries.
 """
 
 from repro.queries.base import Match, Query, LocallyMonotoneQuery, is_locally_monotone_on
 from repro.queries.treepattern import PatternNode, TreePattern
 from repro.queries.path import parse_path
+from repro.queries.plan import (
+    MATCHER_MODES,
+    PatternPlan,
+    indexed_matches,
+    require_matcher_mode,
+)
 from repro.queries.evaluation import (
     QueryAnswer,
     evaluate_on_datatree,
     evaluate_on_pwset,
     evaluate_on_probtree,
+    evaluate_many,
     boolean_probability,
+    boolean_probability_many,
     answers_isomorphic,
 )
 
@@ -30,10 +41,16 @@ __all__ = [
     "PatternNode",
     "TreePattern",
     "parse_path",
+    "MATCHER_MODES",
+    "PatternPlan",
+    "indexed_matches",
+    "require_matcher_mode",
     "QueryAnswer",
     "evaluate_on_datatree",
     "evaluate_on_pwset",
     "evaluate_on_probtree",
+    "evaluate_many",
     "boolean_probability",
+    "boolean_probability_many",
     "answers_isomorphic",
 ]

@@ -18,7 +18,7 @@ provides:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.probtree import ProbTree
 from repro.formulas.literals import Condition, all_worlds
@@ -26,20 +26,22 @@ from repro.queries.base import Query
 from repro.utils.errors import QueryError
 
 
-def _answer_conditions(query: Query, probtree: ProbTree) -> List[Condition]:
+def _answer_conditions(
+    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+) -> List[Condition]:
     if not query.locally_monotone:
         raise QueryError("aggregates are only defined for locally monotone queries")
     conditions = []
-    for nodes in query.result_node_sets(probtree.tree):
-        condition = Condition.true()
-        for node in nodes:
-            condition = condition.conjoin(probtree.condition(node))
+    for nodes in query.result_node_sets(probtree.tree, matcher=matcher):
+        condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         if condition.is_consistent():
             conditions.append(condition)
     return conditions
 
 
-def expected_match_count(query: Query, probtree: ProbTree) -> float:
+def expected_match_count(
+    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+) -> float:
     """Expected number of answers of *query* over the possible worlds.
 
     Runs in time ``O(|Q(t)| · |T|)`` — each answer contributes the probability
@@ -49,11 +51,13 @@ def expected_match_count(query: Query, probtree: ProbTree) -> float:
     distribution = probtree.distribution.as_dict()
     return sum(
         condition.probability(distribution)
-        for condition in _answer_conditions(query, probtree)
+        for condition in _answer_conditions(query, probtree, matcher=matcher)
     )
 
 
-def match_count_distribution(query: Query, probtree: ProbTree) -> Dict[int, float]:
+def match_count_distribution(
+    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+) -> Dict[int, float]:
     """Exact distribution of the number of answers.
 
     The enumeration is restricted to the events mentioned by at least one
@@ -62,7 +66,7 @@ def match_count_distribution(query: Query, probtree: ProbTree) -> Dict[int, floa
     probability that the count is zero subsumes the boolean-query problem the
     paper shows hard for the formula variant).
     """
-    conditions = _answer_conditions(query, probtree)
+    conditions = _answer_conditions(query, probtree, matcher=matcher)
     touched = sorted(set().union(*(c.events() for c in conditions)) if conditions else set())
     distribution = probtree.distribution
     result: Dict[int, float] = {}
@@ -75,17 +79,21 @@ def match_count_distribution(query: Query, probtree: ProbTree) -> Dict[int, floa
     return dict(sorted(result.items()))
 
 
-def probability_count_at_least(query: Query, probtree: ProbTree, k: int) -> float:
+def probability_count_at_least(
+    query: Query, probtree: ProbTree, k: int, matcher: Optional[str] = None
+) -> float:
     """Probability that the query has at least *k* answers."""
     if k <= 0:
         return 1.0
-    distribution = match_count_distribution(query, probtree)
+    distribution = match_count_distribution(query, probtree, matcher=matcher)
     return sum(probability for count, probability in distribution.items() if count >= k)
 
 
-def variance_of_match_count(query: Query, probtree: ProbTree) -> float:
+def variance_of_match_count(
+    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+) -> float:
     """Variance of the number of answers (via the exact distribution)."""
-    distribution = match_count_distribution(query, probtree)
+    distribution = match_count_distribution(query, probtree, matcher=matcher)
     mean = sum(count * probability for count, probability in distribution.items())
     return sum(
         probability * (count - mean) ** 2 for count, probability in distribution.items()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.trees.datatree import DataTree, NodeId
 from repro.trees.subdatatree import enumerate_sub_datatrees, is_sub_datatree
@@ -41,7 +41,12 @@ class Match:
 
     @staticmethod
     def from_dict(mapping: Dict[QueryNodeId, NodeId]) -> "Match":
-        return Match(tuple(sorted(mapping.items(), key=lambda item: repr(item[0]))))
+        try:
+            # Query node ids are usually all ints (tree patterns), where the
+            # natural order is well defined and much cheaper than repr.
+            return Match(tuple(sorted(mapping.items())))
+        except TypeError:
+            return Match(tuple(sorted(mapping.items(), key=lambda item: repr(item[0]))))
 
     def as_dict(self) -> Dict[QueryNodeId, NodeId]:
         return dict(self.mapping)
@@ -74,31 +79,43 @@ class Query(ABC):
     def matches(self, tree: DataTree) -> List[Match]:
         """All embeddings of the query into *tree*."""
 
-    def results(self, tree: DataTree) -> List[DataTree]:
+    def matches_with(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
+        """Embeddings via a named matcher (``"indexed"`` | ``"naive"``).
+
+        Query classes with alternative matching strategies (notably
+        :class:`~repro.queries.treepattern.TreePattern`) override this to
+        dispatch; the default ignores *matcher* so ad-hoc query classes only
+        have to implement :meth:`matches`.
+        """
+        return self.matches(tree)
+
+    def results(self, tree: DataTree, matcher: Optional[str] = None) -> List[DataTree]:
         """The answer set ``Q(t)``: distinct sub-datatrees induced by matches."""
         seen: set = set()
         answers: List[DataTree] = []
-        for match in self.matches(tree):
+        for match in self.matches_with(tree, matcher):
             nodes = match.answer_nodes(tree)
             if nodes not in seen:
                 seen.add(nodes)
                 answers.append(tree.restrict(nodes))
         return answers
 
-    def result_node_sets(self, tree: DataTree) -> List[FrozenSet[NodeId]]:
+    def result_node_sets(
+        self, tree: DataTree, matcher: Optional[str] = None
+    ) -> List[FrozenSet[NodeId]]:
         """Node sets of the distinct answer sub-datatrees (cheaper than trees)."""
         seen: set = set()
         ordered: List[FrozenSet[NodeId]] = []
-        for match in self.matches(tree):
+        for match in self.matches_with(tree, matcher):
             nodes = match.answer_nodes(tree)
             if nodes not in seen:
                 seen.add(nodes)
                 ordered.append(nodes)
         return ordered
 
-    def selects(self, tree: DataTree) -> bool:
+    def selects(self, tree: DataTree, matcher: Optional[str] = None) -> bool:
         """Whether the query has at least one match on *tree*."""
-        return bool(self.matches(tree))
+        return bool(self.matches_with(tree, matcher))
 
     def __call__(self, tree: DataTree) -> List[DataTree]:
         return self.results(tree)

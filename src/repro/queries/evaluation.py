@@ -4,12 +4,33 @@ Three evaluation modes, mirroring the paper:
 
 * on a **data tree** — just run the query (Definition 6);
 * on a **PW set** — run the query in every world and keep the world's
-  probability (Definition 7); answers do not sum to 1;
+  probability (Definition 7); answers do not sum to 1.  Worlds are first
+  grouped by canonical encoding so each isomorphism class is queried once
+  (answers are still emitted per original world);
 * on a **prob-tree** — run the query once on the underlying data tree and
   attach to every answer the probability of the conjunction of the conditions
   of its nodes (Definition 8).  Theorem 1 states the last two agree up to
   isomorphism for locally monotone queries; :func:`answers_isomorphic` is the
   comparison used by the test suite to check exactly that.
+
+Two orthogonal strategy knobs thread through every entry point, each pairing
+a fast default with a slow reference kept as a differential-testing oracle:
+
+* ``engine="formula" | "enumerate"`` — how answer probabilities are priced
+  (Shannon expansion over event formulas vs. possible-world enumeration, see
+  :mod:`repro.core.probability`);
+* ``matcher="indexed" | "naive"`` — how embeddings are found.  ``"indexed"``
+  (default) goes through the compiled three-stage pipeline of
+  :mod:`repro.queries.plan`: a shared structural **index** over the tree
+  (preorder intervals + label posting lists, :mod:`repro.trees.index`), a
+  bottom-up **plan** (candidate seeding, structural semijoins, join
+  pushdown), then memoized **embedding enumeration**.  ``"naive"`` is the
+  direct backtracking matcher.  Both return identical match sets, so the
+  semantics of Definitions 6–8 are untouched by the choice.
+
+The ``*_many`` batch entry points evaluate several queries against one
+prob-tree: the structural index and the probability engine (with its
+memoized formula cache) are resolved once and shared across all queries.
 """
 
 from __future__ import annotations
@@ -24,7 +45,9 @@ from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition
 from repro.pw.pwset import PWSet
 from repro.queries.base import Match, Query
+from repro.queries.plan import require_matcher_mode
 from repro.trees.datatree import DataTree
+from repro.trees.index import tree_index
 from repro.trees.isomorphism import canonical_encoding
 from repro.utils.errors import QueryError
 
@@ -42,17 +65,54 @@ class QueryAnswer:
     probability: float = 1.0
 
 
-def evaluate_on_datatree(query: Query, tree: DataTree) -> List[QueryAnswer]:
+def evaluate_on_datatree(
+    query: Query, tree: DataTree, matcher: Optional[str] = None
+) -> List[QueryAnswer]:
     """Evaluate a query on a single data tree (all answers have probability 1)."""
-    return [QueryAnswer(answer, 1.0) for answer in query.results(tree)]
+    return [QueryAnswer(answer, 1.0) for answer in query.results(tree, matcher=matcher)]
 
 
-def evaluate_on_pwset(query: Query, pwset: PWSet) -> List[QueryAnswer]:
-    """Evaluate a query on every possible world (Definition 7)."""
-    answers: List[QueryAnswer] = []
+def evaluate_on_pwset(
+    query: Query,
+    pwset: PWSet,
+    matcher: Optional[str] = None,
+    dedup_worlds: bool = True,
+) -> List[QueryAnswer]:
+    """Evaluate a query on every possible world (Definition 7).
+
+    With ``dedup_worlds`` (default) worlds are grouped by canonical encoding
+    first, so a PW set carrying duplicate (isomorphic) worlds — unnormalized
+    sets routinely do — runs the query once per distinct world instead of
+    re-matching every duplicate.  Answers are still emitted once per
+    *original* world with that world's own probability, so the answer
+    multiset (cardinality and per-answer weights) is preserved up to
+    isomorphism; note the answers of merged duplicates are sub-datatrees of
+    the group's *representative* world.  Callers that resolve answer node
+    ids against their own world objects, or feed already-normalized sets
+    (where the grouping can only cost one canonical encoding per world
+    without merging anything), can pass ``dedup_worlds=False`` for the
+    plain world-by-world evaluation.
+    """
+    if not dedup_worlds:
+        answers: List[QueryAnswer] = []
+        for world_tree, probability in pwset:
+            for answer in query.results(world_tree, matcher=matcher):
+                answers.append(QueryAnswer(answer, probability))
+        return answers
+    grouped: Dict[str, List] = {}
     for world_tree, probability in pwset:
-        for answer in query.results(world_tree):
-            answers.append(QueryAnswer(answer, probability))
+        key = canonical_encoding(world_tree)
+        entry = grouped.get(key)
+        if entry is None:
+            grouped[key] = [world_tree, [probability]]
+        else:
+            entry[1].append(probability)
+    answers = []
+    for world_tree, probabilities in grouped.values():
+        results = query.results(world_tree, matcher=matcher)
+        for probability in probabilities:
+            for answer in results:
+                answers.append(QueryAnswer(answer, probability))
     return answers
 
 
@@ -61,6 +121,7 @@ def _answers_with_engine(
     probtree: ProbTree,
     engine: ProbabilityEngine,
     keep_zero_probability: bool,
+    matcher: Optional[str] = None,
 ) -> List[QueryAnswer]:
     if not query.locally_monotone:
         raise QueryError(
@@ -68,10 +129,8 @@ def _answers_with_engine(
         )
     tree = probtree.tree
     answers: List[QueryAnswer] = []
-    for nodes in query.result_node_sets(tree):
-        condition = Condition.true()
-        for node in nodes:
-            condition = condition.conjoin(probtree.condition(node))
+    for nodes in query.result_node_sets(tree, matcher=matcher):
+        condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         probability = engine.condition_probability(condition)
         if probability <= 0.0 and not keep_zero_probability:
             continue
@@ -84,6 +143,7 @@ def evaluate_on_probtree(
     probtree: ProbTree,
     keep_zero_probability: bool = False,
     engine: str = "formula",
+    matcher: Optional[str] = None,
 ) -> List[QueryAnswer]:
     """Evaluate a locally monotone query on a prob-tree (Definition 8).
 
@@ -91,13 +151,16 @@ def evaluate_on_probtree(
     probability ``eval(⋃_{n ∈ u} γ(n))`` — zero (and dropped by default) when
     the union of conditions is inconsistent.  Answer probabilities go through
     the prob-tree's shared :class:`ProbabilityEngine`, so conditions repeated
-    across answers (or across queries) are priced once.
+    across answers (or across queries) are priced once; embeddings are found
+    by the matcher selected with ``matcher`` (see the module docstring).
 
     Raises :class:`QueryError` if the query declares itself non locally
     monotone: Definition 8 is not sound for such queries.
     """
     shared = engine_for(probtree, mode=require_engine_mode(engine))
-    return _answers_with_engine(query, probtree, shared, keep_zero_probability)
+    return _answers_with_engine(
+        query, probtree, shared, keep_zero_probability, matcher=matcher
+    )
 
 
 def evaluate_many(
@@ -105,36 +168,45 @@ def evaluate_many(
     probtree: ProbTree,
     keep_zero_probability: bool = False,
     engine: str = "formula",
+    matcher: Optional[str] = None,
 ) -> List[List[QueryAnswer]]:
     """Batched Definition 8 evaluation: one answer list per query.
 
-    Equivalent to calling :func:`evaluate_on_probtree` per query — the
-    per-probtree engine cache is shared either way through
-    :func:`~repro.core.probability.engine_for` — but the engine is resolved
-    once and batch callers get a single stable entry point.
+    The shared resources are resolved exactly once for the whole batch: the
+    probability engine (and its memoized formula cache) through
+    :func:`~repro.core.probability.engine_for`, and — when the indexed
+    matcher is selected — the structural :class:`~repro.trees.index.TreeIndex`
+    of the underlying data tree, which every per-query plan then reuses.
     """
     shared = engine_for(probtree, mode=require_engine_mode(engine))
+    if require_matcher_mode(matcher) == "indexed":
+        tree_index(probtree.tree)  # build once; plans fetch the cached snapshot
     return [
-        _answers_with_engine(query, probtree, shared, keep_zero_probability)
+        _answers_with_engine(
+            query, probtree, shared, keep_zero_probability, matcher=matcher
+        )
         for query in queries
     ]
 
 
-def _boolean_dnf(query: Query, probtree: ProbTree) -> DNF:
+def _boolean_dnf(
+    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+) -> DNF:
     """The DNF over answer-condition bundles whose probability is the query's."""
     tree = probtree.tree
     disjuncts = []
-    for nodes in query.result_node_sets(tree):
-        condition = Condition.true()
-        for node in nodes:
-            condition = condition.conjoin(probtree.condition(node))
+    for nodes in query.result_node_sets(tree, matcher=matcher):
+        condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         if condition.is_consistent():
             disjuncts.append(condition)
     return DNF(disjuncts)
 
 
 def boolean_probability(
-    query: Query, probtree: ProbTree, engine: str = "formula"
+    query: Query,
+    probtree: ProbTree,
+    engine: str = "formula",
+    matcher: Optional[str] = None,
 ) -> float:
     """Probability that the query has at least one answer on the prob-tree.
 
@@ -146,7 +218,7 @@ def boolean_probability(
     worlds — the exponential reference the paper's Section 5 shows is
     unavoidable in the worst case, kept as a differential oracle.
     """
-    disjuncts = _boolean_dnf(query, probtree)
+    disjuncts = _boolean_dnf(query, probtree, matcher=matcher)
     if len(disjuncts) == 0:
         return 0.0
     if require_engine_mode(engine) == "enumerate":
@@ -155,11 +227,24 @@ def boolean_probability(
 
 
 def boolean_probability_many(
-    queries: Sequence[Query], probtree: ProbTree, engine: str = "formula"
+    queries: Sequence[Query],
+    probtree: ProbTree,
+    engine: str = "formula",
+    matcher: Optional[str] = None,
 ) -> List[float]:
-    """Batched :func:`boolean_probability` (equivalent to a loop; the
-    per-probtree formula cache is shared either way)."""
-    return [boolean_probability(query, probtree, engine=engine) for query in queries]
+    """Batched :func:`boolean_probability`.
+
+    Like :func:`evaluate_many`, the structural index is built once up front
+    (for the indexed matcher) and the per-probtree formula cache is shared
+    across the whole batch.
+    """
+    require_engine_mode(engine)
+    if require_matcher_mode(matcher) == "indexed":
+        tree_index(probtree.tree)  # build once; plans fetch the cached snapshot
+    return [
+        boolean_probability(query, probtree, engine=engine, matcher=matcher)
+        for query in queries
+    ]
 
 
 def aggregate_by_isomorphism(answers: List[QueryAnswer]) -> Dict[str, float]:

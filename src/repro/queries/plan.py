@@ -1,0 +1,247 @@
+"""Compiled tree-pattern evaluation plans (the ``"indexed"`` matcher).
+
+The naive matcher in :mod:`repro.queries.treepattern` backtracks over the
+tree directly: every descendant edge re-walks ``tree.descendants()``, label
+tests are per-node string comparisons, and shared subpatterns are re-matched
+once per enclosing candidate.  This module lowers a pattern into a bottom-up
+plan executed against a :class:`~repro.trees.index.TreeIndex`:
+
+1. **candidate seeding** — each pattern node starts from the label inverted
+   index (or the full preorder for wildcards), so label selectivity is
+   exploited before any structure is looked at;
+2. **bottom-up structural semijoins** — candidates of a pattern node are
+   filtered to those with at least one structurally-related candidate per
+   pattern child: child edges through a parent-set semijoin, descendant
+   edges through binary search on preorder intervals;
+3. **join pushdown** — a label-equality join restricts both endpoints to
+   the intersection of their candidates' label sets before any embedding is
+   enumerated;
+4. **memoized embedding enumeration** — embeddings of the subpattern rooted
+   at ``p`` with ``p ↦ v`` are computed once per ``(p, v)`` pair, so a
+   subpattern reachable from many candidates is matched exactly once.
+
+The two matchers are observationally identical — they return the same
+embedding sets (the plan only ever *prunes* candidates that cannot occur in
+an embedding, and the enumeration re-verifies every edge) — so the naive
+matcher is kept as a differential-testing oracle, mirroring the
+``engine="enumerate"`` convention of :mod:`repro.core.probability`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.queries.base import Match
+from repro.trees.datatree import DataTree, NodeId
+from repro.trees.index import TreeIndex, tree_index
+from repro.utils.errors import QueryError
+
+#: The matcher modes understood throughout the library.
+MATCHER_MODES = ("indexed", "naive")
+
+#: The matcher used when callers do not choose one.
+DEFAULT_MATCHER = "indexed"
+
+
+def require_matcher_mode(mode: Optional[str]) -> str:
+    """Validate a ``matcher=`` argument; ``None`` selects the default."""
+    if mode is None:
+        return DEFAULT_MATCHER
+    if mode not in MATCHER_MODES:
+        raise QueryError(
+            f"unknown matcher {mode!r}; expected one of {MATCHER_MODES}"
+        )
+    return mode
+
+
+class PatternPlan:
+    """A compiled evaluation plan for one pattern against one indexed tree.
+
+    The plan is cheap to build (a few linear passes over candidate lists)
+    and single-use: build, call :meth:`matches`, discard.  The underlying
+    :class:`TreeIndex` is shared through :func:`tree_index`, so evaluating
+    many patterns against the same tree pays the O(n) index build once.
+    """
+
+    def __init__(
+        self, pattern, tree: DataTree, index: Optional[TreeIndex] = None
+    ) -> None:
+        self._pattern = pattern
+        self._tree = tree
+        self._index = index if index is not None else tree_index(tree)
+        self._specs = {spec.node_id: spec for spec in pattern.pattern_nodes()}
+        # Children-before-parents order over pattern nodes (patterns are tiny,
+        # so a sort by depth-from-root computed by chasing parents is fine).
+        self._postorder = self._pattern_postorder()
+
+    # -- plan construction ---------------------------------------------------
+
+    def _pattern_postorder(self) -> List[int]:
+        pattern = self._pattern
+        order: List[int] = []
+        stack = [pattern.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(pattern.pattern_children(node))
+        order.reverse()
+        return order
+
+    def _seed_candidates(self) -> Dict[int, List[NodeId]]:
+        """Per-pattern-node candidate lists from the label index, in preorder."""
+        tree, index = self._tree, self._index
+        from repro.queries.treepattern import WILDCARD  # local: avoids an import cycle
+
+        root = tree.root
+        candidates: Dict[int, List[NodeId]] = {}
+        for node_id, spec in self._specs.items():
+            if node_id == self._pattern.root:
+                matched = spec.label_matches(tree.root_label)
+                candidates[node_id] = [root] if matched else []
+                continue
+            # Non-root pattern nodes sit strictly below the pattern root,
+            # which is pinned to the tree root — drop the root candidate.
+            # Posting lists are preorder-sorted, so the root can only be first.
+            if spec.label == WILDCARD:
+                pool = index.nodes_in_preorder()
+            else:
+                pool = index.nodes_with_label(spec.label)
+            candidates[node_id] = list(pool[1:] if pool and pool[0] == root else pool)
+        return candidates
+
+    def _semijoin_filter(self, candidates: Dict[int, List[NodeId]]) -> None:
+        """Bottom-up: keep candidates with structural support for every child."""
+        from repro.queries.treepattern import EDGE_CHILD  # local: avoids an import cycle
+
+        tree = self._tree
+        pre = self._index.preorder_map()
+        last = self._index.subtree_last_map()
+        for node_id in self._postorder:
+            for child_id in self._pattern.pattern_children(node_id):
+                child_candidates = candidates[child_id]
+                if not child_candidates:
+                    candidates[node_id] = []
+                    break
+                if self._specs[child_id].edge == EDGE_CHILD:
+                    parents = {tree.parent(u) for u in child_candidates}
+                    candidates[node_id] = [v for v in candidates[node_id] if v in parents]
+                else:
+                    # Both lists are in preorder, so the first child candidate
+                    # past each interval start is found by a single merge pass.
+                    pres = [pre[u] for u in child_candidates]
+                    count = len(pres)
+                    kept = []
+                    cursor = 0
+                    for v in candidates[node_id]:
+                        lo = pre[v]
+                        while cursor < count and pres[cursor] <= lo:
+                            cursor += 1
+                        if cursor < count and pres[cursor] <= last[v]:
+                            kept.append(v)
+                    candidates[node_id] = kept
+
+    def _push_down_joins(self, candidates: Dict[int, List[NodeId]]) -> None:
+        """Restrict join endpoints to the labels both sides can produce."""
+        tree = self._tree
+        for first, second in self._pattern.joins():
+            first_labels = {tree.label(v) for v in candidates[first]}
+            second_labels = {tree.label(v) for v in candidates[second]}
+            common = first_labels & second_labels
+            if common != first_labels:
+                candidates[first] = [
+                    v for v in candidates[first] if tree.label(v) in common
+                ]
+            if common != second_labels:
+                candidates[second] = [
+                    v for v in candidates[second] if tree.label(v) in common
+                ]
+
+    # -- execution -----------------------------------------------------------
+
+    def matches(self) -> List[Match]:
+        """All embeddings, as :class:`Match` objects (join-filtered)."""
+        joins = self._pattern.joins()
+        embeddings = self.embeddings()
+        if joins:
+            label = self._tree.label
+            embeddings = [
+                e for e in embeddings
+                if all(label(e[a]) == label(e[b]) for a, b in joins)
+            ]
+        return [Match.from_dict(e) for e in embeddings]
+
+    def embeddings(self) -> List[Dict[int, NodeId]]:
+        """All embeddings surviving candidate pruning, before the final join check.
+
+        Join-label pushdown has already been applied, so embeddings whose
+        join endpoints cannot possibly carry equal labels are pruned here;
+        the exact per-embedding join equality test happens in
+        :meth:`matches`.  Use :meth:`matches` for the join-complete result.
+        """
+        from repro.queries.treepattern import EDGE_CHILD  # local: avoids an import cycle
+
+        candidates = self._seed_candidates()
+        self._semijoin_filter(candidates)
+        self._push_down_joins(candidates)
+        root = self._pattern.root
+        if not candidates[root]:
+            return []
+
+        tree = self._tree
+        pre = self._index.preorder_map()
+        last = self._index.subtree_last_map()
+        pattern_children = self._pattern.pattern_children
+        specs = self._specs
+        candidate_sets = {node_id: set(nodes) for node_id, nodes in candidates.items()}
+        candidate_pres = {
+            node_id: [pre[u] for u in nodes] for node_id, nodes in candidates.items()
+        }
+        memo: Dict[Tuple[int, NodeId], List[Dict[int, NodeId]]] = {}
+
+        def embed(pattern_node: int, tree_node: NodeId) -> List[Dict[int, NodeId]]:
+            key = (pattern_node, tree_node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            partials: List[Dict[int, NodeId]] = [{pattern_node: tree_node}]
+            for child_id in pattern_children(pattern_node):
+                if specs[child_id].edge == EDGE_CHILD:
+                    allowed = candidate_sets[child_id]
+                    child_nodes: Sequence[NodeId] = [
+                        u for u in tree.children(tree_node) if u in allowed
+                    ]
+                else:
+                    pres = candidate_pres[child_id]
+                    start = bisect_right(pres, pre[tree_node])
+                    stop = bisect_right(pres, last[tree_node])
+                    child_nodes = candidates[child_id][start:stop]
+                child_embeddings: List[Dict[int, NodeId]] = []
+                for u in child_nodes:
+                    child_embeddings.extend(embed(child_id, u))
+                if not child_embeddings:
+                    memo[key] = []
+                    return memo[key]
+                partials = [
+                    {**left, **right}
+                    for left in partials
+                    for right in child_embeddings
+                ]
+            memo[key] = partials
+            return partials
+
+        return embed(root, tree.root)
+
+
+def indexed_matches(pattern, tree: DataTree, index: Optional[TreeIndex] = None) -> List[Match]:
+    """Convenience: compile and execute a plan for *pattern* on *tree*."""
+    return PatternPlan(pattern, tree, index).matches()
+
+
+__all__ = [
+    "MATCHER_MODES",
+    "DEFAULT_MATCHER",
+    "require_matcher_mode",
+    "PatternPlan",
+    "indexed_matches",
+]

@@ -111,8 +111,30 @@ class TreePattern(LocallyMonotoneQuery):
 
     # -- evaluation ---------------------------------------------------------
 
-    def matches(self, tree: DataTree) -> List[Match]:
-        """All embeddings of the pattern into *tree*."""
+    def matches(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
+        """All embeddings of the pattern into *tree*.
+
+        ``matcher`` selects the evaluation strategy:
+
+        * ``"indexed"`` (default) — compile the pattern into a bottom-up plan
+          executed against the tree's shared structural index
+          (:mod:`repro.queries.plan`);
+        * ``"naive"`` — the direct backtracking matcher below, kept as a
+          differential-testing oracle (mirroring ``engine="enumerate"``).
+
+        Both return the same embedding set.
+        """
+        from repro.queries.plan import PatternPlan, require_matcher_mode
+
+        if require_matcher_mode(matcher) == "naive":
+            return self.matches_naive(tree)
+        return PatternPlan(self, tree).matches()
+
+    def matches_with(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
+        return self.matches(tree, matcher=matcher)
+
+    def matches_naive(self, tree: DataTree) -> List[Match]:
+        """The reference backtracking matcher (the ``"naive"`` oracle)."""
         root_pattern = self._nodes[0]
         if not root_pattern.label_matches(tree.root_label):
             return []

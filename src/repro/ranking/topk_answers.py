@@ -51,6 +51,7 @@ def top_k_answers(
     k: int = 3,
     minimum_probability: float = 0.0,
     aggregate_isomorphic: bool = True,
+    matcher: Optional[str] = None,
 ) -> List[QueryAnswer]:
     """The *k* most probable answers of *query* on a prob-tree or a PW set.
 
@@ -62,13 +63,15 @@ def top_k_answers(
         minimum_probability: drop answers strictly below this probability
             before ranking (0 keeps everything).
         aggregate_isomorphic: merge isomorphic answer trees before ranking.
+        matcher: embedding strategy (``"indexed"`` | ``"naive"``), see
+            :mod:`repro.queries.evaluation`.
     """
     if k < 1:
         raise ValueError("top_k_answers needs k >= 1")
     if isinstance(source, ProbTree):
-        answers = evaluate_on_probtree(query, source)
+        answers = evaluate_on_probtree(query, source, matcher=matcher)
     else:
-        answers = evaluate_on_pwset(query, source)
+        answers = evaluate_on_pwset(query, source, matcher=matcher)
     if minimum_probability > 0.0:
         answers = [a for a in answers if a.probability >= minimum_probability]
     return rank_answers(answers, k=k, aggregate_isomorphic=aggregate_isomorphic)

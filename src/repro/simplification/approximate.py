@@ -28,6 +28,7 @@ from repro.core.cleaning import clean
 from repro.core.probtree import ProbTree
 from repro.equivalence.independence import condition_on
 from repro.trees.datatree import NodeId
+from repro.trees.index import tree_index
 from repro.utils.errors import InvalidConditionError
 
 
@@ -124,7 +125,8 @@ def prune_unlikely_nodes(
 
     result = probtree.copy()
     removed_count = 0
-    for node in sorted(to_remove, key=lambda n: -tree.depth(n)):
+    depth = tree_index(tree).depth
+    for node in sorted(to_remove, key=lambda n: -depth(n)):
         if result.tree.has_node(node):
             removed_count += len(result.tree.children(node)) + 1
             result.remove_subtree(node)

@@ -7,10 +7,13 @@
 * :mod:`repro.trees.subdatatree` — the sub-datatree partial order of
   Definition 5;
 * :mod:`repro.trees.builders` — convenient literal-style construction of
-  trees from nested tuples.
+  trees from nested tuples;
+* :mod:`repro.trees.index` — structural indexes (preorder intervals, label
+  posting lists, cached depths) backing the compiled query matcher.
 """
 
 from repro.trees.datatree import DataTree
+from repro.trees.index import TreeIndex, tree_index
 from repro.trees.isomorphism import canonical_encoding, isomorphic
 from repro.trees.subdatatree import (
     is_sub_datatree,
@@ -21,6 +24,8 @@ from repro.trees.builders import tree, leaf
 
 __all__ = [
     "DataTree",
+    "TreeIndex",
+    "tree_index",
     "canonical_encoding",
     "isomorphic",
     "is_sub_datatree",

@@ -30,7 +30,7 @@ class DataTree:
     that order any meaning.
     """
 
-    __slots__ = ("_labels", "_children", "_parent", "_root", "_next_id")
+    __slots__ = ("_labels", "_children", "_parent", "_root", "_next_id", "_version", "_index_cache")
 
     def __init__(self, root_label: str) -> None:
         self._labels: Dict[NodeId, str] = {0: str(root_label)}
@@ -38,6 +38,8 @@ class DataTree:
         self._parent: Dict[NodeId, Optional[NodeId]] = {0: None}
         self._root: NodeId = 0
         self._next_id: NodeId = 1
+        self._version: int = 0
+        self._index_cache = None  # managed by repro.trees.index.tree_index
 
     # -- basic accessors ---------------------------------------------------
 
@@ -45,6 +47,16 @@ class DataTree:
     def root(self) -> NodeId:
         """Identifier of the root node."""
         return self._root
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by every structural or label change.
+
+        :func:`repro.trees.index.tree_index` compares this against the
+        version a :class:`~repro.trees.index.TreeIndex` was built at, so
+        stale indexes are discarded automatically.
+        """
+        return self._version
 
     @property
     def root_label(self) -> str:
@@ -59,6 +71,7 @@ class DataTree:
         """Relabel *node*."""
         self._require(node)
         self._labels[node] = str(label)
+        self._bump_version()
 
     def children(self, node: NodeId) -> Tuple[NodeId, ...]:
         """Identifiers of the children of *node* (order is not meaningful)."""
@@ -156,6 +169,7 @@ class DataTree:
         self._children[node] = []
         self._parent[node] = parent
         self._children[parent].append(node)
+        self._bump_version()
         return node
 
     def add_subtree(self, parent: NodeId, subtree: "DataTree") -> Dict[NodeId, NodeId]:
@@ -189,6 +203,7 @@ class DataTree:
             del self._labels[removed_node]
             del self._children[removed_node]
             del self._parent[removed_node]
+        self._bump_version()
         return removed
 
     # -- copies and restrictions -------------------------------------------
@@ -201,6 +216,8 @@ class DataTree:
         clone._parent = dict(self._parent)
         clone._root = self._root
         clone._next_id = self._next_id
+        clone._version = 0
+        clone._index_cache = None
         return clone
 
     def subtree_copy(self, node: NodeId) -> "DataTree":
@@ -257,6 +274,8 @@ class DataTree:
         clone._parent = {n: self._parent[n] for n in node_set}
         clone._root = self._root
         clone._next_id = self._next_id
+        clone._version = 0
+        clone._index_cache = None
         return clone
 
     def prune_where(self, should_remove) -> "DataTree":
@@ -335,6 +354,10 @@ class DataTree:
     def _require(self, node: NodeId) -> None:
         if node not in self._labels:
             raise NodeNotFoundError(f"node {node!r} does not belong to this tree")
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._index_cache = None
 
 
 __all__ = ["DataTree", "NodeId"]

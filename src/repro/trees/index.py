@@ -1,0 +1,210 @@
+"""Structural indexes over data trees.
+
+A :class:`TreeIndex` snapshots the structure of a :class:`~repro.trees.datatree.DataTree`
+into a handful of flat maps that turn the navigation primitives query
+evaluation hammers on into O(1) / O(log n) operations:
+
+* **preorder interval numbering** — every node gets a preorder rank and the
+  largest rank occurring in its subtree, so ``is_ancestor`` (and therefore
+  every structural join of the compiled pattern matcher) is two integer
+  comparisons instead of a parent-chain walk;
+* a **label → nodes inverted index**, in preorder order, replacing the
+  linear scan of :meth:`DataTree.nodes_with_label` (the compiled matcher
+  seeds its candidate sets from it);
+* cached **depths** (one dict lookup instead of an ancestor walk), plus
+  lazily-built **children-by-label** maps and per-label preorder-rank lists
+  for direct structural lookups (:meth:`TreeIndex.children_with_label`,
+  :meth:`TreeIndex.descendants_with_label`).
+
+Indexes are immutable snapshots.  They are invalidated *automatically*: the
+tree carries a mutation :attr:`~repro.trees.datatree.DataTree.version`
+counter bumped by ``add_child`` / ``add_subtree`` / ``delete_subtree`` /
+``set_label``, and :func:`tree_index` — the only way callers should obtain an
+index — hands back the cached snapshot only while its version still matches,
+rebuilding otherwise.  Holding on to a stale :class:`TreeIndex` is therefore
+impossible through the public entry point; :meth:`TreeIndex.is_fresh` exposes
+the staleness check for tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Tuple
+
+from repro.trees.datatree import DataTree, NodeId
+
+
+class TreeIndex:
+    """An immutable structural snapshot of one data tree.
+
+    Build through :func:`tree_index` so snapshots are shared and invalidated
+    with the tree's mutation counter.
+    """
+
+    __slots__ = (
+        "_tree",
+        "_version",
+        "_pre",
+        "_last",
+        "_depth",
+        "_order",
+        "_by_label",
+        "_pres_by_label",
+        "_children_by_label",
+    )
+
+    def __init__(self, tree: DataTree) -> None:
+        self._tree = tree
+        self._version = tree.version
+        pre: Dict[NodeId, int] = {}
+        last: Dict[NodeId, int] = {}
+        depth: Dict[NodeId, int] = {}
+        order: List[NodeId] = []
+        by_label: Dict[str, List[NodeId]] = {}
+        counter = 0
+        # Iterative DFS (documents are routinely thousands of nodes deep);
+        # the second visit of a node closes its preorder interval.
+        stack: List[Tuple[NodeId, bool]] = [(tree.root, True)]
+        while stack:
+            node, enter = stack.pop()
+            if not enter:
+                last[node] = counter - 1
+                continue
+            pre[node] = counter
+            counter += 1
+            order.append(node)
+            parent = tree.parent(node)
+            depth[node] = 0 if parent is None else depth[parent] + 1
+            by_label.setdefault(tree.label(node), []).append(node)
+            stack.append((node, False))
+            for child in reversed(tree.children(node)):
+                stack.append((child, True))
+        self._pre = pre
+        self._last = last
+        self._depth = depth
+        self._order = tuple(order)
+        self._by_label = {label: tuple(nodes) for label, nodes in by_label.items()}
+        # Lazy caches: per-label preorder-rank lists and per-node
+        # children-by-label maps are only materialized when first queried.
+        self._pres_by_label: Dict[str, List[int]] = {}
+        self._children_by_label: Dict[NodeId, Dict[str, Tuple[NodeId, ...]]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def tree(self) -> DataTree:
+        return self._tree
+
+    @property
+    def version(self) -> int:
+        """The tree version this snapshot was built at."""
+        return self._version
+
+    def is_fresh(self) -> bool:
+        """Whether the tree has not been mutated since this index was built."""
+        return self._version == self._tree.version
+
+    # -- structural predicates ---------------------------------------------
+
+    def preorder(self, node: NodeId) -> int:
+        """Preorder rank of *node* (root is 0)."""
+        return self._pre[node]
+
+    def subtree_interval(self, node: NodeId) -> Tuple[int, int]:
+        """``(lo, hi)`` preorder ranks: the subtree of *node* is exactly
+        the nodes with rank in ``[lo, hi]`` (strict descendants: ``(lo, hi]``)."""
+        return self._pre[node], self._last[node]
+
+    def is_ancestor(self, ancestor: NodeId, node: NodeId, strict: bool = True) -> bool:
+        """O(1) ancestor test via interval containment."""
+        lo = self._pre[ancestor]
+        rank = self._pre[node]
+        if strict and rank == lo:
+            return False
+        return lo <= rank <= self._last[ancestor]
+
+    def depth(self, node: NodeId) -> int:
+        """Cached depth (edges to the root)."""
+        return self._depth[node]
+
+    def subtree_size(self, node: NodeId) -> int:
+        """Number of nodes in the subtree of *node* (itself included)."""
+        return self._last[node] - self._pre[node] + 1
+
+    def preorder_map(self) -> Dict[NodeId, int]:
+        """The node → preorder rank map (treat as read-only; hot loops only)."""
+        return self._pre
+
+    def subtree_last_map(self) -> Dict[NodeId, int]:
+        """The node → last-subtree-rank map (treat as read-only; hot loops only)."""
+        return self._last
+
+    # -- label access ------------------------------------------------------
+
+    def nodes_in_preorder(self) -> Tuple[NodeId, ...]:
+        """All node identifiers, in preorder."""
+        return self._order
+
+    def nodes_with_label(self, label: str) -> Tuple[NodeId, ...]:
+        """Nodes carrying *label*, in preorder (O(1) lookup)."""
+        return self._by_label.get(label, ())
+
+    def labels(self) -> Tuple[str, ...]:
+        """The distinct labels occurring in the tree."""
+        return tuple(self._by_label)
+
+    def descendants_with_label(self, node: NodeId, label: str) -> List[NodeId]:
+        """Strict descendants of *node* carrying *label*, in preorder.
+
+        Resolved as a binary search over the label's preorder-sorted posting
+        list restricted to the node's subtree interval — O(log n + answers).
+        """
+        nodes = self._by_label.get(label)
+        if not nodes:
+            return []
+        pres = self._pres_by_label.get(label)
+        if pres is None:
+            pre = self._pre
+            pres = [pre[n] for n in nodes]
+            self._pres_by_label[label] = pres
+        lo, hi = self._pre[node], self._last[node]
+        start = bisect_right(pres, lo)
+        stop = bisect_right(pres, hi)
+        return list(nodes[start:stop])
+
+    def children_with_label(self, node: NodeId, label: str) -> Tuple[NodeId, ...]:
+        """Children of *node* carrying *label* (cached per node)."""
+        cached = self._children_by_label.get(node)
+        if cached is None:
+            cached = {}
+            for child in self._tree.children(node):
+                child_label = self._tree.label(child)
+                cached.setdefault(child_label, []).append(child)
+            cached = {lbl: tuple(children) for lbl, children in cached.items()}
+            self._children_by_label[node] = cached
+        return cached.get(label, ())
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeIndex(nodes={len(self._order)}, labels={len(self._by_label)}, "
+            f"version={self._version}, fresh={self.is_fresh()})"
+        )
+
+
+def tree_index(tree: DataTree) -> TreeIndex:
+    """The shared :class:`TreeIndex` of *tree*, rebuilt when stale.
+
+    The snapshot is cached on the tree itself and compared against the
+    tree's mutation version on every call, so callers never observe an index
+    describing a structure that no longer exists; batch APIs that evaluate
+    many queries against one tree pay the O(n) build exactly once.
+    """
+    cached = tree._index_cache
+    if cached is not None and cached.is_fresh():
+        return cached
+    index = TreeIndex(tree)
+    tree._index_cache = index
+    return index
+
+
+__all__ = ["TreeIndex", "tree_index"]

@@ -19,6 +19,7 @@ from typing import List, Optional, Set, Union
 
 from repro.queries.base import Query, QueryNodeId
 from repro.trees.datatree import DataTree, NodeId
+from repro.trees.index import tree_index
 from repro.utils.errors import InvalidProbabilityError, UpdateError
 
 
@@ -99,7 +100,8 @@ def apply_to_datatree(operation: UpdateOperation, tree: DataTree) -> DataTree:
         if tree.root in targets:
             raise UpdateError("a deletion may not target the root of the tree")
         # Deeper targets first so ancestors removing them en masse is harmless.
-        for target in sorted(targets, key=lambda node: -tree.depth(node)):
+        depth = tree_index(tree).depth
+        for target in sorted(targets, key=lambda node: -depth(node)):
             if result.has_node(target):
                 result.delete_subtree(target)
         return result

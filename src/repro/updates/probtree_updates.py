@@ -33,6 +33,7 @@ from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition, Literal
 from repro.queries.base import Match
 from repro.trees.datatree import DataTree, NodeId
+from repro.trees.index import tree_index
 from repro.updates.disjoint import disjoint_negation
 from repro.updates.operations import (
     Deletion,
@@ -129,7 +130,8 @@ def _apply_deletion(
 
     # Bottom-up (deepest first) so that replacing an ancestor copies the
     # already-rewritten descendants.
-    ordered_targets = sorted(by_target, key=lambda node: -tree.depth(node))
+    depth = tree_index(tree).depth
+    ordered_targets = sorted(by_target, key=lambda node: -depth(node))
     for target in ordered_targets:
         target_condition = original.condition(target)
         presence = original.accumulated_condition(target)

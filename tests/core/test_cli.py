@@ -101,6 +101,32 @@ class TestCommands:
         assert code == 2
 
 
+class TestMatcherFlag:
+    def test_matcher_choices_rejected_early(self, warehouse_file):
+        with pytest.raises(SystemExit):
+            _run(["query", warehouse_file, "/catalog/movie", "--matcher", "guess"])
+
+    def test_query_same_under_both_matchers(self, warehouse_file):
+        code_indexed, out_indexed = _run(
+            ["query", warehouse_file, "/catalog/movie", "--matcher", "indexed"]
+        )
+        code_naive, out_naive = _run(
+            ["query", warehouse_file, "/catalog/movie", "--matcher", "naive"]
+        )
+        assert code_indexed == code_naive == 0
+        assert out_indexed == out_naive
+
+    def test_probability_same_under_both_matchers(self, warehouse_file):
+        code_indexed, out_indexed = _run(
+            ["probability", warehouse_file, "//title", "--matcher", "indexed"]
+        )
+        code_naive, out_naive = _run(
+            ["probability", warehouse_file, "//title", "--matcher", "naive"]
+        )
+        assert code_indexed == code_naive == 0
+        assert out_indexed == out_naive
+
+
 class TestEngineFlag:
     def test_engine_choices_rejected_early(self, warehouse_file):
         with pytest.raises(SystemExit):

@@ -43,6 +43,24 @@ class TestQueries:
         # P(at least one movie) = 1 - 0.2*0.4
         assert catalog.probability("/catalog/movie") == pytest.approx(1 - 0.2 * 0.4)
 
+    def test_matcher_modes_agree(self, catalog):
+        from repro.utils.errors import QueryError
+
+        assert catalog.matcher == "indexed"
+        indexed = catalog.query("/catalog/movie/title")
+        catalog.matcher = "naive"
+        naive = catalog.query("/catalog/movie/title")
+        assert {round(a.probability, 2) for a in indexed} == {
+            round(a.probability, 2) for a in naive
+        }
+        assert catalog.probability("/catalog/movie") == pytest.approx(1 - 0.2 * 0.4)
+        with pytest.raises(QueryError):
+            catalog.matcher = "bogus"
+
+    def test_query_many_shares_index(self, catalog):
+        batched = catalog.query_many(["/catalog/movie", "/catalog/movie/title"])
+        assert [len(answers) for answers in batched] == [2, 2]
+
     def test_top_answers_ranked(self, catalog):
         # Include the title text leaf so the two answers are distinguishable.
         top = catalog.top_answers("/catalog/movie/title/*", count=1)

@@ -68,6 +68,25 @@ class TestCondition:
         right = Condition.of("w1", "w2")
         assert (left & right) == Condition.of("w1", "w2")
 
+    def test_conjoin_all_equals_pairwise_fold(self):
+        conditions = [
+            Condition.of("w1"),
+            Condition.of("w1", "not w2"),
+            Condition.of("w3"),
+            Condition.true(),
+        ]
+        folded = Condition.true()
+        for condition in conditions:
+            folded = folded.conjoin(condition)
+        assert Condition.conjoin_all(conditions) == folded
+        # Inconsistent pairs are preserved, not collapsed (Definition 8).
+        inconsistent = Condition.conjoin_all([Condition.of("w1"), Condition.of("not w1")])
+        assert not inconsistent.is_consistent()
+
+    def test_conjoin_all_of_nothing_is_true(self):
+        assert Condition.conjoin_all([]) is Condition.true()
+        assert Condition.conjoin_all([Condition.true(), Condition.true()]).is_true()
+
     def test_minus_and_without_events(self):
         condition = Condition.of("w1", "not w2", "w3")
         assert condition.minus(Condition.of("w1")) == Condition.of("not w2", "w3")

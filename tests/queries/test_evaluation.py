@@ -39,6 +39,34 @@ class TestOnPWSets:
         assert len(answers) == 1
         assert answers[0].probability == pytest.approx(0.70)
 
+    def test_duplicate_worlds_are_matched_once(self):
+        """Unnormalized sets run the query once per distinct world, while the
+        per-world answer multiset (count and weights) is preserved."""
+        from repro.pw.pwset import PWSet
+
+        query = root_has_child("A", "B")
+        evaluations = []
+        original_results = type(query).results
+
+        class CountingQuery(type(query)):
+            def results(self, data_tree, matcher=None):
+                evaluations.append(data_tree)
+                return original_results(self, data_tree, matcher=matcher)
+
+        counting = CountingQuery("A")
+        counting.add_child(counting.root, "B")
+
+        document = tree("A", "B")
+        duplicated = PWSet([(document, 0.25), (document.copy(), 0.25), (tree("A"), 0.5)])
+        answers = evaluate_on_pwset(counting, duplicated)
+        # 3 worlds, 2 isomorphism classes: the query ran exactly twice ...
+        assert len(evaluations) == 2
+        # ... but both duplicate worlds keep their own answer and weight.
+        assert sorted(a.probability for a in answers) == pytest.approx([0.25, 0.25])
+        assert answers_isomorphic(
+            answers, evaluate_on_pwset(root_has_child("A", "B"), duplicated.normalize())
+        )
+
 
 class TestOnProbTrees:
     def test_definition8_on_figure1(self, figure1):
@@ -69,6 +97,34 @@ class TestOnProbTrees:
         answers = evaluate_on_probtree(TreePattern("A"), figure1)
         assert len(answers) == 1
         assert answers[0].probability == pytest.approx(1.0)
+
+
+class TestMatcherThreading:
+    def test_matchers_agree_on_probtree_answers(self, figure1):
+        from repro.queries.evaluation import evaluate_many
+
+        queries = [root_has_child("A", "B"), child_chain(["A", "C", "D"]), parse_path("//D")]
+        for query in queries:
+            assert answers_isomorphic(
+                evaluate_on_probtree(query, figure1, matcher="indexed"),
+                evaluate_on_probtree(query, figure1, matcher="naive"),
+            )
+        batched = evaluate_many(queries, figure1, matcher="indexed")
+        singly = [evaluate_on_probtree(q, figure1, matcher="naive") for q in queries]
+        for left, right in zip(batched, singly):
+            assert answers_isomorphic(left, right)
+
+    def test_boolean_probability_many_matches_loop(self, figure1):
+        from repro.queries.evaluation import boolean_probability_many
+
+        queries = [parse_path("/A/C/D"), parse_path("/A/Z"), parse_path("//B")]
+        batched = boolean_probability_many(queries, figure1, matcher="indexed")
+        looped = [boolean_probability(q, figure1, matcher="naive") for q in queries]
+        assert batched == pytest.approx(looped)
+
+    def test_unknown_matcher_rejected(self, figure1):
+        with pytest.raises(QueryError):
+            evaluate_on_probtree(root_has_child("A", "B"), figure1, matcher="bogus")
 
 
 class TestBooleanProbability:
