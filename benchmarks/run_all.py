@@ -1,0 +1,195 @@
+"""Run every benchmark and consolidate the results into BENCH_summary.json.
+
+The suite mixes two benchmark styles and this driver handles both:
+
+* **standalone scripts** (``bench_context_cache.py``, ``bench_query_plan.py``,
+  ``bench_formula_engine.py``) — run as subprocesses; stdout is stored as
+  parsed JSON when it is JSON, as raw text otherwise, and the script's exit
+  code is its own performance gate;
+* **pytest-benchmark modules** (everything defining ``test_`` functions) —
+  run through ``pytest --benchmark-json``; the per-test timing stats are
+  condensed into ``{test: {mean_s, rounds}}``.
+
+Everything lands in one consolidated summary — the perf-trajectory artifact
+the ROADMAP asks for::
+
+    PYTHONPATH=src python benchmarks/run_all.py
+    PYTHONPATH=src python benchmarks/run_all.py --only context_cache,query_plan
+    PYTHONPATH=src python benchmarks/run_all.py --timeout 120
+
+Exit code 0 iff every selected benchmark ran and passed (its gate for
+standalone scripts, its assertions for pytest modules).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+SRC_DIR = BENCH_DIR.parent / "src"
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH_summary.json"
+
+
+def discover() -> list:
+    return sorted(
+        path for path in BENCH_DIR.glob("bench_*.py") if path.name != "run_all.py"
+    )
+
+
+def _is_pytest_module(path: Path) -> bool:
+    text = path.read_text()
+    return "def test_" in text and "def main(" not in text
+
+
+def _environment() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _run(command: list, timeout: float, start: float) -> tuple:
+    """Run *command*; returns (completed | None, seconds)."""
+    try:
+        completed = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            cwd=str(BENCH_DIR),
+            env=_environment(),
+        )
+    except subprocess.TimeoutExpired:
+        return None, round(time.perf_counter() - start, 2)
+    return completed, round(time.perf_counter() - start, 2)
+
+
+def run_standalone(path: Path, timeout: float) -> dict:
+    completed, seconds = _run([sys.executable, str(path)], timeout, time.perf_counter())
+    if completed is None:
+        return {"kind": "standalone", "status": "timeout", "seconds": seconds}
+    try:
+        report = json.loads(completed.stdout)
+    except (json.JSONDecodeError, ValueError):
+        report = {"text": completed.stdout[-4000:]}
+    result = {
+        "kind": "standalone",
+        "status": "ok" if completed.returncode == 0 else "gate-failed",
+        "seconds": seconds,
+        "exit_code": completed.returncode,
+        "report": report,
+    }
+    if completed.returncode != 0:
+        result["stderr_tail"] = completed.stderr[-2000:]
+    return result
+
+
+def run_pytest(path: Path, timeout: float) -> dict:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        stats_path = Path(handle.name)
+    try:
+        completed, seconds = _run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(path),
+                "-q",
+                "--benchmark-disable-gc",
+                f"--benchmark-json={stats_path}",
+            ],
+            timeout,
+            time.perf_counter(),
+        )
+        if completed is None:
+            return {"kind": "pytest", "status": "timeout", "seconds": seconds}
+        timings = {}
+        try:
+            stats = json.loads(stats_path.read_text())
+            for bench in stats.get("benchmarks", []):
+                timings[bench["name"]] = {
+                    "mean_s": round(bench["stats"]["mean"], 6),
+                    "rounds": bench["stats"]["rounds"],
+                }
+        except (OSError, json.JSONDecodeError, ValueError, KeyError):
+            pass
+        result = {
+            "kind": "pytest",
+            "status": "ok" if completed.returncode == 0 else "failed",
+            "seconds": seconds,
+            "exit_code": completed.returncode,
+            "report": {"timings": timings},
+        }
+        if completed.returncode != 0:
+            result["stdout_tail"] = completed.stdout[-2000:]
+            result["stderr_tail"] = completed.stderr[-2000:]
+        return result
+    finally:
+        stats_path.unlink(missing_ok=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated substrings selecting which bench_*.py to run",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=900.0,
+        help="per-benchmark timeout in seconds (default: 900)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"summary path (default: {DEFAULT_OUTPUT})",
+    )
+    arguments = parser.parse_args(argv)
+
+    scripts = discover()
+    if arguments.only:
+        needles = [needle.strip() for needle in arguments.only.split(",") if needle.strip()]
+        scripts = [
+            path for path in scripts if any(needle in path.stem for needle in needles)
+        ]
+    if not scripts:
+        print("no benchmarks selected", file=sys.stderr)
+        return 2
+
+    summary = {"driver": "benchmarks/run_all.py", "benchmarks": {}}
+    failures = 0
+    for path in scripts:
+        print(f"running {path.name} ...", file=sys.stderr, flush=True)
+        if _is_pytest_module(path):
+            result = run_pytest(path, arguments.timeout)
+        else:
+            result = run_standalone(path, arguments.timeout)
+        summary["benchmarks"][path.stem] = result
+        if result["status"] != "ok":
+            failures += 1
+        print(
+            f"  -> {result['status']} ({result['kind']}) in {result['seconds']}s",
+            file=sys.stderr,
+            flush=True,
+        )
+    summary["total"] = len(scripts)
+    summary["failed"] = failures
+
+    arguments.output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {arguments.output}", file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Quickstart: an uncertain movie catalog as a probabilistic XML warehouse.
+"""Quickstart: an uncertain movie warehouse with a session execution context.
 
 Run with ``python examples/quickstart.py`` (after ``pip install -e .`` or with
 ``PYTHONPATH=src``).  The example walks through the core workflow of the
@@ -7,29 +7,42 @@ prob-tree model:
 1. start from a certain document,
 2. apply probabilistic updates (each carrying the extractor's confidence),
 3. query the uncertain document and read answer probabilities,
-4. inspect the possible worlds and prune the improbable ones,
-5. serialize the warehouse to XML and back.
+4. hold several documents in one warehouse and query the whole corpus,
+5. inspect the possible worlds, prune the improbable ones, serialize to XML.
 
-Engine selection: every probabilistic question (query probability, DTD
-satisfaction, thresholding, world ranking) goes through a pluggable
-probability engine.  ``ProbXMLWarehouse(doc, engine="formula")`` — the
-default — compiles questions into event formulas evaluated by Shannon
-expansion with a shared per-document cache and never materializes possible
-worlds; ``engine="enumerate"`` is the paper's literal exponential semantics,
-kept as a cross-checking oracle.  The same choice is available on the CLI
-(``python -m repro.cli probability doc.xml //movie --engine formula``) and on
-the underlying functions (``boolean_probability(query, probtree,
-engine="enumerate")``).
+**Execution context.**  Every probabilistic question (query probability, DTD
+satisfaction, thresholding, world ranking) and every pattern match runs
+under an :class:`repro.ExecutionContext` — a session object owning
+
+* the **policy**: ``engine="formula"`` (default; Shannon expansion over
+  event formulas, never materializes possible worlds) or ``"enumerate"``
+  (the paper's literal exponential semantics, kept as an oracle), and
+  ``matcher="indexed"`` (default; compiled plans over a structural index),
+  ``"naive"`` (backtracking oracle) or ``"auto"`` (cost-model choice);
+* the **caches**: per-document Shannon tables, structural indexes, and an
+  answer-set cache that makes repeated queries on an unchanged document
+  near-free (any update invalidates it automatically);
+* observable **stats** counters (cache hits, plans compiled, formulas
+  evaluated).
+
+``ProbXMLWarehouse(...)`` builds its own context; pass ``context=`` to share
+one across warehouses, or legacy ``engine=`` / ``matcher=`` strings for an
+ad-hoc policy.  Per-call overrides always win:
+``warehouse.probability(q, engine="enumerate")``.  The same knobs exist on
+the CLI (``python -m repro.cli probability doc.xml //movie --engine formula
+--matcher auto --stats``) and on the underlying functions
+(``boolean_probability(query, probtree, context=ctx)``).
 """
 
-from repro import ProbXMLWarehouse, probtree_to_xml, tree
+from repro import ExecutionContext, ProbXMLWarehouse, probtree_to_xml, tree
 
 
 def main() -> None:
-    # 1. An empty catalog (a certain, single-node document).  The default
-    #    engine="formula" answers every probability question below without
-    #    enumerating possible worlds.
-    warehouse = ProbXMLWarehouse("catalog", engine="formula")
+    # 1. An empty catalog (a certain, single-node document).  The warehouse
+    #    creates a session ExecutionContext; matcher="auto" lets its cost
+    #    model pick the embedding strategy per pattern.
+    context = ExecutionContext(engine="formula", matcher="auto")
+    warehouse = ProbXMLWarehouse("catalog", context=context)
 
     # 2. Imprecise knowledge arrives as probabilistic insertions.  Each update
     #    introduces an independent event variable holding its confidence.
@@ -50,7 +63,9 @@ def main() -> None:
     print(warehouse.probtree.pretty())
     print()
 
-    # 3. Queries return sub-documents together with their probability.
+    # 3. Queries return sub-documents together with their probability.  A
+    #    repeated query is served from the context's answer cache — check
+    #    warehouse.stats afterwards.
     print("Movie titles and their probabilities:")
     for answer in warehouse.query("/catalog/movie/title/*"):
         title = [
@@ -60,10 +75,27 @@ def main() -> None:
         ][0]
         print(f"  {title:10s}  p = {answer.probability:.2f}")
     print(f"P(catalog has at least one movie) = {warehouse.probability('/catalog/movie'):.3f}")
+    warehouse.query("/catalog/movie/title/*")  # identical query: a cache hit
+    print(f"context stats: {warehouse.stats.as_dict()}")
     print()
 
-    # 4. The possible-world semantics is always available explicitly.
-    print("Three most probable worlds:")
+    # 4. The warehouse is a corpus: add more documents under their own names
+    #    and fan a query out across all of them — one shared context, one
+    #    set of caches.
+    warehouse.add_document("archive", "archive")
+    warehouse.insert(
+        "/archive",
+        tree("movie", tree("title", "Mirror"), tree("year", "1975")),
+        confidence=0.8,
+        name="archive",
+    )
+    print(f"Corpus documents: {warehouse.names()}")
+    for name, probability in warehouse.probability_all("//movie").items():
+        print(f"  P({name} has a movie) = {probability:.3f}")
+    print()
+
+    # 5. The possible-world semantics is always available explicitly.
+    print("Three most probable worlds of the default document:")
     for world, probability in warehouse.most_probable_worlds(3):
         print(f"  p = {probability:.3f}  {world.to_nested()}")
     print()
@@ -76,9 +108,14 @@ def main() -> None:
         print(f"  p = {probability:.3f}  {world.to_nested()}")
     print()
 
-    # 5. The warehouse serializes to plain XML.
+    # The warehouse serializes to plain XML — and parses it back: passing an
+    # XML string to ProbXMLWarehouse / add_document re-reads the document
+    # instead of treating the markup as a root label.
+    xml_text = probtree_to_xml(warehouse.probtree)
     print("XML serialization (truncated):")
-    print("\n".join(probtree_to_xml(warehouse.probtree).splitlines()[:12]))
+    print("\n".join(xml_text.splitlines()[:12]))
+    roundtripped = ProbXMLWarehouse(xml_text, context=context)
+    print(f"round-tripped document nodes: {roundtripped.document.node_count()}")
 
 
 if __name__ == "__main__":

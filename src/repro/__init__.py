@@ -20,6 +20,13 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the reproduced complexity results.
 """
 
+from repro.core.context import (
+    ContextStats,
+    ExecutionContext,
+    default_context,
+    resolve_context,
+    set_default_context,
+)
 from repro.core.engine import ProbXMLWarehouse
 from repro.core.events import EventFactory, ProbabilityDistribution
 from repro.core.probability import ProbabilityEngine, engine_for, formula_pwset
@@ -80,6 +87,11 @@ __all__ = [
     "ProbabilityDistribution",
     "EventFactory",
     "ProbXMLWarehouse",
+    "ExecutionContext",
+    "ContextStats",
+    "default_context",
+    "set_default_context",
+    "resolve_context",
     "ProbabilityEngine",
     "engine_for",
     "formula_pwset",

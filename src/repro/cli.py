@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.context import ExecutionContext
 from repro.core.engine import ProbXMLWarehouse
 from repro.dtd.dtd import DTD, ChildConstraint
 from repro.utils.errors import DTDError, ProbXMLError
@@ -65,33 +66,46 @@ def parse_dtd_spec(spec: str) -> DTD:
     return dtd
 
 
-def _load(
-    path: str, engine: str = "formula", matcher: str = "indexed"
-) -> ProbXMLWarehouse:
-    text = Path(path).read_text()
-    return ProbXMLWarehouse(probtree_from_xml(text), engine=engine, matcher=matcher)
+def _load(arguments: argparse.Namespace) -> ProbXMLWarehouse:
+    """Build the warehouse for one CLI invocation.
+
+    All commands run through one :class:`ExecutionContext` carrying the
+    ``--engine`` / ``--matcher`` policy; ``--stats`` prints its counters
+    after the command so cache behaviour is observable from the shell.
+    """
+    text = Path(arguments.document).read_text()
+    context = ExecutionContext(engine=arguments.engine, matcher=arguments.matcher)
+    return ProbXMLWarehouse(probtree_from_xml(text), context=context)
+
+
+def _maybe_print_stats(arguments: argparse.Namespace, warehouse, output) -> None:
+    if getattr(arguments, "stats", False):
+        for key, value in warehouse.stats.as_dict().items():
+            print(f"stats.{key}: {value}", file=output)
 
 
 def _command_stats(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
+    warehouse = _load(arguments)
     probtree = warehouse.probtree
     print(f"nodes          : {probtree.node_count()}", file=output)
     print(f"literals       : {probtree.literal_count()}", file=output)
     print(f"size |T|       : {probtree.size()}", file=output)
     print(f"events declared: {len(probtree.distribution)}", file=output)
     print(f"events used    : {len(probtree.used_events())}", file=output)
+    _maybe_print_stats(arguments, warehouse, output)
     return 0
 
 
 def _command_worlds(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
+    warehouse = _load(arguments)
     for world, probability in warehouse.most_probable_worlds(arguments.top):
         print(f"p = {probability:.6f}  {world.to_nested()}", file=output)
+    _maybe_print_stats(arguments, warehouse, output)
     return 0
 
 
 def _command_query(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
+    warehouse = _load(arguments)
     if arguments.top is not None:
         answers = warehouse.top_answers(arguments.path, count=arguments.top)
     else:
@@ -101,18 +115,20 @@ def _command_query(arguments: argparse.Namespace, output) -> int:
         return 1
     for answer in answers:
         print(f"p = {answer.probability:.6f}  {answer.tree.to_nested()}", file=output)
+    _maybe_print_stats(arguments, warehouse, output)
     return 0
 
 
 def _command_probability(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
+    warehouse = _load(arguments)
     probability = warehouse.probability(arguments.path)
     print(f"{probability:.6f}", file=output)
+    _maybe_print_stats(arguments, warehouse, output)
     return 0
 
 
 def _command_validate(arguments: argparse.Namespace, output) -> int:
-    warehouse = _load(arguments.document, arguments.engine, arguments.matcher)
+    warehouse = _load(arguments)
     dtd = parse_dtd_spec(arguments.dtd)
     satisfiable = warehouse.dtd_satisfiable(dtd)
     valid = warehouse.dtd_valid(dtd)
@@ -120,6 +136,7 @@ def _command_validate(arguments: argparse.Namespace, output) -> int:
     print(f"satisfiable: {satisfiable}", file=output)
     print(f"valid      : {valid}", file=output)
     print(f"P(valid)   : {probability:.6f}", file=output)
+    _maybe_print_stats(arguments, warehouse, output)
     if valid:
         return 0
     return 0 if satisfiable else 1
@@ -140,10 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common.add_argument(
         "--matcher",
-        choices=("indexed", "naive"),
+        choices=("indexed", "naive", "auto"),
         default="indexed",
         help="tree-pattern matcher: 'indexed' (compiled plans over a "
-        "structural index, the default) or 'naive' (direct backtracking)",
+        "structural index, the default), 'naive' (direct backtracking) or "
+        "'auto' (cost-model choice per pattern)",
+    )
+    common.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the execution context's cache/plan counters after the command",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

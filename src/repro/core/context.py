@@ -1,0 +1,515 @@
+"""The session-scoped execution layer: :class:`ExecutionContext`.
+
+Before this module existed, every query/probability/update/threshold/DTD
+entry point re-threaded two string kwargs (``engine=``, ``matcher=``) and the
+shared caches (the per-probtree Shannon-expansion tables, the per-tree
+structural index) lived in module-level registries with no owner.  An
+:class:`ExecutionContext` gives all of that one home:
+
+* **mode resolution** — the context carries the default ``engine``
+  (``"formula"`` | ``"enumerate"``) and ``matcher`` (``"indexed"`` |
+  ``"naive"`` | ``"auto"``) for every operation executed through it, with
+  per-call overrides resolved by :func:`resolve_context` (precedence:
+  per-call override > context default > module default);
+* **cache handles** — a context-scoped registry of
+  :class:`~repro.core.probability.ProbabilityEngine` instances (one Shannon
+  cache per prob-tree per mode), the shared structural
+  :class:`~repro.trees.index.TreeIndex` (delegated to
+  :func:`~repro.trees.index.tree_index`), and a NEW **answer-set cache**
+  memoizing ``result_node_sets`` keyed by ``(tree.version, pattern
+  fingerprint, matcher)`` — repeated queries against an unchanged document
+  skip matching entirely, and any mutation (which bumps
+  :attr:`DataTree.version <repro.trees.datatree.DataTree.version>`) or tree
+  replacement (a fresh object) invalidates the entry automatically;
+* **a cost model** — ``matcher="auto"`` picks the naive backtracking matcher
+  for tiny pattern×tree products (where the O(n) index build dominates) and
+  the compiled indexed plans otherwise; a fresh cached index always tips the
+  choice to ``"indexed"`` since the build cost is already sunk;
+* **observable stats** — :class:`ContextStats` counts answer-cache
+  hits/misses, plans compiled, formulas evaluated by the context's engines,
+  engines created and auto-matcher decisions, so repeated-query workloads
+  can be inspected and benchmarked.
+
+Contexts are deliberately cheap: overriding modes through
+:meth:`ExecutionContext.with_modes` returns a *view* sharing the caches and
+stats of its parent, so a per-call ``engine="enumerate"`` override does not
+fork the Shannon tables the session has already paid for.
+"""
+
+from __future__ import annotations
+
+import inspect
+import weakref
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.core.probability import ProbabilityEngine, require_engine_mode
+from repro.core.probtree import ProbTree
+from repro.trees.datatree import DataTree, NodeId
+from repro.trees.index import TreeIndex, tree_index
+from repro.utils.errors import QueryError
+
+#: Matcher choices a context understands; ``"auto"`` resolves per call
+#: through the cost model into one of the fixed modes of
+#: :data:`repro.queries.plan.MATCHER_MODES` (single source of truth for the
+#: concrete modes — validation delegates to ``require_matcher_mode``).
+MATCHER_CHOICES = ("indexed", "naive", "auto")
+
+#: Below this pattern-nodes × tree-nodes product, ``matcher="auto"`` prefers
+#: the naive backtracking matcher (no index build) when no fresh index exists.
+AUTO_NAIVE_COST = 512
+
+
+# Query methods predating the context layer take (tree, matcher=None) — and
+# the oldest ad-hoc Query subclasses in user code may override them with
+# (tree) alone.  The context therefore checks — once per (function, kwarg) —
+# which keyword arguments an override accepts before passing them along.
+_KWARG_SUPPORT: Dict[Tuple[object, str], bool] = {}
+
+
+def _accepts_kwarg(method, name: str) -> bool:
+    func = getattr(method, "__func__", method)
+    key = (func, name)
+    cached = _KWARG_SUPPORT.get(key)
+    if cached is None:
+        try:
+            parameters = inspect.signature(func).parameters
+            cached = name in parameters or any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in parameters.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+            cached = False
+        _KWARG_SUPPORT[key] = cached
+    return cached
+
+
+def _legacy_kwargs(method, effective: str, context: "ExecutionContext") -> Dict[str, object]:
+    """The keyword arguments *method* can take, out of matcher/context."""
+    kwargs: Dict[str, object] = {}
+    if _accepts_kwarg(method, "matcher"):
+        kwargs["matcher"] = effective
+    if _accepts_kwarg(method, "context"):
+        kwargs["context"] = context
+    return kwargs
+
+
+def require_matcher_choice(mode: Optional[str]) -> str:
+    """Validate a context-level ``matcher=`` argument (``None`` → ``"indexed"``).
+
+    Accepts ``"auto"`` on top of the concrete modes, whose validation is
+    delegated to :func:`repro.queries.plan.require_matcher_mode` so there is
+    one source of truth for what the matchers themselves understand.
+    """
+    if mode is None:
+        return "indexed"
+    if mode == "auto":
+        return mode
+    # Imported lazily: the repro.queries package imports this module.
+    from repro.queries.plan import require_matcher_mode
+
+    try:
+        return require_matcher_mode(mode)
+    except QueryError:
+        raise QueryError(
+            f"unknown matcher {mode!r}; expected one of {MATCHER_CHOICES}"
+        ) from None
+
+
+class ContextStats:
+    """Counters accumulated by every operation executed through one context.
+
+    All counters are plain integers; :meth:`as_dict` snapshots them and
+    :meth:`reset` zeroes them.  The stats object is shared between a context
+    and all mode-override views derived from it.
+    """
+
+    __slots__ = (
+        "answer_cache_hits",
+        "answer_cache_misses",
+        "nodeset_cache_hits",
+        "nodeset_cache_misses",
+        "plans_compiled",
+        "formulas_evaluated",
+        "engines_created",
+        "auto_chose_naive",
+        "auto_chose_indexed",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.answer_cache_hits = 0       # full Definition 8 answer lists
+        self.answer_cache_misses = 0
+        self.nodeset_cache_hits = 0      # raw result_node_sets (boolean/aggregates)
+        self.nodeset_cache_misses = 0
+        self.plans_compiled = 0
+        self.formulas_evaluated = 0
+        self.engines_created = 0
+        self.auto_chose_naive = 0
+        self.auto_chose_indexed = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ContextStats({pairs})"
+
+
+class _ContextState:
+    """The shared mutable state behind a context and its mode-override views."""
+
+    __slots__ = (
+        "engines",
+        "answer_cache",
+        "probtree_answers",
+        "stats",
+        "auto_naive_cost",
+        "cache_answers",
+    )
+
+    def __init__(
+        self, auto_naive_cost: int = AUTO_NAIVE_COST, cache_answers: bool = True
+    ) -> None:
+        # prob-tree -> {engine mode -> ProbabilityEngine}
+        self.engines: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # data tree -> (version, {(fingerprint, matcher) -> node-set tuple})
+        self.answer_cache: "weakref.WeakKeyDictionary[DataTree, Tuple[int, Dict]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # prob-tree -> ((tree.version, probtree.state_version),
+        #               {(fingerprint, matcher, keep_zero) -> QueryAnswer tuple})
+        self.probtree_answers: "weakref.WeakKeyDictionary[ProbTree, Tuple[Tuple[int, int], Dict]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.stats = ContextStats()
+        self.auto_naive_cost = auto_naive_cost
+        self.cache_answers = cache_answers
+
+
+class ExecutionContext:
+    """One session's execution policy and caches.
+
+    Args:
+        engine: default probability engine mode (``"formula"`` |
+            ``"enumerate"``; ``None`` means ``"formula"``).
+        matcher: default embedding matcher (``"indexed"`` | ``"naive"`` |
+            ``"auto"``; ``None`` means ``"indexed"``).
+        auto_naive_cost: pattern×tree product below which ``"auto"`` picks
+            the naive matcher when no fresh index is cached.
+        cache_answers: whether to memoize full answer lists (see
+            :meth:`cached_answers`).  On by default for explicitly-created
+            session contexts; the module :func:`default_context` disables it
+            because anonymous legacy callers expect fresh answer trees.
+    """
+
+    __slots__ = ("_engine", "_matcher", "_state")
+
+    def __init__(
+        self,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        auto_naive_cost: int = AUTO_NAIVE_COST,
+        cache_answers: bool = True,
+        _state: Optional[_ContextState] = None,
+    ) -> None:
+        self._engine = require_engine_mode(engine) if engine is not None else "formula"
+        self._matcher = require_matcher_choice(matcher)
+        self._state = (
+            _state if _state is not None else _ContextState(auto_naive_cost, cache_answers)
+        )
+
+    # -- modes ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        """The context's default probability engine mode."""
+        return self._engine
+
+    @property
+    def matcher(self) -> str:
+        """The context's default matcher mode (may be ``"auto"``)."""
+        return self._matcher
+
+    def with_modes(
+        self, engine: Optional[str] = None, matcher: Optional[str] = None
+    ) -> "ExecutionContext":
+        """A view of this context with overridden modes, sharing all caches.
+
+        This is how per-call ``engine=`` / ``matcher=`` string overrides are
+        realized: the returned context prices formulas with the same Shannon
+        tables and serves answers from the same answer-set cache.
+        """
+        if engine is None and matcher is None:
+            return self
+        return ExecutionContext(
+            engine=engine if engine is not None else self._engine,
+            matcher=matcher if matcher is not None else self._matcher,
+            _state=self._state,
+        )
+
+    def shares_caches_with(self, other: "ExecutionContext") -> bool:
+        """Whether *other* is a view over the same caches and stats."""
+        return self._state is other._state
+
+    def resolve_engine(self, override: Optional[str] = None) -> str:
+        """The engine mode for one call (*override* wins when given)."""
+        return require_engine_mode(override) if override is not None else self._engine
+
+    def resolve_matcher(self, override: Optional[str] = None) -> str:
+        """The matcher choice for one call, possibly still ``"auto"``."""
+        return require_matcher_choice(override) if override is not None else self._matcher
+
+    def effective_matcher(
+        self, query, tree: DataTree, override: Optional[str] = None, record: bool = True
+    ) -> str:
+        """The concrete matcher (``"indexed"`` | ``"naive"``) for one evaluation.
+
+        ``"auto"`` is resolved here: if the tree already carries a fresh
+        structural index the build cost is sunk and the compiled plans win;
+        otherwise tiny pattern×tree products go to the naive matcher (the
+        O(n) index build would dominate) and everything else is indexed.
+
+        ``record=False`` suppresses the ``auto_chose_*`` counters — used by
+        cache-key computation, so only decisions that drive actual matching
+        are counted (one per evaluation, none on cache hits).
+        """
+        mode = self.resolve_matcher(override)
+        if mode != "auto":
+            return mode
+        stats = self._state.stats
+        cached = tree._index_cache
+        if cached is not None and cached.is_fresh():
+            if record:
+                stats.auto_chose_indexed += 1
+            return "indexed"
+        node_count = getattr(query, "node_count", None)
+        pattern_nodes = node_count() if callable(node_count) else 4
+        if pattern_nodes * tree.node_count() <= self._state.auto_naive_cost:
+            if record:
+                stats.auto_chose_naive += 1
+            return "naive"
+        if record:
+            stats.auto_chose_indexed += 1
+        return "indexed"
+
+    # -- cache handles -------------------------------------------------------
+
+    def engine_for(
+        self, probtree: ProbTree, engine: Optional[str] = None
+    ) -> ProbabilityEngine:
+        """The context-scoped :class:`ProbabilityEngine` of *probtree*.
+
+        One engine (and thus one Shannon-expansion cache) per prob-tree per
+        mode, shared across every question this context answers.  Changing
+        the prob-tree's distribution (adding or re-weighting events) hands
+        out a fresh engine, exactly like the module-level
+        :func:`~repro.core.probability.engine_for`.
+        """
+        mode = self.resolve_engine(engine)
+        per_tree = self._state.engines.setdefault(probtree, {})
+        cached = per_tree.get(mode)
+        if cached is None or cached.distribution != probtree.distribution:
+            cached = ProbabilityEngine(
+                probtree.distribution, mode=mode, stats=self._state.stats
+            )
+            per_tree[mode] = cached
+            self._state.stats.engines_created += 1
+        return cached
+
+    def index_for(self, tree: DataTree) -> TreeIndex:
+        """The shared structural index of *tree* (built or fetched)."""
+        return tree_index(tree)
+
+    def result_node_sets(
+        self,
+        query,
+        source: Union[ProbTree, DataTree],
+        matcher: Optional[str] = None,
+    ) -> List[FrozenSet[NodeId]]:
+        """Answer node sets of *query* on *source*, memoized per tree version.
+
+        The cache key is ``(tree.version, query.fingerprint(), matcher)``:
+        queries without a ``fingerprint()`` method (ad-hoc :class:`Query`
+        subclasses) bypass the cache; any structural or label mutation bumps
+        the tree's version and starts a fresh per-tree table, and replacing
+        the tree object altogether (updates, cleaning, thresholding all
+        produce new trees) keys a separate entry that dies with the old tree.
+        """
+        tree = source.tree if isinstance(source, ProbTree) else source
+        effective = self.effective_matcher(query, tree, matcher)
+        compute = query.result_node_sets
+        kwargs = _legacy_kwargs(compute, effective, self)
+        if "context" not in kwargs:
+            return compute(tree, **kwargs)
+        fingerprint = None
+        method = getattr(query, "fingerprint", None)
+        if callable(method):
+            fingerprint = method()
+        if fingerprint is None:
+            return compute(tree, **kwargs)
+        stats = self._state.stats
+        entry = self._state.answer_cache.get(tree)
+        if entry is None or entry[0] != tree.version:
+            entry = (tree.version, {})
+            self._state.answer_cache[tree] = entry
+        key = (fingerprint, effective)
+        cached = entry[1].get(key)
+        if cached is not None:
+            stats.nodeset_cache_hits += 1
+            return list(cached)
+        stats.nodeset_cache_misses += 1
+        result = compute(tree, **kwargs)
+        entry[1][key] = tuple(result)
+        return result
+
+    def cached_answers(
+        self,
+        query,
+        probtree: ProbTree,
+        keep_zero_probability: bool,
+        compute,
+    ):
+        """Full Definition 8 answer lists, memoized per prob-tree state.
+
+        The cache key pairs the query's structural fingerprint with the
+        concrete matcher; the guard stamp is ``(tree.version,
+        probtree.state_version)``, so *any* mutation that could change the
+        answers — structure, labels, conditions, the event distribution —
+        starts a fresh per-document table (and replacing the prob-tree
+        object, as updates do, keys a separate entry that dies with it).
+
+        Cached answers are shared verbatim across calls — *including the
+        miss that populated the entry* — so treat the returned
+        :class:`~repro.queries.evaluation.QueryAnswer` trees as read-only
+        (mutating one would corrupt every later result for that query; use
+        ``answer.tree.copy()`` before editing).  Because that read-only
+        contract is an opt-in, the module :func:`default_context` is built
+        with ``cache_answers=False`` — anonymous legacy callers keep the
+        fresh-tree-per-call semantics — while explicitly-created session
+        contexts (including every warehouse's) cache by default.  Queries
+        without a ``fingerprint()`` bypass the cache and just call *compute*.
+        """
+        if not self._state.cache_answers:
+            return compute()
+        method = getattr(query, "fingerprint", None)
+        fingerprint = method() if callable(method) else None
+        if fingerprint is None:
+            return compute()
+        tree = probtree.tree
+        # record=False: this resolution only builds the cache key; the
+        # compute path re-resolves (and counts) if matching actually runs.
+        effective = self.effective_matcher(query, tree, record=False)
+        stamp = (tree.version, probtree.state_version)
+        entry = self._state.probtree_answers.get(probtree)
+        if entry is None or entry[0] != stamp:
+            entry = (stamp, {})
+            self._state.probtree_answers[probtree] = entry
+        # The engine mode is part of the key even though per-answer prices
+        # are mode-independent: an explicit engine="enumerate" request is a
+        # request to *run* the oracle path, not to be served formula-cached
+        # results (differential comparisons must stay honest).
+        key = (fingerprint, effective, self.resolve_engine(), keep_zero_probability)
+        cached = entry[1].get(key)
+        stats = self._state.stats
+        if cached is not None:
+            stats.answer_cache_hits += 1
+            return list(cached)
+        stats.answer_cache_misses += 1
+        result = compute()
+        entry[1][key] = tuple(result)
+        return result
+
+    def results(self, query, tree: DataTree, matcher: Optional[str] = None):
+        """Answer sub-datatrees of *query* on *tree* under this context's policy."""
+        effective = self.effective_matcher(query, tree, matcher)
+        method = query.results
+        return method(tree, **_legacy_kwargs(method, effective, self))
+
+    def matches(self, query, tree: DataTree, matcher: Optional[str] = None):
+        """All embeddings of *query* into *tree* under this context's policy."""
+        effective = self.effective_matcher(query, tree, matcher)
+        method = query.matches_with
+        return method(tree, **_legacy_kwargs(method, effective, self))
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> ContextStats:
+        """The live counters of this context (shared with mode-override views)."""
+        return self._state.stats
+
+    def note_plan_compiled(self) -> None:
+        """Record one compiled pattern plan (called by the indexed matcher)."""
+        self._state.stats.plans_compiled += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(engine={self._engine!r}, matcher={self._matcher!r}, "
+            f"stats={self.stats!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Module default context and per-call resolution
+# ---------------------------------------------------------------------------
+
+_DEFAULT_CONTEXT = ExecutionContext(cache_answers=False)
+
+
+def default_context() -> ExecutionContext:
+    """The module-level default context (engine ``"formula"``, matcher ``"indexed"``).
+
+    Used by every entry point when the caller supplies neither ``context=``
+    nor a legacy string kwarg, so ad-hoc calls still share one set of
+    engines, indexes and node-set caches per process.  Full answer-list
+    caching is *disabled* here (``cache_answers=False``): callers that never
+    opted into a context keep the historical fresh-answer-trees-per-call
+    semantics and cannot be bitten by the shared-read-only contract of
+    :meth:`ExecutionContext.cached_answers`.
+    """
+    return _DEFAULT_CONTEXT
+
+
+def set_default_context(context: ExecutionContext) -> ExecutionContext:
+    """Replace the module default context; returns the previous one."""
+    global _DEFAULT_CONTEXT
+    if not isinstance(context, ExecutionContext):
+        raise TypeError(f"expected an ExecutionContext, got {type(context).__name__}")
+    previous = _DEFAULT_CONTEXT
+    _DEFAULT_CONTEXT = context
+    return previous
+
+
+def resolve_context(
+    context: Optional[ExecutionContext] = None,
+    engine: Optional[str] = None,
+    matcher: Optional[str] = None,
+) -> ExecutionContext:
+    """The context one call executes under.
+
+    Precedence, mirroring the library-wide convention:
+
+    1. per-call string overrides (``engine=`` / ``matcher=``) always win —
+       they produce a mode-override *view* of the chosen context, so caches
+       are still shared;
+    2. an explicit per-call ``context=``;
+    3. the module :func:`default_context`.
+    """
+    base = context if context is not None else _DEFAULT_CONTEXT
+    return base.with_modes(engine=engine, matcher=matcher)
+
+
+__all__ = [
+    "MATCHER_CHOICES",
+    "AUTO_NAIVE_COST",
+    "require_matcher_choice",
+    "ContextStats",
+    "ExecutionContext",
+    "default_context",
+    "set_default_context",
+    "resolve_context",
+]

@@ -1,25 +1,26 @@
-"""A convenience warehouse facade over the prob-tree machinery.
+"""A multi-document warehouse facade over the prob-tree machinery.
 
 The paper's motivating system is an XML warehouse that analysis tools feed
 through imprecise updates and query through a standard processor.
-:class:`ProbXMLWarehouse` packages that workflow: it owns a prob-tree,
-accepts path or tree-pattern queries, applies probabilistic insertions and
+:class:`ProbXMLWarehouse` packages that workflow for a *corpus* of uncertain
+documents: it owns named prob-trees, accepts path or tree-pattern queries
+(per document or corpus-wide), applies probabilistic insertions and
 deletions, and exposes the maintenance operations studied in the paper
 (cleaning, threshold pruning, DTD checks, possible-world inspection).
 
-All heavy lifting is delegated to the dedicated modules; the facade only
-keeps the current prob-tree and offers a compact, discoverable API for the
-examples and the quickstart.
+All heavy lifting is delegated to the dedicated modules; what the facade
+adds is a shared :class:`~repro.core.context.ExecutionContext` — one set of
+Shannon tables, structural indexes and answer-set caches, plus the engine /
+matcher policy — applied uniformly across every document and every call.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+import re
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.cleaning import clean
-from repro.core.events import ProbabilityDistribution
-from repro.core.probability import require_engine_mode
-from repro.queries.plan import require_matcher_mode
+from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
 from repro.core.semantics import possible_worlds
 from repro.dtd.dtd import DTD
@@ -42,113 +43,328 @@ from repro.threshold.threshold import most_probable_worlds, threshold_probtree
 from repro.trees.datatree import DataTree
 from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
 from repro.updates.probtree_updates import apply_update_to_probtree
-from repro.utils.errors import QueryError
+from repro.utils.errors import ProbXMLError, QueryError
 
 QuerySpec = Union[str, Query]
 
+#: Name given to the document of single-document construction.
+DEFAULT_DOCUMENT = "default"
+
+# First element tag of the markup; declarations (<?xml …?>) and comments
+# (<!-- …) never match the name char class, so the search skips past them.
+_XML_ROOT_TAG = re.compile(r"<\s*([A-Za-z_][\w.-]*)")
+
+
+def _coerce_document(document: Union[str, DataTree, ProbTree]) -> ProbTree:
+    """Turn any accepted document form into a prob-tree.
+
+    Strings that look like XML markup (``lstrip().startswith("<")``) are
+    parsed — ``<probtree>`` documents through
+    :func:`repro.xmlio.parse.probtree_from_xml`, any other element through
+    :func:`repro.xmlio.parse.datatree_from_xml` — instead of silently
+    becoming a one-node tree with the markup as its root label.  A plain
+    string is still a one-node certain document.
+    """
+    if isinstance(document, ProbTree):
+        return document
+    if isinstance(document, DataTree):
+        return ProbTree.certain(document)
+    text = str(document)
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        # Imported lazily: repro.xmlio imports ProbTree, not this module,
+        # but keeping the parser out of the hot import path is free.
+        import xml.etree.ElementTree as ET
+
+        from repro.utils.errors import InvalidTreeError
+        from repro.xmlio.parse import datatree_from_xml, probtree_from_xml
+
+        tag = _XML_ROOT_TAG.search(stripped)
+        try:
+            # Parse the stripped text: whitespace before an <?xml?>
+            # declaration is not well-formed XML, but clearly means the
+            # same document.
+            if tag is not None and tag.group(1) == "probtree":
+                return probtree_from_xml(stripped)
+            return ProbTree.certain(datatree_from_xml(stripped))
+        except ET.ParseError as error:
+            raise InvalidTreeError(
+                f"document string starts with '<' but is not well-formed XML "
+                f"({error}); pass a plain label (no leading '<') for a "
+                f"one-node document"
+            ) from error
+    return ProbTree.certain(DataTree(text))
+
 
 class ProbXMLWarehouse:
-    """An XML warehouse holding one uncertain document as a prob-tree.
+    """An XML warehouse holding a corpus of uncertain documents as prob-trees.
 
-    ``engine`` selects how probabilities are computed throughout:
-    ``"formula"`` (default) compiles each question into an event formula
-    evaluated by Shannon expansion with a shared per-document cache;
-    ``"enumerate"`` materializes possible worlds (the paper's reference
-    semantics, exponential in the number of used events).
+    **Documents.**  The warehouse maps names to prob-trees:
+    :meth:`add_document` / :meth:`drop` / :meth:`names` manage the corpus,
+    and every query/update/maintenance method takes an optional ``name=``
+    (omitted, it resolves to the ``"default"`` document, or to the only
+    document when exactly one is held — so single-document construction
+    ``ProbXMLWarehouse("catalog")`` and all its call sites keep working
+    unchanged).  Corpus-wide reads (:meth:`query_all`,
+    :meth:`probability_all`) fan one query out across every document while
+    sharing one execution context.
 
-    ``matcher`` selects how tree-pattern embeddings are found:
-    ``"indexed"`` (default) compiles patterns into bottom-up plans over the
-    document's shared structural index; ``"naive"`` is the direct
-    backtracking matcher kept as a differential oracle.
+    **Execution context.**  All probability and matching work runs under a
+    session-scoped :class:`~repro.core.context.ExecutionContext` owning the
+    mode policy and the caches (per-probtree Shannon tables, structural
+    indexes, the answer-set cache).  Construction accepts either a ready
+    ``context=`` or the legacy string kwargs:
+
+    * ``engine`` — ``"formula"`` (default) compiles each question into an
+      event formula evaluated by Shannon expansion with a shared
+      per-document cache; ``"enumerate"`` materializes possible worlds (the
+      paper's reference semantics, exponential in the number of used
+      events);
+    * ``matcher`` — ``"indexed"`` (default) compiles patterns into
+      bottom-up plans over the document's shared structural index;
+      ``"naive"`` is the direct backtracking oracle; ``"auto"`` picks per
+      pattern via the context's cost model.
+
+    Per-call overrides follow the library-wide precedence: explicit string
+    kwargs > per-call ``context=`` > the warehouse's own context.
     """
 
     def __init__(
         self,
-        document: Union[str, DataTree, ProbTree],
-        engine: str = "formula",
-        matcher: str = "indexed",
+        document: Union[str, DataTree, ProbTree, None] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+        name: str = DEFAULT_DOCUMENT,
     ) -> None:
-        if isinstance(document, ProbTree):
-            self._probtree = document
-        elif isinstance(document, DataTree):
-            self._probtree = ProbTree.certain(document)
+        if context is None:
+            self._context = ExecutionContext(engine=engine, matcher=matcher)
         else:
-            self._probtree = ProbTree.certain(DataTree(str(document)))
-        self._engine = require_engine_mode(engine)
-        self._matcher = require_matcher_mode(matcher)
+            self._context = context.with_modes(engine=engine, matcher=matcher)
+        self._documents: Dict[str, ProbTree] = {}
+        if document is not None:
+            self.add_document(name, document)
+
+    # -- corpus management -------------------------------------------------
+
+    def add_document(
+        self, name: str, document: Union[str, DataTree, ProbTree]
+    ) -> ProbTree:
+        """Register *document* under *name*; returns the stored prob-tree.
+
+        Accepts a prob-tree, a data tree (wrapped as certain), an XML string
+        (``<probtree>`` or plain ``<node>`` markup, parsed), or a bare label
+        (a one-node certain document).  Raises on duplicate names — use
+        :meth:`drop` first to replace a document.
+        """
+        if name in self._documents:
+            raise ProbXMLError(
+                f"document {name!r} already exists in the warehouse; drop() it first"
+            )
+        probtree = _coerce_document(document)
+        self._documents[name] = probtree
+        return probtree
+
+    def drop(self, name: str) -> ProbTree:
+        """Remove and return the document registered under *name*."""
+        try:
+            return self._documents.pop(name)
+        except KeyError:
+            raise ProbXMLError(f"no document named {name!r} in the warehouse") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered document names, in insertion order."""
+        return tuple(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._documents
+
+    def _resolve_name(self, name: Optional[str]) -> str:
+        if name is not None:
+            if name not in self._documents:
+                raise ProbXMLError(f"no document named {name!r} in the warehouse")
+            return name
+        if DEFAULT_DOCUMENT in self._documents:
+            return DEFAULT_DOCUMENT
+        if len(self._documents) == 1:
+            return next(iter(self._documents))
+        if not self._documents:
+            raise ProbXMLError("the warehouse holds no documents")
+        raise ProbXMLError(
+            f"the warehouse holds {len(self._documents)} documents "
+            f"({', '.join(map(repr, self._documents))}); pass name="
+        )
+
+    def _ctx(
+        self,
+        context: Optional[ExecutionContext],
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+    ) -> ExecutionContext:
+        """Per-call resolution: string overrides > call context > warehouse default."""
+        base = context if context is not None else self._context
+        return resolve_context(base, engine=engine, matcher=matcher)
 
     # -- state -----------------------------------------------------------------
 
     @property
+    def context(self) -> ExecutionContext:
+        """The warehouse's execution context (modes, caches, stats)."""
+        return self._context
+
+    @context.setter
+    def context(self, context: ExecutionContext) -> None:
+        if not isinstance(context, ExecutionContext):
+            raise TypeError(
+                f"expected an ExecutionContext, got {type(context).__name__}"
+            )
+        self._context = context
+
+    @property
+    def stats(self):
+        """Live :class:`~repro.core.context.ContextStats` of the context."""
+        return self._context.stats
+
+    @property
     def probtree(self) -> ProbTree:
-        """The current prob-tree."""
-        return self._probtree
+        """The current prob-tree of the default (or only) document."""
+        return self._documents[self._resolve_name(None)]
+
+    def get(self, name: Optional[str] = None) -> ProbTree:
+        """The prob-tree registered under *name* (default resolution applies)."""
+        return self._documents[self._resolve_name(name)]
 
     @property
     def engine(self) -> str:
         """The probability engine mode (``"formula"`` or ``"enumerate"``)."""
-        return self._engine
+        return self._context.engine
 
     @engine.setter
     def engine(self, mode: str) -> None:
-        self._engine = require_engine_mode(mode)
+        self._context = self._context.with_modes(engine=mode)
 
     @property
     def matcher(self) -> str:
-        """The embedding matcher mode (``"indexed"`` or ``"naive"``)."""
-        return self._matcher
+        """The embedding matcher mode (``"indexed"``, ``"naive"`` or ``"auto"``)."""
+        return self._context.matcher
 
     @matcher.setter
     def matcher(self, mode: str) -> None:
-        self._matcher = require_matcher_mode(mode)
+        self._context = self._context.with_modes(matcher=mode)
 
     @property
     def document(self) -> DataTree:
-        """The underlying data tree (all nodes, regardless of conditions)."""
-        return self._probtree.tree
+        """The underlying data tree of the default (or only) document."""
+        return self.probtree.tree
 
-    def size(self) -> int:
-        return self._probtree.size()
+    def size(self, name: Optional[str] = None) -> int:
+        return self.get(name).size()
 
-    def event_count(self) -> int:
-        return len(self._probtree.distribution)
+    def event_count(self, name: Optional[str] = None) -> int:
+        return len(self.get(name).distribution)
 
     # -- queries -----------------------------------------------------------------
 
-    def query(self, query: QuerySpec) -> List[QueryAnswer]:
-        """Evaluate a locally monotone query; answers carry probabilities."""
+    def query(
+        self,
+        query: QuerySpec,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> List[QueryAnswer]:
+        """Evaluate a locally monotone query; answers carry probabilities.
+
+        Repeated queries are served from the context's answer cache: treat
+        the returned answer trees as read-only (they are shared across
+        calls; ``answer.tree.copy()`` before mutating).
+        """
         return evaluate_on_probtree(
             self._resolve(query),
-            self._probtree,
-            engine=self._engine,
-            matcher=self._matcher,
+            self.get(name),
+            context=self._ctx(context, engine, matcher),
         )
 
-    def query_many(self, queries: List[QuerySpec]) -> List[List[QueryAnswer]]:
-        """Evaluate several queries in one batch.
+    def query_many(
+        self,
+        queries: List[QuerySpec],
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> List[List[QueryAnswer]]:
+        """Evaluate several queries against one document in one batch.
 
-        The structural index of the document and the probability engine's
-        formula cache are built once and shared across the whole batch.
+        The structural index of the document, the probability engine's
+        formula cache and the answer-set cache are shared across the whole
+        batch (they live on the warehouse context); answers are cache-shared
+        and read-only, as in :meth:`query`.
         """
         return evaluate_many(
             [self._resolve(query) for query in queries],
-            self._probtree,
-            engine=self._engine,
-            matcher=self._matcher,
+            self.get(name),
+            context=self._ctx(context, engine, matcher),
         )
 
-    def top_answers(self, query: QuerySpec, count: int = 3) -> List[QueryAnswer]:
-        """The most probable answers of a query (conclusion's ranking usage)."""
-        return top_answers(self.query(query), count)
+    def query_all(
+        self,
+        query: QuerySpec,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> Dict[str, List[QueryAnswer]]:
+        """Evaluate one query against every document: ``{name: answers}``.
 
-    def probability(self, query: QuerySpec) -> float:
+        All documents share a single execution context, so a query repeated
+        across the corpus compiles its pattern bookkeeping once per document
+        and reuses each document's caches on subsequent sweeps; answers are
+        cache-shared and read-only, as in :meth:`query`.
+        """
+        ctx = self._ctx(context, engine, matcher)
+        resolved = self._resolve(query)
+        return {
+            name: evaluate_on_probtree(resolved, probtree, context=ctx)
+            for name, probtree in self._documents.items()
+        }
+
+    def top_answers(
+        self, query: QuerySpec, count: int = 3, name: Optional[str] = None
+    ) -> List[QueryAnswer]:
+        """The most probable answers of a query (conclusion's ranking usage)."""
+        return top_answers(self.query(query, name=name), count)
+
+    def probability(
+        self,
+        query: QuerySpec,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> float:
         """Probability that the query has at least one answer."""
         return boolean_probability(
             self._resolve(query),
-            self._probtree,
-            engine=self._engine,
-            matcher=self._matcher,
+            self.get(name),
+            context=self._ctx(context, engine, matcher),
         )
+
+    def probability_all(
+        self,
+        query: QuerySpec,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> Dict[str, float]:
+        """Corpus-wide :meth:`probability`: ``{name: probability}``."""
+        ctx = self._ctx(context, engine, matcher)
+        resolved = self._resolve(query)
+        return {
+            name: boolean_probability(resolved, probtree, context=ctx)
+            for name, probtree in self._documents.items()
+        }
 
     # -- updates -------------------------------------------------------------------
 
@@ -159,6 +375,7 @@ class ProbXMLWarehouse:
         at: Optional[QueryNodeId] = None,
         confidence: float = 1.0,
         event: Optional[str] = None,
+        name: Optional[str] = None,
     ) -> ProbabilisticUpdate:
         """Insert *subtree* under every match of *query*, with a confidence.
 
@@ -171,7 +388,7 @@ class ProbXMLWarehouse:
         update = ProbabilisticUpdate(
             Insertion(resolved, target, subtree), confidence=confidence, event=event
         )
-        self._probtree = apply_update_to_probtree(self._probtree, update)
+        self.apply(update, name=name)
         return update
 
     def delete(
@@ -180,6 +397,7 @@ class ProbXMLWarehouse:
         at: Optional[QueryNodeId] = None,
         confidence: float = 1.0,
         event: Optional[str] = None,
+        name: Optional[str] = None,
     ) -> ProbabilisticUpdate:
         """Delete every node matched by *query* (at pattern node ``at``)."""
         resolved = self._resolve(query)
@@ -187,49 +405,70 @@ class ProbXMLWarehouse:
         update = ProbabilisticUpdate(
             Deletion(resolved, target), confidence=confidence, event=event
         )
-        self._probtree = apply_update_to_probtree(self._probtree, update)
+        self.apply(update, name=name)
         return update
 
-    def apply(self, update: ProbabilisticUpdate) -> None:
-        """Apply an already-built probabilistic update."""
-        self._probtree = apply_update_to_probtree(self._probtree, update)
+    def apply(self, update: ProbabilisticUpdate, name: Optional[str] = None) -> None:
+        """Apply an already-built probabilistic update to one document.
+
+        The document's prob-tree is *replaced* (updates return a fresh tree
+        object), which is what keeps the context's answer-set cache honest:
+        post-update queries can never be served pre-update answers.
+        """
+        resolved = self._resolve_name(name)
+        self._documents[resolved] = apply_update_to_probtree(
+            self._documents[resolved], update, context=self._context
+        )
 
     # -- maintenance -------------------------------------------------------------------
 
-    def clean(self) -> None:
-        """Run the linear-time cleaning pass (Section 3)."""
-        self._probtree = clean(self._probtree)
+    def clean(self, name: Optional[str] = None) -> None:
+        """Run the linear-time cleaning pass (Section 3) on one document.
 
-    def prune_below(self, threshold: float) -> None:
+        Like updates, cleaning replaces the document's prob-tree (and its
+        underlying data tree), invalidating cached answer sets wholesale.
+        """
+        resolved = self._resolve_name(name)
+        self._documents[resolved] = clean(self._documents[resolved])
+
+    def prune_below(self, threshold: float, name: Optional[str] = None) -> None:
         """Keep only possible worlds with probability at least *threshold*.
 
         The lost mass is represented by a root-only world (Definition 3); the
-        operation may blow up the representation (Theorem 4).
+        operation may blow up the representation (Theorem 4).  The document's
+        prob-tree is replaced by the re-encoded one.
         """
-        self._probtree = threshold_probtree(
-            self._probtree, threshold, engine=self._engine
+        resolved = self._resolve_name(name)
+        self._documents[resolved] = threshold_probtree(
+            self._documents[resolved], threshold, context=self._context
         )
 
     # -- inspection ------------------------------------------------------------------------
 
-    def possible_worlds(self, normalize: bool = True) -> PWSet:
-        """The possible-world semantics of the current document."""
-        return possible_worlds(self._probtree, restrict_to_used=True, normalize=normalize)
+    def possible_worlds(
+        self, normalize: bool = True, name: Optional[str] = None
+    ) -> PWSet:
+        """The possible-world semantics of one document."""
+        return possible_worlds(
+            self.get(name), restrict_to_used=True, normalize=normalize
+        )
 
-    def most_probable_worlds(self, count: int = 3) -> List[Tuple[DataTree, float]]:
-        return most_probable_worlds(self._probtree, count, engine=self._engine)
+    def most_probable_worlds(
+        self, count: int = 3, name: Optional[str] = None
+    ) -> List[Tuple[DataTree, float]]:
+        return most_probable_worlds(self.get(name), count, context=self._context)
 
-    def dtd_satisfiable(self, dtd: DTD) -> bool:
+    def dtd_satisfiable(self, dtd: DTD, name: Optional[str] = None) -> bool:
         """Whether some possible world satisfies the DTD (Theorem 5.1)."""
-        return dtd_satisfiable(self._probtree, dtd, engine=self._engine)
+        return dtd_satisfiable(self.get(name), dtd, context=self._context)
 
-    def dtd_valid(self, dtd: DTD) -> bool:
+    def dtd_valid(self, dtd: DTD, name: Optional[str] = None) -> bool:
         """Whether every possible world satisfies the DTD (Theorem 5.2)."""
-        return dtd_valid(self._probtree, dtd, engine=self._engine)
+        return dtd_valid(self.get(name), dtd, context=self._context)
 
-    def dtd_probability(self, dtd: DTD) -> float:
+    def dtd_probability(self, dtd: DTD, name: Optional[str] = None) -> float:
         """Probability that the uncertain document satisfies the DTD."""
-        return dtd_satisfaction_probability(self._probtree, dtd, engine=self._engine)
+        return dtd_satisfaction_probability(self.get(name), dtd, context=self._context)
 
     # -- helpers -----------------------------------------------------------------------------
 
@@ -257,11 +496,15 @@ class ProbXMLWarehouse:
         return node_count() - 1
 
     def __repr__(self) -> str:
+        if len(self._documents) == 1:
+            probtree = next(iter(self._documents.values()))
+            summary = f"nodes={probtree.node_count()}, events={len(probtree.distribution)}"
+        else:
+            summary = f"documents={len(self._documents)}"
         return (
-            f"ProbXMLWarehouse(nodes={self._probtree.node_count()}, "
-            f"events={self.event_count()}, engine={self._engine!r}, "
-            f"matcher={self._matcher!r})"
+            f"ProbXMLWarehouse({summary}, engine={self.engine!r}, "
+            f"matcher={self.matcher!r})"
         )
 
 
-__all__ = ["ProbXMLWarehouse"]
+__all__ = ["ProbXMLWarehouse", "DEFAULT_DOCUMENT"]

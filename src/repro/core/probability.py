@@ -25,7 +25,6 @@ the engine.
 
 from __future__ import annotations
 
-import weakref
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.events import ProbabilityDistribution
@@ -72,6 +71,7 @@ class ProbabilityEngine:
         "_cutoff",
         "_formula_cache",
         "_condition_cache",
+        "_stats",
     )
 
     def __init__(
@@ -79,6 +79,7 @@ class ProbabilityEngine:
         distribution: ProbabilityDistribution,
         mode: str = "formula",
         enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
+        stats=None,
     ) -> None:
         self._distribution = distribution
         self._distribution_map = distribution.as_dict()
@@ -86,6 +87,10 @@ class ProbabilityEngine:
         self._cutoff = enumeration_cutoff
         self._formula_cache: Dict[BoolExpr, float] = {}
         self._condition_cache: Dict[Condition, float] = {}
+        # Optional ContextStats-like sink (duck-typed: only needs a mutable
+        # ``formulas_evaluated`` attribute); engines created through an
+        # ExecutionContext report every priced formula there.
+        self._stats = stats
 
     # -- inspection --------------------------------------------------------
 
@@ -106,7 +111,13 @@ class ProbabilityEngine:
     def probability(self, expr: BoolExpr) -> float:
         """Exact ``P(expr)`` under the engine's distribution."""
         if self._mode == "enumerate":
+            if self._stats is not None:
+                self._stats.formulas_evaluated += 1
             return enumeration_probability(expr, self._distribution)
+        # Count only genuine evaluations: a top-level hit in the Shannon
+        # memo table is free and must not blur the warm-vs-cold picture.
+        if self._stats is not None and expr not in self._formula_cache:
+            self._stats.formulas_evaluated += 1
         return shannon_probability(
             expr,
             self._distribution,
@@ -118,6 +129,10 @@ class ProbabilityEngine:
         """``eval(γ)`` of Definition 8: a product over the literals (0 if inconsistent)."""
         cached = self._condition_cache.get(condition)
         if cached is None:
+            # Count only genuine pricing work: memoized lookups are free and
+            # must not blur the warm-vs-cold picture the counter exists for.
+            if self._stats is not None:
+                self._stats.formulas_evaluated += 1
             cached = condition.probability(self._distribution_map)
             self._condition_cache[condition] = cached
         return cached
@@ -137,10 +152,6 @@ class ProbabilityEngine:
 # Shared per-probtree engines
 # ---------------------------------------------------------------------------
 
-_ENGINES: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
-    weakref.WeakKeyDictionary()
-)
-
 
 def engine_for(probtree: ProbTree, mode: str = "formula") -> ProbabilityEngine:
     """The shared :class:`ProbabilityEngine` of *probtree* for *mode*.
@@ -149,14 +160,17 @@ def engine_for(probtree: ProbTree, mode: str = "formula") -> ProbabilityEngine:
     share its memoization caches — as long as the distribution has not
     changed (adding or re-weighting events invalidates cached values, so a
     fresh engine is handed out then).
+
+    The registry lives on the module default
+    :class:`~repro.core.context.ExecutionContext`, so ad-hoc callers and the
+    context-threaded entry points share one set of Shannon tables; sessions
+    wanting isolated caches create their own context and use its
+    :meth:`~repro.core.context.ExecutionContext.engine_for`.
     """
-    require_engine_mode(mode)
-    per_tree = _ENGINES.setdefault(probtree, {})
-    engine = per_tree.get(mode)
-    if engine is None or engine.distribution != probtree.distribution:
-        engine = ProbabilityEngine(probtree.distribution, mode=mode)
-        per_tree[mode] = engine
-    return engine
+    # Imported lazily: repro.core.context imports this module at load time.
+    from repro.core.context import default_context
+
+    return default_context().engine_for(probtree, require_engine_mode(mode))
 
 
 # ---------------------------------------------------------------------------
@@ -184,7 +198,9 @@ def node_presence_probability(
 # ---------------------------------------------------------------------------
 
 
-def formula_pwset(probtree: ProbTree) -> PWSet:
+def formula_pwset(
+    probtree: ProbTree, probability_engine: Optional[ProbabilityEngine] = None
+) -> PWSet:
     """The normalized semantics ``⟦T⟧`` via achievable-node-subset enumeration.
 
     Rather than walking the ``2^|used events|`` worlds, this walks the tree
@@ -204,8 +220,17 @@ def formula_pwset(probtree: ProbTree) -> PWSet:
     cannot represent them at all (:class:`PWSet` requires positive
     probabilities and ``possible_worlds`` raises), so this path is strictly
     more permissive there.
+
+    ``probability_engine`` lets a caller (an
+    :class:`~repro.core.context.ExecutionContext`) supply its own
+    formula-mode :class:`ProbabilityEngine` *object* so the pricing shares
+    that session's Shannon tables; by default the module-shared engine is
+    used.  (Deliberately not named ``engine`` — that kwarg means a mode
+    string everywhere else in the library.)
     """
-    engine = engine_for(probtree, mode="formula")
+    engine = probability_engine
+    if engine is None:
+        engine = engine_for(probtree, mode="formula")
     tree = probtree.tree
     conditions = {node: probtree.condition(node) for node in tree.nodes()}
     pairs: List[Tuple[object, float]] = []

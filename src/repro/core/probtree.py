@@ -33,7 +33,7 @@ class ProbTree:
 
     # __weakref__ lets repro.core.probability attach a per-probtree engine
     # cache without keeping dead prob-trees alive.
-    __slots__ = ("_tree", "_distribution", "_conditions", "__weakref__")
+    __slots__ = ("_tree", "_distribution", "_conditions", "_state_version", "__weakref__")
 
     def __init__(
         self,
@@ -46,6 +46,7 @@ class ProbTree:
         self._tree = tree
         self._distribution = distribution
         self._conditions: Dict[NodeId, Condition] = {}
+        self._state_version: int = 0
         if conditions:
             for node, condition in conditions.items():
                 self.set_condition(node, condition)
@@ -68,6 +69,20 @@ class ProbTree:
     def distribution(self) -> ProbabilityDistribution:
         """The pair ``(W, π)``."""
         return self._distribution
+
+    @property
+    def state_version(self) -> int:
+        """Mutation counter over ``γ`` and ``(W, π)``.
+
+        Bumped by :meth:`set_condition` and :meth:`add_event` — the two ways
+        a prob-tree's probabilistic state can change *without* touching the
+        underlying data tree (whose own
+        :attr:`~repro.trees.datatree.DataTree.version` covers structural and
+        label mutations).  Together the two counters let the
+        :class:`~repro.core.context.ExecutionContext` answer cache detect
+        every mutation that could change cached answers or probabilities.
+        """
+        return self._state_version
 
     def events(self) -> Set[str]:
         """The declared event set ``W``."""
@@ -115,6 +130,7 @@ class ProbTree:
             self._conditions.pop(node, None)
         else:
             self._conditions[node] = condition
+        self._state_version += 1
 
     def conditions(self) -> Dict[NodeId, Condition]:
         """A copy of the (non-trivial) condition assignment ``γ``."""
@@ -158,6 +174,7 @@ class ProbTree:
     def add_event(self, event: str, probability: float) -> None:
         """Register a new event variable with probability *probability*."""
         self._distribution = self._distribution.with_event(event, probability)
+        self._state_version += 1
 
     def event_factory(self, prefix: str = "w") -> EventFactory:
         """An :class:`EventFactory` that avoids every event already in ``W``."""

@@ -52,24 +52,34 @@ def world_count(probtree: ProbTree, restrict_to_used: bool = True) -> int:
     return 1 << len(events)
 
 
-def normalized_worlds(probtree: ProbTree, engine: str = "formula") -> PWSet:
+def normalized_worlds(
+    probtree: ProbTree, engine: Optional[str] = None, context=None
+) -> PWSet:
     """The normalized semantics ``⟦T⟧``, computed by the selected engine.
 
-    ``engine="formula"`` walks the achievable surviving-node subsets and
-    prices each with the shared formula engine (no ``2^|W|`` enumeration, see
-    :func:`repro.core.probability.formula_pwset`); ``engine="enumerate"`` is
-    the literal Definition 4 enumeration restricted to used events.  Both
-    return the same PW set up to isomorphism whenever the enumeration is
-    defined; the one divergence is events of probability exactly 1, whose
-    zero-probability worlds make the enumeration raise while the formula
-    path simply omits them.
+    ``engine="formula"`` (the default) walks the achievable surviving-node
+    subsets and prices each with the shared formula engine (no ``2^|W|``
+    enumeration, see :func:`repro.core.probability.formula_pwset`);
+    ``engine="enumerate"`` is the literal Definition 4 enumeration restricted
+    to used events.  Both return the same PW set up to isomorphism whenever
+    the enumeration is defined; the one divergence is events of probability
+    exactly 1, whose zero-probability worlds make the enumeration raise while
+    the formula path simply omits them.
+
+    ``context`` (an :class:`~repro.core.context.ExecutionContext`) supplies
+    the default engine mode and the Shannon tables the formula path prices
+    with; the ``engine=`` string override wins over its default.
     """
     # Imported lazily to keep this module importable before
     # repro.core.probability during package initialization.
-    from repro.core.probability import formula_pwset, require_engine_mode
+    from repro.core.context import resolve_context
+    from repro.core.probability import formula_pwset
 
-    if require_engine_mode(engine) == "formula":
-        return formula_pwset(probtree)
+    ctx = resolve_context(context, engine=engine)
+    if ctx.resolve_engine() == "formula":
+        return formula_pwset(
+            probtree, probability_engine=ctx.engine_for(probtree, "formula")
+        )
     return possible_worlds(probtree, restrict_to_used=True, normalize=True)
 
 

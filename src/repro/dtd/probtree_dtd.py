@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from repro.core.probability import engine_for, require_engine_mode
+from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
 from repro.core.semantics import possible_worlds
 from repro.dtd.dtd import DTD
@@ -59,7 +59,12 @@ def violating_world(probtree: ProbTree, dtd: DTD) -> Optional[FrozenSet[str]]:
     return None
 
 
-def dtd_satisfiable(probtree: ProbTree, dtd: DTD, engine: str = "formula") -> bool:
+def dtd_satisfiable(
+    probtree: ProbTree,
+    dtd: DTD,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
+) -> bool:
     """DTD Satisfiability: ``{(t, p) ∈ ⟦T⟧ | t ⊨ D} ≠ ∅``.
 
     ``engine="formula"`` (default) decides by an exact SAT check on the
@@ -67,18 +72,25 @@ def dtd_satisfiable(probtree: ProbTree, dtd: DTD, engine: str = "formula") -> bo
     ``engine="enumerate"`` searches for a satisfying world explicitly (use
     :func:`satisfying_world` directly when the certificate itself is wanted).
     """
-    if require_engine_mode(engine) == "enumerate":
+    ctx = resolve_context(context, engine=engine)
+    if ctx.resolve_engine() == "enumerate":
         return satisfying_world(probtree, dtd) is not None
     return shannon_satisfiable(dtd_validity_formula(probtree, dtd))
 
 
-def dtd_valid(probtree: ProbTree, dtd: DTD, engine: str = "formula") -> bool:
+def dtd_valid(
+    probtree: ProbTree,
+    dtd: DTD,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
+) -> bool:
     """DTD Validity: every possible world satisfies ``D``.
 
     ``engine="formula"`` (default) checks that the compiled validity formula
     is a tautology; ``engine="enumerate"`` searches for a violating world.
     """
-    if require_engine_mode(engine) == "enumerate":
+    ctx = resolve_context(context, engine=engine)
+    if ctx.resolve_engine() == "enumerate":
         return violating_world(probtree, dtd) is None
     return shannon_tautology(dtd_validity_formula(probtree, dtd))
 
@@ -204,7 +216,10 @@ def dtd_validity_formula(probtree: ProbTree, dtd: DTD) -> BoolExpr:
 
 
 def dtd_satisfaction_probability(
-    probtree: ProbTree, dtd: DTD, engine: str = "formula"
+    probtree: ProbTree,
+    dtd: DTD,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Total probability of the worlds satisfying the DTD.
 
@@ -215,9 +230,12 @@ def dtd_satisfaction_probability(
     no possible world is materialized; ``engine="enumerate"`` keeps the
     original exhaustive computation as a reference oracle.
     """
-    if require_engine_mode(engine) == "enumerate":
+    ctx = resolve_context(context, engine=engine)
+    if ctx.resolve_engine() == "enumerate":
         return dtd_restriction_pwset(probtree, dtd).total_probability()
-    return engine_for(probtree).probability(dtd_validity_formula(probtree, dtd))
+    return ctx.engine_for(probtree, "formula").probability(
+        dtd_validity_formula(probtree, dtd)
+    )
 
 
 __all__ = [

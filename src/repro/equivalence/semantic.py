@@ -15,13 +15,19 @@ second half by swapping distributions.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.context import ExecutionContext
 from repro.core.events import ProbabilityDistribution
 from repro.core.probtree import ProbTree
 from repro.core.semantics import normalized_worlds
 
 
 def semantically_equivalent(
-    left: ProbTree, right: ProbTree, engine: str = "formula"
+    left: ProbTree,
+    right: ProbTree,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> bool:
     """Decide ``⟦T⟧ ∼ ⟦T'⟧`` by computing and comparing both normalized PW sets.
 
@@ -31,8 +37,8 @@ def semantically_equivalent(
     rather than in the number of used events; ``engine="enumerate"`` keeps
     the literal EXPTIME procedure of the paper.
     """
-    left_worlds = normalized_worlds(left, engine=engine)
-    right_worlds = normalized_worlds(right, engine=engine)
+    left_worlds = normalized_worlds(left, engine=engine, context=context)
+    right_worlds = normalized_worlds(right, engine=engine, context=context)
     return left_worlds.isomorphic(right_worlds)
 
 
@@ -40,7 +46,8 @@ def semantically_equivalent_under(
     left: ProbTree,
     right: ProbTree,
     distribution: ProbabilityDistribution,
-    engine: str = "formula",
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> bool:
     """Semantic equivalence after re-assigning both trees' probabilities.
 
@@ -51,6 +58,7 @@ def semantically_equivalent_under(
         left.with_distribution(distribution),
         right.with_distribution(distribution),
         engine=engine,
+        context=context,
     )
 
 

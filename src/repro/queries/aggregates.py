@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
 from repro.formulas.literals import Condition, all_worlds
 from repro.queries.base import Query
@@ -27,12 +28,12 @@ from repro.utils.errors import QueryError
 
 
 def _answer_conditions(
-    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+    query: Query, probtree: ProbTree, ctx: ExecutionContext
 ) -> List[Condition]:
     if not query.locally_monotone:
         raise QueryError("aggregates are only defined for locally monotone queries")
     conditions = []
-    for nodes in query.result_node_sets(probtree.tree, matcher=matcher):
+    for nodes in ctx.result_node_sets(query, probtree.tree):
         condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         if condition.is_consistent():
             conditions.append(condition)
@@ -40,7 +41,10 @@ def _answer_conditions(
 
 
 def expected_match_count(
-    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+    query: Query,
+    probtree: ProbTree,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Expected number of answers of *query* over the possible worlds.
 
@@ -48,15 +52,19 @@ def expected_match_count(
     of its condition bundle, and expectations add up regardless of
     correlations between answers.
     """
+    ctx = resolve_context(context, matcher=matcher)
     distribution = probtree.distribution.as_dict()
     return sum(
         condition.probability(distribution)
-        for condition in _answer_conditions(query, probtree, matcher=matcher)
+        for condition in _answer_conditions(query, probtree, ctx)
     )
 
 
 def match_count_distribution(
-    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+    query: Query,
+    probtree: ProbTree,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[int, float]:
     """Exact distribution of the number of answers.
 
@@ -66,7 +74,8 @@ def match_count_distribution(
     probability that the count is zero subsumes the boolean-query problem the
     paper shows hard for the formula variant).
     """
-    conditions = _answer_conditions(query, probtree, matcher=matcher)
+    ctx = resolve_context(context, matcher=matcher)
+    conditions = _answer_conditions(query, probtree, ctx)
     touched = sorted(set().union(*(c.events() for c in conditions)) if conditions else set())
     distribution = probtree.distribution
     result: Dict[int, float] = {}
@@ -80,20 +89,31 @@ def match_count_distribution(
 
 
 def probability_count_at_least(
-    query: Query, probtree: ProbTree, k: int, matcher: Optional[str] = None
+    query: Query,
+    probtree: ProbTree,
+    k: int,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Probability that the query has at least *k* answers."""
     if k <= 0:
         return 1.0
-    distribution = match_count_distribution(query, probtree, matcher=matcher)
+    distribution = match_count_distribution(
+        query, probtree, matcher=matcher, context=context
+    )
     return sum(probability for count, probability in distribution.items() if count >= k)
 
 
 def variance_of_match_count(
-    query: Query, probtree: ProbTree, matcher: Optional[str] = None
+    query: Query,
+    probtree: ProbTree,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Variance of the number of answers (via the exact distribution)."""
-    distribution = match_count_distribution(query, probtree, matcher=matcher)
+    distribution = match_count_distribution(
+        query, probtree, matcher=matcher, context=context
+    )
     mean = sum(count * probability for count, probability in distribution.items())
     return sum(
         probability * (count - mean) ** 2 for count, probability in distribution.items()

@@ -79,21 +79,25 @@ class Query(ABC):
     def matches(self, tree: DataTree) -> List[Match]:
         """All embeddings of the query into *tree*."""
 
-    def matches_with(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
+    def matches_with(
+        self, tree: DataTree, matcher: Optional[str] = None, context=None
+    ) -> List[Match]:
         """Embeddings via a named matcher (``"indexed"`` | ``"naive"``).
 
         Query classes with alternative matching strategies (notably
         :class:`~repro.queries.treepattern.TreePattern`) override this to
-        dispatch; the default ignores *matcher* so ad-hoc query classes only
-        have to implement :meth:`matches`.
+        dispatch; the default ignores *matcher* and *context* so ad-hoc query
+        classes only have to implement :meth:`matches`.
         """
         return self.matches(tree)
 
-    def results(self, tree: DataTree, matcher: Optional[str] = None) -> List[DataTree]:
+    def results(
+        self, tree: DataTree, matcher: Optional[str] = None, context=None
+    ) -> List[DataTree]:
         """The answer set ``Q(t)``: distinct sub-datatrees induced by matches."""
         seen: set = set()
         answers: List[DataTree] = []
-        for match in self.matches_with(tree, matcher):
+        for match in self.matches_with(tree, matcher, context=context):
             nodes = match.answer_nodes(tree)
             if nodes not in seen:
                 seen.add(nodes)
@@ -101,21 +105,23 @@ class Query(ABC):
         return answers
 
     def result_node_sets(
-        self, tree: DataTree, matcher: Optional[str] = None
+        self, tree: DataTree, matcher: Optional[str] = None, context=None
     ) -> List[FrozenSet[NodeId]]:
         """Node sets of the distinct answer sub-datatrees (cheaper than trees)."""
         seen: set = set()
         ordered: List[FrozenSet[NodeId]] = []
-        for match in self.matches_with(tree, matcher):
+        for match in self.matches_with(tree, matcher, context=context):
             nodes = match.answer_nodes(tree)
             if nodes not in seen:
                 seen.add(nodes)
                 ordered.append(nodes)
         return ordered
 
-    def selects(self, tree: DataTree, matcher: Optional[str] = None) -> bool:
+    def selects(
+        self, tree: DataTree, matcher: Optional[str] = None, context=None
+    ) -> bool:
         """Whether the query has at least one match on *tree*."""
-        return bool(self.matches_with(tree, matcher))
+        return bool(self.matches_with(tree, matcher, context=context))
 
     def __call__(self, tree: DataTree) -> List[DataTree]:
         return self.results(tree)

@@ -13,20 +13,29 @@ Three evaluation modes, mirroring the paper:
   isomorphism for locally monotone queries; :func:`answers_isomorphic` is the
   comparison used by the test suite to check exactly that.
 
-Two orthogonal strategy knobs thread through every entry point, each pairing
-a fast default with a slow reference kept as a differential-testing oracle:
+Every entry point executes under an
+:class:`~repro.core.context.ExecutionContext` — pass one with ``context=`` to
+share a session's caches (per-probtree Shannon tables, structural indexes and
+the answer-set cache) and policy across calls.  The legacy string kwargs
+remain as a back-compat shim, each pairing a fast default with a slow
+reference kept as a differential-testing oracle:
 
 * ``engine="formula" | "enumerate"`` — how answer probabilities are priced
   (Shannon expansion over event formulas vs. possible-world enumeration, see
   :mod:`repro.core.probability`);
-* ``matcher="indexed" | "naive"`` — how embeddings are found.  ``"indexed"``
-  (default) goes through the compiled three-stage pipeline of
+* ``matcher="indexed" | "naive" | "auto"`` — how embeddings are found.
+  ``"indexed"`` (default) goes through the compiled three-stage pipeline of
   :mod:`repro.queries.plan`: a shared structural **index** over the tree
   (preorder intervals + label posting lists, :mod:`repro.trees.index`), a
   bottom-up **plan** (candidate seeding, structural semijoins, join
   pushdown), then memoized **embedding enumeration**.  ``"naive"`` is the
-  direct backtracking matcher.  Both return identical match sets, so the
-  semantics of Definitions 6–8 are untouched by the choice.
+  direct backtracking matcher; ``"auto"`` lets the context's cost model pick
+  per pattern.  All return identical match sets, so the semantics of
+  Definitions 6–8 are untouched by the choice.
+
+Per-call resolution precedence is uniform: an explicit string override wins
+over the ``context=`` argument's defaults, which win over the module default
+context (see :func:`repro.core.context.resolve_context`).
 
 The ``*_many`` batch entry points evaluate several queries against one
 prob-tree: the structural index and the probability engine (with its
@@ -39,15 +48,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.probability import ProbabilityEngine, engine_for, require_engine_mode
+from repro.core.context import ExecutionContext, resolve_context
+from repro.core.probability import ProbabilityEngine
 from repro.core.probtree import ProbTree
 from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition
 from repro.pw.pwset import PWSet
 from repro.queries.base import Match, Query
-from repro.queries.plan import require_matcher_mode
 from repro.trees.datatree import DataTree
-from repro.trees.index import tree_index
 from repro.trees.isomorphism import canonical_encoding
 from repro.utils.errors import QueryError
 
@@ -66,10 +74,14 @@ class QueryAnswer:
 
 
 def evaluate_on_datatree(
-    query: Query, tree: DataTree, matcher: Optional[str] = None
+    query: Query,
+    tree: DataTree,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[QueryAnswer]:
     """Evaluate a query on a single data tree (all answers have probability 1)."""
-    return [QueryAnswer(answer, 1.0) for answer in query.results(tree, matcher=matcher)]
+    ctx = resolve_context(context, matcher=matcher)
+    return [QueryAnswer(answer, 1.0) for answer in ctx.results(query, tree)]
 
 
 def evaluate_on_pwset(
@@ -77,6 +89,7 @@ def evaluate_on_pwset(
     pwset: PWSet,
     matcher: Optional[str] = None,
     dedup_worlds: bool = True,
+    context: Optional[ExecutionContext] = None,
 ) -> List[QueryAnswer]:
     """Evaluate a query on every possible world (Definition 7).
 
@@ -93,10 +106,11 @@ def evaluate_on_pwset(
     without merging anything), can pass ``dedup_worlds=False`` for the
     plain world-by-world evaluation.
     """
+    ctx = resolve_context(context, matcher=matcher)
     if not dedup_worlds:
         answers: List[QueryAnswer] = []
         for world_tree, probability in pwset:
-            for answer in query.results(world_tree, matcher=matcher):
+            for answer in ctx.results(query, world_tree):
                 answers.append(QueryAnswer(answer, probability))
         return answers
     grouped: Dict[str, List] = {}
@@ -109,7 +123,7 @@ def evaluate_on_pwset(
             entry[1].append(probability)
     answers = []
     for world_tree, probabilities in grouped.values():
-        results = query.results(world_tree, matcher=matcher)
+        results = ctx.results(query, world_tree)
         for probability in probabilities:
             for answer in results:
                 answers.append(QueryAnswer(answer, probability))
@@ -121,7 +135,7 @@ def _answers_with_engine(
     probtree: ProbTree,
     engine: ProbabilityEngine,
     keep_zero_probability: bool,
-    matcher: Optional[str] = None,
+    ctx: ExecutionContext,
 ) -> List[QueryAnswer]:
     if not query.locally_monotone:
         raise QueryError(
@@ -129,7 +143,7 @@ def _answers_with_engine(
         )
     tree = probtree.tree
     answers: List[QueryAnswer] = []
-    for nodes in query.result_node_sets(tree, matcher=matcher):
+    for nodes in ctx.result_node_sets(query, tree):
         condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         probability = engine.condition_probability(condition)
         if probability <= 0.0 and not keep_zero_probability:
@@ -142,24 +156,36 @@ def evaluate_on_probtree(
     query: Query,
     probtree: ProbTree,
     keep_zero_probability: bool = False,
-    engine: str = "formula",
+    engine: Optional[str] = None,
     matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[QueryAnswer]:
     """Evaluate a locally monotone query on a prob-tree (Definition 8).
 
     The query runs once on the underlying data tree; each answer ``u`` gets
     probability ``eval(⋃_{n ∈ u} γ(n))`` — zero (and dropped by default) when
     the union of conditions is inconsistent.  Answer probabilities go through
-    the prob-tree's shared :class:`ProbabilityEngine`, so conditions repeated
+    the context's shared :class:`ProbabilityEngine`, so conditions repeated
     across answers (or across queries) are priced once; embeddings are found
-    by the matcher selected with ``matcher`` (see the module docstring).
+    through the context's answer-set cache and matcher policy (see the
+    module docstring).
 
     Raises :class:`QueryError` if the query declares itself non locally
     monotone: Definition 8 is not sound for such queries.
+
+    Repeated evaluations of an equal query against an unchanged prob-tree
+    are served from the context's answer cache.  Treat the returned answer
+    trees as read-only — the cache shares them verbatim across calls
+    (including the populating one); ``answer.tree.copy()`` before mutating.
     """
-    shared = engine_for(probtree, mode=require_engine_mode(engine))
-    return _answers_with_engine(
-        query, probtree, shared, keep_zero_probability, matcher=matcher
+    ctx = resolve_context(context, engine=engine, matcher=matcher)
+    return ctx.cached_answers(
+        query,
+        probtree,
+        keep_zero_probability,
+        lambda: _answers_with_engine(
+            query, probtree, ctx.engine_for(probtree), keep_zero_probability, ctx
+        ),
     )
 
 
@@ -167,35 +193,39 @@ def evaluate_many(
     queries: Sequence[Query],
     probtree: ProbTree,
     keep_zero_probability: bool = False,
-    engine: str = "formula",
+    engine: Optional[str] = None,
     matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[List[QueryAnswer]]:
     """Batched Definition 8 evaluation: one answer list per query.
 
     The shared resources are resolved exactly once for the whole batch: the
-    probability engine (and its memoized formula cache) through
-    :func:`~repro.core.probability.engine_for`, and — when the indexed
-    matcher is selected — the structural :class:`~repro.trees.index.TreeIndex`
-    of the underlying data tree, which every per-query plan then reuses.
+    probability engine (and its memoized formula cache) through the context,
+    and — when the indexed matcher is selected — the structural
+    :class:`~repro.trees.index.TreeIndex` of the underlying data tree, which
+    every per-query plan then reuses.
     """
-    shared = engine_for(probtree, mode=require_engine_mode(engine))
-    if require_matcher_mode(matcher) == "indexed":
-        tree_index(probtree.tree)  # build once; plans fetch the cached snapshot
+    ctx = resolve_context(context, engine=engine, matcher=matcher)
+    shared = ctx.engine_for(probtree)
+    if ctx.resolve_matcher() == "indexed":
+        ctx.index_for(probtree.tree)  # build once; plans fetch the cached snapshot
     return [
-        _answers_with_engine(
-            query, probtree, shared, keep_zero_probability, matcher=matcher
+        ctx.cached_answers(
+            query,
+            probtree,
+            keep_zero_probability,
+            lambda query=query: _answers_with_engine(
+                query, probtree, shared, keep_zero_probability, ctx
+            ),
         )
         for query in queries
     ]
 
 
-def _boolean_dnf(
-    query: Query, probtree: ProbTree, matcher: Optional[str] = None
-) -> DNF:
+def _boolean_dnf(query: Query, probtree: ProbTree, ctx: ExecutionContext) -> DNF:
     """The DNF over answer-condition bundles whose probability is the query's."""
-    tree = probtree.tree
     disjuncts = []
-    for nodes in query.result_node_sets(tree, matcher=matcher):
+    for nodes in ctx.result_node_sets(query, probtree.tree):
         condition = Condition.conjoin_all(probtree.condition(node) for node in nodes)
         if condition.is_consistent():
             disjuncts.append(condition)
@@ -205,8 +235,9 @@ def _boolean_dnf(
 def boolean_probability(
     query: Query,
     probtree: ProbTree,
-    engine: str = "formula",
+    engine: Optional[str] = None,
     matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> float:
     """Probability that the query has at least one answer on the prob-tree.
 
@@ -214,37 +245,37 @@ def boolean_probability(
     holds, so this is the probability of a DNF over the answers' conditions.
     With ``engine="formula"`` (default) the DNF is evaluated by Shannon
     expansion over only the events it mentions (memoized, shared per
-    prob-tree); ``engine="enumerate"`` enumerates the mentioned events'
-    worlds — the exponential reference the paper's Section 5 shows is
-    unavoidable in the worst case, kept as a differential oracle.
+    prob-tree within the context); ``engine="enumerate"`` enumerates the
+    mentioned events' worlds — the exponential reference the paper's
+    Section 5 shows is unavoidable in the worst case, kept as a differential
+    oracle.
     """
-    disjuncts = _boolean_dnf(query, probtree, matcher=matcher)
+    ctx = resolve_context(context, engine=engine, matcher=matcher)
+    disjuncts = _boolean_dnf(query, probtree, ctx)
     if len(disjuncts) == 0:
         return 0.0
-    if require_engine_mode(engine) == "enumerate":
+    if ctx.resolve_engine() == "enumerate":
         return disjuncts.probability(probtree.distribution.as_dict())
-    return engine_for(probtree).dnf_probability(disjuncts)
+    return ctx.engine_for(probtree, "formula").dnf_probability(disjuncts)
 
 
 def boolean_probability_many(
     queries: Sequence[Query],
     probtree: ProbTree,
-    engine: str = "formula",
+    engine: Optional[str] = None,
     matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[float]:
     """Batched :func:`boolean_probability`.
 
     Like :func:`evaluate_many`, the structural index is built once up front
-    (for the indexed matcher) and the per-probtree formula cache is shared
-    across the whole batch.
+    (for the indexed matcher) and the context's per-probtree formula cache is
+    shared across the whole batch.
     """
-    require_engine_mode(engine)
-    if require_matcher_mode(matcher) == "indexed":
-        tree_index(probtree.tree)  # build once; plans fetch the cached snapshot
-    return [
-        boolean_probability(query, probtree, engine=engine, matcher=matcher)
-        for query in queries
-    ]
+    ctx = resolve_context(context, engine=engine, matcher=matcher)
+    if ctx.resolve_matcher() == "indexed":
+        ctx.index_for(probtree.tree)  # build once; plans fetch the cached snapshot
+    return [boolean_probability(query, probtree, context=ctx) for query in queries]
 
 
 def aggregate_by_isomorphism(answers: List[QueryAnswer]) -> Dict[str, float]:

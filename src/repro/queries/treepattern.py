@@ -109,9 +109,32 @@ class TreePattern(LocallyMonotoneQuery):
     def node_count(self) -> int:
         return len(self._nodes)
 
+    def fingerprint(self) -> tuple:
+        """A hashable encoding of the pattern's structure, labels and joins.
+
+        Two patterns with equal fingerprints select the same answers on every
+        tree, which is what the :class:`~repro.core.context.ExecutionContext`
+        answer-set cache keys on (together with the tree version).  Computed
+        fresh on every call — patterns are tiny and mutable (``add_child`` /
+        ``add_join``), so caching the value would risk staleness.
+        """
+        return (
+            "tree-pattern",
+            tuple(
+                (spec.node_id, spec.label, spec.edge, self._parent[spec.node_id])
+                for spec in (self._nodes[node_id] for node_id in sorted(self._nodes))
+            ),
+            tuple(self._joins),
+        )
+
     # -- evaluation ---------------------------------------------------------
 
-    def matches(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
+    def matches(
+        self,
+        tree: DataTree,
+        matcher: Optional[str] = None,
+        context=None,
+    ) -> List[Match]:
         """All embeddings of the pattern into *tree*.
 
         ``matcher`` selects the evaluation strategy:
@@ -120,18 +143,28 @@ class TreePattern(LocallyMonotoneQuery):
           executed against the tree's shared structural index
           (:mod:`repro.queries.plan`);
         * ``"naive"`` — the direct backtracking matcher below, kept as a
-          differential-testing oracle (mirroring ``engine="enumerate"``).
+          differential-testing oracle (mirroring ``engine="enumerate"``);
+        * ``"auto"`` — defer to the context's cost model (naive for tiny
+          pattern×tree products, indexed otherwise).
 
-        Both return the same embedding set.
+        ``context`` (an :class:`~repro.core.context.ExecutionContext`)
+        supplies the default mode and collects stats; when omitted, the
+        module default context is used.  All strategies return the same
+        embedding set.
         """
-        from repro.queries.plan import PatternPlan, require_matcher_mode
+        from repro.core.context import resolve_context  # local: avoids an import cycle
+        from repro.queries.plan import PatternPlan
 
-        if require_matcher_mode(matcher) == "naive":
+        ctx = resolve_context(context)
+        if ctx.effective_matcher(self, tree, matcher) == "naive":
             return self.matches_naive(tree)
+        ctx.note_plan_compiled()
         return PatternPlan(self, tree).matches()
 
-    def matches_with(self, tree: DataTree, matcher: Optional[str] = None) -> List[Match]:
-        return self.matches(tree, matcher=matcher)
+    def matches_with(
+        self, tree: DataTree, matcher: Optional[str] = None, context=None
+    ) -> List[Match]:
+        return self.matches(tree, matcher=matcher, context=context)
 
     def matches_naive(self, tree: DataTree) -> List[Match]:
         """The reference backtracking matcher (the ``"naive"`` oracle)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.context import ExecutionContext
 from repro.core.probtree import ProbTree
 from repro.pw.pwset import PWSet
 from repro.queries.base import Query
@@ -52,6 +53,7 @@ def top_k_answers(
     minimum_probability: float = 0.0,
     aggregate_isomorphic: bool = True,
     matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[QueryAnswer]:
     """The *k* most probable answers of *query* on a prob-tree or a PW set.
 
@@ -63,15 +65,17 @@ def top_k_answers(
         minimum_probability: drop answers strictly below this probability
             before ranking (0 keeps everything).
         aggregate_isomorphic: merge isomorphic answer trees before ranking.
-        matcher: embedding strategy (``"indexed"`` | ``"naive"``), see
-            :mod:`repro.queries.evaluation`.
+        matcher: embedding strategy (``"indexed"`` | ``"naive"`` |
+            ``"auto"``), see :mod:`repro.queries.evaluation`.
+        context: the :class:`~repro.core.context.ExecutionContext` to execute
+            under (caches, policy); string overrides win over its defaults.
     """
     if k < 1:
         raise ValueError("top_k_answers needs k >= 1")
     if isinstance(source, ProbTree):
-        answers = evaluate_on_probtree(query, source, matcher=matcher)
+        answers = evaluate_on_probtree(query, source, matcher=matcher, context=context)
     else:
-        answers = evaluate_on_pwset(query, source, matcher=matcher)
+        answers = evaluate_on_pwset(query, source, matcher=matcher, context=context)
     if minimum_probability > 0.0:
         answers = [a for a in answers if a.probability >= minimum_probability]
     return rank_answers(answers, k=k, aggregate_isomorphic=aggregate_isomorphic)

@@ -12,8 +12,9 @@ worst case.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.core.context import ExecutionContext
 from repro.core.probtree import ProbTree
 from repro.core.semantics import normalized_worlds
 from repro.pw.convert import pwset_to_probtree
@@ -23,26 +24,31 @@ from repro.utils.errors import InvalidProbabilityError
 
 
 def threshold_worlds(
-    probtree: ProbTree, threshold: float, engine: str = "formula"
+    probtree: ProbTree,
+    threshold: float,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> PWSet:
     """The sub-PW-set ``⟦T⟧≥p`` (worlds of the normalized semantics with ``pᵢ ≥ p``).
 
-    With ``engine="formula"`` the normalized semantics is reconstructed from
-    achievable surviving-node subsets priced by the formula engine, avoiding
-    the full ``2^|W|`` world expansion whenever few nodes carry conditions.
+    With ``engine="formula"`` (default) the normalized semantics is
+    reconstructed from achievable surviving-node subsets priced by the
+    context's formula engine, avoiding the full ``2^|W|`` world expansion
+    whenever few nodes carry conditions.
     """
     if not 0.0 < threshold <= 1.0:
         raise InvalidProbabilityError(
             f"threshold must lie in ]0; 1], got {threshold!r}"
         )
-    return normalized_worlds(probtree, engine=engine).at_least(threshold)
+    return normalized_worlds(probtree, engine=engine, context=context).at_least(threshold)
 
 
 def threshold_probtree(
     probtree: ProbTree,
     threshold: float,
     event_prefix: str = "keep",
-    engine: str = "formula",
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> ProbTree:
     """A prob-tree ``T'`` with ``⟦T⟧≥p ∼sub ⟦T'⟧``.
 
@@ -51,7 +57,7 @@ def threshold_probtree(
     threshold (there is then nothing representable: even the root-only
     completion would carry probability 1 of an empty selection).
     """
-    kept = threshold_worlds(probtree, threshold, engine=engine)
+    kept = threshold_worlds(probtree, threshold, engine=engine, context=context)
     if len(kept) == 0:
         raise InvalidProbabilityError(
             f"no possible world has probability >= {threshold}"
@@ -61,14 +67,17 @@ def threshold_probtree(
 
 
 def most_probable_worlds(
-    probtree: ProbTree, count: int = 1, engine: str = "formula"
+    probtree: ProbTree,
+    count: int = 1,
+    engine: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[Tuple[DataTree, float]]:
     """The *count* most probable worlds of the normalized semantics.
 
     Implements the "rank possible worlds by probability" usage from the
     paper's conclusion (prob-tree simplification / top-k answers).
     """
-    return normalized_worlds(probtree, engine=engine).most_probable(count)
+    return normalized_worlds(probtree, engine=engine, context=context).most_probable(count)
 
 
 __all__ = ["threshold_worlds", "threshold_probtree", "most_probable_worlds"]

@@ -30,7 +30,18 @@ class DataTree:
     that order any meaning.
     """
 
-    __slots__ = ("_labels", "_children", "_parent", "_root", "_next_id", "_version", "_index_cache")
+    # __weakref__ lets the ExecutionContext answer-set cache key entries by
+    # tree object without keeping dead trees alive.
+    __slots__ = (
+        "_labels",
+        "_children",
+        "_parent",
+        "_root",
+        "_next_id",
+        "_version",
+        "_index_cache",
+        "__weakref__",
+    )
 
     def __init__(self, root_label: str) -> None:
         self._labels: Dict[NodeId, str] = {0: str(root_label)}

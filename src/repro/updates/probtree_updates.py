@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
 from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition, Literal
@@ -45,11 +46,22 @@ from repro.utils.errors import UpdateError
 
 
 def apply_update_to_probtree(
-    probtree: ProbTree, update: ProbabilisticUpdate
+    probtree: ProbTree,
+    update: ProbabilisticUpdate,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> ProbTree:
-    """Apply a probabilistic update to a prob-tree, returning a new prob-tree."""
+    """Apply a probabilistic update to a prob-tree, returning a new prob-tree.
+
+    The returned prob-tree owns a *fresh* :class:`~repro.trees.datatree.DataTree`
+    (a copy, mutated in place), so context answer-set caches keyed by tree
+    object never serve the pre-update answers for the post-update document.
+    Match finding goes through the context's matcher policy (``matcher=``
+    overrides its default).
+    """
+    ctx = resolve_context(context, matcher=matcher)
     operation = update.operation
-    matches = operation.query.matches(probtree.tree)
+    matches = ctx.matches(operation.query, probtree.tree)
     result = probtree.copy()
     if not matches:
         # No world can be selected by Q (local monotonicity), so nothing
@@ -74,12 +86,15 @@ def apply_update_to_probtree(
 
 
 def apply_updates_to_probtree(
-    probtree: ProbTree, updates: List[ProbabilisticUpdate]
+    probtree: ProbTree,
+    updates: List[ProbabilisticUpdate],
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> ProbTree:
     """Apply a sequence of probabilistic updates in order."""
     current = probtree
     for update in updates:
-        current = apply_update_to_probtree(current, update)
+        current = apply_update_to_probtree(current, update, matcher=matcher, context=context)
     return current
 
 

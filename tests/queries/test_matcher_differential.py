@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.core.context import ExecutionContext
 from repro.queries.treepattern import (
     EDGE_DESCENDANT,
     TreePattern,
@@ -25,10 +26,14 @@ from repro.workloads.random_trees import random_datatree
 def _assert_matchers_agree(pattern, tree):
     naive = pattern.matches(tree, matcher="naive")
     indexed = pattern.matches(tree, matcher="indexed")
+    # The cost-model matcher must be observationally identical to both fixed
+    # modes, whichever it picks (fresh context per call so the choice is
+    # driven by this tree/pattern pair alone).
+    auto = pattern.matches(tree, context=ExecutionContext(matcher="auto"))
     # Embeddings are distinct mappings, so set identity plus equal length is
     # multiset identity.
-    assert len(naive) == len(indexed)
-    assert set(naive) == set(indexed)
+    assert len(naive) == len(indexed) == len(auto)
+    assert set(naive) == set(indexed) == set(auto)
     assert set(pattern.result_node_sets(tree, matcher="naive")) == set(
         pattern.result_node_sets(tree, matcher="indexed")
     )
