@@ -74,7 +74,11 @@ def _load(arguments: argparse.Namespace) -> ProbXMLWarehouse:
     after the command so cache behaviour is observable from the shell.
     """
     text = Path(arguments.document).read_text()
-    context = ExecutionContext(engine=arguments.engine, matcher=arguments.matcher)
+    context = ExecutionContext(
+        engine=arguments.engine,
+        matcher=arguments.matcher,
+        max_cached_answers=getattr(arguments, "max_cached_answers", None),
+    )
     return ProbXMLWarehouse(probtree_from_xml(text), context=context)
 
 
@@ -167,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the execution context's cache/plan counters after the command",
+    )
+    common.add_argument(
+        "--max-cached-answers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-document LRU bound on cached answer entries "
+        "(default: the context's generous built-in bound)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -15,18 +15,34 @@ algorithm requires its inputs to be clean.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.probtree import ProbTree
 from repro.formulas.literals import Condition
 from repro.trees.datatree import NodeId
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime
+    from repro.core.context import ExecutionContext
 
-def clean(probtree: ProbTree) -> ProbTree:
-    """Return a clean prob-tree with the same possible-world semantics."""
+
+def clean(probtree: ProbTree, context: "Optional[ExecutionContext]" = None) -> ProbTree:
+    """Return a clean prob-tree with the same possible-world semantics.
+
+    Cleaning preserves surviving node identifiers and labels, and it
+    preserves the semantics outright, so cached answers of queries whose
+    label fingerprints avoid every *pruned* label remain valid: they are
+    migrated to the returned prob-tree through the resolved context
+    (:meth:`~repro.core.context.ExecutionContext.migrate_answers`) instead
+    of being dropped with the replaced objects.  Pass the session's
+    ``context=`` to keep its warm entries; omitted, the module default
+    context is used.
+    """
+    from repro.core.context import resolve_context  # local: avoids an import cycle
+
     tree = probtree.tree
     keep: Set[NodeId] = set()
     new_conditions: Dict[NodeId, Condition] = {}
+    pruned_labels: Set[str] = set()
 
     # Walk top-down carrying the accumulated (already-simplified) ancestor
     # condition; prune on inconsistency, drop inherited literals otherwise.
@@ -36,6 +52,10 @@ def clean(probtree: ProbTree) -> ProbTree:
         own = probtree.condition(node)
         if not own.is_consistent() or own.contradicts(inherited):
             # The node (and its whole subtree) is absent from every world.
+            pruned_labels.add(tree.label(node))
+            pruned_labels.update(
+                tree.label(dead) for dead in tree.descendants(node)
+            )
             continue
         simplified = own.minus(inherited)
         keep.add(node)
@@ -46,7 +66,9 @@ def clean(probtree: ProbTree) -> ProbTree:
             stack.append((child, accumulated))
 
     cleaned_tree = tree.restrict(keep)
-    return ProbTree(cleaned_tree, probtree.distribution, new_conditions)
+    result = ProbTree(cleaned_tree, probtree.distribution, new_conditions)
+    resolve_context(context).migrate_answers(probtree, result, pruned_labels)
+    return result
 
 
 def is_clean(probtree: ProbTree) -> bool:

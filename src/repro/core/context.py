@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import inspect
 import weakref
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.probability import ProbabilityEngine, require_engine_mode
 from repro.core.probtree import ProbTree
@@ -57,6 +58,11 @@ MATCHER_CHOICES = ("indexed", "naive", "auto")
 #: Below this pattern-nodes × tree-nodes product, ``matcher="auto"`` prefers
 #: the naive backtracking matcher (no index build) when no fresh index exists.
 AUTO_NAIVE_COST = 512
+
+#: Default per-document bound on cached answer entries (per cache layer).
+#: Deliberately generous — the LRU exists to cap worst-case memory on
+#: many-distinct-query workloads, not to churn a working set.
+MAX_CACHED_ANSWERS = 1024
 
 
 # Query methods predating the context layer take (tree, matcher=None) — and
@@ -133,6 +139,8 @@ class ContextStats:
         "engines_created",
         "auto_chose_naive",
         "auto_chose_indexed",
+        "evictions",
+        "answers_migrated",
     )
 
     def __init__(self) -> None:
@@ -148,6 +156,8 @@ class ContextStats:
         self.engines_created = 0
         self.auto_chose_naive = 0
         self.auto_chose_indexed = 0
+        self.evictions = 0               # LRU answer-cache entries dropped
+        self.answers_migrated = 0        # entries carried across update/clean
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -155,6 +165,56 @@ class ContextStats:
     def __repr__(self) -> str:
         pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
         return f"ContextStats({pairs})"
+
+
+class _DocumentCache:
+    """One document's answer-cache shard: LRU entries + label invalidation.
+
+    ``entries`` maps a cache key to ``(labels, node_ids, value)``:
+
+    * ``labels`` — the query's :meth:`label_set` fingerprint (``None`` for
+      wildcard patterns and fingerprint-less queries: invalidate on any
+      mutation);
+    * ``node_ids`` — for full-answer entries, the union of node identifiers
+      occurring in the cached answer trees (answers embed *unmatched
+      ancestors*, whose labels the pattern does not constrain — a relabel of
+      one of these nodes must invalidate the entry even though no pattern
+      label is touched); ``None`` for raw node-set entries, whose values
+      contain only identifiers, never labels;
+    * ``value`` — the cached tuple.
+
+    The :class:`~collections.OrderedDict` order is the LRU order: hits move
+    entries to the end, eviction pops from the front.
+    """
+
+    __slots__ = ("stamp", "entries")
+
+    def __init__(self, stamp) -> None:
+        self.stamp = stamp
+        self.entries: "OrderedDict[tuple, Tuple[Optional[FrozenSet[str]], Optional[FrozenSet[NodeId]], tuple]]" = (
+            OrderedDict()
+        )
+
+
+def _journal_touch(
+    tree: DataTree, since_version: int
+) -> Optional[Tuple[FrozenSet[str], FrozenSet[NodeId]]]:
+    """``(touched_labels, relabeled_nodes)`` since *since_version*, or ``None``.
+
+    ``None`` means the tree's journal has been trimmed past *since_version*
+    and only wholesale invalidation is sound.  The extraction itself lives
+    on the tree (:meth:`DataTree.mutation_touch_since`) so there is exactly
+    one switch over journal entry kinds.
+    """
+    return tree.mutation_touch_since(since_version)
+
+
+def _query_label_set(query) -> Optional[FrozenSet[str]]:
+    """The query's label fingerprint, ``None`` when it offers none."""
+    method = getattr(query, "label_set", None)
+    if callable(method):
+        return method()
+    return None
 
 
 class _ContextState:
@@ -167,27 +227,41 @@ class _ContextState:
         "stats",
         "auto_naive_cost",
         "cache_answers",
+        "max_cached_answers",
     )
 
     def __init__(
-        self, auto_naive_cost: int = AUTO_NAIVE_COST, cache_answers: bool = True
+        self,
+        auto_naive_cost: int = AUTO_NAIVE_COST,
+        cache_answers: bool = True,
+        max_cached_answers: Optional[int] = None,
     ) -> None:
         # prob-tree -> {engine mode -> ProbabilityEngine}
         self.engines: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
             weakref.WeakKeyDictionary()
         )
-        # data tree -> (version, {(fingerprint, matcher) -> node-set tuple})
-        self.answer_cache: "weakref.WeakKeyDictionary[DataTree, Tuple[int, Dict]]" = (
+        # data tree -> _DocumentCache stamped with tree.version; entries are
+        # {(fingerprint, matcher) -> (labels, None, node-set tuple)}
+        self.answer_cache: "weakref.WeakKeyDictionary[DataTree, _DocumentCache]" = (
             weakref.WeakKeyDictionary()
         )
-        # prob-tree -> ((tree.version, probtree.state_version),
-        #               {(fingerprint, matcher, keep_zero) -> QueryAnswer tuple})
-        self.probtree_answers: "weakref.WeakKeyDictionary[ProbTree, Tuple[Tuple[int, int], Dict]]" = (
+        # prob-tree -> _DocumentCache stamped (tree.version, state_version);
+        # entries are {(fingerprint, matcher, engine, keep_zero) ->
+        #              (labels, answer node ids, QueryAnswer tuple)}
+        self.probtree_answers: "weakref.WeakKeyDictionary[ProbTree, _DocumentCache]" = (
             weakref.WeakKeyDictionary()
         )
         self.stats = ContextStats()
         self.auto_naive_cost = auto_naive_cost
         self.cache_answers = cache_answers
+        if max_cached_answers is None:
+            max_cached_answers = MAX_CACHED_ANSWERS
+        if max_cached_answers < 1:
+            raise ValueError(
+                f"max_cached_answers must be a positive bound, got "
+                f"{max_cached_answers!r}"
+            )
+        self.max_cached_answers = int(max_cached_answers)
 
 
 class ExecutionContext:
@@ -204,6 +278,11 @@ class ExecutionContext:
             :meth:`cached_answers`).  On by default for explicitly-created
             session contexts; the module :func:`default_context` disables it
             because anonymous legacy callers expect fresh answer trees.
+        max_cached_answers: per-document LRU bound on cached entries (per
+            cache layer).  ``None`` means the generous
+            :data:`MAX_CACHED_ANSWERS` default; values below 1 are
+            rejected.  Evictions are counted in
+            :attr:`ContextStats.evictions`.
     """
 
     __slots__ = ("_engine", "_matcher", "_state")
@@ -214,12 +293,15 @@ class ExecutionContext:
         matcher: Optional[str] = None,
         auto_naive_cost: int = AUTO_NAIVE_COST,
         cache_answers: bool = True,
+        max_cached_answers: Optional[int] = None,
         _state: Optional[_ContextState] = None,
     ) -> None:
         self._engine = require_engine_mode(engine) if engine is not None else "formula"
         self._matcher = require_matcher_choice(matcher)
         self._state = (
-            _state if _state is not None else _ContextState(auto_naive_cost, cache_answers)
+            _state
+            if _state is not None
+            else _ContextState(auto_naive_cost, cache_answers, max_cached_answers)
         )
 
     # -- modes ---------------------------------------------------------------
@@ -321,8 +403,63 @@ class ExecutionContext:
         return cached
 
     def index_for(self, tree: DataTree) -> TreeIndex:
-        """The shared structural index of *tree* (built or fetched)."""
+        """The shared structural index of *tree* (patched, fetched or built).
+
+        Delegates to :func:`~repro.trees.index.tree_index`: a stale cached
+        snapshot is patched in place by replaying the tree's mutation
+        journal, and rebuilt only past the cost-model threshold.
+        """
         return tree_index(tree)
+
+    # -- answer-cache internals ---------------------------------------------
+
+    def _sync_nodeset_shard(self, tree: DataTree) -> _DocumentCache:
+        """The node-set shard of *tree*, label-invalidated up to its version."""
+        shard = self._state.answer_cache.get(tree)
+        if shard is None:
+            shard = _DocumentCache(tree.version)
+            self._state.answer_cache[tree] = shard
+        elif shard.stamp != tree.version:
+            self._retire(shard, _journal_touch(tree, shard.stamp))
+            shard.stamp = tree.version
+        return shard
+
+    @staticmethod
+    def _retire(shard: _DocumentCache, touch) -> None:
+        """Drop the entries a mutation batch could have affected.
+
+        *touch* is the ``(touched_labels, relabeled_nodes)`` pair from
+        :func:`_journal_touch`, or ``None`` when the journal is gone —
+        wholesale invalidation then.  An entry survives iff its label
+        fingerprint is disjoint from the touched labels AND (for full-answer
+        entries) none of its answer nodes was relabeled; wildcard entries
+        (``labels is None``) never survive a non-empty batch.
+        """
+        entries = shard.entries
+        if touch is None:
+            entries.clear()
+            return
+        labels, relabeled = touch
+        if not labels and not relabeled:
+            return
+        dead = [
+            key
+            for key, (entry_labels, node_ids, _value) in entries.items()
+            if entry_labels is None
+            or (labels and not labels.isdisjoint(entry_labels))
+            or (relabeled and node_ids is not None and not relabeled.isdisjoint(node_ids))
+        ]
+        for key in dead:
+            del entries[key]
+
+    def _evict(self, shard: _DocumentCache) -> None:
+        """Enforce the per-document LRU bound, counting evictions."""
+        entries = shard.entries
+        limit = self._state.max_cached_answers
+        stats = self._state.stats
+        while len(entries) > limit:
+            entries.popitem(last=False)
+            stats.evictions += 1
 
     def result_node_sets(
         self,
@@ -332,12 +469,16 @@ class ExecutionContext:
     ) -> List[FrozenSet[NodeId]]:
         """Answer node sets of *query* on *source*, memoized per tree version.
 
-        The cache key is ``(tree.version, query.fingerprint(), matcher)``:
-        queries without a ``fingerprint()`` method (ad-hoc :class:`Query`
-        subclasses) bypass the cache; any structural or label mutation bumps
-        the tree's version and starts a fresh per-tree table, and replacing
-        the tree object altogether (updates, cleaning, thresholding all
-        produce new trees) keys a separate entry that dies with the old tree.
+        The cache key is ``(query.fingerprint(), matcher)``; queries without
+        a ``fingerprint()`` method (ad-hoc :class:`Query` subclasses) bypass
+        the cache.  Mutations no longer invalidate wholesale: the per-tree
+        shard is carried across version bumps and only the entries whose
+        label fingerprints intersect the mutated labels (per the tree's
+        journal) are dropped — a relabel far from everything a pattern can
+        touch keeps its warm entries.  Replacing the tree object altogether
+        (updates, cleaning, thresholding all produce new trees) keys a
+        separate shard that dies with the old tree.  Each shard is LRU
+        bounded by the context's ``max_cached_answers``.
         """
         tree = source.tree if isinstance(source, ProbTree) else source
         effective = self.effective_matcher(query, tree, matcher)
@@ -352,18 +493,17 @@ class ExecutionContext:
         if fingerprint is None:
             return compute(tree, **kwargs)
         stats = self._state.stats
-        entry = self._state.answer_cache.get(tree)
-        if entry is None or entry[0] != tree.version:
-            entry = (tree.version, {})
-            self._state.answer_cache[tree] = entry
+        shard = self._sync_nodeset_shard(tree)
         key = (fingerprint, effective)
-        cached = entry[1].get(key)
+        cached = shard.entries.get(key)
         if cached is not None:
+            shard.entries.move_to_end(key)
             stats.nodeset_cache_hits += 1
-            return list(cached)
+            return list(cached[2])
         stats.nodeset_cache_misses += 1
         result = compute(tree, **kwargs)
-        entry[1][key] = tuple(result)
+        shard.entries[key] = (_query_label_set(query), None, tuple(result))
+        self._evict(shard)
         return result
 
     def cached_answers(
@@ -377,10 +517,17 @@ class ExecutionContext:
 
         The cache key pairs the query's structural fingerprint with the
         concrete matcher; the guard stamp is ``(tree.version,
-        probtree.state_version)``, so *any* mutation that could change the
-        answers — structure, labels, conditions, the event distribution —
-        starts a fresh per-document table (and replacing the prob-tree
-        object, as updates do, keys a separate entry that dies with it).
+        probtree.state_version)``.  Condition/distribution mutations (a
+        ``state_version`` bump) still invalidate wholesale — they can
+        reprice any answer — but purely structural/label mutations are
+        resolved against the tree's mutation journal: only the entries
+        whose label fingerprints (or cached answer nodes, for relabels)
+        intersect the mutated labels are dropped.  Replacing the prob-tree
+        object, as updates do, keys a separate shard that dies with it —
+        see :meth:`migrate_answers` for how updates carry unaffected
+        entries across the replacement.  Shards are LRU bounded by
+        ``max_cached_answers`` (evictions counted in
+        :attr:`ContextStats.evictions`).
 
         Cached answers are shared verbatim across calls — *including the
         miss that populated the entry* — so treat the returned
@@ -404,24 +551,98 @@ class ExecutionContext:
         # compute path re-resolves (and counts) if matching actually runs.
         effective = self.effective_matcher(query, tree, record=False)
         stamp = (tree.version, probtree.state_version)
-        entry = self._state.probtree_answers.get(probtree)
-        if entry is None or entry[0] != stamp:
-            entry = (stamp, {})
-            self._state.probtree_answers[probtree] = entry
+        shard = self._state.probtree_answers.get(probtree)
+        if shard is None:
+            shard = _DocumentCache(stamp)
+            self._state.probtree_answers[probtree] = shard
+        elif shard.stamp != stamp:
+            if shard.stamp[1] != probtree.state_version:
+                # Condition / distribution mutations can reprice any answer;
+                # only structural journals support label-targeted retention.
+                shard.entries.clear()
+            else:
+                self._retire(shard, _journal_touch(tree, shard.stamp[0]))
+            shard.stamp = stamp
         # The engine mode is part of the key even though per-answer prices
         # are mode-independent: an explicit engine="enumerate" request is a
         # request to *run* the oracle path, not to be served formula-cached
         # results (differential comparisons must stay honest).
         key = (fingerprint, effective, self.resolve_engine(), keep_zero_probability)
-        cached = entry[1].get(key)
+        cached = shard.entries.get(key)
         stats = self._state.stats
         if cached is not None:
+            shard.entries.move_to_end(key)
             stats.answer_cache_hits += 1
-            return list(cached)
+            return list(cached[2])
         stats.answer_cache_misses += 1
         result = compute()
-        entry[1][key] = tuple(result)
+        # Answer trees embed unmatched ancestors; remember every node id so
+        # a later relabel of one of them retires this entry (see _retire).
+        node_ids = frozenset(
+            node for answer in result for node in answer.tree.nodes()
+        )
+        shard.entries[key] = (_query_label_set(query), node_ids, tuple(result))
+        self._evict(shard)
         return result
+
+    def migrate_answers(
+        self,
+        source: ProbTree,
+        target: ProbTree,
+        touched_labels: Iterable[str],
+    ) -> int:
+        """Carry still-valid cached answers from *source* to *target*.
+
+        Updates and cleaning *replace* the prob-tree (and its data tree), so
+        without help the context would start both documents' caches cold.
+        When the replacement preserves surviving node identifiers, labels
+        and conditions — true for probabilistic insertions/deletions and for
+        :func:`~repro.core.cleaning.clean`, NOT for threshold re-encoding —
+        every entry whose label fingerprint is disjoint from
+        *touched_labels* answers identically on the new document and can be
+        copied across (wildcard entries never migrate).  Returns the number
+        of entries carried over; :attr:`ContextStats.answers_migrated`
+        accumulates it.
+        """
+        touched = frozenset(touched_labels)
+        state = self._state
+        moved = 0
+
+        def carry(src: Optional[_DocumentCache], dst: _DocumentCache) -> int:
+            count = 0
+            for key, record in src.entries.items():
+                labels = record[0]
+                if (
+                    labels is not None
+                    and labels.isdisjoint(touched)
+                    and key not in dst.entries
+                ):
+                    dst.entries[key] = record
+                    count += 1
+            self._evict(dst)
+            return count
+
+        old_tree, new_tree = source.tree, target.tree
+        src = state.answer_cache.get(old_tree)
+        if src is not None and src.stamp == old_tree.version:
+            dst = state.answer_cache.get(new_tree)
+            if dst is None:
+                dst = _DocumentCache(new_tree.version)
+                state.answer_cache[new_tree] = dst
+            if dst.stamp == new_tree.version:
+                moved += carry(src, dst)
+        if state.cache_answers:
+            src = state.probtree_answers.get(source)
+            if src is not None and src.stamp == (old_tree.version, source.state_version):
+                stamp = (new_tree.version, target.state_version)
+                dst = state.probtree_answers.get(target)
+                if dst is None:
+                    dst = _DocumentCache(stamp)
+                    state.probtree_answers[target] = dst
+                if dst.stamp == stamp:
+                    moved += carry(src, dst)
+        state.stats.answers_migrated += moved
+        return moved
 
     def results(self, query, tree: DataTree, matcher: Optional[str] = None):
         """Answer sub-datatrees of *query* on *tree* under this context's policy."""
@@ -506,6 +727,7 @@ def resolve_context(
 __all__ = [
     "MATCHER_CHOICES",
     "AUTO_NAIVE_COST",
+    "MAX_CACHED_ANSWERS",
     "require_matcher_choice",
     "ContextStats",
     "ExecutionContext",

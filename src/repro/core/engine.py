@@ -136,10 +136,21 @@ class ProbXMLWarehouse:
         matcher: Optional[str] = None,
         context: Optional[ExecutionContext] = None,
         name: str = DEFAULT_DOCUMENT,
+        max_cached_answers: Optional[int] = None,
     ) -> None:
         if context is None:
-            self._context = ExecutionContext(engine=engine, matcher=matcher)
+            self._context = ExecutionContext(
+                engine=engine, matcher=matcher, max_cached_answers=max_cached_answers
+            )
         else:
+            if max_cached_answers is not None:
+                # Unlike engine/matcher there is no per-view override: the
+                # LRU bound lives in the shared cache state, so honouring it
+                # here would silently resize the caller's session context.
+                raise ProbXMLError(
+                    "max_cached_answers cannot be combined with context=; "
+                    "set the bound when building the ExecutionContext"
+                )
             self._context = context.with_modes(engine=engine, matcher=matcher)
         self._documents: Dict[str, ProbTree] = {}
         if document is not None:
@@ -413,7 +424,10 @@ class ProbXMLWarehouse:
 
         The document's prob-tree is *replaced* (updates return a fresh tree
         object), which is what keeps the context's answer-set cache honest:
-        post-update queries can never be served pre-update answers.
+        post-update queries can never be served pre-update answers.  Cached
+        answers of queries whose label fingerprints the update cannot touch
+        are migrated to the new prob-tree, so a warm update/query loop only
+        recomputes what actually changed.
         """
         resolved = self._resolve_name(name)
         self._documents[resolved] = apply_update_to_probtree(
@@ -425,18 +439,25 @@ class ProbXMLWarehouse:
     def clean(self, name: Optional[str] = None) -> None:
         """Run the linear-time cleaning pass (Section 3) on one document.
 
-        Like updates, cleaning replaces the document's prob-tree (and its
-        underlying data tree), invalidating cached answer sets wholesale.
+        Cleaning replaces the document's prob-tree (and its underlying data
+        tree), but — because it preserves surviving node ids, labels and the
+        semantics — cached answers whose patterns avoid every pruned label
+        are migrated to the new prob-tree rather than dropped.
         """
         resolved = self._resolve_name(name)
-        self._documents[resolved] = clean(self._documents[resolved])
+        self._documents[resolved] = clean(
+            self._documents[resolved], context=self._context
+        )
 
     def prune_below(self, threshold: float, name: Optional[str] = None) -> None:
         """Keep only possible worlds with probability at least *threshold*.
 
         The lost mass is represented by a root-only world (Definition 3); the
         operation may blow up the representation (Theorem 4).  The document's
-        prob-tree is replaced by the re-encoded one.
+        prob-tree is replaced by the re-encoded one — and unlike updates or
+        :meth:`clean`, thresholding genuinely changes the semantics and
+        re-allocates every node id, so no cached answer can be migrated:
+        the replacement invalidates wholesale by construction.
         """
         resolved = self._resolve_name(name)
         self._documents[resolved] = threshold_probtree(

@@ -24,7 +24,7 @@ of the matched nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.queries.base import LocallyMonotoneQuery, Match
 from repro.trees.datatree import DataTree, NodeId
@@ -126,6 +126,24 @@ class TreePattern(LocallyMonotoneQuery):
             ),
             tuple(self._joins),
         )
+
+    def label_set(self) -> Optional[FrozenSet[str]]:
+        """The tree labels this pattern constrains, or ``None`` for wildcards.
+
+        The context answer cache uses this as the invalidation fingerprint:
+        a mutation can only change the pattern's answers when it touches one
+        of these labels (matched nodes carry exactly these labels, and any
+        mutation reaching an answer's unmatched ancestors necessarily
+        removes a matched node too).  A pattern containing a wildcard step
+        can match anything, so it returns ``None`` — "invalidate on every
+        mutation".  Computed fresh per call, like :meth:`fingerprint`.
+        """
+        labels: Set[str] = set()
+        for spec in self._nodes.values():
+            if spec.label == WILDCARD:
+                return None
+            labels.add(spec.label)
+        return frozenset(labels)
 
     # -- evaluation ---------------------------------------------------------
 

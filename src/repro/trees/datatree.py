@@ -21,6 +21,12 @@ from repro.utils.errors import InvalidTreeError, NodeNotFoundError
 
 NodeId = int
 
+#: Maximum number of retained mutation-journal entries per tree.  When the
+#: cap is exceeded the oldest half is dropped (and the journal base version
+#: advances), so consumers holding state older than the new base fall back to
+#: a full rebuild / wholesale invalidation instead of an incremental replay.
+JOURNAL_LIMIT = 256
+
 
 class DataTree:
     """An unordered labeled tree with integer node identifiers.
@@ -40,6 +46,8 @@ class DataTree:
         "_next_id",
         "_version",
         "_index_cache",
+        "_journal",
+        "_journal_base",
         "__weakref__",
     )
 
@@ -51,6 +59,10 @@ class DataTree:
         self._next_id: NodeId = 1
         self._version: int = 0
         self._index_cache = None  # managed by repro.trees.index.tree_index
+        # Mutation journal: entry i describes the mutation taking the tree
+        # from version (_journal_base + i) to (_journal_base + i + 1).
+        self._journal: List[Tuple[str, NodeId, tuple]] = []
+        self._journal_base: int = 0
 
     # -- basic accessors ---------------------------------------------------
 
@@ -64,10 +76,70 @@ class DataTree:
         """Mutation counter: bumped by every structural or label change.
 
         :func:`repro.trees.index.tree_index` compares this against the
-        version a :class:`~repro.trees.index.TreeIndex` was built at, so
-        stale indexes are discarded automatically.
+        version a :class:`~repro.trees.index.TreeIndex` was built at; a
+        stale index is *patched* forward by replaying the mutation journal
+        (see :meth:`mutations_since`) and rebuilt only when the journal is
+        unavailable or replaying would cost more than a rebuild.
         """
         return self._version
+
+    def mutations_since(self, version: int) -> Optional[List[Tuple[str, NodeId, tuple]]]:
+        """The journal entries taking the tree from *version* to the present.
+
+        Each entry is ``(op, node, payload)``:
+
+        * ``("add_child", node, (parent, label))`` — *node* was appended as
+          the last child of *parent*, labeled *label*;
+        * ``("set_label", node, (old_label, new_label))`` — *node* was
+          relabeled;
+        * ``("delete_subtree", node, (parent, removed_labels))`` — the whole
+          subtree of *node* (a child of *parent*) was removed;
+          ``removed_labels`` is the frozen set of labels it carried.
+
+        ``add_subtree`` grafts appear as one ``add_child`` entry per copied
+        node.  Returns ``None`` when *version* predates the retained journal
+        (entries are capped at :data:`JOURNAL_LIMIT`) — consumers must then
+        fall back to a full rebuild / wholesale invalidation.  The returned
+        list slice must be treated as read-only.
+        """
+        if version < self._journal_base or version > self._version:
+            return None
+        return self._journal[version - self._journal_base :]
+
+    def mutation_touch_since(
+        self, version: int
+    ) -> Optional[Tuple[FrozenSet[str], FrozenSet[NodeId]]]:
+        """``(touched_labels, relabeled_nodes)`` for every mutation since *version*.
+
+        The single source of truth for what a journal suffix can have
+        affected: an added node touches its label, a relabel touches the old
+        and new labels (and records the node, so caches holding that node
+        can retire), a subtree deletion touches every removed label.
+        No-op relabels (old == new) touch nothing.  Returns ``None`` when
+        the journal no longer reaches back to *version*.
+        """
+        entries = self.mutations_since(version)
+        if entries is None:
+            return None
+        labels: Set[str] = set()
+        relabeled: Set[NodeId] = set()
+        for op, node, payload in entries:
+            if op == "add_child":
+                labels.add(payload[1])
+            elif op == "set_label":
+                old, new = payload
+                if old != new:
+                    labels.add(old)
+                    labels.add(new)
+                    relabeled.add(node)
+            else:  # delete_subtree
+                labels.update(payload[1])
+        return frozenset(labels), frozenset(relabeled)
+
+    def labels_mutated_since(self, version: int) -> Optional[FrozenSet[str]]:
+        """The labels touched by every mutation since *version* (or ``None``)."""
+        touch = self.mutation_touch_since(version)
+        return None if touch is None else touch[0]
 
     @property
     def root_label(self) -> str:
@@ -81,8 +153,10 @@ class DataTree:
     def set_label(self, node: NodeId, label: str) -> None:
         """Relabel *node*."""
         self._require(node)
-        self._labels[node] = str(label)
-        self._bump_version()
+        old = self._labels[node]
+        new = str(label)
+        self._labels[node] = new
+        self._record("set_label", node, (old, new))
 
     def children(self, node: NodeId) -> Tuple[NodeId, ...]:
         """Identifiers of the children of *node* (order is not meaningful)."""
@@ -176,11 +250,12 @@ class DataTree:
         self._require(parent)
         node = self._next_id
         self._next_id += 1
-        self._labels[node] = str(label)
+        coerced = str(label)
+        self._labels[node] = coerced
         self._children[node] = []
         self._parent[node] = parent
         self._children[parent].append(node)
-        self._bump_version()
+        self._record("add_child", node, (parent, coerced))
         return node
 
     def add_subtree(self, parent: NodeId, subtree: "DataTree") -> Dict[NodeId, NodeId]:
@@ -209,12 +284,13 @@ class DataTree:
         removed = {node} | set(self.descendants(node))
         parent = self._parent[node]
         assert parent is not None
+        removed_labels = frozenset(self._labels[r] for r in removed)
         self._children[parent].remove(node)
         for removed_node in removed:
             del self._labels[removed_node]
             del self._children[removed_node]
             del self._parent[removed_node]
-        self._bump_version()
+        self._record("delete_subtree", node, (parent, removed_labels))
         return removed
 
     # -- copies and restrictions -------------------------------------------
@@ -229,6 +305,8 @@ class DataTree:
         clone._next_id = self._next_id
         clone._version = 0
         clone._index_cache = None
+        clone._journal = []
+        clone._journal_base = 0
         return clone
 
     def subtree_copy(self, node: NodeId) -> "DataTree":
@@ -287,6 +365,8 @@ class DataTree:
         clone._next_id = self._next_id
         clone._version = 0
         clone._index_cache = None
+        clone._journal = []
+        clone._journal_base = 0
         return clone
 
     def prune_where(self, should_remove) -> "DataTree":
@@ -366,9 +446,20 @@ class DataTree:
         if node not in self._labels:
             raise NodeNotFoundError(f"node {node!r} does not belong to this tree")
 
-    def _bump_version(self) -> None:
+    def _record(self, op: str, node: NodeId, payload: tuple) -> None:
+        """Journal one mutation and bump the version.
+
+        The cached :class:`~repro.trees.index.TreeIndex` is deliberately NOT
+        dropped here: it stays attached (stale) so :func:`tree_index` can
+        patch it forward by replaying the journal instead of rebuilding.
+        """
+        journal = self._journal
+        journal.append((op, node, payload))
+        if len(journal) > JOURNAL_LIMIT:
+            drop = len(journal) - JOURNAL_LIMIT // 2
+            del journal[:drop]
+            self._journal_base += drop
         self._version += 1
-        self._index_cache = None
 
 
-__all__ = ["DataTree", "NodeId"]
+__all__ = ["DataTree", "NodeId", "JOURNAL_LIMIT"]

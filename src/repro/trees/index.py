@@ -16,29 +16,47 @@ evaluation hammers on into O(1) / O(log n) operations:
   for direct structural lookups (:meth:`TreeIndex.children_with_label`,
   :meth:`TreeIndex.descendants_with_label`).
 
-Indexes are immutable snapshots.  They are invalidated *automatically*: the
-tree carries a mutation :attr:`~repro.trees.datatree.DataTree.version`
-counter bumped by ``add_child`` / ``add_subtree`` / ``delete_subtree`` /
-``set_label``, and :func:`tree_index` — the only way callers should obtain an
-index — hands back the cached snapshot only while its version still matches,
-rebuilding otherwise.  Holding on to a stale :class:`TreeIndex` is therefore
-impossible through the public entry point; :meth:`TreeIndex.is_fresh` exposes
-the staleness check for tests.
+Indexes are maintained *incrementally*: the tree carries a mutation
+:attr:`~repro.trees.datatree.DataTree.version` counter and a bounded
+**mutation journal** (:meth:`DataTree.mutations_since
+<repro.trees.datatree.DataTree.mutations_since>`) recording every
+``add_child`` / ``add_subtree`` / ``delete_subtree`` / ``set_label``.
+:func:`tree_index` — the only way callers should obtain an index — hands back
+the cached snapshot while its version still matches; when stale, it first
+tries :meth:`TreeIndex.patch`, which replays the journal suffix in place
+(interval renumbering confined to the affected subtree plus suffix shifts,
+posting-list deltas, depth and parent fix-ups), and falls back to a full
+O(n) rebuild only when the journal is unavailable or longer than the
+:data:`PATCH_JOURNAL_LIMIT` cost-model threshold.  Holding on to a stale
+:class:`TreeIndex` is therefore impossible through the public entry point;
+:meth:`TreeIndex.is_fresh` exposes the staleness check for tests, and
+:meth:`TreeIndex.structural_state` the canonical internal state the
+differential harness compares against a fresh rebuild.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.trees.datatree import DataTree, NodeId
 
+#: Above this many pending journal entries, replaying loses to rebuilding:
+#: each replayed entry shifts a preorder suffix (O(n) worst case, ~n/2 on
+#: average), while a rebuild is one O(n) DFS with a larger constant — so the
+#: break-even point is a small, size-independent entry count.
+PATCH_JOURNAL_LIMIT = 16
+
 
 class TreeIndex:
-    """An immutable structural snapshot of one data tree.
+    """The structural index of one data tree, maintained incrementally.
 
-    Build through :func:`tree_index` so snapshots are shared and invalidated
-    with the tree's mutation counter.
+    Build through :func:`tree_index` so snapshots are shared and kept in
+    sync with the tree's mutation counter.  The index is NOT an immutable
+    snapshot: when the tree mutates, the next :func:`tree_index` call
+    replays the mutation journal onto this same object (:meth:`patch`), so
+    a held handle describes the *current* tree after any interleaved
+    ``tree_index`` call — don't rely on it staying stale.
     """
 
     __slots__ = (
@@ -49,6 +67,8 @@ class TreeIndex:
         "_depth",
         "_order",
         "_by_label",
+        "_parent_of",
+        "_label_of",
         "_pres_by_label",
         "_children_by_label",
     )
@@ -61,6 +81,8 @@ class TreeIndex:
         depth: Dict[NodeId, int] = {}
         order: List[NodeId] = []
         by_label: Dict[str, List[NodeId]] = {}
+        parent_of: Dict[NodeId, Optional[NodeId]] = {}
+        label_of: Dict[NodeId, str] = {}
         counter = 0
         # Iterative DFS (documents are routinely thousands of nodes deep);
         # the second visit of a node closes its preorder interval.
@@ -74,8 +96,11 @@ class TreeIndex:
             counter += 1
             order.append(node)
             parent = tree.parent(node)
+            parent_of[node] = parent
             depth[node] = 0 if parent is None else depth[parent] + 1
-            by_label.setdefault(tree.label(node), []).append(node)
+            label = tree.label(node)
+            label_of[node] = label
+            by_label.setdefault(label, []).append(node)
             stack.append((node, False))
             for child in reversed(tree.children(node)):
                 stack.append((child, True))
@@ -84,6 +109,10 @@ class TreeIndex:
         self._depth = depth
         self._order = tuple(order)
         self._by_label = {label: tuple(nodes) for label, nodes in by_label.items()}
+        # Snapshot parent/label maps let patch() replay journal entries that
+        # mention nodes the live tree has since deleted.
+        self._parent_of = parent_of
+        self._label_of = label_of
         # Lazy caches: per-label preorder-rank lists and per-node
         # children-by-label maps are only materialized when first queried.
         self._pres_by_label: Dict[str, List[int]] = {}
@@ -103,6 +132,152 @@ class TreeIndex:
     def is_fresh(self) -> bool:
         """Whether the tree has not been mutated since this index was built."""
         return self._version == self._tree.version
+
+    def patch(self) -> bool:
+        """Replay the tree's mutation journal, bringing this index up to date.
+
+        Returns ``True`` when the index now matches the tree's version
+        (including when it already did), ``False`` when patching is not
+        possible or not worthwhile — the journal has been trimmed past this
+        index's version, or the pending suffix exceeds
+        :data:`PATCH_JOURNAL_LIMIT` (a full rebuild is then cheaper).
+
+        Replay is sequential: after applying entry *i*, the index mirrors
+        exactly the tree as it stood after mutation *i*, which is what makes
+        each entry's bookkeeping local — an ``add_child`` inserts one rank
+        and shifts the preorder suffix, a ``delete_subtree`` drops one
+        contiguous rank interval, a ``set_label`` moves one posting.  The
+        patched index is structurally identical to a fresh rebuild (the
+        incremental-index differential harness asserts exactly that).
+        """
+        tree = self._tree
+        if self._version == tree.version:
+            return True
+        entries = tree.mutations_since(self._version)
+        if entries is None or len(entries) > PATCH_JOURNAL_LIMIT:
+            return False
+        pre = self._pre
+        last = self._last
+        depth = self._depth
+        parent_of = self._parent_of
+        label_of = self._label_of
+        children_by_label = self._children_by_label
+        order = list(self._order)
+        postings = self._by_label
+        unfrozen: set = set()
+
+        def posting(label: str) -> List[NodeId]:
+            lst = postings.get(label)
+            if lst is None:
+                lst = []
+                postings[label] = lst
+                unfrozen.add(label)
+            elif label not in unfrozen:
+                lst = list(lst)
+                postings[label] = lst
+                unfrozen.add(label)
+            return lst
+
+        def rank_position(lst: List[NodeId], rank: int) -> int:
+            """Leftmost position in *lst* (preorder-sorted) with rank ≥ *rank*."""
+            lo, hi = 0, len(lst)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if pre[lst[mid]] < rank:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return lo
+
+        for op, node, payload in entries:
+            if op == "add_child":
+                parent, label = payload
+                rank = last[parent] + 1
+                # Suffix shift: everything at or after the insertion point
+                # moves one rank right; ancestors grow their intervals.
+                for moved in order[rank:]:
+                    pre[moved] += 1
+                    last[moved] += 1
+                walk = parent
+                while walk is not None:
+                    last[walk] += 1
+                    walk = parent_of[walk]
+                order.insert(rank, node)
+                pre[node] = rank
+                last[node] = rank
+                depth[node] = depth[parent] + 1
+                parent_of[node] = parent
+                label_of[node] = label
+                lst = posting(label)
+                lst.insert(rank_position(lst, rank), node)
+                children_by_label.pop(parent, None)
+            elif op == "set_label":
+                old, new = payload
+                if old == new:
+                    continue
+                lst = posting(old)
+                lst.pop(rank_position(lst, pre[node]))
+                lst = posting(new)
+                lst.insert(rank_position(lst, pre[node]), node)
+                label_of[node] = new
+                children_by_label.pop(parent_of[node], None)
+            else:  # delete_subtree
+                parent = payload[0]
+                lo, hi = pre[node], last[node]
+                size = hi - lo + 1
+                removed = order[lo : hi + 1]
+                by_removed_label: Dict[str, set] = {}
+                for dead in removed:
+                    by_removed_label.setdefault(label_of[dead], set()).add(dead)
+                for label, dead_set in by_removed_label.items():
+                    lst = posting(label)
+                    lst[:] = [n for n in lst if n not in dead_set]
+                for moved in order[hi + 1 :]:
+                    pre[moved] -= size
+                    last[moved] -= size
+                walk = parent
+                while walk is not None:
+                    last[walk] -= size
+                    walk = parent_of[walk]
+                del order[lo : hi + 1]
+                for dead in removed:
+                    del pre[dead]
+                    del last[dead]
+                    del depth[dead]
+                    del parent_of[dead]
+                    del label_of[dead]
+                    children_by_label.pop(dead, None)
+                children_by_label.pop(parent, None)
+
+        self._order = tuple(order)
+        for label in unfrozen:
+            lst = postings[label]
+            if lst:
+                postings[label] = tuple(lst)
+            else:
+                del postings[label]
+        # Ranks shifted wholesale: drop the lazy per-label rank lists (they
+        # are rebuilt on demand from the patched postings).
+        self._pres_by_label = {}
+        self._version = tree.version
+        return True
+
+    def structural_state(self) -> Dict[str, object]:
+        """Canonical snapshot of every eager internal structure.
+
+        Two indexes over the same tree are interchangeable iff their
+        structural states are equal; the incremental-maintenance differential
+        harness compares a patched index against a fresh rebuild with this.
+        """
+        return {
+            "pre": dict(self._pre),
+            "last": dict(self._last),
+            "depth": dict(self._depth),
+            "order": tuple(self._order),
+            "parent": dict(self._parent_of),
+            "labels": dict(self._label_of),
+            "postings": {label: tuple(nodes) for label, nodes in self._by_label.items()},
+        }
 
     # -- structural predicates ---------------------------------------------
 
@@ -192,19 +367,24 @@ class TreeIndex:
 
 
 def tree_index(tree: DataTree) -> TreeIndex:
-    """The shared :class:`TreeIndex` of *tree*, rebuilt when stale.
+    """The shared :class:`TreeIndex` of *tree*, patched or rebuilt when stale.
 
     The snapshot is cached on the tree itself and compared against the
     tree's mutation version on every call, so callers never observe an index
-    describing a structure that no longer exists; batch APIs that evaluate
-    many queries against one tree pay the O(n) build exactly once.
+    describing a structure that no longer exists.  A stale snapshot is first
+    *patched in place* by replaying the tree's mutation journal
+    (:meth:`TreeIndex.patch`) — mixed update/query workloads therefore pay
+    O(journal · suffix) instead of a full O(n) rebuild per mutation — and
+    rebuilt from scratch only when the journal is gone or longer than
+    :data:`PATCH_JOURNAL_LIMIT`.  Batch APIs that evaluate many queries
+    against one tree still pay the build exactly once.
     """
     cached = tree._index_cache
-    if cached is not None and cached.is_fresh():
+    if cached is not None and (cached.is_fresh() or cached.patch()):
         return cached
     index = TreeIndex(tree)
     tree._index_cache = index
     return index
 
 
-__all__ = ["TreeIndex", "tree_index"]
+__all__ = ["TreeIndex", "tree_index", "PATCH_JOURNAL_LIMIT"]

@@ -26,7 +26,7 @@ test suite against :mod:`repro.updates.pw_updates` on enumerable instances.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
@@ -58,6 +58,13 @@ def apply_update_to_probtree(
     object never serve the pre-update answers for the post-update document.
     Match finding goes through the context's matcher policy (``matcher=``
     overrides its default).
+
+    Because the copy preserves surviving node identifiers, labels and
+    conditions, the context's cached answers whose patterns cannot touch the
+    mutated labels stay valid and are *migrated* to the returned prob-tree
+    (:meth:`ExecutionContext.migrate_answers`) instead of being lost with
+    the replaced objects — a warm update/query loop only recomputes the
+    queries the update could actually have affected.
     """
     ctx = resolve_context(context, matcher=matcher)
     operation = update.operation
@@ -65,7 +72,9 @@ def apply_update_to_probtree(
     result = probtree.copy()
     if not matches:
         # No world can be selected by Q (local monotonicity), so nothing
-        # changes and no event needs to be introduced.
+        # changes and no event needs to be introduced; every cached answer
+        # carries over verbatim.
+        ctx.migrate_answers(probtree, result, frozenset())
         return result
 
     extra_condition = Condition.true()
@@ -77,12 +86,13 @@ def apply_update_to_probtree(
         extra_condition = Condition.positive(event)
 
     if isinstance(operation, Insertion):
-        _apply_insertion(probtree, result, operation, matches, extra_condition)
-        return result
-    if isinstance(operation, Deletion):
-        _apply_deletion(probtree, result, operation, matches, extra_condition)
-        return result
-    raise UpdateError(f"unknown update operation {operation!r}")
+        touched = _apply_insertion(probtree, result, operation, matches, extra_condition)
+    elif isinstance(operation, Deletion):
+        touched = _apply_deletion(probtree, result, operation, matches, extra_condition)
+    else:
+        raise UpdateError(f"unknown update operation {operation!r}")
+    ctx.migrate_answers(probtree, result, touched)
+    return result
 
 
 def apply_updates_to_probtree(
@@ -109,7 +119,8 @@ def _apply_insertion(
     operation: Insertion,
     matches: List[Match],
     extra_condition: Condition,
-) -> None:
+) -> FrozenSet[str]:
+    """Apply the insertion; returns the labels the mutation touched."""
     tree = original.tree
     for match in matches:
         target = match.target(operation.at)
@@ -120,6 +131,8 @@ def _apply_insertion(
         inserted_root = mapping[operation.subtree.root]
         if not root_condition.is_true():
             result.set_condition(inserted_root, root_condition)
+    subtree = operation.subtree
+    return frozenset(subtree.label(node) for node in subtree.nodes())
 
 
 # ---------------------------------------------------------------------------
@@ -133,7 +146,8 @@ def _apply_deletion(
     operation: Deletion,
     matches: List[Match],
     extra_condition: Condition,
-) -> None:
+) -> FrozenSet[str]:
+    """Apply the deletion; returns the labels the mutation touched."""
     tree = original.tree
     by_target: Dict[NodeId, List[Match]] = {}
     for match in matches:
@@ -147,6 +161,7 @@ def _apply_deletion(
     # already-rewritten descendants.
     depth = tree_index(tree).depth
     ordered_targets = sorted(by_target, key=lambda node: -depth(node))
+    touched: set = set()
     for target in ordered_targets:
         target_condition = original.condition(target)
         presence = original.accumulated_condition(target)
@@ -157,10 +172,16 @@ def _apply_deletion(
             if reduced.is_consistent():
                 disjuncts.append(reduced)
         if not disjuncts:
-            # The deletion can never fire for this node.
+            # The deletion can never fire for this node: nothing changes.
             continue
+        # Both the removal and the conditional re-insertions stay within the
+        # target's label multiset, so these labels cover the whole rewrite.
+        touched.update(
+            tree.label(node) for node in tree.descendants(target, include_self=True)
+        )
         survival = disjoint_negation(DNF(disjuncts))
         _replace_with_conditional_copies(result, target, target_condition, survival)
+    return frozenset(touched)
 
 
 def _replace_with_conditional_copies(

@@ -1,0 +1,290 @@
+"""Property tests: label-targeted answer-cache invalidation is never stale.
+
+The context answer cache no longer drops everything on mutation — it keeps
+the entries whose label fingerprints the mutation batch cannot have touched
+(and, for updates/cleaning, migrates them across the prob-tree replacement).
+The soundness property these tests pin down: **a warm caching context must
+answer every query exactly like a context that never caches**, across
+arbitrary interleavings of queries and mutations — direct tree mutations,
+probabilistic updates, cleaning.  Plus the LRU layer: deterministic
+eviction order and :attr:`ContextStats.evictions` accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cleaning import clean
+from repro.core.context import ExecutionContext
+from repro.queries.evaluation import boolean_probability, evaluate_on_probtree
+from repro.queries.treepattern import TreePattern, child_chain
+from repro.trees.builders import tree
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.workloads.random_probtrees import random_probtree
+from repro.workloads.random_queries import (
+    random_deletion,
+    random_insertion,
+    random_matching_pattern,
+)
+from repro.workloads.random_trees import random_datatree
+
+LABELS = ("A", "B", "C", "D")
+
+
+def _snapshot(answers):
+    """Order/identity-free view of an answer list (node ids + probability)."""
+    return sorted(
+        (tuple(sorted(answer.tree.nodes())), round(answer.probability, 9))
+        for answer in answers
+    )
+
+
+def _draw_patterns(rng, data_tree, count=4):
+    patterns = []
+    for _ in range(count):
+        pattern, _focus = random_matching_pattern(
+            data_tree,
+            seed=rng,
+            wildcard_probability=0.25,
+            descendant_probability=0.3,
+        )
+        patterns.append(pattern)
+    # Always include a fixed-label chain and a cross-label probe so both
+    # "touched" and "untouched" entries exist in most runs.
+    patterns.append(child_chain([data_tree.root_label]))
+    return patterns
+
+
+def _mutate(probtree, rng):
+    """One random in-place mutation (structure, label or condition)."""
+    data_tree = probtree.tree
+    nodes = list(data_tree.nodes())
+    op = rng.randrange(4)
+    if op == 0:
+        probtree.add_child(rng.choice(nodes), rng.choice(LABELS))
+    elif op == 1:
+        data_tree.set_label(rng.choice(nodes), rng.choice(LABELS))
+    elif op == 2 and len(nodes) > 1:
+        probtree.remove_subtree(rng.choice([n for n in nodes if n != data_tree.root]))
+    else:
+        # Condition churn: bumps state_version -> wholesale invalidation.
+        target = rng.choice([n for n in nodes if n != data_tree.root] or nodes)
+        if target != data_tree.root:
+            from repro.formulas.literals import Condition
+
+            events = sorted(probtree.distribution.events())
+            probtree.set_condition(target, Condition.positive(rng.choice(events)))
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_warm_context_never_serves_stale_answers(seed):
+    """query → mutate → query: warm answers must equal uncached answers."""
+    rng = random.Random(seed)
+    probtree = random_probtree(
+        node_count=rng.randint(5, 40), event_count=4, seed=rng, labels=LABELS
+    )
+    warm = ExecutionContext()  # caches full answers by default
+    cold = ExecutionContext(cache_answers=False)
+    patterns = _draw_patterns(rng, probtree.tree)
+    for _round in range(6):
+        for pattern in patterns:
+            hot = evaluate_on_probtree(pattern, probtree, context=warm)
+            fresh = evaluate_on_probtree(pattern, probtree, context=cold)
+            assert _snapshot(hot) == _snapshot(fresh)
+            assert boolean_probability(pattern, probtree, context=warm) == (
+                pytest.approx(boolean_probability(pattern, probtree, context=cold))
+            )
+        _mutate(probtree, rng)
+    assert warm.stats.answer_cache_hits + warm.stats.nodeset_cache_hits > 0
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_updates_migrate_only_sound_entries(seed):
+    """Across apply_update_to_probtree, warm answers equal cold answers."""
+    rng = random.Random(500 + seed)
+    probtree = random_probtree(
+        node_count=rng.randint(6, 30), event_count=4, seed=rng, labels=LABELS
+    )
+    warm = ExecutionContext()
+    cold = ExecutionContext(cache_answers=False)
+    patterns = _draw_patterns(rng, probtree.tree)
+    for _round in range(3):
+        for pattern in patterns:
+            assert _snapshot(
+                evaluate_on_probtree(pattern, probtree, context=warm)
+            ) == _snapshot(evaluate_on_probtree(pattern, probtree, context=cold))
+        if rng.random() < 0.5:
+            update = random_insertion(probtree.tree, seed=rng, subtree_size=2)
+        else:
+            update = random_deletion(probtree.tree, seed=rng)
+        probtree = apply_update_to_probtree(probtree, update, context=warm)
+    # One more sweep after the last update so migrated entries get exercised
+    # (whether they hit depends on which labels the updates touched — the
+    # deterministic migration tests below pin the hit behaviour down).
+    for pattern in patterns:
+        assert _snapshot(
+            evaluate_on_probtree(pattern, probtree, context=warm)
+        ) == _snapshot(evaluate_on_probtree(pattern, probtree, context=cold))
+
+
+def test_migration_serves_unaffected_queries_warm():
+    """A disjoint-label update must not cost the unaffected query a miss."""
+    from repro.core.probtree import ProbTree
+
+    doc = tree("catalog", tree("movie", "title"), tree("book", "isbn"))
+    probtree = ProbTree.certain(doc)
+    context = ExecutionContext()
+    movies = child_chain(["catalog", "movie"])
+    books = child_chain(["catalog", "book"])
+    evaluate_on_probtree(movies, probtree, context=context)
+    evaluate_on_probtree(books, probtree, context=context)
+    misses_before = context.stats.answer_cache_misses
+
+    from repro.updates.operations import Insertion, ProbabilisticUpdate
+
+    update = ProbabilisticUpdate(
+        Insertion(child_chain(["catalog"]), 0, tree("book", "isbn")), confidence=0.7
+    )
+    updated = apply_update_to_probtree(probtree, update, context=context)
+    assert context.stats.answers_migrated >= 1
+
+    evaluate_on_probtree(movies, updated, context=context)  # migrated: hit
+    assert context.stats.answer_cache_misses == misses_before
+    assert context.stats.answer_cache_hits >= 1
+    answers = evaluate_on_probtree(books, updated, context=context)  # touched: miss
+    assert context.stats.answer_cache_misses == misses_before + 1
+    assert len(answers) == 2
+
+
+def test_clean_migrates_unaffected_entries():
+    from repro.core.probtree import ProbTree
+    from repro.formulas.literals import Condition, Literal
+
+    doc = tree("catalog", tree("movie", "title"), "junk")
+    probtree = ProbTree.certain(doc)
+    probtree.add_event("w", 0.5)
+    junk = next(iter(doc.nodes_with_label("junk")))
+    # Intrinsically inconsistent: cleaning prunes the junk node.
+    probtree.set_condition(junk, Condition([Literal("w", True), Literal("w", False)]))
+    context = ExecutionContext()
+    movies = child_chain(["catalog", "movie"])
+    evaluate_on_probtree(movies, probtree, context=context)
+    cleaned = clean(probtree, context=context)
+    assert context.stats.answers_migrated >= 1
+    misses = context.stats.answer_cache_misses
+    warm = evaluate_on_probtree(movies, cleaned, context=context)
+    assert context.stats.answer_cache_misses == misses  # served by migration
+    cold = evaluate_on_probtree(movies, cleaned, context=ExecutionContext(cache_answers=False))
+    assert _snapshot(warm) == _snapshot(cold)
+
+
+def test_relabeled_unmatched_ancestors_invalidate_full_answers():
+    """Answers embed unmatched ancestors: relabeling one must retire them."""
+    from repro.core.probtree import ProbTree
+    from repro.queries.treepattern import EDGE_DESCENDANT
+
+    doc = tree("A", tree("X", "C"))
+    probtree = ProbTree.certain(doc)
+    pattern = TreePattern("A")
+    pattern.add_child(pattern.root, "C", edge=EDGE_DESCENDANT)
+    context = ExecutionContext()
+    first = evaluate_on_probtree(pattern, probtree, context=context)
+    assert len(first) == 1
+    x_node = next(iter(doc.nodes_with_label("X")))
+    doc.set_label(x_node, "Y")  # neither A nor C is touched
+    second = evaluate_on_probtree(pattern, probtree, context=context)
+    labels = {second[0].tree.label(node) for node in second[0].tree.nodes()}
+    assert "Y" in labels and "X" not in labels
+    assert context.stats.answer_cache_misses == 2  # no stale hit
+
+
+def test_wildcard_patterns_invalidate_on_any_mutation():
+    from repro.core.probtree import ProbTree
+    from repro.queries.treepattern import descendant_anywhere
+
+    doc = tree("A", "B")
+    probtree = ProbTree.certain(doc)
+    context = ExecutionContext()
+    anywhere = descendant_anywhere("B")  # wildcard root -> label_set() is None
+    assert len(evaluate_on_probtree(anywhere, probtree, context=context)) == 1
+    probtree.add_child(doc.root, "B")
+    assert len(evaluate_on_probtree(anywhere, probtree, context=context)) == 2
+    assert context.stats.answer_cache_misses == 2
+
+
+class TestAnswerCacheLRU:
+    def _probe(self, label):
+        return child_chain(["R", label])
+
+    def _doc(self):
+        return tree("R", "a", "b", "c", "d")
+
+    def test_nodeset_eviction_counts_and_bound(self):
+        """Exact single-layer accounting through result_node_sets."""
+        doc = self._doc()
+        context = ExecutionContext(max_cached_answers=2)
+        for label in ("a", "b", "c", "d"):
+            context.result_node_sets(self._probe(label), doc)
+        assert context.stats.evictions == 2
+        assert context.stats.nodeset_cache_misses == 4
+
+    def test_lru_order_is_recency_not_insertion(self):
+        doc = self._doc()
+        context = ExecutionContext(max_cached_answers=2)
+        a, b, c = self._probe("a"), self._probe("b"), self._probe("c")
+        context.result_node_sets(a, doc)  # [a]
+        context.result_node_sets(b, doc)  # [a, b]
+        context.result_node_sets(a, doc)  # hit: [b, a]
+        assert context.stats.nodeset_cache_hits == 1
+        context.result_node_sets(c, doc)  # evicts b (LRU), not a: [a, c]
+        assert context.stats.evictions == 1
+        context.result_node_sets(a, doc)  # still warm
+        assert context.stats.nodeset_cache_hits == 2
+        context.result_node_sets(b, doc)  # b was the victim
+        assert context.stats.nodeset_cache_misses == 4
+
+    def test_full_answer_layer_is_bounded_too(self):
+        from repro.core.probtree import ProbTree
+
+        probtree = ProbTree.certain(self._doc())
+        context = ExecutionContext(max_cached_answers=2)
+        for label in ("a", "b", "c", "d"):
+            evaluate_on_probtree(self._probe(label), probtree, context=context)
+        # Both layers (full answers + raw node sets) enforce the bound.
+        assert context.stats.evictions == 4
+        assert context.stats.answer_cache_misses == 4
+        misses = context.stats.answer_cache_misses
+        evaluate_on_probtree(self._probe("d"), probtree, context=context)
+        assert context.stats.answer_cache_hits == 1  # most recent stays warm
+        evaluate_on_probtree(self._probe("a"), probtree, context=context)
+        assert context.stats.answer_cache_misses == misses + 1  # evicted
+
+    def test_warehouse_rejects_bound_with_foreign_context(self):
+        """The bound lives in shared cache state: no silent resize of context=."""
+        from repro.core.engine import ProbXMLWarehouse
+        from repro.utils.errors import ProbXMLError
+
+        with pytest.raises(ProbXMLError):
+            ProbXMLWarehouse(
+                "catalog", context=ExecutionContext(), max_cached_answers=7
+            )
+        warehouse = ProbXMLWarehouse("catalog", max_cached_answers=7)
+        assert warehouse.context._state.max_cached_answers == 7
+
+    def test_non_positive_bounds_are_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(max_cached_answers=0)
+        with pytest.raises(ValueError):
+            ExecutionContext(max_cached_answers=-3)
+
+    def test_default_bound_is_generous(self):
+        from repro.core.context import MAX_CACHED_ANSWERS
+
+        assert MAX_CACHED_ANSWERS >= 1024
+        context = ExecutionContext()
+        doc = self._doc()
+        for label in ("a", "b", "c", "d"):
+            context.result_node_sets(self._probe(label), doc)
+        assert context.stats.evictions == 0

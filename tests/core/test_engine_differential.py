@@ -33,6 +33,8 @@ from repro.threshold.threshold import most_probable_worlds, threshold_worlds
 
 from tests.conftest import draw_dtd, draw_probtree, draw_query
 
+pytestmark = pytest.mark.differential
+
 TOLERANCE = 1e-9
 
 BOOLEAN_CASES = 80

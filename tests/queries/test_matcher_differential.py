@@ -22,6 +22,8 @@ from repro.queries.treepattern import (
 from repro.workloads.random_queries import random_matching_pattern
 from repro.workloads.random_trees import random_datatree
 
+pytestmark = pytest.mark.differential
+
 
 def _assert_matchers_agree(pattern, tree):
     naive = pattern.matches(tree, matcher="naive")

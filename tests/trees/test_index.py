@@ -42,17 +42,34 @@ def test_index_matches_tree_navigation(seed):
     _assert_index_consistent(random_datatree(1 + seed * 9, seed=seed))
 
 
-def test_index_is_cached_until_mutation():
+def test_index_is_cached_and_patched_in_place():
     document = tree("A", tree("B", "C"), "B")
     first = tree_index(document)
     assert tree_index(document) is first
     assert first.is_fresh()
 
+    # A short journal is replayed onto the cached snapshot instead of
+    # triggering a rebuild: same object, fresh again, rebuild-identical.
     document.add_child(document.root, "D")
     assert not first.is_fresh()
     second = tree_index(document)
+    assert second is first
+    assert second.is_fresh()
+    assert second.structural_state() == TreeIndex(document).structural_state()
+
+
+def test_long_journals_fall_back_to_a_rebuild():
+    from repro.trees.index import PATCH_JOURNAL_LIMIT
+
+    document = tree("A", tree("B", "C"), "B")
+    first = tree_index(document)
+    for _ in range(PATCH_JOURNAL_LIMIT + 1):
+        document.add_child(document.root, "E")
+    assert not first.patch()  # journal longer than the cost-model threshold
+    second = tree_index(document)
     assert second is not first
     assert second.is_fresh()
+    _assert_index_consistent(document)
 
 
 def test_every_mutation_kind_invalidates():
