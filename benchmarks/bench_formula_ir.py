@@ -1,0 +1,211 @@
+"""Hash-consed formula IR vs per-call tree construction on warm pricing.
+
+The formula-IR refactor interns every event-formula node into a context-owned
+:class:`~repro.formulas.ir.FormulaPool` and keys the Shannon memo by node id.
+This benchmark measures the exact workload the refactor targets — *warm
+repeated pricing*, where the same question is compiled and priced again and
+again (dashboards re-checking DTD validity, repeated boolean queries after
+label-disjoint churn elsewhere):
+
+* **tree** — the pinned pre-refactor path: every iteration rebuilds the
+  :class:`BoolExpr` tree (``dtd_validity_formula`` / ``dnf_to_expr``) and
+  prices it with :func:`shannon_probability` against a shared
+  ``Dict[BoolExpr, float]`` memo — exactly what ``ProbabilityEngine`` did
+  before the refactor (the warm hit pays tree construction, ``simplify``,
+  recursive hashing and deep structural equality);
+* **interned** — the shipping path: the same compilation goes through the
+  pool's intern table (``dtd_validity_formula_ir`` /
+  ``ProbabilityEngine.dnf_probability``), so a warm iteration is dictionary
+  probes over small tuples plus one integer-keyed memo hit.
+
+Emits one JSON object to stdout::
+
+    PYTHONPATH=src python benchmarks/bench_formula_ir.py
+
+The exit-code gate asserts the ISSUE target: **≥ 3×** over per-call tree
+construction on the warm DTD-pricing workload at the largest document size.
+``REPRO_BENCH_SMOKE=1`` shrinks sizes/iterations for the ``run_all.py
+--check-gates`` tier-1 smoke subset.  The report includes the context's
+intern hit/miss counters, the same numbers ``warehouse.stats`` / CLI
+``--stats`` expose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and str(Path(__file__).resolve().parents[1] / "src") not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.context import ExecutionContext
+from repro.dtd.dtd import DTD, ChildConstraint
+from repro.dtd.probtree_dtd import (
+    dtd_satisfaction_probability,
+    dtd_validity_formula,
+)
+from repro.formulas.compute import dnf_to_expr, shannon_probability
+from repro.formulas.dnf import DNF
+from repro.workloads.random_probtrees import random_probtree
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = [400] if SMOKE else [150, 400, 800]
+WARM_ITERATIONS = 25 if SMOKE else 50
+REPETITIONS = 2 if SMOKE else 3
+LABELS = tuple("ABCDEF")
+GATE_SPEEDUP = 3.0
+
+
+def _document(size: int):
+    probtree = random_probtree(
+        node_count=size,
+        event_count=max(8, size // 8),
+        seed=size,
+        labels=LABELS,
+        condition_probability=0.7,
+        max_literals=2,
+    )
+    dtd = DTD(
+        {
+            "A": [ChildConstraint.any_number("B"), ChildConstraint.optional("C")],
+            "B": [ChildConstraint.any_number("C"), ChildConstraint.any_number("D")],
+            "C": [ChildConstraint.at_least_one("D"), ChildConstraint.any_number("E")],
+            "D": [ChildConstraint.any_number("E"), ChildConstraint.any_number("F")],
+            "E": [ChildConstraint.any_number("F"), ChildConstraint.any_number("A")],
+            "F": [ChildConstraint.any_number("A"), ChildConstraint.any_number("B")],
+        }
+    )
+    # Answer-bundle-shaped DNFs: disjunctions over per-node conditions (the
+    # formulas boolean_probability prices per query).  Node conditions — not
+    # accumulated ones — keep the event-sharing components small, so the
+    # measurement isolates warm re-construction cost rather than the
+    # exponential entangled-pricing regime the paper proves unavoidable.
+    tree = probtree.tree
+    conditioned = [
+        node for node in tree.nodes() if not probtree.condition(node).is_true()
+    ]
+    dnfs = [
+        DNF(probtree.condition(node) for node in conditioned[offset :: 4])
+        for offset in range(4)
+    ]
+    return probtree, dtd, [dnf for dnf in dnfs if len(dnf)]
+
+
+def _time_tree_dtd(probtree, dtd, iterations: int) -> float:
+    distribution = probtree.distribution.as_dict()
+    cache: dict = {}
+    shannon_probability(dtd_validity_formula(probtree, dtd), distribution, cache=cache)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        shannon_probability(
+            dtd_validity_formula(probtree, dtd), distribution, cache=cache
+        )
+    return time.perf_counter() - start
+
+
+def _time_interned_dtd(probtree, dtd, iterations: int, context) -> float:
+    # The shipping API path: compile-once through the context's
+    # validity-formula cache, price through the interned Shannon memo.
+    dtd_satisfaction_probability(probtree, dtd, context=context)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        dtd_satisfaction_probability(probtree, dtd, context=context)
+    return time.perf_counter() - start
+
+
+def _time_tree_dnfs(probtree, dnfs, iterations: int) -> float:
+    distribution = probtree.distribution.as_dict()
+    cache: dict = {}
+    for dnf in dnfs:
+        shannon_probability(dnf_to_expr(dnf), distribution, cache=cache)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        for dnf in dnfs:
+            shannon_probability(dnf_to_expr(dnf), distribution, cache=cache)
+    return time.perf_counter() - start
+
+
+def _time_interned_dnfs(probtree, dnfs, iterations: int, context) -> float:
+    engine = context.engine_for(probtree, "formula")
+    for dnf in dnfs:
+        engine.dnf_probability(dnf)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        for dnf in dnfs:
+            engine.dnf_probability(dnf)
+    return time.perf_counter() - start
+
+
+def _agree(left: float, right: float) -> None:
+    if abs(left - right) > 1e-9:
+        raise AssertionError(f"regimes diverged: {left} vs {right}")
+
+
+def run() -> dict:
+    rows = []
+    for size in SIZES:
+        probtree, dtd, dnfs = _document(size)
+        context = ExecutionContext()
+        # Cross-check once: both regimes must price identically.
+        _agree(
+            shannon_probability(
+                dtd_validity_formula(probtree, dtd), probtree.distribution.as_dict()
+            ),
+            dtd_satisfaction_probability(probtree, dtd, context=context),
+        )
+        best = {"tree_dtd": float("inf"), "ir_dtd": float("inf"),
+                "tree_dnf": float("inf"), "ir_dnf": float("inf")}
+        for _ in range(REPETITIONS):
+            best["tree_dtd"] = min(
+                best["tree_dtd"], _time_tree_dtd(probtree, dtd, WARM_ITERATIONS)
+            )
+            best["ir_dtd"] = min(
+                best["ir_dtd"],
+                _time_interned_dtd(probtree, dtd, WARM_ITERATIONS, context),
+            )
+            best["tree_dnf"] = min(
+                best["tree_dnf"], _time_tree_dnfs(probtree, dnfs, WARM_ITERATIONS)
+            )
+            best["ir_dnf"] = min(
+                best["ir_dnf"],
+                _time_interned_dnfs(probtree, dnfs, WARM_ITERATIONS, context),
+            )
+        stats = context.stats.as_dict()
+        rows.append(
+            {
+                "nodes": size,
+                "events": len(probtree.distribution),
+                "iterations": WARM_ITERATIONS,
+                "dnf_count": len(dnfs),
+                "tree_dtd_ms": round(best["tree_dtd"] * 1e3, 3),
+                "interned_dtd_ms": round(best["ir_dtd"] * 1e3, 3),
+                "dtd_speedup": round(best["tree_dtd"] / max(best["ir_dtd"], 1e-9), 1),
+                "tree_dnf_ms": round(best["tree_dnf"] * 1e3, 3),
+                "interned_dnf_ms": round(best["ir_dnf"] * 1e3, 3),
+                "dnf_speedup": round(best["tree_dnf"] / max(best["ir_dnf"], 1e-9), 1),
+                "intern_hits": stats["intern_hits"],
+                "intern_misses": stats["intern_misses"],
+                "formulas_evaluated": stats["formulas_evaluated"],
+            }
+        )
+    return {
+        "benchmark": "hash-consed formula IR vs per-call tree pricing (warm)",
+        "smoke": SMOKE,
+        "gate": f">= {GATE_SPEEDUP}x dtd_speedup at {SIZES[-1]} nodes",
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    report = run()
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    largest = report["rows"][-1]
+    return 0 if largest["dtd_speedup"] >= GATE_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

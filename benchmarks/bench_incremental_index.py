@@ -31,6 +31,7 @@ from pathlib import Path
 if __package__ is None and str(Path(__file__).resolve().parents[1] / "src") not in sys.path:
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import os
 import random
 
 from repro.core.context import ExecutionContext
@@ -40,11 +41,14 @@ from repro.queries.evaluation import evaluate_on_probtree
 from repro.trees.index import tree_index
 from repro.workloads.random_trees import random_datatree
 
-SIZES = [500, 1000, 2000]
+#: ``run_all.py --check-gates`` sets this: keep only the gate-bearing size
+#: with fewer rounds so tier-1 can afford the tripwire.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = [2000] if SMOKE else [500, 1000, 2000]
 LABELS = tuple("ABCDEFGH")
 PATTERN_STEPS = ["B", "C", "D", "B"]  # + wildcard root = 5 pattern nodes
-ROUNDS = 150
-REPETITIONS = 3
+ROUNDS = 60 if SMOKE else 150
+REPETITIONS = 2 if SMOKE else 3
 
 
 def _pattern() -> TreePattern:

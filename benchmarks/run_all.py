@@ -16,6 +16,14 @@ the ROADMAP asks for::
     PYTHONPATH=src python benchmarks/run_all.py
     PYTHONPATH=src python benchmarks/run_all.py --only context_cache,query_plan
     PYTHONPATH=src python benchmarks/run_all.py --timeout 120
+    PYTHONPATH=src python benchmarks/run_all.py --check-gates
+
+``--check-gates`` is the fast regression tripwire tier-1 can afford: it runs
+only the gate-bearing benchmarks (:data:`GATE_BENCHMARKS` — the ≥5×
+incremental-index gate and the ≥3× formula-IR gate) in smoke mode
+(``REPRO_BENCH_SMOKE=1`` shrinks sizes/iterations), writes to
+``BENCH_gates.json`` by default (so the full ``BENCH_summary.json`` is never
+clobbered by a subset), and exits nonzero when any gate regresses.
 
 Exit code 0 iff every selected benchmark ran and passed (its gate for
 standalone scripts, its assertions for pytest modules).
@@ -35,6 +43,11 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 SRC_DIR = BENCH_DIR.parent / "src"
 DEFAULT_OUTPUT = BENCH_DIR / "BENCH_summary.json"
+GATES_OUTPUT = BENCH_DIR / "BENCH_gates.json"
+
+#: Standalone benchmarks whose exit code asserts a ROADMAP performance gate;
+#: ``--check-gates`` runs exactly these, in smoke mode.
+GATE_BENCHMARKS = ("bench_incremental_index", "bench_formula_ir")
 
 
 def discover() -> list:
@@ -48,15 +61,17 @@ def _is_pytest_module(path: Path) -> bool:
     return "def test_" in text and "def main(" not in text
 
 
-def _environment() -> dict:
+def _environment(smoke: bool = False) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC_DIR) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
     return env
 
 
-def _run(command: list, timeout: float, start: float) -> tuple:
+def _run(command: list, timeout: float, start: float, smoke: bool = False) -> tuple:
     """Run *command*; returns (completed | None, seconds)."""
     try:
         completed = subprocess.run(
@@ -65,15 +80,17 @@ def _run(command: list, timeout: float, start: float) -> tuple:
             text=True,
             timeout=timeout,
             cwd=str(BENCH_DIR),
-            env=_environment(),
+            env=_environment(smoke),
         )
     except subprocess.TimeoutExpired:
         return None, round(time.perf_counter() - start, 2)
     return completed, round(time.perf_counter() - start, 2)
 
 
-def run_standalone(path: Path, timeout: float) -> dict:
-    completed, seconds = _run([sys.executable, str(path)], timeout, time.perf_counter())
+def run_standalone(path: Path, timeout: float, smoke: bool = False) -> dict:
+    completed, seconds = _run(
+        [sys.executable, str(path)], timeout, time.perf_counter(), smoke
+    )
     if completed is None:
         return {"kind": "standalone", "status": "timeout", "seconds": seconds}
     try:
@@ -152,12 +169,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=DEFAULT_OUTPUT,
-        help=f"summary path (default: {DEFAULT_OUTPUT})",
+        default=None,
+        help=f"summary path (default: {DEFAULT_OUTPUT}, or {GATES_OUTPUT} "
+        "with --check-gates)",
+    )
+    parser.add_argument(
+        "--check-gates",
+        action="store_true",
+        help="run only the gate-bearing benchmarks (smoke mode) and exit "
+        "nonzero when any performance gate regresses",
     )
     arguments = parser.parse_args(argv)
 
     scripts = discover()
+    if arguments.check_gates:
+        scripts = [path for path in scripts if path.stem in GATE_BENCHMARKS]
     if arguments.only:
         needles = [needle.strip() for needle in arguments.only.split(",") if needle.strip()]
         scripts = [
@@ -166,15 +192,20 @@ def main(argv=None) -> int:
     if not scripts:
         print("no benchmarks selected", file=sys.stderr)
         return 2
+    output = arguments.output
+    if output is None:
+        output = GATES_OUTPUT if arguments.check_gates else DEFAULT_OUTPUT
 
     summary = {"driver": "benchmarks/run_all.py", "benchmarks": {}}
+    if arguments.check_gates:
+        summary["mode"] = "check-gates (smoke)"
     failures = 0
     for path in scripts:
         print(f"running {path.name} ...", file=sys.stderr, flush=True)
         if _is_pytest_module(path):
             result = run_pytest(path, arguments.timeout)
         else:
-            result = run_standalone(path, arguments.timeout)
+            result = run_standalone(path, arguments.timeout, smoke=arguments.check_gates)
         summary["benchmarks"][path.stem] = result
         if result["status"] != "ok":
             failures += 1
@@ -186,8 +217,8 @@ def main(argv=None) -> int:
     summary["total"] = len(scripts)
     summary["failed"] = failures
 
-    arguments.output.write_text(json.dumps(summary, indent=2) + "\n")
-    print(f"wrote {arguments.output}", file=sys.stderr)
+    output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
     return 0 if failures == 0 else 1
 
 

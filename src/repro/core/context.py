@@ -13,7 +13,9 @@ structural index) lived in module-level registries with no owner.  An
   per-call override > context default > module default);
 * **cache handles** — a context-scoped registry of
   :class:`~repro.core.probability.ProbabilityEngine` instances (one Shannon
-  cache per prob-tree per mode), the shared structural
+  cache per prob-tree per mode, all pricing through the context's single
+  hash-consed :class:`~repro.formulas.ir.FormulaPool` intern table — see
+  :attr:`ExecutionContext.formula_pool`), the shared structural
   :class:`~repro.trees.index.TreeIndex` (delegated to
   :func:`~repro.trees.index.tree_index`), and a NEW **answer-set cache**
   memoizing ``result_node_sets`` keyed by ``(tree.version, pattern
@@ -45,8 +47,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from repro.core.probability import ProbabilityEngine, require_engine_mode
 from repro.core.probtree import ProbTree
+from repro.formulas.ir import FormulaPool
 from repro.trees.datatree import DataTree, NodeId
-from repro.trees.index import TreeIndex, tree_index
+from repro.trees.index import PATCH_JOURNAL_LIMIT, TreeIndex, tree_index
 from repro.utils.errors import QueryError
 
 #: Matcher choices a context understands; ``"auto"`` resolves per call
@@ -63,6 +66,16 @@ AUTO_NAIVE_COST = 512
 #: Deliberately generous — the LRU exists to cap worst-case memory on
 #: many-distinct-query workloads, not to churn a working set.
 MAX_CACHED_ANSWERS = 1024
+
+#: Node-count bound on a context's formula intern table.  Hash consing never
+#: evicts (ids must stay stable), so a long-lived context — above all the
+#: process-lifetime module default — would otherwise grow without bound under
+#: endless distinct-formula churn.  Past the bound the whole formula layer is
+#: restarted atomically (fresh pool, engine registry and compiled-DTD cache
+#: dropped together, so no id-keyed cache can dangle) at the next
+#: :meth:`ExecutionContext.engine_for`; pricing then warms back up.
+#: Generous: real sessions intern a few thousand nodes.
+FORMULA_POOL_NODE_LIMIT = 1 << 18
 
 
 # Query methods predating the context layer take (tree, matcher=None) — and
@@ -141,6 +154,9 @@ class ContextStats:
         "auto_chose_indexed",
         "evictions",
         "answers_migrated",
+        "intern_hits",
+        "intern_misses",
+        "formulas_migrated",
     )
 
     def __init__(self) -> None:
@@ -158,6 +174,9 @@ class ContextStats:
         self.auto_chose_indexed = 0
         self.evictions = 0               # LRU answer-cache entries dropped
         self.answers_migrated = 0        # entries carried across update/clean
+        self.intern_hits = 0             # formula-pool probes finding a node
+        self.intern_misses = 0           # formula-pool probes allocating one
+        self.formulas_migrated = 0       # priced formulas carried across update/clean
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -224,7 +243,9 @@ class _ContextState:
         "engines",
         "answer_cache",
         "probtree_answers",
+        "dtd_formulas",
         "stats",
+        "formula_pool",
         "auto_naive_cost",
         "cache_answers",
         "max_cached_answers",
@@ -251,7 +272,17 @@ class _ContextState:
         self.probtree_answers: "weakref.WeakKeyDictionary[ProbTree, _DocumentCache]" = (
             weakref.WeakKeyDictionary()
         )
+        # prob-tree -> {DTD fingerprint -> ((tree.version, state_version),
+        # interned validity-formula id)}; consulted by the DTD entry points
+        # so a warm check skips recompilation entirely.
+        self.dtd_formulas: "weakref.WeakKeyDictionary[ProbTree, Dict[tuple, Tuple[Tuple[int, int], int]]]" = (
+            weakref.WeakKeyDictionary()
+        )
         self.stats = ContextStats()
+        # One intern table per session, shared by every engine of this state:
+        # equal formulas get equal integer ids across prob-trees, queries and
+        # DTD checks, and the pool's intern counters land in self.stats.
+        self.formula_pool = FormulaPool(stats=self.stats)
         self.auto_naive_cost = auto_naive_cost
         self.cache_answers = cache_answers
         if max_cached_answers is None:
@@ -262,6 +293,25 @@ class _ContextState:
                 f"{max_cached_answers!r}"
             )
         self.max_cached_answers = int(max_cached_answers)
+
+    def restart_formula_layer_if_oversized(self) -> bool:
+        """Restart the intern table past :data:`FORMULA_POOL_NODE_LIMIT`.
+
+        Replaces the pool and clears every id-keyed cache in the same step
+        (per-probtree engines, compiled DTD formulas) so a dangling id can
+        never be priced against the wrong table.  Called only at the entry
+        of :meth:`ExecutionContext.engine_for` (before an engine is handed
+        out) and :meth:`ExecutionContext.validity_formula_for` (before
+        anything is compiled or the pool is read by its callers) — callers
+        that already hold an engine keep a self-consistent (engine, pool)
+        pair; they merely stop sharing.
+        """
+        if self.formula_pool.node_count() <= FORMULA_POOL_NODE_LIMIT:
+            return False
+        self.formula_pool = FormulaPool(stats=self.stats)
+        self.engines.clear()
+        self.dtd_formulas.clear()
+        return True
 
 
 class ExecutionContext:
@@ -350,10 +400,13 @@ class ExecutionContext:
     ) -> str:
         """The concrete matcher (``"indexed"`` | ``"naive"``) for one evaluation.
 
-        ``"auto"`` is resolved here: if the tree already carries a fresh
-        structural index the build cost is sunk and the compiled plans win;
-        otherwise tiny pattern×tree products go to the naive matcher (the
-        O(n) index build would dominate) and everything else is indexed.
+        ``"auto"`` is resolved here: if the tree already carries a fresh —
+        or *almost fresh*, i.e. stale but patchable from a journal suffix of
+        at most :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries —
+        structural index, the (re)build cost is sunk or negligible and the
+        compiled plans win; otherwise tiny pattern×tree products go to the
+        naive matcher (the O(n) index build would dominate) and everything
+        else is indexed.
 
         ``record=False`` suppresses the ``auto_chose_*`` counters — used by
         cache-key computation, so only decisions that drive actual matching
@@ -364,10 +417,24 @@ class ExecutionContext:
             return mode
         stats = self._state.stats
         cached = tree._index_cache
-        if cached is not None and cached.is_fresh():
-            if record:
-                stats.auto_chose_indexed += 1
-            return "indexed"
+        if cached is not None:
+            almost_fresh = cached.is_fresh()
+            if not almost_fresh:
+                # Journal-aware: a stale index whose pending journal suffix
+                # is within the patch threshold will be *patched in place*
+                # (O(journal · suffix)), not rebuilt — the build cost the
+                # naive matcher would dodge is not actually on the table.
+                # The suffix length is pure version arithmetic (one journal
+                # entry per bump); this runs on every warm answer-cache hit,
+                # so no entries are copied out here.
+                almost_fresh = (
+                    tree.version - cached.version <= PATCH_JOURNAL_LIMIT
+                    and tree.journal_reaches(cached.version)
+                )
+            if almost_fresh:
+                if record:
+                    stats.auto_chose_indexed += 1
+                return "indexed"
         node_count = getattr(query, "node_count", None)
         pattern_nodes = node_count() if callable(node_count) else 4
         if pattern_nodes * tree.node_count() <= self._state.auto_naive_cost:
@@ -392,15 +459,67 @@ class ExecutionContext:
         :func:`~repro.core.probability.engine_for`.
         """
         mode = self.resolve_engine(engine)
+        self._state.restart_formula_layer_if_oversized()
         per_tree = self._state.engines.setdefault(probtree, {})
         cached = per_tree.get(mode)
         if cached is None or cached.distribution != probtree.distribution:
             cached = ProbabilityEngine(
-                probtree.distribution, mode=mode, stats=self._state.stats
+                probtree.distribution,
+                mode=mode,
+                stats=self._state.stats,
+                pool=self._state.formula_pool,
             )
             per_tree[mode] = cached
             self._state.stats.engines_created += 1
         return cached
+
+    @property
+    def formula_pool(self) -> FormulaPool:
+        """The session's shared formula intern table (one DAG of node ids).
+
+        Every :class:`ProbabilityEngine` this context hands out prices
+        through this pool, so equal formulas — across queries, documents,
+        DTD checks and update conditions — share one interned node and one
+        cached price per distribution.  The pool also carries the
+        distribution-independent SAT cache used by the DTD decision
+        procedures.
+        """
+        return self._state.formula_pool
+
+    def validity_formula_for(self, probtree: ProbTree, dtd) -> int:
+        """The interned DTD-validity formula of *probtree*, compiled once.
+
+        Keyed by the DTD's content :meth:`~repro.dtd.dtd.DTD.fingerprint`
+        and stamped with ``(tree.version, state_version)`` — any structural,
+        label, condition or distribution mutation forces a recompile, while
+        a warm repeated check (``dtd_satisfiable`` / ``dtd_valid`` /
+        ``dtd_satisfaction_probability`` over an unchanged document) is two
+        dictionary probes.  The compiled id stays meaningful forever: it
+        lives in the context's shared formula pool.
+        """
+        # Imported lazily: repro.dtd.probtree_dtd imports this module.
+        from repro.dtd.probtree_dtd import dtd_validity_formula_ir
+
+        state = self._state
+        # SAT-only workloads (dtd_satisfiable / dtd_valid) never reach
+        # engine_for, so the pool bound is enforced here too — before the
+        # compiled-formula cache is consulted and before any caller reads
+        # the pool (the DTD entry points compile first, fetch the pool
+        # after).  When an engine_for in the same expression already
+        # restarted, the pool is small again and this is a no-op.
+        state.restart_formula_layer_if_oversized()
+        per_tree = state.dtd_formulas.get(probtree)
+        if per_tree is None:
+            per_tree = {}
+            state.dtd_formulas[probtree] = per_tree
+        stamp = (probtree.tree.version, probtree.state_version)
+        key = dtd.fingerprint()
+        cached = per_tree.get(key)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        node = dtd_validity_formula_ir(probtree, dtd, state.formula_pool)
+        per_tree[key] = (stamp, node)
+        return node
 
     def index_for(self, tree: DataTree) -> TreeIndex:
         """The shared structural index of *tree* (patched, fetched or built).
@@ -603,7 +722,13 @@ class ExecutionContext:
         copied across (wildcard entries never migrate).  Returns the number
         of entries carried over; :attr:`ContextStats.answers_migrated`
         accumulates it.
+
+        The per-probtree *formula* caches are migrated alongside
+        (:meth:`migrate_formulas`): prices do not depend on labels at all,
+        only on the distribution, so they carry over whenever the
+        replacement's distribution conservatively extends the source's.
         """
+        self.migrate_formulas(source, target)
         touched = frozenset(touched_labels)
         state = self._state
         moved = 0
@@ -642,6 +767,45 @@ class ExecutionContext:
                 if dst.stamp == stamp:
                     moved += carry(src, dst)
         state.stats.answers_migrated += moved
+        return moved
+
+    def migrate_formulas(self, source: ProbTree, target: ProbTree) -> int:
+        """Carry memoized formula prices from *source*'s engines to *target*'s.
+
+        Sound exactly when *target*'s distribution is a **conservative
+        extension** of *source*'s — every source event still present with an
+        unchanged probability (true for probabilistic updates, which only add
+        one fresh event, and for cleaning, which keeps the distribution):
+        every formula priced against the source cannot mention the fresh
+        events, so its price is unchanged.  Anything else (threshold
+        re-encoding re-draws event names and probabilities) migrates
+        nothing.  All engines of one context share the intern pool, so the
+        id-keyed Shannon tables transfer verbatim.  Returns the number of
+        cache entries carried; :attr:`ContextStats.formulas_migrated`
+        accumulates it.
+        """
+        state = self._state
+        engines = state.engines.get(source)
+        if not engines:
+            return 0
+        target_distribution = target.distribution
+        moved = 0
+        for mode, engine in engines.items():
+            if not engine.cache_size():
+                continue
+            # Validate against the distribution *this engine* priced under —
+            # the source prob-tree may have re-weighted an event since the
+            # engine was cut (engine_for would hand out a fresh engine next
+            # time, but the stale one still sits in the registry).
+            engine_distribution = engine.distribution
+            if engine_distribution != target_distribution and any(
+                target_distribution.get(event) != probability
+                for event, probability in engine_distribution.as_dict().items()
+            ):
+                continue
+            moved += self.engine_for(target, mode).absorb(engine)
+        if moved:
+            state.stats.formulas_migrated += moved
         return moved
 
     def results(self, query, tree: DataTree, matcher: Optional[str] = None):
@@ -728,6 +892,7 @@ __all__ = [
     "MATCHER_CHOICES",
     "AUTO_NAIVE_COST",
     "MAX_CACHED_ANSWERS",
+    "FORMULA_POOL_NODE_LIMIT",
     "require_matcher_choice",
     "ContextStats",
     "ExecutionContext",

@@ -236,7 +236,14 @@ class ProbXMLWarehouse:
 
     @property
     def stats(self):
-        """Live :class:`~repro.core.context.ContextStats` of the context."""
+        """Live :class:`~repro.core.context.ContextStats` of the context.
+
+        Includes the formula-IR counters: ``intern_hits`` /
+        ``intern_misses`` (formula-pool probes that found vs allocated a
+        node — a warm corpus shows hits dwarfing misses) and
+        ``formulas_migrated`` (memoized prices carried across
+        update/clean prob-tree replacements).
+        """
         return self._context.stats
 
     @property

@@ -25,19 +25,18 @@ the engine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.events import ProbabilityDistribution
 from repro.core.probtree import ProbTree
-from repro.formulas.boolean import BoolExpr, conjunction, from_condition
+from repro.formulas.boolean import BoolExpr, from_condition
 from repro.formulas.compute import (
     DEFAULT_ENUMERATION_CUTOFF,
     dnf_to_expr,
     enumeration_probability,
-    negation,
-    shannon_probability,
 )
 from repro.formulas.dnf import DNF
+from repro.formulas.ir import FormulaPool
 from repro.formulas.literals import Condition, Literal
 from repro.pw.pwset import PWSet
 from repro.trees.datatree import NodeId
@@ -62,6 +61,17 @@ class ProbabilityEngine:
     The engine owns the memoization tables; creating it through
     :func:`engine_for` shares one instance (and therefore one cache) across
     every question asked of the same prob-tree.
+
+    Since the formula-IR refactor the engine prices through a hash-consed
+    :class:`~repro.formulas.ir.FormulaPool`: formulas are interned into a
+    shared DAG of stable integer ids and the Shannon memo is keyed by node
+    id, so a warm repeated question is an O(1) integer probe — no
+    structural hashing, no deep equality.  Engines created through an
+    :class:`~repro.core.context.ExecutionContext` all share the *context's*
+    pool (one intern table per session); a bare engine creates a private
+    one.  ``probability`` therefore accepts either a :class:`BoolExpr` (it
+    is interned on entry) or an already-interned node id from the engine's
+    pool.
     """
 
     __slots__ = (
@@ -69,6 +79,7 @@ class ProbabilityEngine:
         "_distribution_map",
         "_mode",
         "_cutoff",
+        "_pool",
         "_formula_cache",
         "_condition_cache",
         "_stats",
@@ -80,12 +91,17 @@ class ProbabilityEngine:
         mode: str = "formula",
         enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
         stats=None,
+        pool: Optional[FormulaPool] = None,
     ) -> None:
         self._distribution = distribution
         self._distribution_map = distribution.as_dict()
         self._mode = require_engine_mode(mode)
         self._cutoff = enumeration_cutoff
-        self._formula_cache: Dict[BoolExpr, float] = {}
+        self._pool = pool if pool is not None else FormulaPool(stats=stats)
+        # Shannon memo keyed by interned node id, valid for exactly this
+        # distribution (engine_for hands out a fresh engine when the
+        # distribution changes; migrate via absorb() when it merely grows).
+        self._formula_cache: Dict[int, float] = {}
         self._condition_cache: Dict[Condition, float] = {}
         # Optional ContextStats-like sink (duck-typed: only needs a mutable
         # ``formulas_evaluated`` attribute); engines created through an
@@ -102,25 +118,37 @@ class ProbabilityEngine:
     def mode(self) -> str:
         return self._mode
 
+    @property
+    def pool(self) -> FormulaPool:
+        """The intern table this engine prices through."""
+        return self._pool
+
     def cache_size(self) -> int:
         """Number of memoized (sub)formulas — exposed for tests and benchmarks."""
         return len(self._formula_cache) + len(self._condition_cache)
 
     # -- probabilities -----------------------------------------------------
 
-    def probability(self, expr: BoolExpr) -> float:
-        """Exact ``P(expr)`` under the engine's distribution."""
+    def probability(self, expr: Union[BoolExpr, int]) -> float:
+        """Exact ``P(expr)`` under the engine's distribution.
+
+        *expr* is a :class:`BoolExpr` or an interned node id of this
+        engine's pool.
+        """
         if self._mode == "enumerate":
+            if isinstance(expr, int):
+                expr = self._pool.to_expr(expr)
             if self._stats is not None:
                 self._stats.formulas_evaluated += 1
             return enumeration_probability(expr, self._distribution)
+        node = expr if isinstance(expr, int) else self._pool.intern(expr)
         # Count only genuine evaluations: a top-level hit in the Shannon
         # memo table is free and must not blur the warm-vs-cold picture.
-        if self._stats is not None and expr not in self._formula_cache:
+        if self._stats is not None and node not in self._formula_cache:
             self._stats.formulas_evaluated += 1
-        return shannon_probability(
-            expr,
-            self._distribution,
+        return self._pool.probability(
+            node,
+            self._distribution_map,
             cache=self._formula_cache,
             enumeration_cutoff=self._cutoff,
         )
@@ -138,8 +166,44 @@ class ProbabilityEngine:
         return cached
 
     def dnf_probability(self, formula: DNF) -> float:
-        """Probability of a DNF (e.g. the answer disjunction of a boolean query)."""
-        return self.probability(dnf_to_expr(formula))
+        """Probability of a DNF (e.g. the answer disjunction of a boolean query).
+
+        In formula mode the DNF is interned disjunct-by-disjunct (each
+        :class:`Condition` is memoized in the pool), so re-pricing the same
+        answer disjunction costs one dictionary probe per disjunct plus one
+        memo hit — the per-call ``dnf_to_expr`` tree rebuild is gone.
+        """
+        if self._mode == "enumerate":
+            return self.probability(dnf_to_expr(formula))
+        return self.probability(self._pool.dnf(formula))
+
+    def absorb(self, other: "ProbabilityEngine") -> int:
+        """Copy *other*'s memoized prices into this engine's tables.
+
+        The formula-cache analogue of
+        :meth:`~repro.core.context.ExecutionContext.migrate_answers`: when an
+        update or a cleaning pass replaces a prob-tree, the caller verifies
+        the new distribution is a conservative extension of the old one
+        (every old event keeps its probability — then every old price is
+        still exact, as old formulas cannot mention the fresh event) and
+        carries the Shannon and condition tables across instead of starting
+        cold.  Requires both engines to share one pool (ids are only
+        meaningful per pool); returns the number of entries copied.
+        """
+        if other._pool is not self._pool:
+            return 0
+        moved = 0
+        formula_cache = self._formula_cache
+        for key, value in other._formula_cache.items():
+            if key not in formula_cache:
+                formula_cache[key] = value
+                moved += 1
+        condition_cache = self._condition_cache
+        for condition, value in other._condition_cache.items():
+            if condition not in condition_cache:
+                condition_cache[condition] = value
+                moved += 1
+        return moved
 
     def __repr__(self) -> str:
         return (
@@ -257,6 +321,8 @@ def formula_pwset(
             for literal in condition.literals
         )
 
+    pool = engine.pool
+
     def emit(
         included: Set[NodeId],
         assignment: Dict[str, bool],
@@ -266,9 +332,11 @@ def formula_pwset(
             Literal(event, negated=not value) for event, value in assignment.items()
         )
         if excluded:
-            expr = conjunction(
-                from_condition(positive),
-                *(negation(from_condition(condition)) for condition in excluded),
+            expr = pool.conj(
+                [
+                    pool.condition(positive),
+                    *(pool.neg(pool.condition(condition)) for condition in excluded),
+                ]
             )
             probability = engine.probability(expr)
         else:

@@ -19,6 +19,7 @@ from repro.dtd.probtree_dtd import (
     dtd_restriction_probtree,
     dtd_satisfaction_probability,
     dtd_validity_formula,
+    dtd_validity_formula_ir,
     satisfying_world,
     violating_world,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "dtd_restriction_probtree",
     "dtd_satisfaction_probability",
     "dtd_validity_formula",
+    "dtd_validity_formula_ir",
     "satisfying_world",
     "violating_world",
     "sat_to_dtd_satisfiability",

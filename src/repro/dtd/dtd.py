@@ -126,6 +126,23 @@ class DTD:
         """Number of constraints (the DTDs of Theorem 5 are constant-size)."""
         return sum(len(bucket) for bucket in self._rules.values())
 
+    def fingerprint(self) -> Tuple[Tuple[str, str, int, Optional[int]], ...]:
+        """A hashable, content-based identity of the rule set.
+
+        Two DTDs with equal fingerprints constrain identically; the
+        execution context keys its compiled-validity-formula cache on this
+        (a DTD is mutable through :meth:`add_constraint`, so object identity
+        would go stale).  Linear in :meth:`size`, which Theorem 5 keeps
+        constant-ish in practice.
+        """
+        return tuple(
+            sorted(
+                (parent, constraint.label, constraint.minimum, constraint.maximum)
+                for parent, bucket in self._rules.items()
+                for constraint in bucket.values()
+            )
+        )
+
     def __repr__(self) -> str:
         return f"DTD(domain={sorted(self._rules)}, constraints={self.size()})"
 

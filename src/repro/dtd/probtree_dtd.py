@@ -31,7 +31,8 @@ from repro.formulas.boolean import (
     disjunction,
     from_condition,
 )
-from repro.formulas.compute import negation, shannon_satisfiable, shannon_tautology
+from repro.formulas.compute import negation
+from repro.formulas.ir import FALSE_ID, TRUE_ID, FormulaPool
 from repro.formulas.literals import all_worlds
 from repro.pw.convert import pwset_to_probtree
 from repro.pw.pwset import PWSet
@@ -69,13 +70,20 @@ def dtd_satisfiable(
 
     ``engine="formula"`` (default) decides by an exact SAT check on the
     compiled validity formula — no floating point, no world enumeration;
-    ``engine="enumerate"`` searches for a satisfying world explicitly (use
-    :func:`satisfying_world` directly when the certificate itself is wanted).
+    the formula is interned into the context's shared pool, whose
+    distribution-independent SAT cache makes repeated (or
+    subformula-sharing) checks O(1).  ``engine="enumerate"`` searches for a
+    satisfying world explicitly (use :func:`satisfying_world` directly when
+    the certificate itself is wanted).
     """
     ctx = resolve_context(context, engine=engine)
     if ctx.resolve_engine() == "enumerate":
         return satisfying_world(probtree, dtd) is not None
-    return shannon_satisfiable(dtd_validity_formula(probtree, dtd))
+    # Compile first, then read the pool: validity_formula_for may restart
+    # the formula layer (pool bound), and the id must be asked of the pool
+    # it was interned into.
+    node = ctx.validity_formula_for(probtree, dtd)
+    return ctx.formula_pool.satisfiable(node)
 
 
 def dtd_valid(
@@ -87,12 +95,15 @@ def dtd_valid(
     """DTD Validity: every possible world satisfies ``D``.
 
     ``engine="formula"`` (default) checks that the compiled validity formula
-    is a tautology; ``engine="enumerate"`` searches for a violating world.
+    is a tautology (an interned SAT check on its negation, cached pool-wide);
+    ``engine="enumerate"`` searches for a violating world.
     """
     ctx = resolve_context(context, engine=engine)
     if ctx.resolve_engine() == "enumerate":
         return violating_world(probtree, dtd) is None
-    return shannon_tautology(dtd_validity_formula(probtree, dtd))
+    # Compile-then-read ordering, as in dtd_satisfiable.
+    node = ctx.validity_formula_for(probtree, dtd)
+    return ctx.formula_pool.tautology(node)
 
 
 def dtd_restriction_pwset(probtree: ProbTree, dtd: DTD) -> PWSet:
@@ -117,9 +128,50 @@ def dtd_restriction_probtree(
     return pwset_to_probtree(completed, event_prefix=event_prefix)
 
 
-def _count_formula(
-    guards: Sequence[BoolExpr], minimum: int, maximum: Optional[int]
-) -> BoolExpr:
+class _FormulaOps:
+    """The algebra the validity compiler is generic over.
+
+    Two instantiations exist: :data:`_EXPR_OPS` building
+    :class:`~repro.formulas.boolean.BoolExpr` trees (the public
+    :func:`dtd_validity_formula`, kept as the differential oracle) and
+    :func:`_ir_ops` emitting interned node ids of a
+    :class:`~repro.formulas.ir.FormulaPool`
+    (:func:`dtd_validity_formula_ir`, what the engines consume).
+    """
+
+    __slots__ = ("true", "false", "neg", "conj", "disj", "condition")
+
+    def __init__(self, true, false, neg, conj, disj, condition) -> None:
+        self.true = true
+        self.false = false
+        self.neg = neg          # one formula -> its negation
+        self.conj = conj        # iterable of formulas -> conjunction
+        self.disj = disj        # iterable of formulas -> disjunction
+        self.condition = condition  # Condition -> formula
+
+
+_EXPR_OPS = _FormulaOps(
+    true=TrueExpr(),
+    false=FalseExpr(),
+    neg=negation,
+    conj=lambda operands: conjunction(*operands),
+    disj=lambda operands: disjunction(*operands),
+    condition=from_condition,
+)
+
+
+def _ir_ops(pool: FormulaPool) -> _FormulaOps:
+    return _FormulaOps(
+        true=TRUE_ID,
+        false=FALSE_ID,
+        neg=pool.neg,
+        conj=pool.conj,
+        disj=pool.disj,
+        condition=pool.condition,
+    )
+
+
+def _count_formula(ops: _FormulaOps, guards: Sequence, minimum: int, maximum: Optional[int]):
     """Formula true iff the number of satisfied *guards* lies in ``[minimum, maximum]``.
 
     ``maximum is None`` means unbounded.  Common cardinalities get linear (or
@@ -128,46 +180,115 @@ def _count_formula(
     """
     k = len(guards)
     if minimum > k:
-        return FalseExpr()
+        return ops.false
     if minimum <= 0 and (maximum is None or maximum >= k):
-        return TrueExpr()
+        return ops.true
     if maximum is None:
         if minimum == 1:
-            return disjunction(*guards)
+            return ops.disj(guards)
         if minimum == k:
-            return conjunction(*guards)
+            return ops.conj(guards)
     elif minimum == 0:
         if maximum == 0:
-            return conjunction(*(negation(guard) for guard in guards))
+            return ops.conj([ops.neg(guard) for guard in guards])
         if maximum == k - 1:
-            return disjunction(*(negation(guard) for guard in guards))
+            return ops.disj([ops.neg(guard) for guard in guards])
     # Bottom-up interval DP (iterative: k can be in the thousands, far past
     # the recursion limit).  A state is (index, low); the upper bound tracks
     # the lower one (high = low + span) so it needs no dimension of its own.
     span = None if maximum is None else maximum - minimum
 
-    def terminal(index: int, low: int) -> Optional[BoolExpr]:
+    def terminal(index: int, low: int):
         remaining = k - index
         if low > remaining or (span is not None and low + span < 0):
-            return FalseExpr()
+            return ops.false
         if low <= 0 and (span is None or low + span >= remaining):
-            return TrueExpr()
+            return ops.true
         return None
 
-    next_row: Dict[int, BoolExpr] = {}
+    next_row: Dict[int, object] = {}
     for index in range(k, -1, -1):
-        row: Dict[int, BoolExpr] = {}
+        row: Dict[int, object] = {}
         for low in range(minimum - index, minimum + 1):
             result = terminal(index, low)
             if result is None:
                 guard = guards[index]
-                result = disjunction(
-                    conjunction(guard, next_row[low - 1]),
-                    conjunction(negation(guard), next_row[low]),
+                result = ops.disj(
+                    [
+                        ops.conj([guard, next_row[low - 1]]),
+                        ops.conj([ops.neg(guard), next_row[low]]),
+                    ]
                 )
             row[low] = result
         next_row = row
     return next_row[minimum]
+
+
+def _ir_presence_map(pool: FormulaPool, probtree: ProbTree) -> Dict[NodeId, int]:
+    """Interned presence formulas (accumulated conditions) for every node.
+
+    One top-down pass conjoining each node's own interned condition onto its
+    parent's presence id.  Conditions are flat literal conjunctions, so the
+    id-level conjunction flattens to exactly the interned form of
+    ``from_condition(accumulated_condition(node))`` — but a warm recompile
+    over an unchanged prob-tree is all dictionary probes, with no
+    per-ancestor :class:`Condition` rebuilds.
+    """
+    tree = probtree.tree
+    presence: Dict[NodeId, int] = {tree.root: TRUE_ID}
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        base = presence[node]
+        for child in tree.children(node):
+            own = probtree.condition(child)
+            if own.is_true():
+                presence[child] = base
+            else:
+                presence[child] = pool.conj([base, pool.condition(own)])
+            stack.append(child)
+    return presence
+
+
+def _validity_formula(ops: _FormulaOps, probtree: ProbTree, dtd: DTD, presence_of):
+    """The generic validity compiler; see :func:`dtd_validity_formula`.
+
+    *presence_of* maps a tree node to the formula of its accumulated
+    condition under *ops* (the two public wrappers choose the per-node
+    recomputation or the incremental interned map).
+    """
+    tree = probtree.tree
+    clauses: List[object] = []
+    for node in tree.nodes():
+        label = tree.label(node)
+        if not dtd.constrains(label):
+            continue
+        by_label: Dict[str, List[NodeId]] = {}
+        for child in tree.children(node):
+            by_label.setdefault(tree.label(child), []).append(child)
+        requirements: List[object] = []
+        checked = set()
+        for constraint in dtd.constraints_for(label):
+            checked.add(constraint.label)
+            guards = [
+                ops.condition(probtree.condition(child))
+                for child in by_label.get(constraint.label, ())
+            ]
+            requirements.append(
+                _count_formula(ops, guards, constraint.minimum, constraint.maximum)
+            )
+        for child_label, children in by_label.items():
+            if child_label not in checked:
+                requirements.extend(
+                    ops.neg(ops.condition(probtree.condition(child)))
+                    for child in children
+                )
+        requirement = ops.conj(requirements)
+        if requirement == ops.true:
+            continue
+        presence = presence_of(node)
+        clauses.append(ops.disj([ops.neg(presence), requirement]))
+    return ops.conj(clauses)
 
 
 def dtd_validity_formula(probtree: ProbTree, dtd: DTD) -> BoolExpr:
@@ -180,39 +301,32 @@ def dtd_validity_formula(probtree: ProbTree, dtd: DTD) -> BoolExpr:
     child labels forbidden.  The construction is polynomial in ``|T|`` for
     the usual ``? * + !`` cardinalities; evaluating the formula is the
     engine's job.
+
+    This variant builds a :class:`BoolExpr` tree and is kept as the
+    pre-refactor differential oracle; the engines consume
+    :func:`dtd_validity_formula_ir`, which emits interned nodes of a
+    context's formula pool.
     """
-    tree = probtree.tree
-    clauses: List[BoolExpr] = []
-    for node in tree.nodes():
-        label = tree.label(node)
-        if not dtd.constrains(label):
-            continue
-        by_label: Dict[str, List[NodeId]] = {}
-        for child in tree.children(node):
-            by_label.setdefault(tree.label(child), []).append(child)
-        requirements: List[BoolExpr] = []
-        checked = set()
-        for constraint in dtd.constraints_for(label):
-            checked.add(constraint.label)
-            guards = [
-                from_condition(probtree.condition(child))
-                for child in by_label.get(constraint.label, ())
-            ]
-            requirements.append(
-                _count_formula(guards, constraint.minimum, constraint.maximum)
-            )
-        for child_label, children in by_label.items():
-            if child_label not in checked:
-                requirements.extend(
-                    negation(from_condition(probtree.condition(child)))
-                    for child in children
-                )
-        requirement = conjunction(*requirements)
-        if isinstance(requirement, TrueExpr):
-            continue
-        presence = from_condition(probtree.accumulated_condition(node))
-        clauses.append(disjunction(negation(presence), requirement))
-    return conjunction(*clauses)
+    return _validity_formula(
+        _EXPR_OPS,
+        probtree,
+        dtd,
+        lambda node: from_condition(probtree.accumulated_condition(node)),
+    )
+
+
+def dtd_validity_formula_ir(probtree: ProbTree, dtd: DTD, pool: FormulaPool) -> int:
+    """:func:`dtd_validity_formula` compiled straight into *pool*'s DAG.
+
+    Returns the interned node id.  Because every construction step goes
+    through the pool — including the accumulated-condition presence
+    formulas, conjoined incrementally at the id level
+    (:func:`_ir_presence_map`) — a recompilation over an unchanged prob-tree
+    resolves to intern-table hits and lands on the *same* id; the pricing
+    and SAT caches then answer in O(1) with no structural hashing.
+    """
+    presence = _ir_presence_map(pool, probtree)
+    return _validity_formula(_ir_ops(pool), probtree, dtd, presence.__getitem__)
 
 
 def dtd_satisfaction_probability(
@@ -234,7 +348,7 @@ def dtd_satisfaction_probability(
     if ctx.resolve_engine() == "enumerate":
         return dtd_restriction_pwset(probtree, dtd).total_probability()
     return ctx.engine_for(probtree, "formula").probability(
-        dtd_validity_formula(probtree, dtd)
+        ctx.validity_formula_for(probtree, dtd)
     )
 
 
@@ -246,5 +360,6 @@ __all__ = [
     "dtd_restriction_pwset",
     "dtd_restriction_probtree",
     "dtd_validity_formula",
+    "dtd_validity_formula_ir",
     "dtd_satisfaction_probability",
 ]

@@ -15,7 +15,13 @@ formulas:
 * :mod:`repro.formulas.count_equivalence` — count-equivalence of DNF formulas
   (Definition 10) and its polynomial characterization (Lemma 1);
 * :mod:`repro.formulas.compute` — exact formula probabilities by Shannon
-  expansion (the computational core of the formula engine).
+  expansion over :class:`~repro.formulas.boolean.BoolExpr` trees (kept as the
+  pre-refactor pricing oracle for the differential harness);
+* :mod:`repro.formulas.ir` — the hash-consed formula IR: a context-owned
+  :class:`~repro.formulas.ir.FormulaPool` interning every formula node into a
+  shared DAG with stable integer ids, with id-based Shannon pricing and a
+  pool-wide SAT cache (the computational core of the formula engine since
+  the formula-IR refactor).
 """
 
 from repro.formulas.literals import Literal, Condition, Valuation
@@ -27,6 +33,7 @@ from repro.formulas.compute import (
 )
 from repro.formulas.dnf import DNF
 from repro.formulas.cnf import CNF
+from repro.formulas.ir import FormulaPool
 from repro.formulas.polynomial import Polynomial, characteristic_polynomial
 from repro.formulas.count_equivalence import (
     count_equivalent_exhaustive,
@@ -46,6 +53,7 @@ __all__ = [
     "Valuation",
     "DNF",
     "CNF",
+    "FormulaPool",
     "Polynomial",
     "characteristic_polynomial",
     "count_equivalent_exhaustive",

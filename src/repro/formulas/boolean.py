@@ -11,6 +11,11 @@ This module provides the small formula AST that variant needs: variables,
 negation, conjunction, disjunction and the two constants, with world
 evaluation, exact (exponential-time) probability computation and a size
 measure used by the E12 benchmark.
+
+These trees remain the construction surface for ad-hoc callers and the
+reference representation for the differential harness; the *engines* price
+through the hash-consed id-based IR of :mod:`repro.formulas.ir`, which
+interns any :class:`BoolExpr` via :meth:`repro.formulas.ir.FormulaPool.intern`.
 """
 
 from __future__ import annotations

@@ -60,6 +60,13 @@ formulas (every event appears once) cost ``O(size)``; formulas whose
 event-sharing graph has components of at most ``k`` events cost
 ``O(size · 2^k)``; full enumeration of ``2^n`` worlds is only reached when
 every event interacts with every other.
+
+Since the formula-IR refactor the engines run the *id-based* rebase of this
+algorithm (:meth:`repro.formulas.ir.FormulaPool.probability`), whose memo is
+keyed by interned node id instead of recursive structural hashing.  The
+tree-based functions here are retained as the pre-refactor pricing oracle
+(``tests/formulas/test_formula_ir_differential.py`` asserts the two agree)
+and for callers without a pool.
 """
 
 from __future__ import annotations

@@ -1,0 +1,609 @@
+"""Hash-consed event-formula IR: one shared DAG of interned nodes.
+
+The :mod:`repro.formulas.boolean` layer builds throwaway formula *trees* (or
+ad-hoc DAGs) per call: two calls compiling the same question produce two
+structurally equal but distinct object graphs, so the Shannon engine's memo
+tables must re-hash and deep-compare whole subtrees to discover the sharing.
+This module replaces that with a :class:`FormulaPool` — an intern table that
+hash-conses every formula node into a pool-wide DAG with stable integer ids:
+
+* **canonical on construction** — n-ary conjunctions/disjunctions are
+  flattened (operands of the same kind are spliced in), deduplicated, sorted
+  by id and constant-folded (neutral operands dropped, absorbing operands and
+  complementary ``φ``/``¬φ`` pairs short-circuit the whole node); negation
+  folds constants and double negations.  Two semantically identical
+  constructions therefore yield the *same integer*, and "is this the formula
+  I already priced?" becomes an O(1) integer probe instead of a recursive
+  structural hash + deep equality walk;
+* **per-node metadata computed once** — the mentioned-event set, DAG depth
+  and the Shannon pivot (first event) are stored at allocation, so the
+  pricing loops below never re-derive them;
+* **id-based Shannon pricing** (:meth:`FormulaPool.probability`) — the same
+  algorithm as :func:`repro.formulas.compute.shannon_probability`
+  (constant folding, independent-component decomposition, Shannon expansion
+  with an enumeration base case) rebased on node ids; cofactors are interned
+  through the pool, so identical residuals collapse *globally*, across every
+  formula the pool has ever seen;
+* **a pool-wide SAT cache** (:meth:`FormulaPool.satisfiable`) —
+  satisfiability is distribution-independent, so its memo is shared across
+  every caller of the pool (every DTD check of a session hits one table).
+
+The pool is owned by an :class:`~repro.core.context.ExecutionContext` (one
+intern table per session, shared by all of its
+:class:`~repro.core.probability.ProbabilityEngine` instances); the tree-based
+functions in :mod:`repro.formulas.compute` remain as the pre-refactor pricing
+oracle for the differential harness
+(``tests/formulas/test_formula_ir_differential.py``).
+
+Intern-table probes are counted (``intern_hits`` — the node already existed —
+vs ``intern_misses`` — a new node was allocated) on the pool's stats sink,
+which an execution context wires to its own
+:class:`~repro.core.context.ContextStats` so warm-vs-cold behaviour is
+observable through ``warehouse.stats`` and the CLI ``--stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.formulas.boolean import (
+    And,
+    BoolExpr,
+    FalseExpr,
+    Not,
+    Or,
+    TrueExpr,
+    Var,
+)
+from repro.formulas.compute import DEFAULT_ENUMERATION_CUTOFF, _generous_stack
+from repro.formulas.dnf import DNF
+from repro.formulas.literals import Condition, all_worlds
+
+#: Node kinds (stored per node; payload layout depends on the kind).
+KIND_FALSE = 0  # payload None
+KIND_TRUE = 1   # payload None
+KIND_VAR = 2    # payload: the event name (str)
+KIND_NOT = 3    # payload: the operand id (int)
+KIND_AND = 4    # payload: sorted tuple of operand ids
+KIND_OR = 5     # payload: sorted tuple of operand ids
+
+#: The two constants occupy fixed slots in every pool.
+FALSE_ID = 0
+TRUE_ID = 1
+
+_NO_EVENTS: FrozenSet[str] = frozenset()
+
+
+class _InternCounters:
+    """Fallback stats sink for pools created outside an execution context."""
+
+    __slots__ = ("intern_hits", "intern_misses")
+
+    def __init__(self) -> None:
+        self.intern_hits = 0
+        self.intern_misses = 0
+
+
+class FormulaPool:
+    """An intern table hash-consing event formulas into a shared DAG.
+
+    Node ids are stable for the lifetime of the pool and canonical: equal
+    formulas (up to flattening, operand order, duplicate operands and the
+    constant folds listed in the module docstring) get equal ids.  The pool
+    only ever grows — it is bounded by the number of *distinct* formula
+    nodes a session constructs, which the memoized pricing keeps proportional
+    to genuine new work.
+
+    Args:
+        stats: optional counter sink; only needs mutable ``intern_hits`` /
+            ``intern_misses`` attributes (an execution context passes its
+            :class:`~repro.core.context.ContextStats`).
+    """
+
+    __slots__ = (
+        "_kind",
+        "_payload",
+        "_events",
+        "_depth",
+        "_pivot",
+        "_var_ids",
+        "_not_ids",
+        "_nary_ids",
+        "_condition_ids",
+        "_sat_cache",
+        "_stats",
+    )
+
+    def __init__(self, stats=None) -> None:
+        # The sink contract is duck-typed; a caller's sink that only carries
+        # other counters (e.g. a bare engine's formulas_evaluated-only stats
+        # object) falls back to private intern counters.
+        if stats is None or not (
+            hasattr(stats, "intern_hits") and hasattr(stats, "intern_misses")
+        ):
+            stats = _InternCounters()
+        self._stats = stats
+        self._kind: List[int] = [KIND_FALSE, KIND_TRUE]
+        self._payload: List[object] = [None, None]
+        self._events: List[FrozenSet[str]] = [_NO_EVENTS, _NO_EVENTS]
+        self._depth: List[int] = [1, 1]
+        self._pivot: List[Optional[str]] = [None, None]
+        self._var_ids: Dict[str, int] = {}
+        self._not_ids: Dict[int, int] = {}
+        self._nary_ids: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._condition_ids: Dict[Condition, int] = {}
+        self._sat_cache: Dict[int, bool] = {}
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The intern-counter sink this pool reports to."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+    def node_count(self) -> int:
+        """Number of distinct interned nodes (constants included)."""
+        return len(self._kind)
+
+    def kind(self, node: int) -> int:
+        """The ``KIND_*`` discriminator of *node*."""
+        return self._kind[node]
+
+    def operands(self, node: int):
+        """The payload of *node* (event name, operand id or id tuple)."""
+        return self._payload[node]
+
+    def events(self, node: int) -> FrozenSet[str]:
+        """Event variables mentioned by *node* (computed once, at allocation)."""
+        return self._events[node]
+
+    def depth(self, node: int) -> int:
+        """DAG depth of *node* (a leaf has depth 1)."""
+        return self._depth[node]
+
+    # -- construction --------------------------------------------------------
+
+    def _new(
+        self,
+        kind: int,
+        payload: object,
+        events: FrozenSet[str],
+        depth: int,
+        pivot: Optional[str],
+    ) -> int:
+        node = len(self._kind)
+        self._kind.append(kind)
+        self._payload.append(payload)
+        self._events.append(events)
+        self._depth.append(depth)
+        self._pivot.append(pivot)
+        return node
+
+    def var(self, event: str) -> int:
+        """The interned variable node for *event*."""
+        node = self._var_ids.get(event)
+        if node is None:
+            self._stats.intern_misses += 1
+            node = self._new(KIND_VAR, event, frozenset((event,)), 1, event)
+            self._var_ids[event] = node
+        else:
+            self._stats.intern_hits += 1
+        return node
+
+    def neg(self, node: int) -> int:
+        """``¬node`` with constant folding and double-negation elimination."""
+        if node == TRUE_ID:
+            return FALSE_ID
+        if node == FALSE_ID:
+            return TRUE_ID
+        if self._kind[node] == KIND_NOT:
+            return self._payload[node]  # type: ignore[return-value]
+        cached = self._not_ids.get(node)
+        if cached is None:
+            self._stats.intern_misses += 1
+            cached = self._new(
+                KIND_NOT,
+                node,
+                self._events[node],
+                self._depth[node] + 1,
+                self._pivot[node],
+            )
+            self._not_ids[node] = cached
+        else:
+            self._stats.intern_hits += 1
+        return cached
+
+    def conj(self, operands: Iterable[int]) -> int:
+        """Canonical n-ary conjunction of interned nodes (empty = true)."""
+        return self._nary(KIND_AND, operands)
+
+    def disj(self, operands: Iterable[int]) -> int:
+        """Canonical n-ary disjunction of interned nodes (empty = false)."""
+        return self._nary(KIND_OR, operands)
+
+    def _nary(self, kind: int, operands: Iterable[int]) -> int:
+        absorbing = FALSE_ID if kind == KIND_AND else TRUE_ID
+        neutral = TRUE_ID if kind == KIND_AND else FALSE_ID
+        kinds = self._kind
+        flat: set = set()
+        for operand in operands:
+            if operand == absorbing:
+                return absorbing
+            if operand == neutral:
+                continue
+            if kinds[operand] == kind:
+                # Same-kind children are themselves canonical (flat), so one
+                # level of splicing yields the fully flattened operand set.
+                flat.update(self._payload[operand])  # type: ignore[arg-type]
+            else:
+                flat.add(operand)
+        payloads = self._payload
+        for operand in flat:
+            if kinds[operand] == KIND_NOT and payloads[operand] in flat:
+                # φ together with ¬φ: the conjunction is false, the
+                # disjunction true — exactly the absorbing constant.
+                return absorbing
+        if not flat:
+            return neutral
+        if len(flat) == 1:
+            return next(iter(flat))
+        ids = tuple(sorted(flat))
+        key = (kind, ids)
+        node = self._nary_ids.get(key)
+        if node is None:
+            self._stats.intern_misses += 1
+            events = frozenset().union(*(self._events[i] for i in ids))
+            depth = 1 + max(self._depth[i] for i in ids)
+            pivot = self._pivot[ids[0]]
+            node = self._new(kind, ids, events, depth, pivot)
+            self._nary_ids[key] = node
+        else:
+            self._stats.intern_hits += 1
+        return node
+
+    def condition(self, condition: Condition) -> int:
+        """The interned conjunction-of-literals of a :class:`Condition`.
+
+        Memoized per condition, so re-pricing the answer bundles of a warm
+        query is one dictionary probe per condition.  Inconsistent
+        conditions (``w ∧ ¬w``) canonicalize to :data:`FALSE_ID`, matching
+        the Definition 8 convention that their probability is zero.
+        """
+        node = self._condition_ids.get(condition)
+        if node is None:
+            self._stats.intern_misses += 1
+            literals = []
+            for literal in condition.literals:
+                atom = self.var(literal.event)
+                literals.append(self.neg(atom) if literal.negated else atom)
+            node = self.conj(literals)
+            self._condition_ids[condition] = node
+        else:
+            self._stats.intern_hits += 1
+        return node
+
+    def dnf(self, formula: DNF) -> int:
+        """The interned disjunction of a DNF's (interned) disjuncts."""
+        return self.disj([self.condition(disjunct) for disjunct in formula.disjuncts])
+
+    def intern(self, expr: BoolExpr) -> int:
+        """Intern an existing :class:`BoolExpr` tree/DAG, bottom-up.
+
+        Iterative (formula DAGs are routinely thousands of levels deep) and
+        memoized per distinct object, so shared subgraphs are translated
+        once.
+        """
+        memo: Dict[int, int] = {}
+        stack: List[BoolExpr] = [expr]
+        while stack:
+            node = stack[-1]
+            key = id(node)
+            if key in memo:
+                stack.pop()
+                continue
+            if isinstance(node, Var):
+                memo[key] = self.var(node.event)
+            elif isinstance(node, TrueExpr):
+                memo[key] = TRUE_ID
+            elif isinstance(node, FalseExpr):
+                memo[key] = FALSE_ID
+            elif isinstance(node, Not):
+                operand = memo.get(id(node.operand))
+                if operand is None:
+                    stack.append(node.operand)
+                    continue
+                memo[key] = self.neg(operand)
+            else:  # And / Or
+                pending = [
+                    child for child in node.operands if id(child) not in memo
+                ]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                ids = (memo[id(child)] for child in node.operands)
+                memo[key] = (
+                    self.conj(ids) if isinstance(node, And) else self.disj(ids)
+                )
+            stack.pop()
+        return memo[id(expr)]
+
+    def to_expr(self, node: int) -> BoolExpr:
+        """Rebuild a :class:`BoolExpr` for *node* (interop / oracle paths)."""
+        memo: Dict[int, BoolExpr] = {FALSE_ID: FalseExpr(), TRUE_ID: TrueExpr()}
+        stack = [node]
+        kinds, payloads = self._kind, self._payload
+        while stack:
+            current = stack[-1]
+            if current in memo:
+                stack.pop()
+                continue
+            kind = kinds[current]
+            if kind == KIND_VAR:
+                memo[current] = Var(payloads[current])  # type: ignore[arg-type]
+            elif kind == KIND_NOT:
+                operand = payloads[current]
+                if operand not in memo:
+                    stack.append(operand)  # type: ignore[arg-type]
+                    continue
+                memo[current] = Not(memo[operand])
+            else:
+                pending = [i for i in payloads[current] if i not in memo]  # type: ignore[union-attr]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                children = tuple(memo[i] for i in payloads[current])  # type: ignore[union-attr]
+                memo[current] = And(children) if kind == KIND_AND else Or(children)
+            stack.pop()
+        return memo[node]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, node: int, world) -> bool:
+        """Truth value of *node* in *world* (a set of true events)."""
+        memo: Dict[int, bool] = {}
+        kinds, payloads = self._kind, self._payload
+
+        def walk(current: int) -> bool:
+            if current == TRUE_ID:
+                return True
+            if current == FALSE_ID:
+                return False
+            kind = kinds[current]
+            if kind == KIND_VAR:
+                return payloads[current] in world
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            if kind == KIND_NOT:
+                result = not walk(payloads[current])  # type: ignore[arg-type]
+            elif kind == KIND_AND:
+                result = all(walk(operand) for operand in payloads[current])  # type: ignore[union-attr]
+            else:
+                result = any(walk(operand) for operand in payloads[current])  # type: ignore[union-attr]
+            memo[current] = result
+            return result
+
+        with _generous_stack(self._depth[node]):
+            return walk(node)
+
+    def cofactor(self, node: int, event: str, value: bool) -> int:
+        """The interned Shannon cofactor ``node[event := value]``.
+
+        Subgraphs not mentioning *event* are returned as-is; rewritten nodes
+        go back through the pool constructors, so identical residuals from
+        different splits collapse onto the same id.
+        """
+        memo: Dict[int, int] = {}
+        events = self._events
+        kinds, payloads = self._kind, self._payload
+
+        def walk(current: int) -> int:
+            if event not in events[current]:
+                return current
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            kind = kinds[current]
+            if kind == KIND_VAR:
+                result = TRUE_ID if value else FALSE_ID
+            elif kind == KIND_NOT:
+                result = self.neg(walk(payloads[current]))  # type: ignore[arg-type]
+            elif kind == KIND_AND:
+                result = self.conj(walk(operand) for operand in payloads[current])  # type: ignore[union-attr]
+            else:
+                result = self.disj(walk(operand) for operand in payloads[current])  # type: ignore[union-attr]
+            memo[current] = result
+            return result
+
+        return walk(node)
+
+    def _components(self, operands: Tuple[int, ...]) -> List[List[int]]:
+        """Connected components of the shared-event relation, over node ids.
+
+        The id-based mirror of
+        :func:`repro.formulas.compute.independent_components`: an event →
+        group index keeps the all-disjoint case (fresh event per update)
+        linear.
+        """
+        events = self._events
+        group_of: Dict[str, int] = {}
+        groups: List[Optional[Tuple[List[int], List[str]]]] = []
+        for operand in operands:
+            mentioned = events[operand]
+            hits = {group_of[event] for event in mentioned if event in group_of}
+            if not hits:
+                group_of.update((event, len(groups)) for event in mentioned)
+                groups.append(([operand], list(mentioned)))
+                continue
+            target = min(hits)
+            ops, known = groups[target]  # type: ignore[misc]
+            ops.append(operand)
+            known.extend(mentioned)
+            for event in mentioned:
+                group_of[event] = target
+            for other in hits - {target}:
+                other_ops, other_events = groups[other]  # type: ignore[misc]
+                ops.extend(other_ops)
+                known.extend(other_events)
+                for event in other_events:
+                    group_of[event] = target
+                groups[other] = None
+        return [group[0] for group in groups if group is not None]
+
+    def _enumeration(self, node: int, distribution: Mapping[str, float]) -> float:
+        """Base case: enumerate the worlds over the node's mentioned events."""
+        mentioned = sorted(self._events[node])
+        total = 0.0
+        for world in all_worlds(mentioned):
+            if self.evaluate(node, world):
+                probability = 1.0
+                for event in mentioned:
+                    p = distribution[event]
+                    probability *= p if event in world else (1.0 - p)
+                total += probability
+        return total
+
+    def probability(
+        self,
+        node: int,
+        distribution: Mapping[str, float],
+        cache: Optional[Dict[int, float]] = None,
+        enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
+    ) -> float:
+        """Exact ``P(node)`` under independent events, by Shannon expansion.
+
+        The id-based rebase of
+        :func:`repro.formulas.compute.shannon_probability`: same constant
+        folding, independent-component decomposition, first-event pivot and
+        enumeration base case, but the memo (*cache*, shared across calls
+        pricing under the same distribution) is keyed by interned id — a
+        warm formula costs one integer probe, with no structural hashing or
+        deep equality anywhere.  No ``simplify`` pre-pass is needed either:
+        pool nodes are canonical by construction.
+        """
+        memo: Dict[int, float] = cache if cache is not None else {}
+        kinds, payloads, events = self._kind, self._payload, self._events
+
+        def probability_of(current: int) -> float:
+            if current == TRUE_ID:
+                return 1.0
+            if current == FALSE_ID:
+                return 0.0
+            kind = kinds[current]
+            if kind == KIND_VAR:
+                return distribution[payloads[current]]  # type: ignore[index]
+            if kind == KIND_NOT:
+                return 1.0 - probability_of(payloads[current])  # type: ignore[arg-type]
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            if len(events[current]) <= enumeration_cutoff:
+                result = self._enumeration(current, distribution)
+            else:
+                result = decomposed(current)
+            memo[current] = result
+            return result
+
+        def decomposed(current: int) -> float:
+            kind = kinds[current]
+            operands = payloads[current]
+            components = self._components(operands)  # type: ignore[arg-type]
+            if len(components) > 1:
+                if kind == KIND_AND:
+                    result = 1.0
+                    for component in components:
+                        result *= probability_of(self.conj(component))
+                    return result
+                result = 1.0
+                for component in components:
+                    result *= 1.0 - probability_of(self.disj(component))
+                return 1.0 - result
+            pivot = self._pivot[current]
+            p = distribution[pivot]  # type: ignore[index]
+            high = probability_of(self.cofactor(current, pivot, True))  # type: ignore[arg-type]
+            low = probability_of(self.cofactor(current, pivot, False))  # type: ignore[arg-type]
+            return p * high + (1.0 - p) * low
+
+        with _generous_stack(self._depth[node] + len(events[node])):
+            return probability_of(node)
+
+    def satisfiable(self, node: int) -> bool:
+        """Exact satisfiability of *node*, memoized **pool-wide**.
+
+        Satisfiability does not depend on any distribution, so the memo
+        (`_sat_cache`) is shared by every caller of the pool: a DTD check
+        repeated across a session — or sharing subformulas with another
+        document's check — is an O(1) probe.  Mirrors
+        :func:`repro.formulas.compute.shannon_satisfiable`: disjunctions
+        short-circuit per disjunct, De Morgan rewrites push negations one
+        level, event-disjoint conjunction components split, and only
+        genuinely entangled conjunctions pivot.
+        """
+        memo = self._sat_cache
+        kinds, payloads = self._kind, self._payload
+
+        def sat(current: int) -> bool:
+            if current == TRUE_ID:
+                return True
+            if current == FALSE_ID:
+                return False
+            kind = kinds[current]
+            if kind == KIND_VAR:
+                return True
+            payload = payloads[current]
+            if kind == KIND_NOT and kinds[payload] == KIND_VAR:  # type: ignore[index]
+                return True
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            if kind == KIND_OR:
+                result = any(sat(operand) for operand in payload)  # type: ignore[union-attr]
+            elif kind == KIND_NOT:
+                # Canonical NOT wraps a VAR (handled above), AND or OR.
+                inner = payloads[payload]  # type: ignore[index]
+                if kinds[payload] == KIND_AND:  # type: ignore[index]
+                    result = any(sat(self.neg(operand)) for operand in inner)  # type: ignore[union-attr]
+                else:
+                    result = sat(self.conj(self.neg(operand) for operand in inner))  # type: ignore[union-attr]
+            else:  # AND
+                components = self._components(payload)  # type: ignore[arg-type]
+                if len(components) > 1:
+                    result = all(
+                        sat(self.conj(component)) for component in components
+                    )
+                else:
+                    pivot = self._pivot[current]
+                    result = sat(self.cofactor(current, pivot, True)) or sat(  # type: ignore[arg-type]
+                        self.cofactor(current, pivot, False)  # type: ignore[arg-type]
+                    )
+            memo[current] = result
+            return result
+
+        with _generous_stack(self._depth[node] + len(self._events[node])):
+            return sat(node)
+
+    def tautology(self, node: int) -> bool:
+        """Whether *node* holds in every world."""
+        return not self.satisfiable(self.neg(node))
+
+    def __repr__(self) -> str:
+        return (
+            f"FormulaPool(nodes={len(self._kind)}, vars={len(self._var_ids)}, "
+            f"conditions={len(self._condition_ids)}, sat_cached={len(self._sat_cache)})"
+        )
+
+
+__all__ = [
+    "FALSE_ID",
+    "TRUE_ID",
+    "KIND_FALSE",
+    "KIND_TRUE",
+    "KIND_VAR",
+    "KIND_NOT",
+    "KIND_AND",
+    "KIND_OR",
+    "FormulaPool",
+]

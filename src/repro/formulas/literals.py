@@ -151,10 +151,24 @@ class Condition:
         accumulated frozenset at every step, which is quadratic in the number
         of conditions (it dominated answer-bundle construction in query
         evaluation before this existed).
+
+        Duplicate conjuncts are detected up front and unioned only once
+        (conditions are already flat conjunctions, so this is the whole
+        canonicalization story at this level — nesting cannot arise).
+        Repeated-insert update chains routinely hand the same target
+        condition in once per match, and answer bundles repeat each shared
+        ancestor's condition once per answer node below it; skipping the
+        redundant unions keeps those paths proportional to the *distinct*
+        conjuncts.
         """
         literals: Set[Literal] = set()
+        seen: Set[FrozenSet[Literal]] = set()
         for condition in conditions:
-            literals |= condition._literals
+            frozen = condition._literals
+            if not frozen or frozen in seen:
+                continue
+            seen.add(frozen)
+            literals |= frozen
         if not literals:
             return _TRUE
         return Condition(literals)

@@ -22,7 +22,11 @@ reference kept as a differential-testing oracle:
 
 * ``engine="formula" | "enumerate"`` — how answer probabilities are priced
   (Shannon expansion over event formulas vs. possible-world enumeration, see
-  :mod:`repro.core.probability`);
+  :mod:`repro.core.probability`).  Formula-mode pricing goes through the
+  context's hash-consed :class:`~repro.formulas.ir.FormulaPool`: answer
+  conditions and boolean-query disjunctions intern to stable node ids, so a
+  repeated question over an unchanged document is dictionary probes plus an
+  integer-keyed memo hit;
 * ``matcher="indexed" | "naive" | "auto"`` — how embeddings are found.
   ``"indexed"`` (default) goes through the compiled three-stage pipeline of
   :mod:`repro.queries.plan`: a shared structural **index** over the tree

@@ -64,7 +64,11 @@ def apply_update_to_probtree(
     mutated labels stay valid and are *migrated* to the returned prob-tree
     (:meth:`ExecutionContext.migrate_answers`) instead of being lost with
     the replaced objects — a warm update/query loop only recomputes the
-    queries the update could actually have affected.
+    queries the update could actually have affected.  The per-probtree
+    formula caches migrate alongside
+    (:meth:`ExecutionContext.migrate_formulas`): the update's distribution
+    only *adds* one fresh event, so every price computed against the old
+    prob-tree is still exact on the new one.
     """
     ctx = resolve_context(context, matcher=matcher)
     operation = update.operation
@@ -242,12 +246,18 @@ def _extract_conditional_subtree(
 
 
 def _answer_condition(probtree: ProbTree, match: Match) -> Condition:
-    """Union of the conditions of the nodes of the answer sub-datatree."""
+    """Union of the conditions of the nodes of the answer sub-datatree.
+
+    Built through :meth:`Condition.conjoin_all`, which flattens the whole
+    bundle in one pass and skips duplicate conjuncts — answers produced by
+    repeated-insert update chains carry the same inserted-root condition
+    once per copy, and folding pairwise conjunction over those was
+    quadratic in the chain length.
+    """
     tree = probtree.tree
-    condition = Condition.true()
-    for node in match.answer_nodes(tree):
-        condition = condition.conjoin(probtree.condition(node))
-    return condition
+    return Condition.conjoin_all(
+        probtree.condition(node) for node in match.answer_nodes(tree)
+    )
 
 
 __all__ = ["apply_update_to_probtree", "apply_updates_to_probtree"]

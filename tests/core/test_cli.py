@@ -54,6 +54,20 @@ class TestCommands:
         assert "events declared: 2" in output
         assert "nodes          : 7" in output
 
+    def test_context_stats_flag_prints_formula_ir_counters(self, warehouse_file):
+        code, output = _run(["probability", warehouse_file, "/catalog/movie", "--stats"])
+        assert code == 0
+        assert "stats.intern_misses:" in output
+        assert "stats.intern_hits:" in output
+        assert "stats.formulas_migrated:" in output
+        misses = int(
+            next(
+                line for line in output.splitlines()
+                if line.startswith("stats.intern_misses:")
+            ).split(":")[1]
+        )
+        assert misses > 0  # pricing interned the answer disjunction
+
     def test_worlds(self, warehouse_file):
         code, output = _run(["worlds", warehouse_file, "--top", "2"])
         assert code == 0

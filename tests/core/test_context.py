@@ -150,8 +150,39 @@ class TestAutoMatcher:
         pattern = descendant_anywhere("A")
         context.index_for(doc)  # sunk cost: the index exists and is fresh
         assert context.effective_matcher(pattern, doc) == "indexed"
-        doc.add_child(doc.root, "Z")  # stale again → tiny product → naive
+
+    def test_auto_treats_a_patchable_stale_index_as_almost_fresh(self):
+        # Journal-aware cost model: a stale index whose pending journal fits
+        # under PATCH_JOURNAL_LIMIT will be patched, not rebuilt, so even a
+        # tiny pattern×tree product keeps the compiled plans.
+        from repro.trees.index import PATCH_JOURNAL_LIMIT
+
+        doc = random_datatree(10, seed=3)
+        context = ExecutionContext(matcher="auto")
+        pattern = descendant_anywhere("A")
+        context.index_for(doc)
+        doc.add_child(doc.root, "Z")  # stale, one journal entry: patchable
+        assert context.effective_matcher(pattern, doc) == "indexed"
+        # Push the journal past the patch threshold: the cost model must fall
+        # back to assuming a full rebuild, and the tiny product goes naive.
+        for _ in range(PATCH_JOURNAL_LIMIT + 1):
+            doc.add_child(doc.root, "Z")
         assert context.effective_matcher(pattern, doc) == "naive"
+
+    def test_auto_patchable_index_differential(self):
+        # The journal-aware decision must not change results: evaluate the
+        # same query under auto (with a stale-but-patchable index) and under
+        # both fixed matchers.
+        doc = random_datatree(60, seed=11)
+        pattern = descendant_anywhere("A")
+        context = ExecutionContext(matcher="auto")
+        context.index_for(doc)
+        doc.add_child(doc.root, "A")  # stale but patchable
+        auto = pattern.matches(doc, context=context)
+        naive = pattern.matches(doc, matcher="naive")
+        indexed = pattern.matches(doc, matcher="indexed")
+        assert set(auto) == set(naive) == set(indexed)
+        assert len(auto) == len(naive) == len(indexed)
 
     def test_fixed_override_bypasses_the_cost_model(self):
         doc = random_datatree(10, seed=4)
@@ -372,6 +403,191 @@ class TestUpdateInvalidation:
         )
         assert before == []
         assert len(after) == 1
+
+
+class TestFormulaPoolSharing:
+    """Tentpole: one hash-consed intern table per context state."""
+
+    def test_engines_share_the_context_pool(self):
+        context = ExecutionContext()
+        left = random_probtree(node_count=15, event_count=3, seed=21)
+        right = random_probtree(node_count=15, event_count=3, seed=22)
+        assert context.engine_for(left).pool is context.formula_pool
+        assert context.engine_for(right).pool is context.formula_pool
+        # Mode-override views share the pool too (same cache state).
+        assert context.with_modes(engine="enumerate").formula_pool is (
+            context.formula_pool
+        )
+
+    def test_intern_counters_surface_in_stats(self):
+        probtree = random_probtree(node_count=30, event_count=5, seed=23)
+        context = ExecutionContext()
+        query = parse_path("//A")
+        boolean_probability(query, probtree, context=context)
+        cold_misses = context.stats.intern_misses
+        assert cold_misses > 0
+        # Re-pricing the identical question resolves to intern hits, not
+        # fresh allocations.
+        boolean_probability(query, probtree, context=context)
+        assert context.stats.intern_misses == cold_misses
+        assert context.stats.intern_hits > 0
+
+    def test_warm_repricing_does_no_new_formula_work(self):
+        # Two independently inserted movies give the boolean query a genuine
+        # compound disjunction (w1 ∨ w2) that the Shannon memo retains.
+        context = ExecutionContext(cache_answers=False)
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.6)
+        query = parse_path("/catalog/movie")
+        probtree = warehouse.probtree
+        boolean_probability(query, probtree, context=context)
+        cold = context.stats.formulas_evaluated
+        boolean_probability(query, probtree, context=context)
+        assert context.stats.formulas_evaluated == cold
+
+
+class TestFormulaMigration:
+    """Satellite of the tentpole: prices migrate across update/clean."""
+
+    def test_update_migrates_formula_caches(self):
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.6)
+        query = parse_path("/catalog/movie")
+        baseline = boolean_probability(query, warehouse.probtree, context=context)
+        assert context.stats.formulas_migrated == 0
+        # A label-disjoint insert replaces the prob-tree; the (w1 ∨ w2)
+        # price must ride across the replacement.
+        warehouse.insert("/catalog", tree("book", "isbn"), confidence=0.9)
+        assert context.stats.formulas_migrated > 0
+        warm = context.stats.formulas_evaluated
+        assert boolean_probability(
+            query, warehouse.probtree, context=context
+        ) == pytest.approx(baseline)
+        assert context.stats.formulas_evaluated == warm
+
+    def test_migrated_prices_agree_with_a_cold_context(self):
+        from repro.updates.operations import Deletion, ProbabilisticUpdate
+        from repro.updates.probtree_updates import apply_update_to_probtree
+
+        warm_context = ExecutionContext()
+        cold_context = ExecutionContext()
+        probtree = random_probtree(node_count=25, event_count=4, seed=25)
+        query, _focus = random_matching_pattern(probtree.tree, seed=3)
+        boolean_probability(query, probtree, context=warm_context)
+        update = ProbabilisticUpdate(
+            Deletion(query, query.node_count() - 1), confidence=0.5, event="fresh"
+        )
+        updated_warm = apply_update_to_probtree(probtree, update, context=warm_context)
+        updated_cold = apply_update_to_probtree(probtree, update, context=cold_context)
+        assert boolean_probability(
+            query, updated_warm, context=warm_context
+        ) == pytest.approx(
+            boolean_probability(query, updated_cold, context=cold_context)
+        )
+
+    def test_clean_migrates_formula_caches(self):
+        from repro.core.cleaning import clean
+
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        probtree = warehouse.probtree
+        # evaluate_on_probtree prices each answer's condition bundle through
+        # the shared engine, populating the caches clean() must carry over.
+        answers = warehouse.query("/catalog/movie")
+        baseline = answers[0].probability
+        cleaned = clean(probtree, context=context)
+        assert context.stats.formulas_migrated > 0
+        warm = evaluate_on_probtree(
+            parse_path("/catalog/movie"), cleaned, context=context
+        )
+        assert warm[0].probability == pytest.approx(baseline)
+
+    def test_no_migration_across_distribution_rewrites(self):
+        context = ExecutionContext()
+        source = random_probtree(node_count=15, event_count=3, seed=26)
+        query, _focus = random_matching_pattern(source.tree, seed=4)
+        boolean_probability(query, source, context=context)
+        # A re-weighted distribution invalidates every price: nothing moves.
+        target = source.with_distribution(
+            source.distribution.with_events(
+                {event: 0.123 for event in source.distribution.events()}
+            )
+        )
+        assert context.migrate_formulas(source, target) == 0
+        assert context.stats.formulas_migrated == 0
+
+    def test_stale_engine_prices_never_migrate(self):
+        # An engine cut under w=0.4 goes stale when the *source* re-weights
+        # w in place; migration must validate against the engine's own
+        # distribution, not the source's current one.
+        from repro.formulas.literals import Condition
+
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.4)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.4)
+        probtree = warehouse.probtree
+        query = parse_path("/catalog/movie")
+        boolean_probability(query, probtree, context=context)  # priced at 0.4
+        event = sorted(probtree.distribution.events())[0]
+        probtree.add_event(event, 0.9)  # re-weight in place: engine is stale
+        target = probtree.copy()
+        assert context.migrate_formulas(probtree, target) == 0
+        fresh = ExecutionContext()
+        assert boolean_probability(query, target, context=context) == pytest.approx(
+            boolean_probability(query, target, context=fresh)
+        )
+
+
+class TestFormulaPoolRestart:
+    def test_oversized_pool_restarts_the_formula_layer(self):
+        from repro.core.context import FORMULA_POOL_NODE_LIMIT
+
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        probtree = warehouse.probtree
+        query = parse_path("/catalog/movie")
+        baseline = boolean_probability(query, probtree, context=context)
+        old_pool = context.formula_pool
+        assert not context._state.restart_formula_layer_if_oversized()
+        # Inflate past the bound, then any engine_for restarts atomically.
+        for i in range(FORMULA_POOL_NODE_LIMIT + 1):
+            old_pool.var(f"pad{i}")
+        engine = context.engine_for(probtree)
+        assert context.formula_pool is not old_pool
+        assert engine.pool is context.formula_pool
+        # Pricing stays correct after the cold restart.
+        assert boolean_probability(query, probtree, context=context) == (
+            pytest.approx(baseline)
+        )
+
+    def test_sat_only_workloads_enforce_the_bound_too(self):
+        # dtd_satisfiable / dtd_valid never call engine_for; the bound must
+        # trigger through validity_formula_for instead.
+        from repro.core.context import FORMULA_POOL_NODE_LIMIT
+        from repro.dtd.dtd import DTD, ChildConstraint
+        from repro.dtd.probtree_dtd import dtd_satisfiable, dtd_valid
+
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        probtree = warehouse.probtree
+        dtd = DTD({"catalog": [ChildConstraint.optional("movie")]})
+        assert dtd_satisfiable(probtree, dtd, context=context)
+        old_pool = context.formula_pool
+        for i in range(FORMULA_POOL_NODE_LIMIT + 1):
+            old_pool.var(f"pad{i}")
+        assert dtd_satisfiable(probtree, dtd, context=context)
+        assert context.formula_pool is not old_pool
+        # Decisions after the restart agree with the enumerate oracle.
+        assert dtd_valid(probtree, dtd, context=context) == dtd_valid(
+            probtree, dtd, engine="enumerate"
+        )
 
 
 class TestContextStatsType:

@@ -94,3 +94,93 @@ class TestRelationsBetweenProblems:
         probability = dtd_satisfaction_probability(probtree, dtd)
         assert (probability > 0.0) == dtd_satisfiable(probtree, dtd)
         assert (abs(probability - 1.0) < 1e-9) == dtd_valid(probtree, dtd)
+
+
+class TestCompiledValidityCache:
+    """The context memoizes compiled validity formulas; mutations must bust it."""
+
+    def _catalog(self):
+        from repro.core.events import ProbabilityDistribution
+        from repro.core.probtree import ProbTree
+        from repro.formulas.literals import Condition
+        from repro.trees.builders import tree
+
+        doc = tree("A", tree("B"), tree("C"))
+        probtree = ProbTree(doc, ProbabilityDistribution({"w": 0.4, "v": 0.7}))
+        children = doc.children(doc.root)
+        probtree.set_condition(children[0], Condition.of("w"))
+        probtree.set_condition(children[1], Condition.of("v"))
+        return probtree
+
+    def test_warm_check_skips_recompilation(self):
+        from repro.core.context import ExecutionContext
+
+        context = ExecutionContext()
+        probtree = self._catalog()
+        dtd = DTD({"A": [ChildConstraint.optional("B"), ChildConstraint.any_number("C")]})
+        cold = dtd_satisfaction_probability(probtree, dtd, context=context)
+        misses = context.stats.intern_misses
+        assert dtd_satisfaction_probability(probtree, dtd, context=context) == cold
+        assert context.stats.intern_misses == misses  # no new nodes: cached id
+
+    def test_structural_mutation_recompiles(self):
+        from repro.core.context import ExecutionContext
+
+        context = ExecutionContext()
+        probtree = self._catalog()
+        dtd = DTD({"A": [ChildConstraint.optional("B"), ChildConstraint.any_number("C")]})
+        before = dtd_satisfaction_probability(probtree, dtd, context=context)
+        # A second unconditioned B violates "at most one B" in every world.
+        probtree.tree.add_child(probtree.tree.root, "B")
+        after = dtd_satisfaction_probability(probtree, dtd, context=context)
+        assert after == pytest.approx(
+            dtd_satisfaction_probability(probtree, dtd, engine="enumerate")
+        )
+        assert after != pytest.approx(before)
+        # Valid iff the conditioned B stays out: P(not w) = 0.6.
+        assert after == pytest.approx(0.6)
+
+    def test_condition_mutation_recompiles(self):
+        from repro.core.context import ExecutionContext
+        from repro.formulas.literals import Condition
+
+        context = ExecutionContext()
+        probtree = self._catalog()
+        dtd = DTD({"A": [ChildConstraint.at_least_one("B"), ChildConstraint.any_number("C")]})
+        before = dtd_satisfaction_probability(probtree, dtd, context=context)
+        assert before == pytest.approx(0.4)  # P(w): the B child must survive
+        b_child = probtree.tree.children(probtree.tree.root)[0]
+        probtree.set_condition(b_child, Condition.of("v"))
+        after = dtd_satisfaction_probability(probtree, dtd, context=context)
+        assert after == pytest.approx(0.7)
+        assert after == pytest.approx(
+            dtd_satisfaction_probability(probtree, dtd, engine="enumerate")
+        )
+
+    def test_dtd_mutation_changes_fingerprint(self):
+        from repro.core.context import ExecutionContext
+
+        context = ExecutionContext()
+        probtree = self._catalog()
+        dtd = DTD({"A": [ChildConstraint.any_number("B"), ChildConstraint.any_number("C")]})
+        assert dtd_satisfaction_probability(probtree, dtd, context=context) == (
+            pytest.approx(1.0)
+        )
+        dtd.add_constraint("A", ChildConstraint.at_least_one("D"))
+        assert dtd_satisfaction_probability(probtree, dtd, context=context) == (
+            pytest.approx(0.0)
+        )
+
+    def test_decisions_share_the_pool_sat_cache(self):
+        from repro.core.context import ExecutionContext
+
+        context = ExecutionContext()
+        probtree = self._catalog()
+        dtd = DTD({"A": [ChildConstraint.at_least_one("B"), ChildConstraint.any_number("C")]})
+        assert dtd_satisfiable(probtree, dtd, context=context)
+        assert not dtd_valid(probtree, dtd, context=context)
+        # Warm repeats of both decisions allocate nothing new.
+        misses = context.stats.intern_misses
+        assert dtd_satisfiable(probtree, dtd, context=context)
+        assert not dtd_valid(probtree, dtd, context=context)
+        assert context.stats.intern_misses == misses

@@ -1,0 +1,251 @@
+"""Randomized differential harness: interned-DAG pricing vs its two oracles.
+
+The formula-IR refactor rebased the engines on
+:class:`repro.formulas.ir.FormulaPool` — hash-consed nodes with id-keyed
+Shannon memoization.  This harness pins the refactor down three ways on
+seeded random formulas:
+
+* **≡ pre-refactor tree pricing** — :func:`shannon_probability` /
+  :func:`shannon_satisfiable` over the original :class:`BoolExpr` trees;
+* **≡ enumeration** — the ``engine="enumerate"`` reference semantics
+  (exhaustive world enumeration via :meth:`BoolExpr.probability`);
+* **canonicalization laws** — operand order, duplicates, flattening,
+  constant folding and complementary pairs must not change the interned id.
+
+Fast tier: a few hundred small seeded cases.  Slow tier (``--runslow``):
+larger and more entangled formulas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+import pytest
+
+from repro.core.events import ProbabilityDistribution
+from repro.core.probability import ProbabilityEngine
+from repro.formulas.boolean import (
+    And,
+    BoolExpr,
+    FalseExpr,
+    Not,
+    Or,
+    TrueExpr,
+    Var,
+)
+from repro.formulas.compute import shannon_probability, shannon_satisfiable
+from repro.formulas.ir import FALSE_ID, TRUE_ID, FormulaPool
+from repro.formulas.literals import Condition, all_worlds
+
+pytestmark = pytest.mark.differential
+
+TOLERANCE = 1e-9
+
+PRICING_CASES = 120
+SAT_CASES = 60
+ENGINE_CASES = 40
+SLOW_CASES = 60
+
+
+def test_case_budget_is_at_least_200():
+    """The harness below must keep exercising >= 200 seeded random cases."""
+    assert PRICING_CASES + SAT_CASES + ENGINE_CASES >= 200
+
+
+def draw_formula(rng: random.Random, events: List[str], budget: int) -> BoolExpr:
+    """A random formula tree over *events* with about *budget* leaves."""
+    roll = rng.random()
+    if budget <= 1 or roll < 0.3:
+        if roll < 0.03:
+            return TrueExpr() if rng.random() < 0.5 else FalseExpr()
+        atom: BoolExpr = Var(rng.choice(events))
+        return Not(atom) if rng.random() < 0.35 else atom
+    if roll < 0.42:
+        return Not(draw_formula(rng, events, budget - 1))
+    width = rng.randint(2, 4)
+    split = max(1, budget // width)
+    children = tuple(draw_formula(rng, events, split) for _ in range(width))
+    return And(children) if rng.random() < 0.5 else Or(children)
+
+
+def draw_distribution(rng: random.Random, events: List[str]) -> ProbabilityDistribution:
+    return ProbabilityDistribution(
+        {event: rng.choice((0.1, 0.25, 0.5, 0.8, 1.0)) for event in events}
+    )
+
+
+def brute_force_probability(expr: BoolExpr, distribution) -> float:
+    mapping = distribution.as_dict()
+    total = 0.0
+    for world in all_worlds(mapping):
+        if expr.holds_in(world):
+            p = 1.0
+            for event, probability in mapping.items():
+                p *= probability if event in world else (1.0 - probability)
+            total += p
+    return total
+
+
+@pytest.mark.parametrize("seed", range(PRICING_CASES))
+def test_interned_pricing_matches_tree_and_enumeration(seed):
+    rng = random.Random(7000 + seed)
+    events = [f"w{i}" for i in range(rng.randint(1, 7))]
+    expr = draw_formula(rng, events, rng.randint(1, 14))
+    distribution = draw_distribution(rng, events)
+    pool = FormulaPool()
+    node = pool.intern(expr)
+    interned = pool.probability(node, distribution.as_dict())
+    tree = shannon_probability(expr, distribution.as_dict())
+    brute = brute_force_probability(expr, distribution)
+    assert math.isclose(interned, tree, abs_tol=TOLERANCE)
+    assert math.isclose(interned, brute, abs_tol=TOLERANCE)
+    # Warm re-pricing through a shared cache must return the identical value
+    # and re-interning the same tree must land on the same id.
+    cache = {}
+    assert pool.probability(node, distribution.as_dict(), cache=cache) == interned
+    assert pool.probability(node, distribution.as_dict(), cache=cache) == interned
+    assert pool.intern(expr) == node
+
+
+@pytest.mark.parametrize("seed", range(SAT_CASES))
+def test_interned_sat_matches_tree_and_brute_force(seed):
+    rng = random.Random(8000 + seed)
+    events = [f"w{i}" for i in range(rng.randint(1, 6))]
+    expr = draw_formula(rng, events, rng.randint(1, 12))
+    pool = FormulaPool()
+    node = pool.intern(expr)
+    interned = pool.satisfiable(node)
+    tree = shannon_satisfiable(expr)
+    brute = any(expr.holds_in(world) for world in all_worlds(events))
+    assert interned == tree == brute
+    # Tautology is the dual question over the same pool-wide SAT cache.
+    brute_taut = all(expr.holds_in(world) for world in all_worlds(events))
+    assert pool.tautology(node) == brute_taut
+
+
+@pytest.mark.parametrize("seed", range(ENGINE_CASES))
+def test_engine_modes_agree_on_interned_input(seed):
+    """ProbabilityEngine(formula) ≡ ProbabilityEngine(enumerate), id or tree input."""
+    rng = random.Random(9000 + seed)
+    events = [f"w{i}" for i in range(rng.randint(1, 6))]
+    expr = draw_formula(rng, events, rng.randint(1, 10))
+    distribution = draw_distribution(rng, events)
+    formula_engine = ProbabilityEngine(distribution, mode="formula")
+    enumerate_engine = ProbabilityEngine(distribution, mode="enumerate")
+    node = formula_engine.pool.intern(expr)
+    by_id = formula_engine.probability(node)
+    by_tree = formula_engine.probability(expr)
+    reference = enumerate_engine.probability(expr)
+    assert math.isclose(by_id, by_tree, abs_tol=TOLERANCE)
+    assert math.isclose(by_id, reference, abs_tol=TOLERANCE)
+    # The enumerate engine accepts ids too (converted back through the pool).
+    other = enumerate_engine.pool.intern(expr)
+    assert math.isclose(enumerate_engine.probability(other), reference, abs_tol=TOLERANCE)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(SLOW_CASES))
+def test_interned_pricing_matches_tree_on_large_formulas(seed):
+    """Bigger, more entangled formulas: interned ≡ pre-refactor tree pricing."""
+    rng = random.Random(10_000 + seed)
+    events = [f"w{i}" for i in range(rng.randint(8, 14))]
+    expr = draw_formula(rng, events, rng.randint(20, 60))
+    distribution = draw_distribution(rng, events)
+    pool = FormulaPool()
+    node = pool.intern(expr)
+    interned = pool.probability(node, distribution.as_dict())
+    tree = shannon_probability(expr, distribution.as_dict())
+    assert math.isclose(interned, tree, abs_tol=TOLERANCE)
+    if len(events) <= 12:
+        assert math.isclose(
+            interned, brute_force_probability(expr, distribution), abs_tol=TOLERANCE
+        )
+    assert pool.satisfiable(node) == shannon_satisfiable(expr)
+
+
+class TestCanonicalization:
+    """Construction laws: equal formulas must get equal interned ids."""
+
+    def test_commutativity_and_dedup(self):
+        pool = FormulaPool()
+        a, b, c = pool.var("a"), pool.var("b"), pool.var("c")
+        assert pool.conj([a, b, c]) == pool.conj([c, b, a, b, a])
+        assert pool.disj([a, b]) == pool.disj([b, a, b])
+
+    def test_flattening(self):
+        pool = FormulaPool()
+        a, b, c = pool.var("a"), pool.var("b"), pool.var("c")
+        assert pool.conj([pool.conj([a, b]), c]) == pool.conj([a, b, c])
+        assert pool.disj([a, pool.disj([b, c])]) == pool.disj([a, b, c])
+
+    def test_constant_folding(self):
+        pool = FormulaPool()
+        a = pool.var("a")
+        assert pool.conj([]) == TRUE_ID
+        assert pool.disj([]) == FALSE_ID
+        assert pool.conj([a, TRUE_ID]) == a
+        assert pool.disj([a, FALSE_ID]) == a
+        assert pool.conj([a, FALSE_ID]) == FALSE_ID
+        assert pool.disj([a, TRUE_ID]) == TRUE_ID
+        assert pool.neg(TRUE_ID) == FALSE_ID
+        assert pool.neg(FALSE_ID) == TRUE_ID
+
+    def test_double_negation_and_complementary_pairs(self):
+        pool = FormulaPool()
+        a, b = pool.var("a"), pool.var("b")
+        assert pool.neg(pool.neg(a)) == a
+        assert pool.conj([a, pool.neg(a)]) == FALSE_ID
+        assert pool.disj([a, pool.neg(a)]) == TRUE_ID
+        # The fold applies to the *flattened* operand set, so use a compound
+        # of the opposite kind (a same-kind child would be spliced away).
+        compound = pool.disj([a, b])
+        assert pool.conj([compound, pool.neg(compound)]) == FALSE_ID
+        assert pool.disj([pool.conj([a, b]), pool.neg(pool.conj([a, b]))]) == TRUE_ID
+
+    def test_single_operand_collapses(self):
+        pool = FormulaPool()
+        a = pool.var("a")
+        assert pool.conj([a]) == a
+        assert pool.disj([a, a]) == a
+
+    def test_conditions_intern_to_stable_ids(self):
+        pool = FormulaPool()
+        first = pool.condition(Condition.of("a", "not b"))
+        second = pool.condition(Condition.of("not b", "a"))
+        assert first == second
+        # Inconsistent conditions canonicalize to false (probability zero).
+        assert pool.condition(Condition.of("a", "not a")) == FALSE_ID
+
+    def test_intern_matches_direct_construction(self):
+        pool = FormulaPool()
+        expr = Or((And((Var("a"), Var("b"))), Not(Var("c")), FalseExpr()))
+        direct = pool.disj(
+            [
+                pool.conj([pool.var("a"), pool.var("b")]),
+                pool.neg(pool.var("c")),
+            ]
+        )
+        assert pool.intern(expr) == direct
+
+    def test_intern_counters_track_probes(self):
+        pool = FormulaPool()
+        assert pool.stats.intern_misses == 0
+        pool.var("a")
+        misses = pool.stats.intern_misses
+        assert misses == 1
+        pool.var("a")
+        assert pool.stats.intern_hits == 1
+        assert pool.stats.intern_misses == misses
+
+    def test_deep_intern_is_iterative(self):
+        # A 5000-deep alternating chain must intern without recursion errors.
+        expr: BoolExpr = Var("w0")
+        for i in range(5000):
+            expr = Not(expr) if i % 2 else And((expr, Var(f"w{i % 7}")))
+        pool = FormulaPool()
+        node = pool.intern(expr)
+        assert pool.depth(node) > 1000
+        rebuilt = pool.to_expr(node)
+        assert pool.intern(rebuilt) == node

@@ -87,6 +87,19 @@ class TestCondition:
         assert Condition.conjoin_all([]) is Condition.true()
         assert Condition.conjoin_all([Condition.true(), Condition.true()]).is_true()
 
+    def test_conjoin_all_dedupes_identical_conjuncts(self):
+        # Regression: repeated-insert update chains hand the same condition
+        # in once per match; the single-pass union must skip duplicates and
+        # still equal the pairwise fold.
+        repeated = Condition.of("w1", "not w2")
+        other = Condition.of("w3")
+        conditions = [repeated] * 500 + [other] + [repeated] * 500
+        assert Condition.conjoin_all(conditions) == repeated.conjoin(other)
+        assert Condition.conjoin_all([repeated] * 1000) == repeated
+        # Distinct objects with equal literal sets dedupe too.
+        clones = [Condition.of("w1", "not w2") for _ in range(100)]
+        assert Condition.conjoin_all(clones) == repeated
+
     def test_minus_and_without_events(self):
         condition = Condition.of("w1", "not w2", "w3")
         assert condition.minus(Condition.of("w1")) == Condition.of("not w2", "w3")

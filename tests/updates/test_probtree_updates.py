@@ -201,6 +201,59 @@ class TestDeletion:
         assert _consistent(probtree, update)
 
 
+class TestRepeatedInsertChains:
+    """Regression for the deduplicating ``Condition.conjoin_all``.
+
+    Repeated-insert chains make answer bundles repeat the same conjuncts
+    (one shared insertion event across every match of one update, shared
+    ancestors repeated once per answer node); the single-pass deduplicating
+    union must leave the Appendix A semantics untouched.
+    """
+
+    def test_repeated_insert_chain_consistency(self):
+        import math
+
+        from repro.queries.evaluation import boolean_probability
+
+        probtree = ProbTree(DataTree("R"), ProbabilityDistribution({}))
+        pattern = TreePattern("R")
+        update = ProbabilisticUpdate(
+            Insertion(pattern, pattern.root, tree("A", "B")), confidence=0.5
+        )
+        current = probtree
+        reference = possible_worlds(probtree)
+        for _ in range(3):
+            current = apply_update_to_probtree(current, update)
+            reference = apply_update_to_pwset(reference, update, normalize=True)
+        assert possible_worlds(current, normalize=True).isomorphic(reference)
+        fast = boolean_probability(child_chain(["R", "A", "B"]), current, engine="formula")
+        slow = boolean_probability(
+            child_chain(["R", "A", "B"]), current, engine="enumerate"
+        )
+        assert math.isclose(fast, slow, abs_tol=1e-9)
+
+    def test_one_update_many_matches_shares_one_event(self):
+        # One insertion hitting several matches introduces a single event;
+        # every inserted root repeats it, so a bundle over two inserted
+        # subtrees dedupes to one conjunct per distinct condition.
+        base = tree("R", tree("A"), tree("A"))
+        probtree = ProbTree(base, ProbabilityDistribution({}))
+        update = ProbabilisticUpdate(
+            Insertion(child_chain(["R", "A"]), 1, tree("B")), confidence=0.5
+        )
+        updated = apply_update_to_probtree(probtree, update)
+        assert len(updated.distribution) == 1
+        conditions = [
+            updated.condition(node)
+            for node in updated.tree.nodes()
+            if updated.tree.label(node) == "B"
+        ]
+        assert len(conditions) == 2
+        assert conditions[0] == conditions[1]
+        assert Condition.conjoin_all(conditions) == conditions[0]
+        assert _consistent(probtree, update)
+
+
 class TestSequences:
     def test_update_sequence_stays_consistent(self, figure1):
         updates = [
