@@ -1,0 +1,126 @@
+"""Budgeted exact pricing vs anytime Monte-Carlo on entangled formulas.
+
+The unbounded exact engine is hostage to formula structure: on the
+adversarial entangled-CNF family (every event coupled to distant
+neighbours, a single connected component, no independent decomposition)
+Shannon expansion degenerates to its exponential worst case and a single
+``probability()`` call effectively hangs.  This benchmark measures the two
+escape hatches shipped for that regime:
+
+* **budgeted exact** — ``max_expansions`` turns the hang into a typed
+  :class:`~repro.utils.errors.BudgetExceededError` raised after a bounded
+  amount of work;
+* **sampling** — ``engine="sample"`` returns a seeded anytime estimate with
+  a Wilson confidence interval, at a cost independent of entanglement.
+
+Emits one JSON object to stdout::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py
+
+The exit-code gate asserts the ISSUE acceptance criterion on the largest
+instance (>= 48 coupled events): the budgeted exact engine must *raise*
+within the time limit instead of hanging, and the sampling engine must
+return an estimate whose 95% confidence interval is at most 0.01 wide —
+both in under 2 seconds.  ``REPRO_BENCH_SMOKE=1`` shrinks instance sizes
+and budgets for the ``run_all.py --check-gates`` tier-1 smoke subset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and str(Path(__file__).resolve().parents[1] / "src") not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.formulas.ir import FormulaPool
+from repro.formulas.sampling import PricingPolicy, sample_probability
+from repro.utils.errors import BudgetExceededError
+from repro.workloads.constructions import entangled_cnf_ir
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+EVENT_COUNTS = [48] if SMOKE else [32, 48, 64]
+EXACT_BUDGET = 2_000 if SMOKE else 5_000
+TIME_LIMIT_SECONDS = 2.0
+GATE_CI_WIDTH = 0.01
+GATE_CONFIDENCE = 0.95
+
+
+def _measure(event_count: int) -> dict:
+    pool = FormulaPool()
+    node, distribution = entangled_cnf_ir(pool, event_count=event_count, seed=7)
+
+    start = time.perf_counter()
+    raised = False
+    spent = None
+    try:
+        pool.probability(node, distribution, max_expansions=EXACT_BUDGET)
+    except BudgetExceededError as error:
+        raised = True
+        spent = error.spent
+    exact_seconds = time.perf_counter() - start
+
+    policy = PricingPolicy(
+        epsilon=GATE_CI_WIDTH / 2.0,
+        confidence=GATE_CONFIDENCE,
+        seed=1,
+        exact_event_threshold=0,
+    )
+    start = time.perf_counter()
+    estimate = sample_probability(pool, node, distribution, policy=policy)
+    sample_seconds = time.perf_counter() - start
+
+    return {
+        "events": event_count,
+        "exact_budget": EXACT_BUDGET,
+        "exact_raised": raised,
+        "exact_expansions_spent": spent,
+        "exact_ms": round(exact_seconds * 1e3, 1),
+        "estimate": round(estimate.estimate, 6),
+        "ci_low": round(estimate.low, 6),
+        "ci_high": round(estimate.high, 6),
+        "ci_width": round(estimate.width, 6),
+        "samples": estimate.samples,
+        "sample_ms": round(sample_seconds * 1e3, 1),
+        "_exact_seconds": exact_seconds,
+        "_sample_seconds": sample_seconds,
+        "_ci_width": estimate.width,
+    }
+
+
+def run() -> dict:
+    rows = [_measure(event_count) for event_count in EVENT_COUNTS]
+    return {
+        "benchmark": "budgeted exact vs anytime Monte-Carlo (entangled CNF)",
+        "smoke": SMOKE,
+        "gate": (
+            f"budgeted exact raises and sampling's {GATE_CONFIDENCE:.0%} CI is "
+            f"<= {GATE_CI_WIDTH} wide, each within {TIME_LIMIT_SECONDS}s, "
+            f"at {EVENT_COUNTS[-1]} events"
+        ),
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    report = run()
+    largest = report["rows"][-1]
+    passed = (
+        largest["exact_raised"]
+        and largest["_exact_seconds"] <= TIME_LIMIT_SECONDS
+        and largest["_ci_width"] <= GATE_CI_WIDTH
+        and largest["_sample_seconds"] <= TIME_LIMIT_SECONDS
+    )
+    for row in report["rows"]:
+        for key in ("_exact_seconds", "_sample_seconds", "_ci_width"):
+            row.pop(key, None)
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

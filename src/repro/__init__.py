@@ -45,9 +45,11 @@ from repro.formulas.cnf import CNF
 from repro.pw.convert import probtree_to_pwset, pwset_to_probtree
 from repro.pw.pwset import PWSet
 from repro.queries.base import Match, Query
+from repro.formulas.sampling import PricingPolicy, SampleEstimate
 from repro.queries.evaluation import (
     QueryAnswer,
     boolean_probability,
+    boolean_probability_anytime,
     boolean_probability_many,
     evaluate_many,
     evaluate_on_datatree,
@@ -75,6 +77,7 @@ from repro.ranking.topk_answers import top_k_answers
 from repro.queries.aggregates import expected_match_count, match_count_distribution
 from repro.simplification.approximate import simplify
 from repro.simplification.distance import total_variation_distance
+from repro.utils.errors import BudgetExceededError
 from repro.xmlio.parse import datatree_from_xml, probtree_from_xml
 from repro.xmlio.serialize import datatree_to_xml, probtree_to_xml
 
@@ -125,7 +128,12 @@ __all__ = [
     "evaluate_on_probtree",
     "evaluate_many",
     "boolean_probability",
+    "boolean_probability_anytime",
     "boolean_probability_many",
+    # budgeted / anytime pricing
+    "PricingPolicy",
+    "SampleEstimate",
+    "BudgetExceededError",
     # updates
     "Insertion",
     "Deletion",

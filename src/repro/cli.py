@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.core.context import ExecutionContext
 from repro.core.engine import ProbXMLWarehouse
+from repro.formulas.sampling import PricingPolicy
 from repro.dtd.dtd import DTD, ChildConstraint
 from repro.utils.errors import DTDError, ProbXMLError
 from repro.xmlio.parse import probtree_from_xml
@@ -78,8 +79,20 @@ def _load(arguments: argparse.Namespace) -> ProbXMLWarehouse:
         engine=arguments.engine,
         matcher=arguments.matcher,
         max_cached_answers=getattr(arguments, "max_cached_answers", None),
+        pricing=_pricing_policy(arguments),
     )
     return ProbXMLWarehouse(probtree_from_xml(text), context=context)
+
+
+def _pricing_policy(arguments: argparse.Namespace) -> PricingPolicy:
+    """The pricing policy of one invocation (defaults where flags are absent)."""
+    return PricingPolicy().merged(
+        max_expansions=getattr(arguments, "max_expansions", None),
+        epsilon=getattr(arguments, "epsilon", None),
+        confidence=getattr(arguments, "confidence", None),
+        max_samples=getattr(arguments, "max_samples", None),
+        seed=getattr(arguments, "sample_seed", None),
+    )
 
 
 def _maybe_print_stats(arguments: argparse.Namespace, warehouse, output) -> None:
@@ -125,8 +138,21 @@ def _command_query(arguments: argparse.Namespace, output) -> int:
 
 def _command_probability(arguments: argparse.Namespace, output) -> int:
     warehouse = _load(arguments)
-    probability = warehouse.probability(arguments.path)
-    print(f"{probability:.6f}", file=output)
+    if arguments.engine in ("sample", "auto-sample"):
+        estimate = warehouse.probability_anytime(arguments.path)
+        print(f"{estimate.estimate:.6f}", file=output)
+        if estimate.exact:
+            print("exact (small formula: no sampling needed)", file=output)
+        else:
+            level = round(estimate.confidence * 100)
+            print(
+                f"{level}% CI [{estimate.low:.6f}; {estimate.high:.6f}] "
+                f"from {estimate.samples} samples",
+                file=output,
+            )
+    else:
+        probability = warehouse.probability(arguments.path)
+        print(f"{probability:.6f}", file=output)
     _maybe_print_stats(arguments, warehouse, output)
     return 0
 
@@ -154,10 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
         "--engine",
-        choices=("formula", "enumerate"),
+        choices=("formula", "enumerate", "sample", "auto-sample"),
         default="formula",
         help="probability engine: 'formula' (Shannon expansion over event "
-        "formulas, the default) or 'enumerate' (materialize possible worlds)",
+        "formulas, the default; bounded by --max-expansions), 'enumerate' "
+        "(materialize possible worlds), 'sample' (seeded anytime "
+        "Monte-Carlo estimates with confidence intervals) or 'auto-sample' "
+        "(budgeted-exact first, degrading to sampling on a tripped budget)",
     )
     common.add_argument(
         "--matcher",
@@ -179,6 +208,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-document LRU bound on cached answer entries "
         "(default: the context's generous built-in bound)",
+    )
+    common.add_argument(
+        "--max-expansions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Shannon-expansion budget of the exact engine; past it the "
+        "command fails with a typed BudgetExceededError (exit 2) instead of "
+        "hanging, or falls back to sampling under --engine auto-sample "
+        "(default: unbounded for 'formula', a generous built-in bound for "
+        "the 'auto-sample' exact attempt)",
+    )
+    common.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="E",
+        help="target confidence-interval half-width of the sampling engines "
+        "(default: 0.005, i.e. a 0.01-wide interval)",
+    )
+    common.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        metavar="C",
+        help="confidence level of the sampling engines' intervals (default: 0.95)",
+    )
+    common.add_argument(
+        "--max-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on Monte-Carlo worlds drawn per estimate (default: 200000)",
+    )
+    common.add_argument(
+        "--sample-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="Monte-Carlo seed; estimates are deterministic per seed (default: 0)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

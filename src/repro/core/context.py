@@ -7,10 +7,13 @@ structural index) lived in module-level registries with no owner.  An
 :class:`ExecutionContext` gives all of that one home:
 
 * **mode resolution** — the context carries the default ``engine``
-  (``"formula"`` | ``"enumerate"``) and ``matcher`` (``"indexed"`` |
-  ``"naive"`` | ``"auto"``) for every operation executed through it, with
-  per-call overrides resolved by :func:`resolve_context` (precedence:
-  per-call override > context default > module default);
+  (``"formula"`` | ``"enumerate"`` | ``"sample"`` | ``"auto-sample"``) and
+  ``matcher`` (``"indexed"`` | ``"naive"`` | ``"auto"``) for every operation
+  executed through it, together with a session
+  :class:`~repro.formulas.sampling.PricingPolicy` (exact-pricing budget and
+  sampling tolerances), with per-call overrides resolved by
+  :func:`resolve_context` (precedence: per-call override > context default >
+  module default);
 * **cache handles** — a context-scoped registry of
   :class:`~repro.core.probability.ProbabilityEngine` instances (one Shannon
   cache per prob-tree per mode, all pricing through the context's single
@@ -48,6 +51,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 from repro.core.probability import ProbabilityEngine, require_engine_mode
 from repro.core.probtree import ProbTree
 from repro.formulas.ir import FormulaPool
+from repro.formulas.sampling import PricingPolicy
 from repro.trees.datatree import DataTree, NodeId
 from repro.trees.index import PATCH_JOURNAL_LIMIT, TreeIndex, tree_index
 from repro.utils.errors import QueryError
@@ -157,6 +161,9 @@ class ContextStats:
         "intern_hits",
         "intern_misses",
         "formulas_migrated",
+        "exact_budget_exceeded",
+        "samples_drawn",
+        "fallbacks",
     )
 
     def __init__(self) -> None:
@@ -177,6 +184,9 @@ class ContextStats:
         self.intern_hits = 0             # formula-pool probes finding a node
         self.intern_misses = 0           # formula-pool probes allocating one
         self.formulas_migrated = 0       # priced formulas carried across update/clean
+        self.exact_budget_exceeded = 0   # exact pricings that tripped max_expansions
+        self.samples_drawn = 0           # Monte-Carlo worlds drawn by the sampler
+        self.fallbacks = 0               # auto-sample degradations exact -> sampling
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -249,6 +259,7 @@ class _ContextState:
         "auto_naive_cost",
         "cache_answers",
         "max_cached_answers",
+        "pricing",
     )
 
     def __init__(
@@ -256,6 +267,7 @@ class _ContextState:
         auto_naive_cost: int = AUTO_NAIVE_COST,
         cache_answers: bool = True,
         max_cached_answers: Optional[int] = None,
+        pricing: Optional[PricingPolicy] = None,
     ) -> None:
         # prob-tree -> {engine mode -> ProbabilityEngine}
         self.engines: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
@@ -293,6 +305,9 @@ class _ContextState:
                 f"{max_cached_answers!r}"
             )
         self.max_cached_answers = int(max_cached_answers)
+        # One pricing policy (exact budget + sampling tolerances) per
+        # session, applied to every engine this state hands out.
+        self.pricing = pricing if pricing is not None else PricingPolicy()
 
     def restart_formula_layer_if_oversized(self) -> bool:
         """Restart the intern table past :data:`FORMULA_POOL_NODE_LIMIT`.
@@ -319,7 +334,8 @@ class ExecutionContext:
 
     Args:
         engine: default probability engine mode (``"formula"`` |
-            ``"enumerate"``; ``None`` means ``"formula"``).
+            ``"enumerate"`` | ``"sample"`` | ``"auto-sample"``; ``None``
+            means ``"formula"``).
         matcher: default embedding matcher (``"indexed"`` | ``"naive"`` |
             ``"auto"``; ``None`` means ``"indexed"``).
         auto_naive_cost: pattern×tree product below which ``"auto"`` picks
@@ -333,6 +349,11 @@ class ExecutionContext:
             :data:`MAX_CACHED_ANSWERS` default; values below 1 are
             rejected.  Evictions are counted in
             :attr:`ContextStats.evictions`.
+        pricing: the session's :class:`~repro.formulas.sampling.PricingPolicy`
+            (exact-pricing ``max_expansions`` budget plus the sampler's
+            ``epsilon``/``confidence``/``max_samples``/``deadline``/``seed``
+            knobs), applied to every engine this context hands out.  ``None``
+            means the unbudgeted defaults.
     """
 
     __slots__ = ("_engine", "_matcher", "_state")
@@ -344,6 +365,7 @@ class ExecutionContext:
         auto_naive_cost: int = AUTO_NAIVE_COST,
         cache_answers: bool = True,
         max_cached_answers: Optional[int] = None,
+        pricing: Optional[PricingPolicy] = None,
         _state: Optional[_ContextState] = None,
     ) -> None:
         self._engine = require_engine_mode(engine) if engine is not None else "formula"
@@ -351,7 +373,9 @@ class ExecutionContext:
         self._state = (
             _state
             if _state is not None
-            else _ContextState(auto_naive_cost, cache_answers, max_cached_answers)
+            else _ContextState(
+                auto_naive_cost, cache_answers, max_cached_answers, pricing
+            )
         )
 
     # -- modes ---------------------------------------------------------------
@@ -468,10 +492,16 @@ class ExecutionContext:
                 mode=mode,
                 stats=self._state.stats,
                 pool=self._state.formula_pool,
+                policy=self._state.pricing,
             )
             per_tree[mode] = cached
             self._state.stats.engines_created += 1
         return cached
+
+    @property
+    def pricing(self) -> PricingPolicy:
+        """The session's pricing policy (exact budget + sampling knobs)."""
+        return self._state.pricing
 
     @property
     def formula_pool(self) -> FormulaPool:

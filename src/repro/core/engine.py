@@ -31,9 +31,11 @@ from repro.dtd.probtree_dtd import (
 )
 from repro.pw.pwset import PWSet
 from repro.queries.base import Query, QueryNodeId
+from repro.formulas.sampling import PricingPolicy, SampleEstimate
 from repro.queries.evaluation import (
     QueryAnswer,
     boolean_probability,
+    boolean_probability_anytime,
     evaluate_many,
     evaluate_on_probtree,
     top_answers,
@@ -117,9 +119,15 @@ class ProbXMLWarehouse:
 
     * ``engine`` — ``"formula"`` (default) compiles each question into an
       event formula evaluated by Shannon expansion with a shared
-      per-document cache; ``"enumerate"`` materializes possible worlds (the
-      paper's reference semantics, exponential in the number of used
-      events);
+      per-document cache (budgeted when ``pricing=`` sets
+      ``max_expansions``: a typed
+      :class:`~repro.utils.errors.BudgetExceededError` replaces the
+      unbounded worst-case blowup); ``"enumerate"`` materializes possible
+      worlds (the paper's reference semantics, exponential in the number of
+      used events); ``"sample"`` estimates scalar probabilities by seeded
+      anytime Monte-Carlo (see :meth:`probability_anytime` for the
+      confidence interval); ``"auto-sample"`` tries budgeted-exact first
+      and degrades to sampling on a tripped budget;
     * ``matcher`` — ``"indexed"`` (default) compiles patterns into
       bottom-up plans over the document's shared structural index;
       ``"naive"`` is the direct backtracking oracle; ``"auto"`` picks per
@@ -137,19 +145,24 @@ class ProbXMLWarehouse:
         context: Optional[ExecutionContext] = None,
         name: str = DEFAULT_DOCUMENT,
         max_cached_answers: Optional[int] = None,
+        pricing: Optional[PricingPolicy] = None,
     ) -> None:
         if context is None:
             self._context = ExecutionContext(
-                engine=engine, matcher=matcher, max_cached_answers=max_cached_answers
+                engine=engine,
+                matcher=matcher,
+                max_cached_answers=max_cached_answers,
+                pricing=pricing,
             )
         else:
-            if max_cached_answers is not None:
+            if max_cached_answers is not None or pricing is not None:
                 # Unlike engine/matcher there is no per-view override: the
-                # LRU bound lives in the shared cache state, so honouring it
-                # here would silently resize the caller's session context.
+                # LRU bound and the pricing policy live in the shared cache
+                # state, so honouring them here would silently reconfigure
+                # the caller's session context.
                 raise ProbXMLError(
-                    "max_cached_answers cannot be combined with context=; "
-                    "set the bound when building the ExecutionContext"
+                    "max_cached_answers/pricing cannot be combined with "
+                    "context=; set them when building the ExecutionContext"
                 )
             self._context = context.with_modes(engine=engine, matcher=matcher)
         self._documents: Dict[str, ProbTree] = {}
@@ -257,7 +270,7 @@ class ProbXMLWarehouse:
 
     @property
     def engine(self) -> str:
-        """The probability engine mode (``"formula"`` or ``"enumerate"``)."""
+        """The engine mode (``"formula"`` | ``"enumerate"`` | ``"sample"`` | ``"auto-sample"``)."""
         return self._context.engine
 
     @engine.setter
@@ -367,6 +380,38 @@ class ProbXMLWarehouse:
             self._resolve(query),
             self.get(name),
             context=self._ctx(context, engine, matcher),
+        )
+
+    def probability_anytime(
+        self,
+        query: QuerySpec,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        context: Optional[ExecutionContext] = None,
+        epsilon: Optional[float] = None,
+        confidence: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> SampleEstimate:
+        """Anytime :meth:`probability` with a confidence interval.
+
+        Returns a :class:`~repro.formulas.sampling.SampleEstimate` whose
+        interval tightens until the effective ``epsilon`` (half-width) /
+        ``max_samples`` / ``deadline`` budget is hit; per-call knobs
+        override the context's pricing policy.  Questions over few events
+        (and ``engine="enumerate"``) come back exact and zero-width.
+        """
+        return boolean_probability_anytime(
+            self._resolve(query),
+            self.get(name),
+            context=self._ctx(context, engine, matcher),
+            epsilon=epsilon,
+            confidence=confidence,
+            max_samples=max_samples,
+            deadline=deadline,
+            seed=seed,
         )
 
     def probability_all(

@@ -8,13 +8,24 @@ This module is where that promise is kept operationally:
 the events the formula mentions (see :mod:`repro.formulas.compute`), with a
 memoization table shared across every question asked of the same prob-tree.
 
-Two engine modes are exposed throughout the library:
+Four engine modes are exposed throughout the library:
 
 * ``"formula"`` (default) — Shannon expansion / variable elimination with
-  independent-component decomposition and memoization;
+  independent-component decomposition and memoization.  Optionally budgeted
+  (:class:`~repro.formulas.sampling.PricingPolicy.max_expansions`): past the
+  budget a typed :class:`~repro.utils.errors.BudgetExceededError` is raised
+  instead of running unbounded;
 * ``"enumerate"`` — the reference semantics: enumerate every world over the
   mentioned events.  Kept as a differential-testing oracle and for the
-  benchmarks that reproduce the paper's exponential baselines.
+  benchmarks that reproduce the paper's exponential baselines;
+* ``"sample"`` — seeded anytime Monte-Carlo over the event space
+  (:mod:`repro.formulas.sampling`): scalar probabilities become estimates
+  whose confidence interval tightens until the policy's
+  ``epsilon``/``confidence``/``max_samples``/``deadline`` budget is hit;
+  small formulas short-circuit to the budgeted exact path;
+* ``"auto-sample"`` — budgeted-exact first, degrading to sampling on
+  :class:`~repro.utils.errors.BudgetExceededError` (counted in
+  :attr:`~repro.core.context.ContextStats.fallbacks`).
 
 :func:`engine_for` hands out the per-probtree shared engine (a weak registry,
 so prob-trees do not leak); :func:`formula_pwset` reconstructs the normalized
@@ -38,12 +49,22 @@ from repro.formulas.compute import (
 from repro.formulas.dnf import DNF
 from repro.formulas.ir import FormulaPool
 from repro.formulas.literals import Condition, Literal
+from repro.formulas.sampling import (
+    DEFAULT_AUTO_EXPANSIONS,
+    PricingPolicy,
+    SampleEstimate,
+    _bump,
+    sample_probability,
+)
 from repro.pw.pwset import PWSet
 from repro.trees.datatree import NodeId
-from repro.utils.errors import QueryError
+from repro.utils.errors import BudgetExceededError, QueryError
 
 #: The engine modes understood throughout the library.
-ENGINE_MODES = ("formula", "enumerate")
+ENGINE_MODES = ("formula", "enumerate", "sample", "auto-sample")
+
+#: The modes whose scalar answers are Monte-Carlo estimates.
+SAMPLING_MODES = ("sample", "auto-sample")
 
 
 def require_engine_mode(mode: str) -> str:
@@ -83,6 +104,7 @@ class ProbabilityEngine:
         "_formula_cache",
         "_condition_cache",
         "_stats",
+        "_policy",
     )
 
     def __init__(
@@ -92,12 +114,14 @@ class ProbabilityEngine:
         enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
         stats=None,
         pool: Optional[FormulaPool] = None,
+        policy: Optional[PricingPolicy] = None,
     ) -> None:
         self._distribution = distribution
         self._distribution_map = distribution.as_dict()
         self._mode = require_engine_mode(mode)
         self._cutoff = enumeration_cutoff
         self._pool = pool if pool is not None else FormulaPool(stats=stats)
+        self._policy = policy if policy is not None else PricingPolicy()
         # Shannon memo keyed by interned node id, valid for exactly this
         # distribution (engine_for hands out a fresh engine when the
         # distribution changes; migrate via absorb() when it merely grows).
@@ -123,6 +147,11 @@ class ProbabilityEngine:
         """The intern table this engine prices through."""
         return self._pool
 
+    @property
+    def policy(self) -> PricingPolicy:
+        """The engine's pricing budget/tolerance knobs."""
+        return self._policy
+
     def cache_size(self) -> int:
         """Number of memoized (sub)formulas — exposed for tests and benchmarks."""
         return len(self._formula_cache) + len(self._condition_cache)
@@ -130,10 +159,15 @@ class ProbabilityEngine:
     # -- probabilities -----------------------------------------------------
 
     def probability(self, expr: Union[BoolExpr, int]) -> float:
-        """Exact ``P(expr)`` under the engine's distribution.
+        """``P(expr)`` under the engine's distribution and mode.
 
         *expr* is a :class:`BoolExpr` or an interned node id of this
-        engine's pool.
+        engine's pool.  ``"formula"`` and ``"enumerate"`` return the exact
+        value (``"formula"`` raises
+        :class:`~repro.utils.errors.BudgetExceededError` past the policy's
+        ``max_expansions``); ``"sample"`` returns the point estimate of
+        :meth:`probability_anytime`; ``"auto-sample"`` tries budgeted-exact
+        first and falls back to the estimate on a tripped budget.
         """
         if self._mode == "enumerate":
             if isinstance(expr, int):
@@ -142,15 +176,81 @@ class ProbabilityEngine:
                 self._stats.formulas_evaluated += 1
             return enumeration_probability(expr, self._distribution)
         node = expr if isinstance(expr, int) else self._pool.intern(expr)
+        if self._mode == "sample":
+            return self._sample(node).estimate
+        if self._mode == "auto-sample":
+            budget = self._policy.max_expansions
+            if budget is None:
+                budget = DEFAULT_AUTO_EXPANSIONS
+            try:
+                return self._exact(node, budget)
+            except BudgetExceededError:
+                _bump(self._stats, "fallbacks")
+                return self._sample(node).estimate
+        return self._exact(node, self._policy.max_expansions)
+
+    def _exact(self, node: int, max_expansions: Optional[int]) -> float:
+        """Budgeted exact pricing of an interned node (Shannon expansion)."""
         # Count only genuine evaluations: a top-level hit in the Shannon
         # memo table is free and must not blur the warm-vs-cold picture.
         if self._stats is not None and node not in self._formula_cache:
             self._stats.formulas_evaluated += 1
-        return self._pool.probability(
+        try:
+            return self._pool.probability(
+                node,
+                self._distribution_map,
+                cache=self._formula_cache,
+                enumeration_cutoff=self._cutoff,
+                max_expansions=max_expansions,
+            )
+        except BudgetExceededError:
+            _bump(self._stats, "exact_budget_exceeded")
+            raise
+
+    def _sample(self, node: int, **overrides) -> SampleEstimate:
+        """Monte-Carlo estimate of an interned node under the engine policy."""
+        policy = self._policy.merged(**overrides)
+        return sample_probability(
+            self._pool, node, self._distribution_map, policy=policy, stats=self._stats
+        )
+
+    def probability_anytime(
+        self,
+        expr: Union[BoolExpr, int],
+        epsilon: Optional[float] = None,
+        confidence: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> SampleEstimate:
+        """Anytime ``P(expr)`` with a confidence interval.
+
+        Draws seeded worlds and tightens the interval until the effective
+        ``epsilon`` (half-width) / ``max_samples`` / ``deadline`` budget is
+        hit; per-call knobs override the engine policy's.  Formulas with few
+        mentioned events (≤ the policy's ``exact_event_threshold``) are
+        priced exactly and come back zero-width with ``exact=True``; in
+        ``"enumerate"`` mode the oracle value is returned the same way.
+        """
+        if self._mode == "enumerate":
+            value = self.probability(expr)
+            return SampleEstimate(
+                estimate=value,
+                low=value,
+                high=value,
+                samples=0,
+                confidence=1.0,
+                exact=True,
+                method="enumerate",
+            )
+        node = expr if isinstance(expr, int) else self._pool.intern(expr)
+        return self._sample(
             node,
-            self._distribution_map,
-            cache=self._formula_cache,
-            enumeration_cutoff=self._cutoff,
+            epsilon=epsilon,
+            confidence=confidence,
+            max_samples=max_samples,
+            deadline=deadline,
+            seed=seed,
         )
 
     def condition_probability(self, condition: Condition) -> float:
@@ -403,6 +503,7 @@ def formula_pwset(
 
 __all__ = [
     "ENGINE_MODES",
+    "SAMPLING_MODES",
     "require_engine_mode",
     "ProbabilityEngine",
     "engine_for",

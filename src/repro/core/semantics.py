@@ -66,6 +66,13 @@ def normalized_worlds(
     exactly 1, whose zero-probability worlds make the enumeration raise while
     the formula path simply omits them.
 
+    The sampling modes also take the formula path: materialized worlds must
+    carry exact, mutually consistent probabilities (a PW set sums to 1), so
+    Monte-Carlo estimates apply to *scalar* probability queries only.  Under
+    those modes the formula pricing runs with the context's exact budget and
+    a tripped :class:`~repro.utils.errors.BudgetExceededError` propagates to
+    the caller (thresholding/ranking) as the typed failure.
+
     ``context`` (an :class:`~repro.core.context.ExecutionContext`) supplies
     the default engine mode and the Shannon tables the formula path prices
     with; the ``engine=`` string override wins over its default.
@@ -76,7 +83,7 @@ def normalized_worlds(
     from repro.core.probability import formula_pwset
 
     ctx = resolve_context(context, engine=engine)
-    if ctx.resolve_engine() == "formula":
+    if ctx.resolve_engine() != "enumerate":
         return formula_pwset(
             probtree, probability_engine=ctx.engine_for(probtree, "formula")
         )

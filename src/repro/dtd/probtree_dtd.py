@@ -341,15 +341,22 @@ def dtd_satisfaction_probability(
     the warehouse facade exposes (probability that the current imprecise
     document is valid).  With ``engine="formula"`` (the default) the per-node
     validity formulas are compiled once and evaluated by Shannon expansion —
-    no possible world is materialized; ``engine="enumerate"`` keeps the
-    original exhaustive computation as a reference oracle.
+    no possible world is materialized, and the context's pricing policy may
+    budget the expansion (typed
+    :class:`~repro.utils.errors.BudgetExceededError` past ``max_expansions``
+    instead of an unbounded blowup); ``engine="enumerate"`` keeps the
+    original exhaustive computation as a reference oracle; ``"sample"`` /
+    ``"auto-sample"`` estimate the validity formula by anytime Monte-Carlo.
     """
     ctx = resolve_context(context, engine=engine)
-    if ctx.resolve_engine() == "enumerate":
+    mode = ctx.resolve_engine()
+    if mode == "enumerate":
         return dtd_restriction_pwset(probtree, dtd).total_probability()
-    return ctx.engine_for(probtree, "formula").probability(
-        ctx.validity_formula_for(probtree, dtd)
-    )
+    # Compile first, then hand the id to the engine: validity_formula_for
+    # may restart the formula layer (pool bound), and engine_for after it
+    # sees the already-small pool — the (engine, id) pair stays consistent.
+    node = ctx.validity_formula_for(probtree, dtd)
+    return ctx.engine_for(probtree, mode).probability(node)
 
 
 __all__ = [

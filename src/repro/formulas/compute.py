@@ -131,6 +131,17 @@ def formula_depth(expr: BoolExpr) -> int:
     return _depth_and_event_count(expr)[0]
 
 
+# Active _generous_stack guards.  sys.setrecursionlimit is process-global, so
+# a naive save/restore is not re-entrancy-safe: two guards interleaved through
+# generators (enter A, enter B, exit A, exit B) would have A's exit restore a
+# limit below B's still-active requirement mid-expansion.  The registry makes
+# the guard raise-only-monotonic — on exit the limit is only ever lowered to
+# the maximum of the remaining active targets (or the limit observed when the
+# first guard of the batch entered), never below another live guard.
+_guard_targets: List[int] = []
+_guard_baseline: int = 0
+
+
 @contextmanager
 def _generous_stack(depth_hint: int) -> Iterator[None]:
     """Temporarily raise the recursion limit for deep (chain- or DP-shaped) formulas.
@@ -138,16 +149,28 @@ def _generous_stack(depth_hint: int) -> Iterator[None]:
     The recursive walkers below use a bounded number of frames per formula
     level; deep DAGs (thousands of cardinality guards, long literal chains)
     legitimately exceed CPython's default 1000-frame limit.
+
+    Re-entrancy-safe: nested or *interleaved* guards (lazy generators holding
+    a guard open across another engine call) never lower the process-global
+    limit below any still-active guard's target; the outermost exit restores
+    the limit observed before the whole batch entered.
     """
+    global _guard_baseline
     target = 1000 + 10 * depth_hint
-    previous = sys.getrecursionlimit()
-    if target > previous:
+    current = sys.getrecursionlimit()
+    if not _guard_targets:
+        _guard_baseline = current
+    _guard_targets.append(target)
+    if target > current:
         sys.setrecursionlimit(target)
     try:
         yield
     finally:
-        if target > previous:
-            sys.setrecursionlimit(previous)
+        _guard_targets.remove(target)
+        floor = max(_guard_targets, default=_guard_baseline)
+        floor = max(floor, _guard_baseline)
+        if sys.getrecursionlimit() > floor:
+            sys.setrecursionlimit(floor)
 
 
 # ---------------------------------------------------------------------------

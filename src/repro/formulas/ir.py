@@ -58,6 +58,7 @@ from repro.formulas.boolean import (
 from repro.formulas.compute import DEFAULT_ENUMERATION_CUTOFF, _generous_stack
 from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition, all_worlds
+from repro.utils.errors import BudgetExceededError
 
 #: Node kinds (stored per node; payload layout depends on the kind).
 KIND_FALSE = 0  # payload None
@@ -472,6 +473,7 @@ class FormulaPool:
         distribution: Mapping[str, float],
         cache: Optional[Dict[int, float]] = None,
         enumeration_cutoff: int = DEFAULT_ENUMERATION_CUTOFF,
+        max_expansions: Optional[int] = None,
     ) -> float:
         """Exact ``P(node)`` under independent events, by Shannon expansion.
 
@@ -483,9 +485,19 @@ class FormulaPool:
         warm formula costs one integer probe, with no structural hashing or
         deep equality anywhere.  No ``simplify`` pre-pass is needed either:
         pool nodes are canonical by construction.
+
+        ``max_expansions`` bounds the number of Shannon cofactor expansions
+        (the exponential step; component splits and enumeration base cases
+        are not counted).  Past the bound a
+        :class:`~repro.utils.errors.BudgetExceededError` is raised instead
+        of running unbounded on adversarially entangled formulas.  The memo
+        entries written before the budget tripped are each individually
+        exact, so a shared *cache* stays sound for later (budgeted or
+        unbudgeted) calls.
         """
         memo: Dict[int, float] = cache if cache is not None else {}
         kinds, payloads, events = self._kind, self._payload, self._events
+        expansions = 0
 
         def probability_of(current: int) -> float:
             if current == TRUE_ID:
@@ -508,6 +520,7 @@ class FormulaPool:
             return result
 
         def decomposed(current: int) -> float:
+            nonlocal expansions
             kind = kinds[current]
             operands = payloads[current]
             components = self._components(operands)  # type: ignore[arg-type]
@@ -521,6 +534,15 @@ class FormulaPool:
                 for component in components:
                     result *= 1.0 - probability_of(self.disj(component))
                 return 1.0 - result
+            expansions += 1
+            if max_expansions is not None and expansions > max_expansions:
+                raise BudgetExceededError(
+                    f"exact pricing exceeded its Shannon-expansion budget "
+                    f"({max_expansions} expansions); use engine='sample' or "
+                    f"'auto-sample' for a bounded-latency estimate",
+                    spent=expansions,
+                    budget=max_expansions,
+                )
             pivot = self._pivot[current]
             p = distribution[pivot]  # type: ignore[index]
             high = probability_of(self.cofactor(current, pivot, True))  # type: ignore[arg-type]

@@ -1,0 +1,380 @@
+"""Anytime Monte-Carlo pricing of interned event formulas.
+
+The paper's hardness results (Section 5) guarantee adversarial instances on
+which *any* exact engine is exponential: a formula whose event-sharing graph
+has one big entangled component defeats both the independent-component
+decomposition and the Shannon memo.  This module turns those worst cases
+from outages into bounded-latency answers:
+
+* :func:`sample_probability` draws seeded worlds over the formula's
+  mentioned events and evaluates the interned IR DAG per world — cheap
+  thanks to hash-consing (one topological pass over distinct nodes, batched
+  over worlds, vectorized with numpy when available);
+* the returned :class:`SampleEstimate` carries a **confidence interval**
+  (Wilson score by default — tight near 0/1, where answer probabilities
+  live); :func:`hoeffding_samples` gives the distribution-free a-priori
+  sample count for a target half-width;
+* the loop is **anytime**: it stops as soon as the interval half-width
+  reaches ``epsilon``, the sample budget ``max_samples`` is spent, or the
+  wall-clock ``deadline`` passes — whichever comes first — so callers get
+  the tightest estimate their budget affords;
+* small formulas short-circuit to the **budgeted exact path** (at most
+  ``exact_event_threshold`` mentioned events means at most ``2^threshold``
+  worlds — cheaper than sampling and exact): the estimate comes back with a
+  zero-width interval and ``exact=True``.
+
+A :class:`PricingPolicy` bundles every knob (exact budget, sampling
+tolerances, seed) so an :class:`~repro.core.context.ExecutionContext` can
+carry one session-wide pricing policy next to its engine/matcher modes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+from statistics import NormalDist
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+try:  # pragma: no cover - exercised through whichever backend is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - pure-python fallback container
+    _np = None
+
+from repro.formulas.ir import (
+    FALSE_ID,
+    KIND_AND,
+    KIND_NOT,
+    KIND_VAR,
+    TRUE_ID,
+    FormulaPool,
+)
+from repro.utils.errors import BudgetExceededError
+
+#: Default target half-width of the confidence interval (a full width of
+#: 0.01 — the ISSUE's gate — at the default 95% confidence).
+DEFAULT_EPSILON = 0.005
+
+#: Default confidence level of the reported interval.
+DEFAULT_CONFIDENCE = 0.95
+
+#: Default cap on drawn samples (reached only when epsilon never is).
+DEFAULT_MAX_SAMPLES = 200_000
+
+#: Formulas mentioning at most this many events are priced exactly (at most
+#: ``2^threshold`` worlds via the budgeted exact path) instead of sampled.
+DEFAULT_EXACT_EVENT_THRESHOLD = 10
+
+#: Default Shannon-expansion budget ``engine="auto-sample"`` applies to its
+#: exact attempt when the policy leaves ``max_expansions`` unset.
+DEFAULT_AUTO_EXPANSIONS = 50_000
+
+#: Worlds drawn per batch between stopping-rule checks.
+SAMPLE_BATCH = 4096
+
+
+def _bump(stats, name: str, amount: int = 1) -> None:
+    """Add *amount* to ``stats.<name>`` when the duck-typed sink carries it."""
+    if stats is not None and hasattr(stats, name):
+        setattr(stats, name, getattr(stats, name) + amount)
+
+
+@dataclass(frozen=True)
+class PricingPolicy:
+    """Session-wide budget knobs for exact and Monte-Carlo pricing.
+
+    Attributes:
+        max_expansions: Shannon-expansion budget of the exact path (``None``
+            = unbounded for ``engine="formula"``; ``engine="auto-sample"``
+            substitutes :data:`DEFAULT_AUTO_EXPANSIONS` so its exact attempt
+            always terminates).
+        epsilon: target confidence-interval *half*-width of the sampler
+            (``None`` disables the width stopping rule).
+        confidence: confidence level of the reported interval.
+        max_samples: cap on drawn worlds per estimate.
+        deadline: wall-clock budget in seconds per estimate (``None`` = no
+            deadline; checked between batches).
+        seed: Monte-Carlo seed — estimates are deterministic per seed.
+        exact_event_threshold: mentioned-event count at or below which the
+            sampler short-circuits to the budgeted exact path.
+    """
+
+    max_expansions: Optional[int] = None
+    epsilon: Optional[float] = DEFAULT_EPSILON
+    confidence: float = DEFAULT_CONFIDENCE
+    max_samples: int = DEFAULT_MAX_SAMPLES
+    deadline: Optional[float] = None
+    seed: int = 0
+    exact_event_threshold: int = DEFAULT_EXACT_EVENT_THRESHOLD
+
+    def merged(self, **overrides) -> "PricingPolicy":
+        """A copy with the non-``None`` entries of *overrides* applied."""
+        effective = {
+            key: value for key, value in overrides.items() if value is not None
+        }
+        return replace(self, **effective) if effective else self
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """A probability estimate with its confidence interval.
+
+    ``exact=True`` marks estimates produced by the exact path (small-formula
+    short-circuit or ``engine="enumerate"``); their interval is zero-width
+    and ``confidence`` is 1.  ``method`` records which path produced the
+    value (``"exact"``, ``"sample"`` or ``"enumerate"``).
+    """
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+    confidence: float
+    exact: bool = False
+    method: str = "sample"
+
+    @property
+    def width(self) -> float:
+        """Full width of the confidence interval."""
+        return self.high - self.low
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The ``(low, high)`` confidence interval."""
+        return (self.low, self.high)
+
+    def __float__(self) -> float:
+        return self.estimate
+
+
+def _z_score(confidence: float) -> float:
+    """Two-sided normal quantile for a *confidence* level in ]0; 1[."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in ]0; 1[, got {confidence!r}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(
+    successes: int, samples: int, confidence: float = DEFAULT_CONFIDENCE
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the naive normal approximation because it stays valid
+    (and tight) near 0 and 1 — where boolean-query probabilities
+    concentrate — and never leaves ``[0; 1]``.
+    """
+    if samples <= 0:
+        return (0.0, 1.0)
+    z = _z_score(confidence)
+    rate = successes / samples
+    z2_over_n = z * z / samples
+    denominator = 1.0 + z2_over_n
+    center = (rate + z2_over_n / 2.0) / denominator
+    margin = (
+        z
+        * math.sqrt(rate * (1.0 - rate) / samples + z2_over_n / (4.0 * samples))
+        / denominator
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def hoeffding_epsilon(samples: int, confidence: float = DEFAULT_CONFIDENCE) -> float:
+    """Distribution-free half-width guaranteed after *samples* draws."""
+    if samples <= 0:
+        return 1.0
+    return math.sqrt(math.log(2.0 / (1.0 - confidence)) / (2.0 * samples))
+
+
+def hoeffding_samples(
+    epsilon: float, confidence: float = DEFAULT_CONFIDENCE
+) -> int:
+    """Samples guaranteeing a half-width of *epsilon* at *confidence*."""
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon!r}")
+    return math.ceil(math.log(2.0 / (1.0 - confidence)) / (2.0 * epsilon * epsilon))
+
+
+def _linearize(pool: FormulaPool, node: int) -> List[int]:
+    """Reachable nodes of *node* in topological (children-first) order."""
+    order: List[int] = []
+    seen = {TRUE_ID, FALSE_ID}
+    stack: List[Tuple[int, bool]] = [(node, False)]
+    while stack:
+        current, ready = stack.pop()
+        if ready:
+            order.append(current)
+            continue
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.append((current, True))
+        kind = pool.kind(current)
+        if kind == KIND_NOT:
+            stack.append((pool.operands(current), False))
+        elif kind != KIND_VAR:
+            stack.extend((operand, False) for operand in pool.operands(current))
+    return order
+
+
+def _count_true_numpy(
+    pool: FormulaPool,
+    order: List[int],
+    node: int,
+    worlds,
+    column_of: Mapping[str, int],
+) -> int:
+    """Worlds (rows of the boolean matrix *worlds*) satisfying *node*."""
+    if node == TRUE_ID:
+        return int(worlds.shape[0])
+    if node == FALSE_ID:
+        return 0
+    values: Dict[int, object] = {}
+    for current in order:
+        kind = pool.kind(current)
+        if kind == KIND_VAR:
+            values[current] = worlds[:, column_of[pool.operands(current)]]
+        elif kind == KIND_NOT:
+            values[current] = _np.logical_not(values[pool.operands(current)])
+        else:
+            operands = pool.operands(current)
+            combine = _np.logical_and if kind == KIND_AND else _np.logical_or
+            accumulated = combine(values[operands[0]], values[operands[1]])
+            for operand in operands[2:]:
+                combine(accumulated, values[operand], out=accumulated)
+            values[current] = accumulated
+    return int(values[node].sum())
+
+
+def _holds_python(
+    pool: FormulaPool, order: List[int], node: int, world: FrozenSet[str]
+) -> bool:
+    """Pure-python per-world DAG evaluation (numpy-less fallback)."""
+    if node == TRUE_ID:
+        return True
+    if node == FALSE_ID:
+        return False
+    values: Dict[int, bool] = {TRUE_ID: True, FALSE_ID: False}
+    for current in order:
+        kind = pool.kind(current)
+        if kind == KIND_VAR:
+            values[current] = pool.operands(current) in world
+        elif kind == KIND_NOT:
+            values[current] = not values[pool.operands(current)]
+        elif kind == KIND_AND:
+            values[current] = all(
+                values[operand] for operand in pool.operands(current)
+            )
+        else:
+            values[current] = any(
+                values[operand] for operand in pool.operands(current)
+            )
+    return values[node]
+
+
+def sample_probability(
+    pool: FormulaPool,
+    node: int,
+    distribution: Mapping[str, float],
+    policy: Optional[PricingPolicy] = None,
+    stats=None,
+) -> SampleEstimate:
+    """Anytime Monte-Carlo estimate of ``P(node)`` under independent events.
+
+    Seeded (same policy seed ⇒ same estimate on the same backend), batched,
+    and stopped by whichever budget trips first: interval half-width ≤
+    ``policy.epsilon``, ``policy.max_samples`` drawn, or ``policy.deadline``
+    seconds elapsed.  Formulas mentioning at most
+    ``policy.exact_event_threshold`` events are priced exactly through the
+    budgeted exact path instead (zero-width interval, ``exact=True``); if
+    even that trips the expansion budget, sampling proceeds as the fallback.
+
+    *stats* is an optional duck-typed counter sink
+    (:class:`~repro.core.context.ContextStats`): ``samples_drawn``
+    accumulates drawn worlds and ``exact_budget_exceeded`` counts
+    short-circuit attempts that tripped their budget.
+    """
+    policy = policy if policy is not None else PricingPolicy()
+    events = sorted(pool.events(node))
+    if len(events) <= policy.exact_event_threshold:
+        try:
+            value = pool.probability(
+                node, distribution, max_expansions=policy.max_expansions
+            )
+            return SampleEstimate(
+                estimate=value,
+                low=value,
+                high=value,
+                samples=0,
+                confidence=1.0,
+                exact=True,
+                method="exact",
+            )
+        except BudgetExceededError:
+            _bump(stats, "exact_budget_exceeded")
+
+    order = _linearize(pool, node)
+    column_of = {event: index for index, event in enumerate(events)}
+    if _np is not None:
+        generator = _np.random.default_rng(policy.seed)
+        thresholds = _np.array([distribution[event] for event in events])
+    else:
+        import random
+
+        generator = random.Random(policy.seed)
+        thresholds = [distribution[event] for event in events]
+
+    start = time.monotonic()
+    successes = 0
+    drawn = 0
+    low, high = 0.0, 1.0
+    while drawn < policy.max_samples:
+        if (
+            policy.deadline is not None
+            and time.monotonic() - start >= policy.deadline
+        ):
+            break
+        batch = min(SAMPLE_BATCH, policy.max_samples - drawn)
+        if _np is not None:
+            worlds = generator.random((batch, len(events))) < thresholds
+            successes += _count_true_numpy(pool, order, node, worlds, column_of)
+        else:
+            for _ in range(batch):
+                world = frozenset(
+                    event
+                    for event, threshold in zip(events, thresholds)
+                    if generator.random() < threshold
+                )
+                if _holds_python(pool, order, node, world):
+                    successes += 1
+        drawn += batch
+        low, high = wilson_interval(successes, drawn, policy.confidence)
+        if policy.epsilon is not None and (high - low) / 2.0 <= policy.epsilon:
+            break
+
+    _bump(stats, "samples_drawn", drawn)
+    estimate = successes / drawn if drawn else 0.5
+    return SampleEstimate(
+        estimate=estimate,
+        low=low,
+        high=high,
+        samples=drawn,
+        confidence=policy.confidence,
+        exact=False,
+        method="sample",
+    )
+
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_EXACT_EVENT_THRESHOLD",
+    "DEFAULT_AUTO_EXPANSIONS",
+    "SAMPLE_BATCH",
+    "PricingPolicy",
+    "SampleEstimate",
+    "wilson_interval",
+    "hoeffding_epsilon",
+    "hoeffding_samples",
+    "sample_probability",
+]

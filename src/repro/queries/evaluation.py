@@ -55,7 +55,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probability import ProbabilityEngine
 from repro.core.probtree import ProbTree
+from repro.formulas.compute import dnf_to_expr
 from repro.formulas.dnf import DNF
+from repro.formulas.sampling import SampleEstimate
 from repro.formulas.literals import Condition
 from repro.pw.pwset import PWSet
 from repro.queries.base import Match, Query
@@ -249,18 +251,72 @@ def boolean_probability(
     holds, so this is the probability of a DNF over the answers' conditions.
     With ``engine="formula"`` (default) the DNF is evaluated by Shannon
     expansion over only the events it mentions (memoized, shared per
-    prob-tree within the context); ``engine="enumerate"`` enumerates the
-    mentioned events' worlds — the exponential reference the paper's
-    Section 5 shows is unavoidable in the worst case, kept as a differential
-    oracle.
+    prob-tree within the context; budgeted when the context's pricing policy
+    sets ``max_expansions`` — a typed
+    :class:`~repro.utils.errors.BudgetExceededError` then replaces the
+    unbounded blowup); ``engine="enumerate"`` enumerates the mentioned
+    events' worlds — the exponential reference the paper's Section 5 shows
+    is unavoidable in the worst case, kept as a differential oracle;
+    ``engine="sample"`` / ``"auto-sample"`` return an anytime Monte-Carlo
+    point estimate (see :func:`boolean_probability_anytime` for the full
+    interval).
     """
     ctx = resolve_context(context, engine=engine, matcher=matcher)
     disjuncts = _boolean_dnf(query, probtree, ctx)
     if len(disjuncts) == 0:
         return 0.0
-    if ctx.resolve_engine() == "enumerate":
+    mode = ctx.resolve_engine()
+    if mode == "enumerate":
         return disjuncts.probability(probtree.distribution.as_dict())
-    return ctx.engine_for(probtree, "formula").dnf_probability(disjuncts)
+    return ctx.engine_for(probtree, mode).dnf_probability(disjuncts)
+
+
+def boolean_probability_anytime(
+    query: Query,
+    probtree: ProbTree,
+    engine: Optional[str] = None,
+    matcher: Optional[str] = None,
+    context: Optional[ExecutionContext] = None,
+    epsilon: Optional[float] = None,
+    confidence: Optional[float] = None,
+    max_samples: Optional[int] = None,
+    deadline: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> SampleEstimate:
+    """Anytime :func:`boolean_probability` with a confidence interval.
+
+    Compiles the answer DNF exactly like :func:`boolean_probability`, then
+    estimates its probability by seeded Monte-Carlo, tightening the interval
+    until the ``epsilon`` (half-width) / ``max_samples`` / ``deadline``
+    budget is hit — per-call knobs override the context policy's.  Small
+    DNFs (few mentioned events) and ``engine="enumerate"`` come back exact
+    with a zero-width interval.
+    """
+    ctx = resolve_context(context, engine=engine, matcher=matcher)
+    disjuncts = _boolean_dnf(query, probtree, ctx)
+    if len(disjuncts) == 0:
+        return SampleEstimate(
+            estimate=0.0,
+            low=0.0,
+            high=0.0,
+            samples=0,
+            confidence=1.0,
+            exact=True,
+            method="exact",
+        )
+    shared = ctx.engine_for(probtree, ctx.resolve_engine())
+    if shared.mode == "enumerate":
+        node: object = dnf_to_expr(disjuncts)
+    else:
+        node = shared.pool.dnf(disjuncts)
+    return shared.probability_anytime(
+        node,
+        epsilon=epsilon,
+        confidence=confidence,
+        max_samples=max_samples,
+        deadline=deadline,
+        seed=seed,
+    )
 
 
 def boolean_probability_many(
@@ -328,6 +384,7 @@ __all__ = [
     "evaluate_on_probtree",
     "evaluate_many",
     "boolean_probability",
+    "boolean_probability_anytime",
     "boolean_probability_many",
     "aggregate_by_isomorphism",
     "answers_isomorphic",

@@ -65,12 +65,15 @@ def iter_worlds_by_probability(
         for value, factor in ((True, p), (False, 1.0 - p)):
             if factor <= 0.0:
                 continue
+            # ``chosen | {event}`` already builds a fresh frozenset (and the
+            # False branch shares the parent's immutable set), so no defensive
+            # copy is needed at push time.
             new_chosen = chosen | {event} if value else chosen
             new_prefix = prefix_probability * factor
             bound = new_prefix * suffix_bound[depth + 1]
             heapq.heappush(
                 heap,
-                (-bound, depth + 1, next(counter), frozenset(new_chosen), new_prefix),
+                (-bound, depth + 1, next(counter), new_chosen, new_prefix),
             )
 
 

@@ -53,6 +53,10 @@ class SimplificationReport:
 def forget_event(probtree: ProbTree, event: str) -> Tuple[ProbTree, float]:
     """Forget *event* by fixing it to its most probable value.
 
+    At ``π(w) = 0.5`` the "most probable value" is ambiguous; the documented
+    deterministic tie-break is to condition on ``True`` (the ``>=`` below),
+    so repeated simplifications of equal inputs produce identical trees.
+
     Returns the simplified prob-tree and the total-variation error bound
     ``min(π(w), 1 − π(w))``.
     """
@@ -70,8 +74,10 @@ def forget_low_impact_events(
     """Greedily forget the most skewed events while staying within a budget.
 
     Events are considered in increasing order of ``min(π, 1 − π)`` (cheapest
-    first); each forgotten event consumes its error bound from the budget.
-    Returns the simplified tree, the forgotten events and the total bound.
+    first), with the event name as a secondary key so equal-cost events are
+    visited in a deterministic order regardless of set-iteration order; each
+    forgotten event consumes its error bound from the budget.  Returns the
+    simplified tree, the forgotten events and the total bound.
     """
     if error_budget < 0.0:
         raise ValueError("error budget must be non-negative")
@@ -80,8 +86,9 @@ def forget_low_impact_events(
     spent = 0.0
     candidates = sorted(
         current.used_events(),
-        key=lambda event: min(
-            current.distribution[event], 1.0 - current.distribution[event]
+        key=lambda event: (
+            min(current.distribution[event], 1.0 - current.distribution[event]),
+            event,
         ),
     )
     for event in candidates:

@@ -38,6 +38,28 @@ class QueryError(ProbXMLError):
     """A query is malformed or was evaluated against an incompatible tree."""
 
 
+class BudgetExceededError(ProbXMLError):
+    """An exact computation exceeded its work budget.
+
+    Raised by the budgeted exact pricing path
+    (:meth:`repro.formulas.ir.FormulaPool.probability` with
+    ``max_expansions=``) when the number of Shannon cofactor expansions
+    crosses the configured bound.  The typed failure lets callers degrade
+    gracefully — ``engine="auto-sample"`` catches it and falls back to
+    Monte-Carlo estimation — instead of hanging on adversarial instances.
+
+    Attributes:
+        spent: expansions performed when the budget tripped (``None`` when
+            unknown).
+        budget: the configured bound (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, spent=None, budget=None) -> None:
+        super().__init__(message)
+        self.spent = spent
+        self.budget = budget
+
+
 class UpdateError(ProbXMLError):
     """An update operation is malformed or cannot be applied."""
 

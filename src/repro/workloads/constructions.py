@@ -6,7 +6,11 @@
   ``d₀`` ("if the root has a C-child, delete all B-children of the root");
 * :func:`wide_independent_probtree` — a root with ``n`` independent optional
   children, the factorizable family driving the E1 representation benchmark
-  (its explicit PW set has ``2ⁿ`` worlds while the prob-tree stays linear).
+  (its explicit PW set has ``2ⁿ`` worlds while the prob-tree stays linear);
+* :func:`entangled_cnf_ir` — an adversarial event formula whose clauses
+  couple every event with distant neighbours, defeating the exact engine's
+  independent-component decomposition (the budgeted-pricing / sampling
+  workload).
 
 The Theorem 4 and Theorem 5 constructions live next to their algorithms
 (:mod:`repro.threshold.constructions`, :mod:`repro.dtd.reductions`).
@@ -14,7 +18,8 @@ The Theorem 4 and Theorem 5 constructions live next to their algorithms
 
 from __future__ import annotations
 
-from typing import Tuple
+import random
+from typing import Dict, Tuple
 
 from repro.core.events import ProbabilityDistribution
 from repro.core.probtree import ProbTree
@@ -100,9 +105,42 @@ def wide_independent_probtree(
     return ProbTree(tree, ProbabilityDistribution(probabilities), conditions)
 
 
+def entangled_cnf_ir(
+    pool, event_count: int = 48, seed: int = 7, probability: float = 0.5
+) -> Tuple[int, Dict[str, float]]:
+    """An adversarial interned CNF over *event_count* coupled events.
+
+    One 3-literal clause per event ``i``, over events ``i``, ``i + 7`` and
+    ``i + 23`` (mod *event_count*) with seeded polarities.  The cyclic strides
+    tie every event to distant neighbours, so the conjunction has a single
+    connected component: the exact engine's independent-component
+    decomposition never applies and Shannon expansion degenerates to its
+    exponential worst case.  This is the workload on which a work budget
+    (typed :class:`~repro.utils.errors.BudgetExceededError`) or the sampling
+    engine is required for bounded latency.
+
+    Returns ``(node_id, distribution_map)`` for the given
+    :class:`~repro.formulas.ir.FormulaPool`.
+    """
+    if event_count < 24:
+        raise ValueError("entangled_cnf_ir needs event_count >= 24")
+    rng = random.Random(seed)
+    events = [f"w{index}" for index in range(event_count)]
+    clauses = []
+    for index in range(event_count):
+        literals = []
+        for stride in (0, 7, 23):
+            variable = pool.var(events[(index + stride) % event_count])
+            literals.append(pool.neg(variable) if rng.random() < 0.5 else variable)
+        clauses.append(pool.disj(literals))
+    node = pool.conj(clauses)
+    return node, {event: probability for event in events}
+
+
 __all__ = [
     "figure1_probtree",
     "theorem3_probtree",
     "theorem3_deletion",
     "wide_independent_probtree",
+    "entangled_cnf_ir",
 ]

@@ -1,8 +1,8 @@
 """Tier-1 tripwire: the benchmark gate runner stays wired and green.
 
 ``benchmarks/run_all.py --check-gates`` runs the gate-bearing standalone
-benchmarks (≥5× incremental index, ≥3× formula IR) in smoke mode and exits
-nonzero when any gate regresses.  The fast test below checks the selection
+benchmarks (≥5× incremental index, ≥3× formula IR, budgeted-pricing /
+sampling latency) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
 logic without running anything; the smoke-run test actually executes the
 gates (seconds in smoke mode, still marked ``slow`` so the fast tier stays
 deterministic on loaded machines — run it with ``--runslow``).
@@ -62,6 +62,7 @@ def test_check_gates_passes(tmp_path):
     assert set(summary["benchmarks"]) == {
         "bench_incremental_index",
         "bench_formula_ir",
+        "bench_sampling",
     }
     for result in summary["benchmarks"].values():
         assert result["status"] == "ok"

@@ -93,7 +93,7 @@ class TestEngineBasics:
             require_engine_mode("magic")
         with pytest.raises(QueryError):
             ProbabilityEngine(ProbabilityDistribution.empty(), mode="magic")
-        assert set(ENGINE_MODES) == {"formula", "enumerate"}
+        assert set(ENGINE_MODES) == {"formula", "enumerate", "sample", "auto-sample"}
 
     def test_dnf_probability_matches_reference(self):
         distribution = ProbabilityDistribution({"a": 0.2, "b": 0.5, "c": 0.7})

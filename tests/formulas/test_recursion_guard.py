@@ -1,0 +1,80 @@
+"""Regression tests for the re-entrant recursion-limit guard.
+
+``_generous_stack`` raises ``sys.setrecursionlimit`` for deep formula walks.
+The guard must be *raise-only monotonic while any guard is active*: closing
+one guard may never drop the limit below what another still-active guard
+requested, and non-LIFO exits (generators, interleaved engines) must restore
+the process baseline only once the last guard closes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.formulas.compute import _generous_stack
+
+
+def _guarded(depth_hint):
+    """A generator holding a guard open between its first and second resume."""
+    with _generous_stack(depth_hint):
+        yield
+
+
+def test_nested_guards_restore_baseline():
+    baseline = sys.getrecursionlimit()
+    with _generous_stack(500):
+        outer = sys.getrecursionlimit()
+        assert outer >= 1000 + 10 * 500
+        with _generous_stack(100):
+            # The inner guard's smaller target must not lower the limit.
+            assert sys.getrecursionlimit() >= outer
+        # Leaving the inner guard keeps the outer guard's headroom.
+        assert sys.getrecursionlimit() >= outer
+    assert sys.getrecursionlimit() == baseline
+
+
+def test_interleaved_exit_keeps_active_guard_headroom():
+    baseline = sys.getrecursionlimit()
+    small = _guarded(10)
+    large = _guarded(2000)
+    next(small)
+    next(large)
+    # Non-LIFO: the guard opened first closes first.  The old
+    # save-and-restore implementation reset the limit to what it was before
+    # ``small`` entered — i.e. the baseline — yanking away the headroom the
+    # still-active ``large`` guard depends on.
+    small.close()
+    assert sys.getrecursionlimit() >= 1000 + 10 * 2000
+    large.close()
+    assert sys.getrecursionlimit() == baseline
+
+
+def test_interleaved_exit_of_the_larger_guard_first():
+    baseline = sys.getrecursionlimit()
+    large = _guarded(2000)
+    small = _guarded(10)
+    next(large)
+    next(small)
+    large.close()
+    # The large guard's headroom is no longer needed; the limit may drop,
+    # but never below the baseline while ``small`` is still active.
+    assert sys.getrecursionlimit() >= baseline
+    small.close()
+    assert sys.getrecursionlimit() == baseline
+
+
+def test_reentry_after_all_guards_close_tracks_new_baseline():
+    baseline = sys.getrecursionlimit()
+    with _generous_stack(300):
+        pass
+    assert sys.getrecursionlimit() == baseline
+    raised = baseline + 123
+    sys.setrecursionlimit(raised)
+    try:
+        with _generous_stack(1):
+            # Target (1010) is below the current limit: nothing to raise,
+            # and the exit must not lower the caller's own setting.
+            assert sys.getrecursionlimit() == raised
+        assert sys.getrecursionlimit() == raised
+    finally:
+        sys.setrecursionlimit(baseline)

@@ -92,3 +92,32 @@ class TestTopK:
     def test_as_pwset(self, figure1):
         kept = top_k_as_pwset(figure1, 2)
         assert kept.total_probability() == pytest.approx(0.94)
+
+
+class TestEnumerationLaziness:
+    def test_values_materialized_only_for_yielded_worlds(self, monkeypatch):
+        # The best-first search must not build V(T) for heap entries that are
+        # never popped as complete worlds: materialization is the expensive
+        # step the lazy stream exists to avoid.
+        probtree = wide_independent_probtree(12, probability=0.9)
+        calls = []
+        original = ProbTree.value_in_world
+
+        def counting(self, world):
+            calls.append(frozenset(world))
+            return original(self, world)
+
+        monkeypatch.setattr(ProbTree, "value_in_world", counting)
+        stream = iter_worlds_by_probability(probtree)
+        yielded = [next(stream) for _ in range(3)]
+        assert len(calls) == 3
+        assert calls == [world for world, _tree, _p in yielded]
+
+    def test_heap_entries_share_immutable_worlds(self):
+        # The frozen valuations flowing out of the stream stay usable as set
+        # keys and compare equal across identical prefixes (the defensive
+        # re-freezing at push time was dropped; worlds are frozen already).
+        probtree = wide_independent_probtree(6, probability=0.5)
+        worlds = [world for world, _tree, _p in iter_worlds_by_probability(probtree)]
+        assert all(isinstance(world, frozenset) for world in worlds)
+        assert len(set(worlds)) == 2 ** 6

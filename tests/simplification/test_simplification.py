@@ -141,3 +141,29 @@ class TestCombinedSimplification:
         # what must always hold is that the true distance stays below it.
         simplified, report = simplify(probtree, error_budget=budget)
         assert total_variation_distance(probtree, simplified) <= report.error_bound + 1e-6
+
+
+class TestDeterministicTieBreaks:
+    def test_forget_event_at_half_conditions_on_true(self):
+        # π = 0.5 makes "most probable value" ambiguous; the documented
+        # tie-break conditions on True, so the conditioned child survives.
+        probtree = wide_independent_probtree(1, probability=0.5)
+        simplified, error = forget_event(probtree, "w1")
+        assert error == pytest.approx(0.5)
+        labels = sorted(simplified.tree.label(n) for n in simplified.tree.nodes())
+        assert labels == ["A", "C1"]
+        # Structural determinism: repeating the call gives the same tree.
+        again, _err = forget_event(probtree, "w1")
+        assert structurally_equivalent_exhaustive(simplified, again)
+
+    def test_equal_cost_events_forgotten_in_name_order(self):
+        # All events share the cost min(π, 1 − π) = 0.2; the secondary
+        # sort key (the event name) pins which ones fit into the budget
+        # regardless of set-iteration order.
+        probtree = wide_independent_probtree(5, probability=0.8)
+        _simplified, forgotten, spent = forget_low_impact_events(probtree, 0.5)
+        assert forgotten == ["w1", "w2"]
+        assert spent == pytest.approx(0.4)
+        for _ in range(3):
+            _again, forgotten_again, _spent = forget_low_impact_events(probtree, 0.5)
+            assert forgotten_again == forgotten
