@@ -20,8 +20,9 @@ the ROADMAP asks for::
 
 ``--check-gates`` is the fast regression tripwire tier-1 can afford: it runs
 only the gate-bearing benchmarks (:data:`GATE_BENCHMARKS` — the ≥5×
-incremental-index gate, the ≥3× formula-IR gate and the budgeted-pricing/
-sampling gate) in smoke mode
+incremental-index gate, the ≥3× formula-IR gate, the budgeted-pricing/
+sampling gate and the snapshot-isolation overhead/throughput gate) in smoke
+mode
 (``REPRO_BENCH_SMOKE=1`` shrinks sizes/iterations), writes to
 ``BENCH_gates.json`` by default (so the full ``BENCH_summary.json`` is never
 clobbered by a subset), and exits nonzero when any gate regresses.
@@ -48,7 +49,12 @@ GATES_OUTPUT = BENCH_DIR / "BENCH_gates.json"
 
 #: Standalone benchmarks whose exit code asserts a ROADMAP performance gate;
 #: ``--check-gates`` runs exactly these, in smoke mode.
-GATE_BENCHMARKS = ("bench_incremental_index", "bench_formula_ir", "bench_sampling")
+GATE_BENCHMARKS = (
+    "bench_incremental_index",
+    "bench_formula_ir",
+    "bench_sampling",
+    "bench_snapshot",
+)
 
 
 def discover() -> list:

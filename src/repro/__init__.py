@@ -28,6 +28,8 @@ from repro.core.context import (
     set_default_context,
 )
 from repro.core.engine import ProbXMLWarehouse
+from repro.core.snapshot import SNAPSHOT_RETENTION, Snapshot
+from repro.core.transactions import Transaction, transaction
 from repro.core.events import EventFactory, ProbabilityDistribution
 from repro.core.probability import ProbabilityEngine, engine_for, formula_pwset
 from repro.core.probtree import ProbTree
@@ -77,7 +79,13 @@ from repro.ranking.topk_answers import top_k_answers
 from repro.queries.aggregates import expected_match_count, match_count_distribution
 from repro.simplification.approximate import simplify
 from repro.simplification.distance import total_variation_distance
-from repro.utils.errors import BudgetExceededError
+from repro.utils.errors import (
+    BudgetExceededError,
+    InjectedFault,
+    SnapshotRetiredError,
+    TransactionError,
+)
+from repro.utils.faults import FaultPlan
 from repro.xmlio.parse import datatree_from_xml, probtree_from_xml
 from repro.xmlio.serialize import datatree_to_xml, probtree_to_xml
 
@@ -141,6 +149,15 @@ __all__ = [
     "apply_to_datatree",
     "apply_update_to_probtree",
     "apply_update_to_pwset",
+    # snapshots, transactions, fault injection
+    "Snapshot",
+    "SNAPSHOT_RETENTION",
+    "Transaction",
+    "transaction",
+    "TransactionError",
+    "SnapshotRetiredError",
+    "FaultPlan",
+    "InjectedFault",
     # equivalence
     "structurally_equivalent_exhaustive",
     "structurally_equivalent_randomized",

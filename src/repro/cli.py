@@ -81,7 +81,11 @@ def _load(arguments: argparse.Namespace) -> ProbXMLWarehouse:
         max_cached_answers=getattr(arguments, "max_cached_answers", None),
         pricing=_pricing_policy(arguments),
     )
-    return ProbXMLWarehouse(probtree_from_xml(text), context=context)
+    return ProbXMLWarehouse(
+        probtree_from_xml(text),
+        context=context,
+        isolation=getattr(arguments, "isolation", "snapshot"),
+    )
 
 
 def _pricing_policy(arguments: argparse.Namespace) -> PricingPolicy:
@@ -248,6 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SEED",
         help="Monte-Carlo seed; estimates are deterministic per seed (default: 0)",
+    )
+    common.add_argument(
+        "--isolation",
+        choices=("snapshot", "lock"),
+        default="snapshot",
+        help=(
+            "warehouse concurrency mode: 'snapshot' pins an MVCC view per "
+            "read, 'lock' serializes everything behind one gate (default: "
+            "snapshot)"
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

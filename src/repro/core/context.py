@@ -44,6 +44,7 @@ fork the Shannon tables the session has already paid for.
 from __future__ import annotations
 
 import inspect
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
@@ -55,6 +56,7 @@ from repro.formulas.sampling import PricingPolicy
 from repro.trees.datatree import DataTree, NodeId
 from repro.trees.index import PATCH_JOURNAL_LIMIT, TreeIndex, tree_index
 from repro.utils.errors import QueryError
+from repro.utils.faults import fire
 
 #: Matcher choices a context understands; ``"auto"`` resolves per call
 #: through the cost model into one of the fixed modes of
@@ -164,6 +166,10 @@ class ContextStats:
         "exact_budget_exceeded",
         "samples_drawn",
         "fallbacks",
+        "snapshots_pinned",
+        "snapshots_retired",
+        "rollbacks",
+        "faults_injected",
     )
 
     def __init__(self) -> None:
@@ -187,6 +193,10 @@ class ContextStats:
         self.exact_budget_exceeded = 0   # exact pricings that tripped max_expansions
         self.samples_drawn = 0           # Monte-Carlo worlds drawn by the sampler
         self.fallbacks = 0               # auto-sample degradations exact -> sampling
+        self.snapshots_pinned = 0        # read_snapshot / ProbTree.snapshot pins
+        self.snapshots_retired = 0       # pins expired by the retention bound
+        self.rollbacks = 0               # transactions rolled back (updates included)
+        self.faults_injected = 0         # faults the active FaultPlan raised/delayed
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -260,6 +270,10 @@ class _ContextState:
         "cache_answers",
         "max_cached_answers",
         "pricing",
+        "lock",
+        "snapshot_retention",
+        "active_snapshots",
+        "fault_plan",
     )
 
     def __init__(
@@ -268,6 +282,8 @@ class _ContextState:
         cache_answers: bool = True,
         max_cached_answers: Optional[int] = None,
         pricing: Optional[PricingPolicy] = None,
+        snapshot_retention: Optional[int] = None,
+        fault_plan=None,
     ) -> None:
         # prob-tree -> {engine mode -> ProbabilityEngine}
         self.engines: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
@@ -308,6 +324,32 @@ class _ContextState:
         # One pricing policy (exact budget + sampling tolerances) per
         # session, applied to every engine this state hands out.
         self.pricing = pricing if pricing is not None else PricingPolicy()
+        # Reentrant: cache probes recurse into engine_for / index_for while
+        # holding it.  Guards every shared-cache probe/store so snapshot-mode
+        # readers on different threads never tear a shard; formula pricing
+        # itself also runs under it (compute happens inside the cached_*
+        # scopes), which serializes misses but keeps warm reads concurrent
+        # with nothing heavier than a dict probe.
+        self.lock = threading.RLock()
+        if snapshot_retention is None:
+            # Imported lazily: repro.core.snapshot imports probtree only,
+            # but keep the default in one place.
+            from repro.core.snapshot import SNAPSHOT_RETENTION
+
+            snapshot_retention = SNAPSHOT_RETENTION
+        if snapshot_retention < 1:
+            raise ValueError(
+                f"snapshot_retention must be a positive bound, got "
+                f"{snapshot_retention!r}"
+            )
+        self.snapshot_retention = int(snapshot_retention)
+        # Unreleased Snapshot handles pinned through read_snapshot, oldest
+        # first — the session-wide retention bound walks this list.
+        self.active_snapshots: List = []
+        # Optional FaultPlan the update pipeline activates around each
+        # operation (crash-consistency harnesses configure it; None in
+        # production).
+        self.fault_plan = fault_plan
 
     def restart_formula_layer_if_oversized(self) -> bool:
         """Restart the intern table past :data:`FORMULA_POOL_NODE_LIMIT`.
@@ -354,6 +396,15 @@ class ExecutionContext:
             ``epsilon``/``confidence``/``max_samples``/``deadline``/``seed``
             knobs), applied to every engine this context hands out.  ``None``
             means the unbudgeted defaults.
+        snapshot_retention: session-wide bound on unreleased snapshot pins
+            (:meth:`read_snapshot`); beyond it the oldest pins are retired
+            (``SnapshotRetiredError`` on later access, counted in
+            :attr:`ContextStats.snapshots_retired`).  ``None`` means
+            :data:`repro.core.snapshot.SNAPSHOT_RETENTION`.
+        fault_plan: an optional :class:`~repro.utils.faults.FaultPlan` the
+            update pipeline activates around every operation executed through
+            this context — the hook the crash-consistency harness drives.
+            ``None`` (the default) injects nothing.
     """
 
     __slots__ = ("_engine", "_matcher", "_state")
@@ -366,6 +417,8 @@ class ExecutionContext:
         cache_answers: bool = True,
         max_cached_answers: Optional[int] = None,
         pricing: Optional[PricingPolicy] = None,
+        snapshot_retention: Optional[int] = None,
+        fault_plan=None,
         _state: Optional[_ContextState] = None,
     ) -> None:
         self._engine = require_engine_mode(engine) if engine is not None else "formula"
@@ -374,7 +427,12 @@ class ExecutionContext:
             _state
             if _state is not None
             else _ContextState(
-                auto_naive_cost, cache_answers, max_cached_answers, pricing
+                auto_naive_cost,
+                cache_answers,
+                max_cached_answers,
+                pricing,
+                snapshot_retention,
+                fault_plan,
             )
         )
 
@@ -469,6 +527,54 @@ class ExecutionContext:
             stats.auto_chose_indexed += 1
         return "indexed"
 
+    # -- snapshots -----------------------------------------------------------
+
+    @property
+    def fault_plan(self):
+        """The :class:`~repro.utils.faults.FaultPlan` updates run under (or ``None``)."""
+        return self._state.fault_plan
+
+    @property
+    def snapshot_retention(self) -> int:
+        """Session-wide bound on unreleased :meth:`read_snapshot` pins."""
+        return self._state.snapshot_retention
+
+    def read_snapshot(self, probtree: ProbTree):
+        """Pin *probtree* at its current ``(tree.version, state_version)``.
+
+        Returns a :class:`~repro.core.snapshot.Snapshot` whose ``probtree``
+        keeps answering for the pinned stamp while writers proceed — pipeline
+        updates replace objects (the pin just keeps the old version alive),
+        and in-place mutators preserve the pinned state copy-on-write.  Use
+        as a context manager (or call ``release()``) when done::
+
+            with context.read_snapshot(document) as snap:
+                answers = evaluate_on_probtree(query, snap.probtree,
+                                               context=context)
+
+        Retention is bounded session-wide (``snapshot_retention``): pinning
+        past the bound retires the oldest unreleased pins across *all*
+        documents and versions — essential for version chains, where every
+        superseded document is a distinct object a per-object bound would
+        never see.  Pins are counted in :attr:`ContextStats.snapshots_pinned`
+        and retirements in :attr:`ContextStats.snapshots_retired`.
+        """
+        from repro.core.snapshot import pin
+
+        state = self._state
+        with state.lock:
+            handle = pin(probtree, retention=None, stats=state.stats)
+            tracked = state.active_snapshots
+            tracked.append(handle)
+            # Prune released handles lazily — only once the tracked list
+            # outgrows the bound — so the hot pin path stays allocation-free.
+            if len(tracked) > state.snapshot_retention:
+                tracked = [h for h in tracked if h.active]
+                while len(tracked) > state.snapshot_retention:
+                    tracked.pop(0).retire()
+                state.active_snapshots = tracked
+        return handle
+
     # -- cache handles -------------------------------------------------------
 
     def engine_for(
@@ -483,20 +589,21 @@ class ExecutionContext:
         :func:`~repro.core.probability.engine_for`.
         """
         mode = self.resolve_engine(engine)
-        self._state.restart_formula_layer_if_oversized()
-        per_tree = self._state.engines.setdefault(probtree, {})
-        cached = per_tree.get(mode)
-        if cached is None or cached.distribution != probtree.distribution:
-            cached = ProbabilityEngine(
-                probtree.distribution,
-                mode=mode,
-                stats=self._state.stats,
-                pool=self._state.formula_pool,
-                policy=self._state.pricing,
-            )
-            per_tree[mode] = cached
-            self._state.stats.engines_created += 1
-        return cached
+        with self._state.lock:
+            self._state.restart_formula_layer_if_oversized()
+            per_tree = self._state.engines.setdefault(probtree, {})
+            cached = per_tree.get(mode)
+            if cached is None or cached.distribution != probtree.distribution:
+                cached = ProbabilityEngine(
+                    probtree.distribution,
+                    mode=mode,
+                    stats=self._state.stats,
+                    pool=self._state.formula_pool,
+                    policy=self._state.pricing,
+                )
+                per_tree[mode] = cached
+                self._state.stats.engines_created += 1
+            return cached
 
     @property
     def pricing(self) -> PricingPolicy:
@@ -531,25 +638,26 @@ class ExecutionContext:
         from repro.dtd.probtree_dtd import dtd_validity_formula_ir
 
         state = self._state
-        # SAT-only workloads (dtd_satisfiable / dtd_valid) never reach
-        # engine_for, so the pool bound is enforced here too — before the
-        # compiled-formula cache is consulted and before any caller reads
-        # the pool (the DTD entry points compile first, fetch the pool
-        # after).  When an engine_for in the same expression already
-        # restarted, the pool is small again and this is a no-op.
-        state.restart_formula_layer_if_oversized()
-        per_tree = state.dtd_formulas.get(probtree)
-        if per_tree is None:
-            per_tree = {}
-            state.dtd_formulas[probtree] = per_tree
-        stamp = (probtree.tree.version, probtree.state_version)
-        key = dtd.fingerprint()
-        cached = per_tree.get(key)
-        if cached is not None and cached[0] == stamp:
-            return cached[1]
-        node = dtd_validity_formula_ir(probtree, dtd, state.formula_pool)
-        per_tree[key] = (stamp, node)
-        return node
+        with state.lock:
+            # SAT-only workloads (dtd_satisfiable / dtd_valid) never reach
+            # engine_for, so the pool bound is enforced here too — before the
+            # compiled-formula cache is consulted and before any caller reads
+            # the pool (the DTD entry points compile first, fetch the pool
+            # after).  When an engine_for in the same expression already
+            # restarted, the pool is small again and this is a no-op.
+            state.restart_formula_layer_if_oversized()
+            per_tree = state.dtd_formulas.get(probtree)
+            if per_tree is None:
+                per_tree = {}
+                state.dtd_formulas[probtree] = per_tree
+            stamp = (probtree.tree.version, probtree.state_version)
+            key = dtd.fingerprint()
+            cached = per_tree.get(key)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+            node = dtd_validity_formula_ir(probtree, dtd, state.formula_pool)
+            per_tree[key] = (stamp, node)
+            return node
 
     def index_for(self, tree: DataTree) -> TreeIndex:
         """The shared structural index of *tree* (patched, fetched or built).
@@ -642,18 +750,19 @@ class ExecutionContext:
         if fingerprint is None:
             return compute(tree, **kwargs)
         stats = self._state.stats
-        shard = self._sync_nodeset_shard(tree)
-        key = (fingerprint, effective)
-        cached = shard.entries.get(key)
-        if cached is not None:
-            shard.entries.move_to_end(key)
-            stats.nodeset_cache_hits += 1
-            return list(cached[2])
-        stats.nodeset_cache_misses += 1
-        result = compute(tree, **kwargs)
-        shard.entries[key] = (_query_label_set(query), None, tuple(result))
-        self._evict(shard)
-        return result
+        with self._state.lock:
+            shard = self._sync_nodeset_shard(tree)
+            key = (fingerprint, effective)
+            cached = shard.entries.get(key)
+            if cached is not None:
+                shard.entries.move_to_end(key)
+                stats.nodeset_cache_hits += 1
+                return list(cached[2])
+            stats.nodeset_cache_misses += 1
+            result = compute(tree, **kwargs)
+            shard.entries[key] = (_query_label_set(query), None, tuple(result))
+            self._evict(shard)
+            return result
 
     def cached_answers(
         self,
@@ -699,40 +808,41 @@ class ExecutionContext:
         # record=False: this resolution only builds the cache key; the
         # compute path re-resolves (and counts) if matching actually runs.
         effective = self.effective_matcher(query, tree, record=False)
-        stamp = (tree.version, probtree.state_version)
-        shard = self._state.probtree_answers.get(probtree)
-        if shard is None:
-            shard = _DocumentCache(stamp)
-            self._state.probtree_answers[probtree] = shard
-        elif shard.stamp != stamp:
-            if shard.stamp[1] != probtree.state_version:
-                # Condition / distribution mutations can reprice any answer;
-                # only structural journals support label-targeted retention.
-                shard.entries.clear()
-            else:
-                self._retire(shard, _journal_touch(tree, shard.stamp[0]))
-            shard.stamp = stamp
-        # The engine mode is part of the key even though per-answer prices
-        # are mode-independent: an explicit engine="enumerate" request is a
-        # request to *run* the oracle path, not to be served formula-cached
-        # results (differential comparisons must stay honest).
-        key = (fingerprint, effective, self.resolve_engine(), keep_zero_probability)
-        cached = shard.entries.get(key)
-        stats = self._state.stats
-        if cached is not None:
-            shard.entries.move_to_end(key)
-            stats.answer_cache_hits += 1
-            return list(cached[2])
-        stats.answer_cache_misses += 1
-        result = compute()
-        # Answer trees embed unmatched ancestors; remember every node id so
-        # a later relabel of one of them retires this entry (see _retire).
-        node_ids = frozenset(
-            node for answer in result for node in answer.tree.nodes()
-        )
-        shard.entries[key] = (_query_label_set(query), node_ids, tuple(result))
-        self._evict(shard)
-        return result
+        with self._state.lock:
+            stamp = (tree.version, probtree.state_version)
+            shard = self._state.probtree_answers.get(probtree)
+            if shard is None:
+                shard = _DocumentCache(stamp)
+                self._state.probtree_answers[probtree] = shard
+            elif shard.stamp != stamp:
+                if shard.stamp[1] != probtree.state_version:
+                    # Condition / distribution mutations can reprice any answer;
+                    # only structural journals support label-targeted retention.
+                    shard.entries.clear()
+                else:
+                    self._retire(shard, _journal_touch(tree, shard.stamp[0]))
+                shard.stamp = stamp
+            # The engine mode is part of the key even though per-answer prices
+            # are mode-independent: an explicit engine="enumerate" request is a
+            # request to *run* the oracle path, not to be served formula-cached
+            # results (differential comparisons must stay honest).
+            key = (fingerprint, effective, self.resolve_engine(), keep_zero_probability)
+            cached = shard.entries.get(key)
+            stats = self._state.stats
+            if cached is not None:
+                shard.entries.move_to_end(key)
+                stats.answer_cache_hits += 1
+                return list(cached[2])
+            stats.answer_cache_misses += 1
+            result = compute()
+            # Answer trees embed unmatched ancestors; remember every node id so
+            # a later relabel of one of them retires this entry (see _retire).
+            node_ids = frozenset(
+                node for answer in result for node in answer.tree.nodes()
+            )
+            shard.entries[key] = (_query_label_set(query), node_ids, tuple(result))
+            self._evict(shard)
+            return result
 
     def migrate_answers(
         self,
@@ -757,47 +867,63 @@ class ExecutionContext:
         (:meth:`migrate_formulas`): prices do not depend on labels at all,
         only on the distribution, so they carry over whenever the
         replacement's distribution conservatively extends the source's.
+
+        Fail-empty, never fail-stale: an exception mid-migration (see the
+        ``context.migrate_answers`` fault site) drops *target*'s answer-cache
+        shards wholesale before propagating, so a half-carried map can never
+        serve a partially migrated working set as if it were complete.
+        *Source*'s shards are untouched — they were only read.
         """
-        self.migrate_formulas(source, target)
-        touched = frozenset(touched_labels)
         state = self._state
-        moved = 0
+        with state.lock:
+            self.migrate_formulas(source, target)
+            touched = frozenset(touched_labels)
+            moved = 0
 
-        def carry(src: Optional[_DocumentCache], dst: _DocumentCache) -> int:
-            count = 0
-            for key, record in src.entries.items():
-                labels = record[0]
-                if (
-                    labels is not None
-                    and labels.isdisjoint(touched)
-                    and key not in dst.entries
-                ):
-                    dst.entries[key] = record
-                    count += 1
-            self._evict(dst)
-            return count
+            def carry(src: Optional[_DocumentCache], dst: _DocumentCache) -> int:
+                count = 0
+                for key, record in src.entries.items():
+                    labels = record[0]
+                    if (
+                        labels is not None
+                        and labels.isdisjoint(touched)
+                        and key not in dst.entries
+                    ):
+                        fire("context.migrate_answers")
+                        dst.entries[key] = record
+                        count += 1
+                self._evict(dst)
+                return count
 
-        old_tree, new_tree = source.tree, target.tree
-        src = state.answer_cache.get(old_tree)
-        if src is not None and src.stamp == old_tree.version:
-            dst = state.answer_cache.get(new_tree)
-            if dst is None:
-                dst = _DocumentCache(new_tree.version)
-                state.answer_cache[new_tree] = dst
-            if dst.stamp == new_tree.version:
-                moved += carry(src, dst)
-        if state.cache_answers:
-            src = state.probtree_answers.get(source)
-            if src is not None and src.stamp == (old_tree.version, source.state_version):
-                stamp = (new_tree.version, target.state_version)
-                dst = state.probtree_answers.get(target)
-                if dst is None:
-                    dst = _DocumentCache(stamp)
-                    state.probtree_answers[target] = dst
-                if dst.stamp == stamp:
-                    moved += carry(src, dst)
-        state.stats.answers_migrated += moved
-        return moved
+            old_tree, new_tree = source.tree, target.tree
+            try:
+                src = state.answer_cache.get(old_tree)
+                if src is not None and src.stamp == old_tree.version:
+                    dst = state.answer_cache.get(new_tree)
+                    if dst is None:
+                        dst = _DocumentCache(new_tree.version)
+                        state.answer_cache[new_tree] = dst
+                    if dst.stamp == new_tree.version:
+                        moved += carry(src, dst)
+                if state.cache_answers:
+                    src = state.probtree_answers.get(source)
+                    if src is not None and src.stamp == (
+                        old_tree.version,
+                        source.state_version,
+                    ):
+                        stamp = (new_tree.version, target.state_version)
+                        dst = state.probtree_answers.get(target)
+                        if dst is None:
+                            dst = _DocumentCache(stamp)
+                            state.probtree_answers[target] = dst
+                        if dst.stamp == stamp:
+                            moved += carry(src, dst)
+            except BaseException:
+                state.answer_cache.pop(new_tree, None)
+                state.probtree_answers.pop(target, None)
+                raise
+            state.stats.answers_migrated += moved
+            return moved
 
     def migrate_formulas(self, source: ProbTree, target: ProbTree) -> int:
         """Carry memoized formula prices from *source*'s engines to *target*'s.
@@ -813,30 +939,42 @@ class ExecutionContext:
         id-keyed Shannon tables transfer verbatim.  Returns the number of
         cache entries carried; :attr:`ContextStats.formulas_migrated`
         accumulates it.
+
+        Fail-empty, never fail-stale: an exception mid-absorb (see the
+        ``context.migrate_formulas`` fault site) drops *target*'s whole
+        engine registry before propagating — a partially absorbed Shannon
+        table would otherwise masquerade as the fully migrated one.
         """
         state = self._state
-        engines = state.engines.get(source)
-        if not engines:
-            return 0
-        target_distribution = target.distribution
-        moved = 0
-        for mode, engine in engines.items():
-            if not engine.cache_size():
-                continue
-            # Validate against the distribution *this engine* priced under —
-            # the source prob-tree may have re-weighted an event since the
-            # engine was cut (engine_for would hand out a fresh engine next
-            # time, but the stale one still sits in the registry).
-            engine_distribution = engine.distribution
-            if engine_distribution != target_distribution and any(
-                target_distribution.get(event) != probability
-                for event, probability in engine_distribution.as_dict().items()
-            ):
-                continue
-            moved += self.engine_for(target, mode).absorb(engine)
-        if moved:
-            state.stats.formulas_migrated += moved
-        return moved
+        with state.lock:
+            engines = state.engines.get(source)
+            if not engines:
+                return 0
+            target_distribution = target.distribution
+            moved = 0
+            try:
+                for mode, engine in engines.items():
+                    if not engine.cache_size():
+                        continue
+                    # Validate against the distribution *this engine* priced
+                    # under — the source prob-tree may have re-weighted an
+                    # event since the engine was cut (engine_for would hand
+                    # out a fresh engine next time, but the stale one still
+                    # sits in the registry).
+                    engine_distribution = engine.distribution
+                    if engine_distribution != target_distribution and any(
+                        target_distribution.get(event) != probability
+                        for event, probability in engine_distribution.as_dict().items()
+                    ):
+                        continue
+                    fire("context.migrate_formulas")
+                    moved += self.engine_for(target, mode).absorb(engine)
+            except BaseException:
+                state.engines.pop(target, None)
+                raise
+            if moved:
+                state.stats.formulas_migrated += moved
+            return moved
 
     def results(self, query, tree: DataTree, matcher: Optional[str] = None):
         """Answer sub-datatrees of *query* on *tree* under this context's policy."""

@@ -17,6 +17,8 @@ matcher policy — applied uniformly across every document and every call.
 from __future__ import annotations
 
 import re
+import threading
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.cleaning import clean
@@ -51,6 +53,12 @@ QuerySpec = Union[str, Query]
 
 #: Name given to the document of single-document construction.
 DEFAULT_DOCUMENT = "default"
+
+#: Concurrency disciplines a warehouse understands (``isolation=``):
+#: ``"snapshot"`` — readers pin an immutable version and proceed while a
+#: writer commits; ``"lock"`` — one global lock serializes everything (the
+#: differential oracle the concurrency harness compares against).
+ISOLATION_MODES = ("snapshot", "lock")
 
 # First element tag of the markup; declarations (<?xml …?>) and comments
 # (<!-- …) never match the name char class, so the search skips past them.
@@ -135,6 +143,19 @@ class ProbXMLWarehouse:
 
     Per-call overrides follow the library-wide precedence: explicit string
     kwargs > per-call ``context=`` > the warehouse's own context.
+
+    **Isolation.**  ``isolation="snapshot"`` (default) gives readers MVCC
+    snapshot isolation: every read pins the document's current
+    ``(tree.version, state_version)`` through the context's snapshot layer
+    and evaluates against that immutable version, so in-flight queries on
+    other threads finish on a consistent document while a writer commits —
+    writers are serialized among themselves, readers never block.  Every
+    read observes some *committed* version (updates build the new prob-tree
+    off to the side and swap it in atomically).  ``isolation="lock"`` is the
+    global-lock oracle: one reentrant lock serializes every read and write;
+    the threaded differential harness asserts snapshot mode is
+    read-equivalent to it, version by version.  :meth:`read_snapshot` hands
+    out long-lived pins for multi-query consistency.
     """
 
     def __init__(
@@ -146,7 +167,16 @@ class ProbXMLWarehouse:
         name: str = DEFAULT_DOCUMENT,
         max_cached_answers: Optional[int] = None,
         pricing: Optional[PricingPolicy] = None,
+        isolation: str = "snapshot",
     ) -> None:
+        if isolation not in ISOLATION_MODES:
+            raise ProbXMLError(
+                f"unknown isolation {isolation!r}; expected one of {ISOLATION_MODES}"
+            )
+        self._isolation = isolation
+        # Lock mode: one gate serializes everything.  Snapshot mode: the
+        # gate only serializes writers; readers go lock-free through pins.
+        self._gate = threading.RLock()
         if context is None:
             self._context = ExecutionContext(
                 engine=engine,
@@ -181,20 +211,24 @@ class ProbXMLWarehouse:
         (a one-node certain document).  Raises on duplicate names — use
         :meth:`drop` first to replace a document.
         """
-        if name in self._documents:
-            raise ProbXMLError(
-                f"document {name!r} already exists in the warehouse; drop() it first"
-            )
-        probtree = _coerce_document(document)
-        self._documents[name] = probtree
-        return probtree
+        with self._write():
+            if name in self._documents:
+                raise ProbXMLError(
+                    f"document {name!r} already exists in the warehouse; drop() it first"
+                )
+            probtree = _coerce_document(document)
+            self._documents[name] = probtree
+            return probtree
 
     def drop(self, name: str) -> ProbTree:
         """Remove and return the document registered under *name*."""
-        try:
-            return self._documents.pop(name)
-        except KeyError:
-            raise ProbXMLError(f"no document named {name!r} in the warehouse") from None
+        with self._write():
+            try:
+                return self._documents.pop(name)
+            except KeyError:
+                raise ProbXMLError(
+                    f"no document named {name!r} in the warehouse"
+                ) from None
 
     def names(self) -> Tuple[str, ...]:
         """The registered document names, in insertion order."""
@@ -231,6 +265,55 @@ class ProbXMLWarehouse:
         """Per-call resolution: string overrides > call context > warehouse default."""
         base = context if context is not None else self._context
         return resolve_context(base, engine=engine, matcher=matcher)
+
+    # -- isolation ---------------------------------------------------------
+
+    @property
+    def isolation(self) -> str:
+        """The concurrency discipline (``"snapshot"`` or ``"lock"``)."""
+        return self._isolation
+
+    @contextmanager
+    def _read(self, name: Optional[str]):
+        """Yield the prob-tree one read should evaluate against.
+
+        Snapshot mode pins the document's current version (released when the
+        read finishes), so a concurrent :meth:`apply` neither blocks this
+        read nor changes what it sees.  Lock mode holds the global gate for
+        the whole evaluation.
+        """
+        if self._isolation == "lock":
+            with self._gate:
+                yield self.get(name)
+            return
+        handle = self._context.read_snapshot(self.get(name))
+        try:
+            yield handle.probtree
+        finally:
+            handle.release()
+
+    @contextmanager
+    def _write(self):
+        """Serialize one write (with other writers; and with reads in lock mode)."""
+        with self._gate:
+            yield
+
+    def read_snapshot(self, name: Optional[str] = None):
+        """Pin the named document's current version for multi-query reads.
+
+        Returns a :class:`~repro.core.snapshot.Snapshot`; use as a context
+        manager and evaluate against ``snap.probtree`` for a view that stays
+        consistent across several queries while updates commit underneath::
+
+            with warehouse.read_snapshot() as snap:
+                before = evaluate_on_probtree(query, snap.probtree,
+                                              context=warehouse.context)
+
+        Retention is bounded by the context's ``snapshot_retention``; see
+        :meth:`ExecutionContext.read_snapshot
+        <repro.core.context.ExecutionContext.read_snapshot>`.
+        """
+        return self._context.read_snapshot(self.get(name))
 
     # -- state -----------------------------------------------------------------
 
@@ -313,11 +396,12 @@ class ProbXMLWarehouse:
         the returned answer trees as read-only (they are shared across
         calls; ``answer.tree.copy()`` before mutating).
         """
-        return evaluate_on_probtree(
-            self._resolve(query),
-            self.get(name),
-            context=self._ctx(context, engine, matcher),
-        )
+        with self._read(name) as probtree:
+            return evaluate_on_probtree(
+                self._resolve(query),
+                probtree,
+                context=self._ctx(context, engine, matcher),
+            )
 
     def query_many(
         self,
@@ -334,11 +418,12 @@ class ProbXMLWarehouse:
         batch (they live on the warehouse context); answers are cache-shared
         and read-only, as in :meth:`query`.
         """
-        return evaluate_many(
-            [self._resolve(query) for query in queries],
-            self.get(name),
-            context=self._ctx(context, engine, matcher),
-        )
+        with self._read(name) as probtree:
+            return evaluate_many(
+                [self._resolve(query) for query in queries],
+                probtree,
+                context=self._ctx(context, engine, matcher),
+            )
 
     def query_all(
         self,
@@ -356,10 +441,11 @@ class ProbXMLWarehouse:
         """
         ctx = self._ctx(context, engine, matcher)
         resolved = self._resolve(query)
-        return {
-            name: evaluate_on_probtree(resolved, probtree, context=ctx)
-            for name, probtree in self._documents.items()
-        }
+        results: Dict[str, List[QueryAnswer]] = {}
+        for name in self.names():
+            with self._read(name) as probtree:
+                results[name] = evaluate_on_probtree(resolved, probtree, context=ctx)
+        return results
 
     def top_answers(
         self, query: QuerySpec, count: int = 3, name: Optional[str] = None
@@ -376,11 +462,12 @@ class ProbXMLWarehouse:
         context: Optional[ExecutionContext] = None,
     ) -> float:
         """Probability that the query has at least one answer."""
-        return boolean_probability(
-            self._resolve(query),
-            self.get(name),
-            context=self._ctx(context, engine, matcher),
-        )
+        with self._read(name) as probtree:
+            return boolean_probability(
+                self._resolve(query),
+                probtree,
+                context=self._ctx(context, engine, matcher),
+            )
 
     def probability_anytime(
         self,
@@ -403,16 +490,17 @@ class ProbXMLWarehouse:
         override the context's pricing policy.  Questions over few events
         (and ``engine="enumerate"``) come back exact and zero-width.
         """
-        return boolean_probability_anytime(
-            self._resolve(query),
-            self.get(name),
-            context=self._ctx(context, engine, matcher),
-            epsilon=epsilon,
-            confidence=confidence,
-            max_samples=max_samples,
-            deadline=deadline,
-            seed=seed,
-        )
+        with self._read(name) as probtree:
+            return boolean_probability_anytime(
+                self._resolve(query),
+                probtree,
+                context=self._ctx(context, engine, matcher),
+                epsilon=epsilon,
+                confidence=confidence,
+                max_samples=max_samples,
+                deadline=deadline,
+                seed=seed,
+            )
 
     def probability_all(
         self,
@@ -424,10 +512,11 @@ class ProbXMLWarehouse:
         """Corpus-wide :meth:`probability`: ``{name: probability}``."""
         ctx = self._ctx(context, engine, matcher)
         resolved = self._resolve(query)
-        return {
-            name: boolean_probability(resolved, probtree, context=ctx)
-            for name, probtree in self._documents.items()
-        }
+        results: Dict[str, float] = {}
+        for name in self.names():
+            with self._read(name) as probtree:
+                results[name] = boolean_probability(resolved, probtree, context=ctx)
+        return results
 
     # -- updates -------------------------------------------------------------------
 
@@ -481,10 +570,11 @@ class ProbXMLWarehouse:
         are migrated to the new prob-tree, so a warm update/query loop only
         recomputes what actually changed.
         """
-        resolved = self._resolve_name(name)
-        self._documents[resolved] = apply_update_to_probtree(
-            self._documents[resolved], update, context=self._context
-        )
+        with self._write():
+            resolved = self._resolve_name(name)
+            self._documents[resolved] = apply_update_to_probtree(
+                self._documents[resolved], update, context=self._context
+            )
 
     # -- maintenance -------------------------------------------------------------------
 
@@ -496,10 +586,11 @@ class ProbXMLWarehouse:
         semantics — cached answers whose patterns avoid every pruned label
         are migrated to the new prob-tree rather than dropped.
         """
-        resolved = self._resolve_name(name)
-        self._documents[resolved] = clean(
-            self._documents[resolved], context=self._context
-        )
+        with self._write():
+            resolved = self._resolve_name(name)
+            self._documents[resolved] = clean(
+                self._documents[resolved], context=self._context
+            )
 
     def prune_below(self, threshold: float, name: Optional[str] = None) -> None:
         """Keep only possible worlds with probability at least *threshold*.
@@ -511,10 +602,11 @@ class ProbXMLWarehouse:
         re-allocates every node id, so no cached answer can be migrated:
         the replacement invalidates wholesale by construction.
         """
-        resolved = self._resolve_name(name)
-        self._documents[resolved] = threshold_probtree(
-            self._documents[resolved], threshold, context=self._context
-        )
+        with self._write():
+            resolved = self._resolve_name(name)
+            self._documents[resolved] = threshold_probtree(
+                self._documents[resolved], threshold, context=self._context
+            )
 
     # -- inspection ------------------------------------------------------------------------
 
@@ -522,26 +614,29 @@ class ProbXMLWarehouse:
         self, normalize: bool = True, name: Optional[str] = None
     ) -> PWSet:
         """The possible-world semantics of one document."""
-        return possible_worlds(
-            self.get(name), restrict_to_used=True, normalize=normalize
-        )
+        with self._read(name) as probtree:
+            return possible_worlds(probtree, restrict_to_used=True, normalize=normalize)
 
     def most_probable_worlds(
         self, count: int = 3, name: Optional[str] = None
     ) -> List[Tuple[DataTree, float]]:
-        return most_probable_worlds(self.get(name), count, context=self._context)
+        with self._read(name) as probtree:
+            return most_probable_worlds(probtree, count, context=self._context)
 
     def dtd_satisfiable(self, dtd: DTD, name: Optional[str] = None) -> bool:
         """Whether some possible world satisfies the DTD (Theorem 5.1)."""
-        return dtd_satisfiable(self.get(name), dtd, context=self._context)
+        with self._read(name) as probtree:
+            return dtd_satisfiable(probtree, dtd, context=self._context)
 
     def dtd_valid(self, dtd: DTD, name: Optional[str] = None) -> bool:
         """Whether every possible world satisfies the DTD (Theorem 5.2)."""
-        return dtd_valid(self.get(name), dtd, context=self._context)
+        with self._read(name) as probtree:
+            return dtd_valid(probtree, dtd, context=self._context)
 
     def dtd_probability(self, dtd: DTD, name: Optional[str] = None) -> float:
         """Probability that the uncertain document satisfies the DTD."""
-        return dtd_satisfaction_probability(self.get(name), dtd, context=self._context)
+        with self._read(name) as probtree:
+            return dtd_satisfaction_probability(probtree, dtd, context=self._context)
 
     # -- helpers -----------------------------------------------------------------------------
 

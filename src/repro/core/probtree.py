@@ -20,7 +20,8 @@ from typing import AbstractSet, Dict, Iterable, Iterator, Mapping, Optional, Set
 from repro.core.events import EventFactory, ProbabilityDistribution
 from repro.formulas.literals import Condition, Valuation
 from repro.trees.datatree import DataTree, NodeId
-from repro.utils.errors import InvalidConditionError
+from repro.utils.errors import InvalidConditionError, TransactionError
+from repro.utils.faults import fire
 
 
 class ProbTree:
@@ -33,7 +34,15 @@ class ProbTree:
 
     # __weakref__ lets repro.core.probability attach a per-probtree engine
     # cache without keeping dead prob-trees alive.
-    __slots__ = ("_tree", "_distribution", "_conditions", "_state_version", "__weakref__")
+    __slots__ = (
+        "_tree",
+        "_distribution",
+        "_conditions",
+        "_state_version",
+        "_undo",
+        "_snapshot_pins",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -47,6 +56,8 @@ class ProbTree:
         self._distribution = distribution
         self._conditions: Dict[NodeId, Condition] = {}
         self._state_version: int = 0
+        self._undo = None  # inverse records while inside a Transaction
+        self._snapshot_pins = None  # managed by repro.core.snapshot
         if conditions:
             for node, condition in conditions.items():
                 self.set_condition(node, condition)
@@ -126,10 +137,15 @@ class ProbTree:
             raise InvalidConditionError(
                 f"condition mentions events not in W: {sorted(unknown)}"
             )
+        self._notify_write()
+        undo = self._undo
+        if undo is not None:
+            undo.append(("condition", node, self._conditions.get(node)))
         if condition.is_true():
             self._conditions.pop(node, None)
         else:
             self._conditions[node] = condition
+        fire("probtree.set_condition")
         self._state_version += 1
 
     def conditions(self) -> Dict[NodeId, Condition]:
@@ -168,12 +184,21 @@ class ProbTree:
         condition assignment ``γ`` consistent with the remaining nodes.
         """
         removed = self._tree.delete_subtree(node)
+        undo = self._undo
         for removed_node in removed:
-            self._conditions.pop(removed_node, None)
+            old = self._conditions.pop(removed_node, None)
+            if undo is not None and old is not None:
+                undo.append(("condition", removed_node, old))
 
     def add_event(self, event: str, probability: float) -> None:
         """Register a new event variable with probability *probability*."""
-        self._distribution = self._distribution.with_event(event, probability)
+        new_distribution = self._distribution.with_event(event, probability)
+        self._notify_write()
+        undo = self._undo
+        if undo is not None:
+            undo.append(("distribution", self._distribution))
+        self._distribution = new_distribution
+        fire("probtree.add_event")
         self._state_version += 1
 
     def event_factory(self, prefix: str = "w") -> EventFactory:
@@ -215,6 +240,70 @@ class ProbTree:
     def size(self) -> int:
         """The size ``|T|`` used by the paper: nodes plus literals."""
         return self.node_count() + self.literal_count()
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, stats=None):
+        """Pin an immutable view of this prob-tree at its current version.
+
+        Returns a :class:`repro.core.snapshot.Snapshot` handle whose
+        ``probtree`` property keeps answering for the pinned
+        ``(tree.version, state_version)`` stamp: in-place mutations trigger a
+        copy-on-write preserve of the pinned state, and pipeline updates
+        produce new objects anyway.  At most
+        :data:`repro.core.snapshot.SNAPSHOT_RETENTION` distinct versions stay
+        pinned per prob-tree — beyond that the oldest pins are retired and
+        raise :class:`~repro.utils.errors.SnapshotRetiredError` on access.
+        Prefer :meth:`ExecutionContext.read_snapshot
+        <repro.core.context.ExecutionContext.read_snapshot>` inside sessions:
+        it also counts pins in ``ContextStats`` and bounds retention across a
+        whole document chain.
+        """
+        from repro.core.snapshot import SNAPSHOT_RETENTION, pin
+
+        return pin(self, retention=SNAPSHOT_RETENTION, stats=stats)
+
+    def _notify_write(self) -> None:
+        """Give pinned snapshots their copy-on-write chance before mutating."""
+        pins = self._snapshot_pins
+        if pins is not None:
+            pins.before_write()
+
+    # -- transactions (undo log) ---------------------------------------------
+
+    def begin_undo(self) -> int:
+        """Open an undo scope over ``γ``/``π``; returns the rollback mark.
+
+        Covers only this object's own state — the underlying tree has its
+        own :meth:`DataTree.begin_undo
+        <repro.trees.datatree.DataTree.begin_undo>`;
+        :class:`repro.core.transactions.Transaction` drives both.
+        """
+        if self._undo is not None:
+            raise TransactionError("this prob-tree is already inside a transaction")
+        self._undo = []
+        return self._state_version
+
+    def commit_undo(self) -> None:
+        self._undo = None
+
+    def rollback_undo(self, mark: int) -> None:
+        entries = self._undo
+        self._undo = None
+        if entries:
+            for entry in reversed(entries):
+                self._apply_undo(entry)
+        self._state_version = mark
+
+    def _apply_undo(self, entry: tuple) -> None:
+        if entry[0] == "condition":
+            _, node, old = entry
+            if old is None:
+                self._conditions.pop(node, None)
+            else:
+                self._conditions[node] = old
+        else:  # distribution
+            self._distribution = entry[1]
 
     # -- copies --------------------------------------------------------------
 

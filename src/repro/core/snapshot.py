@@ -1,0 +1,248 @@
+"""Copy-on-write snapshot pinning for prob-trees (MVCC reads).
+
+A :class:`Snapshot` pins one immutable ``(tree.version, state_version)`` view
+of a :class:`~repro.core.probtree.ProbTree`.  Two mechanisms keep the view
+stable while writers proceed:
+
+* **New-object updates** (the normal pipeline:
+  :func:`~repro.updates.probtree_updates.apply_update_to_probtree`,
+  ``ProbXMLWarehouse.apply``) never mutate the old prob-tree at all — a pin
+  simply keeps the superseded object alive, which costs nothing until the
+  last pin is released.
+* **In-place mutations** (``set_label``/``add_child``/``set_condition``/...)
+  call the tree's ``_notify_write`` hook *before* touching anything; when
+  pins exist at the current stamp, the hook deep-copies the prob-tree once
+  and parks the frozen copy on every such pin (copy-on-write: all pins at
+  one stamp share one preserved copy).
+
+Retention is bounded: :func:`pin` retires the oldest pins of a prob-tree
+past :data:`SNAPSHOT_RETENTION` distinct handles, and
+``ExecutionContext.read_snapshot`` additionally bounds live handles across a
+whole session (covering version *chains* produced by pipeline updates, where
+every pinned version is a different object).  A retired or released handle
+raises :class:`~repro.utils.errors.SnapshotRetiredError` on access, so
+readers learn their consistency guarantee is gone instead of silently racing.
+
+Thread model: pin/release/retire and the copy-on-write preserve run under one
+module lock, so concurrent readers may pin while a pipeline writer commits.
+In-place mutation of a prob-tree that other threads are *reading live* (not
+through pins) is not made safe by this module — concurrent writers must go
+through the update pipeline, which mutates only private copies.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+from repro.core.probtree import ProbTree
+from repro.utils.errors import SnapshotRetiredError
+
+#: Default bound on pinned-but-unreleased snapshots (per prob-tree in
+#: :func:`pin`, per session in ``ExecutionContext.read_snapshot``).  Beyond
+#: it the oldest pins retire so writers never preserve unbounded history.
+SNAPSHOT_RETENTION = 8
+
+_LOCK = threading.RLock()
+
+
+def _freeze(probtree: ProbTree) -> ProbTree:
+    """A deep, never-shared copy preserving node ids and version stamps."""
+    clone = ProbTree.__new__(ProbTree)
+    clone._tree = probtree._tree.copy()
+    clone._distribution = probtree._distribution
+    clone._conditions = dict(probtree._conditions)
+    clone._state_version = probtree._state_version
+    clone._undo = None
+    clone._snapshot_pins = None
+    return clone
+
+
+class _PinSet:
+    """The pins attached to one live prob-tree (and its data tree).
+
+    Holds the prob-tree weakly — handles hold it strongly, so an unpinned
+    tree dies normally — and is installed on both ``probtree._snapshot_pins``
+    and ``probtree.tree._snapshot_pins`` so every mutator reaches
+    :meth:`before_write` without knowing about prob-trees.
+    """
+
+    __slots__ = ("_ref", "handles")
+
+    def __init__(self, probtree: ProbTree) -> None:
+        import weakref
+
+        self._ref = weakref.ref(probtree)
+        self.handles: list = []
+
+    def before_write(self) -> None:
+        """Copy-on-write preserve, called by mutators *before* they mutate."""
+        with _LOCK:
+            probtree = self._ref()
+            if probtree is None:
+                return
+            stamp = (probtree.tree.version, probtree.state_version)
+            needy = [
+                handle
+                for handle in self.handles
+                if handle._frozen is None and handle.stamp == stamp
+            ]
+            if not needy:
+                return
+            frozen = _freeze(probtree)
+            for handle in needy:
+                handle._frozen = frozen
+
+    def _detach_if_empty(self) -> None:
+        if self.handles:
+            return
+        probtree = self._ref()
+        if probtree is not None and probtree._snapshot_pins is self:
+            probtree._snapshot_pins = None
+            if probtree.tree._snapshot_pins is self:
+                probtree.tree._snapshot_pins = None
+
+
+class Snapshot:
+    """A pinned, immutable view of one prob-tree version.
+
+    Usable as a context manager (releases on exit)::
+
+        with probtree.snapshot() as snap:
+            answers = evaluate_on_probtree(query, snap.probtree)
+
+    ``probtree`` resolves to the live object while it still sits at the
+    pinned stamp (zero copies on the read path) and to the preserved frozen
+    copy after any in-place mutation.  After :meth:`release` or retirement
+    (retention overrun) access raises :class:`SnapshotRetiredError`.
+    """
+
+    __slots__ = ("_live", "_pins", "stamp", "_frozen", "_retired", "_released", "_stats")
+
+    def __init__(self, probtree: ProbTree, pins: _PinSet, stats=None) -> None:
+        self._live = probtree
+        self._pins = pins
+        self.stamp: Tuple[int, int] = (probtree.tree.version, probtree.state_version)
+        self._frozen: Optional[ProbTree] = None
+        self._retired = False
+        self._released = False
+        self._stats = stats
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def probtree(self) -> ProbTree:
+        """The pinned prob-tree view (live while unchanged, frozen after COW)."""
+        with _LOCK:
+            if self._released:
+                raise SnapshotRetiredError("snapshot was already released")
+            if self._retired:
+                raise SnapshotRetiredError(
+                    f"snapshot at stamp {self.stamp} was retired: too many "
+                    "distinct versions pinned (see SNAPSHOT_RETENTION / the "
+                    "context's snapshot_retention)"
+                )
+            if self._frozen is not None:
+                return self._frozen
+            live = self._live
+            if (live.tree.version, live.state_version) != self.stamp:
+                # A mutation bypassed the copy-on-write hooks (e.g. direct
+                # surgery on private state): the pinned view is gone.
+                raise SnapshotRetiredError(
+                    f"pinned stamp {self.stamp} no longer exists and was not "
+                    "preserved; the prob-tree was mutated outside its mutators"
+                )
+            return live
+
+    @property
+    def tree(self):
+        """The pinned data tree (shorthand for ``.probtree.tree``)."""
+        return self.probtree.tree
+
+    @property
+    def active(self) -> bool:
+        return not (self._released or self._retired)
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def is_current(self) -> bool:
+        """Whether the live prob-tree still sits at the pinned stamp."""
+        with _LOCK:
+            live = self._live
+            return self.active and (
+                (live.tree.version, live.state_version) == self.stamp
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        """Unpin; idempotent.  The handle refuses all access afterwards."""
+        with _LOCK:
+            if self._released:
+                return
+            self._released = True
+            self._drop()
+
+    def retire(self) -> None:
+        """Forcibly expire the pin (retention overrun); idempotent."""
+        with _LOCK:
+            if self._retired or self._released:
+                return
+            self._retired = True
+            if self._stats is not None:
+                self._stats.snapshots_retired += 1
+            self._drop()
+
+    def _drop(self) -> None:
+        self._frozen = None
+        pins = self._pins
+        if pins is not None:
+            try:
+                pins.handles.remove(self)
+            except ValueError:
+                pass
+            pins._detach_if_empty()
+            self._pins = None
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else ("retired" if self._retired else "released")
+        return f"Snapshot(stamp={self.stamp}, {state}, frozen={self._frozen is not None})"
+
+
+def pin(probtree: ProbTree, retention: Optional[int] = None, stats=None) -> Snapshot:
+    """Pin *probtree* at its current stamp and return the :class:`Snapshot`.
+
+    With *retention* set, at most that many handles stay pinned on this
+    prob-tree: older ones are retired (oldest first).  Pass ``None`` when a
+    caller — ``ExecutionContext.read_snapshot`` — enforces its own bound
+    across documents.
+    """
+    with _LOCK:
+        pins = probtree._snapshot_pins
+        if pins is None:
+            pins = _PinSet(probtree)
+            probtree._snapshot_pins = pins
+            probtree.tree._snapshot_pins = pins
+        handle = Snapshot(probtree, pins, stats=stats)
+        pins.handles.append(handle)
+        if stats is not None:
+            stats.snapshots_pinned += 1
+        if retention is not None and retention >= 1:
+            while len(pins.handles) > retention:
+                pins.handles[0].retire()
+        return handle
+
+
+__all__ = ["Snapshot", "SNAPSHOT_RETENTION", "pin"]

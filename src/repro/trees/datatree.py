@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.utils.errors import InvalidTreeError, NodeNotFoundError
+from repro.utils.errors import InvalidTreeError, NodeNotFoundError, TransactionError
+from repro.utils.faults import fire
 
 NodeId = int
 
@@ -48,6 +49,8 @@ class DataTree:
         "_index_cache",
         "_journal",
         "_journal_base",
+        "_undo",
+        "_snapshot_pins",
         "__weakref__",
     )
 
@@ -63,6 +66,10 @@ class DataTree:
         # from version (_journal_base + i) to (_journal_base + i + 1).
         self._journal: List[Tuple[str, NodeId, tuple]] = []
         self._journal_base: int = 0
+        # Undo log: None outside transactions; a list of inverse records
+        # while a repro.core.transactions.Transaction is open on this tree.
+        self._undo = None
+        self._snapshot_pins = None  # managed by repro.core.snapshot
 
     # -- basic accessors ---------------------------------------------------
 
@@ -162,11 +169,22 @@ class DataTree:
         return self._labels[node]
 
     def set_label(self, node: NodeId, label: str) -> None:
-        """Relabel *node*."""
+        """Relabel *node*.
+
+        Validation and label coercion happen before any state changes, and
+        the journal/version record is written only after the mutation landed,
+        so a raising ``str(label)`` leaves the tree (and its journal)
+        untouched.
+        """
         self._require(node)
         old = self._labels[node]
         new = str(label)
+        self._notify_write()
+        undo = self._undo
+        if undo is not None:
+            undo.append(("label", node, old))
         self._labels[node] = new
+        fire("datatree.set_label")
         self._record("set_label", node, (old, new))
 
     def children(self, node: NodeId) -> Tuple[NodeId, ...]:
@@ -257,14 +275,28 @@ class DataTree:
     # -- construction ------------------------------------------------------
 
     def add_child(self, parent: NodeId, label: str) -> NodeId:
-        """Create a new node labeled *label* under *parent*; return its id."""
+        """Create a new node labeled *label* under *parent*; return its id.
+
+        Label coercion happens before the id counter moves or any map is
+        touched, and the journal/version record is written last — a raising
+        ``str(label)`` leaves the tree byte-identical, and a fault between
+        the node maps and the parent link can never produce a journal entry
+        for a mutation that did not fully land.
+        """
         self._require(parent)
-        node = self._next_id
-        self._next_id += 1
         coerced = str(label)
+        self._notify_write()
+        node = self._next_id
+        undo = self._undo
+        if undo is not None:
+            undo.append(("next_id", node))
+            undo.append(("children", parent, list(self._children[parent])))
+            undo.append(("forget_node", node))
+        self._next_id = node + 1
         self._labels[node] = coerced
         self._children[node] = []
         self._parent[node] = parent
+        fire("datatree.add_child")
         self._children[parent].append(node)
         self._record("add_child", node, (parent, coerced))
         return node
@@ -296,7 +328,20 @@ class DataTree:
         parent = self._parent[node]
         assert parent is not None
         removed_labels = frozenset(self._labels[r] for r in removed)
+        self._notify_write()
+        undo = self._undo
+        if undo is not None:
+            undo.append(("children", parent, list(self._children[parent])))
+            undo.append(
+                (
+                    "restore_nodes",
+                    {r: self._labels[r] for r in removed},
+                    {r: list(self._children[r]) for r in removed},
+                    {r: self._parent[r] for r in removed},
+                )
+            )
         self._children[parent].remove(node)
+        fire("datatree.delete_subtree")
         for removed_node in removed:
             del self._labels[removed_node]
             del self._children[removed_node]
@@ -318,6 +363,8 @@ class DataTree:
         clone._index_cache = None
         clone._journal = []
         clone._journal_base = 0
+        clone._undo = None
+        clone._snapshot_pins = None
         return clone
 
     def subtree_copy(self, node: NodeId) -> "DataTree":
@@ -378,6 +425,8 @@ class DataTree:
         clone._index_cache = None
         clone._journal = []
         clone._journal_base = 0
+        clone._undo = None
+        clone._snapshot_pins = None
         return clone
 
     def prune_where(self, should_remove) -> "DataTree":
@@ -466,11 +515,85 @@ class DataTree:
         """
         journal = self._journal
         journal.append((op, node, payload))
+        if self._undo is None:
+            # Trimming is deferred while a transaction is open so rollback
+            # can truncate the journal back to its begin-mark without the
+            # base version having moved underneath it.
+            self._trim_journal()
+        self._version += 1
+
+    def _trim_journal(self) -> None:
+        journal = self._journal
         if len(journal) > JOURNAL_LIMIT:
             drop = len(journal) - JOURNAL_LIMIT // 2
             del journal[:drop]
             self._journal_base += drop
-        self._version += 1
+
+    def _notify_write(self) -> None:
+        """Give pinned snapshots their copy-on-write chance before mutating."""
+        pins = self._snapshot_pins
+        if pins is not None:
+            pins.before_write()
+
+    # -- transactions (undo log) -------------------------------------------
+    #
+    # Driven by repro.core.transactions.Transaction.  While ``_undo`` is a
+    # list, every mutator pushes idempotent inverse records *before* touching
+    # the structure it describes, so replaying the log in reverse restores
+    # the maps byte for byte no matter where inside a mutator an exception
+    # struck.
+
+    def begin_undo(self) -> tuple:
+        """Open an undo scope; returns the opaque rollback mark."""
+        if self._undo is not None:
+            raise TransactionError("this tree is already inside a transaction")
+        self._undo = []
+        return (self._version, len(self._journal), self._journal_base, self._next_id)
+
+    def commit_undo(self) -> None:
+        """Close the undo scope, keeping every mutation made inside it."""
+        self._undo = None
+        self._trim_journal()
+
+    def rollback_undo(self, mark: tuple) -> None:
+        """Close the undo scope, restoring the state captured by *mark*."""
+        version, journal_length, journal_base, next_id = mark
+        entries = self._undo
+        self._undo = None
+        if entries:
+            for entry in reversed(entries):
+                self._apply_undo(entry)
+        assert self._journal_base == journal_base  # trim is deferred in-txn
+        del self._journal[journal_length:]
+        self._version = version
+        self._next_id = next_id
+        cached = self._index_cache
+        if cached is not None and cached.version > self._version:
+            # The index was patched past the restored version; the journal
+            # entries anchoring it were rolled back, so drop it.  (An index
+            # merely stale from before the transaction is still patchable
+            # and stays; a mid-patch-poisoned one rebuilds on next access.)
+            self._index_cache = None
+
+    def _apply_undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "children":
+            self._children[entry[1]] = entry[2]
+        elif kind == "forget_node":
+            node = entry[1]
+            self._labels.pop(node, None)
+            self._children.pop(node, None)
+            self._parent.pop(node, None)
+        elif kind == "label":
+            self._labels[entry[1]] = entry[2]
+        elif kind == "next_id":
+            self._next_id = entry[1]
+        else:  # restore_nodes
+            _, labels, children, parents = entry
+            self._labels.update(labels)
+            for node, child_list in children.items():
+                self._children[node] = list(child_list)
+            self._parent.update(parents)
 
 
 __all__ = ["DataTree", "NodeId", "JOURNAL_LIMIT"]

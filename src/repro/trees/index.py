@@ -40,6 +40,7 @@ from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 from repro.trees.datatree import DataTree, NodeId
+from repro.utils.faults import fire
 
 #: Above this many pending journal entries, replaying loses to rebuilding:
 #: each replayed entry shifts a preorder suffix (O(n) worst case, ~n/2 on
@@ -149,6 +150,13 @@ class TreeIndex:
         contiguous rank interval, a ``set_label`` moves one posting.  The
         patched index is structurally identical to a fresh rebuild (the
         incremental-index differential harness asserts exactly that).
+
+        Exception safety: replay mutates the index in place, so an exception
+        mid-entry (see the ``index.patch`` fault site) would leave it
+        half-shifted.  The index then **poisons itself** — its version drops
+        to ``-1``, which no journal reaches — before re-raising, so the next
+        :func:`tree_index` call discards it and rebuilds instead of serving
+        (or re-patching) torn interval maps.
         """
         tree = self._tree
         if self._version == tree.version:
@@ -156,6 +164,13 @@ class TreeIndex:
         entries = tree.mutations_since(self._version)
         if entries is None or len(entries) > PATCH_JOURNAL_LIMIT:
             return False
+        try:
+            return self._replay(entries, tree)
+        except BaseException:
+            self._version = -1
+            raise
+
+    def _replay(self, entries, tree: DataTree) -> bool:
         pre = self._pre
         last = self._last
         depth = self._depth
@@ -190,6 +205,7 @@ class TreeIndex:
             return lo
 
         for op, node, payload in entries:
+            fire("index.patch")
             if op == "add_child":
                 parent, label = payload
                 rank = last[parent] + 1

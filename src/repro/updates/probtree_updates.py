@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.context import ExecutionContext, resolve_context
 from repro.core.probtree import ProbTree
+from repro.core.transactions import transaction
 from repro.formulas.dnf import DNF
 from repro.formulas.literals import Condition, Literal
 from repro.queries.base import Match
@@ -43,6 +44,7 @@ from repro.updates.operations import (
     UpdateOperation,
 )
 from repro.utils.errors import UpdateError
+from repro.utils.faults import activated
 
 
 def apply_update_to_probtree(
@@ -69,8 +71,29 @@ def apply_update_to_probtree(
     (:meth:`ExecutionContext.migrate_formulas`): the update's distribution
     only *adds* one fresh event, so every price computed against the old
     prob-tree is still exact on the new one.
+
+    The operation is **transactional**: the mutation phase — event
+    registration, tree mutations, journal entries, version bumps — runs
+    inside one :func:`~repro.core.transactions.transaction`, committing in
+    order (tree mutation → journal → index patch on next access → cache
+    migration → version bumps were part of each step) or rolling back
+    entirely on any exception, which then propagates.  Since the input
+    prob-tree is never mutated at all (copy-then-mutate-then-return), a
+    failed update has *no externally visible effect*: the caller's document,
+    its index and every cached answer are byte-identical to before the call.
+    When the context carries a :class:`~repro.utils.faults.FaultPlan`
+    (``fault_plan=``), it is activated around the whole operation — the
+    crash-consistency harness injects failures at every mutator/migration
+    site through exactly this hook.
     """
     ctx = resolve_context(context, matcher=matcher)
+    with activated(ctx.fault_plan, ctx.stats):
+        return _apply_update(ctx, probtree, update)
+
+
+def _apply_update(
+    ctx: ExecutionContext, probtree: ProbTree, update: ProbabilisticUpdate
+) -> ProbTree:
     operation = update.operation
     matches = ctx.matches(operation.query, probtree.tree)
     result = probtree.copy()
@@ -81,20 +104,25 @@ def apply_update_to_probtree(
         ctx.migrate_answers(probtree, result, frozenset())
         return result
 
-    extra_condition = Condition.true()
-    if not update.is_certain:
-        event = update.event or probtree.event_factory().fresh()
-        if event in result.events():
-            raise UpdateError(f"event {event!r} already exists in the prob-tree")
-        result.add_event(event, update.confidence)
-        extra_condition = Condition.positive(event)
+    with transaction(result, context=ctx):
+        extra_condition = Condition.true()
+        if not update.is_certain:
+            event = update.event or probtree.event_factory().fresh()
+            if event in result.events():
+                raise UpdateError(f"event {event!r} already exists in the prob-tree")
+            result.add_event(event, update.confidence)
+            extra_condition = Condition.positive(event)
 
-    if isinstance(operation, Insertion):
-        touched = _apply_insertion(probtree, result, operation, matches, extra_condition)
-    elif isinstance(operation, Deletion):
-        touched = _apply_deletion(probtree, result, operation, matches, extra_condition)
-    else:
-        raise UpdateError(f"unknown update operation {operation!r}")
+        if isinstance(operation, Insertion):
+            touched = _apply_insertion(
+                probtree, result, operation, matches, extra_condition
+            )
+        elif isinstance(operation, Deletion):
+            touched = _apply_deletion(
+                probtree, result, operation, matches, extra_condition
+            )
+        else:
+            raise UpdateError(f"unknown update operation {operation!r}")
     ctx.migrate_answers(probtree, result, touched)
     return result
 
@@ -105,7 +133,14 @@ def apply_updates_to_probtree(
     matcher: Optional[str] = None,
     context: Optional[ExecutionContext] = None,
 ) -> ProbTree:
-    """Apply a sequence of probabilistic updates in order."""
+    """Apply a sequence of probabilistic updates in order.
+
+    Atomic with respect to the caller's prob-tree: each step consumes the
+    previous step's *result* and the input is never mutated, so when the
+    k-th operation raises, every intermediate prob-tree is discarded and the
+    caller observes no effect at all — tree, index, journal, caches and
+    version counters are exactly as before the batch.
+    """
     current = probtree
     for update in updates:
         current = apply_update_to_probtree(current, update, matcher=matcher, context=context)

@@ -64,5 +64,37 @@ class UpdateError(ProbXMLError):
     """An update operation is malformed or cannot be applied."""
 
 
+class SnapshotRetiredError(ProbXMLError):
+    """A pinned snapshot was retired (retention overrun) or released.
+
+    Snapshot retention is bounded (see
+    :data:`repro.core.snapshot.SNAPSHOT_RETENTION` and the execution
+    context's ``snapshot_retention``): when too many distinct versions are
+    pinned at once, the oldest pins are retired so writers cannot be forced
+    to preserve unbounded history.  Reading through a retired (or already
+    released) snapshot handle raises this error instead of silently serving
+    a view whose consistency guarantee is gone.
+    """
+
+
+class TransactionError(ProbXMLError):
+    """A transactional scope was misused (e.g. nested transactions)."""
+
+
+class InjectedFault(ProbXMLError):
+    """A fault deliberately raised by the fault-injection layer.
+
+    Raised by :func:`repro.utils.faults.fire` when the active
+    :class:`~repro.utils.faults.FaultPlan` is armed for the site being
+    crossed.  Carries the site name so crash-consistency harnesses can
+    report exactly where the simulated failure struck.
+    """
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        super().__init__(f"injected fault at site {site!r} (occurrence {occurrence})")
+        self.site = site
+        self.occurrence = occurrence
+
+
 class DTDError(ProbXMLError):
     """A DTD definition is malformed."""

@@ -1,0 +1,160 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+The transactional update pipeline claims that a failure *anywhere* inside an
+update — mid tree mutation, mid index patch, mid cache migration — rolls back
+with no externally visible effect.  This module makes "anywhere" testable:
+mutators and migration loops call :func:`fire` at named **sites**, and a
+:class:`FaultPlan` decides whether crossing a site raises an
+:class:`~repro.utils.errors.InjectedFault`, sleeps (to widen race windows in
+concurrency tests), or merely counts the crossing.
+
+Two modes compose into the crash-consistency harness
+(``tests/updates/test_crash_consistency.py``):
+
+* **recording** — run the operation once with an unarmed plan; ``plan.hits``
+  afterwards maps each site to how many times it was crossed, enumerating
+  every possible failure point of that operation;
+* **armed** — re-run the operation with ``plan.arm(site, at=k)``; the k-th
+  crossing of *site* raises, and the harness asserts the rollback restored
+  the pre-operation state byte for byte.
+
+Plans are activated process-globally (``with plan.active(stats):``) because
+the sites live deep inside mutators that know nothing about execution
+contexts; activation is not reentrant and armed plans are meant for
+single-threaded harnesses.  The inactive fast path is a single module-global
+``None`` check, so production code pays one attribute load per site.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from repro.utils.errors import InjectedFault, ProbXMLError
+
+#: Every site instrumented with a :func:`fire` call.  ``FaultPlan.arm``
+#: rejects names outside this registry so harnesses cannot silently arm a
+#: typo that never fires.
+FAULT_SITES = frozenset(
+    {
+        "datatree.add_child",
+        "datatree.set_label",
+        "datatree.delete_subtree",
+        "probtree.set_condition",
+        "probtree.add_event",
+        "index.patch",
+        "context.migrate_answers",
+        "context.migrate_formulas",
+    }
+)
+
+_ACTIVE: Optional["FaultPlan"] = None
+
+
+class FaultPlan:
+    """A schedule of faults keyed by site name.
+
+    ``arm(site, at=k)`` makes the k-th crossing of *site* fail (1-based).
+    ``action="raise"`` raises :class:`InjectedFault`; ``action="delay"``
+    sleeps ``delay`` seconds and continues — useful for widening race
+    windows rather than simulating crashes.  Crossings of every registered
+    site are counted in :attr:`hits` whether or not the site is armed.
+    """
+
+    __slots__ = ("hits", "_armed", "_stats")
+
+    def __init__(self) -> None:
+        self.hits: Dict[str, int] = {}
+        self._armed: Dict[str, tuple] = {}
+        self._stats = None
+
+    def arm(self, site: str, at: int = 1, action: str = "raise", delay: float = 0.0):
+        if site not in FAULT_SITES:
+            raise ProbXMLError(
+                f"unknown fault site {site!r}; registered sites: "
+                f"{sorted(FAULT_SITES)}"
+            )
+        if at < 1:
+            raise ProbXMLError(f"fault occurrence must be >= 1, got {at}")
+        if action not in ("raise", "delay"):
+            raise ProbXMLError(f"unknown fault action {action!r}")
+        self._armed[site] = (at, action, delay)
+        return self
+
+    def disarm(self, site: str) -> "FaultPlan":
+        self._armed.pop(site, None)
+        return self
+
+    def reset_hits(self) -> "FaultPlan":
+        self.hits.clear()
+        return self
+
+    @property
+    def armed_sites(self) -> frozenset:
+        return frozenset(self._armed)
+
+    @contextmanager
+    def active(self, stats=None):
+        """Install this plan as the process-global active plan.
+
+        *stats* (a ``ContextStats``) receives ``faults_injected`` bumps for
+        every fault the plan actually raises or delays while active.
+        """
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise ProbXMLError("a fault plan is already active; plans do not nest")
+        self._stats = stats
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = None
+            self._stats = None
+
+    def _fire(self, site: str) -> None:
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        armed = self._armed.get(site)
+        if armed is None:
+            return
+        at, action, delay = armed
+        if count != at:
+            return
+        if self._stats is not None:
+            self._stats.faults_injected += 1
+        if action == "delay":
+            time.sleep(delay)
+            return
+        raise InjectedFault(site, count)
+
+
+def fire(site: str) -> None:
+    """Cross a fault site; raises/delays when the active plan says so.
+
+    Instrumented code calls this with a literal name from
+    :data:`FAULT_SITES`.  With no active plan (the production case) the cost
+    is one global load and a ``None`` comparison.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan._fire(site)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None`` (mostly for tests)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activated(plan: Optional[FaultPlan], stats=None):
+    """``plan.active(stats)`` when *plan* is not None, else a no-op scope.
+
+    The update pipeline wraps each operation in this so a context-configured
+    fault plan applies without a conditional at every call site.
+    """
+    if plan is None:
+        yield None
+        return
+    with plan.active(stats) as installed:
+        yield installed

@@ -2,7 +2,8 @@
 
 ``benchmarks/run_all.py --check-gates`` runs the gate-bearing standalone
 benchmarks (≥5× incremental index, ≥3× formula IR, budgeted-pricing /
-sampling latency) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
+sampling latency, snapshot-isolation overhead ≤1.3× and threaded read
+throughput ≥2×) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
 logic without running anything; the smoke-run test actually executes the
 gates (seconds in smoke mode, still marked ``slow`` so the fast tier stays
 deterministic on loaded machines — run it with ``--runslow``).
@@ -63,6 +64,7 @@ def test_check_gates_passes(tmp_path):
         "bench_incremental_index",
         "bench_formula_ir",
         "bench_sampling",
+        "bench_snapshot",
     }
     for result in summary["benchmarks"].values():
         assert result["status"] == "ok"

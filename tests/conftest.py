@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
 from hypothesis import strategies as st
@@ -40,6 +41,35 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+
+
+#: Watchdog for @pytest.mark.concurrency tests: a deadlocked interleaving must
+#: fail loudly, not wedge the whole suite.  pytest-timeout is not available in
+#: the environment, so this uses SIGALRM directly (main-thread only — which is
+#: where pytest runs tests; worker threads are daemons and die with the test).
+CONCURRENCY_TIMEOUT = 120
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("concurrency")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout = int(marker.kwargs.get("timeout", CONCURRENCY_TIMEOUT))
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"concurrency test exceeded {timeout}s — probable hung lock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(timeout)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,186 @@
+"""Snapshot pinning: copy-on-write, retention, retirement, context/warehouse wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.engine import ProbXMLWarehouse
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.snapshot import SNAPSHOT_RETENTION, pin
+from repro.formulas.literals import Condition
+from repro.trees.datatree import DataTree
+from repro.utils.errors import ProbXMLError, SnapshotRetiredError
+
+
+def _probtree() -> ProbTree:
+    tree = DataTree("A")
+    child = tree.add_child(tree.root, "B")
+    probtree = ProbTree(tree, ProbabilityDistribution({"w1": 0.5}), {})
+    probtree.set_condition(child, Condition.of("w1"))
+    return probtree
+
+
+# ---------------------------------------------------------------------------
+# Pinning and copy-on-write
+# ---------------------------------------------------------------------------
+
+
+class TestPinning:
+    def test_snapshot_reads_live_object_while_unchanged(self):
+        probtree = _probtree()
+        snap = probtree.snapshot()
+        assert snap.probtree is probtree
+        assert snap.is_current()
+        snap.release()
+
+    def test_in_place_mutation_preserves_pinned_view(self):
+        probtree = _probtree()
+        child = next(iter(probtree.tree.children(probtree.tree.root)))
+        snap = probtree.snapshot()
+        probtree.tree.set_label(child, "Z")
+        # Live tree moved on; the snapshot still shows the pinned version.
+        assert probtree.tree.label(child) == "Z"
+        assert snap.probtree is not probtree
+        assert snap.tree.label(child) == "B"
+        assert not snap.is_current()
+        snap.release()
+
+    def test_all_pins_at_one_stamp_share_one_frozen_copy(self):
+        probtree = _probtree()
+        first = probtree.snapshot()
+        second = probtree.snapshot()
+        probtree.tree.add_child(probtree.tree.root, "C")
+        assert first.probtree is second.probtree
+        first.release()
+        second.release()
+
+    def test_condition_mutation_also_triggers_preserve(self):
+        probtree = _probtree()
+        child = next(iter(probtree.tree.children(probtree.tree.root)))
+        snap = probtree.snapshot()
+        probtree.set_condition(child, Condition.negative("w1"))
+        assert snap.probtree.condition(child) == Condition.of("w1")
+        snap.release()
+
+    def test_release_detaches_pinset_from_both_objects(self):
+        probtree = _probtree()
+        snap = probtree.snapshot()
+        assert probtree._snapshot_pins is not None
+        assert probtree.tree._snapshot_pins is probtree._snapshot_pins
+        snap.release()
+        assert probtree._snapshot_pins is None
+        assert probtree.tree._snapshot_pins is None
+
+    def test_context_manager_releases(self):
+        probtree = _probtree()
+        with probtree.snapshot() as snap:
+            assert snap.active
+        assert snap.released
+        with pytest.raises(SnapshotRetiredError):
+            snap.probtree
+
+
+# ---------------------------------------------------------------------------
+# Retention and retirement
+# ---------------------------------------------------------------------------
+
+
+class TestRetention:
+    def test_released_snapshot_refuses_access(self):
+        probtree = _probtree()
+        snap = probtree.snapshot()
+        snap.release()
+        with pytest.raises(SnapshotRetiredError):
+            snap.probtree
+        with pytest.raises(SnapshotRetiredError):
+            snap.tree
+
+    def test_per_probtree_retention_retires_oldest(self):
+        probtree = _probtree()
+        handles = [probtree.snapshot() for _ in range(SNAPSHOT_RETENTION + 2)]
+        retired = [handle for handle in handles if handle.retired]
+        assert len(retired) == 2
+        assert retired == handles[:2]
+        with pytest.raises(SnapshotRetiredError):
+            retired[0].probtree
+        for handle in handles:
+            handle.release()
+
+    def test_retirement_counts_in_stats(self):
+        context = ExecutionContext(snapshot_retention=2)
+        probtree = _probtree()
+        handles = [context.read_snapshot(probtree) for _ in range(5)]
+        assert context.stats.snapshots_pinned == 5
+        assert context.stats.snapshots_retired == 3
+        assert [handle.retired for handle in handles] == [True, True, True, False, False]
+        for handle in handles:
+            handle.release()
+
+    def test_session_retention_spans_version_chain(self):
+        # Pipeline updates produce new objects per version; the session bound
+        # must cover pins across *different* prob-trees.
+        context = ExecutionContext(snapshot_retention=2)
+        chain = [_probtree() for _ in range(4)]
+        handles = [context.read_snapshot(probtree) for probtree in chain]
+        assert sum(handle.retired for handle in handles) == 2
+        assert handles[-1].active and handles[-2].active
+        for handle in handles:
+            handle.release()
+
+    def test_released_handles_free_retention_budget(self):
+        context = ExecutionContext(snapshot_retention=2)
+        probtree = _probtree()
+        for _ in range(6):
+            context.read_snapshot(probtree).release()
+        handle = context.read_snapshot(probtree)
+        assert handle.active
+        assert context.stats.snapshots_retired == 0
+        handle.release()
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises((ProbXMLError, ValueError)):
+            ExecutionContext(snapshot_retention=0)
+
+
+# ---------------------------------------------------------------------------
+# Interaction with the update pipeline and the warehouse
+# ---------------------------------------------------------------------------
+
+
+class TestWarehouseSnapshots:
+    def test_pinned_snapshot_survives_warehouse_updates(self):
+        warehouse = ProbXMLWarehouse("catalog")
+        snap = warehouse.read_snapshot()
+        from repro.trees.builders import tree
+
+        warehouse.insert("/catalog", tree("movie"), confidence=0.5)
+        # The update replaced the document object; the pin holds the old one.
+        assert sum(1 for _ in snap.tree.nodes()) == 1
+        assert sum(1 for _ in warehouse.get().tree.nodes()) == 2
+        snap.release()
+
+    def test_isolation_mode_validation(self):
+        with pytest.raises(ProbXMLError):
+            ProbXMLWarehouse("catalog", isolation="serializable")
+        assert ProbXMLWarehouse("catalog").isolation == "snapshot"
+        assert ProbXMLWarehouse("catalog", isolation="lock").isolation == "lock"
+
+    def test_queries_unchanged_across_isolation_modes(self):
+        from repro.trees.builders import tree
+
+        for isolation in ("snapshot", "lock"):
+            warehouse = ProbXMLWarehouse("catalog", isolation=isolation)
+            warehouse.insert("/catalog", tree("movie", tree("title")), confidence=0.8)
+            answers = warehouse.query("/catalog/movie/title")
+            assert len(answers) == 1
+            assert answers[0].probability == pytest.approx(0.8)
+            assert warehouse.probability("/catalog/movie") == pytest.approx(0.8)
+
+    def test_low_level_pin_without_retention(self):
+        probtree = _probtree()
+        handles = [pin(probtree) for _ in range(SNAPSHOT_RETENTION + 5)]
+        assert all(handle.active for handle in handles)
+        for handle in handles:
+            handle.release()

@@ -1,0 +1,139 @@
+"""Crash-consistency harness: a fault at *every* site of every op rolls back clean.
+
+For each seeded case the harness draws a small prob-tree and a short random
+update sequence, then for every operation:
+
+1. **records** — applies the op once under an unarmed :class:`FaultPlan` to
+   enumerate every fault site the op actually crosses (and how often);
+2. **arms** — re-applies the op from the same pre-state with a fault armed at
+   the first and last crossing of each recorded site, asserting that
+
+   * the injected fault propagates to the caller,
+   * the input prob-tree is byte-identical to before the attempt (structure,
+     labels, conditions, distribution, journal, every version counter),
+   * the incrementally patched index equals a from-scratch rebuild,
+   * the warm context answers queries exactly like a fresh context (no stale
+     cache survives the rollback — fail-empty, never fail-stale).
+
+This is the differential proof of the update pipeline's transactional claim:
+state ≡ pre-update oracle no matter where the crash lands.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.probtree import ProbTree
+from repro.queries.evaluation import evaluate_on_probtree
+from repro.trees.index import TreeIndex, tree_index
+from repro.updates.probtree_updates import apply_update_to_probtree
+from repro.utils.errors import InjectedFault
+from repro.utils.faults import FaultPlan
+from repro.workloads.random_queries import random_matching_pattern, random_update
+
+from tests.conftest import draw_probtree
+
+
+def _fingerprint(probtree: ProbTree) -> tuple:
+    tree = probtree.tree
+    structure = tuple(
+        (node, tree.label(node), tree.parent(node), tree.children(node))
+        for node in sorted(tree.nodes())
+    )
+    return (
+        structure,
+        tree.version,
+        tuple(tree._journal),
+        tree._journal_base,
+        tree._next_id,
+        probtree.state_version,
+        tuple(sorted(probtree._conditions.items())),
+        tuple(sorted(probtree.distribution.items())),
+    )
+
+
+def _answer_digest(answers) -> tuple:
+    from repro.trees.isomorphism import canonical_encoding
+
+    return tuple(
+        sorted(
+            (canonical_encoding(answer.tree), round(answer.probability, 9))
+            for answer in answers
+        )
+    )
+
+
+def _assert_clean_rollback(probtree, before, query, warm_context) -> None:
+    assert _fingerprint(probtree) == before, "rollback left visible changes"
+    patched = tree_index(probtree.tree)
+    rebuilt = TreeIndex(probtree.tree)
+    assert patched.structural_state() == rebuilt.structural_state(), (
+        "patched index diverged from a from-scratch rebuild after rollback"
+    )
+    warm = _answer_digest(evaluate_on_probtree(query, probtree, context=warm_context))
+    fresh = _answer_digest(
+        evaluate_on_probtree(query, probtree, context=ExecutionContext())
+    )
+    assert warm == fresh, "warm context serves stale answers after rollback"
+
+
+def _run_case(seed: int) -> int:
+    """One seeded case; returns how many armed fault runs it exercised."""
+    rng = random.Random(seed)
+    probtree = draw_probtree(rng, max_nodes=rng.randint(3, 12))
+    armed_runs = 0
+
+    for _op in range(2):
+        query, _focus = random_matching_pattern(probtree.tree, seed=rng)
+        update = random_update(probtree.tree, seed=rng)
+        before = _fingerprint(probtree)
+
+        def warmed(plan):
+            # Identical warm-up for the recording and every armed pass, so
+            # the cache-migration sites fire the same number of times: one
+            # cached query answer, one engine, a current tree index.
+            ctx = ExecutionContext(fault_plan=plan)
+            evaluate_on_probtree(query, probtree, context=ctx)
+            tree_index(probtree.tree)
+            return ctx
+
+        # -- recording pass: enumerate the op's fault sites -------------------
+        recorder = FaultPlan()
+        committed = apply_update_to_probtree(
+            probtree, update, context=warmed(recorder)
+        )
+        assert recorder.hits, "an update crossed no fault site at all"
+
+        # -- armed passes: crash at the first and last crossing of each site --
+        for site, count in sorted(recorder.hits.items()):
+            for at in sorted({1, count}):
+                plan = FaultPlan().arm(site, at=at)
+                armed_context = warmed(plan)
+                with pytest.raises(InjectedFault) as excinfo:
+                    apply_update_to_probtree(probtree, update, context=armed_context)
+                assert excinfo.value.site == site
+                assert armed_context.stats.faults_injected == 1
+                _assert_clean_rollback(probtree, before, query, armed_context)
+                armed_runs += 1
+
+        # The recording pass committed; continue the sequence from its result.
+        assert _fingerprint(probtree) == before, "input mutated by a committed update"
+        probtree = committed
+
+    return armed_runs
+
+
+@pytest.mark.differential
+@pytest.mark.parametrize("seed", range(40))
+def test_crash_consistency_fast(seed):
+    assert _run_case(20070 + seed) > 0
+
+
+@pytest.mark.differential
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(40, 240))
+def test_crash_consistency_deep(seed):
+    assert _run_case(20070 + seed) > 0

@@ -1,0 +1,182 @@
+"""Transactional scopes and all-or-nothing compound updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.events import ProbabilityDistribution
+from repro.core.probtree import ProbTree
+from repro.core.transactions import transaction
+from repro.formulas.literals import Condition
+from repro.queries.treepattern import TreePattern
+from repro.trees.datatree import DataTree
+from repro.trees.index import TreeIndex, tree_index
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.updates.probtree_updates import (
+    apply_update_to_probtree,
+    apply_updates_to_probtree,
+)
+from repro.utils.errors import TransactionError, UpdateError
+from repro.utils.faults import FaultPlan
+
+
+def _fingerprint(probtree: ProbTree) -> tuple:
+    """Every externally observable byte of a prob-tree's state."""
+    tree = probtree.tree
+    structure = tuple(
+        (node, tree.label(node), tree.parent(node), tree.children(node))
+        for node in sorted(tree.nodes())
+    )
+    return (
+        structure,
+        tree.version,
+        tuple(tree._journal),
+        tree._journal_base,
+        tree._next_id,
+        probtree.state_version,
+        tuple(sorted(probtree._conditions.items())),
+        tuple(sorted(probtree.distribution.items())),
+    )
+
+
+def _probtree() -> ProbTree:
+    tree = DataTree("A")
+    b = tree.add_child(tree.root, "B")
+    tree.add_child(b, "C")
+    probtree = ProbTree(tree, ProbabilityDistribution({"w1": 0.6, "w2": 0.3}), {})
+    probtree.set_condition(b, Condition.of("w1"))
+    return probtree
+
+
+def _insertion(confidence: float = 0.5, event: str | None = None) -> ProbabilisticUpdate:
+    pattern = TreePattern("A")
+    subtree = DataTree("D")
+    subtree.add_child(subtree.root, "E")
+    return ProbabilisticUpdate(
+        Insertion(pattern, pattern.root, subtree), confidence=confidence, event=event
+    )
+
+
+def _root_deletion(confidence: float = 0.5) -> ProbabilisticUpdate:
+    pattern = TreePattern("A")
+    return ProbabilisticUpdate(Deletion(pattern, pattern.root), confidence=confidence)
+
+
+# ---------------------------------------------------------------------------
+# The transaction scope itself
+# ---------------------------------------------------------------------------
+
+
+class TestTransactionScope:
+    def test_commit_persists_mutations(self):
+        probtree = _probtree()
+        with transaction(probtree):
+            node = probtree.tree.add_child(probtree.tree.root, "X")
+            probtree.set_condition(node, Condition.of("w2"))
+        assert probtree.tree.label(node) == "X"
+        assert probtree.condition(node) == Condition.of("w2")
+
+    def test_rollback_is_byte_identical(self):
+        probtree = _probtree()
+        before = _fingerprint(probtree)
+        with pytest.raises(RuntimeError):
+            with transaction(probtree):
+                node = probtree.tree.add_child(probtree.tree.root, "X")
+                probtree.set_condition(node, Condition.of("w2"))
+                probtree.add_event("w9", 0.5)
+                probtree.tree.set_label(probtree.tree.root, "Z")
+                raise RuntimeError("boom")
+        assert _fingerprint(probtree) == before
+
+    def test_rollback_counts_in_context_stats(self):
+        context = ExecutionContext()
+        probtree = _probtree()
+        with pytest.raises(RuntimeError):
+            with transaction(probtree, context=context):
+                probtree.tree.add_child(probtree.tree.root, "X")
+                raise RuntimeError("boom")
+        assert context.stats.rollbacks == 1
+
+    def test_transactions_do_not_nest(self):
+        probtree = _probtree()
+        with transaction(probtree):
+            with pytest.raises(TransactionError):
+                with transaction(probtree):
+                    pass  # pragma: no cover
+
+    def test_rolled_back_index_is_consistent(self):
+        probtree = _probtree()
+        index_before = tree_index(probtree.tree)  # warm the index cache
+        state_before = index_before.structural_state()
+        with pytest.raises(RuntimeError):
+            with transaction(probtree):
+                probtree.tree.add_child(probtree.tree.root, "X")
+                tree_index(probtree.tree)  # patch the index mid-transaction
+                raise RuntimeError("boom")
+        patched = tree_index(probtree.tree)
+        rebuilt = TreeIndex(probtree.tree)
+        assert patched.structural_state() == rebuilt.structural_state()
+        assert patched.structural_state() == state_before
+
+
+# ---------------------------------------------------------------------------
+# Compound (multi-op) update batches — satellite: k-th op rollback
+# ---------------------------------------------------------------------------
+
+
+class TestCompoundBatchAtomicity:
+    def test_failing_kth_op_leaves_everything_untouched(self):
+        context = ExecutionContext()
+        probtree = _probtree()
+        from repro.queries.evaluation import evaluate_on_probtree
+
+        # Warm the caches so rollback must also keep them sound.
+        answers_before = evaluate_on_probtree(TreePattern("A"), probtree, context=context)
+        index_state_before = tree_index(probtree.tree).structural_state()
+        before = _fingerprint(probtree)
+
+        batch = [_insertion(0.5), _insertion(0.7), _root_deletion(0.5)]
+        with pytest.raises(UpdateError):
+            apply_updates_to_probtree(probtree, batch, context=context)
+
+        assert _fingerprint(probtree) == before
+        assert (
+            tree_index(probtree.tree).structural_state()
+            == TreeIndex(probtree.tree).structural_state()
+            == index_state_before
+        )
+        # The warm context still answers exactly like a fresh one.
+        warm = evaluate_on_probtree(TreePattern("A"), probtree, context=context)
+        fresh = evaluate_on_probtree(
+            TreePattern("A"), probtree, context=ExecutionContext()
+        )
+        assert len(warm) == len(fresh) == len(answers_before) == 1
+        assert context.stats.rollbacks >= 1
+
+    def test_fault_injected_op_rolls_back_mid_mutation(self):
+        plan = FaultPlan().arm("datatree.add_child", at=2)
+        context = ExecutionContext(fault_plan=plan)
+        probtree = _probtree()
+        before = _fingerprint(probtree)
+        from repro.utils.errors import InjectedFault
+
+        with pytest.raises(InjectedFault):
+            # The insertion adds a 2-node subtree: the fault fires after the
+            # first child landed, mid-way through the structural mutation.
+            apply_update_to_probtree(probtree, _insertion(0.5), context=context)
+        assert _fingerprint(probtree) == before
+        assert context.stats.faults_injected == 1
+        assert context.stats.rollbacks == 1
+
+    def test_successful_batch_applies_all_ops_in_order(self):
+        context = ExecutionContext()
+        probtree = _probtree()
+        result = apply_updates_to_probtree(
+            probtree, [_insertion(0.5, event="u1"), _insertion(1.0)], context=context
+        )
+        assert result is not probtree
+        labels = sorted(result.tree.label(node) for node in result.tree.nodes())
+        # Two D/E subtrees inserted on top of A, B, C.
+        assert labels == ["A", "B", "C", "D", "D", "E", "E"]
+        assert "u1" in result.events()
