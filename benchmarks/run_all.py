@@ -21,8 +21,8 @@ the ROADMAP asks for::
 ``--check-gates`` is the fast regression tripwire tier-1 can afford: it runs
 only the gate-bearing benchmarks (:data:`GATE_BENCHMARKS` — the ≥5×
 incremental-index gate, the ≥3× formula-IR gate, the budgeted-pricing/
-sampling gate and the snapshot-isolation overhead/throughput gate) in smoke
-mode
+sampling gate, the snapshot-isolation overhead/throughput gate and the
+sharded-service scatter-throughput/worker-GC gate) in smoke mode
 (``REPRO_BENCH_SMOKE=1`` shrinks sizes/iterations), writes to
 ``BENCH_gates.json`` by default (so the full ``BENCH_summary.json`` is never
 clobbered by a subset), and exits nonzero when any gate regresses.
@@ -54,6 +54,7 @@ GATE_BENCHMARKS = (
     "bench_formula_ir",
     "bench_sampling",
     "bench_snapshot",
+    "bench_service",
 )
 
 

@@ -10,6 +10,11 @@ serialized prob-tree document (see :mod:`repro.xmlio` for the format):
     $ python -m repro.cli probability warehouse.xml "//movie"
     $ python -m repro.cli stats warehouse.xml
     $ python -m repro.cli validate warehouse.xml --dtd "catalog: movie*, source?"
+    $ python -m repro.cli serve warehouse.xml --shards 4 --port 8080
+
+``serve`` starts the process-sharded service (:mod:`repro.service`): shard
+worker subprocesses behind a scatter/gather router and an asyncio JSON
+front-end; ``shard`` is the worker entry point the router spawns.
 
 DTDs are given in a compact textual syntax, one rule per ``;``-separated
 segment: ``parent: child*, child2?, child3+, child4`` (the bare form means
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -176,6 +182,52 @@ def _command_validate(arguments: argparse.Namespace, output) -> int:
     return 0 if satisfiable else 1
 
 
+def _command_shard(arguments: argparse.Namespace, output) -> int:
+    """Serve one shard over stdin/stdout (spawned by the service router)."""
+    from repro.service.worker import worker_main
+
+    return worker_main()
+
+
+def _command_serve(arguments: argparse.Namespace, output) -> int:
+    """Run the sharded warehouse service with an HTTP JSON front-end."""
+    from repro.service.http import ServiceFrontend
+    from repro.service.router import ShardedWarehouse
+
+    documents = []
+    for path in arguments.documents:
+        text = Path(path).read_text()
+        documents.append((Path(path).stem, probtree_from_xml(text)))
+    with ShardedWarehouse(
+        shards=arguments.shards,
+        engine=arguments.engine,
+        matcher=arguments.matcher,
+        max_cached_answers=getattr(arguments, "max_cached_answers", None),
+        pricing=_pricing_policy(arguments),
+        formula_pool_node_limit=arguments.formula_pool_node_limit,
+        isolation=getattr(arguments, "isolation", "snapshot"),
+    ) as warehouse:
+        for name, probtree in documents:
+            warehouse.add_document(name, probtree)
+        frontend = ServiceFrontend(
+            warehouse, host=arguments.host, port=arguments.port
+        ).start()
+        print(
+            f"serving {len(documents)} document(s) on "
+            f"{arguments.shards} shard(s) at "
+            f"http://{frontend.host}:{frontend.port}",
+            file=output,
+        )
+        output.flush()
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            frontend.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -299,6 +351,38 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("document")
     validate.add_argument("--dtd", required=True, help='e.g. "catalog: movie*, source?"')
     validate.set_defaults(handler=_command_validate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve documents over HTTP via the process-sharded service",
+        parents=[common],
+    )
+    serve.add_argument(
+        "documents", nargs="+", help="one or more <probtree> XML files"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, help="shard worker processes (default: 4)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 for ephemeral)"
+    )
+    serve.add_argument(
+        "--formula-pool-node-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-worker formula-pool node bound; past it a worker runs the "
+        "mark-and-sweep pool GC and only restarts its formula layer if the "
+        "pool is still oversized afterwards (default: the library bound)",
+    )
+    serve.set_defaults(handler=_command_serve)
+
+    shard = subparsers.add_parser(
+        "shard",
+        help="serve one shard over stdin/stdout (used by the service router)",
+    )
+    shard.set_defaults(handler=_command_shard)
 
     return parser
 

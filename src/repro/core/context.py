@@ -43,6 +43,7 @@ fork the Shannon tables the session has already paid for.
 
 from __future__ import annotations
 
+import gc
 import inspect
 import threading
 import weakref
@@ -73,12 +74,18 @@ AUTO_NAIVE_COST = 512
 #: many-distinct-query workloads, not to churn a working set.
 MAX_CACHED_ANSWERS = 1024
 
-#: Node-count bound on a context's formula intern table.  Hash consing never
-#: evicts (ids must stay stable), so a long-lived context — above all the
-#: process-lifetime module default — would otherwise grow without bound under
-#: endless distinct-formula churn.  Past the bound the whole formula layer is
-#: restarted atomically (fresh pool, engine registry and compiled-DTD cache
-#: dropped together, so no id-keyed cache can dangle) at the next
+#: Default node-count bound on a context's formula intern table (override
+#: per session with ``ExecutionContext(formula_pool_node_limit=...)``).  Hash
+#: consing never evicts (ids must stay stable), so a long-lived context —
+#: above all the process-lifetime module default — would otherwise grow
+#: without bound under endless distinct-formula churn.  Past the bound, the
+#: context first runs a mark-and-sweep **garbage collection**
+#: (:meth:`~repro.formulas.ir.FormulaPool.collect` from the live Shannon-memo
+#: and compiled-DTD roots, counted in ``ContextStats.pool_gc_runs`` /
+#: ``pool_nodes_swept``); only if the pool is *still* oversized — every node
+#: genuinely live — is the whole formula layer restarted atomically (fresh
+#: pool, engine registry and compiled-DTD cache dropped together, so no
+#: id-keyed cache can dangle, counted in ``pool_restarts``), at the next
 #: :meth:`ExecutionContext.engine_for`; pricing then warms back up.
 #: Generous: real sessions intern a few thousand nodes.
 FORMULA_POOL_NODE_LIMIT = 1 << 18
@@ -170,6 +177,9 @@ class ContextStats:
         "snapshots_retired",
         "rollbacks",
         "faults_injected",
+        "pool_gc_runs",
+        "pool_nodes_swept",
+        "pool_restarts",
     )
 
     def __init__(self) -> None:
@@ -197,9 +207,34 @@ class ContextStats:
         self.snapshots_retired = 0       # pins expired by the retention bound
         self.rollbacks = 0               # transactions rolled back (updates included)
         self.faults_injected = 0         # faults the active FaultPlan raised/delayed
+        self.pool_gc_runs = 0            # formula-pool mark-and-sweep passes
+        self.pool_nodes_swept = 0        # interned nodes reclaimed by GC
+        self.pool_restarts = 0           # wholesale formula-layer restarts
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: Union["ContextStats", Dict[str, int]]) -> "ContextStats":
+        """Add *other*'s counters into this object (in place); returns self.
+
+        *other* is another :class:`ContextStats` or a plain counter dict (the
+        :meth:`as_dict` shape — what a shard worker ships over the wire).
+        Unknown keys are ignored so a router can aggregate stats from workers
+        running a slightly different build without blowing up; missing keys
+        simply contribute nothing.  This is how the sharded warehouse folds
+        per-shard stats into the one report the CLI ``--stats`` and the
+        service ``/stats`` endpoint both render.
+        """
+        data = other.as_dict() if isinstance(other, ContextStats) else other
+        for name, value in data.items():
+            if name in ContextStats.__slots__:
+                setattr(self, name, getattr(self, name) + int(value))
+        return self
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ContextStats":
+        """Rebuild a stats object from an :meth:`as_dict` snapshot."""
+        return cls().merge(data)
 
     def __repr__(self) -> str:
         pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -274,6 +309,7 @@ class _ContextState:
         "snapshot_retention",
         "active_snapshots",
         "fault_plan",
+        "formula_pool_node_limit",
     )
 
     def __init__(
@@ -284,6 +320,7 @@ class _ContextState:
         pricing: Optional[PricingPolicy] = None,
         snapshot_retention: Optional[int] = None,
         fault_plan=None,
+        formula_pool_node_limit: Optional[int] = None,
     ) -> None:
         # prob-tree -> {engine mode -> ProbabilityEngine}
         self.engines: "weakref.WeakKeyDictionary[ProbTree, Dict[str, ProbabilityEngine]]" = (
@@ -350,24 +387,76 @@ class _ContextState:
         # operation (crash-consistency harnesses configure it; None in
         # production).
         self.fault_plan = fault_plan
+        if formula_pool_node_limit is None:
+            formula_pool_node_limit = FORMULA_POOL_NODE_LIMIT
+        if formula_pool_node_limit < 2:
+            raise ValueError(
+                f"formula_pool_node_limit must be at least 2 (the pool always "
+                f"holds its two constants), got {formula_pool_node_limit!r}"
+            )
+        self.formula_pool_node_limit = int(formula_pool_node_limit)
+
+    def collect_formula_garbage(self) -> int:
+        """Mark-and-sweep the intern table from the live id-keyed roots.
+
+        The roots are every Shannon-memo key of every registered engine and
+        every compiled DTD-validity formula; after the pool compacts
+        (:meth:`~repro.formulas.ir.FormulaPool.collect`, in place — engines
+        keep their pool reference), those same caches are rekeyed through
+        the returned remap so no id dangles.  Returns the number of nodes
+        swept; counted in ``pool_gc_runs`` / ``pool_nodes_swept``.  Caller
+        must hold ``self.lock``.
+        """
+        engine_maps = list(self.engines.values())
+        dtd_maps = list(self.dtd_formulas.values())
+        roots: List[int] = []
+        for per_tree in engine_maps:
+            for engine in per_tree.values():
+                roots.extend(engine.interned_root_ids())
+        for per_tree in dtd_maps:
+            for _stamp, node in per_tree.values():
+                roots.append(node)
+        remap, swept = self.formula_pool.collect(roots)
+        self.stats.pool_gc_runs += 1
+        if remap is None:
+            return 0
+        for per_tree in engine_maps:
+            for engine in per_tree.values():
+                engine.remap_interned(remap)
+        for per_tree in dtd_maps:
+            for key, (stamp, node) in list(per_tree.items()):
+                per_tree[key] = (stamp, remap[node])
+        self.stats.pool_nodes_swept += swept
+        return swept
 
     def restart_formula_layer_if_oversized(self) -> bool:
-        """Restart the intern table past :data:`FORMULA_POOL_NODE_LIMIT`.
+        """GC — then, only if still oversized, restart — the formula layer.
 
-        Replaces the pool and clears every id-keyed cache in the same step
-        (per-probtree engines, compiled DTD formulas) so a dangling id can
-        never be priced against the wrong table.  Called only at the entry
-        of :meth:`ExecutionContext.engine_for` (before an engine is handed
-        out) and :meth:`ExecutionContext.validity_formula_for` (before
-        anything is compiled or the pool is read by its callers) — callers
-        that already hold an engine keep a self-consistent (engine, pool)
-        pair; they merely stop sharing.
+        Past the session's ``formula_pool_node_limit`` the state first tries
+        :meth:`collect_formula_garbage`: unreachable interned nodes (cofactor
+        residuals, formulas of dropped documents, pruned SAT entries) are
+        swept with every warm cache kept.  Only when the pool is still over
+        the bound afterwards — every node genuinely reachable — does it fall
+        back to the wholesale restart: pool replaced and every id-keyed
+        cache cleared in the same step (per-probtree engines, compiled DTD
+        formulas) so a dangling id can never be priced against the wrong
+        table.  Called only at the entry of
+        :meth:`ExecutionContext.engine_for` (before an engine is handed out)
+        and :meth:`ExecutionContext.validity_formula_for` (before anything
+        is compiled or the pool is read by its callers) — callers that
+        already hold an engine keep a self-consistent (engine, pool) pair;
+        they merely stop sharing.  Returns True only on a wholesale restart.
         """
-        if self.formula_pool.node_count() <= FORMULA_POOL_NODE_LIMIT:
+        limit = self.formula_pool_node_limit
+        if self.formula_pool.node_count() <= limit:
+            return False
+        self.collect_formula_garbage()
+        if self.formula_pool.node_count() <= limit:
             return False
         self.formula_pool = FormulaPool(stats=self.stats)
         self.engines.clear()
         self.dtd_formulas.clear()
+        self.stats.pool_restarts += 1
         return True
 
 
@@ -405,6 +494,12 @@ class ExecutionContext:
             update pipeline activates around every operation executed through
             this context — the hook the crash-consistency harness drives.
             ``None`` (the default) injects nothing.
+        formula_pool_node_limit: node-count bound on the session's formula
+            intern table; past it the context garbage-collects the pool
+            (:meth:`gc_formula_pool`) and only restarts the formula layer
+            wholesale when GC cannot get back under the bound.  ``None``
+            means :data:`FORMULA_POOL_NODE_LIMIT`; shard workers serving
+            long-lived sessions set it explicitly.
     """
 
     __slots__ = ("_engine", "_matcher", "_state")
@@ -419,6 +514,7 @@ class ExecutionContext:
         pricing: Optional[PricingPolicy] = None,
         snapshot_retention: Optional[int] = None,
         fault_plan=None,
+        formula_pool_node_limit: Optional[int] = None,
         _state: Optional[_ContextState] = None,
     ) -> None:
         self._engine = require_engine_mode(engine) if engine is not None else "formula"
@@ -433,6 +529,7 @@ class ExecutionContext:
                 pricing,
                 snapshot_retention,
                 fault_plan,
+                formula_pool_node_limit,
             )
         )
 
@@ -622,6 +719,36 @@ class ExecutionContext:
         procedures.
         """
         return self._state.formula_pool
+
+    @property
+    def formula_pool_node_limit(self) -> int:
+        """The session's node-count bound on the formula intern table."""
+        return self._state.formula_pool_node_limit
+
+    def gc_formula_pool(self) -> int:
+        """Garbage-collect the session's formula pool; returns nodes swept.
+
+        Marks every node reachable from the live roots — the Shannon memos
+        of the context's engines and its compiled DTD-validity formulas —
+        sweeps the rest and compacts the pool in place, rekeying the
+        id-keyed caches through the resulting remap.  Warm prices survive;
+        only genuinely unreachable nodes (cofactor residuals, formulas of
+        documents the session dropped) are reclaimed.  Runs automatically
+        when the pool crosses ``formula_pool_node_limit`` (the wholesale
+        restart is now the fallback for pools that are still oversized after
+        a sweep); call it explicitly to shed memory at a quiet moment.
+        Counted in :attr:`ContextStats.pool_gc_runs` /
+        :attr:`ContextStats.pool_nodes_swept`.
+
+        Runs Python's cycle collector first: prob-trees are cyclic, so a
+        dropped document's engine (weak-keyed by the prob-tree) lingers —
+        and keeps its memo nodes rooted — until the cycle collector clears
+        it.  Without this, an explicit sweep right after ``drop()`` would
+        reclaim nothing.
+        """
+        gc.collect()
+        with self._state.lock:
+            return self._state.collect_formula_garbage()
 
     def validity_formula_for(self, probtree: ProbTree, dtd) -> int:
         """The interned DTD-validity formula of *probtree*, compiled once.

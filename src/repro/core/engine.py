@@ -202,19 +202,23 @@ class ProbXMLWarehouse:
     # -- corpus management -------------------------------------------------
 
     def add_document(
-        self, name: str, document: Union[str, DataTree, ProbTree]
+        self, name: str, document: Union[str, DataTree, ProbTree], replace: bool = False
     ) -> ProbTree:
         """Register *document* under *name*; returns the stored prob-tree.
 
         Accepts a prob-tree, a data tree (wrapped as certain), an XML string
         (``<probtree>`` or plain ``<node>`` markup, parsed), or a bare label
-        (a one-node certain document).  Raises on duplicate names — use
-        :meth:`drop` first to replace a document.
+        (a one-node certain document).  Raises a typed
+        :class:`~repro.utils.errors.ProbXMLError` on duplicate names — the
+        sharded router relies on name→shard stability, so silent replacement
+        is never the default; pass ``replace=True`` (or :meth:`drop` first)
+        to overwrite deliberately.
         """
         with self._write():
-            if name in self._documents:
+            if name in self._documents and not replace:
                 raise ProbXMLError(
-                    f"document {name!r} already exists in the warehouse; drop() it first"
+                    f"document {name!r} already exists in the warehouse; drop() it "
+                    f"first or pass replace=True"
                 )
             probtree = _coerce_document(document)
             self._documents[name] = probtree

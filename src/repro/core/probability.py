@@ -277,6 +277,31 @@ class ProbabilityEngine:
             return self.probability(dnf_to_expr(formula))
         return self.probability(self._pool.dnf(formula))
 
+    def interned_root_ids(self) -> List[int]:
+        """The interned node ids this engine's Shannon memo still references.
+
+        These are the GC roots the owning context passes to
+        :meth:`~repro.formulas.ir.FormulaPool.collect`: every id-keyed price
+        the engine could serve again must keep its node alive.  The
+        condition cache holds no ids and is unaffected by pool compaction.
+        """
+        return list(self._formula_cache)
+
+    def remap_interned(self, remap) -> None:
+        """Rekey the Shannon memo after a pool compaction.
+
+        *remap* is the surviving old→new id map returned by
+        :meth:`~repro.formulas.ir.FormulaPool.collect`; entries whose node
+        was swept (possible only when the caller rooted fewer ids than
+        :meth:`interned_root_ids` reports) are dropped rather than left
+        dangling.
+        """
+        self._formula_cache = {
+            remap[node]: value
+            for node, value in self._formula_cache.items()
+            if node in remap
+        }
+
     def absorb(self, other: "ProbabilityEngine") -> int:
         """Copy *other*'s memoized prices into this engine's tables.
 

@@ -258,7 +258,14 @@ class FormulaPool:
             self._stats.intern_misses += 1
             events = frozenset().union(*(self._events[i] for i in ids))
             depth = 1 + max(self._depth[i] for i in ids)
-            pivot = self._pivot[ids[0]]
+            # The smallest *event name* among the operands' pivots — which is
+            # inductively the smallest mentioned event.  Pivoting must be a
+            # function of the formula's structure alone: keying it off node
+            # ids (e.g. ids[0]'s pivot) would make the Shannon expansion tree
+            # — and the last-ulp rounding of exact probabilities — depend on
+            # the pool's interning history, which differs across processes
+            # (and across a crash-restart of a shard worker).
+            pivot = min(self._pivot[i] for i in ids)  # type: ignore[type-var]
             node = self._new(kind, ids, events, depth, pivot)
             self._nary_ids[key] = node
         else:
@@ -277,7 +284,12 @@ class FormulaPool:
         if node is None:
             self._stats.intern_misses += 1
             literals = []
-            for literal in condition.literals:
+            # Sorted: frozenset order varies with the per-process hash salt,
+            # and the order of first-time var() calls decides node ids — which
+            # decide the Shannon pivot and therefore the last-ulp rounding of
+            # every exact probability priced off this pool.  Bit-identical
+            # results across processes are part of the service contract.
+            for literal in sorted(condition.literals):
                 atom = self.var(literal.event)
                 literals.append(self.neg(atom) if literal.negated else atom)
             node = self.conj(literals)
@@ -525,6 +537,13 @@ class FormulaPool:
             operands = payloads[current]
             components = self._components(operands)  # type: ignore[arg-type]
             if len(components) > 1:
+                # Canonical order (smallest event per component): a float
+                # product is not associative in the last ulp, and component
+                # discovery order follows operand ids, which are an artifact
+                # of interning history — see the pivot comment in _nary.
+                components.sort(
+                    key=lambda ops: min(self._pivot[i] for i in ops)  # type: ignore[type-var]
+                )
                 if kind == KIND_AND:
                     result = 1.0
                     for component in components:
@@ -610,6 +629,113 @@ class FormulaPool:
     def tautology(self, node: int) -> bool:
         """Whether *node* holds in every world."""
         return not self.satisfiable(self.neg(node))
+
+    # -- garbage collection --------------------------------------------------
+
+    def collect(self, roots: Iterable[int]):
+        """Mark-and-sweep compaction: keep *roots* and their operands only.
+
+        Hash consing never evicts — ids must stay stable between calls — so
+        a long-lived pool accumulates every formula a session ever built,
+        including cofactor residuals whose memoized prices were dropped long
+        ago.  ``collect`` reclaims them: every node reachable from *roots*
+        (plus the two constants) survives, everything else is swept, and the
+        survivors are compacted onto fresh consecutive ids.
+
+        The pool is mutated **in place** (object identity is preserved, so
+        every engine holding a reference keeps pricing through the same
+        pool) and stays canonical: children are always interned before their
+        parents, so the old→new remap is monotonic and remapped operand
+        tuples remain sorted; the intern tables are rebuilt from the
+        compacted nodes.  The distribution-independent SAT cache is *pruned*
+        to surviving nodes rather than treated as a root set — otherwise a
+        repeated-DTD workload whose every cofactor lands in the SAT cache
+        could never reclaim anything.
+
+        Returns ``(remap, swept)``: *remap* maps each surviving old id to
+        its new id (callers rekey their id-keyed memos through it) or is
+        ``None`` when nothing was swept (ids unchanged, no rekeying needed);
+        *swept* is the number of nodes reclaimed.
+        """
+        kinds, payloads = self._kind, self._payload
+        total = len(kinds)
+        live = bytearray(total)
+        live[FALSE_ID] = live[TRUE_ID] = 1
+        stack = [root for root in set(roots) if not live[root]]
+        while stack:
+            node = stack.pop()
+            if live[node]:
+                continue
+            live[node] = 1
+            kind = kinds[node]
+            if kind == KIND_NOT:
+                operand = payloads[node]
+                if not live[operand]:  # type: ignore[index]
+                    stack.append(operand)  # type: ignore[arg-type]
+            elif kind == KIND_AND or kind == KIND_OR:
+                stack.extend(
+                    operand for operand in payloads[node] if not live[operand]  # type: ignore[union-attr]
+                )
+        swept = total - sum(live)
+        if swept == 0:
+            return None, 0
+
+        remap: Dict[int, int] = {}
+        new_kind: List[int] = []
+        new_payload: List[object] = []
+        new_events: List[FrozenSet[str]] = []
+        new_depth: List[int] = []
+        new_pivot: List[Optional[str]] = []
+        events, depths, pivots = self._events, self._depth, self._pivot
+        for old in range(total):
+            if not live[old]:
+                continue
+            remap[old] = len(new_kind)
+            kind = kinds[old]
+            payload = payloads[old]
+            if kind == KIND_NOT:
+                payload = remap[payload]  # type: ignore[index]
+            elif kind == KIND_AND or kind == KIND_OR:
+                # Monotonic remap (children precede parents in id order), so
+                # the remapped operand tuple is still sorted — canonical.
+                payload = tuple(remap[operand] for operand in payload)  # type: ignore[union-attr]
+            new_kind.append(kind)
+            new_payload.append(payload)
+            new_events.append(events[old])
+            new_depth.append(depths[old])
+            new_pivot.append(pivots[old])
+        self._kind = new_kind
+        self._payload = new_payload
+        self._events = new_events
+        self._depth = new_depth
+        self._pivot = new_pivot
+
+        var_ids: Dict[str, int] = {}
+        not_ids: Dict[int, int] = {}
+        nary_ids: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        for node in range(2, len(new_kind)):
+            kind = new_kind[node]
+            payload = new_payload[node]
+            if kind == KIND_VAR:
+                var_ids[payload] = node  # type: ignore[index]
+            elif kind == KIND_NOT:
+                not_ids[payload] = node  # type: ignore[index]
+            else:
+                nary_ids[(kind, payload)] = node  # type: ignore[index]
+        self._var_ids = var_ids
+        self._not_ids = not_ids
+        self._nary_ids = nary_ids
+        self._condition_ids = {
+            condition: remap[node]
+            for condition, node in self._condition_ids.items()
+            if node in remap
+        }
+        self._sat_cache = {
+            remap[node]: value
+            for node, value in self._sat_cache.items()
+            if node in remap
+        }
+        return remap, swept
 
     def __repr__(self) -> str:
         return (

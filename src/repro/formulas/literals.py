@@ -131,7 +131,11 @@ class Condition:
         if not self.is_consistent():
             return 0.0
         result = 1.0
-        for literal in self._literals:
+        # Sorted so the product's rounding is independent of the per-process
+        # string-hash salt: frozenset order varies with PYTHONHASHSEED, and a
+        # float product is not associative in the last ulp.  Bit-identical
+        # probabilities across processes are part of the service contract.
+        for literal in sorted(self._literals):
             p = distribution[literal.event]
             result *= (1.0 - p) if literal.negated else p
         return result
@@ -287,7 +291,8 @@ class Valuation:
     def probability(self, distribution: Mapping[str, float]) -> float:
         """Probability of this world under independent events (Definition 4)."""
         result = 1.0
-        for event in self._events:
+        # Sorted for hash-salt-independent rounding (see Condition.probability).
+        for event in sorted(self._events):
             p = distribution[event]
             result *= p if event in self._true else (1.0 - p)
         return result

@@ -1,0 +1,27 @@
+"""Process-sharded corpus service: shard workers, a router, an async front-end.
+
+One Python process is the warehouse's throughput ceiling — the GIL
+serializes exact pricing, matching and sampling no matter how many threads a
+host has.  This package moves past it by sharding the *corpus*: each
+document lives in exactly one **shard worker** (a subprocess owning its own
+:class:`~repro.core.context.ExecutionContext` and
+:class:`~repro.formulas.ir.FormulaPool`), a **router**
+(:class:`~repro.service.router.ShardedWarehouse`) consistent-hashes document
+names to shards and mirrors the :class:`~repro.core.engine.ProbXMLWarehouse`
+API verbatim, and an **asyncio front-end**
+(:class:`~repro.service.http.ServiceFrontend`, stdlib-only) exposes JSON
+endpoints with request-level batching into shard round-trips.
+
+The wire protocol (:mod:`repro.service.protocol`) is length-prefixed pickle
+frames with *typed* error propagation: a
+:class:`~repro.utils.errors.BudgetExceededError` raised inside a worker
+arrives at the caller as a :class:`BudgetExceededError`, attributes intact.
+Crashed workers are respawned from their document sources and a replayed
+per-document operation log; the single-process warehouse remains the
+differential oracle (``tests/service/test_sharded_differential.py``).
+"""
+
+from repro.service.router import ShardedWarehouse
+from repro.service.http import ServiceFrontend
+
+__all__ = ["ShardedWarehouse", "ServiceFrontend"]

@@ -1,0 +1,141 @@
+"""Wire protocol between the router and its shard workers.
+
+Frames are length-prefixed pickles over a byte stream (the worker's
+stdin/stdout pipes): a 4-byte big-endian payload length followed by the
+pickled message.  Requests are ``(rid, op, payload)`` triples and responses
+``(rid, ok, value)`` — ``rid`` is a per-connection monotonically increasing
+integer the router uses to pair responses with requests, ``ok`` is a bool,
+and on failure ``value`` is a **typed error payload** instead of the result.
+
+Typed error propagation is the point of the codec below.  Exceptions do not
+pickle reliably in general — several library errors take keyword state
+(:class:`~repro.utils.errors.BudgetExceededError` carries ``spent``/
+``budget``, :class:`~repro.utils.errors.InjectedFault` rebuilds its message
+from ``(site, occurrence)``), and naive ``pickle.dumps(exc)`` re-invokes
+``__init__`` with ``args`` and breaks.  So errors cross the wire as a plain
+``{"type", "message", "attrs", "traceback"}`` dict: library errors (any
+:class:`~repro.utils.errors.ProbXMLError` subclass) are reconstructed as
+their original type — allocation via ``cls.__new__`` sidesteps the custom
+``__init__`` signatures, attributes are restored by name — and anything else
+(a genuine worker bug) becomes a :class:`~repro.utils.errors.RemoteError`
+carrying the remote type name and traceback text.
+
+The protocol is trusted-transport only: frames are pickles exchanged with
+subprocesses this package itself spawned, never with the network (the HTTP
+front-end speaks JSON and re-encodes).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import traceback
+from typing import Any, Dict, Tuple
+
+from repro.utils import errors as _errors
+from repro.utils.errors import ProbXMLError, RemoteError
+
+#: Big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Refuse to allocate for frames claiming more than this many bytes — a
+#: corrupted header (e.g. a stray print into the worker's stdout) would
+#: otherwise read gigabytes of garbage before failing.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def write_frame(stream, message: Any) -> None:
+    """Pickle *message* and write it as one length-prefixed frame."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(HEADER.pack(len(data)))
+    stream.write(data)
+    stream.flush()
+
+
+def _read_exact(stream, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = stream.read(count)
+        if not chunk:
+            raise EOFError(
+                "pipe closed mid-frame"
+                if chunks
+                else "pipe closed (no frame pending)"
+            )
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream) -> Any:
+    """Read one length-prefixed frame; raises :class:`EOFError` on a closed pipe."""
+    (length,) = HEADER.unpack(_read_exact(stream, HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise EOFError(f"frame header claims {length} bytes; stream is corrupt")
+    return pickle.loads(_read_exact(stream, length))
+
+
+# ---------------------------------------------------------------------------
+# Typed error codec
+# ---------------------------------------------------------------------------
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """The wire encoding of *exc*: type name, message, picklable attributes."""
+    attrs = {}
+    for name, value in vars(exc).items():
+        try:
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            continue
+        attrs[name] = value
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "attrs": attrs,
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+def decode_error(payload: Dict[str, Any]) -> Exception:
+    """Rebuild the typed exception a worker encoded with :func:`encode_error`.
+
+    Library errors come back as their original class (so ``except
+    BudgetExceededError:`` works across the wire, ``spent``/``budget``
+    attributes intact); unknown types degrade to :class:`RemoteError`.
+    """
+    name = payload.get("type", "")
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ProbXMLError):
+        exc = cls.__new__(cls)
+        # Bypass the subclass __init__ (signatures vary: BudgetExceededError
+        # takes keywords, InjectedFault builds its own message) but keep the
+        # Exception machinery consistent with a normal construction.
+        Exception.__init__(exc, payload.get("message", ""))
+        for key, value in payload.get("attrs", {}).items():
+            try:
+                setattr(exc, key, value)
+            except Exception:
+                pass
+        return exc
+    return RemoteError(
+        f"shard worker raised {name or 'an unknown error'}: "
+        f"{payload.get('message', '')}",
+        remote_type=name,
+        remote_traceback=payload.get("traceback", ""),
+    )
+
+
+Request = Tuple[int, str, Dict[str, Any]]
+Response = Tuple[int, bool, Any]
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "write_frame",
+    "read_frame",
+    "encode_error",
+    "decode_error",
+]

@@ -1,0 +1,671 @@
+"""The scatter/gather router: a process-sharded ``ProbXMLWarehouse`` twin.
+
+:class:`ShardedWarehouse` mirrors the :class:`~repro.core.engine.ProbXMLWarehouse`
+API — same methods, same name-resolution rules, same error messages — but
+holds no documents itself.  Document names are **consistent-hashed** (sha1
+ring with virtual nodes; the builtin ``hash`` is process-salted and would
+shuffle placements across runs) onto shard worker subprocesses, each owning
+its own execution context and formula pool.  Per-document calls route to the
+owning shard; corpus-wide calls (:meth:`query_all`, :meth:`probability_all`,
+:meth:`stats`) scatter one frame to every shard and gather the responses.
+
+Crash recovery: the router keeps, per document, the pickled source prob-tree
+plus an **oplog** of committed mutations (``apply``/``clean``/``prune_below``
+payloads, appended only after the worker acknowledged them).  When a pipe
+breaks mid-call the router respawns the worker, replays source + oplog for
+every document on that shard, and retries the failed request once — caches
+rebuild lazily on the fresh worker.  This is sound because workers die in
+one of two states: before dispatch (the ``"service.worker"`` fault site
+fires before any work) or mid-mutation after the transactional rollback ran,
+so the worker's committed state always equals source + acked oplog.
+
+The single-process warehouse stays authoritative: the differential harness
+(``tests/service/test_sharded_differential.py``) replays identical workloads
+against both and requires byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.core.context import ContextStats
+from repro.core.engine import DEFAULT_DOCUMENT, ProbXMLWarehouse, _coerce_document
+from repro.service.protocol import decode_error, read_frame, write_frame
+from repro.updates.operations import Deletion, Insertion, ProbabilisticUpdate
+from repro.utils.errors import ProbXMLError, WorkerCrashedError
+
+#: Virtual ring points per shard; enough that a 4-shard ring splits a
+#: realistic corpus within a few documents of even.
+VIRTUAL_NODES = 64
+
+#: Seconds to wait for a worker to honour a polite shutdown before SIGKILL.
+SHUTDOWN_GRACE = 5.0
+
+
+def _ring_points(shard_count: int, virtual_nodes: int) -> List[Tuple[int, int]]:
+    ring = []
+    for index in range(shard_count):
+        for replica in range(virtual_nodes):
+            digest = hashlib.sha1(f"shard:{index}:{replica}".encode("ascii")).digest()
+            ring.append((int.from_bytes(digest[:8], "big"), index))
+    ring.sort()
+    return ring
+
+
+def _hash_point(name: str) -> int:
+    digest = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _Shard:
+    """One worker subprocess plus the bookkeeping to talk to it safely."""
+
+    __slots__ = ("index", "process", "lock", "rid")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[subprocess.Popen] = None
+        self.lock = threading.Lock()
+        self.rid = 0
+
+    def next_rid(self) -> int:
+        self.rid += 1
+        return self.rid
+
+
+class ShardedWarehouse:
+    """Routes the ``ProbXMLWarehouse`` API across shard worker subprocesses.
+
+    Drop-in in the differential sense: every public method of the
+    single-process warehouse exists here with the same signature and the
+    same typed errors (worker-side exceptions are reconstructed by type).
+    Two deliberate semantic differences: (1) returned trees/answers are
+    pickled copies, never live shared objects, so mutating them cannot
+    corrupt the corpus; (2) a worker that dies mid-call is respawned and
+    the call retried once — a second failure raises
+    :class:`~repro.utils.errors.WorkerCrashedError`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        max_cached_answers: Optional[int] = None,
+        pricing=None,
+        snapshot_retention: Optional[int] = None,
+        formula_pool_node_limit: Optional[int] = None,
+        isolation: str = "snapshot",
+        worker_command: Optional[List[str]] = None,
+        virtual_nodes: int = VIRTUAL_NODES,
+    ) -> None:
+        if shards < 1:
+            raise ProbXMLError(f"need at least one shard, got {shards}")
+        self._config = {
+            "engine": engine,
+            "matcher": matcher,
+            "max_cached_answers": max_cached_answers,
+            "pricing": pricing,
+            "snapshot_retention": snapshot_retention,
+            "formula_pool_node_limit": formula_pool_node_limit,
+            "isolation": isolation,
+        }
+        self._worker_command = list(worker_command) if worker_command else None
+        self._ring = _ring_points(shards, virtual_nodes)
+        # name -> shard index, in insertion order (gathers are re-ordered to
+        # this, matching the single-process warehouse's names() order).
+        self._documents: Dict[str, int] = {}
+        self._sources: Dict[str, bytes] = {}
+        self._oplogs: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        self._closed = False
+        self.restarts = 0
+        self._shards = [_Shard(index) for index in range(shards)]
+        try:
+            for shard in self._shards:
+                self._spawn(shard)
+        except Exception:
+            self.close()
+            raise
+
+    # -- process management ------------------------------------------------
+
+    def _spawn(self, shard: _Shard) -> None:
+        command = self._worker_command or [sys.executable, "-m", "repro.service.worker"]
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + os.pathsep + existing if existing else src
+        shard.process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        self._send(shard, "configure", dict(self._config))
+
+    def _send(self, shard: _Shard, op: str, payload: Dict[str, Any]) -> Any:
+        """One raw round-trip; OSError/EOFError propagate (caller recovers)."""
+        process = shard.process
+        rid = shard.next_rid()
+        write_frame(process.stdin, (rid, op, payload))
+        response_rid, ok, value = read_frame(process.stdout)
+        if response_rid != rid:
+            raise EOFError(
+                f"shard {shard.index} answered request {response_rid}, "
+                f"expected {rid}; stream is out of sync"
+            )
+        if not ok:
+            raise decode_error(value)
+        return value
+
+    def _restart(self, shard: _Shard) -> None:
+        """Respawn a dead worker and rebuild its state (caller holds the lock)."""
+        process = shard.process
+        if process is not None:
+            for stream in (process.stdin, process.stdout):
+                try:
+                    stream.close()
+                except Exception:
+                    pass
+            process.kill()
+            process.wait()
+        self.restarts += 1
+        self._spawn(shard)
+        for name, owner in self._documents.items():
+            if owner != shard.index:
+                continue
+            self._send(
+                shard,
+                "add_document",
+                {"name": name, "document": pickle.loads(self._sources[name])},
+            )
+            for op, payload in self._oplogs[name]:
+                self._send(shard, op, dict(payload))
+
+    def _call(self, shard: _Shard, op: str, payload: Dict[str, Any]) -> Any:
+        """Locked round-trip with crash recovery: restart once, retry once."""
+        self._require_open()
+        with shard.lock:
+            try:
+                return self._send(shard, op, payload)
+            except (OSError, EOFError):
+                pass
+            try:
+                self._restart(shard)
+                return self._send(shard, op, payload)
+            except (OSError, EOFError) as exc:
+                raise WorkerCrashedError(
+                    f"shard {shard.index} worker died and could not be "
+                    f"restarted: {exc}",
+                    shard=shard.index,
+                ) from exc
+
+    def _scatter(self, op: str, payload: Dict[str, Any]) -> Dict[int, Any]:
+        """One frame to every shard; gather ``{shard index: value}``.
+
+        All stdin frames are written before any stdout is read, so shards
+        work concurrently; responses are drained in shard order (each shard
+        has exactly one frame in flight, so sequential reads cannot
+        deadlock).  A shard whose pipe breaks is restarted and retried
+        individually while the others' results are kept.
+        """
+        self._require_open()
+        for shard in self._shards:
+            shard.lock.acquire()
+        try:
+            pending: Dict[int, Optional[int]] = {}
+            for shard in self._shards:
+                rid = shard.next_rid()
+                try:
+                    write_frame(shard.process.stdin, (rid, op, dict(payload)))
+                    pending[shard.index] = rid
+                except OSError:
+                    pending[shard.index] = None
+            gathered: Dict[int, Tuple[bool, Any]] = {}
+            failed: List[_Shard] = []
+            for shard in self._shards:
+                rid = pending[shard.index]
+                if rid is None:
+                    failed.append(shard)
+                    continue
+                try:
+                    response_rid, ok, value = read_frame(shard.process.stdout)
+                    if response_rid != rid:
+                        raise EOFError("stream out of sync")
+                except (OSError, EOFError):
+                    failed.append(shard)
+                    continue
+                gathered[shard.index] = (ok, value)
+            for shard in failed:
+                try:
+                    self._restart(shard)
+                    gathered[shard.index] = (
+                        True,
+                        self._send(shard, op, dict(payload)),
+                    )
+                except (OSError, EOFError) as exc:
+                    raise WorkerCrashedError(
+                        f"shard {shard.index} worker died and could not be "
+                        f"restarted: {exc}",
+                        shard=shard.index,
+                    ) from exc
+            results: Dict[int, Any] = {}
+            for shard in self._shards:
+                ok, value = gathered[shard.index]
+                if not ok:
+                    raise decode_error(value)
+                results[shard.index] = value
+            return results
+        finally:
+            for shard in reversed(self._shards):
+                shard.lock.release()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ProbXMLError("the sharded warehouse has been closed")
+
+    # -- placement ---------------------------------------------------------
+
+    def shard_of(self, name: str) -> int:
+        """The shard index *name* hashes to (stable across processes/runs)."""
+        point = _hash_point(name)
+        position = bisect.bisect_right(self._ring, (point, len(self._shards)))
+        if position == len(self._ring):
+            position = 0
+        return self._ring[position][1]
+
+    def _resolve_name(self, name: Optional[str]) -> str:
+        # Mirrors ProbXMLWarehouse._resolve_name verbatim, error text
+        # included — the differential harness compares failure modes too.
+        if name is not None:
+            if name not in self._documents:
+                raise ProbXMLError(f"no document named {name!r} in the warehouse")
+            return name
+        if DEFAULT_DOCUMENT in self._documents:
+            return DEFAULT_DOCUMENT
+        if len(self._documents) == 1:
+            return next(iter(self._documents))
+        if not self._documents:
+            raise ProbXMLError("the warehouse holds no documents")
+        raise ProbXMLError(
+            f"the warehouse holds {len(self._documents)} documents "
+            f"({', '.join(map(repr, self._documents))}); pass name="
+        )
+
+    def _owner(self, name: str) -> _Shard:
+        return self._shards[self._documents[name]]
+
+    # -- corpus management -------------------------------------------------
+
+    def add_document(self, name: str, document, replace: bool = False):
+        """Register *document* on its hash-assigned shard; returns the prob-tree."""
+        if name in self._documents and not replace:
+            raise ProbXMLError(
+                f"document {name!r} already exists in the warehouse; drop() it "
+                f"first or pass replace=True"
+            )
+        probtree = _coerce_document(document)
+        source = pickle.dumps(probtree, protocol=pickle.HIGHEST_PROTOCOL)
+        index = self._documents.get(name, self.shard_of(name))
+        self._call(
+            self._shards[index],
+            "add_document",
+            {"name": name, "document": probtree, "replace": replace},
+        )
+        self._documents[name] = index
+        self._sources[name] = source
+        self._oplogs[name] = []
+        return probtree
+
+    def drop(self, name: str):
+        """Remove the document; returns the shard's current prob-tree for it."""
+        if name not in self._documents:
+            raise ProbXMLError(f"no document named {name!r} in the warehouse")
+        dropped = self._call(self._owner(name), "drop", {"name": name})
+        del self._documents[name]
+        del self._sources[name]
+        del self._oplogs[name]
+        return dropped
+
+    def names(self) -> Tuple[str, ...]:
+        """The registered document names, in insertion order."""
+        return tuple(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._documents
+
+    def get(self, name: Optional[str] = None):
+        """The named document's prob-tree (a pickled copy, not a live object)."""
+        resolved = self._resolve_name(name)
+        return self._call(self._owner(resolved), "get", {"name": resolved})
+
+    def size(self, name: Optional[str] = None) -> int:
+        resolved = self._resolve_name(name)
+        return self._call(self._owner(resolved), "size", {"name": resolved})
+
+    def event_count(self, name: Optional[str] = None) -> int:
+        resolved = self._resolve_name(name)
+        return self._call(self._owner(resolved), "event_count", {"name": resolved})
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        query,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+    ):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "query",
+            {"query": query, "name": resolved, "engine": engine, "matcher": matcher},
+        )
+
+    def query_many(
+        self,
+        queries,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+    ):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "query_many",
+            {
+                "queries": list(queries),
+                "name": resolved,
+                "engine": engine,
+                "matcher": matcher,
+            },
+        )
+
+    def query_all(
+        self, query, engine: Optional[str] = None, matcher: Optional[str] = None
+    ):
+        """Scatter one query to every shard; gather ``{name: answers}``."""
+        gathered = self._scatter(
+            "query_all", {"query": query, "engine": engine, "matcher": matcher}
+        )
+        merged: Dict[str, Any] = {}
+        for per_shard in gathered.values():
+            merged.update(per_shard)
+        return {name: merged[name] for name in self._documents if name in merged}
+
+    def top_answers(self, query, count: int = 3, name: Optional[str] = None):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "top_answers",
+            {"query": query, "count": count, "name": resolved},
+        )
+
+    def probability(
+        self,
+        query,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+    ) -> float:
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "probability",
+            {"query": query, "name": resolved, "engine": engine, "matcher": matcher},
+        )
+
+    def probability_anytime(
+        self,
+        query,
+        name: Optional[str] = None,
+        engine: Optional[str] = None,
+        matcher: Optional[str] = None,
+        epsilon: Optional[float] = None,
+        confidence: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        deadline: Optional[float] = None,
+        seed: Optional[int] = None,
+    ):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "probability_anytime",
+            {
+                "query": query,
+                "name": resolved,
+                "engine": engine,
+                "matcher": matcher,
+                "epsilon": epsilon,
+                "confidence": confidence,
+                "max_samples": max_samples,
+                "deadline": deadline,
+                "seed": seed,
+            },
+        )
+
+    def probability_all(
+        self, query, engine: Optional[str] = None, matcher: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Scatter one boolean query to every shard; gather ``{name: p}``."""
+        gathered = self._scatter(
+            "probability_all", {"query": query, "engine": engine, "matcher": matcher}
+        )
+        merged: Dict[str, float] = {}
+        for per_shard in gathered.values():
+            merged.update(per_shard)
+        return {name: merged[name] for name in self._documents if name in merged}
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(
+        self,
+        query,
+        subtree,
+        at=None,
+        confidence: float = 1.0,
+        event: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> ProbabilisticUpdate:
+        resolved_query = ProbXMLWarehouse._resolve(query)
+        target = (
+            at if at is not None else ProbXMLWarehouse._default_focus(resolved_query)
+        )
+        update = ProbabilisticUpdate(
+            Insertion(resolved_query, target, subtree),
+            confidence=confidence,
+            event=event,
+        )
+        self.apply(update, name=name)
+        return update
+
+    def delete(
+        self,
+        query,
+        at=None,
+        confidence: float = 1.0,
+        event: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> ProbabilisticUpdate:
+        resolved_query = ProbXMLWarehouse._resolve(query)
+        target = (
+            at if at is not None else ProbXMLWarehouse._default_focus(resolved_query)
+        )
+        update = ProbabilisticUpdate(
+            Deletion(resolved_query, target), confidence=confidence, event=event
+        )
+        self.apply(update, name=name)
+        return update
+
+    def _mutate(self, name: Optional[str], op: str, payload: Dict[str, Any]) -> None:
+        resolved = self._resolve_name(name)
+        payload = dict(payload, name=resolved)
+        self._call(self._owner(resolved), op, payload)
+        # Logged only after the worker acknowledged the commit, so a replay
+        # after a crash reconstructs exactly the acked state.
+        self._oplogs[resolved].append((op, payload))
+
+    def apply(self, update: ProbabilisticUpdate, name: Optional[str] = None) -> None:
+        self._mutate(name, "apply", {"update": update})
+
+    def clean(self, name: Optional[str] = None) -> None:
+        self._mutate(name, "clean", {})
+
+    def prune_below(self, threshold: float, name: Optional[str] = None) -> None:
+        self._mutate(name, "prune_below", {"threshold": threshold})
+
+    # -- inspection --------------------------------------------------------
+
+    def possible_worlds(self, normalize: bool = True, name: Optional[str] = None):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "possible_worlds",
+            {"normalize": normalize, "name": resolved},
+        )
+
+    def most_probable_worlds(self, count: int = 3, name: Optional[str] = None):
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved),
+            "most_probable_worlds",
+            {"count": count, "name": resolved},
+        )
+
+    def dtd_satisfiable(self, dtd, name: Optional[str] = None) -> bool:
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved), "dtd_satisfiable", {"dtd": dtd, "name": resolved}
+        )
+
+    def dtd_valid(self, dtd, name: Optional[str] = None) -> bool:
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved), "dtd_valid", {"dtd": dtd, "name": resolved}
+        )
+
+    def dtd_probability(self, dtd, name: Optional[str] = None) -> float:
+        resolved = self._resolve_name(name)
+        return self._call(
+            self._owner(resolved), "dtd_probability", {"dtd": dtd, "name": resolved}
+        )
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def stats(self) -> ContextStats:
+        """Corpus-wide counters: every shard's stats merged into one."""
+        merged = ContextStats()
+        for value in self._scatter("stats", {}).values():
+            merged.merge(value["stats"])
+        return merged
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard raw stats: counters plus pool size, document count, pid."""
+        gathered = self._scatter("stats", {})
+        return [gathered[shard.index] for shard in self._shards]
+
+    def gc_formula_pools(self) -> int:
+        """Run the formula-pool GC on every shard; total nodes swept."""
+        return sum(self._scatter("gc_pool", {}).values())
+
+    def batch_on_shard(
+        self, index: int, requests: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[Tuple[bool, Any]]:
+        """Run several ops against one shard in a single round-trip.
+
+        The HTTP front-end's unit of batching: pending requests for the
+        same shard collapse into one frame.  Returns ``(ok, value)`` per
+        request — failures carry the reconstructed typed exception instead
+        of aborting the whole batch.  Read-only ops only: batched mutations
+        would bypass the router's oplog and break crash recovery.
+        """
+        raw = self._call(self._shards[index], "batch", {"requests": list(requests)})
+        return [
+            (ok, value if ok else decode_error(value)) for ok, value in raw
+        ]
+
+    def healthy(self) -> bool:
+        """Whether every worker currently answers a ping (no restart attempt)."""
+        for shard in self._shards:
+            with shard.lock:
+                try:
+                    self._send(shard, "ping", {})
+                except (OSError, EOFError):
+                    return False
+        return True
+
+    # -- fault injection (tests/benchmarks) --------------------------------
+
+    def inject_crash(
+        self,
+        site: str = "service.worker",
+        name: Optional[str] = None,
+        shard: Optional[int] = None,
+        at: int = 1,
+    ) -> int:
+        """Arm a one-shot crash on one worker; returns the shard index.
+
+        The worker hard-exits (``os._exit``) on the *at*-th crossing of
+        *site* — for ``"service.worker"`` that is the start of the *at*-th
+        subsequent request, for deeper sites somewhere inside a specific
+        operation.  The next call routed there then trips the router's
+        restart-and-replay path.
+        """
+        if shard is None:
+            resolved = self._resolve_name(name)
+            shard = self._documents[resolved]
+        self._call(self._shards[shard], "arm_fault", {"site": site, "at": at})
+        return shard
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down (politely, then by force). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            process = shard.process
+            if process is None:
+                continue
+            try:
+                write_frame(process.stdin, (shard.next_rid(), "shutdown", {}))
+            except Exception:
+                pass
+            for stream in (process.stdin, process.stdout):
+                try:
+                    stream.close()
+                except Exception:
+                    pass
+            try:
+                process.wait(timeout=SHUTDOWN_GRACE)
+            except Exception:
+                process.kill()
+                process.wait()
+            shard.process = None
+
+    def __enter__(self) -> "ShardedWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

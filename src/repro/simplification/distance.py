@@ -36,7 +36,8 @@ def total_variation_distance(left: ProbTree, right: ProbTree) -> float:
     """
     left_classes = _class_probabilities(possible_worlds(left, normalize=False))
     right_classes = _class_probabilities(possible_worlds(right, normalize=False))
-    keys = set(left_classes) | set(right_classes)
+    # Sorted: float summation order must not depend on the hash salt.
+    keys = sorted(set(left_classes) | set(right_classes))
     return 0.5 * sum(
         abs(left_classes.get(key, 0.0) - right_classes.get(key, 0.0)) for key in keys
     )
@@ -46,7 +47,8 @@ def pwset_total_variation(left: PWSet, right: PWSet) -> float:
     """Total-variation distance between two (complete) possible-world sets."""
     left_classes = _class_probabilities(left)
     right_classes = _class_probabilities(right)
-    keys = set(left_classes) | set(right_classes)
+    # Sorted: float summation order must not depend on the hash salt.
+    keys = sorted(set(left_classes) | set(right_classes))
     return 0.5 * sum(
         abs(left_classes.get(key, 0.0) - right_classes.get(key, 0.0)) for key in keys
     )

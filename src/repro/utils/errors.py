@@ -98,3 +98,42 @@ class InjectedFault(ProbXMLError):
 
 class DTDError(ProbXMLError):
     """A DTD definition is malformed."""
+
+
+class ServiceError(ProbXMLError):
+    """Base class for errors raised by the process-sharded corpus service."""
+
+
+class WorkerCrashedError(ServiceError):
+    """A shard worker process died (or its pipe broke) mid-request.
+
+    The router catches this, respawns the worker from the stored document
+    sources and retries the in-flight request once; it only propagates when
+    the replacement worker fails too.
+
+    Attributes:
+        shard: index of the crashed shard (``None`` when unknown).
+    """
+
+    def __init__(self, message: str, shard=None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class RemoteError(ServiceError):
+    """A shard worker raised an exception that has no typed wire encoding.
+
+    Library errors (every :class:`ProbXMLError` subclass) are reconstructed
+    as their original type on the router side; anything else — a genuine bug
+    in the worker — comes back as this wrapper carrying the remote type name
+    and traceback text.
+
+    Attributes:
+        remote_type: the exception class name raised in the worker.
+        remote_traceback: the worker-side formatted traceback (may be ``""``).
+    """
+
+    def __init__(self, message: str, remote_type: str = "", remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback

@@ -46,6 +46,10 @@ FAULT_SITES = frozenset(
         "index.patch",
         "context.migrate_answers",
         "context.migrate_formulas",
+        # Crossed by a shard worker once per served request; arming it makes
+        # the worker process hard-exit (os._exit) instead of raising, which
+        # is how the router's crash-recovery path is fault-injected.
+        "service.worker",
     }
 )
 

@@ -3,7 +3,8 @@
 ``benchmarks/run_all.py --check-gates`` runs the gate-bearing standalone
 benchmarks (≥5× incremental index, ≥3× formula IR, budgeted-pricing /
 sampling latency, snapshot-isolation overhead ≤1.3× and threaded read
-throughput ≥2×) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
+throughput ≥2×, sharded-service scatter ≥2× with restart-free worker-pool
+GC) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
 logic without running anything; the smoke-run test actually executes the
 gates (seconds in smoke mode, still marked ``slow`` so the fast tier stays
 deterministic on loaded machines — run it with ``--runslow``).
@@ -65,6 +66,7 @@ def test_check_gates_passes(tmp_path):
         "bench_formula_ir",
         "bench_sampling",
         "bench_snapshot",
+        "bench_service",
     }
     for result in summary["benchmarks"].values():
         assert result["status"] == "ok"

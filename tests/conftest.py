@@ -43,16 +43,20 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(skip_slow)
 
 
-#: Watchdog for @pytest.mark.concurrency tests: a deadlocked interleaving must
-#: fail loudly, not wedge the whole suite.  pytest-timeout is not available in
-#: the environment, so this uses SIGALRM directly (main-thread only — which is
-#: where pytest runs tests; worker threads are daemons and die with the test).
+#: Watchdog for @pytest.mark.concurrency and @pytest.mark.service tests: a
+#: deadlocked interleaving (or a shard-worker pipe read that never returns)
+#: must fail loudly, not wedge the whole suite.  pytest-timeout is not
+#: available in the environment, so this uses SIGALRM directly (main-thread
+#: only — which is where pytest runs tests; worker threads are daemons and
+#: worker subprocesses are reaped by the router's close()).
 CONCURRENCY_TIMEOUT = 120
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    marker = item.get_closest_marker("concurrency")
+    marker = item.get_closest_marker("concurrency") or item.get_closest_marker(
+        "service"
+    )
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
@@ -60,7 +64,7 @@ def pytest_runtest_call(item):
 
     def _alarm(signum, frame):
         raise TimeoutError(
-            f"concurrency test exceeded {timeout}s — probable hung lock"
+            f"{marker.name} test exceeded {timeout}s — probable hung lock or pipe"
         )
 
     previous = signal.signal(signal.SIGALRM, _alarm)

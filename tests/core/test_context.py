@@ -544,7 +544,9 @@ class TestFormulaMigration:
 
 
 class TestFormulaPoolRestart:
-    def test_oversized_pool_restarts_the_formula_layer(self):
+    def test_oversized_pool_is_garbage_collected_in_place(self):
+        # Dead nodes past the bound are swept — warm caches survive and the
+        # pool object (and every engine's reference to it) stays the same.
         from repro.core.context import FORMULA_POOL_NODE_LIMIT
 
         context = ExecutionContext()
@@ -555,12 +557,47 @@ class TestFormulaPoolRestart:
         baseline = boolean_probability(query, probtree, context=context)
         old_pool = context.formula_pool
         assert not context._state.restart_formula_layer_if_oversized()
-        # Inflate past the bound, then any engine_for restarts atomically.
+        # Inflate past the bound with unreachable vars; the next engine_for
+        # sweeps them without touching the live formula layer.
         for i in range(FORMULA_POOL_NODE_LIMIT + 1):
             old_pool.var(f"pad{i}")
         engine = context.engine_for(probtree)
+        assert context.formula_pool is old_pool
+        assert engine.pool is old_pool
+        assert old_pool.node_count() <= FORMULA_POOL_NODE_LIMIT
+        assert context.stats.pool_gc_runs == 1
+        assert context.stats.pool_nodes_swept > FORMULA_POOL_NODE_LIMIT
+        assert context.stats.pool_restarts == 0
+        # Pricing stays correct after the compaction remapped the memos.
+        assert boolean_probability(query, probtree, context=context) == (
+            pytest.approx(baseline)
+        )
+
+    def test_fully_live_pool_still_restarts_wholesale(self):
+        # When GC cannot reclaim enough (every node reachable from a Shannon
+        # memo), the atomic restart remains the backstop.
+        context = ExecutionContext(formula_pool_node_limit=64)
+        warehouse = ProbXMLWarehouse("catalog", context=context)
+        for _ in range(16):
+            warehouse.insert("/catalog", tree("movie", "title"), confidence=0.8)
+        probtree = warehouse.probtree
+        query = parse_path("/catalog/movie")
+        baseline = boolean_probability(query, probtree, context=context)
+        old_pool = context.formula_pool
+        engine = context.engine_for(probtree)
+        # Every priced conjunction lands in the engine's Shannon memo: the
+        # whole pool becomes live roots no sweep can reclaim.
+        events = sorted(probtree.distribution.events())
+        for i, first in enumerate(events):
+            for second in events[i + 1 :]:
+                engine.probability(
+                    old_pool.conj([old_pool.var(first), old_pool.var(second)])
+                )
+        assert old_pool.node_count() > 64
+        assert context.engine_for(probtree).pool is not old_pool
         assert context.formula_pool is not old_pool
-        assert engine.pool is context.formula_pool
+        assert context.stats.pool_restarts >= 1
+        assert context.stats.pool_gc_runs >= 1
         # Pricing stays correct after the cold restart.
         assert boolean_probability(query, probtree, context=context) == (
             pytest.approx(baseline)
@@ -583,11 +620,31 @@ class TestFormulaPoolRestart:
         for i in range(FORMULA_POOL_NODE_LIMIT + 1):
             old_pool.var(f"pad{i}")
         assert dtd_satisfiable(probtree, dtd, context=context)
-        assert context.formula_pool is not old_pool
-        # Decisions after the restart agree with the enumerate oracle.
+        # The pads were unreachable: swept in place, compiled formula kept.
+        assert context.formula_pool is old_pool
+        assert old_pool.node_count() <= FORMULA_POOL_NODE_LIMIT
+        assert context.stats.pool_gc_runs == 1
+        assert context.stats.pool_restarts == 0
+        # Decisions after the sweep agree with the enumerate oracle.
         assert dtd_valid(probtree, dtd, context=context) == dtd_valid(
             probtree, dtd, engine="enumerate"
         )
+
+    def test_explicit_gc_reclaims_dropped_documents(self):
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse(context=context)
+        warehouse.add_document("a", tree("catalog", "movie"))
+        warehouse.insert("/catalog", tree("movie", "title"), confidence=0.5, name="a")
+        warehouse.probability("/catalog/movie", name="a")
+        grown = context.formula_pool.node_count()
+        warehouse.drop("a")
+        import gc
+
+        gc.collect()  # release the weak engine registry entry
+        swept = context.gc_formula_pool()
+        assert swept > 0
+        assert context.formula_pool.node_count() < grown
+        assert context.stats.pool_nodes_swept == swept
 
 
 class TestContextStatsType:

@@ -1,0 +1,81 @@
+"""ContextStats aggregation: merge() and from_dict().
+
+These are the primitives the sharded router uses to fold per-shard counter
+snapshots (shipped over the wire as plain dicts) into the one report the CLI
+``--stats`` flag and the service ``/stats`` endpoint render.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ContextStats
+
+
+def _stats(**counters) -> ContextStats:
+    stats = ContextStats()
+    for name, value in counters.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestMerge:
+    def test_merges_another_stats_object_field_by_field(self):
+        left = _stats(intern_hits=3, samples_drawn=100)
+        right = _stats(intern_hits=4, pool_gc_runs=2)
+        result = left.merge(right)
+        assert result is left  # in place, chainable
+        assert left.intern_hits == 7
+        assert left.samples_drawn == 100
+        assert left.pool_gc_runs == 2
+
+    def test_merges_a_plain_counter_dict(self):
+        left = _stats(rollbacks=1)
+        left.merge({"rollbacks": 2, "evictions": 5})
+        assert left.rollbacks == 3
+        assert left.evictions == 5
+
+    def test_unknown_keys_are_ignored(self):
+        # A worker running a slightly newer build may ship counters this
+        # build does not know; aggregation must not blow up on them.
+        left = ContextStats()
+        left.merge({"counter_from_the_future": 9, "intern_misses": 1})
+        assert left.intern_misses == 1
+        assert not hasattr(left, "counter_from_the_future")
+
+    def test_missing_keys_contribute_nothing(self):
+        left = _stats(plans_compiled=2)
+        left.merge({})
+        assert left.plans_compiled == 2
+
+    def test_merge_of_full_snapshots_equals_elementwise_sum(self):
+        left, right = ContextStats(), ContextStats()
+        for index, name in enumerate(ContextStats.__slots__):
+            setattr(left, name, index)
+            setattr(right, name, 2 * index)
+        merged = ContextStats().merge(left).merge(right.as_dict())
+        assert merged.as_dict() == {
+            name: 3 * index for index, name in enumerate(ContextStats.__slots__)
+        }
+
+    def test_values_are_coerced_to_int(self):
+        left = ContextStats()
+        left.merge({"samples_drawn": 7.0})  # JSON round-trips may float-ify
+        assert left.samples_drawn == 7
+        assert isinstance(left.samples_drawn, int)
+
+
+class TestFromDict:
+    def test_rebuilds_an_as_dict_snapshot(self):
+        original = _stats(answer_cache_hits=11, pool_nodes_swept=42)
+        rebuilt = ContextStats.from_dict(original.as_dict())
+        assert rebuilt.as_dict() == original.as_dict()
+
+    def test_partial_dict_leaves_other_counters_at_zero(self):
+        rebuilt = ContextStats.from_dict({"faults_injected": 1})
+        assert rebuilt.faults_injected == 1
+        assert rebuilt.intern_hits == 0
+
+    def test_round_trip_is_stable_under_repr(self):
+        stats = _stats(engines_created=2)
+        assert "engines_created=2" in repr(stats)

@@ -39,6 +39,27 @@ class TestCorpusManagement:
         with pytest.raises(ProbXMLError, match="already exists"):
             warehouse.add_document(DEFAULT_DOCUMENT, "other")
 
+    def test_duplicate_error_names_both_remedies(self):
+        warehouse = ProbXMLWarehouse()
+        warehouse.add_document("a", "alpha")
+        with pytest.raises(ProbXMLError, match="replace=True"):
+            warehouse.add_document("a", "other")
+        # The failed add must not have clobbered the original.
+        assert warehouse.get("a").tree.root_label == "alpha"
+
+    def test_replace_overwrites_deliberately(self):
+        warehouse = ProbXMLWarehouse()
+        warehouse.add_document("a", "alpha")
+        stored = warehouse.add_document("a", "omega", replace=True)
+        assert stored.tree.root_label == "omega"
+        assert warehouse.get("a").tree.root_label == "omega"
+        assert warehouse.names() == ("a",)
+
+    def test_replace_on_a_fresh_name_is_a_plain_add(self):
+        warehouse = ProbXMLWarehouse()
+        warehouse.add_document("a", "alpha", replace=True)
+        assert warehouse.names() == ("a",)
+
     def test_drop(self):
         warehouse = ProbXMLWarehouse()
         warehouse.add_document("a", "alpha")

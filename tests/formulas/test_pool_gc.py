@@ -1,0 +1,167 @@
+"""Mark-and-sweep GC of the hash-consed formula pool.
+
+``FormulaPool.collect`` is the primitive (compact in place, remap returned);
+``ExecutionContext.gc_formula_pool`` / ``collect_formula_garbage`` wire it to
+the session's live roots (engine Shannon memos, compiled DTD formulas) and
+``restart_formula_layer_if_oversized`` makes it the first line of defence
+before the wholesale formula-layer restart.  Long-lived shard workers lean on
+exactly this path to stay under ``formula_pool_node_limit`` without shedding
+their warm caches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.context import ExecutionContext
+from repro.core.engine import ProbXMLWarehouse
+from repro.formulas.ir import FALSE_ID, TRUE_ID, FormulaPool
+from repro.formulas.literals import Condition, Literal
+
+from tests.conftest import draw_probtree, draw_query
+
+
+class TestCollect:
+    def test_nothing_unreachable_means_no_remap(self):
+        pool = FormulaPool()
+        a, b = pool.var("a"), pool.var("b")
+        keep = pool.conj([a, b])
+        remap, swept = pool.collect([keep])
+        assert remap is None
+        assert swept == 0
+        # Ids unchanged: re-interning finds the same nodes.
+        assert pool.var("a") == a
+        assert pool.conj([a, b]) == keep
+
+    def test_unreachable_nodes_are_swept_and_survivors_remapped(self):
+        pool = FormulaPool()
+        a, b = pool.var("a"), pool.var("b")
+        keep = pool.conj([a, b])
+        pool.disj([pool.var("x"), pool.var("y")])  # garbage: 3 nodes
+        before = pool.node_count()
+        remap, swept = pool.collect([keep])
+        assert swept == 3
+        assert pool.node_count() == before - 3
+        # The remap covers every survivor, constants included and stable.
+        assert remap[FALSE_ID] == FALSE_ID and remap[TRUE_ID] == TRUE_ID
+        assert pool.var("a") == remap[a]
+        assert pool.conj([pool.var("a"), pool.var("b")]) == remap[keep]
+        # The swept events are genuinely gone: re-interning allocates anew.
+        misses_before = pool.stats.intern_misses
+        pool.var("x")
+        assert pool.stats.intern_misses == misses_before + 1
+
+    def test_operands_of_live_roots_survive_transitively(self):
+        pool = FormulaPool()
+        a, b, c = pool.var("a"), pool.var("b"), pool.var("c")
+        inner = pool.conj([a, b])
+        root = pool.disj([pool.neg(inner), c])
+        remap, swept = pool.collect([root])
+        assert swept == 0 if remap is None else all(
+            old in remap for old in (a, b, c, inner, root)
+        )
+
+    def test_pricing_agrees_across_a_collect(self):
+        pool = FormulaPool()
+        condition = Condition(
+            [Literal("a"), Literal("b", negated=True), Literal("c")]
+        )
+        node = pool.condition(condition)
+        pool.disj([pool.var("junk0"), pool.var("junk1")])
+        distribution = {"a": 0.3, "b": 0.5, "c": 0.8}
+        before = pool.probability(node, distribution)
+        remap, swept = pool.collect([node])
+        assert swept > 0
+        after = pool.probability(remap[node], distribution)
+        assert after == before
+        # Condition memo was rekeyed, not dropped: warm probe, same node.
+        assert pool.condition(condition) == remap[node]
+
+    def test_sat_cache_is_pruned_not_rooted(self):
+        pool = FormulaPool()
+        live = pool.conj([pool.var("a"), pool.neg(pool.var("a"))])
+        dead = pool.conj([pool.var("p"), pool.var("q")])
+        assert pool.satisfiable(dead)  # populates the SAT cache
+        remap, swept = pool.collect([live])
+        # The cached-SAT entry alone must not keep `dead` alive.
+        assert swept > 0
+        assert dead not in remap
+
+
+class TestContextGC:
+    def _work(self, warehouse, seed):
+        # A drawn case can happen to match only condition-free nodes and
+        # intern nothing; walk seeds until the pool genuinely grew.
+        pool = warehouse.context.formula_pool
+        for attempt in range(seed, seed + 20):
+            before = pool.node_count()
+            rng = random.Random(attempt)
+            probtree = draw_probtree(rng, max_nodes=8, event_count=4)
+            warehouse.add_document("doc", probtree, replace=True)
+            query = draw_query(rng, warehouse.get("doc").tree)
+            warehouse.query(query, name="doc")
+            warehouse.probability(query, name="doc")
+            if pool.node_count() > before:
+                return
+        raise AssertionError("no drawn case interned any formula")
+
+    def test_gc_reclaims_dropped_documents_formulas(self):
+        context = ExecutionContext()
+        warehouse = ProbXMLWarehouse(context=context, isolation="lock")
+        self._work(warehouse, seed=1)
+        grown = context.formula_pool.node_count()
+        assert grown > 2
+        warehouse.drop("doc")
+        swept = context.gc_formula_pool()
+        assert swept > 0
+        assert context.formula_pool.node_count() < grown
+        assert warehouse.stats.pool_gc_runs >= 1
+        assert warehouse.stats.pool_nodes_swept >= swept
+
+    def test_gc_on_an_idle_session_is_a_no_op(self):
+        context = ExecutionContext()
+        assert context.gc_formula_pool() == 0
+        assert context.formula_pool.node_count() == 2
+
+    def test_oversized_pool_is_swept_before_any_restart(self):
+        # Garbage alone pushes the pool over the bound: the GC-first path
+        # must reclaim it and never reach the wholesale restart.
+        context = ExecutionContext(formula_pool_node_limit=64)
+        warehouse = ProbXMLWarehouse(context=context, isolation="lock")
+        self._work(warehouse, seed=2)
+        warehouse.drop("doc")
+        import gc as _gc
+
+        _gc.collect()  # drop the weak-keyed engine of the dropped document
+        pool = context.formula_pool
+        while pool.node_count() <= context.formula_pool_node_limit:
+            pool.disj(
+                [pool.var(f"junk{pool.node_count()}"), pool.var("shared")]
+            )
+        self._work(warehouse, seed=3)  # engine_for triggers the bound check
+        assert context.formula_pool is pool  # same pool: swept, not replaced
+        assert warehouse.stats.pool_restarts == 0
+        assert warehouse.stats.pool_gc_runs >= 1
+        assert pool.node_count() <= context.formula_pool_node_limit
+
+    def test_wholesale_restart_remains_the_fallback(self):
+        # With every node genuinely live and the bound tiny, GC cannot help:
+        # the layer restarts (fresh pool, caches cleared) exactly as before.
+        context = ExecutionContext(formula_pool_node_limit=2)
+        warehouse = ProbXMLWarehouse(context=context, isolation="lock")
+        pool = context.formula_pool
+        self._work(warehouse, seed=4)
+        self._work_again(warehouse, seed=5)
+        assert warehouse.stats.pool_restarts >= 1
+        assert context.formula_pool is not pool
+
+    def _work_again(self, warehouse, seed):
+        rng = random.Random(seed)
+        query = draw_query(rng, warehouse.get("doc").tree)
+        warehouse.probability(query, name="doc")
+
+    def test_node_limit_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ExecutionContext(formula_pool_node_limit=1)

@@ -1,0 +1,115 @@
+"""Unit tests of the router↔worker wire protocol (no subprocesses)."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.service.protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    decode_error,
+    encode_error,
+    read_frame,
+    write_frame,
+)
+from repro.utils.errors import (
+    BudgetExceededError,
+    InjectedFault,
+    ProbXMLError,
+    QueryError,
+    RemoteError,
+)
+
+
+class TestFrames:
+    def test_round_trip_preserves_the_message(self):
+        buffer = io.BytesIO()
+        message = (7, "query", {"query": "/A/B", "name": "doc0"})
+        write_frame(buffer, message)
+        buffer.seek(0)
+        assert read_frame(buffer) == message
+
+    def test_several_frames_read_back_in_order(self):
+        buffer = io.BytesIO()
+        for rid in range(5):
+            write_frame(buffer, (rid, "ping", {}))
+        buffer.seek(0)
+        assert [read_frame(buffer)[0] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_stream_raises_eoferror(self):
+        with pytest.raises(EOFError, match="no frame pending"):
+            read_frame(io.BytesIO())
+
+    def test_truncated_frame_raises_eoferror(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, (1, "ping", {}))
+        truncated = io.BytesIO(buffer.getvalue()[:-3])
+        with pytest.raises(EOFError, match="mid-frame"):
+            read_frame(truncated)
+
+    def test_corrupt_oversized_header_is_rejected_before_allocating(self):
+        buffer = io.BytesIO(HEADER.pack(MAX_FRAME_BYTES + 1) + b"junk")
+        with pytest.raises(EOFError, match="corrupt"):
+            read_frame(buffer)
+
+    def test_header_is_four_byte_big_endian(self):
+        # A frame written by any build must be readable by any other: the
+        # header layout is part of the protocol, not an implementation detail.
+        assert HEADER.size == 4
+        assert HEADER.pack(1) == struct.pack(">I", 1)
+
+
+class TestErrorCodec:
+    def test_typed_error_survives_with_attributes(self):
+        original = BudgetExceededError("budget blown", spent=123, budget=100)
+        decoded = decode_error(encode_error(original))
+        assert type(decoded) is BudgetExceededError
+        assert decoded.spent == 123
+        assert decoded.budget == 100
+        assert "budget blown" in str(decoded)
+
+    def test_decoded_error_is_raisable_and_catchable_as_its_type(self):
+        payload = encode_error(QueryError("bad path"))
+        with pytest.raises(QueryError, match="bad path"):
+            raise decode_error(payload)
+
+    def test_injected_fault_round_trips_despite_custom_init(self):
+        # InjectedFault.__init__ takes (site, occurrence), not (message,):
+        # the codec must not re-invoke it.
+        original = InjectedFault("index.patch", 3)
+        decoded = decode_error(encode_error(original))
+        assert type(decoded) is InjectedFault
+        assert decoded.site == "index.patch"
+        assert decoded.occurrence == 3
+
+    def test_unknown_type_degrades_to_remote_error_with_traceback(self):
+        try:
+            raise ZeroDivisionError("boom")
+        except ZeroDivisionError as exc:
+            payload = encode_error(exc)
+        decoded = decode_error(payload)
+        assert isinstance(decoded, RemoteError)
+        assert decoded.remote_type == "ZeroDivisionError"
+        assert "boom" in str(decoded)
+        assert "ZeroDivisionError" in decoded.remote_traceback
+
+    def test_unpicklable_attributes_are_dropped_not_fatal(self):
+        error = ProbXMLError("has baggage")
+        error.fine = {"k": 1}
+        error.baggage = lambda: None  # unpicklable
+        payload = encode_error(error)
+        assert payload["attrs"] == {"fine": {"k": 1}}
+        decoded = decode_error(payload)
+        assert decoded.fine == {"k": 1}
+        assert not hasattr(decoded, "baggage")
+
+    def test_traceback_text_is_carried_for_debugging(self):
+        try:
+            raise ProbXMLError("traced")
+        except ProbXMLError as exc:
+            payload = encode_error(exc)
+        assert "traced" in payload["traceback"]
+        assert "test_protocol" in payload["traceback"]

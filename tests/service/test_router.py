@@ -1,0 +1,331 @@
+"""Behavioral tests of the scatter/gather router and its crash recovery.
+
+One 2-shard router is spawned per module (worker processes are the
+expensive part); each test registers its own documents and drops them on
+the way out, so tests stay independent while sharing the processes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core.engine import ProbXMLWarehouse
+from repro.formulas.sampling import PricingPolicy
+from repro.service.router import ShardedWarehouse
+from repro.utils.errors import (
+    BudgetExceededError,
+    ProbXMLError,
+    RemoteError,
+    ServiceError,
+)
+from repro.xmlio import datatree_from_xml, datatree_to_xml
+
+pytestmark = pytest.mark.service
+
+DOC = '<node label="A"><node label="B"/><node label="C"><node label="B"/></node></node>'
+
+
+@pytest.fixture(scope="module")
+def router():
+    with ShardedWarehouse(shards=2) as warehouse:
+        yield warehouse
+
+
+@pytest.fixture
+def corpus(router):
+    added = []
+
+    def add(name, document=DOC):
+        router.add_document(name, document)
+        added.append(name)
+        return name
+
+    yield add
+    for name in added:
+        if name in router:
+            router.drop(name)
+
+
+def subtree(label="D"):
+    return datatree_from_xml(f'<node label="{label}"/>')
+
+
+class TestPlacementAndRegistry:
+    def test_placement_is_deterministic_across_instances(self, router):
+        with ShardedWarehouse(shards=2) as other:
+            names = [f"place{index}" for index in range(20)]
+            assert [router.shard_of(name) for name in names] == [
+                other.shard_of(name) for name in names
+            ]
+
+    def test_placement_spreads_documents_over_shards(self, router):
+        owners = {router.shard_of(f"spread{index}") for index in range(50)}
+        assert owners == {0, 1}
+
+    def test_registry_mirrors_the_warehouse(self, router, corpus):
+        corpus("reg-a")
+        corpus("reg-b")
+        assert router.names() == ("reg-a", "reg-b")
+        assert len(router) == 2
+        assert "reg-a" in router and "missing" not in router
+        assert router.size("reg-a") == 4
+        assert router.event_count("reg-a") == 0
+
+    def test_duplicate_add_raises_and_replace_opts_in(self, router, corpus):
+        corpus("dup")
+        with pytest.raises(ProbXMLError, match="already exists"):
+            router.add_document("dup", DOC)
+        router.add_document("dup", '<node label="A"/>', replace=True)
+        assert router.size("dup") == 1
+
+    def test_name_resolution_errors_match_the_single_process_warehouse(
+        self, router, corpus
+    ):
+        oracle = ProbXMLWarehouse()
+        for warehouse in (router, oracle):
+            with pytest.raises(ProbXMLError) as caught:
+                warehouse.query("/A", name="ghost")
+            assert str(caught.value) == "no document named 'ghost' in the warehouse"
+        with pytest.raises(ProbXMLError, match="holds no documents"):
+            router.probability("/A")
+        corpus("amb-one")
+        corpus("amb-two")
+        with pytest.raises(ProbXMLError, match="pass name="):
+            router.query("/A")
+
+    def test_dropped_tree_is_returned(self, router, corpus):
+        name = corpus("dropped")
+        tree = router.drop(name)
+        assert datatree_to_xml(tree.tree, pretty=False) == datatree_to_xml(
+            datatree_from_xml(DOC), pretty=False
+        )
+        assert name not in router
+
+
+class TestRoutingMirrorsTheOracle:
+    def test_reads_match_the_single_process_warehouse(self, router, corpus, rng):
+        oracle = ProbXMLWarehouse()
+        from tests.conftest import draw_probtree, draw_query
+
+        for index in range(6):
+            probtree = draw_probtree(rng)
+            name = f"mirror{index}"
+            corpus(name, probtree)
+            oracle.add_document(name, probtree)
+            query = draw_query(rng, probtree.tree)
+            left, right = router.query(query, name=name), oracle.query(query, name=name)
+            assert [datatree_to_xml(a.tree, pretty=False) for a in left] == [
+                datatree_to_xml(a.tree, pretty=False) for a in right
+            ]
+            assert [a.probability for a in left] == [a.probability for a in right]
+            assert router.probability(query, name=name) == oracle.probability(
+                query, name=name
+            )
+
+    def test_scatter_gather_matches_and_preserves_name_order(self, router, corpus):
+        oracle = ProbXMLWarehouse()
+        for index in range(8):
+            name = f"sweep{index}"
+            corpus(name)
+            oracle.add_document(name, DOC)
+        assert router.probability_all("/A/C/B") == oracle.probability_all("/A/C/B")
+        left = router.query_all("//B")
+        right = oracle.query_all("//B")
+        assert list(left) == list(right)  # insertion order, not shard order
+        for name in right:
+            assert [datatree_to_xml(a.tree, pretty=False) for a in left[name]] == [
+                datatree_to_xml(a.tree, pretty=False) for a in right[name]
+            ]
+
+    def test_updates_route_and_match(self, router, corpus):
+        oracle = ProbXMLWarehouse()
+        for index in range(3):
+            name = f"upd{index}"
+            corpus(name)
+            oracle.add_document(name, DOC)
+            router.insert("/A", subtree(), confidence=0.25, event="e0", name=name)
+            oracle.insert("/A", subtree(), confidence=0.25, event="e0", name=name)
+            router.delete("/A/C/B", confidence=0.5, event="e1", name=name)
+            oracle.delete("/A/C/B", confidence=0.5, event="e1", name=name)
+            router.clean(name=name)
+            oracle.clean(name=name)
+            assert router.probability("/A/D", name=name) == oracle.probability(
+                "/A/D", name=name
+            )
+            assert datatree_to_xml(
+                router.get(name).tree, pretty=False
+            ) == datatree_to_xml(oracle.get(name).tree, pretty=False)
+
+    def test_dtd_and_worlds_round_trip(self, router, corpus):
+        from repro.cli import parse_dtd_spec
+
+        oracle = ProbXMLWarehouse()
+        name = corpus("dtd-doc")
+        oracle.add_document(name, DOC)
+        dtd = parse_dtd_spec("A: B?, C?; C: B?")
+        assert router.dtd_satisfiable(dtd, name=name) == oracle.dtd_satisfiable(
+            dtd, name=name
+        )
+        assert router.dtd_valid(dtd, name=name) == oracle.dtd_valid(dtd, name=name)
+        assert router.dtd_probability(dtd, name=name) == oracle.dtd_probability(
+            dtd, name=name
+        )
+        left = router.most_probable_worlds(count=2, name=name)
+        right = oracle.most_probable_worlds(count=2, name=name)
+        assert [(datatree_to_xml(w, pretty=False), p) for w, p in left] == [
+            (datatree_to_xml(w, pretty=False), p) for w, p in right
+        ]
+
+
+class TestTypedErrorsAcrossTheWire:
+    def test_budget_exceeded_survives_with_attributes(self):
+        # One entangled component of 14 events (each condition chains two
+        # adjacent events), past the enumeration cutoff, so exact pricing
+        # must Shannon-expand — and trip the 1-expansion budget worker-side.
+        from repro.core.events import ProbabilityDistribution
+        from repro.core.probtree import ProbTree
+        from repro.formulas.literals import Condition, Literal
+        from repro.trees.datatree import DataTree
+
+        count = 14
+        tree = DataTree("A")
+        children = [tree.add_child(tree.root, "B") for _ in range(count)]
+        probtree = ProbTree(
+            tree,
+            ProbabilityDistribution({f"w{i}": 0.5 for i in range(count)}),
+            {},
+        )
+        for position, child in enumerate(children):
+            probtree.set_condition(
+                child,
+                Condition(
+                    [
+                        Literal(f"w{position}", True),
+                        Literal(f"w{(position + 1) % count}", False),
+                    ]
+                ),
+            )
+        with ShardedWarehouse(
+            shards=1, pricing=PricingPolicy().merged(max_expansions=1)
+        ) as tight:
+            tight.add_document("budget", probtree)
+            with pytest.raises(BudgetExceededError) as caught:
+                tight.probability("//B", name="budget")
+            assert caught.value.budget == 1
+            assert caught.value.spent == 2
+
+    def test_worker_bugs_degrade_to_remote_error(self, router):
+        # An op the worker's warehouse cannot satisfy structurally: a batch
+        # item carrying a broken payload raises TypeError worker-side.
+        results = router.batch_on_shard(0, [("query", {"wrong_key": True})])
+        assert results[0][0] is False
+        error = results[0][1]
+        assert isinstance(error, RemoteError)
+        assert error.remote_type == "KeyError"
+        assert isinstance(error, ServiceError)
+
+    def test_batch_mixes_successes_and_typed_failures(self, router, corpus):
+        name = corpus("batch-doc")
+        index = router.shard_of(name)
+        results = router.batch_on_shard(
+            index,
+            [
+                ("probability", {"query": "/A/B", "name": name}),
+                ("probability", {"query": "/A/B", "name": "nope"}),
+                ("size", {"name": name}),
+            ],
+        )
+        assert results[0] == (True, 1.0)
+        assert results[1][0] is False
+        assert isinstance(results[1][1], ProbXMLError)
+        assert results[2] == (True, 4)
+
+
+class TestCrashRecovery:
+    def test_crash_before_dispatch_restarts_and_retries(self, router, corpus):
+        name = corpus("crash-basic")
+        router.insert("/A", subtree(), confidence=0.5, event="e9", name=name)
+        expected = router.probability("/A/D", name=name)
+        before = router.restarts
+        router.inject_crash(name=name)
+        assert router.probability("/A/D", name=name) == expected
+        assert router.restarts == before + 1
+        assert router.healthy()
+
+    def test_crash_mid_mutation_replays_committed_state_only(self, router, corpus):
+        name = corpus("crash-deep")
+        oracle = ProbXMLWarehouse()
+        oracle.add_document(name, DOC)
+        router.insert("/A", subtree("X"), confidence=0.5, event="e1", name=name)
+        oracle.insert("/A", subtree("X"), confidence=0.5, event="e1", name=name)
+        before = router.restarts
+        # The worker dies inside the *next* mutation touching the tree, after
+        # its transactional rollback ran; the router replays source + oplog
+        # (which excludes the unacked op) and retries, so the op lands once.
+        router.inject_crash(site="datatree.add_child", name=name)
+        router.insert("/A", subtree("Y"), confidence=0.5, event="e2", name=name)
+        oracle.insert("/A", subtree("Y"), confidence=0.5, event="e2", name=name)
+        assert router.restarts == before + 1
+        assert datatree_to_xml(router.get(name).tree, pretty=False) == datatree_to_xml(
+            oracle.get(name).tree, pretty=False
+        )
+        assert router.probability("/A/Y", name=name) == oracle.probability(
+            "/A/Y", name=name
+        )
+
+    def test_scatter_survives_a_crashed_shard(self, router, corpus):
+        oracle = ProbXMLWarehouse()
+        for index in range(6):
+            name = f"scatter-crash{index}"
+            corpus(name)
+            oracle.add_document(name, DOC)
+        before = router.restarts
+        router.inject_crash(shard=1)
+        assert router.probability_all("/A/B") == oracle.probability_all("/A/B")
+        assert router.restarts == before + 1
+
+    def test_every_document_of_the_crashed_shard_is_restored(self, router, corpus):
+        names = [corpus(f"multi{index}") for index in range(8)]
+        target = router.shard_of(names[0])
+        on_shard = [name for name in names if router.shard_of(name) == target]
+        assert len(on_shard) >= 2  # the point: several docs on one worker
+        router.inject_crash(shard=target)
+        for name in on_shard:
+            assert router.probability("/A/B", name=name) == 1.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_calls_fail_typed(self):
+        warehouse = ShardedWarehouse(shards=1)
+        warehouse.add_document("doomed", DOC)
+        warehouse.close()
+        warehouse.close()
+        with pytest.raises(ProbXMLError, match="has been closed"):
+            warehouse.probability("/A", name="doomed")
+
+    def test_workers_can_be_spawned_through_the_cli(self):
+        command = [sys.executable, "-m", "repro.cli", "shard"]
+        with ShardedWarehouse(shards=1, worker_command=command) as warehouse:
+            warehouse.add_document("via-cli", DOC)
+            assert warehouse.probability("/A/B") == 1.0
+
+
+class TestStatsAggregation:
+    def test_merged_stats_sum_over_shards(self, router, corpus):
+        for index in range(4):
+            corpus(f"stats{index}")
+        baseline = router.stats.answer_cache_misses
+        for index in range(4):
+            router.query("/A/B", name=f"stats{index}")
+        merged = router.stats
+        assert merged.answer_cache_misses >= baseline + 4
+        per_shard = router.shard_stats()
+        assert len(per_shard) == 2
+        assert sum(entry["stats"]["answer_cache_misses"] for entry in per_shard) == (
+            merged.answer_cache_misses
+        )
+        assert all(entry["pool_nodes"] >= 2 for entry in per_shard)
+        pids = {entry["pid"] for entry in per_shard}
+        assert len(pids) == 2  # genuinely separate processes

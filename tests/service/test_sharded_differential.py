@@ -1,0 +1,178 @@
+"""Randomized differential harness: sharded service vs the in-process oracle.
+
+The :class:`~repro.service.router.ShardedWarehouse` claims to be a drop-in
+twin of :class:`~repro.core.engine.ProbXMLWarehouse`.  This harness holds it
+to that byte-for-byte: 200+ seeded cases drive identical workloads — random
+prob-trees, matching tree-pattern queries, boolean probabilities, seeded
+anytime estimates, DTD checks, probabilistic updates, cleaning — through
+both, and every answer must serialize identically and every probability
+compare exactly (``==``, not approximately: both sides run the same
+deterministic engine code, so any drift is a routing/pickling bug).
+
+Crash recovery is part of the contract, so it is part of the harness: every
+``CRASH_EVERY``-th case arms the ``"service.worker"`` fault site (and, on
+alternating rounds, the deep ``"datatree.add_child"`` site, which kills the
+worker mid-mutation after its transactional rollback) via
+:mod:`repro.utils.faults`, letting the router's restart-and-replay path run
+dozens of times mid-harness — after which answers must *still* be identical.
+
+One router (3 shards) serves the whole harness; documents come and go per
+case, which doubles as soak-testing the registry/oplog bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import ProbXMLWarehouse
+from repro.service.router import ShardedWarehouse
+from repro.utils.errors import ProbXMLError
+from repro.xmlio import datatree_from_xml, datatree_to_xml
+
+from tests.conftest import draw_dtd, draw_probtree, draw_query
+
+pytestmark = [pytest.mark.service, pytest.mark.differential]
+
+CASES = 220
+CRASH_EVERY = 25
+BASE_SEED = 20070611
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    # Lock isolation on both sides: snapshot mode retains recent MVCC pins,
+    # which would keep dropped documents' engines alive across cases and
+    # defeat the per-case pool reset that makes exact floats comparable.
+    with ShardedWarehouse(shards=3, isolation="lock") as warehouse:
+        yield warehouse
+
+
+def _xml(answers):
+    return [
+        (datatree_to_xml(answer.tree, pretty=False), answer.probability)
+        for answer in answers
+    ]
+
+
+def _compare_case(case: int, sharded: ShardedWarehouse, oracle: ProbXMLWarehouse):
+    rng = random.Random(BASE_SEED + case)
+    name = f"case{case}"
+    probtree = draw_probtree(rng, max_nodes=8, event_count=4)
+    sharded.add_document(name, probtree)
+    oracle.add_document(name, probtree)
+    try:
+        for _round in range(2):
+            query = draw_query(rng, oracle.get(name).tree)
+            assert _xml(sharded.query(query, name=name)) == _xml(
+                oracle.query(query, name=name)
+            ), f"case {case}: answers diverged"
+            assert sharded.probability(query, name=name) == oracle.probability(
+                query, name=name
+            ), f"case {case}: probability diverged"
+            left = sharded.probability_anytime(
+                query,
+                name=name,
+                engine="sample",
+                epsilon=0.05,
+                max_samples=400,
+                seed=case,
+            )
+            right = oracle.probability_anytime(
+                query,
+                name=name,
+                engine="sample",
+                epsilon=0.05,
+                max_samples=400,
+                seed=case,
+            )
+            # Deterministic per seed with no deadline: exact equality of the
+            # whole estimate, interval and sample count included.
+            assert (left.estimate, left.low, left.high, left.samples) == (
+                right.estimate,
+                right.low,
+                right.high,
+                right.samples,
+            ), f"case {case}: anytime estimate diverged"
+            if _round == 0:
+                dtd = draw_dtd(rng)
+                assert sharded.dtd_satisfiable(dtd, name=name) == (
+                    oracle.dtd_satisfiable(dtd, name=name)
+                ), f"case {case}: dtd_satisfiable diverged"
+                assert sharded.dtd_probability(dtd, name=name) == (
+                    oracle.dtd_probability(dtd, name=name)
+                ), f"case {case}: dtd_probability diverged"
+                # Mutate through both and loop once more on the new state.
+                label = rng.choice("ABCD")
+                subtree = datatree_from_xml(f'<node label="{label}"/>')
+                confidence = round(rng.uniform(0.1, 1.0), 2)
+                update_query = draw_query(rng, oracle.get(name).tree)
+                event = f"u{case}"
+                sharded.insert(
+                    update_query, subtree, confidence=confidence,
+                    event=event, name=name,
+                )
+                oracle.insert(
+                    update_query, subtree, confidence=confidence,
+                    event=event, name=name,
+                )
+                if rng.random() < 0.3:
+                    sharded.clean(name=name)
+                    oracle.clean(name=name)
+        assert datatree_to_xml(
+            sharded.get(name).tree, pretty=False
+        ) == datatree_to_xml(oracle.get(name).tree, pretty=False)
+    finally:
+        sharded.drop(name)
+        oracle.drop(name)
+
+
+def test_sharded_warehouse_is_byte_identical_to_the_oracle(sharded):
+    oracle = ProbXMLWarehouse(isolation="lock")
+    crashes_armed = 0
+    for case in range(CASES):
+        if case and case % CRASH_EVERY == 0:
+            site = (
+                "service.worker"
+                if (case // CRASH_EVERY) % 2
+                else "datatree.add_child"
+            )
+            sharded.inject_crash(site=site, shard=case % 3)
+            crashes_armed += 1
+        _compare_case(case, sharded, oracle)
+        # Sweep both sides' formula pools back to their base state.  Exact
+        # probabilities are only bit-identical when both pools interned this
+        # case's formulas in the same order from the same starting point —
+        # and the harness doubles as a soak test of the mark-and-sweep GC.
+        sharded.gc_formula_pools()
+        oracle.context.gc_formula_pool()
+    # The point of injecting: the restart-and-replay path genuinely ran.
+    assert crashes_armed >= 8
+    assert sharded.restarts >= crashes_armed // 2
+    assert sharded.healthy()
+    assert len(sharded) == 0 and len(oracle) == 0
+
+
+def test_divergence_would_be_caught(sharded):
+    # Guard on the harness itself: a deliberate mismatch must not compare
+    # equal (protects against _xml() degenerating into a constant).
+    oracle = ProbXMLWarehouse()
+    sharded.add_document("guard", '<node label="A"><node label="B"/></node>')
+    oracle.add_document("guard", '<node label="A"><node label="C"/></node>')
+    try:
+        assert _xml(sharded.query("/A/B", name="guard")) != _xml(
+            oracle.query("/A/B", name="guard")
+        )
+    finally:
+        sharded.drop("guard")
+        oracle.drop("guard")
+
+
+def test_error_behaviour_matches_the_oracle(sharded):
+    oracle = ProbXMLWarehouse()
+    with pytest.raises(ProbXMLError) as left:
+        sharded.query("/A", name="never-added")
+    with pytest.raises(ProbXMLError) as right:
+        oracle.query("/A", name="never-added")
+    assert str(left.value) == str(right.value)
