@@ -1,0 +1,172 @@
+"""Columnar matching vs indexed plans, and mmap load vs XML re-parse.
+
+Two regimes over the same wildcard-heavy pattern on a 100k-node random
+document (the size where per-object Python loops dominate):
+
+* **indexed** — the shipping object path: :class:`PatternPlan` over the
+  cached :class:`TreeIndex` (index build excluded; both regimes run warm);
+* **columnar** — the same plan shape as vectorized interval merges over the
+  flat arrays of :class:`ColumnarTree` (column build likewise excluded).
+
+A second table times opening a persisted corpus: ``ColumnarTree.load``
+(mmap + JSON header, zero-copy views) against ``datatree_from_xml`` of the
+same document serialized to XML.
+
+Emits one JSON object to stdout::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py
+
+Exit-code gates (the ROADMAP targets): columnar matching ≥ 5× indexed at
+100k nodes, and mmap load ≥ 10× the XML re-parse.  Both gates require
+numpy (the pure-Python fallback backend is a portability path, not a fast
+path); without it the report says so and the gates pass vacuously.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and str(Path(__file__).resolve().parents[1] / "src") not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import os
+import random
+import tempfile
+
+from repro.queries.plan import ColumnarPlan, PatternPlan
+from repro.queries.treepattern import EDGE_DESCENDANT, TreePattern
+from repro.trees.columnar import ColumnarTree, have_numpy
+from repro.trees.index import tree_index
+from repro.workloads.random_trees import random_datatree
+from repro.xmlio import datatree_from_xml, datatree_to_xml
+
+#: ``run_all.py --check-gates`` sets this: same gate-bearing 100k-node
+#: document, fewer repetitions so tier-1 can afford the tripwire.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = [100_000] if SMOKE else [10_000, 100_000]
+LABELS = tuple("ABCDEFGH")
+RARE_LABEL = "Q"
+RARE_COUNT = 20
+MATCH_ROUNDS = 3 if SMOKE else 7
+LOAD_ROUNDS = 2 if SMOKE else 5
+
+
+def _pattern() -> TreePattern:
+    """``*`` → descendant ``*`` → descendant ``Q``: the middle wildcard seeds
+    the full document, so the object plan pays an O(n) Python semijoin that
+    the columnar plan answers with one vectorized searchsorted."""
+    pattern = TreePattern("*")
+    middle = pattern.add_child(pattern.root, "*", edge=EDGE_DESCENDANT)
+    pattern.add_child(middle, RARE_LABEL, edge=EDGE_DESCENDANT)
+    return pattern
+
+
+def _document(size: int):
+    tree = random_datatree(size, labels=LABELS, seed=size)
+    rng = random.Random(size)
+    nodes = [n for n in tree.nodes() if n != tree.root]
+    for node in rng.sample(nodes, RARE_COUNT):
+        tree.set_label(node, RARE_LABEL)
+    return tree
+
+
+def _best(callable_, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _match_rows() -> list:
+    rows = []
+    pattern = _pattern()
+    for size in SIZES:
+        tree = _document(size)
+        index = tree_index(tree)
+
+        build_start = time.perf_counter()
+        column = ColumnarTree.from_tree(tree)
+        column_build = time.perf_counter() - build_start
+
+        indexed_answers = PatternPlan(pattern, tree, index).matches()
+        columnar_answers = ColumnarPlan(pattern, column).matches()
+        if columnar_answers != indexed_answers:
+            raise AssertionError(f"matchers diverged at size={size}")
+
+        indexed = _best(
+            lambda: PatternPlan(pattern, tree, index).matches(), MATCH_ROUNDS
+        )
+        columnar = _best(
+            lambda: ColumnarPlan(pattern, column).matches(), MATCH_ROUNDS
+        )
+        rows.append(
+            {
+                "nodes": size,
+                "matches": len(indexed_answers),
+                "indexed_ms": round(indexed * 1e3, 3),
+                "columnar_ms": round(columnar * 1e3, 3),
+                "column_build_ms": round(column_build * 1e3, 3),
+                "speedup": round(indexed / max(columnar, 1e-9), 1),
+            }
+        )
+    return rows
+
+
+def _load_rows() -> list:
+    rows = []
+    for size in SIZES:
+        tree = _document(size)
+        xml = datatree_to_xml(tree)
+        column = ColumnarTree.from_tree(tree)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "corpus.col"
+            column.save(path)
+            loaded = ColumnarTree.load(path)
+            if loaded.structural_state() != column.structural_state():
+                raise AssertionError(f"disk round-trip diverged at size={size}")
+            mmap_load = _best(lambda: ColumnarTree.load(path), LOAD_ROUNDS)
+        reparse = _best(lambda: datatree_from_xml(xml), LOAD_ROUNDS)
+        rows.append(
+            {
+                "nodes": size,
+                "xml_bytes": len(xml),
+                "reparse_ms": round(reparse * 1e3, 3),
+                "mmap_load_ms": round(mmap_load * 1e3, 3),
+                "speedup": round(reparse / max(mmap_load, 1e-9), 1),
+            }
+        )
+    return rows
+
+
+def run() -> dict:
+    return {
+        "benchmark": "columnar matching and mmap load vs object baselines",
+        "backend": "numpy" if have_numpy() else "array-fallback",
+        "pattern": f"* //* //{RARE_LABEL} (descendant edges)",
+        "rounds": MATCH_ROUNDS,
+        "match_rows": _match_rows(),
+        "load_rows": _load_rows(),
+    }
+
+
+def main() -> int:
+    report = run()
+    json.dump(report, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if not have_numpy():
+        # The fallback backend trades speed for portability; there is no
+        # vectorized claim to gate.
+        return 0
+    match_at_100k = next(r for r in report["match_rows"] if r["nodes"] == 100_000)
+    load_at_100k = next(r for r in report["load_rows"] if r["nodes"] == 100_000)
+    ok = match_at_100k["speedup"] >= 5.0 and load_at_100k["speedup"] >= 10.0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ GATE_BENCHMARKS = (
     "bench_sampling",
     "bench_snapshot",
     "bench_service",
+    "bench_columnar",
 )
 
 

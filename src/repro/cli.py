@@ -246,11 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common.add_argument(
         "--matcher",
-        choices=("indexed", "naive", "auto"),
+        choices=("indexed", "naive", "columnar", "auto"),
         default="indexed",
         help="tree-pattern matcher: 'indexed' (compiled plans over a "
-        "structural index, the default), 'naive' (direct backtracking) or "
-        "'auto' (cost-model choice per pattern)",
+        "structural index, the default), 'naive' (direct backtracking), "
+        "'columnar' (vectorized interval merges over a flat-array snapshot) "
+        "or 'auto' (cost-model choice per pattern)",
     )
     common.add_argument(
         "--stats",

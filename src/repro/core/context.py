@@ -8,7 +8,8 @@ structural index) lived in module-level registries with no owner.  An
 
 * **mode resolution** — the context carries the default ``engine``
   (``"formula"`` | ``"enumerate"`` | ``"sample"`` | ``"auto-sample"``) and
-  ``matcher`` (``"indexed"`` | ``"naive"`` | ``"auto"``) for every operation
+  ``matcher`` (``"indexed"`` | ``"naive"`` | ``"columnar"`` | ``"auto"``)
+  for every operation
   executed through it, together with a session
   :class:`~repro.formulas.sampling.PricingPolicy` (exact-pricing budget and
   sampling tolerances), with per-call overrides resolved by
@@ -26,10 +27,12 @@ structural index) lived in module-level registries with no owner.  An
   skip matching entirely, and any mutation (which bumps
   :attr:`DataTree.version <repro.trees.datatree.DataTree.version>`) or tree
   replacement (a fresh object) invalidates the entry automatically;
-* **a cost model** — ``matcher="auto"`` picks the naive backtracking matcher
-  for tiny pattern×tree products (where the O(n) index build dominates) and
-  the compiled indexed plans otherwise; a fresh cached index always tips the
-  choice to ``"indexed"`` since the build cost is already sunk;
+* **a cost model** — ``matcher="auto"`` picks the vectorized columnar
+  matcher for large trees (≥ :data:`AUTO_COLUMNAR_NODES`, numpy present) or
+  when a fresh columnar snapshot is already cached, the naive backtracking
+  matcher for tiny pattern×tree products (where the O(n) index build
+  dominates) and the compiled indexed plans otherwise; a fresh cached index
+  tips the choice to ``"indexed"`` since the build cost is already sunk;
 * **observable stats** — :class:`ContextStats` counts answer-cache
   hits/misses, plans compiled, formulas evaluated by the context's engines,
   engines created and auto-matcher decisions, so repeated-query workloads
@@ -54,6 +57,7 @@ from repro.core.probability import ProbabilityEngine, require_engine_mode
 from repro.core.probtree import ProbTree
 from repro.formulas.ir import FormulaPool
 from repro.formulas.sampling import PricingPolicy
+from repro.trees.columnar import have_numpy as _columnar_have_numpy
 from repro.trees.datatree import DataTree, NodeId
 from repro.trees.index import PATCH_JOURNAL_LIMIT, TreeIndex, tree_index
 from repro.utils.errors import QueryError
@@ -63,11 +67,20 @@ from repro.utils.faults import fire
 #: through the cost model into one of the fixed modes of
 #: :data:`repro.queries.plan.MATCHER_MODES` (single source of truth for the
 #: concrete modes — validation delegates to ``require_matcher_mode``).
-MATCHER_CHOICES = ("indexed", "naive", "auto")
+MATCHER_CHOICES = ("indexed", "naive", "columnar", "auto")
 
 #: Below this pattern-nodes × tree-nodes product, ``matcher="auto"`` prefers
 #: the naive backtracking matcher (no index build) when no fresh index exists.
 AUTO_NAIVE_COST = 512
+
+#: From this tree size upward, ``matcher="auto"`` prefers the columnar
+#: matcher (vectorized interval merges over the flat arrays of
+#: :class:`repro.trees.columnar.ColumnarTree`) when numpy is available —
+#: below it the object plans win because the per-query constant factors
+#: (array conversions, searchsorted setup) dominate.  A tree that already
+#: carries a *fresh* columnar snapshot tips to columnar regardless of size:
+#: the O(n) column build is sunk.
+AUTO_COLUMNAR_NODES = 32768
 
 #: Default per-document bound on cached answer entries (per cache layer).
 #: Deliberately generous — the LRU exists to cap worst-case memory on
@@ -165,6 +178,7 @@ class ContextStats:
         "engines_created",
         "auto_chose_naive",
         "auto_chose_indexed",
+        "auto_chose_columnar",
         "evictions",
         "answers_migrated",
         "intern_hits",
@@ -195,6 +209,7 @@ class ContextStats:
         self.engines_created = 0
         self.auto_chose_naive = 0
         self.auto_chose_indexed = 0
+        self.auto_chose_columnar = 0
         self.evictions = 0               # LRU answer-cache entries dropped
         self.answers_migrated = 0        # entries carried across update/clean
         self.intern_hits = 0             # formula-pool probes finding a node
@@ -468,7 +483,7 @@ class ExecutionContext:
             ``"enumerate"`` | ``"sample"`` | ``"auto-sample"``; ``None``
             means ``"formula"``).
         matcher: default embedding matcher (``"indexed"`` | ``"naive"`` |
-            ``"auto"``; ``None`` means ``"indexed"``).
+            ``"columnar"`` | ``"auto"``; ``None`` means ``"indexed"``).
         auto_naive_cost: pattern×tree product below which ``"auto"`` picks
             the naive matcher when no fresh index is cached.
         cache_answers: whether to memoize full answer lists (see
@@ -577,15 +592,22 @@ class ExecutionContext:
     def effective_matcher(
         self, query, tree: DataTree, override: Optional[str] = None, record: bool = True
     ) -> str:
-        """The concrete matcher (``"indexed"`` | ``"naive"``) for one evaluation.
+        """The concrete matcher (``"indexed"`` | ``"naive"`` | ``"columnar"``)
+        for one evaluation.
 
-        ``"auto"`` is resolved here: if the tree already carries a fresh —
-        or *almost fresh*, i.e. stale but patchable from a journal suffix of
-        at most :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries —
-        structural index, the (re)build cost is sunk or negligible and the
-        compiled plans win; otherwise tiny pattern×tree products go to the
-        naive matcher (the O(n) index build would dominate) and everything
-        else is indexed.
+        ``"auto"`` is resolved here, in cost order:
+
+        * **columnar** — when numpy is available and either the tree already
+          carries a fresh columnar snapshot (build cost sunk) or the tree is
+          at least :data:`AUTO_COLUMNAR_NODES` nodes (vectorized interval
+          merges dwarf the one-time column build);
+        * **indexed** — if the tree carries a fresh — or *almost fresh*,
+          i.e. stale but patchable from a journal suffix of at most
+          :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries —
+          structural index, the (re)build cost is sunk or negligible and the
+          compiled plans win;
+        * **naive** — tiny pattern×tree products (the O(n) index build would
+          dominate); everything else is indexed.
 
         ``record=False`` suppresses the ``auto_chose_*`` counters — used by
         cache-key computation, so only decisions that drive actual matching
@@ -595,6 +617,14 @@ class ExecutionContext:
         if mode != "auto":
             return mode
         stats = self._state.stats
+        if _columnar_have_numpy():
+            column = tree._columnar_cache
+            if (column is not None and column.version == tree.version) or (
+                tree.node_count() >= AUTO_COLUMNAR_NODES
+            ):
+                if record:
+                    stats.auto_chose_columnar += 1
+                return "columnar"
         cached = tree._index_cache
         if cached is not None:
             almost_fresh = cached.is_fresh()
@@ -1186,6 +1216,7 @@ def resolve_context(
 __all__ = [
     "MATCHER_CHOICES",
     "AUTO_NAIVE_COST",
+    "AUTO_COLUMNAR_NODES",
     "MAX_CACHED_ANSWERS",
     "FORMULA_POOL_NODE_LIMIT",
     "require_matcher_choice",

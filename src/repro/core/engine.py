@@ -138,8 +138,10 @@ class ProbXMLWarehouse:
       and degrades to sampling on a tripped budget;
     * ``matcher`` — ``"indexed"`` (default) compiles patterns into
       bottom-up plans over the document's shared structural index;
-      ``"naive"`` is the direct backtracking oracle; ``"auto"`` picks per
-      pattern via the context's cost model.
+      ``"columnar"`` runs the same plans as vectorized interval merges over
+      the document's flat :class:`~repro.trees.columnar.ColumnarTree`
+      snapshot; ``"naive"`` is the direct backtracking oracle; ``"auto"``
+      picks per pattern via the context's cost model.
 
     Per-call overrides follow the library-wide precedence: explicit string
     kwargs > per-call ``context=`` > the warehouse's own context.
@@ -366,7 +368,7 @@ class ProbXMLWarehouse:
 
     @property
     def matcher(self) -> str:
-        """The embedding matcher mode (``"indexed"``, ``"naive"`` or ``"auto"``)."""
+        """The matcher mode (``"indexed"``, ``"naive"``, ``"columnar"`` or ``"auto"``)."""
         return self._context.matcher
 
     @matcher.setter

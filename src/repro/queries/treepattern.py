@@ -160,23 +160,32 @@ class TreePattern(LocallyMonotoneQuery):
         * ``"indexed"`` (default) — compile the pattern into a bottom-up plan
           executed against the tree's shared structural index
           (:mod:`repro.queries.plan`);
+        * ``"columnar"`` — the same plan shape executed as vectorized
+          interval merges over the tree's cached
+          :class:`~repro.trees.columnar.ColumnarTree` snapshot;
         * ``"naive"`` — the direct backtracking matcher below, kept as a
           differential-testing oracle (mirroring ``engine="enumerate"``);
-        * ``"auto"`` — defer to the context's cost model (naive for tiny
-          pattern×tree products, indexed otherwise).
+        * ``"auto"`` — defer to the context's cost model (columnar for big
+          trees or warm columns, naive for tiny pattern×tree products,
+          indexed otherwise).
 
         ``context`` (an :class:`~repro.core.context.ExecutionContext`)
         supplies the default mode and collects stats; when omitted, the
         module default context is used.  All strategies return the same
-        embedding set.
+        embedding list (identical order included).
         """
         from repro.core.context import resolve_context  # local: avoids an import cycle
-        from repro.queries.plan import PatternPlan
+        from repro.queries.plan import ColumnarPlan, PatternPlan
 
         ctx = resolve_context(context)
-        if ctx.effective_matcher(self, tree, matcher) == "naive":
+        effective = ctx.effective_matcher(self, tree, matcher)
+        if effective == "naive":
             return self.matches_naive(tree)
         ctx.note_plan_compiled()
+        if effective == "columnar":
+            from repro.trees.columnar import columnar_tree
+
+            return ColumnarPlan(self, columnar_tree(tree)).matches()
         return PatternPlan(self, tree).matches()
 
     def matches_with(

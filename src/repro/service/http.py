@@ -218,13 +218,33 @@ class ServiceFrontend:
                         break
                     key, _, value = line.decode("latin-1").partition(":")
                     headers[key.strip().lower()] = value.strip()
-                length = int(headers.get("content-length", "0") or "0")
+                raw_length = headers.get("content-length", "").strip()
+                try:
+                    length = int(raw_length) if raw_length else 0
+                except ValueError:
+                    await self._respond(
+                        writer, 400,
+                        {"error": f"malformed Content-Length: {raw_length!r}"},
+                    )
+                    break
+                if length < 0:
+                    await self._respond(
+                        writer, 400,
+                        {"error": f"negative Content-Length: {length}"},
+                    )
+                    break
                 if length > MAX_BODY_BYTES:
                     await self._respond(writer, 413, {"error": "request body too large"})
                     break
                 body = await reader.readexactly(length) if length else b""
                 status, payload = await self._dispatch(method, path, body)
-                keep_alive = headers.get("connection", "").lower() != "close"
+                connection = headers.get("connection", "").lower()
+                if _version.upper() == "HTTP/1.0":
+                    # HTTP/1.0 defaults to close; only an explicit keep-alive
+                    # token holds the connection open.
+                    keep_alive = connection == "keep-alive"
+                else:
+                    keep_alive = connection != "close"
                 await self._respond(writer, status, payload, keep_alive=keep_alive)
                 if not keep_alive:
                     break
@@ -233,6 +253,7 @@ class ServiceFrontend:
         finally:
             try:
                 writer.close()
+                await writer.wait_closed()
             except Exception:
                 pass
 

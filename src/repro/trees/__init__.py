@@ -9,9 +9,13 @@
 * :mod:`repro.trees.builders` — convenient literal-style construction of
   trees from nested tuples;
 * :mod:`repro.trees.index` — structural indexes (preorder intervals, label
-  posting lists, cached depths) backing the compiled query matcher.
+  posting lists, cached depths) backing the compiled query matcher;
+* :mod:`repro.trees.columnar` — the flat struct-of-arrays snapshot
+  (:class:`ColumnarTree`) behind ``matcher="columnar"``: numpy-backed when
+  available, mmap-able to disk, zero-copy on load.
 """
 
+from repro.trees.columnar import ColumnarTree, columnar_tree
 from repro.trees.datatree import DataTree
 from repro.trees.index import TreeIndex, tree_index
 from repro.trees.isomorphism import canonical_encoding, isomorphic
@@ -23,6 +27,8 @@ from repro.trees.subdatatree import (
 from repro.trees.builders import tree, leaf
 
 __all__ = [
+    "ColumnarTree",
+    "columnar_tree",
     "DataTree",
     "TreeIndex",
     "tree_index",

@@ -1,0 +1,482 @@
+"""Columnar (struct-of-arrays) tree storage with a zero-copy disk format.
+
+The object :class:`~repro.trees.datatree.DataTree` spends one Python object
+and three dict entries per node; past ~100k nodes every whole-tree pass the
+compiled matcher makes (candidate seeding, semijoin pruning) is dominated by
+pointer chasing.  A :class:`ColumnarTree` stores the same structural facts
+the :class:`~repro.trees.index.TreeIndex` derives — preorder intervals,
+depths, parents, label postings — as **flat parallel arrays indexed by
+preorder rank**:
+
+* ``node_ids[r]``    — the :class:`DataTree` node identifier at rank ``r``;
+* ``parent_ranks[r]`` — rank of the parent (``-1`` for the root);
+* ``last_ranks[r]``  — the largest rank in the subtree of ``r`` (so the
+  subtree of ``r`` is exactly the rank interval ``[r, last_ranks[r]]``);
+* ``depths[r]``      — edges to the root;
+* ``label_codes[r]`` — index into the sorted ``label_table``;
+* per-label posting lists of ranks, concatenated into one array with a
+  CSR-style offsets table.
+
+Arrays are numpy ``int64`` when numpy is importable and stdlib
+``array('q')`` otherwise — the same optionality shape as
+:mod:`repro.formulas.sampling` (the library never *requires* numpy, it just
+gets faster with it).  The columnar matcher (``matcher="columnar"``, see
+:class:`repro.queries.plan.ColumnarPlan`) turns the per-node Python loops of
+candidate seeding and descendant semijoins into vectorized interval merges
+over these arrays.
+
+The on-disk format (:meth:`ColumnarTree.save` / :meth:`ColumnarTree.load`)
+is a JSON header followed by the raw native-endian arrays; :meth:`load`
+memory-maps the file and builds **zero-copy views** into the mapping, so a
+large corpus opens in O(header) time instead of re-parsing XML.
+
+Staleness contract: a :class:`ColumnarTree` built from a live tree records
+the tree's mutation :attr:`~repro.trees.datatree.DataTree.version` and is a
+*snapshot* — it is never patched in place.  Use :func:`columnar_tree` (the
+cached accessor, mirroring :func:`~repro.trees.index.tree_index`) to always
+get a fresh column; a *held* handle whose source tree has mutated raises a
+typed :class:`~repro.utils.errors.StaleColumnarTreeError` instead of serving
+torn arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import sys
+import weakref
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised through whichever backend is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - pure-python fallback container
+    _np = None
+
+from repro.trees.datatree import DataTree, NodeId
+from repro.utils.errors import ColumnarFormatError, StaleColumnarTreeError
+
+#: File magic of the columnar disk format (version 1).
+MAGIC = b"RPROCOL1"
+
+#: The parallel arrays, in their fixed on-disk order.
+_ARRAY_NAMES = (
+    "node_ids",
+    "parent_ranks",
+    "last_ranks",
+    "depths",
+    "label_codes",
+    "posting_ranks",
+    "posting_offsets",
+)
+
+_ITEM_SIZE = 8  # int64 everywhere — simple, alignment-friendly, mmap-able
+
+
+def have_numpy() -> bool:
+    """Whether the numpy backend is active (module-level switch, test-patchable)."""
+    return _np is not None
+
+
+def _freeze(values: List[int]):
+    """An int64 column from a built-up Python list (numpy or array fallback)."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.int64)
+    return array("q", values)
+
+
+class ColumnarTree:
+    """One document's structure as flat parallel arrays (preorder-rank indexed).
+
+    Build with :meth:`from_tree` (or the cached :func:`columnar_tree`
+    accessor), persist with :meth:`save`, reopen with :meth:`load`.  The
+    arrays are exposed directly (``last_ranks``, ``parent_ranks``, ...) for
+    the vectorized matcher — treat them as read-only; a column is an
+    immutable snapshot of one tree version.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "parent_ranks",
+        "last_ranks",
+        "depths",
+        "label_codes",
+        "posting_ranks",
+        "posting_offsets",
+        "label_table",
+        "version",
+        "_source",
+        "_code_of",
+        "_nonroot",
+        "_children_order",
+        "_children_offsets",
+        "_mmap",
+    )
+
+    def __init__(self) -> None:
+        raise TypeError(
+            "ColumnarTree cannot be built directly; use ColumnarTree.from_tree, "
+            "ColumnarTree.load or the columnar_tree accessor"
+        )
+
+    @classmethod
+    def _blank(cls) -> "ColumnarTree":
+        self = cls.__new__(cls)
+        self._source = None
+        self._code_of = None
+        self._nonroot = None
+        self._children_order = None
+        self._children_offsets = None
+        self._mmap = None
+        return self
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: DataTree) -> "ColumnarTree":
+        """Snapshot *tree* into columnar form (one O(n) DFS).
+
+        The column records ``tree.version`` and keeps a weak reference to
+        the source, so using it after the tree mutates raises
+        :class:`StaleColumnarTreeError` (see :meth:`require_fresh`).
+        """
+        node_ids: List[int] = []
+        parent_ranks: List[int] = []
+        last_ranks: List[int] = []
+        depths: List[int] = []
+        labels: List[str] = []
+        rank_of: Dict[NodeId, int] = {}
+        # Iterative DFS in child insertion order — the same visit order as
+        # TreeIndex, so sibling ranks ascend in insertion order and the
+        # columnar matcher enumerates embeddings in the same order as the
+        # object-plan matcher.
+        stack: List[Tuple[NodeId, bool]] = [(tree.root, True)]
+        while stack:
+            node, enter = stack.pop()
+            if not enter:
+                last_ranks[rank_of[node]] = len(node_ids) - 1
+                continue
+            rank = len(node_ids)
+            rank_of[node] = rank
+            node_ids.append(node)
+            parent = tree.parent(node)
+            parent_rank = -1 if parent is None else rank_of[parent]
+            parent_ranks.append(parent_rank)
+            depths.append(0 if parent_rank < 0 else depths[parent_rank] + 1)
+            labels.append(tree.label(node))
+            last_ranks.append(rank)
+            stack.append((node, False))
+            for child in reversed(tree.children(node)):
+                stack.append((child, True))
+
+        label_table = tuple(sorted(set(labels)))
+        code_of = {label: code for code, label in enumerate(label_table)}
+        label_codes = [code_of[label] for label in labels]
+        # CSR postings: ranks grouped by label code, each group ascending.
+        counts = [0] * (len(label_table) + 1)
+        for code in label_codes:
+            counts[code + 1] += 1
+        offsets = counts
+        for index in range(1, len(offsets)):
+            offsets[index] += offsets[index - 1]
+        posting_ranks = [0] * len(label_codes)
+        cursor = list(offsets)
+        for rank, code in enumerate(label_codes):
+            posting_ranks[cursor[code]] = rank
+            cursor[code] += 1
+
+        self = cls._blank()
+        self.node_ids = _freeze(node_ids)
+        self.parent_ranks = _freeze(parent_ranks)
+        self.last_ranks = _freeze(last_ranks)
+        self.depths = _freeze(depths)
+        self.label_codes = _freeze(label_codes)
+        self.posting_ranks = _freeze(posting_ranks)
+        self.posting_offsets = _freeze(offsets)
+        self.label_table = label_table
+        self.version = tree.version
+        self._source = weakref.ref(tree)
+        return self
+
+    # -- staleness -----------------------------------------------------------
+
+    def is_fresh(self) -> bool:
+        """Whether the source tree (if still alive) is at this column's version."""
+        source = self._source() if self._source is not None else None
+        return source is None or source.version == self.version
+
+    def require_fresh(self) -> None:
+        """Raise :class:`StaleColumnarTreeError` if the source tree has moved on.
+
+        Columns are immutable snapshots — unlike a
+        :class:`~repro.trees.index.TreeIndex` they are never patched in
+        place, so a version mismatch means every rank, interval and posting
+        may describe nodes that no longer exist.  Serving those arrays would
+        silently return wrong (or phantom) matches; the typed error makes
+        the broken handle loud.  Fresh columns come from
+        :func:`columnar_tree`, never from holding on to an old one.
+        """
+        source = self._source() if self._source is not None else None
+        if source is not None and source.version != self.version:
+            raise StaleColumnarTreeError(
+                f"this ColumnarTree snapshot was built at tree version "
+                f"{self.version} but the tree is now at version "
+                f"{source.version}; re-fetch it through columnar_tree()"
+            )
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def root_label(self) -> str:
+        return self.label_table[self.label_codes[0]]
+
+    def label_of(self, rank: int) -> str:
+        return self.label_table[self.label_codes[rank]]
+
+    def label_code(self, label: str) -> int:
+        """The code of *label* in this column's table, or ``-1`` when absent."""
+        code_of = self._code_of
+        if code_of is None:
+            code_of = {lbl: code for code, lbl in enumerate(self.label_table)}
+            self._code_of = code_of
+        return code_of.get(label, -1)
+
+    def postings(self, code: int):
+        """Preorder-sorted ranks carrying label *code* (zero-copy slice)."""
+        if code < 0:
+            return self.posting_ranks[0:0]
+        return self.posting_ranks[self.posting_offsets[code] : self.posting_offsets[code + 1]]
+
+    def nonroot_ranks(self):
+        """All ranks except the root, shared across calls (wildcard seeding)."""
+        cached = self._nonroot
+        if cached is None:
+            if _np is not None:
+                cached = _np.arange(1, self.node_count, dtype=_np.int64)
+            else:
+                cached = range(1, self.node_count)
+            self._nonroot = cached
+        return cached
+
+    def children_of(self, rank: int):
+        """Child ranks of *rank*, ascending (== child insertion order)."""
+        offsets, order = self._children_offsets, self._children_order
+        if offsets is None:
+            order, offsets = self._build_children()
+        return order[offsets[rank] : offsets[rank + 1]]
+
+    def _build_children(self):
+        """Lazy CSR of the child relation (ranks grouped by parent rank)."""
+        n = self.node_count
+        parents = self.parent_ranks
+        if _np is not None:
+            # Stable argsort keeps sibling ranks ascending within a parent;
+            # the root's -1 parent sorts first and is skipped by the +1.
+            order = _np.argsort(parents, kind="stable").astype(_np.int64)[1:]
+            sorted_parents = parents[order] if len(order) else parents[:0]
+            offsets = _np.searchsorted(
+                sorted_parents, _np.arange(n + 1, dtype=_np.int64), side="left"
+            ).astype(_np.int64)
+        else:
+            counts = [0] * (n + 1)
+            for rank in range(1, n):
+                counts[parents[rank] + 1] += 1
+            for index in range(1, n + 1):
+                counts[index] += counts[index - 1]
+            offsets = counts
+            order_list = [0] * (n - 1 if n else 0)
+            cursor = list(offsets)
+            for rank in range(1, n):
+                parent = parents[rank]
+                order_list[cursor[parent]] = rank
+                cursor[parent] += 1
+            order = array("q", order_list)
+            offsets = array("q", offsets)
+        self._children_order = order
+        self._children_offsets = offsets
+        return order, offsets
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_tree(self) -> DataTree:
+        """Materialize an object :class:`DataTree` (node identifiers preserved).
+
+        The inverse of :meth:`from_tree` up to the journal (the result is a
+        fresh tree at version 0).  Ranks ascend in sibling insertion order,
+        so one pass rebuilds the child lists in their original order.
+        """
+        node_ids = self.node_ids
+        parents = self.parent_ranks
+        labels = {}
+        children: Dict[NodeId, List[NodeId]] = {}
+        parent_map: Dict[NodeId, Optional[NodeId]] = {}
+        for rank in range(self.node_count):
+            node = int(node_ids[rank])
+            labels[node] = self.label_of(rank)
+            children[node] = []
+            parent_rank = parents[rank]
+            if parent_rank < 0:
+                parent_map[node] = None
+            else:
+                parent = int(node_ids[parent_rank])
+                parent_map[node] = parent
+                children[parent].append(node)
+        tree = DataTree.__new__(DataTree)
+        tree._labels = labels
+        tree._children = children
+        tree._parent = parent_map
+        tree._root = int(node_ids[0])
+        tree._next_id = (max(labels) + 1) if labels else 1
+        tree._version = 0
+        tree._index_cache = None
+        tree._columnar_cache = None
+        tree._journal = []
+        tree._journal_base = 0
+        tree._undo = None
+        tree._snapshot_pins = None
+        return tree
+
+    def matches(self, pattern):
+        """All embeddings of *pattern* against this column (no object tree).
+
+        Convenience for columns loaded from disk: matching needs only the
+        arrays, so a saved corpus can answer pattern/boolean queries without
+        ever materializing :class:`DataTree` objects.
+        """
+        from repro.queries.plan import ColumnarPlan  # local: plan imports us
+
+        return ColumnarPlan(pattern, self).matches()
+
+    def structural_state(self) -> Dict[str, tuple]:
+        """Canonical tuple snapshot of every column (differential/IO tests)."""
+        state = {name: tuple(getattr(self, name)) for name in _ARRAY_NAMES}
+        state["label_table"] = self.label_table
+        state["version"] = self.version
+        return state
+
+    # -- disk format ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the column to *path* (native-endian int64 arrays + JSON header)."""
+        arrays = {}
+        blobs = []
+        offset = 0
+        for name in _ARRAY_NAMES:
+            column = getattr(self, name)
+            if _np is not None:
+                blob = _np.ascontiguousarray(column, dtype=_np.int64).tobytes()
+            else:
+                blob = column.tobytes()
+            arrays[name] = (offset, len(column))
+            blobs.append(blob)
+            offset += len(blob)
+        header = json.dumps(
+            {
+                "node_count": self.node_count,
+                "label_table": list(self.label_table),
+                "version": self.version,
+                "byteorder": sys.byteorder,
+                "arrays": {name: list(span) for name, span in arrays.items()},
+            }
+        ).encode("utf-8")
+        prefix = MAGIC + len(header).to_bytes(8, "little") + header
+        padding = (-len(prefix)) % _ITEM_SIZE
+        with open(path, "wb") as handle:
+            handle.write(prefix + b"\0" * padding)
+            for blob in blobs:
+                handle.write(blob)
+
+    @classmethod
+    def load(cls, path) -> "ColumnarTree":
+        """Memory-map *path*; array columns are zero-copy views into the map.
+
+        O(header) — no per-node work at all: with numpy the columns are
+        ``frombuffer`` views, without it ``memoryview.cast('q')`` slices,
+        both directly over the OS page cache.  The mapping stays alive as
+        long as the returned column (any views pin it).  Raises
+        :class:`ColumnarFormatError` on a foreign or corrupt file, including
+        an endianness mismatch (the format is native-endian by design —
+        byte-swapping would forfeit the zero-copy load).
+        """
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # empty file cannot be mapped
+                raise ColumnarFormatError(f"not a columnar tree file: {path}") from exc
+        if mapped[: len(MAGIC)] != MAGIC:
+            mapped.close()
+            raise ColumnarFormatError(f"not a columnar tree file: {path}")
+        try:
+            header_length = int.from_bytes(mapped[len(MAGIC) : len(MAGIC) + 8], "little")
+            header_start = len(MAGIC) + 8
+            header = json.loads(mapped[header_start : header_start + header_length])
+            if header["byteorder"] != sys.byteorder:
+                raise ColumnarFormatError(
+                    f"columnar file {path} was written on a "
+                    f"{header['byteorder']}-endian machine; this machine is "
+                    f"{sys.byteorder}-endian (the format is native-endian for "
+                    f"zero-copy loads)"
+                )
+            base = header_start + header_length
+            base += (-base) % _ITEM_SIZE
+            self = cls._blank()
+            view = memoryview(mapped)
+            for name in _ARRAY_NAMES:
+                offset, count = header["arrays"][name]
+                start = base + offset
+                stop = start + count * _ITEM_SIZE
+                if stop > len(mapped):
+                    raise ColumnarFormatError(
+                        f"columnar file {path} is truncated ({name} ends at "
+                        f"{stop}, file has {len(mapped)} bytes)"
+                    )
+                if _np is not None:
+                    column = _np.frombuffer(
+                        mapped, dtype=_np.int64, count=count, offset=start
+                    )
+                else:
+                    column = view[start:stop].cast("q")
+                setattr(self, name, column)
+            self.label_table = tuple(header["label_table"])
+            self.version = int(header["version"])
+            self._mmap = mapped
+            return self
+        except ColumnarFormatError:
+            raise
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            raise ColumnarFormatError(f"corrupt columnar tree file: {path}") from exc
+
+    def __repr__(self) -> str:
+        backend = "numpy" if _np is not None else "array"
+        return (
+            f"ColumnarTree(nodes={self.node_count}, "
+            f"labels={len(self.label_table)}, version={self.version}, "
+            f"backend={backend!r}, mmap={self._mmap is not None})"
+        )
+
+
+def columnar_tree(tree: DataTree) -> ColumnarTree:
+    """The shared :class:`ColumnarTree` snapshot of *tree*, rebuilt when stale.
+
+    Mirrors :func:`~repro.trees.index.tree_index`: the snapshot is cached on
+    the tree and compared against the tree's mutation version on every call.
+    Unlike the structural index there is no incremental patching — columns
+    are flat arrays whose every suffix shifts on mutation, so a stale cache
+    is simply rebuilt (one vectorizable O(n) pass).  Mixed update/query
+    workloads should keep ``matcher="indexed"``; columnar wins on
+    read-mostly large documents.
+    """
+    cached = tree._columnar_cache
+    if cached is not None and cached.version == tree.version:
+        return cached
+    column = ColumnarTree.from_tree(tree)
+    tree._columnar_cache = column
+    return column
+
+
+__all__ = ["ColumnarTree", "columnar_tree", "have_numpy", "MAGIC"]

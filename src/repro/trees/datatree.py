@@ -47,6 +47,7 @@ class DataTree:
         "_next_id",
         "_version",
         "_index_cache",
+        "_columnar_cache",
         "_journal",
         "_journal_base",
         "_undo",
@@ -62,6 +63,7 @@ class DataTree:
         self._next_id: NodeId = 1
         self._version: int = 0
         self._index_cache = None  # managed by repro.trees.index.tree_index
+        self._columnar_cache = None  # managed by repro.trees.columnar.columnar_tree
         # Mutation journal: entry i describes the mutation taking the tree
         # from version (_journal_base + i) to (_journal_base + i + 1).
         self._journal: List[Tuple[str, NodeId, tuple]] = []
@@ -361,6 +363,7 @@ class DataTree:
         clone._next_id = self._next_id
         clone._version = 0
         clone._index_cache = None
+        clone._columnar_cache = None
         clone._journal = []
         clone._journal_base = 0
         clone._undo = None
@@ -423,6 +426,7 @@ class DataTree:
         clone._next_id = self._next_id
         clone._version = 0
         clone._index_cache = None
+        clone._columnar_cache = None
         clone._journal = []
         clone._journal_base = 0
         clone._undo = None
@@ -574,6 +578,12 @@ class DataTree:
             # merely stale from before the transaction is still patchable
             # and stays; a mid-patch-poisoned one rebuilds on next access.)
             self._index_cache = None
+        column = self._columnar_cache
+        if column is not None and column.version > self._version:
+            # Same hazard for the columnar snapshot: the version counter
+            # rewinds, so a column stamped with a rolled-back version could
+            # later collide with a *different* tree at the same number.
+            self._columnar_cache = None
 
     def _apply_undo(self, entry: tuple) -> None:
         kind = entry[0]

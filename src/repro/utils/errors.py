@@ -38,6 +38,23 @@ class QueryError(ProbXMLError):
     """A query is malformed or was evaluated against an incompatible tree."""
 
 
+class StaleColumnarTreeError(ProbXMLError):
+    """A held :class:`~repro.trees.columnar.ColumnarTree` outlived its tree version.
+
+    Columnar snapshots are immutable — they are never patched in place the
+    way the structural :class:`~repro.trees.index.TreeIndex` is — so once
+    the source tree mutates, every rank, interval and posting in the column
+    may describe nodes that no longer exist.  Matching against such arrays
+    would silently return wrong answers; the typed error enforces the
+    contract that columns are only valid when obtained through
+    :func:`~repro.trees.columnar.columnar_tree`.
+    """
+
+
+class ColumnarFormatError(ProbXMLError):
+    """A columnar tree file is foreign, corrupt, truncated or wrong-endian."""
+
+
 class BudgetExceededError(ProbXMLError):
     """An exact computation exceeded its work budget.
 

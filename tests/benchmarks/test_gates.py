@@ -4,7 +4,8 @@
 benchmarks (≥5× incremental index, ≥3× formula IR, budgeted-pricing /
 sampling latency, snapshot-isolation overhead ≤1.3× and threaded read
 throughput ≥2×, sharded-service scatter ≥2× with restart-free worker-pool
-GC) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
+GC, columnar matching ≥5× indexed at 100k nodes with mmap load ≥10×
+re-parse) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
 logic without running anything; the smoke-run test actually executes the
 gates (seconds in smoke mode, still marked ``slow`` so the fast tier stays
 deterministic on loaded machines — run it with ``--runslow``).
@@ -67,6 +68,7 @@ def test_check_gates_passes(tmp_path):
         "bench_sampling",
         "bench_snapshot",
         "bench_service",
+        "bench_columnar",
     }
     for result in summary["benchmarks"].values():
         assert result["status"] == "ok"

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 
 import pytest
@@ -259,3 +260,161 @@ class TestConnectionHandling:
 
         with pytest.raises(ProbXMLError, match="already running"):
             frontend.start()
+
+
+def _raw_exchange(frontend, request: bytes) -> bytes:
+    """Send raw bytes and read until the server closes the connection.
+
+    ``http.client`` refuses to emit the malformed headers these regressions
+    need, so the tests speak straight TCP.
+    """
+    with socket.create_connection(("127.0.0.1", frontend.port), timeout=30) as sock:
+        sock.sendall(request)
+        chunks = []
+        sock.settimeout(30)
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+        return b"".join(chunks)
+
+
+class TestRequestParsing:
+    """Regressions for the Content-Length crash: the connection task used to
+    die on ``int()`` / ``readexactly(<0)`` with no response at all, so every
+    assertion here that a 400 (or 200) arrives is the fix."""
+
+    def test_non_numeric_content_length_is_a_400(self, service):
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"POST /query HTTP/1.1\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"malformed Content-Length" in response
+        assert b"banana" in response
+
+    def test_negative_content_length_is_a_400(self, service):
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"POST /query HTTP/1.1\r\n"
+            b"Content-Length: -5\r\n"
+            b"\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"negative Content-Length" in response
+
+    def test_absent_content_length_means_empty_body(self, service):
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"POST /query HTTP/1.1\r\n"
+            b"Connection: close\r\n"
+            b"\r\n",
+        )
+        # An empty body cannot carry a query — but the request is parsed
+        # fine and answered with a typed error, not dropped.
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert b"query" in response
+
+    def test_empty_content_length_value_is_empty_body(self, service):
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"GET /healthz HTTP/1.1\r\n"
+            b"Content-Length: \r\n"
+            b"Connection: close\r\n"
+            b"\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 200 ")
+
+    def test_connection_survives_a_content_length_400(self, service):
+        """The 400 is written back before the server closes its side."""
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"POST /query HTTP/1.1\r\n"
+            b"Content-Length: 1e3\r\n"
+            b"\r\n",
+        )
+        assert b"Connection: close" in response
+
+
+class TestHttp10Defaults:
+    def test_http_1_0_defaults_to_close(self, service):
+        _, frontend = service
+        response = _raw_exchange(
+            frontend,
+            b"GET /healthz HTTP/1.0\r\n"
+            b"\r\n",
+        )
+        # One response, Connection: close advertised, then EOF (the
+        # _raw_exchange loop only returns once the server closes).
+        assert response.startswith(b"HTTP/1.1 200 ")
+        assert b"Connection: close" in response
+        assert response.count(b"HTTP/1.1") == 1
+
+    def test_http_1_0_explicit_keep_alive_is_honored(self, service):
+        _, frontend = service
+        with socket.create_connection(
+            ("127.0.0.1", frontend.port), timeout=30
+        ) as sock:
+            request = (
+                b"GET /healthz HTTP/1.0\r\n"
+                b"Connection: keep-alive\r\n"
+                b"\r\n"
+            )
+            for _ in range(2):
+                sock.sendall(request)
+                header = b""
+                while b"\r\n\r\n" not in header:
+                    data = sock.recv(65536)
+                    assert data, "server closed a keep-alive connection"
+                    header += data
+                head, _, rest = header.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200 ")
+                assert b"Connection: keep-alive" in head
+                length = int(
+                    [
+                        line.split(b":", 1)[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                while len(rest) < length:
+                    rest += sock.recv(65536)
+
+    def test_http_1_1_still_defaults_to_keep_alive(self, service):
+        _, frontend = service
+        with socket.create_connection(
+            ("127.0.0.1", frontend.port), timeout=30
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+            header = b""
+            while b"\r\n\r\n" not in header:
+                data = sock.recv(65536)
+                assert data
+                header += data
+            assert b"Connection: keep-alive" in header.partition(b"\r\n\r\n")[0]
+
+    def test_transport_is_fully_closed_after_close(self, service):
+        """`wait_closed` regression: after a Connection: close exchange the
+        server actually finishes the TCP teardown (EOF at the client)."""
+        _, frontend = service
+        with socket.create_connection(
+            ("127.0.0.1", frontend.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+            )
+            chunks = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks += data
+            assert chunks.startswith(b"HTTP/1.1 200 ")

@@ -1,0 +1,213 @@
+"""Unit tests for the flat struct-of-arrays tree snapshot.
+
+Covers column construction from live trees (structure, postings, children
+CSR), the mmap disk format (round-trip, zero-copy load, typed errors on
+foreign/corrupt/truncated files), the ``to_tree`` materialization, and the
+pure-Python fallback backend (``_np = None``) behind every one of those.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+import repro.trees.columnar as columnar_module
+from repro.trees.builders import tree as build_tree
+from repro.trees.columnar import MAGIC, ColumnarTree, columnar_tree
+from repro.trees.index import tree_index
+from repro.utils.errors import ColumnarFormatError
+from repro.workloads.random_trees import random_datatree
+from repro.xmlio import datatree_to_xml
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def backend(request, monkeypatch):
+    """Run each test under both array backends (skip numpy when absent)."""
+    if request.param == "numpy":
+        if columnar_module._np is None:
+            pytest.skip("numpy not available")
+    else:
+        monkeypatch.setattr(columnar_module, "_np", None)
+    return request.param
+
+
+@pytest.fixture
+def document():
+    return build_tree(
+        "A",
+        build_tree("B", build_tree("C", "X"), "D"),
+        build_tree("B", "C"),
+        build_tree("E", build_tree("B", "C")),
+    )
+
+
+class TestFromTree:
+    def test_root_is_rank_zero(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        assert column.node_count == document.node_count()
+        assert column.root_label == document.root_label
+        assert int(column.parent_ranks[0]) == -1
+        assert int(column.depths[0]) == 0
+
+    def test_ranks_are_preorder_and_intervals_nest(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        index = tree_index(document)
+        rank_of = {int(node): rank for rank, node in enumerate(column.node_ids)}
+        for node in document.nodes():
+            assert rank_of[node] == index.preorder(node)
+            low, high = index.subtree_interval(node)
+            assert (rank_of[node], int(column.last_ranks[rank_of[node]])) == (low, high)
+            assert int(column.depths[rank_of[node]]) == index.depth(node)
+
+    def test_parents_agree_with_the_tree(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        rank_of = {int(node): rank for rank, node in enumerate(column.node_ids)}
+        for node in document.nodes():
+            if node == document.root:
+                continue
+            assert int(column.parent_ranks[rank_of[node]]) == \
+                rank_of[document.parent(node)]
+
+    def test_postings_are_sorted_and_complete(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        index = tree_index(document)
+        seen = 0
+        for label in column.label_table:
+            ranks = [int(r) for r in column.postings(column.label_code(label))]
+            assert ranks == sorted(ranks)
+            assert [int(column.node_ids[r]) for r in ranks] == \
+                sorted(index.nodes_with_label(label),
+                       key=lambda n: index.preorder(n))
+            seen += len(ranks)
+        assert seen == column.node_count
+
+    def test_unknown_label_has_empty_postings(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        assert column.label_code("ZZZ") == -1
+        assert len(column.postings(column.label_code("ZZZ"))) == 0
+
+    def test_children_follow_insertion_order(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        rank_of = {int(node): rank for rank, node in enumerate(column.node_ids)}
+        for node in document.nodes():
+            expected = [rank_of[child] for child in document.children(node)]
+            assert [int(r) for r in column.children_of(rank_of[node])] == expected
+
+    def test_label_round_trip(self, backend, document):
+        column = ColumnarTree.from_tree(document)
+        for rank in range(column.node_count):
+            node = int(column.node_ids[rank])
+            assert column.label_of(rank) == document.label(node)
+
+
+class TestToTree:
+    def test_round_trip_preserves_xml_and_node_ids(self, backend):
+        source = random_datatree(120, seed=17)
+        rebuilt = ColumnarTree.from_tree(source).to_tree()
+        assert datatree_to_xml(rebuilt) == datatree_to_xml(source)
+        assert sorted(rebuilt.nodes()) == sorted(source.nodes())
+
+    def test_rebuilt_tree_is_mutable(self, backend):
+        source = random_datatree(30, seed=18)
+        rebuilt = ColumnarTree.from_tree(source).to_tree()
+        fresh = rebuilt.add_child(rebuilt.root, "NEW")
+        assert fresh not in source.nodes()
+        assert rebuilt.label(fresh) == "NEW"
+
+
+class TestDiskFormat:
+    def test_round_trip_preserves_structural_state(self, backend, tmp_path):
+        source = random_datatree(200, seed=21)
+        column = ColumnarTree.from_tree(source)
+        path = tmp_path / "doc.col"
+        column.save(path)
+        loaded = ColumnarTree.load(path)
+        assert loaded.structural_state() == column.structural_state()
+        assert loaded.label_table == column.label_table
+        assert loaded.version == column.version
+
+    def test_load_is_zero_copy(self, tmp_path):
+        if columnar_module._np is None:
+            pytest.skip("numpy not available")
+        source = random_datatree(100, seed=22)
+        path = tmp_path / "doc.col"
+        ColumnarTree.from_tree(source).save(path)
+        loaded = ColumnarTree.load(path)
+        # numpy views over the mmap own no data of their own.
+        assert not loaded.node_ids.flags.owndata
+        assert loaded.node_ids.base is not None
+
+    def test_foreign_file_is_a_typed_error(self, backend, tmp_path):
+        path = tmp_path / "foreign.col"
+        path.write_bytes(b"definitely not a columnar tree file")
+        with pytest.raises(ColumnarFormatError, match="not a columnar tree"):
+            ColumnarTree.load(path)
+
+    def test_empty_file_is_a_typed_error(self, backend, tmp_path):
+        path = tmp_path / "empty.col"
+        path.write_bytes(b"")
+        with pytest.raises(ColumnarFormatError):
+            ColumnarTree.load(path)
+
+    def test_truncated_file_is_a_typed_error(self, backend, tmp_path):
+        source = random_datatree(100, seed=23)
+        path = tmp_path / "doc.col"
+        ColumnarTree.from_tree(source).save(path)
+        data = path.read_bytes()
+        (tmp_path / "cut.col").write_bytes(data[: len(data) - 64])
+        with pytest.raises(ColumnarFormatError, match="truncated"):
+            ColumnarTree.load(tmp_path / "cut.col")
+
+    def test_corrupt_header_is_a_typed_error(self, backend, tmp_path):
+        path = tmp_path / "bad.col"
+        garbage = b'{"node_count": nope'
+        path.write_bytes(
+            MAGIC + len(garbage).to_bytes(8, "little") + garbage + b"\0" * 64
+        )
+        with pytest.raises(ColumnarFormatError, match="corrupt"):
+            ColumnarTree.load(path)
+
+    def test_wrong_endianness_is_a_typed_error(self, backend, tmp_path):
+        source = random_datatree(40, seed=24)
+        path = tmp_path / "doc.col"
+        ColumnarTree.from_tree(source).save(path)
+        data = path.read_bytes()
+        other = "big" if sys.byteorder == "little" else "little"
+        swapped = data.replace(
+            sys.byteorder.encode("utf-8"), other.encode("utf-8"), 1
+        )
+        # "little" and "big" differ in length, so the header-length field
+        # must be rewritten to match the edited JSON.
+        header_length = int.from_bytes(data[len(MAGIC) : len(MAGIC) + 8], "little")
+        new_length = header_length + len(other) - len(sys.byteorder)
+        swapped = (
+            swapped[: len(MAGIC)]
+            + new_length.to_bytes(8, "little")
+            + swapped[len(MAGIC) + 8 :]
+        )
+        (tmp_path / "swapped.col").write_bytes(swapped)
+        with pytest.raises(ColumnarFormatError, match="endian"):
+            ColumnarTree.load(tmp_path / "swapped.col")
+
+    def test_direct_construction_is_rejected(self, backend):
+        with pytest.raises(TypeError, match="from_tree"):
+            ColumnarTree()
+
+
+class TestAccessor:
+    def test_columnar_tree_caches_per_tree(self, backend):
+        document = random_datatree(60, seed=25)
+        assert columnar_tree(document) is columnar_tree(document)
+
+    def test_copy_and_restrict_start_cold(self, backend):
+        document = random_datatree(60, seed=26)
+        column = columnar_tree(document)
+        assert document.copy()._columnar_cache is None
+        column.require_fresh()
+
+    def test_nonroot_ranks_excludes_exactly_the_root(self, backend):
+        document = random_datatree(60, seed=27)
+        column = columnar_tree(document)
+        ranks = list(column.nonroot_ranks())
+        assert [int(r) for r in ranks] == list(range(1, column.node_count))
