@@ -10,6 +10,15 @@ The suite mixes two benchmark styles and this driver handles both:
   run through ``pytest --benchmark-json``; the per-test timing stats are
   condensed into ``{test: {mean_s, rounds}}``.
 
+Loop-style benchmarks report latency **percentiles**, not just means: any
+standalone report carrying a ``latency_samples_s`` list (one entry per
+measured iteration, anywhere in the JSON) gets a sibling
+``latency_percentiles_s`` with p50/p95/p99 computed by :func:`percentiles`,
+and pytest-benchmark timings include the same three percentiles whenever the
+per-round data is available.  Both land in ``BENCH_summary.json`` (and
+``BENCH_gates.json`` for the gate subset) — the tail-latency view ROADMAP
+item 5's streaming workloads are judged by.
+
 Everything lands in one consolidated summary — the perf-trajectory artifact
 the ROADMAP asks for::
 
@@ -21,8 +30,10 @@ the ROADMAP asks for::
 ``--check-gates`` is the fast regression tripwire tier-1 can afford: it runs
 only the gate-bearing benchmarks (:data:`GATE_BENCHMARKS` — the ≥5×
 incremental-index gate, the ≥3× formula-IR gate, the budgeted-pricing/
-sampling gate, the snapshot-isolation overhead/throughput gate and the
-sharded-service scatter-throughput/worker-GC gate) in smoke mode
+sampling gate, the snapshot-isolation overhead/throughput gate, the
+sharded-service scatter-throughput/worker-GC gate, the ≥5×/≥10×
+columnar-matching/mmap-load gate and the ≥5× journal-patched streaming
+columnar gate) in smoke mode
 (``REPRO_BENCH_SMOKE=1`` shrinks sizes/iterations), writes to
 ``BENCH_gates.json`` by default (so the full ``BENCH_summary.json`` is never
 clobbered by a subset), and exits nonzero when any gate regresses.
@@ -56,7 +67,53 @@ GATE_BENCHMARKS = (
     "bench_snapshot",
     "bench_service",
     "bench_columnar",
+    "bench_columnar_incremental",
 )
+
+
+def percentiles(samples) -> dict:
+    """p50/p95/p99 of *samples* (seconds), by linear interpolation.
+
+    The loop-style latency summary: means hide the tail a streaming
+    workload actually feels, so every benchmark that measures per-iteration
+    latencies reports these three points.
+    """
+    ordered = sorted(samples)
+
+    def point(fraction: float) -> float:
+        position = (len(ordered) - 1) * fraction
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    return {
+        "p50_s": round(point(0.50), 6),
+        "p95_s": round(point(0.95), 6),
+        "p99_s": round(point(0.99), 6),
+    }
+
+
+def _annotate_percentiles(report) -> None:
+    """Attach ``latency_percentiles_s`` beside every ``latency_samples_s``.
+
+    Walks the parsed JSON report of a standalone benchmark; any dict
+    carrying a non-empty numeric ``latency_samples_s`` list gains a sibling
+    percentile summary.  Mutates *report* in place.
+    """
+    if isinstance(report, dict):
+        samples = report.get("latency_samples_s")
+        if (
+            isinstance(samples, list)
+            and samples
+            and all(isinstance(value, (int, float)) for value in samples)
+        ):
+            report["latency_percentiles_s"] = percentiles(samples)
+        for value in list(report.values()):
+            _annotate_percentiles(value)
+    elif isinstance(report, list):
+        for value in report:
+            _annotate_percentiles(value)
 
 
 def discover() -> list:
@@ -104,6 +161,7 @@ def run_standalone(path: Path, timeout: float, smoke: bool = False) -> dict:
         return {"kind": "standalone", "status": "timeout", "seconds": seconds}
     try:
         report = json.loads(completed.stdout)
+        _annotate_percentiles(report)
     except (json.JSONDecodeError, ValueError):
         report = {"text": completed.stdout[-4000:]}
     result = {
@@ -141,10 +199,16 @@ def run_pytest(path: Path, timeout: float) -> dict:
         try:
             stats = json.loads(stats_path.read_text())
             for bench in stats.get("benchmarks", []):
-                timings[bench["name"]] = {
+                timing = {
                     "mean_s": round(bench["stats"]["mean"], 6),
                     "rounds": bench["stats"]["rounds"],
                 }
+                rounds_data = bench["stats"].get("data")
+                if rounds_data:
+                    timing["latency_percentiles_s"] = percentiles(rounds_data)
+                elif "median" in bench["stats"]:
+                    timing["p50_s"] = round(bench["stats"]["median"], 6)
+                timings[bench["name"]] = timing
         except (OSError, json.JSONDecodeError, ValueError, KeyError):
             pass
         result = {

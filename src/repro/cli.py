@@ -250,8 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="indexed",
         help="tree-pattern matcher: 'indexed' (compiled plans over a "
         "structural index, the default), 'naive' (direct backtracking), "
-        "'columnar' (vectorized interval merges over a flat-array snapshot) "
-        "or 'auto' (cost-model choice per pattern)",
+        "'columnar' (vectorized interval merges over a flat-array snapshot, "
+        "journal-patched forward across updates) or 'auto' (cost-model "
+        "choice per pattern; treats a patchable column as warm)",
     )
     common.add_argument(
         "--stats",

@@ -179,6 +179,8 @@ class ContextStats:
         "auto_chose_naive",
         "auto_chose_indexed",
         "auto_chose_columnar",
+        "columns_patched",
+        "column_rebuilds",
         "evictions",
         "answers_migrated",
         "intern_hits",
@@ -210,6 +212,8 @@ class ContextStats:
         self.auto_chose_naive = 0
         self.auto_chose_indexed = 0
         self.auto_chose_columnar = 0
+        self.columns_patched = 0         # stale columns journal-patched forward
+        self.column_rebuilds = 0         # columns rebuilt from scratch (cold included)
         self.evictions = 0               # LRU answer-cache entries dropped
         self.answers_migrated = 0        # entries carried across update/clean
         self.intern_hits = 0             # formula-pool probes finding a node
@@ -598,9 +602,13 @@ class ExecutionContext:
         ``"auto"`` is resolved here, in cost order:
 
         * **columnar** — when numpy is available and either the tree already
-          carries a fresh columnar snapshot (build cost sunk) or the tree is
-          at least :data:`AUTO_COLUMNAR_NODES` nodes (vectorized interval
-          merges dwarf the one-time column build);
+          carries a *warm* columnar snapshot — fresh, or stale but patchable
+          from a journal suffix of at most
+          :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries, in which
+          case :func:`~repro.trees.columnar.columnar_tree` will splice the
+          pending mutations in (bounded work) rather than rebuild — or the
+          tree is at least :data:`AUTO_COLUMNAR_NODES` nodes (vectorized
+          interval merges dwarf the one-time column build);
         * **indexed** — if the tree carries a fresh — or *almost fresh*,
           i.e. stale but patchable from a journal suffix of at most
           :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries —
@@ -619,9 +627,19 @@ class ExecutionContext:
         stats = self._state.stats
         if _columnar_have_numpy():
             column = tree._columnar_cache
-            if (column is not None and column.version == tree.version) or (
-                tree.node_count() >= AUTO_COLUMNAR_NODES
-            ):
+            warm = column is not None and (
+                column.version == tree.version
+                or (
+                    # Same version arithmetic as the indexed branch below:
+                    # a stale-but-patchable column costs a bounded splice,
+                    # not the O(n) rebuild, so its build cost is sunk too.
+                    # A mid-patch-poisoned column (version -1) predates any
+                    # journal base and fails journal_reaches.
+                    tree.version - column.version <= PATCH_JOURNAL_LIMIT
+                    and tree.journal_reaches(column.version)
+                )
+            )
+            if warm or tree.node_count() >= AUTO_COLUMNAR_NODES:
                 if record:
                     stats.auto_chose_columnar += 1
                 return "columnar"

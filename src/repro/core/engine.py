@@ -73,7 +73,10 @@ def _coerce_document(document: Union[str, DataTree, ProbTree]) -> ProbTree:
     :func:`repro.xmlio.parse.probtree_from_xml`, any other element through
     :func:`repro.xmlio.parse.datatree_from_xml` — instead of silently
     becoming a one-node tree with the markup as its root label.  A plain
-    string is still a one-node certain document.
+    string is still a one-node certain document.  XML lands through
+    :meth:`~repro.trees.datatree.DataTree.add_subtree_bulk`, so warehouse
+    ingest batches pay one flat preorder pass per document rather than a
+    Python call per node.
     """
     if isinstance(document, ProbTree):
         return document

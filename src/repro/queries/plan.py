@@ -488,14 +488,20 @@ def indexed_matches(pattern, tree: DataTree, index: Optional[TreeIndex] = None) 
     return PatternPlan(pattern, tree, index).matches()
 
 
-def columnar_matches(pattern, source) -> List[Match]:
+def columnar_matches(pattern, source, stats=None) -> List[Match]:
     """Convenience: columnar-match *pattern* against a tree or a column.
 
-    *source* is either a :class:`DataTree` (its cached column is fetched —
-    or built — through :func:`~repro.trees.columnar.columnar_tree`) or a
-    :class:`ColumnarTree` directly (e.g. one loaded from disk).
+    *source* is either a :class:`DataTree` (its cached column is fetched
+    through :func:`~repro.trees.columnar.columnar_tree` — journal-patched
+    forward when stale-but-patchable, rebuilt otherwise) or a
+    :class:`ColumnarTree` directly (e.g. one loaded from disk).  *stats*
+    (a ``ContextStats``) receives the ``columns_patched`` /
+    ``column_rebuilds`` maintenance counters when given.
     """
-    column = source if isinstance(source, ColumnarTree) else columnar_tree(source)
+    if isinstance(source, ColumnarTree):
+        column = source
+    else:
+        column = columnar_tree(source, stats)
     return ColumnarPlan(pattern, column).matches()
 
 

@@ -185,7 +185,10 @@ class TreePattern(LocallyMonotoneQuery):
         if effective == "columnar":
             from repro.trees.columnar import columnar_tree
 
-            return ColumnarPlan(self, columnar_tree(tree)).matches()
+            # The accessor patches a stale-but-patchable cached column (or
+            # rebuilds); the context's stats record which maintenance path
+            # each evaluation actually paid.
+            return ColumnarPlan(self, columnar_tree(tree, ctx.stats)).matches()
         return PatternPlan(self, tree).matches()
 
     def matches_with(

@@ -37,6 +37,22 @@ cached accessor, mirroring :func:`~repro.trees.index.tree_index`) to always
 get a fresh column; a *held* handle whose source tree has mutated raises a
 typed :class:`~repro.utils.errors.StaleColumnarTreeError` instead of serving
 torn arrays.
+
+Incremental maintenance: the accessor does **not** rebuild a stale cached
+column from scratch when the pending mutations are few.  :meth:`ColumnarTree.patch`
+replays the tree's mutation journal (``mutations_since``) over the stale
+arrays as bounded splices — ``np.insert``/masked rank shifts confined to the
+affected preorder interval on the numpy backend, the observationally
+identical list splices on the fallback — and produces a **new** column at
+the tree's current version.  Held snapshots are never touched (copy-on-patch
+keeps the staleness contract intact); past
+:data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` pending entries a full
+:meth:`ColumnarTree.from_tree` rebuild is cheaper and is what happens.
+
+Bulk ingest: :meth:`ColumnarTree.from_xml` builds the flat arrays straight
+from an XML document in one pass — no per-node :class:`DataTree` objects on
+the hot path — producing a column byte-identical to
+``ColumnarTree.from_tree(datatree_from_xml(text))``.
 """
 
 from __future__ import annotations
@@ -47,6 +63,7 @@ import os
 import sys
 import weakref
 from array import array
+from bisect import bisect_left, insort
 from typing import Dict, List, Optional, Tuple
 
 try:  # pragma: no cover - exercised through whichever backend is present
@@ -55,7 +72,13 @@ except ImportError:  # pragma: no cover - pure-python fallback container
     _np = None
 
 from repro.trees.datatree import DataTree, NodeId
-from repro.utils.errors import ColumnarFormatError, StaleColumnarTreeError
+from repro.trees.index import PATCH_JOURNAL_LIMIT
+from repro.utils.errors import (
+    ColumnarFormatError,
+    InvalidTreeError,
+    StaleColumnarTreeError,
+)
+from repro.utils.faults import fire
 
 #: File magic of the columnar disk format (version 1).
 MAGIC = b"RPROCOL1"
@@ -170,6 +193,22 @@ class ColumnarTree:
             for child in reversed(tree.children(node)):
                 stack.append((child, True))
 
+        return cls._assemble(
+            node_ids, parent_ranks, last_ranks, depths, labels, tree.version, tree
+        )
+
+    @classmethod
+    def _assemble(
+        cls,
+        node_ids: List[int],
+        parent_ranks: List[int],
+        last_ranks: List[int],
+        depths: List[int],
+        labels: List[str],
+        version: int,
+        source: Optional[DataTree],
+    ) -> "ColumnarTree":
+        """Freeze flat per-rank lists (labels still as strings) into a column."""
         label_table = tuple(sorted(set(labels)))
         code_of = {label: code for code, label in enumerate(label_table)}
         label_codes = [code_of[label] for label in labels]
@@ -195,9 +234,109 @@ class ColumnarTree:
         self.posting_ranks = _freeze(posting_ranks)
         self.posting_offsets = _freeze(offsets)
         self.label_table = label_table
-        self.version = tree.version
-        self._source = weakref.ref(tree)
+        self.version = version
+        self._source = None if source is None else weakref.ref(source)
         return self
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ColumnarTree":
+        """Build a column straight from a ``<node>`` XML document, in one pass.
+
+        The bulk-ingest fast path: no per-node :class:`DataTree` objects (or
+        dict entries, or journal records) are materialized — the element tree
+        is walked once and the flat rank-indexed lists are appended to
+        directly.  Node identifiers are allocated in preorder starting at 0,
+        exactly as :func:`repro.xmlio.parse.datatree_from_xml` would allocate
+        them, so every array is byte-identical to
+        ``ColumnarTree.from_tree(datatree_from_xml(text))`` — only the
+        version stamp differs (0 here, like any freshly ingested document)
+        and there is no live-tree backref, so a column ingested this way
+        never goes stale.
+        """
+        import xml.etree.ElementTree as ET
+
+        element = ET.fromstring(text)
+        if element.tag != "node":
+            raise InvalidTreeError(
+                f"expected a <node> root element, got <{element.tag}>"
+            )
+        parent_ranks: List[int] = []
+        last_ranks: List[int] = []
+        depths: List[int] = []
+        labels: List[str] = []
+        # (element, parent_rank) entries open a node; (None, rank) close it.
+        stack: List[Tuple[Optional[ET.Element], int]] = [(element, -1)]
+        while stack:
+            node, parent_rank = stack.pop()
+            if node is None:
+                last_ranks[parent_rank] = len(labels) - 1
+                continue
+            rank = len(labels)
+            parent_ranks.append(parent_rank)
+            depths.append(0 if parent_rank < 0 else depths[parent_rank] + 1)
+            labels.append(node.get("label", ""))
+            last_ranks.append(rank)
+            stack.append((None, rank))
+            children = [child for child in node if child.tag == "node"]
+            for child in reversed(children):
+                stack.append((child, rank))
+        node_ids = list(range(len(labels)))
+        return cls._assemble(
+            node_ids, parent_ranks, last_ranks, depths, labels, 0, None
+        )
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def patch(self, tree: Optional[DataTree] = None) -> Optional["ColumnarTree"]:
+        """A **new** column at *tree*'s current version, derived from this one.
+
+        Replays the journal suffix ``tree.mutations_since(self.version)``
+        over copies of this column's arrays as bounded splices: an
+        ``add_child`` inserts one slot at the new preorder rank and shifts
+        only the ranks at or after it, a ``delete_subtree`` removes one
+        contiguous rank interval, a ``set_label`` moves one posting.  On the
+        numpy backend the shifts are vectorized (``np.insert`` plus masked
+        adds); the pure-Python fallback performs the observationally
+        identical list splices.
+
+        Mirrors :meth:`~repro.trees.index.TreeIndex.patch` with one
+        deliberate difference: the stale column is **not** updated in place.
+        Held handles stay immutable (and keep raising
+        :class:`StaleColumnarTreeError`) — only the
+        :func:`columnar_tree` accessor swaps the patched replacement into
+        the tree's cache.
+
+        Returns ``None`` when patching is not possible or not worthwhile
+        (no live source tree, *tree* is not this column's source, the
+        journal no longer reaches back, or the suffix exceeds
+        :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` — a rebuild is then
+        cheaper), and ``self`` when already fresh.  Each replayed entry
+        crosses the ``"columnar.patch"`` fault site; a fault mid-replay
+        discards the partial replacement and *poisons* this column
+        (``version = -1``) so the next accessor call rebuilds instead of
+        replaying into the same fault.
+        """
+        source = self._source() if self._source is not None else None
+        if tree is None:
+            tree = source
+        if tree is None or source is not tree:
+            return None
+        if self.version == tree.version:
+            return self
+        if self.version < 0:  # poisoned by an earlier mid-patch fault
+            return None
+        entries = tree.mutations_since(self.version)
+        if entries is None or len(entries) > PATCH_JOURNAL_LIMIT:
+            return None
+        try:
+            state = _PatchState(self)
+            for op, node, payload in entries:
+                fire("columnar.patch")
+                state.apply(op, node, payload)
+            return state.freeze(tree)
+        except BaseException:
+            self.version = -1
+            raise
 
     # -- staleness -----------------------------------------------------------
 
@@ -460,23 +599,307 @@ class ColumnarTree:
         )
 
 
-def columnar_tree(tree: DataTree) -> ColumnarTree:
-    """The shared :class:`ColumnarTree` snapshot of *tree*, rebuilt when stale.
+class _PatchState:
+    """Working copies of one column's arrays while a journal suffix replays.
+
+    Postings are exploded from their CSR encoding into one working list (or
+    numpy array) per label code — every journal entry touches only one or
+    two labels plus rank shifts, and re-concatenating at :meth:`freeze` is a
+    straight memcpy, so the explode/concat pair is far cheaper than splicing
+    the packed CSR arrays per entry.  New labels are *appended* to the
+    working table (codes stay stable during the replay); :meth:`freeze`
+    re-sorts the table and remaps the codes only when the label set actually
+    changed.
+    """
+
+    __slots__ = (
+        "np",
+        "ids",
+        "par",
+        "last",
+        "dep",
+        "codes",
+        "table",
+        "code_of",
+        "post",
+        "table_dirty",
+    )
+
+    def __init__(self, column: ColumnarTree) -> None:
+        np = _np
+        self.np = np
+        if np is not None:
+            self.ids = np.array(column.node_ids, dtype=np.int64)
+            self.par = np.array(column.parent_ranks, dtype=np.int64)
+            self.last = np.array(column.last_ranks, dtype=np.int64)
+            self.dep = np.array(column.depths, dtype=np.int64)
+            self.codes = np.array(column.label_codes, dtype=np.int64)
+        else:
+            self.ids = list(column.node_ids)
+            self.par = list(column.parent_ranks)
+            self.last = list(column.last_ranks)
+            self.dep = list(column.depths)
+            self.codes = list(column.label_codes)
+        self.table = list(column.label_table)
+        self.code_of = {label: code for code, label in enumerate(self.table)}
+        offsets = column.posting_offsets
+        ranks = column.posting_ranks
+        if np is not None:
+            self.post = {
+                code: np.array(
+                    ranks[offsets[code] : offsets[code + 1]], dtype=np.int64
+                )
+                for code in range(len(self.table))
+            }
+        else:
+            self.post = {
+                code: list(ranks[offsets[code] : offsets[code + 1]])
+                for code in range(len(self.table))
+            }
+        self.table_dirty = False
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _rank_of(self, node: NodeId) -> int:
+        if self.np is not None:
+            hits = self.np.nonzero(self.ids == node)[0]
+            if not len(hits):
+                raise LookupError(f"node {node} not present in the column")
+            return int(hits[0])
+        return self.ids.index(node)
+
+    def _code_for(self, label: str) -> int:
+        code = self.code_of.get(label)
+        if code is None:
+            code = len(self.table)
+            self.table.append(label)
+            self.code_of[label] = code
+            self.post[code] = (
+                self.np.empty(0, dtype=self.np.int64) if self.np is not None else []
+            )
+            self.table_dirty = True
+        return code
+
+    # -- journal replay ------------------------------------------------------
+
+    def apply(self, op: str, node: NodeId, payload: tuple) -> None:
+        if op == "add_child":
+            self._add_child(node, payload[0], payload[1])
+        elif op == "set_label":
+            self._set_label(node, payload[0], payload[1])
+        elif op == "delete_subtree":
+            self._delete_subtree(node)
+        else:
+            raise LookupError(f"unknown journal op {op!r}")
+
+    def _add_child(self, node: NodeId, parent: NodeId, label: str) -> None:
+        p = self._rank_of(parent)
+        r = int(self.last[p]) + 1
+        code = self._code_for(label)
+        np = self.np
+        if np is not None:
+            positions = np.arange(len(self.ids), dtype=np.int64)
+            self.ids = np.insert(self.ids, r, node)
+            self.par = np.insert(self.par + (self.par >= r), r, p)
+            # A node's interval grows iff its subtree shifted right (rank
+            # >= r) or it is an ancestor-or-self of the parent (rank <= p
+            # with an interval reaching the parent's old end r-1).
+            grow = (positions >= r) | ((positions <= p) & (self.last >= r - 1))
+            self.last = np.insert(self.last + grow, r, r)
+            self.dep = np.insert(self.dep, r, int(self.dep[p]) + 1)
+            self.codes = np.insert(self.codes, r, code)
+            for group_code, group in self.post.items():
+                group += group >= r
+            group = self.post[code]
+            self.post[code] = np.insert(
+                group, int(np.searchsorted(group, r)), r
+            )
+        else:
+            par = self.par
+            for index in range(len(par)):
+                if par[index] >= r:
+                    par[index] += 1
+            par.insert(r, p)
+            last = self.last
+            for index in range(len(last)):
+                if index >= r or (index <= p and last[index] >= r - 1):
+                    last[index] += 1
+            last.insert(r, r)
+            self.dep.insert(r, self.dep[p] + 1)
+            self.ids.insert(r, node)
+            self.codes.insert(r, code)
+            for group in self.post.values():
+                for index in range(len(group)):
+                    if group[index] >= r:
+                        group[index] += 1
+            insort(self.post[code], r)
+
+    def _set_label(self, node: NodeId, old: str, new: str) -> None:
+        if old == new:
+            return
+        r = self._rank_of(node)
+        old_code = int(self.codes[r])
+        new_code = self._code_for(new)
+        np = self.np
+        if np is not None:
+            group = self.post[old_code]
+            self.post[old_code] = np.delete(group, int(np.searchsorted(group, r)))
+            target = self.post[new_code]
+            self.post[new_code] = np.insert(
+                target, int(np.searchsorted(target, r)), r
+            )
+        else:
+            group = self.post[old_code]
+            del group[bisect_left(group, r)]
+            insort(self.post[new_code], r)
+        self.codes[r] = new_code
+        if not len(self.post[old_code]):
+            self.table_dirty = True
+
+    def _delete_subtree(self, node: NodeId) -> None:
+        r = self._rank_of(node)
+        h = int(self.last[r])
+        size = h - r + 1
+        np = self.np
+        if np is not None:
+            keep = np.ones(len(self.ids), dtype=bool)
+            keep[r : h + 1] = False
+            self.ids = self.ids[keep]
+            self.dep = self.dep[keep]
+            self.codes = self.codes[keep]
+            par = self.par[keep]
+            # Children of deleted nodes are deleted with them, so no kept
+            # parent rank can point inside [r, h].
+            self.par = par - size * (par > h)
+            last = self.last[keep]
+            self.last = last - size * (last >= h)
+            for code, group in list(self.post.items()):
+                kept = group[(group < r) | (group > h)]
+                if len(kept) != len(group):
+                    self.post[code] = kept - size * (kept > h)
+                    if not len(kept):
+                        self.table_dirty = True
+                else:
+                    group -= size * (group > h)
+        else:
+            self.ids = self.ids[:r] + self.ids[h + 1 :]
+            self.dep = self.dep[:r] + self.dep[h + 1 :]
+            self.codes = self.codes[:r] + self.codes[h + 1 :]
+            par = self.par[:r] + self.par[h + 1 :]
+            self.par = [value - size if value > h else value for value in par]
+            last = self.last[:r] + self.last[h + 1 :]
+            self.last = [value - size if value >= h else value for value in last]
+            for code, group in self.post.items():
+                kept = [value for value in group if value < r or value > h]
+                if len(kept) != len(group):
+                    if not kept:
+                        self.table_dirty = True
+                self.post[code] = [
+                    value - size if value > h else value for value in kept
+                ]
+
+    # -- reassembly ----------------------------------------------------------
+
+    def freeze(self, source: DataTree) -> ColumnarTree:
+        """Pack the working state into a fresh :class:`ColumnarTree`."""
+        np = self.np
+        nonempty = [code for code in range(len(self.table)) if len(self.post[code])]
+        dirty = self.table_dirty or len(nonempty) != len(self.table)
+        if dirty:
+            # The label set changed: re-sort the table (appended labels sit
+            # at the end, emptied ones must vanish) and remap every code.
+            order = sorted(nonempty, key=lambda code: self.table[code])
+            label_table = tuple(self.table[code] for code in order)
+            new_code = {old: new for new, old in enumerate(order)}
+            remap = [new_code.get(code, -1) for code in range(len(self.table))]
+            if np is not None:
+                codes = np.asarray(remap, dtype=np.int64)[self.codes]
+            else:
+                codes = [remap[code] for code in self.codes]
+        else:
+            order = list(range(len(self.table)))
+            label_table = tuple(self.table)
+            codes = self.codes
+
+        groups = [self.post[code] for code in order]
+        offsets = [0] * (len(groups) + 1)
+        for index, group in enumerate(groups):
+            offsets[index + 1] = offsets[index] + len(group)
+        if np is not None:
+            posting_ranks = (
+                np.concatenate(groups)
+                if groups
+                else np.empty(0, dtype=np.int64)
+            )
+            posting_offsets = np.asarray(offsets, dtype=np.int64)
+        else:
+            flat: List[int] = []
+            for group in groups:
+                flat.extend(group)
+            posting_ranks = array("q", flat)
+            posting_offsets = array("q", offsets)
+
+        result = ColumnarTree._blank()
+        if np is not None:
+            result.node_ids = self.ids
+            result.parent_ranks = self.par
+            result.last_ranks = self.last
+            result.depths = self.dep
+            result.label_codes = codes
+        else:
+            result.node_ids = array("q", self.ids)
+            result.parent_ranks = array("q", self.par)
+            result.last_ranks = array("q", self.last)
+            result.depths = array("q", self.dep)
+            result.label_codes = array("q", codes)
+        result.posting_ranks = posting_ranks
+        result.posting_offsets = posting_offsets
+        result.label_table = label_table
+        result.version = source.version
+        result._source = weakref.ref(source)
+        return result
+
+
+def columnar_tree(tree: DataTree, stats=None) -> ColumnarTree:
+    """The shared :class:`ColumnarTree` snapshot of *tree*, patched or rebuilt
+    when stale.
 
     Mirrors :func:`~repro.trees.index.tree_index`: the snapshot is cached on
     the tree and compared against the tree's mutation version on every call.
-    Unlike the structural index there is no incremental patching — columns
-    are flat arrays whose every suffix shifts on mutation, so a stale cache
-    is simply rebuilt (one vectorizable O(n) pass).  Mixed update/query
-    workloads should keep ``matcher="indexed"``; columnar wins on
-    read-mostly large documents.
+    A stale cached column is first offered to :meth:`ColumnarTree.patch` —
+    when the pending journal suffix is within
+    :data:`~repro.trees.index.PATCH_JOURNAL_LIMIT` entries the replacement
+    column is produced by bounded array splices instead of the O(n)
+    :meth:`~ColumnarTree.from_tree` rebuild, which is what makes
+    ``matcher="columnar"`` usable on mixed update/query (streaming)
+    workloads.  The cache swap leaves previously held handles untouched (and
+    stale — see :meth:`~ColumnarTree.require_fresh`).
+
+    *stats* (a :class:`~repro.core.context.ContextStats`) receives
+    ``columns_patched`` / ``column_rebuilds`` bumps; cold first builds count
+    as rebuilds.
     """
     cached = tree._columnar_cache
-    if cached is not None and cached.version == tree.version:
-        return cached
+    if cached is not None:
+        if cached.version == tree.version:
+            return cached
+        patched = cached.patch(tree)
+        if patched is not None:
+            tree._columnar_cache = patched
+            if stats is not None:
+                stats.columns_patched += 1
+            return patched
     column = ColumnarTree.from_tree(tree)
     tree._columnar_cache = column
+    if stats is not None:
+        stats.column_rebuilds += 1
     return column
 
 
-__all__ = ["ColumnarTree", "columnar_tree", "have_numpy", "MAGIC"]
+__all__ = [
+    "ColumnarTree",
+    "columnar_tree",
+    "have_numpy",
+    "MAGIC",
+    "PATCH_JOURNAL_LIMIT",
+]

@@ -41,12 +41,14 @@ class QueryError(ProbXMLError):
 class StaleColumnarTreeError(ProbXMLError):
     """A held :class:`~repro.trees.columnar.ColumnarTree` outlived its tree version.
 
-    Columnar snapshots are immutable — they are never patched in place the
-    way the structural :class:`~repro.trees.index.TreeIndex` is — so once
-    the source tree mutates, every rank, interval and posting in the column
-    may describe nodes that no longer exist.  Matching against such arrays
-    would silently return wrong answers; the typed error enforces the
-    contract that columns are only valid when obtained through
+    Columnar snapshots are immutable — unlike the structural
+    :class:`~repro.trees.index.TreeIndex` they are never patched in place;
+    incremental maintenance (:meth:`~repro.trees.columnar.ColumnarTree.patch`)
+    produces a *replacement* column that only the cached accessor swaps in.
+    Once the source tree mutates, every rank, interval and posting in a held
+    column may therefore describe nodes that no longer exist.  Matching
+    against such arrays would silently return wrong answers; the typed error
+    enforces the contract that columns are only valid when obtained through
     :func:`~repro.trees.columnar.columnar_tree`.
     """
 

@@ -39,11 +39,16 @@ from repro.utils.errors import InjectedFault, ProbXMLError
 FAULT_SITES = frozenset(
     {
         "datatree.add_child",
+        "datatree.add_subtree_bulk",
         "datatree.set_label",
         "datatree.delete_subtree",
         "probtree.set_condition",
         "probtree.add_event",
         "index.patch",
+        # Crossed once per journal entry replayed into a columnar-snapshot
+        # replacement; a fault here discards the partial replacement and
+        # poisons the stale column so the next access rebuilds.
+        "columnar.patch",
         "context.migrate_answers",
         "context.migrate_formulas",
         # Crossed by a shard worker once per served request; arming it makes

@@ -18,21 +18,31 @@ from repro.utils.errors import InvalidTreeError
 
 
 def datatree_from_xml(text: str) -> DataTree:
-    """Parse a ``<node>``-rooted XML document into a data tree."""
+    """Parse a ``<node>``-rooted XML document into a data tree.
+
+    Ingests through :meth:`DataTree.add_subtree_bulk` — one flat preorder
+    batch instead of one :meth:`~DataTree.add_child` call per element — so
+    warehouse/service ``insert`` payloads skip the per-node mutator
+    overhead.  Identifiers, structure and the mutation journal are exactly
+    what the per-node path produced.
+    """
     element = ET.fromstring(text)
     if element.tag != "node":
         raise InvalidTreeError(f"expected a <node> root element, got <{element.tag}>")
     tree = DataTree(element.get("label", ""))
-    _attach_children(tree, tree.root, element)
+    spec = []
+    stack = [
+        (child, -1)
+        for child in reversed([c for c in element if c.tag == "node"])
+    ]
+    while stack:
+        node, parent_slot = stack.pop()
+        slot = len(spec)
+        spec.append((parent_slot, node.get("label", "")))
+        for child in reversed([c for c in node if c.tag == "node"]):
+            stack.append((child, slot))
+    tree.add_subtree_bulk(tree.root, spec)
     return tree
-
-
-def _attach_children(tree: DataTree, parent: NodeId, element: ET.Element) -> None:
-    for child in element:
-        if child.tag != "node":
-            continue
-        node = tree.add_child(parent, child.get("label", ""))
-        _attach_children(tree, node, child)
 
 
 def probtree_from_xml(text: str) -> ProbTree:

@@ -5,10 +5,13 @@ benchmarks (≥5× incremental index, ≥3× formula IR, budgeted-pricing /
 sampling latency, snapshot-isolation overhead ≤1.3× and threaded read
 throughput ≥2×, sharded-service scatter ≥2× with restart-free worker-pool
 GC, columnar matching ≥5× indexed at 100k nodes with mmap load ≥10×
-re-parse) in smoke mode and exits nonzero when any gate regresses.  The fast test below checks the selection
-logic without running anything; the smoke-run test actually executes the
-gates (seconds in smoke mode, still marked ``slow`` so the fast tier stays
-deterministic on loaded machines — run it with ``--runslow``).
+re-parse, journal-patched columnar maintenance ≥5× rebuild-per-mutation on
+a streaming workload) in smoke mode and exits nonzero when any gate
+regresses.  The fast tests below check the selection logic and the
+percentile summariser without running anything; the smoke-run test actually
+executes the gates (seconds in smoke mode, still marked ``slow`` so the
+fast tier stays deterministic on loaded machines — run it with
+``--runslow``).
 """
 
 from __future__ import annotations
@@ -42,6 +45,33 @@ def test_gate_benchmarks_exist_and_are_standalone():
         assert not module._is_pytest_module(stems[gate])
 
 
+def test_percentiles_interpolate_the_tail():
+    module = _load_run_all()
+    # 1..100 ms: p50 interpolates between the 50th/51st order statistics.
+    summary = module.percentiles([index / 1000 for index in range(1, 101)])
+    assert summary == {"p50_s": 0.0505, "p95_s": 0.09505, "p99_s": 0.09901}
+    assert module.percentiles([0.25]) == {
+        "p50_s": 0.25,
+        "p95_s": 0.25,
+        "p99_s": 0.25,
+    }
+
+
+def test_annotate_percentiles_walks_nested_reports():
+    module = _load_run_all()
+    report = {
+        "patched": {"latency_samples_s": [0.1, 0.2, 0.3]},
+        "stages": [{"latency_samples_s": [0.4, 0.5]}],
+        "not_samples": {"latency_samples_s": ["text"]},
+        "empty": {"latency_samples_s": []},
+    }
+    module._annotate_percentiles(report)
+    assert report["patched"]["latency_percentiles_s"]["p50_s"] == 0.2
+    assert "latency_percentiles_s" in report["stages"][0]
+    assert "latency_percentiles_s" not in report["not_samples"]
+    assert "latency_percentiles_s" not in report["empty"]
+
+
 def test_smoke_env_shrinks_the_gate_benchmarks(monkeypatch):
     monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
     module = _load_run_all()
@@ -69,6 +99,7 @@ def test_check_gates_passes(tmp_path):
         "bench_snapshot",
         "bench_service",
         "bench_columnar",
+        "bench_columnar_incremental",
     }
     for result in summary["benchmarks"].values():
         assert result["status"] == "ok"
